@@ -1,0 +1,173 @@
+//! The [`Attack`] trait, shared configuration, and the [`AttackKind`]
+//! enumeration matching the attack columns of Table II.
+
+use crate::{ApgdAttack, DiFgsmAttack, FgsmAttack, PgdAttack, Result};
+use rand::rngs::StdRng;
+use sesr_nn::Layer;
+use sesr_tensor::{Tensor, TensorError};
+
+/// Configuration shared by all attacks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttackConfig {
+    /// L∞ perturbation budget (the paper uses 8/255 for every attack).
+    pub epsilon: f32,
+    /// Number of iterations for iterative attacks (ignored by FGSM).
+    pub steps: usize,
+    /// Step size for iterative attacks; if `None`, a standard heuristic
+    /// (`2.5 * epsilon / steps`) is used.
+    pub alpha: Option<f32>,
+}
+
+impl AttackConfig {
+    /// The paper's setting: ε = 8/255, 10 iterations.
+    pub fn paper() -> Self {
+        AttackConfig {
+            epsilon: 8.0 / 255.0,
+            steps: 10,
+            alpha: None,
+        }
+    }
+
+    /// Override the perturbation budget.
+    pub fn with_epsilon(mut self, epsilon: f32) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Override the iteration count.
+    pub fn with_steps(mut self, steps: usize) -> Self {
+        self.steps = steps;
+        self
+    }
+
+    /// The per-step size actually used by iterative attacks.
+    pub fn step_size(&self) -> f32 {
+        self.alpha
+            .unwrap_or(2.5 * self.epsilon / self.steps.max(1) as f32)
+    }
+
+    /// Validate the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a non-positive epsilon or zero steps.
+    pub fn validate(&self) -> Result<()> {
+        if self.epsilon <= 0.0 {
+            return Err(TensorError::invalid_argument("attack epsilon must be positive"));
+        }
+        if self.steps == 0 {
+            return Err(TensorError::invalid_argument("attack steps must be non-zero"));
+        }
+        Ok(())
+    }
+}
+
+impl Default for AttackConfig {
+    fn default() -> Self {
+        AttackConfig::paper()
+    }
+}
+
+/// A gray-box adversarial attack: craft a perturbed batch against a
+/// classifier using its input gradients, without any knowledge of the
+/// preprocessing defense.
+pub trait Attack: Send {
+    /// Attack name as used in Table II column headers.
+    fn name(&self) -> &str;
+
+    /// Craft adversarial examples for `images` (values in `[0, 1]`) with true
+    /// `labels`, maximising the classifier's cross-entropy loss within the
+    /// configured L∞ ball.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if shapes are inconsistent or the model fails.
+    fn perturb(
+        &self,
+        model: &mut dyn Layer,
+        images: &Tensor,
+        labels: &[usize],
+        rng: &mut StdRng,
+    ) -> Result<Tensor>;
+}
+
+/// The four attacks evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttackKind {
+    /// Fast Gradient Sign Method.
+    Fgsm,
+    /// Projected Gradient Descent.
+    Pgd,
+    /// Auto-PGD.
+    Apgd,
+    /// Diverse-Input Iterative FGSM.
+    DiFgsm,
+}
+
+impl AttackKind {
+    /// All attack kinds in the column order of Table II.
+    pub fn all() -> Vec<AttackKind> {
+        vec![
+            AttackKind::Fgsm,
+            AttackKind::Pgd,
+            AttackKind::Apgd,
+            AttackKind::DiFgsm,
+        ]
+    }
+
+    /// Display name matching the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AttackKind::Fgsm => "FGSM",
+            AttackKind::Pgd => "PGD",
+            AttackKind::Apgd => "APGD",
+            AttackKind::DiFgsm => "DI2FGSM",
+        }
+    }
+
+    /// Build the attack with the given configuration.
+    pub fn build(&self, config: AttackConfig) -> Box<dyn Attack> {
+        match self {
+            AttackKind::Fgsm => Box::new(FgsmAttack::new(config)),
+            AttackKind::Pgd => Box::new(PgdAttack::new(config)),
+            AttackKind::Apgd => Box::new(ApgdAttack::new(config)),
+            AttackKind::DiFgsm => Box::new(DiFgsmAttack::new(config)),
+        }
+    }
+}
+
+impl std::fmt::Display for AttackKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_paper_settings() {
+        let cfg = AttackConfig::paper();
+        assert!((cfg.epsilon - 8.0 / 255.0).abs() < 1e-6);
+        assert_eq!(cfg.steps, 10);
+        assert!(cfg.validate().is_ok());
+        assert!(cfg.step_size() > 0.0);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        assert!(AttackConfig::paper().with_epsilon(0.0).validate().is_err());
+        assert!(AttackConfig::paper().with_steps(0).validate().is_err());
+    }
+
+    #[test]
+    fn all_kinds_build_and_have_paper_names() {
+        let names: Vec<&str> = AttackKind::all().iter().map(|k| k.name()).collect();
+        assert_eq!(names, vec!["FGSM", "PGD", "APGD", "DI2FGSM"]);
+        for kind in AttackKind::all() {
+            let attack = kind.build(AttackConfig::paper());
+            assert_eq!(attack.name(), kind.name());
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Diverse-Input Iterative FGSM (DI²-FGSM, Xie et al., CVPR 2019).
+//!
+//! DI²-FGSM improves the transferability of iterative FGSM by applying a
+//! random *input diversity* transform — resize to a random smaller size and
+//! zero-pad back to the original resolution at a random offset — before each
+//! gradient computation, with some probability per step. The gradient is
+//! taken **through** the transform, so this module implements the transform
+//! together with its exact adjoint (gradient routing back through padding and
+//! nearest-neighbour resizing).
+
+use crate::attack::{Attack, AttackConfig};
+use crate::gradient::{input_gradient, project_linf};
+use crate::Result;
+use rand::rngs::StdRng;
+use rand::Rng;
+use sesr_nn::Layer;
+use sesr_tensor::resample::{crop_nchw, pad_nchw, resize, Interpolation};
+use sesr_tensor::{Shape, Tensor};
+
+/// Parameters of one sampled diversity transform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct DiversityTransform {
+    resized: usize,
+    pad_top: usize,
+    pad_left: usize,
+    original: usize,
+}
+
+impl DiversityTransform {
+    fn sample(original: usize, min_scale: f32, rng: &mut StdRng) -> Self {
+        let min_size = ((original as f32 * min_scale).round() as usize).max(1);
+        let resized = if min_size >= original {
+            original
+        } else {
+            rng.gen_range(min_size..=original)
+        };
+        let slack = original - resized;
+        let pad_top = if slack > 0 { rng.gen_range(0..=slack) } else { 0 };
+        let pad_left = if slack > 0 { rng.gen_range(0..=slack) } else { 0 };
+        DiversityTransform {
+            resized,
+            pad_top,
+            pad_left,
+            original,
+        }
+    }
+
+    /// Apply the transform: nearest-resize to `resized`² then zero-pad back
+    /// to `original`².
+    fn apply(&self, images: &Tensor) -> Result<Tensor> {
+        let small = resize(images, self.resized, self.resized, Interpolation::Nearest)?;
+        pad_nchw(
+            &small,
+            (
+                self.pad_top,
+                self.original - self.resized - self.pad_top,
+                self.pad_left,
+                self.original - self.resized - self.pad_left,
+            ),
+        )
+    }
+
+    /// Route a gradient at the transformed resolution back to the original
+    /// image (adjoint of [`apply`]): crop away the padding, then sum each
+    /// nearest-neighbour sample's gradient back onto its source pixel.
+    fn backward(&self, grad: &Tensor, input_shape: &Shape) -> Result<Tensor> {
+        let cropped = crop_nchw(grad, self.pad_top, self.pad_left, self.resized, self.resized)?;
+        let (n, c, h, w) = input_shape.as_nchw()?;
+        let mut out = vec![0.0f32; input_shape.num_elements()];
+        let g = cropped.data();
+        let scale_y = h as f32 / self.resized as f32;
+        let scale_x = w as f32 / self.resized as f32;
+        for b in 0..n {
+            for ci in 0..c {
+                for y in 0..self.resized {
+                    let sy = (((y as f32 + 0.5) * scale_y) as usize).min(h - 1);
+                    for x in 0..self.resized {
+                        let sx = (((x as f32 + 0.5) * scale_x) as usize).min(w - 1);
+                        out[((b * c + ci) * h + sy) * w + sx] +=
+                            g[((b * c + ci) * self.resized + y) * self.resized + x];
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(input_shape.clone(), out)
+    }
+}
+
+/// Iterative FGSM whose gradients are computed through a random
+/// resize-and-pad input-diversity transform.
+#[derive(Debug, Clone, Copy)]
+pub struct DiFgsmAttack {
+    config: AttackConfig,
+    /// Probability of applying the diversity transform at each step.
+    diversity_probability: f32,
+    /// Minimum resize scale (0.9 in the original paper).
+    min_scale: f32,
+}
+
+impl DiFgsmAttack {
+    /// Create a DI²-FGSM attack with the standard transform probability (0.7)
+    /// and minimum resize scale (0.9).
+    pub fn new(config: AttackConfig) -> Self {
+        DiFgsmAttack {
+            config,
+            diversity_probability: 0.7,
+            min_scale: 0.9,
+        }
+    }
+
+    /// The attack configuration.
+    pub fn config(&self) -> AttackConfig {
+        self.config
+    }
+}
+
+impl Attack for DiFgsmAttack {
+    fn name(&self) -> &str {
+        "DI2FGSM"
+    }
+
+    fn perturb(
+        &self,
+        model: &mut dyn Layer,
+        images: &Tensor,
+        labels: &[usize],
+        rng: &mut StdRng,
+    ) -> Result<Tensor> {
+        self.config.validate()?;
+        let eps = self.config.epsilon;
+        let alpha = self.config.step_size();
+        let (_, _, h, w) = images.shape().as_nchw()?;
+        let size = h.min(w);
+        let mut adv = images.clone();
+        for _ in 0..self.config.steps {
+            let grad = if rng.gen::<f32>() < self.diversity_probability && size > 2 {
+                let transform = DiversityTransform::sample(size, self.min_scale, rng);
+                let transformed = transform.apply(&adv)?;
+                let (_, grad_t) = input_gradient(model, &transformed, labels)?;
+                transform.backward(&grad_t, adv.shape())?
+            } else {
+                let (_, grad) = input_gradient(model, &adv, labels)?;
+                grad
+            };
+            let stepped = adv.add(&grad.signum().scale(alpha))?;
+            adv = project_linf(images, &stepped, eps)?;
+        }
+        Ok(adv)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use sesr_classifiers::{MobileNetV2, MobileNetV2Config};
+    use sesr_tensor::{init, Shape};
+
+    #[test]
+    fn diversity_transform_preserves_shape_and_is_adjoint() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = init::uniform(Shape::new(&[1, 2, 12, 12]), 0.0, 1.0, &mut rng);
+        let t = DiversityTransform::sample(12, 0.7, &mut rng);
+        let y = t.apply(&x).unwrap();
+        assert_eq!(y.shape(), x.shape());
+        // Adjoint check: <apply(x), g> == <x, backward(g)>.
+        let g = init::normal(y.shape().clone(), 0.0, 1.0, &mut rng);
+        let lhs = y.mul(&g).unwrap().sum();
+        let back = t.backward(&g, x.shape()).unwrap();
+        let rhs = x.mul(&back).unwrap().sum();
+        assert!((lhs - rhs).abs() < 1e-3, "lhs={lhs} rhs={rhs}");
+    }
+
+    #[test]
+    fn identity_transform_when_resized_equals_original() {
+        let t = DiversityTransform {
+            resized: 8,
+            pad_top: 0,
+            pad_left: 0,
+            original: 8,
+        };
+        let x = Tensor::full(Shape::new(&[1, 1, 8, 8]), 0.3);
+        assert_eq!(t.apply(&x).unwrap(), x);
+    }
+
+    #[test]
+    fn perturbation_respects_epsilon_and_range() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut model = MobileNetV2::new(MobileNetV2Config::local(4), &mut rng);
+        let x = init::uniform(Shape::new(&[1, 3, 16, 16]), 0.1, 0.9, &mut rng);
+        let eps = 8.0 / 255.0;
+        let attack = DiFgsmAttack::new(AttackConfig::paper().with_steps(4));
+        let adv = attack.perturb(&mut model, &x, &[0], &mut rng).unwrap();
+        assert!(adv.sub(&x).unwrap().abs().max() <= eps + 1e-6);
+        assert!(adv.min() >= 0.0 && adv.max() <= 1.0);
+    }
+
+    #[test]
+    fn attack_moves_the_input() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut model = MobileNetV2::new(MobileNetV2Config::local(4), &mut rng);
+        let x = init::uniform(Shape::new(&[1, 3, 16, 16]), 0.1, 0.9, &mut rng);
+        let attack = DiFgsmAttack::new(AttackConfig::paper().with_steps(3));
+        let adv = attack.perturb(&mut model, &x, &[1], &mut rng).unwrap();
+        assert!(adv.sub(&x).unwrap().abs().max() > 0.0);
+    }
+}

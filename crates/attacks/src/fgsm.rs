@@ -1,0 +1,89 @@
+//! Fast Gradient Sign Method (Goodfellow et al., 2014).
+
+use crate::attack::{Attack, AttackConfig};
+use crate::gradient::{input_gradient, project_linf};
+use crate::Result;
+use rand::rngs::StdRng;
+use sesr_nn::Layer;
+use sesr_tensor::Tensor;
+
+/// One-step FGSM: `x_adv = clip(x + ε · sign(∇_x L))`.
+#[derive(Debug, Clone, Copy)]
+pub struct FgsmAttack {
+    config: AttackConfig,
+}
+
+impl FgsmAttack {
+    /// Create an FGSM attack with the given configuration (only `epsilon` is
+    /// used).
+    pub fn new(config: AttackConfig) -> Self {
+        FgsmAttack { config }
+    }
+
+    /// The attack configuration.
+    pub fn config(&self) -> AttackConfig {
+        self.config
+    }
+}
+
+impl Attack for FgsmAttack {
+    fn name(&self) -> &str {
+        "FGSM"
+    }
+
+    fn perturb(
+        &self,
+        model: &mut dyn Layer,
+        images: &Tensor,
+        labels: &[usize],
+        _rng: &mut StdRng,
+    ) -> Result<Tensor> {
+        self.config.validate()?;
+        let (_, grad) = input_gradient(model, images, labels)?;
+        let stepped = images.add(&grad.signum().scale(self.config.epsilon))?;
+        project_linf(images, &stepped, self.config.epsilon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use sesr_classifiers::{MobileNetV2, MobileNetV2Config};
+    use sesr_tensor::{init, Shape};
+
+    #[test]
+    fn perturbation_respects_epsilon_and_range() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut model = MobileNetV2::new(MobileNetV2Config::local(4), &mut rng);
+        let x = init::uniform(Shape::new(&[2, 3, 16, 16]), 0.0, 1.0, &mut rng);
+        let eps = 8.0 / 255.0;
+        let attack = FgsmAttack::new(AttackConfig::paper());
+        let adv = attack.perturb(&mut model, &x, &[0, 2], &mut rng).unwrap();
+        assert_eq!(adv.shape(), x.shape());
+        assert!(adv.sub(&x).unwrap().abs().max() <= eps + 1e-6);
+        assert!(adv.min() >= 0.0 && adv.max() <= 1.0);
+    }
+
+    #[test]
+    fn attack_increases_the_loss() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut model = MobileNetV2::new(MobileNetV2Config::local(4), &mut rng);
+        let x = init::uniform(Shape::new(&[1, 3, 16, 16]), 0.1, 0.9, &mut rng);
+        let labels = [2usize];
+        let (before, _) = input_gradient(&mut model, &x, &labels).unwrap();
+        let attack = FgsmAttack::new(AttackConfig::paper());
+        let adv = attack.perturb(&mut model, &x, &labels, &mut rng).unwrap();
+        let (after, _) = input_gradient(&mut model, &adv, &labels).unwrap();
+        assert!(after >= before, "FGSM should not decrease the loss: {before} -> {after}");
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut model = MobileNetV2::new(MobileNetV2Config::local(2), &mut rng);
+        let x = Tensor::zeros(Shape::new(&[1, 3, 8, 8]));
+        let attack = FgsmAttack::new(AttackConfig::paper().with_epsilon(-1.0));
+        assert!(attack.perturb(&mut model, &x, &[0], &mut rng).is_err());
+    }
+}

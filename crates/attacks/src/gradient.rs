@@ -1,0 +1,95 @@
+//! Shared gradient utilities: loss gradients with respect to the input image
+//! and L∞ projection.
+
+use crate::Result;
+use sesr_nn::{cross_entropy_loss, Layer};
+use sesr_tensor::Tensor;
+
+/// Compute the cross-entropy loss and its gradient with respect to the input
+/// batch (the quantity every gradient-based attack needs).
+///
+/// The model is run in evaluation mode (no batch-statistic updates), matching
+/// the deployment setting the attacks target.
+///
+/// # Errors
+///
+/// Returns an error if the model output is not a logits matrix or the label
+/// count does not match the batch.
+pub fn input_gradient(
+    model: &mut dyn Layer,
+    images: &Tensor,
+    labels: &[usize],
+) -> Result<(f32, Tensor)> {
+    let logits = model.forward(images, false)?;
+    let loss = cross_entropy_loss(&logits, labels)?;
+    // Parameter gradients are a side effect we do not want to keep.
+    model.zero_grad();
+    let grad_input = model.backward(&loss.grad)?;
+    model.zero_grad();
+    Ok((loss.loss, grad_input))
+}
+
+/// Project `adversarial` onto the L∞ ball of radius `epsilon` centred at
+/// `original`, then clamp to the valid pixel range `[0, 1]`.
+///
+/// # Errors
+///
+/// Returns an error if the two tensors have different shapes.
+pub fn project_linf(original: &Tensor, adversarial: &Tensor, epsilon: f32) -> Result<Tensor> {
+    let delta = adversarial.sub(original)?.clamp(-epsilon, epsilon);
+    Ok(original.add(&delta)?.clamp(0.0, 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sesr_classifiers::{MobileNetV2, MobileNetV2Config};
+    use sesr_tensor::{init, Shape};
+
+    #[test]
+    fn input_gradient_has_input_shape_and_finite_loss() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut model = MobileNetV2::new(MobileNetV2Config::local(4), &mut rng);
+        let x = init::uniform(Shape::new(&[2, 3, 16, 16]), 0.0, 1.0, &mut rng);
+        let (loss, grad) = input_gradient(&mut model, &x, &[0, 3]).unwrap();
+        assert!(loss.is_finite() && loss > 0.0);
+        assert_eq!(grad.shape(), x.shape());
+    }
+
+    #[test]
+    fn ascending_the_gradient_increases_the_loss() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut model = MobileNetV2::new(MobileNetV2Config::local(4), &mut rng);
+        let x = init::uniform(Shape::new(&[1, 3, 16, 16]), 0.2, 0.8, &mut rng);
+        let labels = [1usize];
+        let (loss_before, grad) = input_gradient(&mut model, &x, &labels).unwrap();
+        let stepped = x.add(&grad.signum().scale(0.03)).unwrap().clamp(0.0, 1.0);
+        let (loss_after, _) = input_gradient(&mut model, &stepped, &labels).unwrap();
+        assert!(
+            loss_after >= loss_before,
+            "loss should not decrease along the gradient sign: {loss_before} -> {loss_after}"
+        );
+    }
+
+    #[test]
+    fn projection_limits_linf_norm_and_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let original = init::uniform(Shape::new(&[1, 3, 8, 8]), 0.0, 1.0, &mut rng);
+        let perturbed = original
+            .add(&init::uniform(original.shape().clone(), -0.5, 0.5, &mut rng))
+            .unwrap();
+        let eps = 8.0 / 255.0;
+        let projected = project_linf(&original, &perturbed, eps).unwrap();
+        assert!(projected.sub(&original).unwrap().abs().max() <= eps + 1e-6);
+        assert!(projected.min() >= 0.0 && projected.max() <= 1.0);
+    }
+
+    #[test]
+    fn projection_shape_mismatch_is_error() {
+        let a = Tensor::zeros(Shape::new(&[1, 3, 8, 8]));
+        let b = Tensor::zeros(Shape::new(&[1, 3, 4, 4]));
+        assert!(project_linf(&a, &b, 0.1).is_err());
+    }
+}

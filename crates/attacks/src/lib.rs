@@ -1,0 +1,39 @@
+//! Gradient-based adversarial attacks for the SESR defense reproduction.
+//!
+//! The paper evaluates its defense against four standard attacks, all
+//! implemented here from the original papers on top of the workspace's own
+//! backprop substrate (no external attack tooling exists for Rust):
+//!
+//! * [`FgsmAttack`] — Fast Gradient Sign Method (Goodfellow et al., 2014).
+//! * [`PgdAttack`] — Projected Gradient Descent (Madry et al., 2017) with a
+//!   random start inside the ε-ball.
+//! * [`ApgdAttack`] — Auto-PGD (Croce & Hein, 2020): momentum updates,
+//!   best-point tracking and adaptive step-size halving at checkpoints.
+//! * [`DiFgsmAttack`] — Diverse-Input Iterative FGSM (Xie et al., 2019):
+//!   iterative FGSM whose gradient is computed through a random
+//!   resize-and-pad transform each step.
+//!
+//! All attacks operate in the gray-box threat model used by the paper: the
+//! attacker has full gradient access to the *classifier* but no knowledge of
+//! the preprocessing defense, so perturbations are crafted against the bare
+//! classifier at its native resolution (ε = 8/255 in L∞ by default).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apgd;
+pub mod attack;
+pub mod difgsm;
+pub mod fgsm;
+pub mod gradient;
+pub mod pgd;
+
+pub use apgd::ApgdAttack;
+pub use attack::{Attack, AttackConfig, AttackKind};
+pub use difgsm::DiFgsmAttack;
+pub use fgsm::FgsmAttack;
+pub use gradient::{input_gradient, project_linf};
+pub use pgd::PgdAttack;
+
+/// Result alias re-exported from the tensor crate.
+pub type Result<T> = sesr_tensor::Result<T>;

@@ -1,0 +1,112 @@
+//! Projected Gradient Descent (Madry et al., 2017).
+
+use crate::attack::{Attack, AttackConfig};
+use crate::gradient::{input_gradient, project_linf};
+use crate::Result;
+use rand::rngs::StdRng;
+use sesr_nn::Layer;
+use sesr_tensor::Tensor;
+
+/// Multi-step L∞ PGD with a uniform random start inside the ε-ball.
+#[derive(Debug, Clone, Copy)]
+pub struct PgdAttack {
+    config: AttackConfig,
+}
+
+impl PgdAttack {
+    /// Create a PGD attack with the given configuration.
+    pub fn new(config: AttackConfig) -> Self {
+        PgdAttack { config }
+    }
+
+    /// The attack configuration.
+    pub fn config(&self) -> AttackConfig {
+        self.config
+    }
+}
+
+impl Attack for PgdAttack {
+    fn name(&self) -> &str {
+        "PGD"
+    }
+
+    fn perturb(
+        &self,
+        model: &mut dyn Layer,
+        images: &Tensor,
+        labels: &[usize],
+        rng: &mut StdRng,
+    ) -> Result<Tensor> {
+        self.config.validate()?;
+        let eps = self.config.epsilon;
+        let alpha = self.config.step_size();
+        // Random start inside the epsilon ball.
+        let noise = sesr_tensor::init::uniform(images.shape().clone(), -eps, eps, rng);
+        let mut adv = project_linf(images, &images.add(&noise)?, eps)?;
+        for _ in 0..self.config.steps {
+            let (_, grad) = input_gradient(model, &adv, labels)?;
+            let stepped = adv.add(&grad.signum().scale(alpha))?;
+            adv = project_linf(images, &stepped, eps)?;
+        }
+        Ok(adv)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use sesr_classifiers::{MobileNetV2, MobileNetV2Config};
+    use sesr_tensor::{init, Shape};
+
+    fn setup() -> (MobileNetV2, Tensor, StdRng) {
+        let mut rng = StdRng::seed_from_u64(0);
+        let model = MobileNetV2::new(MobileNetV2Config::local(4), &mut rng);
+        let x = init::uniform(Shape::new(&[1, 3, 16, 16]), 0.1, 0.9, &mut rng);
+        (model, x, rng)
+    }
+
+    #[test]
+    fn perturbation_respects_epsilon_and_range() {
+        let (mut model, x, mut rng) = setup();
+        let eps = 8.0 / 255.0;
+        let attack = PgdAttack::new(AttackConfig::paper().with_steps(4));
+        let adv = attack.perturb(&mut model, &x, &[1], &mut rng).unwrap();
+        assert!(adv.sub(&x).unwrap().abs().max() <= eps + 1e-6);
+        assert!(adv.min() >= 0.0 && adv.max() <= 1.0);
+    }
+
+    #[test]
+    fn pgd_loss_is_at_least_fgsm_loss() {
+        // With more steps and the same budget, PGD should find a point whose
+        // loss is at least as high as one-step FGSM (both from the same model).
+        let (mut model, x, mut rng) = setup();
+        let labels = [3usize];
+        let cfg = AttackConfig::paper().with_steps(6);
+        let fgsm_adv = crate::FgsmAttack::new(cfg)
+            .perturb(&mut model, &x, &labels, &mut rng)
+            .unwrap();
+        let pgd_adv = PgdAttack::new(cfg)
+            .perturb(&mut model, &x, &labels, &mut rng)
+            .unwrap();
+        let (fgsm_loss, _) = input_gradient(&mut model, &fgsm_adv, &labels).unwrap();
+        let (pgd_loss, _) = input_gradient(&mut model, &pgd_adv, &labels).unwrap();
+        assert!(
+            pgd_loss >= fgsm_loss * 0.8,
+            "PGD loss {pgd_loss} should be comparable or better than FGSM {fgsm_loss}"
+        );
+    }
+
+    #[test]
+    fn different_seeds_give_different_random_starts() {
+        let (mut model, x, _) = setup();
+        let attack = PgdAttack::new(AttackConfig::paper().with_steps(1));
+        let a = attack
+            .perturb(&mut model, &x, &[0], &mut StdRng::seed_from_u64(1))
+            .unwrap();
+        let b = attack
+            .perturb(&mut model, &x, &[0], &mut StdRng::seed_from_u64(2))
+            .unwrap();
+        assert_ne!(a, b);
+    }
+}

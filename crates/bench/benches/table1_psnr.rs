@@ -1,0 +1,50 @@
+//! Table I bench: inference cost of every runnable SR model on the same
+//! low-resolution input. The measured wall-clock ordering mirrors the MAC
+//! ordering reported in Table I of the paper (SESR-M2 < M3 < M5 < FSRCNN <
+//! SESR-XL < EDSR-base < EDSR); the paper-scale MAC and parameter numbers
+//! themselves are printed by `cargo run -p sesr-bench --bin tables -- table1`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sesr_bench::{bench_image, bench_sr_network};
+use sesr_models::cost::paper_cost;
+use sesr_models::SrModelKind;
+use std::time::Duration;
+
+fn sr_inference(c: &mut Criterion) {
+    let input = bench_image(16);
+    let mut group = c.benchmark_group("table1_sr_inference_16px_x2");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for kind in SrModelKind::learned() {
+        // Print the analytic paper-scale cost alongside the measured runtime
+        // so the bench output can be read next to Table I.
+        if let Ok(Some(cost)) = paper_cost(kind) {
+            eprintln!(
+                "[table1] {:<12} paper-scale: {:>10} params, {:>14} MACs (299->598)",
+                kind.name(),
+                cost.params,
+                cost.macs
+            );
+        }
+        let mut network = bench_sr_network(kind);
+        group.bench_with_input(BenchmarkId::new("forward", kind.name()), &kind, |b, _| {
+            b.iter(|| network.forward(&input, false).expect("sr forward"));
+        });
+    }
+    group.finish();
+}
+
+fn interpolation_baselines(c: &mut Criterion) {
+    let input = bench_image(16);
+    let mut group = c.benchmark_group("table1_interpolation_16px_x2");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    for kind in [SrModelKind::NearestNeighbor, SrModelKind::Bicubic] {
+        let mut upscaler = kind.build_interpolation(2).expect("interpolation");
+        group.bench_with_input(BenchmarkId::new("upscale", kind.name()), &kind, |b, _| {
+            b.iter(|| upscaler.upscale(&input).expect("upscale"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(table1, sr_inference, interpolation_baselines);
+criterion_main!(table1);

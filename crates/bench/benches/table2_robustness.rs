@@ -1,0 +1,71 @@
+//! Table II bench: the runtime of the components behind the robustness
+//! evaluation — crafting each attack against a classifier, and the defended
+//! inference path (JPEG → wavelet → SR → classify) versus the undefended
+//! path. The robust-accuracy numbers themselves are produced by
+//! `cargo run -p sesr-bench --bin tables -- table2`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sesr_attacks::{AttackConfig, AttackKind};
+use sesr_bench::{bench_classifier, bench_image};
+use sesr_classifiers::ClassifierKind;
+use sesr_defense::pipeline::{DefensePipeline, PreprocessConfig};
+use sesr_models::SrModelKind;
+use std::time::Duration;
+
+fn attack_crafting(c: &mut Criterion) {
+    let image = bench_image(16);
+    let mut group = c.benchmark_group("table2_attack_crafting_16px");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for attack_kind in AttackKind::all() {
+        let mut classifier = bench_classifier(ClassifierKind::MobileNetV2, 4);
+        let attack = attack_kind.build(AttackConfig::paper().with_steps(4));
+        group.bench_with_input(
+            BenchmarkId::new("craft", attack_kind.name()),
+            &attack_kind,
+            |b, _| {
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(3);
+                    attack
+                        .perturb(classifier.as_mut(), &image, &[1], &mut rng)
+                        .expect("attack")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn defended_vs_undefended_inference(c: &mut Criterion) {
+    let image = bench_image(16);
+    let mut group = c.benchmark_group("table2_inference_path_16px");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    let mut classifier = bench_classifier(ClassifierKind::MobileNetV2, 4);
+    group.bench_function("undefended_classify", |b| {
+        b.iter(|| classifier.forward(&image, false).expect("classify"));
+    });
+
+    for kind in [SrModelKind::NearestNeighbor, SrModelKind::Bicubic] {
+        let mut defense = DefensePipeline::new(
+            PreprocessConfig::paper(),
+            kind.build_interpolation(2).expect("interpolation"),
+        );
+        let mut classifier = bench_classifier(ClassifierKind::MobileNetV2, 4);
+        group.bench_with_input(
+            BenchmarkId::new("defended_classify", kind.name()),
+            &kind,
+            |b, _| {
+                b.iter(|| {
+                    let defended = defense.defend(&image).expect("defend");
+                    classifier.forward(&defended, false).expect("classify")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(table2, attack_crafting, defended_vs_undefended_inference);
+criterion_main!(table2);

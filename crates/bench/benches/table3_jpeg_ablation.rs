@@ -1,0 +1,66 @@
+//! Table III bench: runtime of the preprocessing stages the ablation toggles
+//! — JPEG compression at several quality factors and wavelet denoising at
+//! several decomposition depths — plus the combined preprocessing with and
+//! without the JPEG stage. The ablation's robust-accuracy numbers are
+//! produced by `cargo run -p sesr-bench --bin tables -- table3`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sesr_bench::bench_image;
+use sesr_defense::pipeline::{DefensePipeline, PreprocessConfig};
+use sesr_imaging::{jpeg_compress, wavelet_denoise, JpegConfig, WaveletConfig};
+use sesr_models::SrModelKind;
+use std::time::Duration;
+
+fn jpeg_stage(c: &mut Criterion) {
+    let image = bench_image(32);
+    let mut group = c.benchmark_group("table3_jpeg_quality_32px");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    for quality in [10u8, 50, 75, 95] {
+        let config = JpegConfig::new(quality).expect("quality");
+        group.bench_with_input(BenchmarkId::new("compress", quality), &quality, |b, _| {
+            b.iter(|| jpeg_compress(&image, config).expect("jpeg"));
+        });
+    }
+    group.finish();
+}
+
+fn wavelet_stage(c: &mut Criterion) {
+    let image = bench_image(32);
+    let mut group = c.benchmark_group("table3_wavelet_levels_32px");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    for levels in [1usize, 2, 3] {
+        group.bench_with_input(BenchmarkId::new("denoise", levels), &levels, |b, _| {
+            b.iter(|| wavelet_denoise(&image, WaveletConfig::new(levels)).expect("wavelet"));
+        });
+    }
+    group.finish();
+}
+
+fn preprocessing_with_and_without_jpeg(c: &mut Criterion) {
+    let image = bench_image(32);
+    let mut group = c.benchmark_group("table3_preprocess_ablation_32px");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    for (label, preprocess) in [
+        ("jpeg_plus_wavelet", PreprocessConfig::paper()),
+        ("wavelet_only", PreprocessConfig::without_jpeg()),
+    ] {
+        let mut pipeline = DefensePipeline::new(
+            preprocess,
+            SrModelKind::NearestNeighbor
+                .build_interpolation(2)
+                .expect("interpolation"),
+        );
+        group.bench_function(BenchmarkId::new("defend", label), |b| {
+            b.iter(|| pipeline.defend(&image).expect("defend"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    table3,
+    jpeg_stage,
+    wavelet_stage,
+    preprocessing_with_and_without_jpeg
+);
+criterion_main!(table3);

@@ -1,0 +1,279 @@
+//! Paper-scale analytic cost models for the classifiers.
+//!
+//! Table IV of the paper hinges on the cost of the *enlarged* MobileNet-V2:
+//! in the defense pipeline the classifier receives a 598×598 image instead of
+//! the native 224×224, which raises its cost from roughly 0.3 B to roughly
+//! 2.1 B MACs. [`mobilenet_v2_paper_spec`] reproduces the standard
+//! MobileNet-V2 (1.0×, 1000 classes) op-by-op so those numbers fall out of
+//! the same analytic machinery used for the SR models; a ResNet-50 spec is
+//! provided for completeness.
+
+use sesr_nn::spec::{NetworkSpec, OpDesc};
+
+/// Append one MobileNet-V2 inverted-residual block to a spec.
+fn push_inverted_residual(
+    spec: &mut NetworkSpec,
+    name: &str,
+    in_ch: usize,
+    out_ch: usize,
+    stride: usize,
+    expansion: usize,
+) {
+    let hidden = in_ch * expansion;
+    if expansion != 1 {
+        spec.push(
+            format!("{name}_expand_1x1"),
+            OpDesc::Conv2d {
+                in_channels: in_ch,
+                out_channels: hidden,
+                kernel: 1,
+                stride: 1,
+                bias: false,
+            },
+        );
+        spec.push(format!("{name}_expand_act"), OpDesc::Elementwise { channels: hidden });
+    }
+    spec.push(
+        format!("{name}_dw_3x3"),
+        OpDesc::DepthwiseConv2d {
+            channels: hidden,
+            kernel: 3,
+            stride,
+            bias: false,
+        },
+    );
+    spec.push(format!("{name}_dw_act"), OpDesc::Elementwise { channels: hidden });
+    spec.push(
+        format!("{name}_project_1x1"),
+        OpDesc::Conv2d {
+            in_channels: hidden,
+            out_channels: out_ch,
+            kernel: 1,
+            stride: 1,
+            bias: false,
+        },
+    );
+}
+
+/// The standard MobileNet-V2 (width 1.0, 1000 classes) as an analytic spec.
+pub fn mobilenet_v2_paper_spec() -> NetworkSpec {
+    let mut spec = NetworkSpec::new("mobilenet_v2_paper");
+    spec.push(
+        "stem_3x3_s2",
+        OpDesc::Conv2d {
+            in_channels: 3,
+            out_channels: 32,
+            kernel: 3,
+            stride: 2,
+            bias: false,
+        },
+    );
+    // (expansion, out_channels, repeats, first_stride) per the MobileNet-V2 paper.
+    let stages: [(usize, usize, usize, usize); 7] = [
+        (1, 16, 1, 1),
+        (6, 24, 2, 2),
+        (6, 32, 3, 2),
+        (6, 64, 4, 2),
+        (6, 96, 3, 1),
+        (6, 160, 3, 2),
+        (6, 320, 1, 1),
+    ];
+    let mut in_ch = 32;
+    for (stage_idx, &(expansion, out_ch, repeats, first_stride)) in stages.iter().enumerate() {
+        for rep in 0..repeats {
+            let stride = if rep == 0 { first_stride } else { 1 };
+            push_inverted_residual(
+                &mut spec,
+                &format!("stage{stage_idx}_block{rep}"),
+                in_ch,
+                out_ch,
+                stride,
+                expansion,
+            );
+            in_ch = out_ch;
+        }
+    }
+    spec.push(
+        "head_1x1",
+        OpDesc::Conv2d {
+            in_channels: 320,
+            out_channels: 1280,
+            kernel: 1,
+            stride: 1,
+            bias: false,
+        },
+    );
+    spec.push("global_pool", OpDesc::GlobalPool { channels: 1280 });
+    spec.push(
+        "classifier",
+        OpDesc::Linear {
+            in_features: 1280,
+            out_features: 1000,
+        },
+    );
+    spec
+}
+
+/// Append one ResNet-50 bottleneck block (1×1 reduce, 3×3, 1×1 expand).
+fn push_bottleneck(
+    spec: &mut NetworkSpec,
+    name: &str,
+    in_ch: usize,
+    mid_ch: usize,
+    out_ch: usize,
+    stride: usize,
+    projection: bool,
+) {
+    spec.push(
+        format!("{name}_reduce_1x1"),
+        OpDesc::Conv2d {
+            in_channels: in_ch,
+            out_channels: mid_ch,
+            kernel: 1,
+            stride: 1,
+            bias: false,
+        },
+    );
+    spec.push(
+        format!("{name}_conv_3x3"),
+        OpDesc::Conv2d {
+            in_channels: mid_ch,
+            out_channels: mid_ch,
+            kernel: 3,
+            stride,
+            bias: false,
+        },
+    );
+    spec.push(
+        format!("{name}_expand_1x1"),
+        OpDesc::Conv2d {
+            in_channels: mid_ch,
+            out_channels: out_ch,
+            kernel: 1,
+            stride: 1,
+            bias: false,
+        },
+    );
+    if projection {
+        // The projection shortcut is accounted as extra parameters/MACs on the
+        // main path approximation: model it as an elementwise op here because
+        // the spec is a single chain. Its cost (~10% of a stage) is folded
+        // into the tolerance used when comparing against published numbers.
+        spec.push(format!("{name}_proj_marker"), OpDesc::Elementwise { channels: out_ch });
+    }
+}
+
+/// ResNet-50 (1000 classes) as an analytic spec. Projection shortcuts are not
+/// counted (they contribute only a few percent of total MACs), so totals land
+/// slightly below the published 4.1 GMACs / 25.6 M parameters.
+pub fn resnet50_paper_spec() -> NetworkSpec {
+    let mut spec = NetworkSpec::new("resnet50_paper");
+    spec.push(
+        "stem_7x7_s2",
+        OpDesc::Conv2d {
+            in_channels: 3,
+            out_channels: 64,
+            kernel: 7,
+            stride: 2,
+            bias: false,
+        },
+    );
+    spec.push("stem_pool", OpDesc::Pool { channels: 64, stride: 2 });
+    // (mid_channels, out_channels, blocks, first_stride)
+    let stages: [(usize, usize, usize, usize); 4] = [
+        (64, 256, 3, 1),
+        (128, 512, 4, 2),
+        (256, 1024, 6, 2),
+        (512, 2048, 3, 2),
+    ];
+    let mut in_ch = 64;
+    for (stage_idx, &(mid, out, blocks, first_stride)) in stages.iter().enumerate() {
+        for block in 0..blocks {
+            let stride = if block == 0 { first_stride } else { 1 };
+            push_bottleneck(
+                &mut spec,
+                &format!("stage{stage_idx}_block{block}"),
+                in_ch,
+                mid,
+                out,
+                stride,
+                block == 0,
+            );
+            in_ch = out;
+        }
+    }
+    spec.push("global_pool", OpDesc::GlobalPool { channels: 2048 });
+    spec.push(
+        "classifier",
+        OpDesc::Linear {
+            in_features: 2048,
+            out_features: 1000,
+        },
+    );
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mobilenet_v2_cost_matches_published_numbers_at_224() {
+        let spec = mobilenet_v2_paper_spec();
+        let macs = spec.total_macs((3, 224, 224)).unwrap();
+        let params = spec.total_params();
+        // Published: ~300M MACs, ~3.4M parameters (the paper quotes ~300M).
+        assert!(
+            (250_000_000..400_000_000).contains(&macs),
+            "MobileNet-V2 MACs at 224: {macs}"
+        );
+        assert!(
+            (3_000_000..4_000_000).contains(&params),
+            "MobileNet-V2 params: {params}"
+        );
+    }
+
+    #[test]
+    fn enlarged_mobilenet_v2_matches_table4_cost() {
+        // Table IV: the enlarged (598x598) MobileNet-V2 needs ~2.1B MACs.
+        let spec = mobilenet_v2_paper_spec();
+        let macs = spec.total_macs((3, 598, 598)).unwrap();
+        assert!(
+            (1_700_000_000..2_600_000_000).contains(&macs),
+            "enlarged MobileNet-V2 MACs: {macs}"
+        );
+    }
+
+    #[test]
+    fn enlargement_ratio_is_about_7x() {
+        let spec = mobilenet_v2_paper_spec();
+        let small = spec.total_macs((3, 224, 224)).unwrap() as f64;
+        let large = spec.total_macs((3, 598, 598)).unwrap() as f64;
+        let ratio = large / small;
+        assert!((5.0..9.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn resnet50_cost_is_in_published_range() {
+        let spec = resnet50_paper_spec();
+        let macs = spec.total_macs((3, 224, 224)).unwrap();
+        let params = spec.total_params();
+        // Published ~4.1 GMACs / 25.6M params; shortcuts are uncounted so
+        // allow a generous lower band.
+        assert!(
+            (3_200_000_000..4_500_000_000).contains(&macs),
+            "ResNet-50 MACs: {macs}"
+        );
+        assert!(
+            (20_000_000..27_000_000).contains(&params),
+            "ResNet-50 params: {params}"
+        );
+    }
+
+    #[test]
+    fn resnet50_is_heavier_than_mobilenet() {
+        let r = resnet50_paper_spec().total_macs((3, 224, 224)).unwrap();
+        let m = mobilenet_v2_paper_spec().total_macs((3, 224, 224)).unwrap();
+        assert!(r > 10 * m);
+    }
+}

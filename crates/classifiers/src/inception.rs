@@ -1,0 +1,144 @@
+//! Inception-style classifier (Szegedy et al.): a convolutional stem followed
+//! by multi-branch inception blocks with max-pool downsampling between
+//! stages, global average pooling and a linear head.
+
+use crate::blocks::InceptionBlock;
+use crate::Result;
+use rand::Rng;
+use sesr_nn::{
+    BatchNorm2d, Conv2d, Flatten, GlobalAvgPool, Layer, Linear, MaxPool2d, Param, ReLU, Sequential,
+};
+use sesr_tensor::Tensor;
+
+/// Configuration of the laptop-scale Inception-style classifier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InceptionNetConfig {
+    /// Stem output channels.
+    pub stem_channels: usize,
+    /// Inception stages; each entry is a list of blocks, each block given as
+    /// per-branch widths `(b1, b3, b5, bp)`. A stride-2 max-pool separates
+    /// stages.
+    pub stages: Vec<Vec<(usize, usize, usize, usize)>>,
+    /// Number of output classes.
+    pub num_classes: usize,
+}
+
+impl InceptionNetConfig {
+    /// Default laptop-scale configuration (two stages of inception blocks).
+    pub fn local(num_classes: usize) -> Self {
+        InceptionNetConfig {
+            stem_channels: 16,
+            stages: vec![
+                vec![(16, 24, 8, 8)],
+                vec![(24, 32, 12, 12)],
+                vec![(32, 48, 16, 16), (48, 64, 24, 24)],
+            ],
+            num_classes,
+        }
+    }
+}
+
+/// A runnable Inception-style classifier producing `[N, num_classes]` logits.
+pub struct InceptionNet {
+    config: InceptionNetConfig,
+    network: Sequential,
+}
+
+impl InceptionNet {
+    /// Build the classifier from a configuration.
+    pub fn new(config: InceptionNetConfig, rng: &mut impl Rng) -> Self {
+        let mut net = Sequential::new("inception");
+        net.push(Conv2d::new(3, config.stem_channels, 3, 1, 1, rng));
+        net.push(BatchNorm2d::new(config.stem_channels));
+        net.push(ReLU::new());
+        let mut in_ch = config.stem_channels;
+        for (stage_idx, stage) in config.stages.iter().enumerate() {
+            if stage_idx > 0 {
+                net.push(MaxPool2d::new(2, 2, 0));
+            }
+            for &(b1, b3, b5, bp) in stage {
+                let block = InceptionBlock::new(in_ch, b1, b3, b5, bp, rng);
+                in_ch = block.out_channels();
+                net.push(block);
+            }
+        }
+        net.push(GlobalAvgPool::new());
+        net.push(Flatten::new());
+        net.push(Linear::new(in_ch, config.num_classes, rng));
+        InceptionNet {
+            config,
+            network: net,
+        }
+    }
+
+    /// The configuration used to build this classifier.
+    pub fn config(&self) -> &InceptionNetConfig {
+        &self.config
+    }
+}
+
+impl Layer for InceptionNet {
+    fn name(&self) -> &str {
+        "inception"
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor> {
+        self.network.forward(input, train)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        self.network.backward(grad_output)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.network.params_mut()
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        self.network.params()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sesr_tensor::{init, Shape};
+
+    #[test]
+    fn logits_shape_matches_classes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut net = InceptionNet::new(InceptionNetConfig::local(8), &mut rng);
+        let x = init::uniform(Shape::new(&[2, 3, 32, 32]), 0.0, 1.0, &mut rng);
+        let y = net.forward(&x, false).unwrap();
+        assert_eq!(y.shape().dims(), &[2, 8]);
+    }
+
+    #[test]
+    fn variable_input_size_is_supported() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut net = InceptionNet::new(InceptionNetConfig::local(4), &mut rng);
+        let large = init::uniform(Shape::new(&[1, 3, 64, 64]), 0.0, 1.0, &mut rng);
+        assert_eq!(net.forward(&large, false).unwrap().shape().dims(), &[1, 4]);
+    }
+
+    #[test]
+    fn backward_produces_input_gradient() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut net = InceptionNet::new(InceptionNetConfig::local(4), &mut rng);
+        let x = init::uniform(Shape::new(&[1, 3, 16, 16]), 0.0, 1.0, &mut rng);
+        let y = net.forward(&x, false).unwrap();
+        let g = net.backward(&Tensor::ones(y.shape().clone())).unwrap();
+        assert_eq!(g.shape(), x.shape());
+        assert!(g.norm() > 0.0);
+    }
+
+    #[test]
+    fn inception_has_the_most_parameters_of_the_zoo() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let inception = InceptionNet::new(InceptionNetConfig::local(8), &mut rng);
+        let resnet = crate::resnet::ResNet::new(crate::resnet::ResNetConfig::local(8), &mut rng);
+        assert!(inception.num_parameters() > resnet.num_parameters());
+    }
+}

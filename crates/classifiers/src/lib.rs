@@ -1,0 +1,33 @@
+//! Classifier zoo for the SESR adversarial-defense reproduction.
+//!
+//! The paper attacks and defends three ImageNet classifiers: MobileNet-V2,
+//! ResNet-50 and Inception-V3. This crate provides architecturally faithful,
+//! laptop-scale versions of all three (inverted residual / depthwise blocks,
+//! bottleneck residual blocks, and multi-branch inception blocks
+//! respectively), a training loop on the synthetic classification dataset,
+//! and paper-scale analytic cost models (the enlarged MobileNet-V2 cost is
+//! what Table IV's NPU latency estimate is built on).
+//!
+//! Every classifier ends in global average pooling, so — exactly as in the
+//! paper — the same trained network accepts both the native-resolution input
+//! and the ×2-upscaled image produced by the defense pipeline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod blocks;
+pub mod cost;
+pub mod inception;
+pub mod mobilenet;
+pub mod resnet;
+pub mod trainer;
+pub mod zoo;
+
+pub use inception::{InceptionNet, InceptionNetConfig};
+pub use mobilenet::{MobileNetV2, MobileNetV2Config};
+pub use resnet::{ResNet, ResNetConfig};
+pub use trainer::{ClassifierTrainer, ClassifierTrainingConfig, ClassifierTrainingReport};
+pub use zoo::ClassifierKind;
+
+/// Result alias re-exported from the tensor crate.
+pub type Result<T> = sesr_tensor::Result<T>;

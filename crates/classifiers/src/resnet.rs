@@ -1,0 +1,141 @@
+//! ResNet-style classifier (He et al.): a stem convolution followed by stages
+//! of residual blocks with stride-2 downsampling and projection shortcuts,
+//! global average pooling and a linear head.
+
+use crate::blocks::ResidualBlock;
+use crate::Result;
+use rand::Rng;
+use sesr_nn::{
+    BatchNorm2d, Conv2d, Flatten, GlobalAvgPool, Layer, Linear, Param, ReLU, Sequential,
+};
+use sesr_tensor::Tensor;
+
+/// Configuration of the laptop-scale ResNet-style classifier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResNetConfig {
+    /// Stem output channels.
+    pub stem_channels: usize,
+    /// Stages as `(out_channels, num_blocks, first_stride)`.
+    pub stages: Vec<(usize, usize, usize)>,
+    /// Number of output classes.
+    pub num_classes: usize,
+}
+
+impl ResNetConfig {
+    /// Default laptop-scale configuration (three stages, matching the
+    /// capacity ordering MobileNet-V2 < ResNet < Inception used in the paper).
+    pub fn local(num_classes: usize) -> Self {
+        ResNetConfig {
+            stem_channels: 16,
+            stages: vec![(16, 1, 1), (32, 1, 2), (48, 1, 2)],
+            num_classes,
+        }
+    }
+}
+
+/// A runnable ResNet-style classifier producing `[N, num_classes]` logits.
+pub struct ResNet {
+    config: ResNetConfig,
+    network: Sequential,
+}
+
+impl ResNet {
+    /// Build the classifier from a configuration.
+    pub fn new(config: ResNetConfig, rng: &mut impl Rng) -> Self {
+        let mut net = Sequential::new("resnet");
+        net.push(Conv2d::new(3, config.stem_channels, 3, 1, 1, rng));
+        net.push(BatchNorm2d::new(config.stem_channels));
+        net.push(ReLU::new());
+        let mut in_ch = config.stem_channels;
+        for &(out_ch, num_blocks, first_stride) in &config.stages {
+            for block in 0..num_blocks {
+                let stride = if block == 0 { first_stride } else { 1 };
+                net.push(ResidualBlock::new(in_ch, out_ch, stride, rng));
+                in_ch = out_ch;
+            }
+        }
+        net.push(GlobalAvgPool::new());
+        net.push(Flatten::new());
+        net.push(Linear::new(in_ch, config.num_classes, rng));
+        ResNet {
+            config,
+            network: net,
+        }
+    }
+
+    /// The configuration used to build this classifier.
+    pub fn config(&self) -> &ResNetConfig {
+        &self.config
+    }
+}
+
+impl Layer for ResNet {
+    fn name(&self) -> &str {
+        "resnet"
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor> {
+        self.network.forward(input, train)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        self.network.backward(grad_output)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.network.params_mut()
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        self.network.params()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sesr_tensor::{init, Shape};
+
+    #[test]
+    fn logits_shape_matches_classes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut net = ResNet::new(ResNetConfig::local(8), &mut rng);
+        let x = init::uniform(Shape::new(&[2, 3, 32, 32]), 0.0, 1.0, &mut rng);
+        let y = net.forward(&x, false).unwrap();
+        assert_eq!(y.shape().dims(), &[2, 8]);
+    }
+
+    #[test]
+    fn variable_input_size_is_supported() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut net = ResNet::new(ResNetConfig::local(4), &mut rng);
+        let large = init::uniform(Shape::new(&[1, 3, 64, 64]), 0.0, 1.0, &mut rng);
+        assert_eq!(net.forward(&large, false).unwrap().shape().dims(), &[1, 4]);
+    }
+
+    #[test]
+    fn backward_produces_input_gradient() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut net = ResNet::new(ResNetConfig::local(4), &mut rng);
+        let x = init::uniform(Shape::new(&[1, 3, 16, 16]), 0.0, 1.0, &mut rng);
+        let y = net.forward(&x, false).unwrap();
+        let g = net.backward(&Tensor::ones(y.shape().clone())).unwrap();
+        assert_eq!(g.shape(), x.shape());
+        assert!(g.norm() > 0.0);
+    }
+
+    #[test]
+    fn resnet_has_more_parameters_than_mobilenet() {
+        // The capacity ordering the paper relies on (compact MobileNet-V2 is
+        // less robust than the larger ResNet) should hold locally too.
+        let mut rng = StdRng::seed_from_u64(3);
+        let resnet = ResNet::new(ResNetConfig::local(8), &mut rng);
+        let mobilenet = crate::mobilenet::MobileNetV2::new(
+            crate::mobilenet::MobileNetV2Config::local(8),
+            &mut rng,
+        );
+        assert!(resnet.num_parameters() > mobilenet.num_parameters());
+    }
+}

@@ -1,0 +1,226 @@
+//! Training loop for classifiers on the synthetic classification dataset.
+
+use crate::Result;
+use sesr_datagen::ClassificationDataset;
+use sesr_nn::loss::accuracy;
+use sesr_nn::{cross_entropy_loss, Adam, Layer, Optimizer};
+use sesr_tensor::{Tensor, TensorError};
+
+/// Configuration of a classifier training run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassifierTrainingConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+}
+
+impl Default for ClassifierTrainingConfig {
+    fn default() -> Self {
+        ClassifierTrainingConfig {
+            epochs: 10,
+            batch_size: 16,
+            learning_rate: 2e-3,
+        }
+    }
+}
+
+/// Summary of a classifier training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassifierTrainingReport {
+    /// Mean cross-entropy loss per epoch.
+    pub epoch_losses: Vec<f32>,
+    /// Accuracy on the training split after training.
+    pub train_accuracy: f32,
+    /// Accuracy on the validation split after training.
+    pub val_accuracy: f32,
+}
+
+/// Trainer that fits any [`Layer`] classifier on a [`ClassificationDataset`].
+#[derive(Debug, Clone, Copy)]
+pub struct ClassifierTrainer {
+    config: ClassifierTrainingConfig,
+}
+
+impl ClassifierTrainer {
+    /// Create a trainer with the given configuration.
+    pub fn new(config: ClassifierTrainingConfig) -> Self {
+        ClassifierTrainer { config }
+    }
+
+    /// The training configuration.
+    pub fn config(&self) -> ClassifierTrainingConfig {
+        self.config
+    }
+
+    /// Train `network` in place and return a report.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the dataset is empty or the network output does
+    /// not match the class count.
+    pub fn train(
+        &self,
+        network: &mut dyn Layer,
+        dataset: &ClassificationDataset,
+    ) -> Result<ClassifierTrainingReport> {
+        if dataset.train_len() == 0 {
+            return Err(TensorError::invalid_argument("cannot train on an empty dataset"));
+        }
+        let mut optimizer = Adam::new(self.config.learning_rate);
+        let mut epoch_losses = Vec::with_capacity(self.config.epochs);
+        for _ in 0..self.config.epochs {
+            let mut epoch_loss = 0.0f32;
+            let mut batches = 0usize;
+            for (images, labels) in dataset.train_batches(self.config.batch_size)? {
+                let logits = network.forward(&images, true)?;
+                let loss = cross_entropy_loss(&logits, &labels)?;
+                network.zero_grad();
+                network.backward(&loss.grad)?;
+                optimizer.step(&mut network.params_mut());
+                epoch_loss += loss.loss;
+                batches += 1;
+            }
+            epoch_losses.push(epoch_loss / batches.max(1) as f32);
+        }
+        let train_accuracy =
+            evaluate_split(network, dataset, Split::Train, self.config.batch_size)?;
+        let val_accuracy = evaluate_split(network, dataset, Split::Val, self.config.batch_size)?;
+        Ok(ClassifierTrainingReport {
+            epoch_losses,
+            train_accuracy,
+            val_accuracy,
+        })
+    }
+}
+
+enum Split {
+    Train,
+    Val,
+}
+
+fn evaluate_split(
+    network: &mut dyn Layer,
+    dataset: &ClassificationDataset,
+    split: Split,
+    batch_size: usize,
+) -> Result<f32> {
+    let batches = match split {
+        Split::Train => dataset.train_batches(batch_size)?,
+        Split::Val => dataset.val_batches(batch_size)?,
+    };
+    let mut correct = 0.0f32;
+    let mut total = 0usize;
+    for (images, labels) in batches {
+        let logits = network.forward(&images, false)?;
+        correct += accuracy(&logits, &labels)? * labels.len() as f32;
+        total += labels.len();
+    }
+    Ok(if total > 0 { correct / total as f32 } else { 0.0 })
+}
+
+/// Predict the class of a single `[1, 3, H, W]` image.
+///
+/// # Errors
+///
+/// Returns an error if the network output is not a logits matrix.
+pub fn predict(network: &mut dyn Layer, image: &Tensor) -> Result<usize> {
+    let logits = network.forward(image, false)?;
+    logits.argmax()
+}
+
+/// Accuracy of a classifier over a list of single-image tensors and labels.
+///
+/// # Errors
+///
+/// Returns an error if the image and label counts differ.
+pub fn evaluate_images(
+    network: &mut dyn Layer,
+    images: &[Tensor],
+    labels: &[usize],
+) -> Result<f32> {
+    if images.len() != labels.len() {
+        return Err(TensorError::invalid_argument(format!(
+            "{} images but {} labels",
+            images.len(),
+            labels.len()
+        )));
+    }
+    if images.is_empty() {
+        return Ok(0.0);
+    }
+    let mut correct = 0usize;
+    for (image, &label) in images.iter().zip(labels) {
+        if predict(network, image)? == label {
+            correct += 1;
+        }
+    }
+    Ok(correct as f32 / images.len() as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mobilenet::{MobileNetV2, MobileNetV2Config};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sesr_datagen::DatasetConfig;
+
+    fn tiny_dataset() -> ClassificationDataset {
+        ClassificationDataset::generate(DatasetConfig {
+            num_classes: 3,
+            train_size: 30,
+            val_size: 9,
+            height: 16,
+            width: 16,
+            seed: 11,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn training_improves_over_chance() {
+        let dataset = tiny_dataset();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut net = MobileNetV2::new(MobileNetV2Config::local(3), &mut rng);
+        let trainer = ClassifierTrainer::new(ClassifierTrainingConfig {
+            epochs: 8,
+            batch_size: 10,
+            learning_rate: 3e-3,
+        });
+        let report = trainer.train(&mut net, &dataset).unwrap();
+        assert_eq!(report.epoch_losses.len(), 8);
+        assert!(
+            report.train_accuracy > 0.5,
+            "train accuracy {} not above chance",
+            report.train_accuracy
+        );
+        // Loss should broadly decrease.
+        assert!(report.epoch_losses.last().unwrap() < report.epoch_losses.first().unwrap());
+    }
+
+    #[test]
+    fn predict_and_evaluate_images_agree_with_val_accuracy() {
+        let dataset = tiny_dataset();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut net = MobileNetV2::new(MobileNetV2Config::local(3), &mut rng);
+        let trainer = ClassifierTrainer::new(ClassifierTrainingConfig {
+            epochs: 4,
+            batch_size: 10,
+            learning_rate: 3e-3,
+        });
+        let report = trainer.train(&mut net, &dataset).unwrap();
+        let acc = evaluate_images(&mut net, dataset.val_images(), dataset.val_labels()).unwrap();
+        assert!((acc - report.val_accuracy).abs() < 1e-5);
+    }
+
+    #[test]
+    fn mismatched_inputs_are_rejected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut net = MobileNetV2::new(MobileNetV2Config::local(3), &mut rng);
+        let dataset = tiny_dataset();
+        assert!(evaluate_images(&mut net, dataset.val_images(), &[0, 1]).is_err());
+    }
+}

@@ -1,0 +1,106 @@
+//! The classifier enumeration used by the experiments, matching the three
+//! classifier sections of Table II.
+
+use crate::cost::{mobilenet_v2_paper_spec, resnet50_paper_spec};
+use crate::inception::{InceptionNet, InceptionNetConfig};
+use crate::mobilenet::{MobileNetV2, MobileNetV2Config};
+use crate::resnet::{ResNet, ResNetConfig};
+use rand::Rng;
+use sesr_nn::spec::NetworkSpec;
+use sesr_nn::Layer;
+
+/// The three classifier families attacked and defended in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ClassifierKind {
+    /// MobileNet-V2 (compact; the paper's least robust classifier and the one
+    /// deployed on the Ethos-U55 in Table IV).
+    MobileNetV2,
+    /// ResNet-50-style residual network.
+    ResNet50,
+    /// Inception-V3-style multi-branch network (the paper's most robust).
+    InceptionV3,
+}
+
+impl ClassifierKind {
+    /// All classifier kinds, in the row-group order of Table II.
+    pub fn all() -> Vec<ClassifierKind> {
+        vec![
+            ClassifierKind::MobileNetV2,
+            ClassifierKind::ResNet50,
+            ClassifierKind::InceptionV3,
+        ]
+    }
+
+    /// Display name matching the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ClassifierKind::MobileNetV2 => "MobileNet-V2",
+            ClassifierKind::ResNet50 => "ResNet-50",
+            ClassifierKind::InceptionV3 => "Inception-V3",
+        }
+    }
+
+    /// Build the laptop-scale runnable classifier for `num_classes` classes.
+    pub fn build_local(&self, num_classes: usize, rng: &mut impl Rng) -> Box<dyn Layer> {
+        match self {
+            ClassifierKind::MobileNetV2 => {
+                Box::new(MobileNetV2::new(MobileNetV2Config::local(num_classes), rng))
+            }
+            ClassifierKind::ResNet50 => {
+                Box::new(ResNet::new(ResNetConfig::local(num_classes), rng))
+            }
+            ClassifierKind::InceptionV3 => {
+                Box::new(InceptionNet::new(InceptionNetConfig::local(num_classes), rng))
+            }
+        }
+    }
+
+    /// Paper-scale analytic spec, where available (`MobileNet-V2` and
+    /// `ResNet-50`; an Inception-V3 spec is not required by any table).
+    pub fn paper_spec(&self) -> Option<NetworkSpec> {
+        match self {
+            ClassifierKind::MobileNetV2 => Some(mobilenet_v2_paper_spec()),
+            ClassifierKind::ResNet50 => Some(resnet50_paper_spec()),
+            ClassifierKind::InceptionV3 => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ClassifierKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sesr_tensor::{init, Shape};
+
+    #[test]
+    fn all_kinds_build_and_classify() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let x = init::uniform(Shape::new(&[1, 3, 16, 16]), 0.0, 1.0, &mut rng);
+        for kind in ClassifierKind::all() {
+            let mut net = kind.build_local(5, &mut rng);
+            let logits = net.forward(&x, false).unwrap();
+            assert_eq!(logits.shape().dims(), &[1, 5], "{kind}");
+        }
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(ClassifierKind::MobileNetV2.name(), "MobileNet-V2");
+        assert_eq!(ClassifierKind::ResNet50.to_string(), "ResNet-50");
+        assert_eq!(ClassifierKind::InceptionV3.name(), "Inception-V3");
+    }
+
+    #[test]
+    fn paper_specs_where_available() {
+        assert!(ClassifierKind::MobileNetV2.paper_spec().is_some());
+        assert!(ClassifierKind::ResNet50.paper_spec().is_some());
+        assert!(ClassifierKind::InceptionV3.paper_spec().is_none());
+    }
+}

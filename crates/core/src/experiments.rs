@@ -1,0 +1,587 @@
+//! End-to-end experiment drivers that regenerate each table of the paper at
+//! laptop scale (Tables I–III) or analytically (Table IV).
+//!
+//! Every driver takes an [`ExperimentConfig`] so that the unit tests can run a
+//! minutes-scale configuration while the benchmark harness uses a larger one.
+
+use crate::pipeline::{DefensePipeline, PreprocessConfig};
+use crate::robustness::RobustnessEvaluator;
+use crate::Result;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sesr_attacks::{AttackConfig, AttackKind};
+use sesr_classifiers::{ClassifierKind, ClassifierTrainer, ClassifierTrainingConfig};
+use sesr_datagen::{ClassificationDataset, DatasetConfig, SrDataset, SrDatasetConfig};
+use sesr_models::cost::{paper_cost, paper_reported, paper_reported_psnr};
+use sesr_models::trainer::{evaluate_network_psnr, SrLoss, SrTrainer, SrTrainingConfig};
+use sesr_models::{NetworkUpscaler, SrModelKind};
+use sesr_npu::{estimate_pipeline, NpuConfig, PipelineLatency};
+use sesr_nn::serialize::{tensors_from_string, tensors_to_string};
+use sesr_nn::Layer;
+use sesr_tensor::TensorError;
+
+/// Sizes and hyperparameters shared by the experiment drivers.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Number of synthetic classes.
+    pub num_classes: usize,
+    /// Classification training-set size.
+    pub train_size: usize,
+    /// Classification validation-set size (the pool the clean-correct
+    /// evaluation subset is drawn from).
+    pub val_size: usize,
+    /// Classification image size (square).
+    pub image_size: usize,
+    /// SR training-pair count.
+    pub sr_train_size: usize,
+    /// SR validation-pair count.
+    pub sr_val_size: usize,
+    /// SR HR patch size (square).
+    pub sr_hr_size: usize,
+    /// Classifier training epochs.
+    pub classifier_epochs: usize,
+    /// SR training epochs.
+    pub sr_epochs: usize,
+    /// Maximum number of evaluation images per classifier.
+    pub eval_images: usize,
+    /// Attack configuration (ε, steps).
+    pub attack: AttackConfig,
+    /// Attacks to evaluate (Table II columns).
+    pub attacks: Vec<AttackKind>,
+    /// SR models to evaluate (Table I / II rows).
+    pub sr_kinds: Vec<SrModelKind>,
+    /// Classifiers to evaluate (Table II sections).
+    pub classifiers: Vec<ClassifierKind>,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl ExperimentConfig {
+    /// A minutes-scale configuration used by tests and the quickstart example.
+    pub fn quick() -> Self {
+        ExperimentConfig {
+            num_classes: 3,
+            train_size: 36,
+            val_size: 18,
+            image_size: 16,
+            sr_train_size: 10,
+            sr_val_size: 4,
+            sr_hr_size: 16,
+            classifier_epochs: 6,
+            sr_epochs: 4,
+            eval_images: 5,
+            attack: AttackConfig::paper().with_steps(3),
+            attacks: vec![AttackKind::Fgsm],
+            sr_kinds: vec![SrModelKind::NearestNeighbor, SrModelKind::SesrM2],
+            classifiers: vec![ClassifierKind::MobileNetV2],
+            seed: 0,
+        }
+    }
+
+    /// The configuration used by the benchmark harness: every classifier,
+    /// every attack and every SR model from the paper, at a scale that runs
+    /// in tens of minutes on a laptop.
+    pub fn full() -> Self {
+        ExperimentConfig {
+            num_classes: 6,
+            train_size: 240,
+            val_size: 90,
+            image_size: 32,
+            sr_train_size: 48,
+            sr_val_size: 12,
+            sr_hr_size: 32,
+            classifier_epochs: 12,
+            sr_epochs: 10,
+            eval_images: 25,
+            attack: AttackConfig::paper(),
+            attacks: AttackKind::all(),
+            sr_kinds: SrModelKind::all(),
+            classifiers: ClassifierKind::all(),
+            seed: 0,
+        }
+    }
+}
+
+/// One row of the Table I reproduction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Row {
+    /// SR model name.
+    pub model: String,
+    /// Paper-scale parameter count (analytic).
+    pub params: u64,
+    /// Paper-scale MACs for 299×299 → 598×598 (analytic).
+    pub macs: u64,
+    /// PSNR measured on the synthetic validation set (dB).
+    pub measured_psnr: f32,
+    /// PSNR reported in the paper (DIV2K, dB).
+    pub paper_psnr: Option<f32>,
+    /// Parameter count reported in the paper.
+    pub paper_params: Option<u64>,
+    /// MACs reported in the paper.
+    pub paper_macs: Option<u64>,
+}
+
+/// One section (classifier) of the Table II reproduction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table2Section {
+    /// Classifier name.
+    pub classifier: String,
+    /// Clean accuracy on the evaluation subset (1.0 by construction).
+    pub clean_accuracy: f32,
+    /// One row per defense; each row holds `(attack name, robust accuracy)`.
+    pub rows: Vec<Table2Row>,
+}
+
+/// One defense row of Table II.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table2Row {
+    /// Defense (upscaler) name or "No Defense".
+    pub defense: String,
+    /// Robust accuracy per attack, in the order of the config's attack list.
+    pub accuracies: Vec<(String, f32)>,
+}
+
+/// One row of the Table III (JPEG ablation) reproduction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table3Row {
+    /// Classifier name.
+    pub classifier: String,
+    /// Defense (upscaler) name.
+    pub defense: String,
+    /// Attack name.
+    pub attack: String,
+    /// Robust accuracy without the JPEG stage.
+    pub no_jpeg_accuracy: f32,
+    /// Robust accuracy with the JPEG stage.
+    pub jpeg_accuracy: f32,
+}
+
+/// One row of the Table IV (Ethos-U55 latency) reproduction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table4Row {
+    /// SR model name.
+    pub sr_model: String,
+    /// Classification latency in milliseconds (enlarged MobileNet-V2).
+    pub classification_ms: f64,
+    /// SR latency in milliseconds.
+    pub sr_ms: f64,
+    /// End-to-end latency in milliseconds.
+    pub total_ms: f64,
+    /// End-to-end frames per second.
+    pub fps: f64,
+}
+
+/// A trained SR model paired with its kind, ready to be cloned into defenses.
+pub struct TrainedSrModel {
+    /// Which zoo entry this is.
+    pub kind: SrModelKind,
+    /// The trained network (training-time form for SESR).
+    pub network: Box<dyn Layer>,
+    /// Validation PSNR achieved on the synthetic set.
+    pub val_psnr: f32,
+}
+
+/// Copy parameter values from one network into another with an identical
+/// architecture (used to hand trained SR weights to per-thread defenses).
+///
+/// # Errors
+///
+/// Returns an error if the parameter lists differ in length or shape.
+pub fn copy_weights(source: &dyn Layer, target: &mut dyn Layer) -> Result<()> {
+    let encoded = tensors_to_string(
+        &source
+            .params()
+            .iter()
+            .map(|p| &p.value)
+            .collect::<Vec<_>>(),
+    );
+    let tensors = tensors_from_string(&encoded)?;
+    let mut params = target.params_mut();
+    if params.len() != tensors.len() {
+        return Err(TensorError::invalid_argument(format!(
+            "cannot copy weights: {} source tensors vs {} target parameters",
+            tensors.len(),
+            params.len()
+        )));
+    }
+    for (param, tensor) in params.iter_mut().zip(tensors) {
+        if param.value.shape() != tensor.shape() {
+            return Err(TensorError::ShapeMismatch {
+                left: param.value.shape().dims().to_vec(),
+                right: tensor.shape().dims().to_vec(),
+            });
+        }
+        param.value = tensor;
+    }
+    Ok(())
+}
+
+/// Train every learned SR model in the config on a shared synthetic dataset.
+///
+/// # Errors
+///
+/// Returns an error if dataset generation or training fails.
+pub fn train_sr_models(config: &ExperimentConfig) -> Result<Vec<TrainedSrModel>> {
+    let dataset = SrDataset::generate(SrDatasetConfig {
+        train_size: config.sr_train_size,
+        val_size: config.sr_val_size,
+        hr_size: config.sr_hr_size,
+        scale: 2,
+        seed: config.seed.wrapping_add(17),
+    })?;
+    let trainer = SrTrainer::new(SrTrainingConfig {
+        epochs: config.sr_epochs,
+        batch_size: 4,
+        learning_rate: 1e-3,
+        loss: SrLoss::Mae,
+    });
+    let mut out = Vec::new();
+    for kind in config.sr_kinds.iter().filter(|k| k.is_learned()) {
+        let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(1000 + *kind as u64));
+        let mut network = kind
+            .build_local_network(&mut rng)
+            .ok_or_else(|| TensorError::invalid_argument("learned kind must build a network"))?;
+        trainer.train(network.as_mut(), &dataset)?;
+        let val_psnr = evaluate_network_psnr(network.as_mut(), &dataset)?;
+        out.push(TrainedSrModel {
+            kind: *kind,
+            network,
+            val_psnr,
+        });
+    }
+    Ok(out)
+}
+
+/// Build a defense pipeline for `kind`, cloning trained weights when the kind
+/// is a learned model.
+///
+/// # Errors
+///
+/// Returns an error if `kind` is learned but absent from `trained`.
+pub fn build_defense(
+    kind: SrModelKind,
+    preprocess: PreprocessConfig,
+    trained: &[TrainedSrModel],
+    seed: u64,
+) -> Result<DefensePipeline> {
+    if let Some(upscaler) = kind.build_interpolation(2) {
+        return Ok(DefensePipeline::new(preprocess, upscaler));
+    }
+    let source = trained
+        .iter()
+        .find(|m| m.kind == kind)
+        .ok_or_else(|| TensorError::invalid_argument(format!("{kind} has not been trained")))?;
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(2000 + kind as u64));
+    let mut network = kind
+        .build_local_network(&mut rng)
+        .ok_or_else(|| TensorError::invalid_argument("learned kind must build a network"))?;
+    copy_weights(source.network.as_ref(), network.as_mut())?;
+    let upscaler = NetworkUpscaler::new(kind.name(), 2, network);
+    Ok(DefensePipeline::new(preprocess, Box::new(upscaler)))
+}
+
+/// Reproduce Table I: train every learned SR model, measure PSNR on the
+/// synthetic validation set, and report paper-scale parameters/MACs.
+///
+/// # Errors
+///
+/// Returns an error if any training or cost computation fails.
+pub fn run_table1(config: &ExperimentConfig) -> Result<Vec<Table1Row>> {
+    let trained = train_sr_models(config)?;
+    let mut rows = Vec::new();
+    for model in &trained {
+        let cost = paper_cost(model.kind)?
+            .ok_or_else(|| TensorError::invalid_argument("learned kind must have a cost"))?;
+        let reported = paper_reported(model.kind);
+        rows.push(Table1Row {
+            model: model.kind.name().to_string(),
+            params: cost.params,
+            macs: cost.macs,
+            measured_psnr: model.val_psnr,
+            paper_psnr: paper_reported_psnr(model.kind),
+            paper_params: reported.map(|r| r.params),
+            paper_macs: reported.map(|r| r.macs),
+        });
+    }
+    Ok(rows)
+}
+
+fn train_classifier(
+    kind: ClassifierKind,
+    dataset: &ClassificationDataset,
+    config: &ExperimentConfig,
+) -> Result<Box<dyn Layer>> {
+    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(3000 + kind as u64));
+    let mut classifier = kind.build_local(config.num_classes, &mut rng);
+    ClassifierTrainer::new(ClassifierTrainingConfig {
+        epochs: config.classifier_epochs,
+        batch_size: 12,
+        learning_rate: 3e-3,
+    })
+    .train(classifier.as_mut(), dataset)?;
+    Ok(classifier)
+}
+
+fn classification_dataset(config: &ExperimentConfig) -> Result<ClassificationDataset> {
+    ClassificationDataset::generate(DatasetConfig {
+        num_classes: config.num_classes,
+        train_size: config.train_size,
+        val_size: config.val_size,
+        height: config.image_size,
+        width: config.image_size,
+        seed: config.seed,
+    })
+}
+
+/// Evaluate one classifier section of Table II.
+fn run_table2_section(
+    classifier_kind: ClassifierKind,
+    dataset: &ClassificationDataset,
+    trained_sr: &[TrainedSrModel],
+    config: &ExperimentConfig,
+) -> Result<Table2Section> {
+    let classifier = train_classifier(classifier_kind, dataset, config)?;
+    let mut evaluator = RobustnessEvaluator::new(
+        classifier_kind.name(),
+        classifier,
+        dataset.val_images(),
+        dataset.val_labels(),
+        config.eval_images,
+    )?;
+    let clean_accuracy = evaluator.clean_accuracy()?;
+
+    let mut rows: Vec<Table2Row> = Vec::new();
+    // Row 0: No Defense. Then one row per SR kind in the config.
+    let mut defenses: Vec<Option<SrModelKind>> = vec![None];
+    defenses.extend(config.sr_kinds.iter().copied().map(Some));
+
+    for defense_kind in defenses {
+        let defense_name = defense_kind
+            .map(|k| k.name().to_string())
+            .unwrap_or_else(|| "No Defense".to_string());
+        let mut accuracies = Vec::new();
+        for attack_kind in &config.attacks {
+            let attack = attack_kind.build(config.attack);
+            let mut rng = StdRng::seed_from_u64(
+                config.seed.wrapping_add(4000 + *attack_kind as u64 * 17 + classifier_kind as u64),
+            );
+            let adversarial = evaluator.craft_adversarial(attack.as_ref(), &mut rng)?;
+            let accuracy = match defense_kind {
+                None => evaluator.defended_accuracy(&adversarial, None)?,
+                Some(kind) => {
+                    let mut pipeline = build_defense(
+                        kind,
+                        PreprocessConfig::paper(),
+                        trained_sr,
+                        config.seed,
+                    )?;
+                    evaluator.defended_accuracy(&adversarial, Some(&mut pipeline))?
+                }
+            };
+            accuracies.push((attack_kind.name().to_string(), accuracy));
+        }
+        rows.push(Table2Row {
+            defense: defense_name,
+            accuracies,
+        });
+    }
+    Ok(Table2Section {
+        classifier: classifier_kind.name().to_string(),
+        clean_accuracy,
+        rows,
+    })
+}
+
+/// Reproduce Table II: robust accuracy of every classifier under every attack
+/// for every defense. Classifier sections run in parallel threads.
+///
+/// # Errors
+///
+/// Returns an error if any stage (training, attacking, defending) fails.
+pub fn run_table2(config: &ExperimentConfig) -> Result<Vec<Table2Section>> {
+    let dataset = classification_dataset(config)?;
+    let trained_sr = train_sr_models(config)?;
+    let results: Mutex<Vec<(usize, Table2Section)>> = Mutex::new(Vec::new());
+    let errors: Mutex<Vec<TensorError>> = Mutex::new(Vec::new());
+
+    crossbeam::thread::scope(|scope| {
+        for (index, classifier_kind) in config.classifiers.iter().copied().enumerate() {
+            let dataset = &dataset;
+            let trained_sr = &trained_sr;
+            let results = &results;
+            let errors = &errors;
+            scope.spawn(move |_| {
+                match run_table2_section(classifier_kind, dataset, trained_sr, config) {
+                    Ok(section) => results.lock().push((index, section)),
+                    Err(err) => errors.lock().push(err),
+                }
+            });
+        }
+    })
+    .map_err(|_| TensorError::invalid_argument("a table II worker thread panicked"))?;
+
+    if let Some(err) = errors.into_inner().into_iter().next() {
+        return Err(err);
+    }
+    let mut sections = results.into_inner();
+    sections.sort_by_key(|(index, _)| *index);
+    Ok(sections.into_iter().map(|(_, section)| section).collect())
+}
+
+/// Reproduce Table III: the JPEG ablation (defense with and without the JPEG
+/// stage) for a subset of classifiers, defenses and attacks.
+///
+/// # Errors
+///
+/// Returns an error if any stage fails.
+pub fn run_table3(config: &ExperimentConfig) -> Result<Vec<Table3Row>> {
+    let dataset = classification_dataset(config)?;
+    let trained_sr = train_sr_models(config)?;
+    let mut rows = Vec::new();
+    for classifier_kind in &config.classifiers {
+        let classifier = train_classifier(*classifier_kind, &dataset, config)?;
+        let mut evaluator = RobustnessEvaluator::new(
+            classifier_kind.name(),
+            classifier,
+            dataset.val_images(),
+            dataset.val_labels(),
+            config.eval_images,
+        )?;
+        for attack_kind in &config.attacks {
+            let attack = attack_kind.build(config.attack);
+            let mut rng = StdRng::seed_from_u64(
+                config
+                    .seed
+                    .wrapping_add(5000 + *attack_kind as u64 * 13 + *classifier_kind as u64),
+            );
+            let adversarial = evaluator.craft_adversarial(attack.as_ref(), &mut rng)?;
+            for kind in config.sr_kinds.iter().filter(|k| k.is_learned()) {
+                let mut with_jpeg =
+                    build_defense(*kind, PreprocessConfig::paper(), &trained_sr, config.seed)?;
+                let mut without_jpeg = build_defense(
+                    *kind,
+                    PreprocessConfig::without_jpeg(),
+                    &trained_sr,
+                    config.seed,
+                )?;
+                let jpeg_accuracy =
+                    evaluator.defended_accuracy(&adversarial, Some(&mut with_jpeg))?;
+                let no_jpeg_accuracy =
+                    evaluator.defended_accuracy(&adversarial, Some(&mut without_jpeg))?;
+                rows.push(Table3Row {
+                    classifier: classifier_kind.name().to_string(),
+                    defense: kind.name().to_string(),
+                    attack: attack_kind.name().to_string(),
+                    no_jpeg_accuracy,
+                    jpeg_accuracy,
+                });
+            }
+        }
+    }
+    Ok(rows)
+}
+
+/// The SR models reported in Table IV, in the paper's row order.
+pub fn table4_sr_models() -> Vec<SrModelKind> {
+    vec![
+        SrModelKind::Fsrcnn,
+        SrModelKind::SesrM5,
+        SrModelKind::SesrM3,
+        SrModelKind::SesrM2,
+    ]
+}
+
+/// Reproduce Table IV analytically: end-to-end latency of the enlarged
+/// MobileNet-V2 plus each SR model on an Ethos-U55-class NPU.
+///
+/// # Errors
+///
+/// Returns an error if a spec or the NPU configuration is inconsistent.
+pub fn run_table4(npu: &NpuConfig) -> Result<Vec<Table4Row>> {
+    let classifier_spec = sesr_classifiers::cost::mobilenet_v2_paper_spec();
+    let mut rows = Vec::new();
+    for kind in table4_sr_models() {
+        let sr_spec = kind
+            .paper_spec()
+            .ok_or_else(|| TensorError::invalid_argument("table IV models are all learned"))?;
+        let PipelineLatency {
+            sr_ms,
+            classification_ms,
+            total_ms,
+            fps,
+        } = estimate_pipeline(&sr_spec, &classifier_spec, (3, 299, 299), 2, npu)?;
+        rows.push(Table4Row {
+            sr_model: kind.name().to_string(),
+            classification_ms,
+            sr_ms,
+            total_ms,
+            fps,
+        });
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn copy_weights_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let source = SrModelKind::SesrM2.build_local_network(&mut rng).unwrap();
+        let mut rng2 = StdRng::seed_from_u64(99);
+        let mut target = SrModelKind::SesrM2.build_local_network(&mut rng2).unwrap();
+        assert_ne!(
+            source.params()[0].value,
+            target.params()[0].value,
+            "different seeds should differ before copying"
+        );
+        copy_weights(source.as_ref(), target.as_mut()).unwrap();
+        assert_eq!(source.params().len(), target.params().len());
+        for (a, b) in source.params().iter().zip(target.params()) {
+            assert!(a.value.max_abs_diff(&b.value).unwrap() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn copy_weights_rejects_architecture_mismatch() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let source = SrModelKind::SesrM2.build_local_network(&mut rng).unwrap();
+        let mut target = SrModelKind::SesrM3.build_local_network(&mut rng).unwrap();
+        assert!(copy_weights(source.as_ref(), target.as_mut()).is_err());
+    }
+
+    #[test]
+    fn table4_is_analytic_and_ordered() {
+        let rows = run_table4(&NpuConfig::ethos_u55_256()).unwrap();
+        assert_eq!(rows.len(), 4);
+        // Classification latency is the same for every row (same enlarged classifier).
+        for row in &rows {
+            assert!((row.classification_ms - rows[0].classification_ms).abs() < 1e-9);
+            assert!((row.total_ms - (row.sr_ms + row.classification_ms)).abs() < 1e-9);
+        }
+        // FSRCNN is the slowest, SESR-M2 the fastest (Table IV ordering).
+        assert_eq!(rows[0].sr_model, "FSRCNN");
+        assert_eq!(rows[3].sr_model, "SESR-M2");
+        assert!(rows[0].total_ms > rows[3].total_ms);
+        let fps_ratio = rows[3].fps / rows[0].fps;
+        assert!(
+            (1.8..6.0).contains(&fps_ratio),
+            "FPS ratio {fps_ratio} outside expected band"
+        );
+    }
+
+    #[test]
+    fn build_defense_requires_trained_weights_for_learned_kinds() {
+        let err = build_defense(SrModelKind::SesrM2, PreprocessConfig::paper(), &[], 0);
+        assert!(err.is_err());
+        let ok = build_defense(
+            SrModelKind::NearestNeighbor,
+            PreprocessConfig::paper(),
+            &[],
+            0,
+        );
+        assert!(ok.is_ok());
+    }
+}

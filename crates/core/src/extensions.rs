@@ -1,0 +1,284 @@
+//! Ablations and extensions beyond the paper's tables, addressing the open
+//! questions raised in its Section V:
+//!
+//! * [`run_clean_accuracy_impact`] — how much accuracy does the defense cost
+//!   on *clean* (non-attacked) images? (The paper argues SR-based
+//!   transformations preserve clean accuracy better than other input
+//!   transformations; this driver measures it.)
+//! * [`run_epsilon_sweep`] — robustness as a function of the attack budget ε
+//!   (the paper fixes ε = 8/255).
+//! * [`run_wavelet_ablation`] — the Table III ablation applied to the wavelet
+//!   stage instead of the JPEG stage.
+
+use crate::experiments::{build_defense, train_sr_models, ExperimentConfig};
+use crate::pipeline::PreprocessConfig;
+use crate::robustness::RobustnessEvaluator;
+use crate::Result;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sesr_attacks::AttackKind;
+use sesr_classifiers::{ClassifierKind, ClassifierTrainer, ClassifierTrainingConfig};
+use sesr_datagen::{ClassificationDataset, DatasetConfig};
+use sesr_imaging::WaveletConfig;
+use sesr_models::SrModelKind;
+use sesr_nn::Layer;
+
+/// One row of the clean-accuracy-impact ablation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CleanImpactRow {
+    /// Classifier name.
+    pub classifier: String,
+    /// Defense (upscaler) name or "No Defense".
+    pub defense: String,
+    /// Accuracy on clean images routed through the defense.
+    pub clean_defended_accuracy: f32,
+}
+
+/// One row of the robustness-vs-epsilon sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpsilonSweepRow {
+    /// Attack budget ε.
+    pub epsilon: f32,
+    /// Defense name or "No Defense".
+    pub defense: String,
+    /// Robust accuracy at this ε.
+    pub robust_accuracy: f32,
+}
+
+/// One row of the wavelet ablation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WaveletAblationRow {
+    /// Classifier name.
+    pub classifier: String,
+    /// Defense (upscaler) name.
+    pub defense: String,
+    /// Robust accuracy without the wavelet stage (JPEG + SR only).
+    pub no_wavelet_accuracy: f32,
+    /// Robust accuracy with the wavelet stage (full pipeline).
+    pub wavelet_accuracy: f32,
+}
+
+fn dataset_for(config: &ExperimentConfig) -> Result<ClassificationDataset> {
+    ClassificationDataset::generate(DatasetConfig {
+        num_classes: config.num_classes,
+        train_size: config.train_size,
+        val_size: config.val_size,
+        height: config.image_size,
+        width: config.image_size,
+        seed: config.seed,
+    })
+}
+
+fn trained_classifier(
+    kind: ClassifierKind,
+    dataset: &ClassificationDataset,
+    config: &ExperimentConfig,
+) -> Result<Box<dyn Layer>> {
+    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(7000 + kind as u64));
+    let mut classifier = kind.build_local(config.num_classes, &mut rng);
+    ClassifierTrainer::new(ClassifierTrainingConfig {
+        epochs: config.classifier_epochs,
+        batch_size: 12,
+        learning_rate: 3e-3,
+    })
+    .train(classifier.as_mut(), dataset)?;
+    Ok(classifier)
+}
+
+/// Measure classifier accuracy on **clean** images routed through each
+/// defense (versus the undefended clean accuracy of 100 % on the evaluation
+/// subset). A good training-free defense should cost little here.
+///
+/// # Errors
+///
+/// Returns an error if any training or inference stage fails.
+pub fn run_clean_accuracy_impact(config: &ExperimentConfig) -> Result<Vec<CleanImpactRow>> {
+    let dataset = dataset_for(config)?;
+    let trained_sr = train_sr_models(config)?;
+    let mut rows = Vec::new();
+    for classifier_kind in &config.classifiers {
+        let classifier = trained_classifier(*classifier_kind, &dataset, config)?;
+        let mut evaluator = RobustnessEvaluator::new(
+            classifier_kind.name(),
+            classifier,
+            dataset.val_images(),
+            dataset.val_labels(),
+            config.eval_images,
+        )?;
+        rows.push(CleanImpactRow {
+            classifier: classifier_kind.name().to_string(),
+            defense: "No Defense".to_string(),
+            clean_defended_accuracy: evaluator.clean_accuracy()?,
+        });
+        let clean_images: Vec<sesr_tensor::Tensor> =
+            evaluator.scenario().eval_images().to_vec();
+        for kind in &config.sr_kinds {
+            let mut pipeline =
+                build_defense(*kind, PreprocessConfig::paper(), &trained_sr, config.seed)?;
+            let accuracy = evaluator.defended_accuracy(&clean_images, Some(&mut pipeline))?;
+            rows.push(CleanImpactRow {
+                classifier: classifier_kind.name().to_string(),
+                defense: kind.name().to_string(),
+                clean_defended_accuracy: accuracy,
+            });
+        }
+    }
+    Ok(rows)
+}
+
+/// Robustness as a function of the attack budget ε, for the "No Defense",
+/// nearest-neighbour and first learned SR defense in the configuration.
+///
+/// # Errors
+///
+/// Returns an error if any stage fails.
+pub fn run_epsilon_sweep(
+    config: &ExperimentConfig,
+    epsilons: &[f32],
+) -> Result<Vec<EpsilonSweepRow>> {
+    let dataset = dataset_for(config)?;
+    let trained_sr = train_sr_models(config)?;
+    let classifier_kind = *config
+        .classifiers
+        .first()
+        .unwrap_or(&ClassifierKind::MobileNetV2);
+    let classifier = trained_classifier(classifier_kind, &dataset, config)?;
+    let mut evaluator = RobustnessEvaluator::new(
+        classifier_kind.name(),
+        classifier,
+        dataset.val_images(),
+        dataset.val_labels(),
+        config.eval_images,
+    )?;
+    let attack_kind = *config.attacks.first().unwrap_or(&AttackKind::Pgd);
+    let learned_kind = config
+        .sr_kinds
+        .iter()
+        .copied()
+        .find(|k| k.is_learned())
+        .unwrap_or(SrModelKind::SesrM2);
+
+    let mut rows = Vec::new();
+    for &epsilon in epsilons {
+        let attack = attack_kind.build(config.attack.with_epsilon(epsilon));
+        let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(9000));
+        let adversarial = evaluator.craft_adversarial(attack.as_ref(), &mut rng)?;
+        rows.push(EpsilonSweepRow {
+            epsilon,
+            defense: "No Defense".to_string(),
+            robust_accuracy: evaluator.defended_accuracy(&adversarial, None)?,
+        });
+        let mut nearest = build_defense(
+            SrModelKind::NearestNeighbor,
+            PreprocessConfig::paper(),
+            &trained_sr,
+            config.seed,
+        )?;
+        rows.push(EpsilonSweepRow {
+            epsilon,
+            defense: SrModelKind::NearestNeighbor.name().to_string(),
+            robust_accuracy: evaluator.defended_accuracy(&adversarial, Some(&mut nearest))?,
+        });
+        let mut learned = build_defense(
+            learned_kind,
+            PreprocessConfig::paper(),
+            &trained_sr,
+            config.seed,
+        )?;
+        rows.push(EpsilonSweepRow {
+            epsilon,
+            defense: learned_kind.name().to_string(),
+            robust_accuracy: evaluator.defended_accuracy(&adversarial, Some(&mut learned))?,
+        });
+    }
+    Ok(rows)
+}
+
+/// The wavelet ablation: full pipeline versus JPEG + SR without wavelet
+/// denoising, mirroring Table III's treatment of the JPEG stage.
+///
+/// # Errors
+///
+/// Returns an error if any stage fails.
+pub fn run_wavelet_ablation(config: &ExperimentConfig) -> Result<Vec<WaveletAblationRow>> {
+    let dataset = dataset_for(config)?;
+    let trained_sr = train_sr_models(config)?;
+    let mut rows = Vec::new();
+    for classifier_kind in &config.classifiers {
+        let classifier = trained_classifier(*classifier_kind, &dataset, config)?;
+        let mut evaluator = RobustnessEvaluator::new(
+            classifier_kind.name(),
+            classifier,
+            dataset.val_images(),
+            dataset.val_labels(),
+            config.eval_images,
+        )?;
+        let attack_kind = *config.attacks.first().unwrap_or(&AttackKind::Pgd);
+        let attack = attack_kind.build(config.attack);
+        let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(11_000));
+        let adversarial = evaluator.craft_adversarial(attack.as_ref(), &mut rng)?;
+        for kind in config.sr_kinds.iter().filter(|k| k.is_learned()) {
+            let mut full =
+                build_defense(*kind, PreprocessConfig::paper(), &trained_sr, config.seed)?;
+            let no_wavelet_config = PreprocessConfig {
+                wavelet: None::<WaveletConfig>,
+                ..PreprocessConfig::paper()
+            };
+            let mut no_wavelet =
+                build_defense(*kind, no_wavelet_config, &trained_sr, config.seed)?;
+            rows.push(WaveletAblationRow {
+                classifier: classifier_kind.name().to_string(),
+                defense: kind.name().to_string(),
+                no_wavelet_accuracy: evaluator
+                    .defended_accuracy(&adversarial, Some(&mut no_wavelet))?,
+                wavelet_accuracy: evaluator.defended_accuracy(&adversarial, Some(&mut full))?,
+            });
+        }
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> ExperimentConfig {
+        let mut config = ExperimentConfig::quick();
+        config.sr_kinds = vec![SrModelKind::NearestNeighbor, SrModelKind::SesrM2];
+        config.eval_images = 4;
+        config
+    }
+
+    #[test]
+    fn clean_accuracy_impact_rows_are_complete() {
+        let config = tiny_config();
+        let rows = run_clean_accuracy_impact(&config).unwrap();
+        // One "No Defense" row plus one per SR kind, per classifier.
+        assert_eq!(rows.len(), config.classifiers.len() * (1 + config.sr_kinds.len()));
+        // The undefended clean accuracy is 1.0 by construction of the subset.
+        assert!((rows[0].clean_defended_accuracy - 1.0).abs() < 1e-6);
+        for row in &rows {
+            assert!((0.0..=1.0).contains(&row.clean_defended_accuracy));
+        }
+    }
+
+    #[test]
+    fn epsilon_sweep_produces_three_defenses_per_epsilon() {
+        let config = tiny_config();
+        let epsilons = [2.0 / 255.0, 16.0 / 255.0];
+        let rows = run_epsilon_sweep(&config, &epsilons).unwrap();
+        assert_eq!(rows.len(), epsilons.len() * 3);
+        for row in &rows {
+            assert!((0.0..=1.0).contains(&row.robust_accuracy));
+        }
+    }
+
+    #[test]
+    fn wavelet_ablation_reports_both_settings() {
+        let config = tiny_config();
+        let rows = run_wavelet_ablation(&config).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert!((0.0..=1.0).contains(&rows[0].wavelet_accuracy));
+        assert!((0.0..=1.0).contains(&rows[0].no_wavelet_accuracy));
+    }
+}

@@ -1,0 +1,54 @@
+//! **sesr-defense** — the core library of the reproduction of
+//! *Super-Efficient Super Resolution for Fast Adversarial Defense at the
+//! Edge* (DATE 2022).
+//!
+//! The paper's contribution is a training-free, model-agnostic defense for
+//! image classifiers deployed on constrained edge devices: preprocess the
+//! (possibly adversarial) input with JPEG compression, wavelet denoising and
+//! ×2 super resolution before classification, and show that **tiny SR
+//! networks (SESR, FSRCNN) retain the robustness of huge ones (EDSR)** while
+//! being orders of magnitude cheaper — which is what makes the defense
+//! deployable on a micro-NPU.
+//!
+//! This crate wires the substrates together:
+//!
+//! * [`pipeline`] — the [`DefensePipeline`] (JPEG → wavelet → SR), generic
+//!   over any [`Upscaler`](sesr_models::Upscaler).
+//! * [`robustness`] — the gray-box evaluation harness: select a clean-correct
+//!   evaluation subset, craft attacks against the bare classifier, measure
+//!   robust accuracy with and without each defense (Tables II and III).
+//! * [`experiments`] — end-to-end drivers that train the substrate models and
+//!   regenerate each table of the paper at laptop scale.
+//! * [`report`] — plain-text table formatting used by the `tables` binary and
+//!   the benchmark harness.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use sesr_defense::pipeline::{DefensePipeline, PreprocessConfig};
+//! use sesr_models::SrModelKind;
+//! use sesr_tensor::{Shape, Tensor};
+//!
+//! // A defense with nearest-neighbour upscaling (no training needed).
+//! let upscaler = SrModelKind::NearestNeighbor.build_interpolation(2).unwrap();
+//! let mut defense = DefensePipeline::new(PreprocessConfig::paper(), upscaler);
+//! let image = Tensor::full(Shape::new(&[1, 3, 32, 32]), 0.5);
+//! let defended = defense.defend(&image)?;
+//! assert_eq!(defended.shape().dims(), &[1, 3, 64, 64]);
+//! # Ok::<(), sesr_tensor::TensorError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod extensions;
+pub mod pipeline;
+pub mod report;
+pub mod robustness;
+
+pub use pipeline::{DefensePipeline, PreprocessConfig};
+pub use robustness::{DefenseEvaluation, RobustnessEvaluator, RobustnessScenario};
+
+/// Result alias re-exported from the tensor crate.
+pub type Result<T> = sesr_tensor::Result<T>;

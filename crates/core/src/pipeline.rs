@@ -1,0 +1,193 @@
+//! The training-free defense pipeline of Fig. 1(b): JPEG compression →
+//! wavelet denoising → ×2 super resolution.
+
+use crate::Result;
+use sesr_imaging::{jpeg_compress, wavelet_denoise, JpegConfig, WaveletConfig};
+use sesr_models::Upscaler;
+use sesr_tensor::Tensor;
+
+/// Configuration of the non-learned preprocessing stages.
+///
+/// The paper's main configuration enables both JPEG and wavelet denoising;
+/// Table III ablates the JPEG stage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PreprocessConfig {
+    /// JPEG compression stage (disabled in the Table III "No-JPEG" column).
+    pub jpeg: Option<JpegConfig>,
+    /// Wavelet-denoising stage.
+    pub wavelet: Option<WaveletConfig>,
+}
+
+impl PreprocessConfig {
+    /// The paper's full configuration: JPEG (quality 75) + wavelet denoising.
+    pub fn paper() -> Self {
+        PreprocessConfig {
+            jpeg: Some(JpegConfig::default()),
+            wavelet: Some(WaveletConfig::default()),
+        }
+    }
+
+    /// The Table III ablation: wavelet denoising only, no JPEG.
+    pub fn without_jpeg() -> Self {
+        PreprocessConfig {
+            jpeg: None,
+            wavelet: Some(WaveletConfig::default()),
+        }
+    }
+
+    /// No preprocessing at all (upscaling only).
+    pub fn none() -> Self {
+        PreprocessConfig {
+            jpeg: None,
+            wavelet: None,
+        }
+    }
+}
+
+impl Default for PreprocessConfig {
+    fn default() -> Self {
+        PreprocessConfig::paper()
+    }
+}
+
+/// The full defense pipeline: preprocessing followed by an interchangeable
+/// upscaler (interpolation, FSRCNN, EDSR or a SESR variant).
+pub struct DefensePipeline {
+    preprocess: PreprocessConfig,
+    upscaler: Box<dyn Upscaler>,
+}
+
+impl DefensePipeline {
+    /// Build a pipeline from a preprocessing configuration and an upscaler.
+    pub fn new(preprocess: PreprocessConfig, upscaler: Box<dyn Upscaler>) -> Self {
+        DefensePipeline {
+            preprocess,
+            upscaler,
+        }
+    }
+
+    /// Name of the upscaler driving this pipeline (used in table rows).
+    pub fn upscaler_name(&self) -> &str {
+        self.upscaler.name()
+    }
+
+    /// The preprocessing configuration.
+    pub fn preprocess_config(&self) -> PreprocessConfig {
+        self.preprocess
+    }
+
+    /// The upscaling factor applied by the pipeline.
+    pub fn scale(&self) -> usize {
+        self.upscaler.scale()
+    }
+
+    /// Apply the defense to an `[N, 3, H, W]` batch with values in `[0, 1]`,
+    /// returning the `[N, 3, H*scale, W*scale]` image fed to the classifier.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input is not an RGB NCHW batch or a stage
+    /// fails (e.g. odd image sizes for the wavelet transform).
+    pub fn defend(&mut self, image: &Tensor) -> Result<Tensor> {
+        let mut x = image.clamp(0.0, 1.0);
+        if let Some(jpeg) = self.preprocess.jpeg {
+            x = jpeg_compress(&x, jpeg)?;
+        }
+        if let Some(wavelet) = self.preprocess.wavelet {
+            x = wavelet_denoise(&x, wavelet)?;
+        }
+        self.upscaler.upscale(&x)
+    }
+}
+
+impl std::fmt::Debug for DefensePipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "DefensePipeline {{ upscaler: {}, jpeg: {}, wavelet: {} }}",
+            self.upscaler.name(),
+            self.preprocess.jpeg.is_some(),
+            self.preprocess.wavelet.is_some()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sesr_models::{InterpolationUpscaler, SrModelKind};
+    use sesr_tensor::{init, Shape};
+
+    fn image() -> Tensor {
+        let mut rng = StdRng::seed_from_u64(0);
+        init::uniform(Shape::new(&[1, 3, 32, 32]), 0.0, 1.0, &mut rng)
+    }
+
+    #[test]
+    fn pipeline_upscales_and_stays_in_range() {
+        let mut pipeline = DefensePipeline::new(
+            PreprocessConfig::paper(),
+            Box::new(InterpolationUpscaler::nearest(2)),
+        );
+        let out = pipeline.defend(&image()).unwrap();
+        assert_eq!(out.shape().dims(), &[1, 3, 64, 64]);
+        assert!(out.min() >= 0.0 && out.max() <= 1.0);
+        assert_eq!(pipeline.scale(), 2);
+        assert_eq!(pipeline.upscaler_name(), "nearest-neighbor");
+    }
+
+    #[test]
+    fn jpeg_ablation_changes_the_output() {
+        let img = image();
+        let mut with_jpeg = DefensePipeline::new(
+            PreprocessConfig::paper(),
+            Box::new(InterpolationUpscaler::nearest(2)),
+        );
+        let mut without_jpeg = DefensePipeline::new(
+            PreprocessConfig::without_jpeg(),
+            Box::new(InterpolationUpscaler::nearest(2)),
+        );
+        let a = with_jpeg.defend(&img).unwrap();
+        let b = without_jpeg.defend(&img).unwrap();
+        assert_ne!(a, b, "disabling JPEG must change the defended image");
+    }
+
+    #[test]
+    fn none_preprocessing_is_pure_upscaling() {
+        let img = image();
+        let mut pipeline = DefensePipeline::new(
+            PreprocessConfig::none(),
+            Box::new(InterpolationUpscaler::nearest(2)),
+        );
+        let out = pipeline.defend(&img).unwrap();
+        let mut plain = InterpolationUpscaler::nearest(2);
+        let expected = sesr_models::Upscaler::upscale(&mut plain, &img).unwrap();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn works_with_zoo_interpolation_upscalers() {
+        let img = image();
+        for kind in [SrModelKind::NearestNeighbor, SrModelKind::Bicubic] {
+            let mut pipeline = DefensePipeline::new(
+                PreprocessConfig::paper(),
+                kind.build_interpolation(2).unwrap(),
+            );
+            let out = pipeline.defend(&img).unwrap();
+            assert_eq!(out.shape().dims(), &[1, 3, 64, 64]);
+        }
+    }
+
+    #[test]
+    fn debug_output_is_informative() {
+        let pipeline = DefensePipeline::new(
+            PreprocessConfig::paper(),
+            Box::new(InterpolationUpscaler::bicubic(2)),
+        );
+        let text = format!("{pipeline:?}");
+        assert!(text.contains("bicubic"));
+        assert!(text.contains("jpeg: true"));
+    }
+}

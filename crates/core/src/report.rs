@@ -1,0 +1,190 @@
+//! Plain-text report formatting for the table reproductions.
+//!
+//! The formatting mirrors the layout of the paper's tables so that the
+//! `tables` binary and the benchmark harness print directly comparable rows.
+
+use crate::experiments::{Table1Row, Table2Section, Table3Row, Table4Row};
+
+fn human_count(value: u64) -> String {
+    if value >= 1_000_000_000_000 {
+        format!("{:.2}T", value as f64 / 1e12)
+    } else if value >= 1_000_000_000 {
+        format!("{:.2}B", value as f64 / 1e9)
+    } else if value >= 1_000_000 {
+        format!("{:.2}M", value as f64 / 1e6)
+    } else if value >= 1_000 {
+        format!("{:.1}K", value as f64 / 1e3)
+    } else {
+        value.to_string()
+    }
+}
+
+/// Format the Table I reproduction (PSNR / parameters / MACs per SR model).
+pub fn format_table1(rows: &[Table1Row]) -> String {
+    let mut out = String::new();
+    out.push_str("Table I — PSNR and cost of SR methods (x2 SR, RGB)\n");
+    out.push_str(&format!(
+        "{:<18} {:>12} {:>12} {:>14} {:>12} {:>14} {:>12}\n",
+        "Model", "Params", "MACs", "PSNR (ours)", "PSNR (paper)", "Params (paper)", "MACs (paper)"
+    ));
+    for row in rows {
+        out.push_str(&format!(
+            "{:<18} {:>12} {:>12} {:>14.2} {:>12} {:>14} {:>12}\n",
+            row.model,
+            human_count(row.params),
+            human_count(row.macs),
+            row.measured_psnr,
+            row.paper_psnr
+                .map(|v| format!("{v:.2}"))
+                .unwrap_or_else(|| "-".to_string()),
+            row.paper_params
+                .map(human_count)
+                .unwrap_or_else(|| "-".to_string()),
+            row.paper_macs
+                .map(human_count)
+                .unwrap_or_else(|| "-".to_string()),
+        ));
+    }
+    out
+}
+
+/// Format the Table II reproduction (robust accuracy per classifier, defense
+/// and attack).
+pub fn format_table2(sections: &[Table2Section]) -> String {
+    let mut out = String::new();
+    out.push_str("Table II — Robust accuracy (%) per classifier, defense and attack\n");
+    for section in sections {
+        out.push_str(&format!(
+            "\n[{}]  clean accuracy on eval subset: {:.1}%\n",
+            section.classifier,
+            section.clean_accuracy * 100.0
+        ));
+        if let Some(first) = section.rows.first() {
+            out.push_str(&format!("{:<20}", "Defense"));
+            for (attack, _) in &first.accuracies {
+                out.push_str(&format!("{attack:>10}"));
+            }
+            out.push('\n');
+        }
+        for row in &section.rows {
+            out.push_str(&format!("{:<20}", row.defense));
+            for (_, accuracy) in &row.accuracies {
+                out.push_str(&format!("{:>10.1}", accuracy * 100.0));
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Format the Table III reproduction (JPEG ablation).
+pub fn format_table3(rows: &[Table3Row]) -> String {
+    let mut out = String::new();
+    out.push_str("Table III — Robustness with vs. without the JPEG stage (%)\n");
+    out.push_str(&format!(
+        "{:<16} {:<14} {:<10} {:>10} {:>10}\n",
+        "Classifier", "SR", "Attack", "No-JPEG", "JPEG"
+    ));
+    for row in rows {
+        out.push_str(&format!(
+            "{:<16} {:<14} {:<10} {:>10.1} {:>10.1}\n",
+            row.classifier,
+            row.defense,
+            row.attack,
+            row.no_jpeg_accuracy * 100.0,
+            row.jpeg_accuracy * 100.0
+        ));
+    }
+    out
+}
+
+/// Format the Table IV reproduction (Ethos-U55-class latency estimate).
+pub fn format_table4(rows: &[Table4Row], npu_name: &str) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Table IV — Estimated latency on {npu_name}: enlarged MobileNet-V2 + SR\n"
+    ));
+    out.push_str(&format!(
+        "{:<14} {:>20} {:>14} {:>16} {:>8}\n",
+        "SR Model", "Classification (ms)", "SR (ms)", "Total (ms)", "FPS"
+    ));
+    for row in rows {
+        out.push_str(&format!(
+            "{:<14} {:>20.2} {:>14.2} {:>16.2} {:>8.2}\n",
+            row.sr_model, row.classification_ms, row.sr_ms, row.total_ms, row.fps
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn human_count_formatting() {
+        assert_eq!(human_count(950), "950");
+        assert_eq!(human_count(24_336), "24.3K");
+        assert_eq!(human_count(1_190_000), "1.19M");
+        assert_eq!(human_count(5_820_000_000), "5.82B");
+        assert_eq!(human_count(3_400_000_000_000), "3.40T");
+    }
+
+    #[test]
+    fn table1_formatting_contains_rows() {
+        let rows = vec![Table1Row {
+            model: "SESR-M2".to_string(),
+            params: 10_608,
+            macs: 948_000_000,
+            measured_psnr: 27.5,
+            paper_psnr: Some(33.26),
+            paper_params: Some(10_608),
+            paper_macs: Some(948_000_000),
+        }];
+        let text = format_table1(&rows);
+        assert!(text.contains("SESR-M2"));
+        assert!(text.contains("10.6K"));
+        assert!(text.contains("33.26"));
+    }
+
+    #[test]
+    fn table2_formatting_contains_sections_and_percentages() {
+        let sections = vec![Table2Section {
+            classifier: "MobileNet-V2".to_string(),
+            clean_accuracy: 1.0,
+            rows: vec![crate::experiments::Table2Row {
+                defense: "No Defense".to_string(),
+                accuracies: vec![("FGSM".to_string(), 0.034)],
+            }],
+        }];
+        let text = format_table2(&sections);
+        assert!(text.contains("MobileNet-V2"));
+        assert!(text.contains("No Defense"));
+        assert!(text.contains("3.4"));
+    }
+
+    #[test]
+    fn table3_and_table4_formatting() {
+        let t3 = format_table3(&[Table3Row {
+            classifier: "ResNet-50".to_string(),
+            defense: "SESR-M2".to_string(),
+            attack: "PGD".to_string(),
+            no_jpeg_accuracy: 0.449,
+            jpeg_accuracy: 0.497,
+        }]);
+        assert!(t3.contains("ResNet-50") && t3.contains("44.9") && t3.contains("49.7"));
+
+        let t4 = format_table4(
+            &[Table4Row {
+                sr_model: "SESR-M2".to_string(),
+                classification_ms: 46.2,
+                sr_ms: 20.2,
+                total_ms: 66.4,
+                fps: 15.1,
+            }],
+            "Ethos-U55-256",
+        );
+        assert!(t4.contains("Ethos-U55-256") && t4.contains("15.06") == false);
+        assert!(t4.contains("SESR-M2"));
+    }
+}

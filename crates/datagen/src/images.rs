@@ -1,0 +1,256 @@
+//! Procedural "natural manifold" image generator.
+//!
+//! Images are a composition of three layers that together mimic the
+//! statistics super-resolution networks exploit (piecewise-smooth shading,
+//! oriented band-limited texture, and sharp-but-sparse edges):
+//!
+//! 1. a smooth low-frequency shading field (sum of a few random sinusoids),
+//! 2. an oriented sinusoidal texture whose frequency and angle are
+//!    class-dependent,
+//! 3. one or more soft-edged shapes (disc or square) with a class-dependent
+//!    base colour.
+
+use crate::Result;
+use rand::Rng;
+use sesr_tensor::{Shape, Tensor};
+
+/// Parameters controlling one generated image.
+///
+/// For classification datasets the class index deterministically picks the
+/// hue, texture orientation and shape kind; the remaining parameters are
+/// sampled per image so the class manifold has genuine intra-class variance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImageParams {
+    /// Base colour of the foreground shape, RGB in `[0, 1]`.
+    pub base_color: [f32; 3],
+    /// Texture orientation in radians.
+    pub texture_angle: f32,
+    /// Texture spatial frequency in cycles per image.
+    pub texture_freq: f32,
+    /// Texture amplitude in `[0, 1]`.
+    pub texture_amp: f32,
+    /// `true` for a disc-shaped foreground object, `false` for a square.
+    pub disc_shape: bool,
+    /// Shape centre in normalised coordinates `[0, 1]^2`.
+    pub shape_center: (f32, f32),
+    /// Shape radius / half-width in normalised units.
+    pub shape_radius: f32,
+    /// Amplitude of the smooth background shading.
+    pub shading_amp: f32,
+    /// Random phases of the background shading sinusoids.
+    pub shading_phase: [f32; 4],
+}
+
+impl ImageParams {
+    /// Deterministic parameters for a class index, with per-image variation
+    /// drawn from `rng`.
+    pub fn for_class(class: usize, num_classes: usize, rng: &mut impl Rng) -> Self {
+        let t = class as f32 / num_classes.max(1) as f32;
+        // Class-dependent hue around the colour wheel.
+        let hue = t * std::f32::consts::TAU;
+        let base_color = [
+            0.5 + 0.45 * hue.cos(),
+            0.5 + 0.45 * (hue + 2.0).cos(),
+            0.5 + 0.45 * (hue + 4.0).cos(),
+        ];
+        ImageParams {
+            base_color,
+            // Class-dependent orientation with small jitter.
+            texture_angle: t * std::f32::consts::PI + rng.gen_range(-0.08..0.08),
+            // Class-dependent frequency band.
+            texture_freq: 2.0 + 10.0 * t + rng.gen_range(-0.5..0.5),
+            texture_amp: rng.gen_range(0.10..0.22),
+            disc_shape: class % 2 == 0,
+            shape_center: (rng.gen_range(0.3..0.7), rng.gen_range(0.3..0.7)),
+            shape_radius: rng.gen_range(0.18..0.32),
+            shading_amp: rng.gen_range(0.08..0.18),
+            shading_phase: [
+                rng.gen_range(0.0..std::f32::consts::TAU),
+                rng.gen_range(0.0..std::f32::consts::TAU),
+                rng.gen_range(0.0..std::f32::consts::TAU),
+                rng.gen_range(0.0..std::f32::consts::TAU),
+            ],
+        }
+    }
+
+    /// Fully random parameters (used for the SR dataset, where class identity
+    /// is irrelevant and diversity matters most).
+    pub fn random(rng: &mut impl Rng) -> Self {
+        let class = rng.gen_range(0..1000);
+        let mut p = ImageParams::for_class(class, 1000, rng);
+        p.texture_amp = rng.gen_range(0.05..0.3);
+        p.shape_radius = rng.gen_range(0.1..0.4);
+        p
+    }
+}
+
+/// Generator turning [`ImageParams`] into `[1, 3, H, W]` tensors.
+#[derive(Debug, Clone, Copy)]
+pub struct ImageGenerator {
+    height: usize,
+    width: usize,
+}
+
+impl ImageGenerator {
+    /// Create a generator producing images of the given size.
+    pub fn new(height: usize, width: usize) -> Self {
+        ImageGenerator { height, width }
+    }
+
+    /// The configured image height.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// The configured image width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Render one image from explicit parameters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor construction errors (cannot occur for valid sizes).
+    pub fn render(&self, params: &ImageParams) -> Result<Tensor> {
+        let (h, w) = (self.height, self.width);
+        let mut data = vec![0.0f32; 3 * h * w];
+        let (cy, cx) = params.shape_center;
+        let ca = params.texture_angle.cos();
+        let sa = params.texture_angle.sin();
+        for y in 0..h {
+            let fy = y as f32 / h as f32;
+            for x in 0..w {
+                let fx = x as f32 / w as f32;
+                // Layer 1: smooth shading.
+                let shading = params.shading_amp
+                    * ((fx * 2.1 * std::f32::consts::TAU + params.shading_phase[0]).sin()
+                        + (fy * 1.3 * std::f32::consts::TAU + params.shading_phase[1]).sin()
+                        + ((fx + fy) * 0.9 * std::f32::consts::TAU + params.shading_phase[2])
+                            .cos()
+                        + ((fx - fy) * 1.7 * std::f32::consts::TAU + params.shading_phase[3])
+                            .cos())
+                    / 4.0;
+                // Layer 2: oriented texture.
+                let u = fx * ca + fy * sa;
+                let texture =
+                    params.texture_amp * (u * params.texture_freq * std::f32::consts::TAU).sin();
+                // Layer 3: soft shape mask.
+                let mask = if params.disc_shape {
+                    let d = ((fx - cx).powi(2) + (fy - cy).powi(2)).sqrt();
+                    soft_step(params.shape_radius - d, 0.04)
+                } else {
+                    let dx = (fx - cx).abs();
+                    let dy = (fy - cy).abs();
+                    soft_step(params.shape_radius - dx.max(dy), 0.04)
+                };
+                for c in 0..3 {
+                    let background = 0.45 + shading + 0.5 * texture;
+                    let foreground = params.base_color[c] + shading + texture;
+                    let v = background * (1.0 - mask) + foreground * mask;
+                    data[c * h * w + y * w + x] = v.clamp(0.0, 1.0);
+                }
+            }
+        }
+        Tensor::from_vec(Shape::new(&[1, 3, h, w]), data)
+    }
+
+    /// Render an image for a class index, sampling per-image variation from `rng`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor construction errors (cannot occur for valid sizes).
+    pub fn render_class(
+        &self,
+        class: usize,
+        num_classes: usize,
+        rng: &mut impl Rng,
+    ) -> Result<Tensor> {
+        self.render(&ImageParams::for_class(class, num_classes, rng))
+    }
+}
+
+/// Smooth step that is 0 well below zero, 1 well above zero, with a soft
+/// transition of width `softness`.
+fn soft_step(x: f32, softness: f32) -> f32 {
+    (0.5 + 0.5 * (x / softness).tanh()).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rendered_images_are_valid() {
+        let gen = ImageGenerator::new(32, 32);
+        let mut rng = StdRng::seed_from_u64(0);
+        let img = gen.render_class(3, 8, &mut rng).unwrap();
+        assert_eq!(img.shape().dims(), &[1, 3, 32, 32]);
+        assert!(img.min() >= 0.0 && img.max() <= 1.0);
+        // Non-degenerate: some variation.
+        assert!(img.max() - img.min() > 0.05);
+    }
+
+    #[test]
+    fn class_parameters_are_deterministic_given_same_rng() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        let pa = ImageParams::for_class(2, 8, &mut a);
+        let pb = ImageParams::for_class(2, 8, &mut b);
+        assert_eq!(pa, pb);
+    }
+
+    #[test]
+    fn different_classes_have_different_colors() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let p0 = ImageParams::for_class(0, 8, &mut rng);
+        let p4 = ImageParams::for_class(4, 8, &mut rng);
+        let dist: f32 = p0
+            .base_color
+            .iter()
+            .zip(p4.base_color.iter())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(dist > 0.2, "colour distance {dist} too small");
+    }
+
+    #[test]
+    fn same_class_images_are_more_similar_than_cross_class() {
+        let gen = ImageGenerator::new(24, 24);
+        let mut rng = StdRng::seed_from_u64(3);
+        // Average several pairs to smooth over per-image variation.
+        let mut same = 0.0f32;
+        let mut cross = 0.0f32;
+        let pairs = 8;
+        for _ in 0..pairs {
+            let a = gen.render_class(1, 8, &mut rng).unwrap();
+            let b = gen.render_class(1, 8, &mut rng).unwrap();
+            let c = gen.render_class(5, 8, &mut rng).unwrap();
+            same += a.mse(&b).unwrap();
+            cross += a.mse(&c).unwrap();
+        }
+        assert!(
+            same < cross,
+            "same-class mse {same} should be below cross-class {cross}"
+        );
+    }
+
+    #[test]
+    fn random_params_produce_valid_images() {
+        let gen = ImageGenerator::new(48, 48);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..4 {
+            let img = gen.render(&ImageParams::random(&mut rng)).unwrap();
+            assert!(img.min() >= 0.0 && img.max() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn soft_step_limits() {
+        assert!(soft_step(1.0, 0.05) > 0.99);
+        assert!(soft_step(-1.0, 0.05) < 0.01);
+        assert!((soft_step(0.0, 0.05) - 0.5).abs() < 1e-6);
+    }
+}

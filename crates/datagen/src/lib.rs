@@ -1,0 +1,32 @@
+//! Procedural synthetic datasets for the SESR adversarial-defense
+//! reproduction.
+//!
+//! The paper evaluates on ImageNet (classification) and DIV2K (SR training).
+//! Neither is available offline, so this crate defines an explicit "natural
+//! image manifold": procedurally generated images composed of smooth shading,
+//! oriented texture and soft geometric shapes, with class-dependent
+//! parameters. The same generator feeds both tasks:
+//!
+//! * [`classification`] — a labelled dataset where class identity controls
+//!   hue, texture orientation/frequency and shape, so that small CNNs can
+//!   learn genuinely discriminative features (and gradient-based attacks have
+//!   something meaningful to attack).
+//! * [`sr`] — high-resolution / low-resolution pairs where the LR image is a
+//!   blurred, bicubic-downsampled version of the HR image, exactly how the
+//!   DIV2K ×2 bicubic track is produced.
+//!
+//! All images are NCHW `[1, 3, H, W]` tensors with values in `[0, 1]`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod classification;
+pub mod images;
+pub mod sr;
+
+pub use classification::{ClassificationDataset, DatasetConfig};
+pub use images::{ImageGenerator, ImageParams};
+pub use sr::{SrDataset, SrDatasetConfig};
+
+/// Result alias re-exported from the tensor crate.
+pub type Result<T> = sesr_tensor::Result<T>;

@@ -1,0 +1,238 @@
+//! Super-resolution dataset: HR images from the procedural manifold paired
+//! with LR images produced by blur + bicubic downsampling, mirroring how the
+//! DIV2K ×2 bicubic track used in the paper is generated.
+
+use crate::images::{ImageGenerator, ImageParams};
+use crate::Result;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sesr_tensor::conv::{depthwise_conv2d, Conv2dConfig};
+use sesr_tensor::resample::{resize, Interpolation};
+use sesr_tensor::{Shape, Tensor, TensorError};
+
+/// Configuration of a synthetic SR dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SrDatasetConfig {
+    /// Number of training HR/LR pairs.
+    pub train_size: usize,
+    /// Number of validation HR/LR pairs.
+    pub val_size: usize,
+    /// High-resolution patch size (square). Must be divisible by `scale`.
+    pub hr_size: usize,
+    /// Upscaling factor (the paper uses ×2 throughout).
+    pub scale: usize,
+    /// Seed controlling the dataset.
+    pub seed: u64,
+}
+
+impl Default for SrDatasetConfig {
+    fn default() -> Self {
+        SrDatasetConfig {
+            train_size: 128,
+            val_size: 32,
+            hr_size: 48,
+            scale: 2,
+            seed: 0,
+        }
+    }
+}
+
+/// A fully materialised SR dataset of HR/LR pairs with train/val splits.
+#[derive(Debug, Clone)]
+pub struct SrDataset {
+    config: SrDatasetConfig,
+    train: Vec<(Tensor, Tensor)>,
+    val: Vec<(Tensor, Tensor)>,
+}
+
+/// Degrade an HR image to LR: light Gaussian blur followed by bicubic
+/// downsampling by `scale` (the standard DIV2K-style degradation model).
+///
+/// # Errors
+///
+/// Returns an error if the image is not rank 4 or its size is not divisible
+/// by `scale`.
+pub fn degrade(hr: &Tensor, scale: usize) -> Result<Tensor> {
+    let (_, c, h, w) = hr.shape().as_nchw()?;
+    if scale == 0 || h % scale != 0 || w % scale != 0 {
+        return Err(TensorError::invalid_argument(format!(
+            "image size {h}x{w} must be divisible by scale {scale}"
+        )));
+    }
+    // 3x3 Gaussian blur applied per channel via a depthwise convolution.
+    let kernel_1d = [0.25f32, 0.5, 0.25];
+    let mut weights = Vec::with_capacity(c * 9);
+    for _ in 0..c {
+        for ky in 0..3 {
+            for kx in 0..3 {
+                weights.push(kernel_1d[ky] * kernel_1d[kx]);
+            }
+        }
+    }
+    let weight = Tensor::from_vec(Shape::new(&[c, 1, 3, 3]), weights)?;
+    let blurred = depthwise_conv2d(hr, &weight, None, Conv2dConfig::same(3))?;
+    resize(&blurred, h / scale, w / scale, Interpolation::Bicubic)
+}
+
+impl SrDataset {
+    /// Generate a dataset from a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `hr_size` is not divisible by `scale` or either is
+    /// zero.
+    pub fn generate(config: SrDatasetConfig) -> Result<Self> {
+        if config.scale == 0 || config.hr_size == 0 || config.hr_size % config.scale != 0 {
+            return Err(TensorError::invalid_argument(format!(
+                "hr_size {} must be a non-zero multiple of scale {}",
+                config.hr_size, config.scale
+            )));
+        }
+        let gen = ImageGenerator::new(config.hr_size, config.hr_size);
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let make = |count: usize, rng: &mut StdRng| -> Result<Vec<(Tensor, Tensor)>> {
+            let mut out = Vec::with_capacity(count);
+            for _ in 0..count {
+                let hr = gen.render(&ImageParams::random(rng))?;
+                let lr = degrade(&hr, config.scale)?;
+                out.push((hr, lr));
+            }
+            Ok(out)
+        };
+        let train = make(config.train_size, &mut rng)?;
+        let val = make(config.val_size, &mut rng)?;
+        Ok(SrDataset { config, train, val })
+    }
+
+    /// The configuration used to generate this dataset.
+    pub fn config(&self) -> SrDatasetConfig {
+        self.config
+    }
+
+    /// Number of training pairs.
+    pub fn train_len(&self) -> usize {
+        self.train.len()
+    }
+
+    /// Number of validation pairs.
+    pub fn val_len(&self) -> usize {
+        self.val.len()
+    }
+
+    /// Training pair `i` as `(hr, lr)`.
+    pub fn train_pair(&self, i: usize) -> (&Tensor, &Tensor) {
+        (&self.train[i].0, &self.train[i].1)
+    }
+
+    /// Validation pair `i` as `(hr, lr)`.
+    pub fn val_pair(&self, i: usize) -> (&Tensor, &Tensor) {
+        (&self.val[i].0, &self.val[i].1)
+    }
+
+    /// Training mini-batches as `(hr_batch, lr_batch)` tensors.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `batch_size` is zero.
+    pub fn train_batches(&self, batch_size: usize) -> Result<Vec<(Tensor, Tensor)>> {
+        Self::batches(&self.train, batch_size)
+    }
+
+    /// Validation mini-batches as `(hr_batch, lr_batch)` tensors.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `batch_size` is zero.
+    pub fn val_batches(&self, batch_size: usize) -> Result<Vec<(Tensor, Tensor)>> {
+        Self::batches(&self.val, batch_size)
+    }
+
+    fn batches(pairs: &[(Tensor, Tensor)], batch_size: usize) -> Result<Vec<(Tensor, Tensor)>> {
+        if batch_size == 0 {
+            return Err(TensorError::invalid_argument("batch size must be non-zero"));
+        }
+        let mut out = Vec::new();
+        let mut start = 0usize;
+        while start < pairs.len() {
+            let end = (start + batch_size).min(pairs.len());
+            let hr: Vec<Tensor> = pairs[start..end].iter().map(|(h, _)| h.clone()).collect();
+            let lr: Vec<Tensor> = pairs[start..end].iter().map(|(_, l)| l.clone()).collect();
+            out.push((Tensor::stack_batch(&hr)?, Tensor::stack_batch(&lr)?));
+            start = end;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> SrDatasetConfig {
+        SrDatasetConfig {
+            train_size: 6,
+            val_size: 3,
+            hr_size: 24,
+            scale: 2,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn generation_produces_matched_pairs() {
+        let ds = SrDataset::generate(small_config()).unwrap();
+        assert_eq!(ds.train_len(), 6);
+        assert_eq!(ds.val_len(), 3);
+        let (hr, lr) = ds.train_pair(0);
+        assert_eq!(hr.shape().dims(), &[1, 3, 24, 24]);
+        assert_eq!(lr.shape().dims(), &[1, 3, 12, 12]);
+    }
+
+    #[test]
+    fn degrade_is_low_pass() {
+        let ds = SrDataset::generate(small_config()).unwrap();
+        let (hr, lr) = ds.val_pair(0);
+        // The LR image must have lower variance than the HR image (blur + downsample).
+        let var = |t: &Tensor| {
+            let m = t.mean();
+            t.map(|v| (v - m) * (v - m)).mean()
+        };
+        assert!(var(lr) <= var(hr) + 1e-3);
+        assert!(lr.min() >= 0.0 && lr.max() <= 1.0);
+    }
+
+    #[test]
+    fn degrade_validates_divisibility() {
+        let hr = Tensor::zeros(Shape::new(&[1, 3, 25, 24]));
+        assert!(degrade(&hr, 2).is_err());
+        assert!(degrade(&Tensor::zeros(Shape::new(&[1, 3, 24, 24])), 0).is_err());
+    }
+
+    #[test]
+    fn same_seed_reproduces_pairs() {
+        let a = SrDataset::generate(small_config()).unwrap();
+        let b = SrDataset::generate(small_config()).unwrap();
+        assert_eq!(a.train_pair(0).0, b.train_pair(0).0);
+    }
+
+    #[test]
+    fn batches_have_consistent_shapes() {
+        let ds = SrDataset::generate(small_config()).unwrap();
+        let batches = ds.train_batches(4).unwrap();
+        assert_eq!(batches.len(), 2);
+        assert_eq!(batches[0].0.shape().dims(), &[4, 3, 24, 24]);
+        assert_eq!(batches[0].1.shape().dims(), &[4, 3, 12, 12]);
+        assert_eq!(batches[1].0.shape().dim(0), 2);
+        assert!(ds.train_batches(0).is_err());
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut cfg = small_config();
+        cfg.hr_size = 25;
+        assert!(SrDataset::generate(cfg).is_err());
+        let mut cfg = small_config();
+        cfg.scale = 0;
+        assert!(SrDataset::generate(cfg).is_err());
+    }
+}

@@ -1,0 +1,127 @@
+//! RGB ↔ YCbCr colour-space conversion (BT.601 full-range, the JPEG
+//! convention), operating on NCHW tensors with values in `[0, 1]`.
+
+use crate::Result;
+use sesr_tensor::{Tensor, TensorError};
+
+/// Convert an `[N, 3, H, W]` RGB batch in `[0, 1]` into YCbCr.
+///
+/// Y stays in `[0, 1]`; Cb and Cr are centred on 0.5 as in JPEG.
+///
+/// # Errors
+///
+/// Returns an error if the input is not a rank-4 tensor with 3 channels.
+pub fn rgb_to_ycbcr(rgb: &Tensor) -> Result<Tensor> {
+    let (n, c, h, w) = rgb.shape().as_nchw()?;
+    if c != 3 {
+        return Err(TensorError::invalid_argument(format!(
+            "rgb_to_ycbcr expects 3 channels, got {c}"
+        )));
+    }
+    let mut out = vec![0.0f32; rgb.len()];
+    let data = rgb.data();
+    let plane = h * w;
+    for b in 0..n {
+        let base = b * 3 * plane;
+        for i in 0..plane {
+            let r = data[base + i];
+            let g = data[base + plane + i];
+            let bl = data[base + 2 * plane + i];
+            let y = 0.299 * r + 0.587 * g + 0.114 * bl;
+            let cb = 0.5 - 0.168_736 * r - 0.331_264 * g + 0.5 * bl;
+            let cr = 0.5 + 0.5 * r - 0.418_688 * g - 0.081_312 * bl;
+            out[base + i] = y;
+            out[base + plane + i] = cb;
+            out[base + 2 * plane + i] = cr;
+        }
+    }
+    Tensor::from_vec(rgb.shape().clone(), out)
+}
+
+/// Convert an `[N, 3, H, W]` YCbCr batch (as produced by [`rgb_to_ycbcr`])
+/// back to RGB. Output values are clamped to `[0, 1]`.
+///
+/// # Errors
+///
+/// Returns an error if the input is not a rank-4 tensor with 3 channels.
+pub fn ycbcr_to_rgb(ycbcr: &Tensor) -> Result<Tensor> {
+    let (n, c, h, w) = ycbcr.shape().as_nchw()?;
+    if c != 3 {
+        return Err(TensorError::invalid_argument(format!(
+            "ycbcr_to_rgb expects 3 channels, got {c}"
+        )));
+    }
+    let mut out = vec![0.0f32; ycbcr.len()];
+    let data = ycbcr.data();
+    let plane = h * w;
+    for b in 0..n {
+        let base = b * 3 * plane;
+        for i in 0..plane {
+            let y = data[base + i];
+            let cb = data[base + plane + i] - 0.5;
+            let cr = data[base + 2 * plane + i] - 0.5;
+            let r = y + 1.402 * cr;
+            let g = y - 0.344_136 * cb - 0.714_136 * cr;
+            let bl = y + 1.772 * cb;
+            out[base + i] = r.clamp(0.0, 1.0);
+            out[base + plane + i] = g.clamp(0.0, 1.0);
+            out[base + 2 * plane + i] = bl.clamp(0.0, 1.0);
+        }
+    }
+    Tensor::from_vec(ycbcr.shape().clone(), out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sesr_tensor::Shape;
+
+    fn rgb_image(r: f32, g: f32, b: f32) -> Tensor {
+        let mut data = Vec::new();
+        data.extend(std::iter::repeat(r).take(4));
+        data.extend(std::iter::repeat(g).take(4));
+        data.extend(std::iter::repeat(b).take(4));
+        Tensor::from_vec(Shape::new(&[1, 3, 2, 2]), data).unwrap()
+    }
+
+    #[test]
+    fn white_maps_to_full_luma_neutral_chroma() {
+        let white = rgb_image(1.0, 1.0, 1.0);
+        let ycc = rgb_to_ycbcr(&white).unwrap();
+        assert!((ycc.get(&[0, 0, 0, 0]) - 1.0).abs() < 1e-3);
+        assert!((ycc.get(&[0, 1, 0, 0]) - 0.5).abs() < 1e-3);
+        assert!((ycc.get(&[0, 2, 0, 0]) - 0.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn gray_has_neutral_chroma() {
+        let gray = rgb_image(0.4, 0.4, 0.4);
+        let ycc = rgb_to_ycbcr(&gray).unwrap();
+        assert!((ycc.get(&[0, 0, 0, 0]) - 0.4).abs() < 1e-3);
+        assert!((ycc.get(&[0, 1, 0, 0]) - 0.5).abs() < 1e-3);
+        assert!((ycc.get(&[0, 2, 0, 0]) - 0.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn roundtrip_is_near_identity() {
+        for &(r, g, b) in &[
+            (0.0, 0.0, 0.0),
+            (1.0, 0.0, 0.0),
+            (0.0, 1.0, 0.0),
+            (0.0, 0.0, 1.0),
+            (0.3, 0.7, 0.2),
+            (0.9, 0.1, 0.6),
+        ] {
+            let img = rgb_image(r, g, b);
+            let back = ycbcr_to_rgb(&rgb_to_ycbcr(&img).unwrap()).unwrap();
+            assert!(img.max_abs_diff(&back).unwrap() < 2e-3, "({r},{g},{b})");
+        }
+    }
+
+    #[test]
+    fn wrong_channel_count_is_error() {
+        let t = Tensor::zeros(Shape::new(&[1, 1, 2, 2]));
+        assert!(rgb_to_ycbcr(&t).is_err());
+        assert!(ycbcr_to_rgb(&t).is_err());
+    }
+}

@@ -1,0 +1,327 @@
+//! JPEG-style lossy compression round-trip used as the first defense stage.
+//!
+//! The defense only needs the *information-destroying* part of JPEG — the
+//! 8×8 block DCT followed by quality-dependent quantisation — not the entropy
+//! coding (which is lossless and irrelevant to robustness). This module
+//! therefore implements compress-then-decompress as a single function:
+//! convert to YCbCr, apply a block DCT per channel, quantise with the
+//! standard Annex-K luminance/chrominance tables scaled by a libjpeg-style
+//! quality factor, dequantise, inverse-DCT and convert back to RGB.
+
+use crate::color::{rgb_to_ycbcr, ycbcr_to_rgb};
+use crate::Result;
+use sesr_tensor::{Tensor, TensorError};
+
+/// The JPEG Annex K luminance quantisation table (quality 50 base).
+const LUMA_TABLE: [f32; 64] = [
+    16.0, 11.0, 10.0, 16.0, 24.0, 40.0, 51.0, 61.0, //
+    12.0, 12.0, 14.0, 19.0, 26.0, 58.0, 60.0, 55.0, //
+    14.0, 13.0, 16.0, 24.0, 40.0, 57.0, 69.0, 56.0, //
+    14.0, 17.0, 22.0, 29.0, 51.0, 87.0, 80.0, 62.0, //
+    18.0, 22.0, 37.0, 56.0, 68.0, 109.0, 103.0, 77.0, //
+    24.0, 35.0, 55.0, 64.0, 81.0, 104.0, 113.0, 92.0, //
+    49.0, 64.0, 78.0, 87.0, 103.0, 121.0, 120.0, 101.0, //
+    72.0, 92.0, 95.0, 98.0, 112.0, 100.0, 103.0, 99.0,
+];
+
+/// The JPEG Annex K chrominance quantisation table (quality 50 base).
+const CHROMA_TABLE: [f32; 64] = [
+    17.0, 18.0, 24.0, 47.0, 99.0, 99.0, 99.0, 99.0, //
+    18.0, 21.0, 26.0, 66.0, 99.0, 99.0, 99.0, 99.0, //
+    24.0, 26.0, 56.0, 99.0, 99.0, 99.0, 99.0, 99.0, //
+    47.0, 66.0, 99.0, 99.0, 99.0, 99.0, 99.0, 99.0, //
+    99.0, 99.0, 99.0, 99.0, 99.0, 99.0, 99.0, 99.0, //
+    99.0, 99.0, 99.0, 99.0, 99.0, 99.0, 99.0, 99.0, //
+    99.0, 99.0, 99.0, 99.0, 99.0, 99.0, 99.0, 99.0, //
+    99.0, 99.0, 99.0, 99.0, 99.0, 99.0, 99.0, 99.0,
+];
+
+const BLOCK: usize = 8;
+
+/// Configuration for the JPEG-style compression round-trip.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JpegConfig {
+    /// libjpeg-style quality in `[1, 100]`; the paper's defense uses a
+    /// moderately aggressive setting (default 75).
+    pub quality: u8,
+}
+
+impl JpegConfig {
+    /// Create a configuration with the given quality factor.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `quality` is 0 or greater than 100.
+    pub fn new(quality: u8) -> Result<Self> {
+        if quality == 0 || quality > 100 {
+            return Err(TensorError::invalid_argument(format!(
+                "jpeg quality must be in [1, 100], got {quality}"
+            )));
+        }
+        Ok(JpegConfig { quality })
+    }
+
+    /// The scaling factor applied to the base quantisation tables
+    /// (the libjpeg convention).
+    fn table_scale(&self) -> f32 {
+        let q = self.quality as f32;
+        if q < 50.0 {
+            5000.0 / q / 100.0
+        } else {
+            (200.0 - 2.0 * q) / 100.0
+        }
+    }
+
+    /// The scaled quantisation table for luma (`true`) or chroma (`false`).
+    fn table(&self, luma: bool) -> [f32; 64] {
+        let base = if luma { LUMA_TABLE } else { CHROMA_TABLE };
+        let scale = self.table_scale();
+        let mut out = [0.0f32; 64];
+        for (o, b) in out.iter_mut().zip(base.iter()) {
+            *o = (b * scale).clamp(1.0, 255.0);
+        }
+        out
+    }
+}
+
+impl Default for JpegConfig {
+    fn default() -> Self {
+        JpegConfig { quality: 75 }
+    }
+}
+
+fn dct_1d(input: &[f32; BLOCK], output: &mut [f32; BLOCK]) {
+    for (u, out) in output.iter_mut().enumerate() {
+        let cu = if u == 0 {
+            (1.0f32 / BLOCK as f32).sqrt()
+        } else {
+            (2.0f32 / BLOCK as f32).sqrt()
+        };
+        let mut acc = 0.0f32;
+        for (x, &v) in input.iter().enumerate() {
+            acc += v
+                * ((2.0 * x as f32 + 1.0) * u as f32 * std::f32::consts::PI
+                    / (2.0 * BLOCK as f32))
+                    .cos();
+        }
+        *out = cu * acc;
+    }
+}
+
+fn idct_1d(input: &[f32; BLOCK], output: &mut [f32; BLOCK]) {
+    for (x, out) in output.iter_mut().enumerate() {
+        let mut acc = 0.0f32;
+        for (u, &v) in input.iter().enumerate() {
+            let cu = if u == 0 {
+                (1.0f32 / BLOCK as f32).sqrt()
+            } else {
+                (2.0f32 / BLOCK as f32).sqrt()
+            };
+            acc += cu
+                * v
+                * ((2.0 * x as f32 + 1.0) * u as f32 * std::f32::consts::PI
+                    / (2.0 * BLOCK as f32))
+                    .cos();
+        }
+        *out = acc;
+    }
+}
+
+fn dct_2d(block: &mut [f32; 64], inverse: bool) {
+    let mut tmp = [0.0f32; 64];
+    // Rows.
+    for y in 0..BLOCK {
+        let mut row = [0.0f32; BLOCK];
+        let mut out = [0.0f32; BLOCK];
+        row.copy_from_slice(&block[y * BLOCK..(y + 1) * BLOCK]);
+        if inverse {
+            idct_1d(&row, &mut out);
+        } else {
+            dct_1d(&row, &mut out);
+        }
+        tmp[y * BLOCK..(y + 1) * BLOCK].copy_from_slice(&out);
+    }
+    // Columns.
+    for x in 0..BLOCK {
+        let mut col = [0.0f32; BLOCK];
+        let mut out = [0.0f32; BLOCK];
+        for y in 0..BLOCK {
+            col[y] = tmp[y * BLOCK + x];
+        }
+        if inverse {
+            idct_1d(&col, &mut out);
+        } else {
+            dct_1d(&col, &mut out);
+        }
+        for y in 0..BLOCK {
+            block[y * BLOCK + x] = out[y];
+        }
+    }
+}
+
+/// Run one channel plane (values in `[0, 1]`) through the DCT-quantise-IDCT
+/// round trip. The plane is processed in 8×8 blocks with edge replication for
+/// partial blocks.
+fn compress_plane(plane: &mut [f32], h: usize, w: usize, table: &[f32; 64]) {
+    let blocks_y = h.div_ceil(BLOCK);
+    let blocks_x = w.div_ceil(BLOCK);
+    for by in 0..blocks_y {
+        for bx in 0..blocks_x {
+            let mut block = [0.0f32; 64];
+            // Gather with edge replication, shifting to the JPEG [-128, 127] range.
+            for y in 0..BLOCK {
+                for x in 0..BLOCK {
+                    let sy = (by * BLOCK + y).min(h - 1);
+                    let sx = (bx * BLOCK + x).min(w - 1);
+                    block[y * BLOCK + x] = plane[sy * w + sx] * 255.0 - 128.0;
+                }
+            }
+            dct_2d(&mut block, false);
+            for (coeff, q) in block.iter_mut().zip(table.iter()) {
+                *coeff = (*coeff / q).round() * q;
+            }
+            dct_2d(&mut block, true);
+            // Scatter back only the pixels that exist.
+            for y in 0..BLOCK {
+                for x in 0..BLOCK {
+                    let sy = by * BLOCK + y;
+                    let sx = bx * BLOCK + x;
+                    if sy < h && sx < w {
+                        plane[sy * w + sx] = ((block[y * BLOCK + x] + 128.0) / 255.0).clamp(0.0, 1.0);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Apply the JPEG-style compression round-trip to an `[N, 3, H, W]` RGB batch
+/// with values in `[0, 1]`.
+///
+/// # Errors
+///
+/// Returns an error if the input is not an RGB NCHW batch.
+pub fn jpeg_compress(rgb: &Tensor, cfg: JpegConfig) -> Result<Tensor> {
+    let (n, c, h, w) = rgb.shape().as_nchw()?;
+    if c != 3 {
+        return Err(TensorError::invalid_argument(format!(
+            "jpeg_compress expects 3 channels, got {c}"
+        )));
+    }
+    let mut ycc = rgb_to_ycbcr(rgb)?;
+    let luma_table = cfg.table(true);
+    let chroma_table = cfg.table(false);
+    let plane = h * w;
+    {
+        let data = ycc.data_mut();
+        for b in 0..n {
+            for ci in 0..3 {
+                let base = (b * 3 + ci) * plane;
+                let table = if ci == 0 { &luma_table } else { &chroma_table };
+                compress_plane(&mut data[base..base + plane], h, w, table);
+            }
+        }
+    }
+    ycbcr_to_rgb(&ycc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::psnr;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sesr_tensor::{init, Shape};
+
+    fn smooth_image(h: usize, w: usize) -> Tensor {
+        // A smooth gradient image (low-frequency content JPEG preserves well).
+        let mut data = Vec::with_capacity(3 * h * w);
+        for c in 0..3 {
+            for y in 0..h {
+                for x in 0..w {
+                    data.push(((x + y + c * 5) as f32 / (h + w) as f32).clamp(0.0, 1.0));
+                }
+            }
+        }
+        Tensor::from_vec(Shape::new(&[1, 3, h, w]), data).unwrap()
+    }
+
+    #[test]
+    fn quality_bounds_are_validated() {
+        assert!(JpegConfig::new(0).is_err());
+        assert!(JpegConfig::new(101).is_err());
+        assert!(JpegConfig::new(1).is_ok());
+        assert!(JpegConfig::new(100).is_ok());
+    }
+
+    #[test]
+    fn high_quality_preserves_smooth_images() {
+        let img = smooth_image(16, 16);
+        let out = jpeg_compress(&img, JpegConfig::new(95).unwrap()).unwrap();
+        assert_eq!(out.shape(), img.shape());
+        let p = psnr(&out, &img).unwrap();
+        assert!(p > 30.0, "psnr={p}");
+    }
+
+    #[test]
+    fn lower_quality_is_more_lossy() {
+        let mut rng = StdRng::seed_from_u64(7);
+        // Noisy image: high-frequency content where quantisation bites.
+        let img = init::uniform(Shape::new(&[1, 3, 16, 16]), 0.0, 1.0, &mut rng);
+        let hi = jpeg_compress(&img, JpegConfig::new(90).unwrap()).unwrap();
+        let lo = jpeg_compress(&img, JpegConfig::new(10).unwrap()).unwrap();
+        let psnr_hi = psnr(&hi, &img).unwrap();
+        let psnr_lo = psnr(&lo, &img).unwrap();
+        assert!(psnr_hi > psnr_lo, "hi={psnr_hi} lo={psnr_lo}");
+    }
+
+    #[test]
+    fn removes_high_frequency_noise_from_smooth_image() {
+        let clean = smooth_image(16, 16);
+        let mut rng = StdRng::seed_from_u64(3);
+        let noise = init::uniform(clean.shape().clone(), -0.03, 0.03, &mut rng);
+        let noisy = clean.add(&noise).unwrap().clamp(0.0, 1.0);
+        let compressed = jpeg_compress(&noisy, JpegConfig::new(50).unwrap()).unwrap();
+        // After compression the result should be closer to the clean image
+        // than the noisy input was (noise energy was quantised away).
+        let before = psnr(&noisy, &clean).unwrap();
+        let after = psnr(&compressed, &clean).unwrap();
+        assert!(after > before - 1.0, "before={before} after={after}");
+    }
+
+    #[test]
+    fn output_stays_in_unit_range() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let img = init::uniform(Shape::new(&[2, 3, 11, 13]), 0.0, 1.0, &mut rng);
+        let out = jpeg_compress(&img, JpegConfig::default()).unwrap();
+        assert!(out.min() >= 0.0 && out.max() <= 1.0);
+    }
+
+    #[test]
+    fn non_rgb_input_is_error() {
+        let img = Tensor::zeros(Shape::new(&[1, 1, 8, 8]));
+        assert!(jpeg_compress(&img, JpegConfig::default()).is_err());
+    }
+
+    #[test]
+    fn dct_idct_roundtrip_identity() {
+        let mut block = [0.0f32; 64];
+        for (i, v) in block.iter_mut().enumerate() {
+            *v = (i as f32 * 0.37).sin() * 50.0;
+        }
+        let original = block;
+        dct_2d(&mut block, false);
+        dct_2d(&mut block, true);
+        for (a, b) in block.iter().zip(original.iter()) {
+            assert!((a - b).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn quality_scale_monotonic() {
+        let q10 = JpegConfig::new(10).unwrap().table(true);
+        let q90 = JpegConfig::new(90).unwrap().table(true);
+        // Lower quality -> larger quantisation steps.
+        assert!(q10[0] > q90[0]);
+    }
+}

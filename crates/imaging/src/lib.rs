@@ -1,0 +1,34 @@
+//! Classical image-processing substrate for the SESR adversarial-defense
+//! reproduction.
+//!
+//! The paper's defense pipeline (Fig. 1b) is *JPEG compression → wavelet
+//! denoising → ×2 super resolution → classification*. This crate provides the
+//! two non-learned stages and the measurement tooling:
+//!
+//! * [`jpeg`] — an 8×8 block-DCT quantisation round-trip with a libjpeg-style
+//!   quality factor, reproducing the information-destroying behaviour JPEG
+//!   defenses rely on (high-frequency perturbation energy is quantised away).
+//! * [`wavelet`] — a Haar discrete wavelet transform with BayesShrink soft
+//!   thresholding, the denoising method Mustafa et al. and Prakash et al. use.
+//! * [`metrics`] — PSNR and SSIM in the convention used by the paper
+//!   (RGB colorspace, images in `[0, 1]`).
+//! * [`color`] — RGB ↔ YCbCr conversion (JPEG operates on luma/chroma).
+//!
+//! All functions operate on NCHW [`Tensor`](sesr_tensor::Tensor) batches with
+//! pixel values in `[0, 1]`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod color;
+pub mod jpeg;
+pub mod metrics;
+pub mod wavelet;
+
+pub use color::{rgb_to_ycbcr, ycbcr_to_rgb};
+pub use jpeg::{jpeg_compress, JpegConfig};
+pub use metrics::{psnr, ssim};
+pub use wavelet::{wavelet_denoise, WaveletConfig};
+
+/// Result alias re-exported from the tensor crate.
+pub type Result<T> = sesr_tensor::Result<T>;

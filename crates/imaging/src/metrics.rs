@@ -1,0 +1,126 @@
+//! Image quality metrics: PSNR (the metric reported in Table I of the paper)
+//! and a global SSIM estimate.
+
+use crate::Result;
+use sesr_tensor::{Tensor, TensorError};
+
+/// Peak signal-to-noise ratio between two images with values in `[0, 1]`,
+/// computed over all channels jointly (the RGB-colourspace convention used by
+/// the paper).
+///
+/// Returns positive infinity for identical images.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if the shapes differ, or
+/// [`TensorError::InvalidArgument`] for empty tensors.
+pub fn psnr(image: &Tensor, reference: &Tensor) -> Result<f32> {
+    if image.shape() != reference.shape() {
+        return Err(TensorError::ShapeMismatch {
+            left: image.shape().dims().to_vec(),
+            right: reference.shape().dims().to_vec(),
+        });
+    }
+    if image.is_empty() {
+        return Err(TensorError::invalid_argument("psnr of empty image"));
+    }
+    let mse = image.mse(reference)?;
+    if mse <= 0.0 {
+        return Ok(f32::INFINITY);
+    }
+    Ok(10.0 * (1.0 / mse).log10())
+}
+
+/// Global structural similarity (SSIM) between two images with values in
+/// `[0, 1]`, computed from global means/variances/covariance rather than a
+/// sliding window. Adequate for ranking reconstruction quality in tests.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if the shapes differ, or
+/// [`TensorError::InvalidArgument`] for empty tensors.
+pub fn ssim(image: &Tensor, reference: &Tensor) -> Result<f32> {
+    if image.shape() != reference.shape() {
+        return Err(TensorError::ShapeMismatch {
+            left: image.shape().dims().to_vec(),
+            right: reference.shape().dims().to_vec(),
+        });
+    }
+    if image.is_empty() {
+        return Err(TensorError::invalid_argument("ssim of empty image"));
+    }
+    let c1 = 0.01f32.powi(2);
+    let c2 = 0.03f32.powi(2);
+    let mu_x = image.mean();
+    let mu_y = reference.mean();
+    let n = image.len() as f32;
+    let mut var_x = 0.0f32;
+    let mut var_y = 0.0f32;
+    let mut cov = 0.0f32;
+    for (&x, &y) in image.data().iter().zip(reference.data()) {
+        var_x += (x - mu_x) * (x - mu_x);
+        var_y += (y - mu_y) * (y - mu_y);
+        cov += (x - mu_x) * (y - mu_y);
+    }
+    var_x /= n;
+    var_y /= n;
+    cov /= n;
+    Ok(((2.0 * mu_x * mu_y + c1) * (2.0 * cov + c2))
+        / ((mu_x * mu_x + mu_y * mu_y + c1) * (var_x + var_y + c2)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sesr_tensor::{init, Shape};
+
+    #[test]
+    fn identical_images_have_infinite_psnr_and_unit_ssim() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let img = init::uniform(Shape::new(&[1, 3, 8, 8]), 0.0, 1.0, &mut rng);
+        assert!(psnr(&img, &img).unwrap().is_infinite());
+        assert!((ssim(&img, &img).unwrap() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn known_psnr_value() {
+        // Constant difference of 0.1 -> MSE = 0.01 -> PSNR = 20 dB.
+        let a = Tensor::full(Shape::new(&[1, 1, 4, 4]), 0.5);
+        let b = Tensor::full(Shape::new(&[1, 1, 4, 4]), 0.6);
+        let p = psnr(&a, &b).unwrap();
+        assert!((p - 20.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn psnr_decreases_with_more_noise() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let clean = init::uniform(Shape::new(&[1, 3, 16, 16]), 0.2, 0.8, &mut rng);
+        let small = clean
+            .add(&init::normal(clean.shape().clone(), 0.0, 0.01, &mut rng))
+            .unwrap();
+        let large = clean
+            .add(&init::normal(clean.shape().clone(), 0.0, 0.1, &mut rng))
+            .unwrap();
+        assert!(psnr(&small, &clean).unwrap() > psnr(&large, &clean).unwrap());
+    }
+
+    #[test]
+    fn ssim_penalises_structural_changes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let img = init::uniform(Shape::new(&[1, 1, 16, 16]), 0.0, 1.0, &mut rng);
+        let unrelated = init::uniform(Shape::new(&[1, 1, 16, 16]), 0.0, 1.0, &mut rng);
+        let s_self = ssim(&img, &img).unwrap();
+        let s_other = ssim(&img, &unrelated).unwrap();
+        assert!(s_self > s_other);
+    }
+
+    #[test]
+    fn mismatched_shapes_error() {
+        let a = Tensor::zeros(Shape::new(&[1, 1, 4, 4]));
+        let b = Tensor::zeros(Shape::new(&[1, 1, 5, 5]));
+        assert!(psnr(&a, &b).is_err());
+        assert!(ssim(&a, &b).is_err());
+    }
+}

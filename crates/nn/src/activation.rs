@@ -1,0 +1,373 @@
+//! Activation layers: ReLU, ReLU6, LeakyReLU, learnable PReLU, Sigmoid, Tanh.
+
+use crate::param::Param;
+use crate::{Layer, Result};
+use sesr_tensor::{Shape, Tensor, TensorError};
+
+/// Rectified linear unit, `max(0, x)`.
+#[derive(Debug, Default)]
+pub struct ReLU {
+    cached_input: Option<Tensor>,
+}
+
+impl ReLU {
+    /// Create a ReLU activation.
+    pub fn new() -> Self {
+        ReLU { cached_input: None }
+    }
+}
+
+impl Layer for ReLU {
+    fn name(&self) -> &str {
+        "relu"
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor> {
+        self.cached_input = Some(input.clone());
+        Ok(input.map(|v| v.max(0.0)))
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let input = self
+            .cached_input
+            .take()
+            .ok_or_else(|| TensorError::invalid_argument("backward before forward in ReLU"))?;
+        let mask = input.map(|v| if v > 0.0 { 1.0 } else { 0.0 });
+        grad_output.mul(&mask)
+    }
+}
+
+/// ReLU clipped at 6 (`min(max(0, x), 6)`), used by MobileNet-V2.
+#[derive(Debug, Default)]
+pub struct Relu6 {
+    cached_input: Option<Tensor>,
+}
+
+impl Relu6 {
+    /// Create a ReLU6 activation.
+    pub fn new() -> Self {
+        Relu6 { cached_input: None }
+    }
+}
+
+impl Layer for Relu6 {
+    fn name(&self) -> &str {
+        "relu6"
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor> {
+        self.cached_input = Some(input.clone());
+        Ok(input.map(|v| v.clamp(0.0, 6.0)))
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let input = self
+            .cached_input
+            .take()
+            .ok_or_else(|| TensorError::invalid_argument("backward before forward in Relu6"))?;
+        let mask = input.map(|v| if v > 0.0 && v < 6.0 { 1.0 } else { 0.0 });
+        grad_output.mul(&mask)
+    }
+}
+
+/// Leaky ReLU with a fixed negative slope.
+#[derive(Debug)]
+pub struct LeakyRelu {
+    slope: f32,
+    cached_input: Option<Tensor>,
+}
+
+impl LeakyRelu {
+    /// Create a leaky ReLU with the given negative-side slope.
+    pub fn new(slope: f32) -> Self {
+        LeakyRelu {
+            slope,
+            cached_input: None,
+        }
+    }
+}
+
+impl Layer for LeakyRelu {
+    fn name(&self) -> &str {
+        "leaky_relu"
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor> {
+        self.cached_input = Some(input.clone());
+        let slope = self.slope;
+        Ok(input.map(|v| if v > 0.0 { v } else { slope * v }))
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let input = self.cached_input.take().ok_or_else(|| {
+            TensorError::invalid_argument("backward before forward in LeakyRelu")
+        })?;
+        let slope = self.slope;
+        let mask = input.map(|v| if v > 0.0 { 1.0 } else { slope });
+        grad_output.mul(&mask)
+    }
+}
+
+/// Parametric ReLU with one learnable negative slope per channel
+/// (`y = x` for `x > 0`, `y = a_c * x` otherwise), as used by FSRCNN and
+/// the SESR training-time network.
+pub struct PRelu {
+    channels: usize,
+    alpha: Param,
+    cached_input: Option<Tensor>,
+}
+
+impl PRelu {
+    /// Create a PReLU over `channels` feature maps with the conventional
+    /// initial slope of 0.25.
+    pub fn new(channels: usize) -> Self {
+        PRelu {
+            channels,
+            alpha: Param::new(Tensor::full(Shape::new(&[channels]), 0.25)),
+            cached_input: None,
+        }
+    }
+
+    /// Current per-channel slopes.
+    pub fn alpha(&self) -> &Tensor {
+        &self.alpha.value
+    }
+}
+
+impl Layer for PRelu {
+    fn name(&self) -> &str {
+        "prelu"
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor> {
+        let (n, c, h, w) = input.shape().as_nchw()?;
+        if c != self.channels {
+            return Err(TensorError::invalid_argument(format!(
+                "prelu configured for {} channels, got {c}",
+                self.channels
+            )));
+        }
+        self.cached_input = Some(input.clone());
+        let alpha = self.alpha.value.data();
+        let mut out = input.data().to_vec();
+        for b in 0..n {
+            for ci in 0..c {
+                let a = alpha[ci];
+                let base = (b * c + ci) * h * w;
+                for v in &mut out[base..base + h * w] {
+                    if *v < 0.0 {
+                        *v *= a;
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(input.shape().clone(), out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let input = self
+            .cached_input
+            .take()
+            .ok_or_else(|| TensorError::invalid_argument("backward before forward in PRelu"))?;
+        let (n, c, h, w) = input.shape().as_nchw()?;
+        if grad_output.shape() != input.shape() {
+            return Err(TensorError::ShapeMismatch {
+                left: input.shape().dims().to_vec(),
+                right: grad_output.shape().dims().to_vec(),
+            });
+        }
+        let alpha = self.alpha.value.data().to_vec();
+        let mut grad_input = vec![0.0f32; input.len()];
+        let mut grad_alpha = vec![0.0f32; c];
+        let x = input.data();
+        let go = grad_output.data();
+        for b in 0..n {
+            for ci in 0..c {
+                let a = alpha[ci];
+                let base = (b * c + ci) * h * w;
+                for i in base..base + h * w {
+                    if x[i] > 0.0 {
+                        grad_input[i] = go[i];
+                    } else {
+                        grad_input[i] = go[i] * a;
+                        grad_alpha[ci] += go[i] * x[i];
+                    }
+                }
+            }
+        }
+        self.alpha
+            .accumulate_grad(&Tensor::from_vec(Shape::new(&[c]), grad_alpha)?);
+        Tensor::from_vec(input.shape().clone(), grad_input)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.alpha]
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.alpha]
+    }
+}
+
+/// Logistic sigmoid activation.
+#[derive(Debug, Default)]
+pub struct Sigmoid {
+    cached_output: Option<Tensor>,
+}
+
+impl Sigmoid {
+    /// Create a sigmoid activation.
+    pub fn new() -> Self {
+        Sigmoid {
+            cached_output: None,
+        }
+    }
+}
+
+impl Layer for Sigmoid {
+    fn name(&self) -> &str {
+        "sigmoid"
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor> {
+        let out = input.map(|v| 1.0 / (1.0 + (-v).exp()));
+        self.cached_output = Some(out.clone());
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let out = self
+            .cached_output
+            .take()
+            .ok_or_else(|| TensorError::invalid_argument("backward before forward in Sigmoid"))?;
+        let deriv = out.map(|s| s * (1.0 - s));
+        grad_output.mul(&deriv)
+    }
+}
+
+/// Hyperbolic tangent activation.
+#[derive(Debug, Default)]
+pub struct Tanh {
+    cached_output: Option<Tensor>,
+}
+
+impl Tanh {
+    /// Create a tanh activation.
+    pub fn new() -> Self {
+        Tanh {
+            cached_output: None,
+        }
+    }
+}
+
+impl Layer for Tanh {
+    fn name(&self) -> &str {
+        "tanh"
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor> {
+        let out = input.map(f32::tanh);
+        self.cached_output = Some(out.clone());
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let out = self
+            .cached_output
+            .take()
+            .ok_or_else(|| TensorError::invalid_argument("backward before forward in Tanh"))?;
+        let deriv = out.map(|t| 1.0 - t * t);
+        grad_output.mul(&deriv)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn img(data: &[f32]) -> Tensor {
+        Tensor::from_vec(Shape::new(&[1, 2, 1, 2]), data.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn relu_forward_backward() {
+        let mut relu = ReLU::new();
+        let x = Tensor::from_slice(&[-1.0, 0.0, 2.0]);
+        let y = relu.forward(&x, true).unwrap();
+        assert_eq!(y.data(), &[0.0, 0.0, 2.0]);
+        let g = relu.backward(&Tensor::from_slice(&[1.0, 1.0, 1.0])).unwrap();
+        assert_eq!(g.data(), &[0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn relu6_clips_both_sides() {
+        let mut act = Relu6::new();
+        let x = Tensor::from_slice(&[-1.0, 3.0, 8.0]);
+        let y = act.forward(&x, true).unwrap();
+        assert_eq!(y.data(), &[0.0, 3.0, 6.0]);
+        let g = act.backward(&Tensor::from_slice(&[1.0, 1.0, 1.0])).unwrap();
+        assert_eq!(g.data(), &[0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn leaky_relu_slope() {
+        let mut act = LeakyRelu::new(0.1);
+        let x = Tensor::from_slice(&[-2.0, 4.0]);
+        let y = act.forward(&x, true).unwrap();
+        assert!((y.data()[0] + 0.2).abs() < 1e-6);
+        assert_eq!(y.data()[1], 4.0);
+        let g = act.backward(&Tensor::from_slice(&[1.0, 1.0])).unwrap();
+        assert!((g.data()[0] - 0.1).abs() < 1e-6);
+        assert_eq!(g.data()[1], 1.0);
+    }
+
+    #[test]
+    fn prelu_per_channel_slopes() {
+        let mut act = PRelu::new(2);
+        // Channel slopes start at 0.25.
+        let x = img(&[-4.0, 4.0, -8.0, 8.0]);
+        let y = act.forward(&x, true).unwrap();
+        assert_eq!(y.data(), &[-1.0, 4.0, -2.0, 8.0]);
+        let g = act.backward(&Tensor::ones(x.shape().clone())).unwrap();
+        assert_eq!(g.data(), &[0.25, 1.0, 0.25, 1.0]);
+        // Alpha gradient collects x over the negative region per channel.
+        assert_eq!(act.params()[0].grad.data(), &[-4.0, -8.0]);
+    }
+
+    #[test]
+    fn prelu_channel_mismatch_is_error() {
+        let mut act = PRelu::new(3);
+        let x = img(&[0.0; 4]);
+        assert!(act.forward(&x, true).is_err());
+    }
+
+    #[test]
+    fn sigmoid_range_and_gradient() {
+        let mut act = Sigmoid::new();
+        let x = Tensor::from_slice(&[0.0, 100.0, -100.0]);
+        let y = act.forward(&x, true).unwrap();
+        assert!((y.data()[0] - 0.5).abs() < 1e-6);
+        assert!(y.data()[1] > 0.999 && y.data()[2] < 0.001);
+        let g = act.backward(&Tensor::from_slice(&[1.0, 1.0, 1.0])).unwrap();
+        assert!((g.data()[0] - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tanh_gradient_at_zero_is_one() {
+        let mut act = Tanh::new();
+        let x = Tensor::from_slice(&[0.0]);
+        act.forward(&x, true).unwrap();
+        let g = act.backward(&Tensor::from_slice(&[1.0])).unwrap();
+        assert!((g.data()[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn backward_without_forward_errors() {
+        let x = Tensor::from_slice(&[1.0]);
+        assert!(ReLU::new().backward(&x).is_err());
+        assert!(Relu6::new().backward(&x).is_err());
+        assert!(LeakyRelu::new(0.2).backward(&x).is_err());
+        assert!(Sigmoid::new().backward(&x).is_err());
+        assert!(Tanh::new().backward(&x).is_err());
+    }
+}

@@ -1,0 +1,325 @@
+//! Convolution layers: dense [`Conv2d`] and [`DepthwiseConv2d`].
+
+use crate::param::Param;
+use crate::{Layer, Result};
+use rand::Rng;
+use sesr_tensor::conv::{
+    conv2d, conv2d_backward, depthwise_conv2d, depthwise_conv2d_backward, Conv2dConfig,
+};
+use sesr_tensor::{init, Shape, Tensor, TensorError};
+
+/// Dense 2-D convolution layer with optional bias.
+///
+/// Weight layout is `[C_out, C_in, K, K]`; inputs and outputs are NCHW.
+pub struct Conv2d {
+    name: String,
+    cfg: Conv2dConfig,
+    weight: Param,
+    bias: Option<Param>,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Create a convolution with Kaiming-normal weights and zero bias.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let weight = init::kaiming_normal(
+            Shape::new(&[out_channels, in_channels, kernel, kernel]),
+            rng,
+        );
+        Conv2d {
+            name: format!("conv{kernel}x{kernel}_{in_channels}->{out_channels}"),
+            cfg: Conv2dConfig::new(kernel, stride, padding),
+            weight: Param::new(weight),
+            bias: Some(Param::zeros(Shape::new(&[out_channels]))),
+            cached_input: None,
+        }
+    }
+
+    /// Create a "same" (stride-1, output-preserving) convolution.
+    pub fn same(in_channels: usize, out_channels: usize, kernel: usize, rng: &mut impl Rng) -> Self {
+        Conv2d::new(in_channels, out_channels, kernel, 1, kernel / 2, rng)
+    }
+
+    /// Create a convolution from explicit weight and optional bias tensors.
+    ///
+    /// This is how the SESR analytic collapse installs its pre-computed
+    /// weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the weight tensor is not rank 4 or the bias length
+    /// does not match the output channel count.
+    pub fn from_weights(
+        weight: Tensor,
+        bias: Option<Tensor>,
+        stride: usize,
+        padding: usize,
+    ) -> Result<Self> {
+        let dims = weight.shape().dims().to_vec();
+        if dims.len() != 4 {
+            return Err(TensorError::RankMismatch {
+                expected: 4,
+                actual: dims.len(),
+            });
+        }
+        if dims[2] != dims[3] {
+            return Err(TensorError::invalid_conv("only square kernels are supported"));
+        }
+        if let Some(b) = &bias {
+            if b.len() != dims[0] {
+                return Err(TensorError::LengthMismatch {
+                    expected: dims[0],
+                    actual: b.len(),
+                });
+            }
+        }
+        Ok(Conv2d {
+            name: format!("conv{}x{}_{}->{}", dims[2], dims[3], dims[1], dims[0]),
+            cfg: Conv2dConfig::new(dims[2], stride, padding),
+            weight: Param::new(weight),
+            bias: bias.map(Param::new),
+            cached_input: None,
+        })
+    }
+
+    /// Remove the bias term (some SR blocks are bias-free).
+    pub fn without_bias(mut self) -> Self {
+        self.bias = None;
+        self
+    }
+
+    /// The convolution configuration (kernel, stride, padding).
+    pub fn config(&self) -> Conv2dConfig {
+        self.cfg
+    }
+
+    /// Borrow the weight tensor (`[C_out, C_in, K, K]`).
+    pub fn weight(&self) -> &Tensor {
+        &self.weight.value
+    }
+
+    /// Borrow the bias tensor if present.
+    pub fn bias(&self) -> Option<&Tensor> {
+        self.bias.as_ref().map(|b| &b.value)
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.weight.value.shape().dim(0)
+    }
+
+    /// Input channel count.
+    pub fn in_channels(&self) -> usize {
+        self.weight.value.shape().dim(1)
+    }
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor> {
+        self.cached_input = Some(input.clone());
+        conv2d(
+            input,
+            &self.weight.value,
+            self.bias.as_ref().map(|b| &b.value),
+            self.cfg,
+        )
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let input = self
+            .cached_input
+            .take()
+            .ok_or_else(|| TensorError::invalid_argument("backward before forward in Conv2d"))?;
+        let (grad_input, grad_weight, grad_bias) =
+            conv2d_backward(&input, &self.weight.value, grad_output, self.cfg)?;
+        self.weight.accumulate_grad(&grad_weight);
+        if let Some(bias) = &mut self.bias {
+            bias.accumulate_grad(&grad_bias);
+        }
+        Ok(grad_input)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut out = vec![&mut self.weight];
+        if let Some(b) = &mut self.bias {
+            out.push(b);
+        }
+        out
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        let mut out = vec![&self.weight];
+        if let Some(b) = &self.bias {
+            out.push(b);
+        }
+        out
+    }
+}
+
+/// Depthwise 2-D convolution layer (one spatial filter per channel), the key
+/// building block of MobileNet-V2's inverted residual blocks.
+pub struct DepthwiseConv2d {
+    name: String,
+    cfg: Conv2dConfig,
+    weight: Param,
+    bias: Option<Param>,
+    cached_input: Option<Tensor>,
+}
+
+impl DepthwiseConv2d {
+    /// Create a depthwise convolution with Kaiming-normal weights.
+    pub fn new(
+        channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let weight = init::kaiming_normal(Shape::new(&[channels, 1, kernel, kernel]), rng);
+        DepthwiseConv2d {
+            name: format!("dwconv{kernel}x{kernel}_{channels}"),
+            cfg: Conv2dConfig::new(kernel, stride, padding),
+            weight: Param::new(weight),
+            bias: Some(Param::zeros(Shape::new(&[channels]))),
+            cached_input: None,
+        }
+    }
+
+    /// Number of channels this layer operates on.
+    pub fn channels(&self) -> usize {
+        self.weight.value.shape().dim(0)
+    }
+
+    /// The convolution configuration (kernel, stride, padding).
+    pub fn config(&self) -> Conv2dConfig {
+        self.cfg
+    }
+}
+
+impl Layer for DepthwiseConv2d {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor> {
+        self.cached_input = Some(input.clone());
+        depthwise_conv2d(
+            input,
+            &self.weight.value,
+            self.bias.as_ref().map(|b| &b.value),
+            self.cfg,
+        )
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let input = self.cached_input.take().ok_or_else(|| {
+            TensorError::invalid_argument("backward before forward in DepthwiseConv2d")
+        })?;
+        let (grad_input, grad_weight, grad_bias) =
+            depthwise_conv2d_backward(&input, &self.weight.value, grad_output, self.cfg)?;
+        self.weight.accumulate_grad(&grad_weight);
+        if let Some(bias) = &mut self.bias {
+            bias.accumulate_grad(&grad_bias);
+        }
+        Ok(grad_input)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut out = vec![&mut self.weight];
+        if let Some(b) = &mut self.bias {
+            out.push(b);
+        }
+        out
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        let mut out = vec![&self.weight];
+        if let Some(b) = &self.bias {
+            out.push(b);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn conv_layer_shapes_and_param_count() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut conv = Conv2d::new(3, 8, 3, 1, 1, &mut rng);
+        assert_eq!(conv.in_channels(), 3);
+        assert_eq!(conv.out_channels(), 8);
+        assert_eq!(conv.num_parameters(), 8 * 3 * 3 * 3 + 8);
+        let x = Tensor::zeros(Shape::new(&[2, 3, 6, 6]));
+        let y = conv.forward(&x, true).unwrap();
+        assert_eq!(y.shape().dims(), &[2, 8, 6, 6]);
+    }
+
+    #[test]
+    fn conv_backward_accumulates_grads() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut conv = Conv2d::new(1, 2, 3, 1, 1, &mut rng);
+        let x = init::normal(Shape::new(&[1, 1, 4, 4]), 0.0, 1.0, &mut rng);
+        let y = conv.forward(&x, true).unwrap();
+        let g = conv.backward(&Tensor::ones(y.shape().clone())).unwrap();
+        assert_eq!(g.shape(), x.shape());
+        assert!(conv.params()[0].grad.norm() > 0.0);
+        // Calling backward twice without forward must fail.
+        assert!(conv.backward(&Tensor::ones(y.shape().clone())).is_err());
+    }
+
+    #[test]
+    fn conv_from_weights_validates() {
+        let w = Tensor::ones(Shape::new(&[2, 1, 3, 3]));
+        let ok = Conv2d::from_weights(w.clone(), Some(Tensor::from_slice(&[0.0, 0.0])), 1, 1);
+        assert!(ok.is_ok());
+        let bad_bias = Conv2d::from_weights(w, Some(Tensor::from_slice(&[0.0])), 1, 1);
+        assert!(bad_bias.is_err());
+        let bad_rank = Conv2d::from_weights(Tensor::zeros(Shape::new(&[2, 3, 3])), None, 1, 1);
+        assert!(bad_rank.is_err());
+    }
+
+    #[test]
+    fn without_bias_removes_parameter() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let conv = Conv2d::new(2, 2, 1, 1, 0, &mut rng).without_bias();
+        assert_eq!(conv.params().len(), 1);
+        assert!(conv.bias().is_none());
+    }
+
+    #[test]
+    fn depthwise_layer_shapes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut dw = DepthwiseConv2d::new(4, 3, 2, 1, &mut rng);
+        assert_eq!(dw.channels(), 4);
+        let x = Tensor::zeros(Shape::new(&[1, 4, 8, 8]));
+        let y = dw.forward(&x, true).unwrap();
+        assert_eq!(y.shape().dims(), &[1, 4, 4, 4]);
+        let g = dw.backward(&Tensor::ones(y.shape().clone())).unwrap();
+        assert_eq!(g.shape(), x.shape());
+    }
+
+    #[test]
+    fn strided_conv_downsamples() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut conv = Conv2d::new(3, 6, 3, 2, 1, &mut rng);
+        let x = Tensor::zeros(Shape::new(&[1, 3, 16, 16]));
+        let y = conv.forward(&x, false).unwrap();
+        assert_eq!(y.shape().dims(), &[1, 6, 8, 8]);
+    }
+}

@@ -1,0 +1,248 @@
+//! The [`Layer`] trait and generic containers ([`Sequential`], [`Identity`]).
+
+use crate::param::Param;
+use crate::Result;
+use sesr_tensor::Tensor;
+
+/// A differentiable network layer.
+///
+/// A layer owns its parameters and any activation caches needed by the
+/// backward pass. The calling convention is strict:
+///
+/// 1. `forward(input, train)` computes the output and caches whatever the
+///    backward pass will need.
+/// 2. `backward(grad_output)` consumes those caches, **accumulates** parameter
+///    gradients into the layer's [`Param`]s, and returns the gradient with
+///    respect to the layer input.
+///
+/// `backward` must be called at most once per `forward` call, in reverse
+/// order of the forward calls (the usual backprop discipline enforced by
+/// [`Sequential`]).
+///
+/// Layers are `Send + Sync` (they hold only owned data), which lets the
+/// experiment drivers share trained models across evaluation threads.
+pub trait Layer: Send + Sync {
+    /// Human-readable layer name used in summaries and cost reports.
+    fn name(&self) -> &str;
+
+    /// Run the forward pass. `train` selects training behaviour for layers
+    /// that have one (e.g. batch statistics in [`BatchNorm2d`](crate::BatchNorm2d)).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input shape is incompatible with the layer.
+    fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor>;
+
+    /// Run the backward pass for the most recent `forward` call.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if no forward pass has been cached or the gradient
+    /// shape is inconsistent.
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor>;
+
+    /// The layer's learnable parameters, in a stable order.
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    /// Immutable view of the learnable parameters, in the same order as
+    /// [`Layer::params_mut`].
+    fn params(&self) -> Vec<&Param> {
+        Vec::new()
+    }
+
+    /// Reset all accumulated gradients to zero.
+    fn zero_grad(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+
+    /// Total number of learnable scalars in this layer.
+    fn num_parameters(&self) -> usize {
+        self.params().iter().map(|p| p.num_elements()).sum()
+    }
+}
+
+impl Layer for Box<dyn Layer> {
+    fn name(&self) -> &str {
+        self.as_ref().name()
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor> {
+        self.as_mut().forward(input, train)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        self.as_mut().backward(grad_output)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.as_mut().params_mut()
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        self.as_ref().params()
+    }
+}
+
+/// A layer that returns its input unchanged (useful as a skip-connection
+/// placeholder and in tests).
+#[derive(Debug, Default, Clone)]
+pub struct Identity;
+
+impl Identity {
+    /// Create an identity layer.
+    pub fn new() -> Self {
+        Identity
+    }
+}
+
+impl Layer for Identity {
+    fn name(&self) -> &str {
+        "identity"
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor> {
+        Ok(input.clone())
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        Ok(grad_output.clone())
+    }
+}
+
+/// An ordered container of layers applied one after another.
+///
+/// `Sequential` is itself a [`Layer`], so networks compose recursively
+/// (e.g. a residual block holds a `Sequential` body plus a skip connection).
+pub struct Sequential {
+    name: String,
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Create an empty sequential container with a descriptive name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Sequential {
+            name: name.into(),
+            layers: Vec::new(),
+        }
+    }
+
+    /// Append a layer to the end of the pipeline.
+    pub fn push(&mut self, layer: impl Layer + 'static) -> &mut Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Append an already-boxed layer (useful when building dynamically).
+    pub fn push_boxed(&mut self, layer: Box<dyn Layer>) -> &mut Self {
+        self.layers.push(layer);
+        self
+    }
+
+    /// Number of child layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// `true` if the container holds no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Iterate over the child layers.
+    pub fn iter(&self) -> impl Iterator<Item = &Box<dyn Layer>> {
+        self.layers.iter()
+    }
+}
+
+impl Layer for Sequential {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor> {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, train)?;
+        }
+        Ok(x)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let mut g = grad_output.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g)?;
+        }
+        Ok(g)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        self.layers.iter().flat_map(|l| l.params()).collect()
+    }
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Sequential({}, {} layers)", self.name, self.layers.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sesr_tensor::Shape;
+
+    /// A toy layer computing y = 2x for container tests.
+    struct Double;
+    impl Layer for Double {
+        fn name(&self) -> &str {
+            "double"
+        }
+        fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor> {
+            Ok(input.scale(2.0))
+        }
+        fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+            Ok(grad_output.scale(2.0))
+        }
+    }
+
+    #[test]
+    fn identity_passes_through() {
+        let mut id = Identity::new();
+        let x = Tensor::from_slice(&[1.0, 2.0]);
+        assert_eq!(id.forward(&x, true).unwrap(), x);
+        assert_eq!(id.backward(&x).unwrap(), x);
+        assert_eq!(id.num_parameters(), 0);
+    }
+
+    #[test]
+    fn sequential_composes_forward_and_backward() {
+        let mut seq = Sequential::new("test");
+        seq.push(Double).push(Double).push(Identity::new());
+        assert_eq!(seq.len(), 3);
+        let x = Tensor::from_slice(&[1.0, -1.0]);
+        let y = seq.forward(&x, false).unwrap();
+        assert_eq!(y.data(), &[4.0, -4.0]);
+        let g = seq.backward(&Tensor::from_slice(&[1.0, 1.0])).unwrap();
+        assert_eq!(g.data(), &[4.0, 4.0]);
+    }
+
+    #[test]
+    fn empty_sequential_is_identity() {
+        let mut seq = Sequential::new("empty");
+        assert!(seq.is_empty());
+        let x = Tensor::zeros(Shape::new(&[2, 2]));
+        assert_eq!(seq.forward(&x, true).unwrap(), x);
+    }
+}

@@ -1,0 +1,67 @@
+//! Neural-network substrate for the SESR adversarial-defense reproduction.
+//!
+//! This crate layers a small, explicit training framework on top of
+//! [`sesr_tensor`]: a [`Layer`] trait with forward and backward passes, the
+//! concrete layers needed by every network in the paper (convolutions,
+//! depthwise convolutions, batch normalisation, PReLU, pixel shuffle,
+//! pooling, linear heads), loss functions, and first-order optimizers.
+//!
+//! There is deliberately no tape-based autograd: every layer caches exactly
+//! what its backward pass needs, which keeps the memory profile predictable
+//! for the laptop-scale experiments and makes the gradient flow easy to
+//! audit — an important property given that the adversarial attacks in
+//! [`sesr-attacks`](https://example.com) differentiate all the way back to
+//! the input image.
+//!
+//! # Example
+//!
+//! ```
+//! use sesr_nn::{Conv2d, Layer, ReLU, Sequential};
+//! use sesr_tensor::{Shape, Tensor};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let mut net = Sequential::new("tiny");
+//! net.push(Conv2d::new(3, 8, 3, 1, 1, &mut rng));
+//! net.push(ReLU::new());
+//! net.push(Conv2d::new(8, 3, 3, 1, 1, &mut rng));
+//!
+//! let x = Tensor::zeros(Shape::new(&[1, 3, 8, 8]));
+//! let y = net.forward(&x, false)?;
+//! assert_eq!(y.shape().dims(), &[1, 3, 8, 8]);
+//! # Ok::<(), sesr_tensor::TensorError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod activation;
+pub mod conv;
+pub mod layer;
+pub mod linear;
+pub mod loss;
+pub mod norm;
+pub mod optim;
+pub mod param;
+pub mod pooling;
+pub mod serialize;
+pub mod shuffle;
+pub mod spec;
+
+pub use activation::{LeakyRelu, PRelu, ReLU, Relu6, Sigmoid, Tanh};
+pub use conv::{Conv2d, DepthwiseConv2d};
+pub use layer::{Identity, Layer, Sequential};
+pub use linear::{Flatten, Linear};
+pub use loss::{
+    cross_entropy_loss, mae_loss, mse_loss, softmax, LossOutput,
+};
+pub use norm::BatchNorm2d;
+pub use optim::{Adam, Optimizer, Sgd, StepLr};
+pub use param::Param;
+pub use pooling::{AvgPool2d, GlobalAvgPool, MaxPool2d};
+pub use shuffle::{NearestUpsample, PixelShuffle};
+pub use spec::{NetworkSpec, OpCost, OpDesc};
+
+/// Result alias re-exported from the tensor crate for convenience.
+pub type Result<T> = sesr_tensor::Result<T>;

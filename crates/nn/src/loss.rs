@@ -1,0 +1,253 @@
+//! Loss functions: mean squared error, mean absolute error and softmax
+//! cross-entropy, each returning the loss value together with the gradient
+//! with respect to the predictions.
+
+use crate::Result;
+use sesr_tensor::{Shape, Tensor, TensorError};
+
+/// A loss value together with its gradient with respect to the prediction.
+#[derive(Debug, Clone)]
+pub struct LossOutput {
+    /// Scalar loss (mean over the batch).
+    pub loss: f32,
+    /// Gradient of the loss with respect to the prediction tensor.
+    pub grad: Tensor,
+}
+
+/// Mean squared error loss, the training objective used by FSRCNN.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+pub fn mse_loss(prediction: &Tensor, target: &Tensor) -> Result<LossOutput> {
+    if prediction.shape() != target.shape() {
+        return Err(TensorError::ShapeMismatch {
+            left: prediction.shape().dims().to_vec(),
+            right: target.shape().dims().to_vec(),
+        });
+    }
+    let n = prediction.len().max(1) as f32;
+    let diff = prediction.sub(target)?;
+    let loss = diff.map(|v| v * v).sum() / n;
+    let grad = diff.scale(2.0 / n);
+    Ok(LossOutput { loss, grad })
+}
+
+/// Mean absolute error (L1) loss, the training objective used by EDSR and SESR.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+pub fn mae_loss(prediction: &Tensor, target: &Tensor) -> Result<LossOutput> {
+    if prediction.shape() != target.shape() {
+        return Err(TensorError::ShapeMismatch {
+            left: prediction.shape().dims().to_vec(),
+            right: target.shape().dims().to_vec(),
+        });
+    }
+    let n = prediction.len().max(1) as f32;
+    let diff = prediction.sub(target)?;
+    let loss = diff.abs().sum() / n;
+    let grad = diff.signum().scale(1.0 / n);
+    Ok(LossOutput { loss, grad })
+}
+
+/// Row-wise softmax of a `[N, K]` logits matrix.
+///
+/// # Errors
+///
+/// Returns an error if the input is not rank 2.
+pub fn softmax(logits: &Tensor) -> Result<Tensor> {
+    let (n, k) = logits.shape().as_matrix()?;
+    let mut out = vec![0.0f32; n * k];
+    let data = logits.data();
+    for b in 0..n {
+        let row = &data[b * k..(b + 1) * k];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut denom = 0.0f32;
+        for (i, &v) in row.iter().enumerate() {
+            let e = (v - max).exp();
+            out[b * k + i] = e;
+            denom += e;
+        }
+        for v in &mut out[b * k..(b + 1) * k] {
+            *v /= denom;
+        }
+    }
+    Tensor::from_vec(Shape::new(&[n, k]), out)
+}
+
+/// Softmax cross-entropy loss over `[N, K]` logits with integer class labels.
+///
+/// Returns the mean loss over the batch and the gradient with respect to the
+/// logits (`softmax(p) - onehot(y)` divided by the batch size). This is both
+/// the classifier training objective and the attack objective maximised by
+/// FGSM/PGD/APGD/DI2FGSM.
+///
+/// # Errors
+///
+/// Returns an error if the logits are not rank 2, the label count does not
+/// match the batch size, or a label is out of range.
+pub fn cross_entropy_loss(logits: &Tensor, labels: &[usize]) -> Result<LossOutput> {
+    let (n, k) = logits.shape().as_matrix()?;
+    if labels.len() != n {
+        return Err(TensorError::invalid_argument(format!(
+            "expected {n} labels, got {}",
+            labels.len()
+        )));
+    }
+    for &label in labels {
+        if label >= k {
+            return Err(TensorError::invalid_argument(format!(
+                "label {label} out of range for {k} classes"
+            )));
+        }
+    }
+    let probs = softmax(logits)?;
+    let mut loss = 0.0f32;
+    let mut grad = probs.data().to_vec();
+    for (b, &label) in labels.iter().enumerate() {
+        let p = probs.data()[b * k + label].max(1e-12);
+        loss -= p.ln();
+        grad[b * k + label] -= 1.0;
+    }
+    let scale = 1.0 / n as f32;
+    for g in &mut grad {
+        *g *= scale;
+    }
+    Ok(LossOutput {
+        loss: loss * scale,
+        grad: Tensor::from_vec(Shape::new(&[n, k]), grad)?,
+    })
+}
+
+/// Top-1 accuracy of `[N, K]` logits against integer labels (in `[0, 1]`).
+///
+/// # Errors
+///
+/// Returns an error if the logits are not rank 2 or the label count differs.
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> Result<f32> {
+    let (n, k) = logits.shape().as_matrix()?;
+    if labels.len() != n {
+        return Err(TensorError::invalid_argument(format!(
+            "expected {n} labels, got {}",
+            labels.len()
+        )));
+    }
+    if n == 0 {
+        return Ok(0.0);
+    }
+    let mut correct = 0usize;
+    for (b, &label) in labels.iter().enumerate() {
+        let row = &logits.data()[b * k..(b + 1) * k];
+        let mut best = 0usize;
+        for i in 1..k {
+            if row[i] > row[best] {
+                best = i;
+            }
+        }
+        if best == label {
+            correct += 1;
+        }
+    }
+    Ok(correct as f32 / n as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_loss_value_and_gradient() {
+        let p = Tensor::from_slice(&[1.0, 2.0]);
+        let t = Tensor::from_slice(&[0.0, 4.0]);
+        let out = mse_loss(&p, &t).unwrap();
+        assert!((out.loss - 2.5).abs() < 1e-6);
+        assert_eq!(out.grad.data(), &[1.0, -2.0]);
+    }
+
+    #[test]
+    fn mae_loss_value_and_gradient() {
+        let p = Tensor::from_slice(&[1.0, 2.0]);
+        let t = Tensor::from_slice(&[0.0, 4.0]);
+        let out = mae_loss(&p, &t).unwrap();
+        assert!((out.loss - 1.5).abs() < 1e-6);
+        assert_eq!(out.grad.data(), &[0.5, -0.5]);
+    }
+
+    #[test]
+    fn loss_shape_mismatch() {
+        let p = Tensor::from_slice(&[1.0]);
+        let t = Tensor::from_slice(&[1.0, 2.0]);
+        assert!(mse_loss(&p, &t).is_err());
+        assert!(mae_loss(&p, &t).is_err());
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let logits =
+            Tensor::from_vec(Shape::new(&[2, 3]), vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]).unwrap();
+        let p = softmax(&logits).unwrap();
+        for b in 0..2 {
+            let s: f32 = p.data()[b * 3..(b + 1) * 3].iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+        // Larger logit -> larger probability.
+        assert!(p.data()[2] > p.data()[1]);
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_logits() {
+        let logits = Tensor::from_vec(Shape::new(&[1, 2]), vec![1e4, 1e4 - 1.0]).unwrap();
+        let p = softmax(&logits).unwrap();
+        assert!(p.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn cross_entropy_perfect_prediction_has_low_loss() {
+        let logits =
+            Tensor::from_vec(Shape::new(&[1, 3]), vec![10.0, -10.0, -10.0]).unwrap();
+        let out = cross_entropy_loss(&logits, &[0]).unwrap();
+        assert!(out.loss < 1e-3);
+        // Gradient pushes the correct logit up (negative gradient) only slightly.
+        assert!(out.grad.data()[0].abs() < 1e-3);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_finite_difference() {
+        let logits =
+            Tensor::from_vec(Shape::new(&[2, 3]), vec![0.5, -0.3, 0.1, 1.0, 0.2, -0.7]).unwrap();
+        let labels = [2usize, 0];
+        let out = cross_entropy_loss(&logits, &labels).unwrap();
+        let eps = 1e-3;
+        for idx in 0..logits.len() {
+            let mut plus = logits.clone();
+            plus.data_mut()[idx] += eps;
+            let mut minus = logits.clone();
+            minus.data_mut()[idx] -= eps;
+            let lp = cross_entropy_loss(&plus, &labels).unwrap().loss;
+            let lm = cross_entropy_loss(&minus, &labels).unwrap().loss;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((num - out.grad.data()[idx]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_validates_labels() {
+        let logits = Tensor::zeros(Shape::new(&[2, 3]));
+        assert!(cross_entropy_loss(&logits, &[0]).is_err());
+        assert!(cross_entropy_loss(&logits, &[0, 3]).is_err());
+    }
+
+    #[test]
+    fn accuracy_counts_correct_rows() {
+        let logits = Tensor::from_vec(
+            Shape::new(&[3, 2]),
+            vec![1.0, 0.0, 0.0, 1.0, 2.0, 5.0],
+        )
+        .unwrap();
+        let acc = accuracy(&logits, &[0, 1, 0]).unwrap();
+        assert!((acc - 2.0 / 3.0).abs() < 1e-6);
+        assert!(accuracy(&logits, &[0]).is_err());
+    }
+}

@@ -1,0 +1,316 @@
+//! First-order optimizers (SGD with momentum, Adam) and a step learning-rate
+//! schedule.
+
+use crate::param::Param;
+use sesr_tensor::Tensor;
+
+/// A first-order optimizer that updates a flat list of parameters in place.
+///
+/// The parameter list must be presented in the same, stable order on every
+/// call (as produced by [`Layer::params_mut`](crate::Layer::params_mut)) so
+/// that per-parameter state stays aligned.
+pub trait Optimizer {
+    /// Apply one update step using the gradients currently stored in the
+    /// parameters, then leave the gradients untouched (call
+    /// [`Layer::zero_grad`](crate::Layer::zero_grad) separately).
+    fn step(&mut self, params: &mut [&mut Param]);
+
+    /// The current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Override the learning rate (used by schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Stochastic gradient descent with classical momentum and optional L2
+/// weight decay.
+#[derive(Debug)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Plain SGD with the given learning rate.
+    pub fn new(lr: f32) -> Self {
+        Sgd {
+            lr,
+            momentum: 0.0,
+            weight_decay: 0.0,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// SGD with momentum.
+    pub fn with_momentum(lr: f32, momentum: f32) -> Self {
+        Sgd {
+            lr,
+            momentum,
+            weight_decay: 0.0,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// Add L2 weight decay.
+    pub fn weight_decay(mut self, decay: f32) -> Self {
+        self.weight_decay = decay;
+        self
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        if self.velocity.len() != params.len() {
+            self.velocity = params
+                .iter()
+                .map(|p| Tensor::zeros(p.value.shape().clone()))
+                .collect();
+        }
+        for (i, p) in params.iter_mut().enumerate() {
+            let mut grad = p.grad.clone();
+            if self.weight_decay > 0.0 {
+                grad.add_scaled_inplace(&p.value, self.weight_decay)
+                    .expect("weight decay shape");
+            }
+            if self.momentum > 0.0 {
+                let v = &mut self.velocity[i];
+                // v = momentum * v + grad
+                let mut new_v = v.scale(self.momentum);
+                new_v.add_scaled_inplace(&grad, 1.0).expect("velocity shape");
+                *v = new_v;
+                p.value
+                    .add_scaled_inplace(v, -self.lr)
+                    .expect("update shape");
+            } else {
+                p.value
+                    .add_scaled_inplace(&grad, -self.lr)
+                    .expect("update shape");
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam optimizer (Kingma & Ba), the optimizer used to train the SR networks
+/// in the paper's references.
+#[derive(Debug)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    step_count: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Adam with standard hyperparameters (beta1=0.9, beta2=0.999, eps=1e-8).
+    pub fn new(lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            step_count: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Number of update steps performed so far.
+    pub fn steps(&self) -> u64 {
+        self.step_count
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        if self.m.len() != params.len() {
+            self.m = params
+                .iter()
+                .map(|p| Tensor::zeros(p.value.shape().clone()))
+                .collect();
+            self.v = params
+                .iter()
+                .map(|p| Tensor::zeros(p.value.shape().clone()))
+                .collect();
+        }
+        self.step_count += 1;
+        let t = self.step_count as f32;
+        let bias1 = 1.0 - self.beta1.powf(t);
+        let bias2 = 1.0 - self.beta2.powf(t);
+        for (i, p) in params.iter_mut().enumerate() {
+            let g = &p.grad;
+            let m = &mut self.m[i];
+            let v = &mut self.v[i];
+            for ((mv, vv), gv) in m
+                .data_mut()
+                .iter_mut()
+                .zip(v.data_mut().iter_mut())
+                .zip(g.data())
+            {
+                *mv = self.beta1 * *mv + (1.0 - self.beta1) * gv;
+                *vv = self.beta2 * *vv + (1.0 - self.beta2) * gv * gv;
+            }
+            for ((pv, mv), vv) in p
+                .value
+                .data_mut()
+                .iter_mut()
+                .zip(m.data())
+                .zip(v.data())
+            {
+                let m_hat = mv / bias1;
+                let v_hat = vv / bias2;
+                *pv -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Step learning-rate schedule: multiply the learning rate by `gamma` every
+/// `step_size` epochs.
+#[derive(Debug, Clone)]
+pub struct StepLr {
+    initial_lr: f32,
+    step_size: usize,
+    gamma: f32,
+}
+
+impl StepLr {
+    /// Create a step schedule.
+    pub fn new(initial_lr: f32, step_size: usize, gamma: f32) -> Self {
+        StepLr {
+            initial_lr,
+            step_size,
+            gamma,
+        }
+    }
+
+    /// Learning rate for a given (zero-based) epoch.
+    pub fn lr_at_epoch(&self, epoch: usize) -> f32 {
+        if self.step_size == 0 {
+            return self.initial_lr;
+        }
+        self.initial_lr * self.gamma.powi((epoch / self.step_size) as i32)
+    }
+
+    /// Apply the scheduled learning rate for `epoch` to an optimizer.
+    pub fn apply(&self, optimizer: &mut dyn Optimizer, epoch: usize) {
+        optimizer.set_learning_rate(self.lr_at_epoch(epoch));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    fn quadratic_param(x0: f32) -> Param {
+        Param::new(Tensor::from_slice(&[x0]))
+    }
+
+    fn set_quadratic_grad(p: &mut Param) {
+        // d/dx of (x - 3)^2 is 2(x - 3)
+        let x = p.value.data()[0];
+        p.grad = Tensor::from_slice(&[2.0 * (x - 3.0)]);
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut p = quadratic_param(0.0);
+        let mut opt = Sgd::new(0.1);
+        for _ in 0..100 {
+            set_quadratic_grad(&mut p);
+            opt.step(&mut [&mut p]);
+        }
+        assert!((p.value.data()[0] - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn sgd_momentum_converges_faster_than_plain() {
+        let run = |mut opt: Sgd| -> usize {
+            let mut p = quadratic_param(0.0);
+            for i in 0..1000 {
+                set_quadratic_grad(&mut p);
+                opt.step(&mut [&mut p]);
+                if (p.value.data()[0] - 3.0).abs() < 1e-4 {
+                    return i;
+                }
+            }
+            1000
+        };
+        let plain = run(Sgd::new(0.01));
+        let momentum = run(Sgd::with_momentum(0.01, 0.9));
+        assert!(momentum < plain, "momentum={momentum} plain={plain}");
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights_without_gradient() {
+        let mut p = Param::new(Tensor::from_slice(&[10.0]));
+        let mut opt = Sgd::new(0.1).weight_decay(0.5);
+        // Zero task gradient; only decay acts.
+        for _ in 0..10 {
+            p.zero_grad();
+            opt.step(&mut [&mut p]);
+        }
+        assert!(p.value.data()[0] < 10.0);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut p = quadratic_param(-5.0);
+        let mut opt = Adam::new(0.2);
+        for _ in 0..300 {
+            set_quadratic_grad(&mut p);
+            opt.step(&mut [&mut p]);
+        }
+        assert!((p.value.data()[0] - 3.0).abs() < 1e-2);
+        assert_eq!(opt.steps(), 300);
+    }
+
+    #[test]
+    fn step_lr_schedule_decays() {
+        let sched = StepLr::new(1.0, 10, 0.5);
+        assert_eq!(sched.lr_at_epoch(0), 1.0);
+        assert_eq!(sched.lr_at_epoch(9), 1.0);
+        assert_eq!(sched.lr_at_epoch(10), 0.5);
+        assert_eq!(sched.lr_at_epoch(25), 0.25);
+        let mut opt = Sgd::new(1.0);
+        sched.apply(&mut opt, 20);
+        assert_eq!(opt.learning_rate(), 0.25);
+    }
+
+    #[test]
+    fn zero_step_size_keeps_lr_constant() {
+        let sched = StepLr::new(0.3, 0, 0.5);
+        assert_eq!(sched.lr_at_epoch(100), 0.3);
+    }
+
+    #[test]
+    fn optimizer_handles_multiple_params() {
+        let mut a = Param::new(Tensor::from_slice(&[1.0, 2.0]));
+        let mut b = Param::new(Tensor::from_slice(&[3.0]));
+        a.grad = Tensor::from_slice(&[1.0, 1.0]);
+        b.grad = Tensor::from_slice(&[1.0]);
+        let mut opt = Sgd::new(0.5);
+        opt.step(&mut [&mut a, &mut b]);
+        assert_eq!(a.value.data(), &[0.5, 1.5]);
+        assert_eq!(b.value.data(), &[2.5]);
+    }
+}

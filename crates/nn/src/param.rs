@@ -1,0 +1,82 @@
+//! Learnable parameter container (value + accumulated gradient).
+
+use sesr_tensor::{Shape, Tensor};
+
+/// A learnable parameter: a value tensor and its accumulated gradient.
+///
+/// Layers own their [`Param`]s; optimizers visit them through
+/// [`Layer::params_mut`](crate::Layer::params_mut) in a stable order so that
+/// per-parameter optimizer state (e.g. Adam moments) stays aligned across
+/// steps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// The parameter value.
+    pub value: Tensor,
+    /// The gradient accumulated by the most recent backward pass(es).
+    pub grad: Tensor,
+}
+
+impl Param {
+    /// Wrap a value tensor as a learnable parameter with a zero gradient.
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.shape().clone());
+        Param { value, grad }
+    }
+
+    /// A zero-initialised parameter of the given shape.
+    pub fn zeros(shape: Shape) -> Self {
+        Param::new(Tensor::zeros(shape))
+    }
+
+    /// Reset the accumulated gradient to zero.
+    pub fn zero_grad(&mut self) {
+        self.grad = Tensor::zeros(self.value.shape().clone());
+    }
+
+    /// Accumulate a gradient contribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gradient shape differs from the parameter shape; this
+    /// always indicates a bug in a layer's backward pass.
+    pub fn accumulate_grad(&mut self, grad: &Tensor) {
+        self.grad
+            .add_scaled_inplace(grad, 1.0)
+            .expect("gradient shape must match parameter shape");
+    }
+
+    /// Number of scalar elements in this parameter.
+    pub fn num_elements(&self) -> usize {
+        self.value.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sesr_tensor::Shape;
+
+    #[test]
+    fn new_param_has_zero_grad() {
+        let p = Param::new(Tensor::full(Shape::new(&[2, 2]), 3.0));
+        assert!(p.grad.data().iter().all(|&v| v == 0.0));
+        assert_eq!(p.num_elements(), 4);
+    }
+
+    #[test]
+    fn accumulate_and_zero() {
+        let mut p = Param::zeros(Shape::new(&[3]));
+        p.accumulate_grad(&Tensor::from_slice(&[1.0, 2.0, 3.0]));
+        p.accumulate_grad(&Tensor::from_slice(&[1.0, 1.0, 1.0]));
+        assert_eq!(p.grad.data(), &[2.0, 3.0, 4.0]);
+        p.zero_grad();
+        assert_eq!(p.grad.data(), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient shape")]
+    fn accumulate_wrong_shape_panics() {
+        let mut p = Param::zeros(Shape::new(&[3]));
+        p.accumulate_grad(&Tensor::from_slice(&[1.0, 2.0]));
+    }
+}

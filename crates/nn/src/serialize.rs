@@ -1,0 +1,187 @@
+//! Plain-text weight serialization for caching trained models between runs.
+//!
+//! The format is intentionally simple and dependency-free: one header line
+//! with the number of tensors, then for each tensor a line with its shape
+//! followed by one line of whitespace-separated `f32` values. This is enough
+//! to checkpoint the small models used in the reproduction.
+
+use crate::{Layer, Result};
+use sesr_tensor::{Shape, Tensor, TensorError};
+use std::fs;
+use std::path::Path;
+
+/// Serialise a list of tensors to a string in the checkpoint format.
+pub fn tensors_to_string(tensors: &[&Tensor]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{}\n", tensors.len()));
+    for t in tensors {
+        let dims: Vec<String> = t.shape().dims().iter().map(|d| d.to_string()).collect();
+        out.push_str(&dims.join(" "));
+        out.push('\n');
+        let vals: Vec<String> = t.data().iter().map(|v| format!("{v:e}")).collect();
+        out.push_str(&vals.join(" "));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse a checkpoint string back into tensors.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidArgument`] if the text is not a valid
+/// checkpoint.
+pub fn tensors_from_string(text: &str) -> Result<Vec<Tensor>> {
+    let mut lines = text.lines();
+    let count: usize = lines
+        .next()
+        .ok_or_else(|| TensorError::invalid_argument("empty checkpoint"))?
+        .trim()
+        .parse()
+        .map_err(|_| TensorError::invalid_argument("invalid tensor count"))?;
+    let mut tensors = Vec::with_capacity(count);
+    for _ in 0..count {
+        let shape_line = lines
+            .next()
+            .ok_or_else(|| TensorError::invalid_argument("missing shape line"))?;
+        let dims: Vec<usize> = if shape_line.trim().is_empty() {
+            Vec::new()
+        } else {
+            shape_line
+                .split_whitespace()
+                .map(|s| {
+                    s.parse()
+                        .map_err(|_| TensorError::invalid_argument("invalid shape value"))
+                })
+                .collect::<Result<Vec<usize>>>()?
+        };
+        let data_line = lines
+            .next()
+            .ok_or_else(|| TensorError::invalid_argument("missing data line"))?;
+        let data: Vec<f32> = if data_line.trim().is_empty() {
+            Vec::new()
+        } else {
+            data_line
+                .split_whitespace()
+                .map(|s| {
+                    s.parse()
+                        .map_err(|_| TensorError::invalid_argument("invalid float value"))
+                })
+                .collect::<Result<Vec<f32>>>()?
+        };
+        tensors.push(Tensor::from_vec(Shape::new(&dims), data)?);
+    }
+    Ok(tensors)
+}
+
+/// Save the parameters of a layer (in `params()` order) to a checkpoint file.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidArgument`] if the file cannot be written.
+pub fn save_layer(layer: &dyn Layer, path: impl AsRef<Path>) -> Result<()> {
+    let tensors: Vec<&Tensor> = layer.params().iter().map(|p| &p.value).collect();
+    let text = tensors_to_string(&tensors);
+    fs::write(path.as_ref(), text)
+        .map_err(|e| TensorError::invalid_argument(format!("cannot write checkpoint: {e}")))
+}
+
+/// Load parameters saved by [`save_layer`] back into a layer with an
+/// identical architecture.
+///
+/// # Errors
+///
+/// Returns an error if the file cannot be read, the tensor count differs, or
+/// any shape differs from the layer's current parameters.
+pub fn load_layer(layer: &mut dyn Layer, path: impl AsRef<Path>) -> Result<()> {
+    let text = fs::read_to_string(path.as_ref())
+        .map_err(|e| TensorError::invalid_argument(format!("cannot read checkpoint: {e}")))?;
+    let tensors = tensors_from_string(&text)?;
+    let mut params = layer.params_mut();
+    if tensors.len() != params.len() {
+        return Err(TensorError::invalid_argument(format!(
+            "checkpoint has {} tensors but the layer has {} parameters",
+            tensors.len(),
+            params.len()
+        )));
+    }
+    for (param, tensor) in params.iter_mut().zip(tensors) {
+        if param.value.shape() != tensor.shape() {
+            return Err(TensorError::ShapeMismatch {
+                left: param.value.shape().dims().to_vec(),
+                right: tensor.shape().dims().to_vec(),
+            });
+        }
+        param.value = tensor;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Conv2d, Sequential};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sesr_tensor::Shape;
+
+    #[test]
+    fn tensor_string_roundtrip() {
+        let a = Tensor::from_vec(Shape::new(&[2, 2]), vec![1.0, -2.5, 3.25e-4, 4.0]).unwrap();
+        let b = Tensor::scalar(7.0);
+        let text = tensors_to_string(&[&a, &b]);
+        let parsed = tensors_from_string(&text).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].shape().dims(), &[2, 2]);
+        for (x, y) in parsed[0].data().iter().zip(a.data()) {
+            assert!((x - y).abs() < 1e-9);
+        }
+        assert_eq!(parsed[1].to_scalar().unwrap(), 7.0);
+    }
+
+    #[test]
+    fn invalid_checkpoints_are_rejected() {
+        assert!(tensors_from_string("").is_err());
+        assert!(tensors_from_string("not_a_number\n").is_err());
+        assert!(tensors_from_string("1\n2 2\n1.0 2.0 3.0\n").is_err());
+    }
+
+    #[test]
+    fn layer_save_load_roundtrip() {
+        let dir = std::env::temp_dir().join("sesr_nn_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("conv.ckpt");
+
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut net = Sequential::new("save_test");
+        net.push(Conv2d::new(1, 2, 3, 1, 1, &mut rng));
+        save_layer(&net, &path).unwrap();
+
+        let mut rng2 = StdRng::seed_from_u64(999);
+        let mut net2 = Sequential::new("load_test");
+        net2.push(Conv2d::new(1, 2, 3, 1, 1, &mut rng2));
+        assert_ne!(net.params()[0].value, net2.params()[0].value);
+        load_layer(&mut net2, &path).unwrap();
+        for (a, b) in net.params()[0].value.data().iter().zip(net2.params()[0].value.data()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_rejects_architecture_mismatch() {
+        let dir = std::env::temp_dir().join("sesr_nn_ckpt_test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mismatch.ckpt");
+
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut small = Sequential::new("small");
+        small.push(Conv2d::new(1, 2, 3, 1, 1, &mut rng));
+        save_layer(&small, &path).unwrap();
+
+        let mut big = Sequential::new("big");
+        big.push(Conv2d::new(1, 4, 3, 1, 1, &mut rng));
+        assert!(load_layer(&mut big, &path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

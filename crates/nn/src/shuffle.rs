@@ -1,0 +1,146 @@
+//! Upsampling layers: [`PixelShuffle`] (depth-to-space) and [`NearestUpsample`].
+
+use crate::{Layer, Result};
+use sesr_tensor::resample::{depth_to_space, resize, space_to_depth, Interpolation};
+use sesr_tensor::{Shape, Tensor, TensorError};
+
+/// Depth-to-space upsampling (pixel shuffle), the upscaling tail used by
+/// SESR, FSRCNN-style and EDSR networks: `[N, C*r^2, H, W] -> [N, C, rH, rW]`.
+#[derive(Debug)]
+pub struct PixelShuffle {
+    factor: usize,
+}
+
+impl PixelShuffle {
+    /// Create a pixel-shuffle layer with upscale factor `factor`.
+    pub fn new(factor: usize) -> Self {
+        PixelShuffle { factor }
+    }
+
+    /// The spatial upscale factor.
+    pub fn factor(&self) -> usize {
+        self.factor
+    }
+}
+
+impl Layer for PixelShuffle {
+    fn name(&self) -> &str {
+        "pixel_shuffle"
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor> {
+        depth_to_space(input, self.factor)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        // The exact adjoint of depth_to_space is space_to_depth.
+        space_to_depth(grad_output, self.factor)
+    }
+}
+
+/// Nearest-neighbour spatial upsampling by an integer factor.
+///
+/// The backward pass sums the gradient over each duplicated block, which is
+/// the exact adjoint of nearest-neighbour duplication. This is what lets the
+/// DI2FGSM input-diversity transform remain differentiable.
+#[derive(Debug)]
+pub struct NearestUpsample {
+    factor: usize,
+    cached_shape: Option<Shape>,
+}
+
+impl NearestUpsample {
+    /// Create an upsampling layer with integer factor `factor`.
+    pub fn new(factor: usize) -> Self {
+        NearestUpsample {
+            factor,
+            cached_shape: None,
+        }
+    }
+}
+
+impl Layer for NearestUpsample {
+    fn name(&self) -> &str {
+        "nearest_upsample"
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor> {
+        let (_, _, h, w) = input.shape().as_nchw()?;
+        self.cached_shape = Some(input.shape().clone());
+        resize(input, h * self.factor, w * self.factor, Interpolation::Nearest)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let shape = self.cached_shape.take().ok_or_else(|| {
+            TensorError::invalid_argument("backward before forward in NearestUpsample")
+        })?;
+        let (n, c, h, w) = shape.as_nchw()?;
+        let (gn, gc, gh, gw) = grad_output.shape().as_nchw()?;
+        if gn != n || gc != c || gh != h * self.factor || gw != w * self.factor {
+            return Err(TensorError::ShapeMismatch {
+                left: vec![n, c, h * self.factor, w * self.factor],
+                right: vec![gn, gc, gh, gw],
+            });
+        }
+        let mut grad_input = vec![0.0f32; shape.num_elements()];
+        let go = grad_output.data();
+        let r = self.factor;
+        for b in 0..n {
+            for ci in 0..c {
+                for y in 0..gh {
+                    for x in 0..gw {
+                        let iy = y / r;
+                        let ix = x / r;
+                        grad_input[((b * c + ci) * h + iy) * w + ix] +=
+                            go[((b * c + ci) * gh + y) * gw + x];
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(shape, grad_input)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pixel_shuffle_forward_backward_are_inverse() {
+        let x = Tensor::from_vec(
+            Shape::new(&[1, 4, 2, 2]),
+            (0..16).map(|i| i as f32).collect(),
+        )
+        .unwrap();
+        let mut ps = PixelShuffle::new(2);
+        let y = ps.forward(&x, true).unwrap();
+        assert_eq!(y.shape().dims(), &[1, 1, 4, 4]);
+        let g = ps.backward(&y).unwrap();
+        assert_eq!(g, x);
+        assert_eq!(ps.factor(), 2);
+    }
+
+    #[test]
+    fn nearest_upsample_forward() {
+        let x = Tensor::from_vec(Shape::new(&[1, 1, 1, 2]), vec![1.0, 2.0]).unwrap();
+        let mut up = NearestUpsample::new(2);
+        let y = up.forward(&x, true).unwrap();
+        assert_eq!(y.shape().dims(), &[1, 1, 2, 4]);
+        assert_eq!(y.data(), &[1.0, 1.0, 2.0, 2.0, 1.0, 1.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn nearest_upsample_backward_sums_blocks() {
+        let x = Tensor::zeros(Shape::new(&[1, 1, 2, 2]));
+        let mut up = NearestUpsample::new(2);
+        let y = up.forward(&x, true).unwrap();
+        let g = up.backward(&Tensor::ones(y.shape().clone())).unwrap();
+        assert_eq!(g.data(), &[4.0, 4.0, 4.0, 4.0]);
+    }
+
+    #[test]
+    fn backward_without_forward_is_error() {
+        let g = Tensor::zeros(Shape::new(&[1, 1, 2, 2]));
+        assert!(NearestUpsample::new(2).backward(&g).is_err());
+    }
+}

@@ -1,0 +1,493 @@
+//! Analytic network descriptions used for MAC/parameter accounting and as the
+//! input to the micro-NPU performance estimator.
+//!
+//! The runnable networks in this workspace are trained at laptop scale, but
+//! Table I and Table IV of the paper report costs at *paper scale*
+//! (299×299 → 598×598 SR in RGB, 598×598 classification). [`NetworkSpec`]
+//! describes a network as a list of [`OpDesc`] operations so that MACs,
+//! parameters and memory traffic can be computed exactly at any input size,
+//! independent of the runnable model's size.
+
+use crate::Result;
+use sesr_tensor::TensorError;
+
+/// One operation in an analytic network description.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OpDesc {
+    /// Dense 2-D convolution.
+    Conv2d {
+        /// Input channels.
+        in_channels: usize,
+        /// Output channels.
+        out_channels: usize,
+        /// Square kernel size.
+        kernel: usize,
+        /// Spatial stride.
+        stride: usize,
+        /// Whether the layer has a bias vector.
+        bias: bool,
+    },
+    /// Depthwise 2-D convolution (one filter per channel).
+    DepthwiseConv2d {
+        /// Channels.
+        channels: usize,
+        /// Square kernel size.
+        kernel: usize,
+        /// Spatial stride.
+        stride: usize,
+        /// Whether the layer has a bias vector.
+        bias: bool,
+    },
+    /// Transposed convolution used by FSRCNN's deconvolution tail. MACs are
+    /// counted at the output resolution, the standard convention.
+    TransposedConv2d {
+        /// Input channels.
+        in_channels: usize,
+        /// Output channels.
+        out_channels: usize,
+        /// Square kernel size.
+        kernel: usize,
+        /// Upsampling stride.
+        stride: usize,
+        /// Whether the layer has a bias vector.
+        bias: bool,
+    },
+    /// Fully-connected layer (applied after global pooling, spatial size 1×1).
+    Linear {
+        /// Input features.
+        in_features: usize,
+        /// Output features.
+        out_features: usize,
+    },
+    /// Elementwise activation / normalisation (counted as zero MACs but
+    /// tracked for memory traffic).
+    Elementwise {
+        /// Channels at this point of the network.
+        channels: usize,
+    },
+    /// Depth-to-space rearrangement by factor `r` (no MACs, changes shape).
+    DepthToSpace {
+        /// Input channels (must be divisible by `r*r`).
+        in_channels: usize,
+        /// Upscaling factor.
+        r: usize,
+    },
+    /// Spatial pooling with the given stride (no MACs, changes shape).
+    Pool {
+        /// Channels (unchanged by pooling).
+        channels: usize,
+        /// Pooling stride.
+        stride: usize,
+    },
+    /// Global average pooling to 1×1 (no MACs, changes shape).
+    GlobalPool {
+        /// Channels (unchanged).
+        channels: usize,
+    },
+}
+
+/// The cost of a single operation at a concrete input resolution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpCost {
+    /// Descriptive layer name.
+    pub name: String,
+    /// Multiply-accumulate operations.
+    pub macs: u64,
+    /// Learnable parameters.
+    pub params: u64,
+    /// Input activation elements read.
+    pub input_elements: u64,
+    /// Output activation elements written.
+    pub output_elements: u64,
+    /// Output spatial size after this op `(channels, height, width)`.
+    pub output_shape: (usize, usize, usize),
+}
+
+/// An analytic description of a whole network: a name plus an ordered list of
+/// named operations.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct NetworkSpec {
+    /// Network name (used in tables).
+    pub name: String,
+    ops: Vec<(String, OpDesc)>,
+}
+
+impl NetworkSpec {
+    /// Create an empty spec with a name.
+    pub fn new(name: impl Into<String>) -> Self {
+        NetworkSpec {
+            name: name.into(),
+            ops: Vec::new(),
+        }
+    }
+
+    /// Append an operation with a descriptive name.
+    pub fn push(&mut self, name: impl Into<String>, op: OpDesc) -> &mut Self {
+        self.ops.push((name.into(), op));
+        self
+    }
+
+    /// The ordered list of operations.
+    pub fn ops(&self) -> &[(String, OpDesc)] {
+        &self.ops
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// `true` if the spec holds no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Total learnable parameters (resolution independent).
+    pub fn total_params(&self) -> u64 {
+        self.ops.iter().map(|(_, op)| op.params()).sum()
+    }
+
+    /// Per-operation costs for an input of shape `(channels, height, width)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if an operation's channel count does not match the
+    /// running shape (an inconsistency in the spec itself).
+    pub fn costs(&self, input: (usize, usize, usize)) -> Result<Vec<OpCost>> {
+        let (mut c, mut h, mut w) = input;
+        let mut out = Vec::with_capacity(self.ops.len());
+        for (name, op) in &self.ops {
+            let in_elements = (c * h * w) as u64;
+            let (oc, oh, ow) = op.output_shape(c, h, w)?;
+            let macs = op.macs(c, h, w)?;
+            out.push(OpCost {
+                name: name.clone(),
+                macs,
+                params: op.params(),
+                input_elements: in_elements,
+                output_elements: (oc * oh * ow) as u64,
+                output_shape: (oc, oh, ow),
+            });
+            c = oc;
+            h = oh;
+            w = ow;
+        }
+        Ok(out)
+    }
+
+    /// Total MACs for an input of shape `(channels, height, width)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the spec is internally inconsistent.
+    pub fn total_macs(&self, input: (usize, usize, usize)) -> Result<u64> {
+        Ok(self.costs(input)?.iter().map(|c| c.macs).sum())
+    }
+}
+
+impl OpDesc {
+    /// Learnable parameter count of this operation.
+    pub fn params(&self) -> u64 {
+        match *self {
+            OpDesc::Conv2d {
+                in_channels,
+                out_channels,
+                kernel,
+                bias,
+                ..
+            } => {
+                (out_channels * in_channels * kernel * kernel + if bias { out_channels } else { 0 })
+                    as u64
+            }
+            OpDesc::DepthwiseConv2d {
+                channels,
+                kernel,
+                bias,
+                ..
+            } => (channels * kernel * kernel + if bias { channels } else { 0 }) as u64,
+            OpDesc::TransposedConv2d {
+                in_channels,
+                out_channels,
+                kernel,
+                bias,
+                ..
+            } => {
+                (in_channels * out_channels * kernel * kernel
+                    + if bias { out_channels } else { 0 }) as u64
+            }
+            OpDesc::Linear {
+                in_features,
+                out_features,
+            } => (in_features * out_features + out_features) as u64,
+            OpDesc::Elementwise { .. }
+            | OpDesc::DepthToSpace { .. }
+            | OpDesc::Pool { .. }
+            | OpDesc::GlobalPool { .. } => 0,
+        }
+    }
+
+    /// Output shape `(channels, height, width)` for an input shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input channel count is inconsistent with the
+    /// operation.
+    pub fn output_shape(&self, c: usize, h: usize, w: usize) -> Result<(usize, usize, usize)> {
+        match *self {
+            OpDesc::Conv2d {
+                in_channels,
+                out_channels,
+                stride,
+                ..
+            } => {
+                check_channels(c, in_channels)?;
+                Ok((out_channels, h.div_ceil(stride), w.div_ceil(stride)))
+            }
+            OpDesc::DepthwiseConv2d {
+                channels, stride, ..
+            } => {
+                check_channels(c, channels)?;
+                Ok((channels, h.div_ceil(stride), w.div_ceil(stride)))
+            }
+            OpDesc::TransposedConv2d {
+                in_channels,
+                out_channels,
+                stride,
+                ..
+            } => {
+                check_channels(c, in_channels)?;
+                Ok((out_channels, h * stride, w * stride))
+            }
+            OpDesc::Linear {
+                in_features,
+                out_features,
+            } => {
+                check_channels(c, in_features)?;
+                Ok((out_features, 1, 1))
+            }
+            OpDesc::Elementwise { channels } => {
+                check_channels(c, channels)?;
+                Ok((channels, h, w))
+            }
+            OpDesc::DepthToSpace { in_channels, r } => {
+                check_channels(c, in_channels)?;
+                if r == 0 || in_channels % (r * r) != 0 {
+                    return Err(TensorError::invalid_argument(
+                        "depth_to_space channels not divisible by r^2",
+                    ));
+                }
+                Ok((in_channels / (r * r), h * r, w * r))
+            }
+            OpDesc::Pool { channels, stride } => {
+                check_channels(c, channels)?;
+                Ok((channels, h.div_ceil(stride), w.div_ceil(stride)))
+            }
+            OpDesc::GlobalPool { channels } => {
+                check_channels(c, channels)?;
+                Ok((channels, 1, 1))
+            }
+        }
+    }
+
+    /// MAC count of this operation for an input shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input channel count is inconsistent.
+    pub fn macs(&self, c: usize, h: usize, w: usize) -> Result<u64> {
+        let (oc, oh, ow) = self.output_shape(c, h, w)?;
+        Ok(match *self {
+            OpDesc::Conv2d {
+                in_channels,
+                kernel,
+                ..
+            } => (oc * oh * ow) as u64 * (in_channels * kernel * kernel) as u64,
+            OpDesc::DepthwiseConv2d { kernel, .. } => {
+                (oc * oh * ow) as u64 * (kernel * kernel) as u64
+            }
+            OpDesc::TransposedConv2d {
+                in_channels,
+                kernel,
+                ..
+            } => (oc * oh * ow) as u64 * (in_channels * kernel * kernel) as u64,
+            OpDesc::Linear { in_features, .. } => (oc) as u64 * in_features as u64,
+            OpDesc::Elementwise { .. }
+            | OpDesc::DepthToSpace { .. }
+            | OpDesc::Pool { .. }
+            | OpDesc::GlobalPool { .. } => 0,
+        })
+    }
+}
+
+fn check_channels(actual: usize, expected: usize) -> Result<()> {
+    if actual != expected {
+        return Err(TensorError::invalid_argument(format!(
+            "network spec expects {expected} input channels at this op, running shape has {actual}"
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_params_and_macs() {
+        let op = OpDesc::Conv2d {
+            in_channels: 3,
+            out_channels: 16,
+            kernel: 3,
+            stride: 1,
+            bias: true,
+        };
+        assert_eq!(op.params(), 16 * 3 * 9 + 16);
+        // 8x8 input, stride 1 -> 8x8 output.
+        assert_eq!(op.macs(3, 8, 8).unwrap(), 16 * 64 * 3 * 9);
+        assert_eq!(op.output_shape(3, 8, 8).unwrap(), (16, 8, 8));
+        assert!(op.macs(4, 8, 8).is_err());
+    }
+
+    #[test]
+    fn depthwise_is_cheaper_than_dense() {
+        let dense = OpDesc::Conv2d {
+            in_channels: 32,
+            out_channels: 32,
+            kernel: 3,
+            stride: 1,
+            bias: false,
+        };
+        let dw = OpDesc::DepthwiseConv2d {
+            channels: 32,
+            kernel: 3,
+            stride: 1,
+            bias: false,
+        };
+        assert!(dw.macs(32, 16, 16).unwrap() < dense.macs(32, 16, 16).unwrap());
+        assert_eq!(
+            dense.macs(32, 16, 16).unwrap() / dw.macs(32, 16, 16).unwrap(),
+            32
+        );
+    }
+
+    #[test]
+    fn transposed_conv_counts_at_output_resolution() {
+        let op = OpDesc::TransposedConv2d {
+            in_channels: 12,
+            out_channels: 3,
+            kernel: 9,
+            stride: 2,
+            bias: true,
+        };
+        assert_eq!(op.output_shape(12, 10, 10).unwrap(), (3, 20, 20));
+        assert_eq!(op.macs(12, 10, 10).unwrap(), 3 * 400 * 12 * 81);
+    }
+
+    #[test]
+    fn strided_and_pooling_shapes() {
+        let conv = OpDesc::Conv2d {
+            in_channels: 3,
+            out_channels: 8,
+            kernel: 3,
+            stride: 2,
+            bias: true,
+        };
+        assert_eq!(conv.output_shape(3, 9, 9).unwrap(), (8, 5, 5));
+        let pool = OpDesc::Pool {
+            channels: 8,
+            stride: 2,
+        };
+        assert_eq!(pool.output_shape(8, 5, 5).unwrap(), (8, 3, 3));
+        assert_eq!(pool.macs(8, 5, 5).unwrap(), 0);
+        let gp = OpDesc::GlobalPool { channels: 8 };
+        assert_eq!(gp.output_shape(8, 3, 3).unwrap(), (8, 1, 1));
+    }
+
+    #[test]
+    fn depth_to_space_shape_and_validation() {
+        let op = OpDesc::DepthToSpace {
+            in_channels: 12,
+            r: 2,
+        };
+        assert_eq!(op.output_shape(12, 4, 4).unwrap(), (3, 8, 8));
+        let bad = OpDesc::DepthToSpace {
+            in_channels: 10,
+            r: 2,
+        };
+        assert!(bad.output_shape(10, 4, 4).is_err());
+    }
+
+    #[test]
+    fn spec_accumulates_costs_and_tracks_shape() {
+        let mut spec = NetworkSpec::new("toy");
+        spec.push(
+            "head",
+            OpDesc::Conv2d {
+                in_channels: 3,
+                out_channels: 8,
+                kernel: 3,
+                stride: 1,
+                bias: true,
+            },
+        )
+        .push("act", OpDesc::Elementwise { channels: 8 })
+        .push(
+            "tail",
+            OpDesc::Conv2d {
+                in_channels: 8,
+                out_channels: 12,
+                kernel: 3,
+                stride: 1,
+                bias: true,
+            },
+        )
+        .push(
+            "d2s",
+            OpDesc::DepthToSpace {
+                in_channels: 12,
+                r: 2,
+            },
+        );
+        let costs = spec.costs((3, 16, 16)).unwrap();
+        assert_eq!(costs.len(), 4);
+        assert_eq!(costs.last().unwrap().output_shape, (3, 32, 32));
+        let total = spec.total_macs((3, 16, 16)).unwrap();
+        assert_eq!(total, costs.iter().map(|c| c.macs).sum::<u64>());
+        assert_eq!(
+            spec.total_params(),
+            (8 * 3 * 9 + 8 + 12 * 8 * 9 + 12) as u64
+        );
+    }
+
+    #[test]
+    fn spec_detects_channel_mismatch() {
+        let mut spec = NetworkSpec::new("broken");
+        spec.push(
+            "conv",
+            OpDesc::Conv2d {
+                in_channels: 4,
+                out_channels: 8,
+                kernel: 3,
+                stride: 1,
+                bias: true,
+            },
+        );
+        assert!(spec.costs((3, 8, 8)).is_err());
+    }
+
+    #[test]
+    fn linear_after_global_pool() {
+        let mut spec = NetworkSpec::new("head");
+        spec.push("gp", OpDesc::GlobalPool { channels: 64 })
+            .push(
+                "fc",
+                OpDesc::Linear {
+                    in_features: 64,
+                    out_features: 10,
+                },
+            );
+        let costs = spec.costs((64, 7, 7)).unwrap();
+        assert_eq!(costs[1].macs, 640);
+        assert_eq!(costs[1].output_shape, (10, 1, 1));
+    }
+}

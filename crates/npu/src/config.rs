@@ -1,0 +1,156 @@
+//! Micro-NPU hardware configurations.
+
+use sesr_tensor::TensorError;
+
+/// An analytic description of a micro-NPU, sufficient for roofline-style
+/// per-layer latency estimation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NpuConfig {
+    /// Human-readable configuration name.
+    pub name: String,
+    /// Peak multiply-accumulate operations per clock cycle (the Ethos-U55 is
+    /// configurable from 32 to 256 8-bit MACs/cycle).
+    pub macs_per_cycle: u32,
+    /// Clock frequency in Hz.
+    pub clock_hz: f64,
+    /// Fraction of the peak MAC rate achieved on convolution workloads
+    /// (covers array under-utilisation on shallow channels, halo overheads
+    /// and scheduling gaps).
+    pub compute_efficiency: f64,
+    /// Sustained memory bandwidth for weights and activations, bytes/second
+    /// (micro-NPUs stream activations through a small SRAM from flash/DRAM).
+    pub memory_bandwidth_bytes_per_s: f64,
+    /// Bytes per tensor element after quantisation (1 for the int8 deployment
+    /// flow used with Ethos-U55).
+    pub bytes_per_element: f64,
+}
+
+impl NpuConfig {
+    /// The Ethos-U55-256 class configuration used for Table IV: 256 MACs per
+    /// cycle at 500 MHz (≈ 0.256 TMAC/s ≈ 0.5 TOP/s counting multiply and add
+    /// separately), with a modest embedded memory system.
+    pub fn ethos_u55_256() -> Self {
+        NpuConfig {
+            name: "Ethos-U55-256".to_string(),
+            macs_per_cycle: 256,
+            clock_hz: 500e6,
+            compute_efficiency: 0.55,
+            memory_bandwidth_bytes_per_s: 3.2e9,
+            bytes_per_element: 1.0,
+        }
+    }
+
+    /// The smaller Ethos-U55-128 configuration (half the MAC array).
+    pub fn ethos_u55_128() -> Self {
+        NpuConfig {
+            name: "Ethos-U55-128".to_string(),
+            macs_per_cycle: 128,
+            ..NpuConfig::ethos_u55_256()
+        }
+    }
+
+    /// A mobile-class NPU (Ethos-N78-like) with an order of magnitude more
+    /// compute and bandwidth, used for the "SESR does 1080p→4K in real time on
+    /// a mobile NPU" context from the SESR paper.
+    pub fn ethos_n78_like() -> Self {
+        NpuConfig {
+            name: "Ethos-N78-class".to_string(),
+            macs_per_cycle: 2048,
+            clock_hz: 1.0e9,
+            compute_efficiency: 0.6,
+            memory_bandwidth_bytes_per_s: 25.0e9,
+            bytes_per_element: 1.0,
+        }
+    }
+
+    /// Peak MAC throughput in MAC/s.
+    pub fn peak_macs_per_second(&self) -> f64 {
+        self.macs_per_cycle as f64 * self.clock_hz
+    }
+
+    /// Effective sustained MAC throughput in MAC/s.
+    pub fn effective_macs_per_second(&self) -> f64 {
+        self.peak_macs_per_second() * self.compute_efficiency
+    }
+
+    /// Validate the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any rate or ratio is non-positive or the
+    /// efficiency exceeds 1.
+    pub fn validate(&self) -> crate::Result<()> {
+        if self.macs_per_cycle == 0
+            || self.clock_hz <= 0.0
+            || self.memory_bandwidth_bytes_per_s <= 0.0
+            || self.bytes_per_element <= 0.0
+        {
+            return Err(TensorError::invalid_argument(
+                "npu configuration rates must be positive",
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.compute_efficiency) || self.compute_efficiency == 0.0 {
+            return Err(TensorError::invalid_argument(
+                "compute efficiency must be in (0, 1]",
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for NpuConfig {
+    fn default() -> Self {
+        NpuConfig::ethos_u55_256()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_valid() {
+        for cfg in [
+            NpuConfig::ethos_u55_256(),
+            NpuConfig::ethos_u55_128(),
+            NpuConfig::ethos_n78_like(),
+        ] {
+            assert!(cfg.validate().is_ok(), "{} invalid", cfg.name);
+        }
+    }
+
+    #[test]
+    fn u55_256_is_roughly_half_a_top() {
+        // 0.5 TOP/s counting multiply and add as separate operations.
+        let cfg = NpuConfig::ethos_u55_256();
+        let tops = 2.0 * cfg.peak_macs_per_second() / 1e12;
+        assert!((0.2..0.6).contains(&tops), "tops={tops}");
+    }
+
+    #[test]
+    fn u55_128_is_half_of_u55_256() {
+        let big = NpuConfig::ethos_u55_256();
+        let small = NpuConfig::ethos_u55_128();
+        assert!((big.peak_macs_per_second() / small.peak_macs_per_second() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mobile_npu_is_much_faster() {
+        let u55 = NpuConfig::ethos_u55_256();
+        let n78 = NpuConfig::ethos_n78_like();
+        assert!(n78.effective_macs_per_second() > 5.0 * u55.effective_macs_per_second());
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut cfg = NpuConfig::default();
+        cfg.compute_efficiency = 0.0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = NpuConfig::default();
+        cfg.macs_per_cycle = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = NpuConfig::default();
+        cfg.memory_bandwidth_bytes_per_s = -1.0;
+        assert!(cfg.validate().is_err());
+    }
+}

@@ -1,0 +1,223 @@
+//! Roofline-style per-layer latency estimation over [`NetworkSpec`]s.
+
+use crate::config::NpuConfig;
+use crate::Result;
+use sesr_nn::spec::NetworkSpec;
+
+/// Latency breakdown of one operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerLatency {
+    /// Layer name from the spec.
+    pub name: String,
+    /// MACs executed.
+    pub macs: u64,
+    /// Weight + activation traffic in bytes.
+    pub traffic_bytes: u64,
+    /// Compute-bound time in seconds.
+    pub compute_seconds: f64,
+    /// Memory-bound time in seconds.
+    pub memory_seconds: f64,
+    /// The roofline latency: `max(compute, memory)`.
+    pub seconds: f64,
+}
+
+impl LayerLatency {
+    /// `true` when the layer is limited by memory traffic rather than MACs.
+    pub fn is_memory_bound(&self) -> bool {
+        self.memory_seconds > self.compute_seconds
+    }
+}
+
+/// Latency estimate for a whole network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkLatency {
+    /// Network name from the spec.
+    pub network: String,
+    /// NPU configuration name used.
+    pub npu: String,
+    /// Per-layer breakdown.
+    pub layers: Vec<LayerLatency>,
+    /// Total latency in milliseconds.
+    pub total_ms: f64,
+    /// Frames per second (1000 / total_ms).
+    pub fps: f64,
+}
+
+/// End-to-end pipeline estimate (SR + classification), the quantity reported
+/// by Table IV.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineLatency {
+    /// Latency of the SR stage in milliseconds.
+    pub sr_ms: f64,
+    /// Latency of the classification stage in milliseconds.
+    pub classification_ms: f64,
+    /// Combined latency in milliseconds.
+    pub total_ms: f64,
+    /// End-to-end frames per second.
+    pub fps: f64,
+}
+
+/// Estimate the latency of a network on an NPU for a given input shape
+/// `(channels, height, width)`.
+///
+/// # Errors
+///
+/// Returns an error if the NPU configuration is invalid or the spec is
+/// internally inconsistent.
+pub fn estimate_network(
+    spec: &NetworkSpec,
+    input: (usize, usize, usize),
+    npu: &NpuConfig,
+) -> Result<NetworkLatency> {
+    npu.validate()?;
+    let costs = spec.costs(input)?;
+    let macs_per_second = npu.effective_macs_per_second();
+    let mut layers = Vec::with_capacity(costs.len());
+    let mut total_seconds = 0.0f64;
+    for cost in costs {
+        // Weight traffic (read once per inference) plus activation read/write.
+        let traffic_elements = cost.params + cost.input_elements + cost.output_elements;
+        let traffic_bytes = (traffic_elements as f64 * npu.bytes_per_element) as u64;
+        let compute_seconds = cost.macs as f64 / macs_per_second;
+        let memory_seconds = traffic_bytes as f64 / npu.memory_bandwidth_bytes_per_s;
+        let seconds = compute_seconds.max(memory_seconds);
+        total_seconds += seconds;
+        layers.push(LayerLatency {
+            name: cost.name,
+            macs: cost.macs,
+            traffic_bytes,
+            compute_seconds,
+            memory_seconds,
+            seconds,
+        });
+    }
+    let total_ms = total_seconds * 1e3;
+    Ok(NetworkLatency {
+        network: spec.name.clone(),
+        npu: npu.name.clone(),
+        layers,
+        total_ms,
+        fps: if total_ms > 0.0 { 1000.0 / total_ms } else { f64::INFINITY },
+    })
+}
+
+/// Estimate the end-to-end defense latency: the SR network upscaling
+/// `sr_input` followed by the classifier running on the upscaled image.
+///
+/// # Errors
+///
+/// Returns an error if either spec is inconsistent or the NPU configuration
+/// is invalid.
+pub fn estimate_pipeline(
+    sr_spec: &NetworkSpec,
+    classifier_spec: &NetworkSpec,
+    sr_input: (usize, usize, usize),
+    scale: usize,
+    npu: &NpuConfig,
+) -> Result<PipelineLatency> {
+    let sr = estimate_network(sr_spec, sr_input, npu)?;
+    let classifier_input = (sr_input.0, sr_input.1 * scale, sr_input.2 * scale);
+    let classifier = estimate_network(classifier_spec, classifier_input, npu)?;
+    let total_ms = sr.total_ms + classifier.total_ms;
+    Ok(PipelineLatency {
+        sr_ms: sr.total_ms,
+        classification_ms: classifier.total_ms,
+        total_ms,
+        fps: if total_ms > 0.0 { 1000.0 / total_ms } else { f64::INFINITY },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sesr_classifiers::cost::mobilenet_v2_paper_spec;
+    use sesr_models::SrModelKind;
+
+    const PAPER_INPUT: (usize, usize, usize) = (3, 299, 299);
+
+    fn u55() -> NpuConfig {
+        NpuConfig::ethos_u55_256()
+    }
+
+    #[test]
+    fn latency_is_positive_and_layers_add_up() {
+        let spec = SrModelKind::SesrM2.paper_spec().unwrap();
+        let lat = estimate_network(&spec, PAPER_INPUT, &u55()).unwrap();
+        assert!(lat.total_ms > 0.0);
+        let sum: f64 = lat.layers.iter().map(|l| l.seconds).sum();
+        assert!((sum * 1e3 - lat.total_ms).abs() < 1e-9);
+        assert!(lat.fps > 0.0);
+    }
+
+    #[test]
+    fn sr_model_latency_ordering_matches_table4() {
+        // Table IV: SESR-M2 < SESR-M3 < SESR-M5 << FSRCNN.
+        let lat = |kind: SrModelKind| {
+            estimate_network(&kind.paper_spec().unwrap(), PAPER_INPUT, &u55())
+                .unwrap()
+                .total_ms
+        };
+        let m2 = lat(SrModelKind::SesrM2);
+        let m3 = lat(SrModelKind::SesrM3);
+        let m5 = lat(SrModelKind::SesrM5);
+        let fsrcnn = lat(SrModelKind::Fsrcnn);
+        assert!(m2 < m3 && m3 < m5 && m5 < fsrcnn, "{m2} {m3} {m5} {fsrcnn}");
+        assert!(
+            fsrcnn / m2 > 3.0,
+            "FSRCNN should be several times slower than SESR-M2 (got {})",
+            fsrcnn / m2
+        );
+    }
+
+    #[test]
+    fn end_to_end_fps_ratio_is_roughly_3x() {
+        // Table IV: SESR-M2 pipeline ~15 FPS vs FSRCNN pipeline ~5.3 FPS (≈2.9x).
+        let classifier = mobilenet_v2_paper_spec();
+        let run = |kind: SrModelKind| {
+            estimate_pipeline(
+                &kind.paper_spec().unwrap(),
+                &classifier,
+                PAPER_INPUT,
+                2,
+                &u55(),
+            )
+            .unwrap()
+        };
+        let fsrcnn = run(SrModelKind::Fsrcnn);
+        let m2 = run(SrModelKind::SesrM2);
+        let ratio = m2.fps / fsrcnn.fps;
+        assert!(
+            (1.8..6.0).contains(&ratio),
+            "end-to-end FPS ratio {ratio} outside the expected band (fsrcnn {} fps, m2 {} fps)",
+            fsrcnn.fps,
+            m2.fps
+        );
+        // The classification stage cost is identical in both pipelines.
+        assert!((fsrcnn.classification_ms - m2.classification_ms).abs() < 1e-9);
+    }
+
+    #[test]
+    fn faster_npu_gives_lower_latency() {
+        let spec = SrModelKind::Fsrcnn.paper_spec().unwrap();
+        let slow = estimate_network(&spec, PAPER_INPUT, &NpuConfig::ethos_u55_128()).unwrap();
+        let fast = estimate_network(&spec, PAPER_INPUT, &NpuConfig::ethos_n78_like()).unwrap();
+        assert!(fast.total_ms < slow.total_ms);
+    }
+
+    #[test]
+    fn invalid_npu_is_rejected() {
+        let spec = SrModelKind::SesrM2.paper_spec().unwrap();
+        let mut bad = NpuConfig::default();
+        bad.compute_efficiency = 0.0;
+        assert!(estimate_network(&spec, PAPER_INPUT, &bad).is_err());
+    }
+
+    #[test]
+    fn memory_bound_detection() {
+        let spec = SrModelKind::SesrM2.paper_spec().unwrap();
+        let lat = estimate_network(&spec, PAPER_INPUT, &u55()).unwrap();
+        // Elementwise / depth-to-space layers move data without MACs, so at
+        // least one layer must be memory bound.
+        assert!(lat.layers.iter().any(|l| l.is_memory_bound()));
+    }
+}

@@ -1,0 +1,31 @@
+//! Analytic micro-NPU performance estimator.
+//!
+//! Table IV of the paper is produced with Arm's Vela performance estimator
+//! for the Ethos-U55 micro-NPU — an *analytic model*, not silicon
+//! measurements. This crate re-implements an estimator of the same class: for
+//! every operation of a [`NetworkSpec`](sesr_nn::spec::NetworkSpec) it
+//! computes a compute-bound cycle count (MACs over effective MACs/cycle) and
+//! a memory-bound cycle count (weight + activation traffic over the memory
+//! bandwidth), takes the maximum (the roofline assumption micro-NPU compilers
+//! use for scheduling), and sums over the network.
+//!
+//! Absolute milliseconds will differ from Vela's (which models the real
+//! datapath, SRAM tiling and kernel decomposition), but the quantities the
+//! paper's conclusion rests on — the ordering of SR models, the roughly 3×
+//! end-to-end FPS advantage of SESR-M2 over FSRCNN, and the fixed cost of the
+//! enlarged MobileNet-V2 — are preserved because they are driven by the same
+//! MAC and traffic totals.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod estimator;
+
+pub use config::NpuConfig;
+pub use estimator::{
+    estimate_network, estimate_pipeline, LayerLatency, NetworkLatency, PipelineLatency,
+};
+
+/// Result alias re-exported from the tensor crate.
+pub type Result<T> = sesr_tensor::Result<T>;

@@ -1,0 +1,114 @@
+//! Paper-scale cost accounting for Table I (parameters and MACs for
+//! upscaling a 299×299 RGB image to 598×598).
+
+use crate::zoo::SrModelKind;
+use crate::Result;
+
+/// Parameter and MAC summary of one SR model at paper scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostSummary {
+    /// Learnable parameters.
+    pub params: u64,
+    /// Multiply-accumulate operations for a 299×299 → 598×598 RGB upscale.
+    pub macs: u64,
+}
+
+/// The input resolution used by Table I and Table IV of the paper.
+pub const PAPER_INPUT: (usize, usize, usize) = (3, 299, 299);
+
+/// Compute the paper-scale cost of a learned SR model from its analytic spec.
+///
+/// Returns `None` for interpolation baselines (which have no parameters and
+/// negligible MACs).
+///
+/// # Errors
+///
+/// Returns an error if the model's spec is internally inconsistent (a bug).
+pub fn paper_cost(kind: SrModelKind) -> Result<Option<CostSummary>> {
+    let Some(spec) = kind.paper_spec() else {
+        return Ok(None);
+    };
+    Ok(Some(CostSummary {
+        params: spec.total_params(),
+        macs: spec.total_macs(PAPER_INPUT)?,
+    }))
+}
+
+/// The parameter / MAC values reported in Table I of the paper, for
+/// comparison against [`paper_cost`]. MACs are in units of operations
+/// (B = 1e9).
+pub fn paper_reported(kind: SrModelKind) -> Option<CostSummary> {
+    let (params, macs) = match kind {
+        SrModelKind::Fsrcnn => (24_336, 5_820_000_000),
+        SrModelKind::EdsrBase => (1_190_000, 106_000_000_000),
+        SrModelKind::Edsr => (42_000_000, 3_400_000_000_000),
+        SrModelKind::SesrM2 => (10_608, 948_000_000),
+        SrModelKind::SesrM3 => (12_912, 1_154_000_000),
+        SrModelKind::SesrM5 => (17_520, 1_566_000_000),
+        SrModelKind::SesrXl => (113_300, 10_130_000_000),
+        SrModelKind::NearestNeighbor | SrModelKind::Bicubic => return None,
+    };
+    Some(CostSummary { params, macs })
+}
+
+/// PSNR values (×2 SR on DIV2K, RGB colourspace) reported in Table I, used by
+/// the benchmark harness to print the paper-vs-measured comparison.
+pub fn paper_reported_psnr(kind: SrModelKind) -> Option<f32> {
+    match kind {
+        SrModelKind::Fsrcnn => Some(32.92),
+        SrModelKind::EdsrBase => Some(34.62),
+        SrModelKind::Edsr => Some(35.03),
+        SrModelKind::SesrM2 => Some(33.26),
+        SrModelKind::SesrM3 => Some(33.44),
+        SrModelKind::SesrM5 => Some(33.64),
+        SrModelKind::SesrXl => Some(34.14),
+        SrModelKind::NearestNeighbor | SrModelKind::Bicubic => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Each analytic cost must land within a factor-of-2 band of the value
+    /// printed in Table I (exact agreement is not expected because the paper
+    /// counts a handful of implementation-specific ops differently).
+    #[test]
+    fn analytic_costs_are_close_to_paper_reported() {
+        for kind in SrModelKind::learned() {
+            let computed = paper_cost(kind).unwrap().unwrap();
+            let reported = paper_reported(kind).unwrap();
+            let param_ratio = computed.params as f64 / reported.params as f64;
+            let mac_ratio = computed.macs as f64 / reported.macs as f64;
+            assert!(
+                (0.5..2.0).contains(&param_ratio),
+                "{kind}: param ratio {param_ratio} (computed {} vs reported {})",
+                computed.params,
+                reported.params
+            );
+            assert!(
+                (0.5..2.0).contains(&mac_ratio),
+                "{kind}: mac ratio {mac_ratio} (computed {} vs reported {})",
+                computed.macs,
+                reported.macs
+            );
+        }
+    }
+
+    #[test]
+    fn interpolation_has_no_cost_entry() {
+        assert!(paper_cost(SrModelKind::NearestNeighbor).unwrap().is_none());
+        assert!(paper_reported(SrModelKind::Bicubic).is_none());
+        assert!(paper_reported_psnr(SrModelKind::NearestNeighbor).is_none());
+    }
+
+    #[test]
+    fn psnr_table_ordering_matches_capacity() {
+        // Larger models report higher PSNR in Table I.
+        let p = |k| paper_reported_psnr(k).unwrap();
+        assert!(p(SrModelKind::SesrM2) < p(SrModelKind::SesrM5));
+        assert!(p(SrModelKind::SesrM5) < p(SrModelKind::SesrXl));
+        assert!(p(SrModelKind::SesrXl) < p(SrModelKind::Edsr));
+        assert!(p(SrModelKind::Fsrcnn) < p(SrModelKind::SesrM2));
+    }
+}

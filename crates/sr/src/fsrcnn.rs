@@ -1,0 +1,250 @@
+//! FSRCNN (Dong et al., ECCV 2016): the small VGG-style SR baseline the paper
+//! compares SESR against.
+//!
+//! The original architecture is feature extraction (5×5, `d` channels) →
+//! shrink (1×1 to `s` channels) → `m` mapping layers (3×3, `s` channels) →
+//! expand (1×1 back to `d`) → 9×9 transposed-convolution upsampling, with
+//! PReLU activations throughout.
+//!
+//! **Substitution note** (documented in DESIGN.md): the runnable network
+//! replaces the 9×9 stride-2 transposed convolution with a 3×3 convolution to
+//! `C·r²` channels followed by depth-to-space, which is the standard
+//! sub-pixel equivalent and keeps the whole zoo on the same upsampling
+//! primitive. The *analytic cost model* ([`FsrcnnConfig::inference_spec`])
+//! still uses the true 9×9 transposed convolution so Table I / IV MAC and
+//! parameter counts reflect the paper's FSRCNN.
+
+use crate::Result;
+use rand::Rng;
+use sesr_nn::spec::{NetworkSpec, OpDesc};
+use sesr_nn::{Conv2d, Layer, PRelu, Param, PixelShuffle, Sequential};
+use sesr_tensor::Tensor;
+
+/// Configuration of an FSRCNN network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FsrcnnConfig {
+    /// Feature-extraction width `d` (56 in the paper).
+    pub d: usize,
+    /// Shrunken mapping width `s` (12 in the paper).
+    pub s: usize,
+    /// Number of 3×3 mapping layers `m` (4 in the paper).
+    pub m: usize,
+    /// Upscaling factor.
+    pub scale: usize,
+    /// Image channels (3 for the RGB pipeline).
+    pub channels: usize,
+}
+
+impl FsrcnnConfig {
+    /// The paper-scale FSRCNN configuration (d=56, s=12, m=4).
+    pub fn paper() -> Self {
+        FsrcnnConfig {
+            d: 56,
+            s: 12,
+            m: 4,
+            scale: 2,
+            channels: 3,
+        }
+    }
+
+    /// A reduced configuration that trains quickly at laptop scale while
+    /// keeping the architecture shape (d=24, s=8, m=2).
+    pub fn local() -> Self {
+        FsrcnnConfig {
+            d: 24,
+            s: 8,
+            m: 2,
+            scale: 2,
+            channels: 3,
+        }
+    }
+
+    /// Analytic inference-time spec with the true 9×9 transposed-convolution
+    /// tail, used for paper-scale cost accounting.
+    pub fn inference_spec(&self) -> NetworkSpec {
+        let mut spec = NetworkSpec::new(format!("fsrcnn_d{}_s{}_m{}", self.d, self.s, self.m));
+        spec.push(
+            "feature_extraction_5x5",
+            OpDesc::Conv2d {
+                in_channels: self.channels,
+                out_channels: self.d,
+                kernel: 5,
+                stride: 1,
+                bias: true,
+            },
+        );
+        spec.push("prelu_feature", OpDesc::Elementwise { channels: self.d });
+        spec.push(
+            "shrink_1x1",
+            OpDesc::Conv2d {
+                in_channels: self.d,
+                out_channels: self.s,
+                kernel: 1,
+                stride: 1,
+                bias: true,
+            },
+        );
+        spec.push("prelu_shrink", OpDesc::Elementwise { channels: self.s });
+        for i in 0..self.m {
+            spec.push(
+                format!("map_3x3_{i}"),
+                OpDesc::Conv2d {
+                    in_channels: self.s,
+                    out_channels: self.s,
+                    kernel: 3,
+                    stride: 1,
+                    bias: true,
+                },
+            );
+            spec.push(format!("prelu_map_{i}"), OpDesc::Elementwise { channels: self.s });
+        }
+        spec.push(
+            "expand_1x1",
+            OpDesc::Conv2d {
+                in_channels: self.s,
+                out_channels: self.d,
+                kernel: 1,
+                stride: 1,
+                bias: true,
+            },
+        );
+        spec.push("prelu_expand", OpDesc::Elementwise { channels: self.d });
+        spec.push(
+            "deconv_9x9",
+            OpDesc::TransposedConv2d {
+                in_channels: self.d,
+                out_channels: self.channels,
+                kernel: 9,
+                stride: self.scale,
+                bias: true,
+            },
+        );
+        spec
+    }
+}
+
+impl Default for FsrcnnConfig {
+    fn default() -> Self {
+        FsrcnnConfig::local()
+    }
+}
+
+/// A runnable FSRCNN network (a [`Sequential`] of convolutions, PReLUs and a
+/// sub-pixel upsampling tail).
+pub struct Fsrcnn {
+    config: FsrcnnConfig,
+    network: Sequential,
+}
+
+impl Fsrcnn {
+    /// Build an FSRCNN network from a configuration.
+    pub fn new(config: FsrcnnConfig, rng: &mut impl Rng) -> Self {
+        let mut net = Sequential::new("fsrcnn");
+        net.push(Conv2d::same(config.channels, config.d, 5, rng));
+        net.push(PRelu::new(config.d));
+        net.push(Conv2d::new(config.d, config.s, 1, 1, 0, rng));
+        net.push(PRelu::new(config.s));
+        for _ in 0..config.m {
+            net.push(Conv2d::same(config.s, config.s, 3, rng));
+            net.push(PRelu::new(config.s));
+        }
+        net.push(Conv2d::new(config.s, config.d, 1, 1, 0, rng));
+        net.push(PRelu::new(config.d));
+        // Sub-pixel upsampling substitute for the 9x9 transposed convolution.
+        net.push(Conv2d::same(
+            config.d,
+            config.channels * config.scale * config.scale,
+            3,
+            rng,
+        ));
+        net.push(PixelShuffle::new(config.scale));
+        Fsrcnn {
+            config,
+            network: net,
+        }
+    }
+
+    /// The configuration used to build this network.
+    pub fn config(&self) -> FsrcnnConfig {
+        self.config
+    }
+}
+
+impl Layer for Fsrcnn {
+    fn name(&self) -> &str {
+        "fsrcnn"
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor> {
+        self.network.forward(input, train)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        self.network.backward(grad_output)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.network.params_mut()
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        self.network.params()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sesr_tensor::{init, Shape};
+
+    #[test]
+    fn forward_upscales_by_two() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut net = Fsrcnn::new(FsrcnnConfig::local(), &mut rng);
+        let x = init::uniform(Shape::new(&[1, 3, 8, 8]), 0.0, 1.0, &mut rng);
+        let y = net.forward(&x, false).unwrap();
+        assert_eq!(y.shape().dims(), &[1, 3, 16, 16]);
+    }
+
+    #[test]
+    fn backward_reaches_the_input() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut net = Fsrcnn::new(FsrcnnConfig::local(), &mut rng);
+        let x = init::uniform(Shape::new(&[1, 3, 6, 6]), 0.0, 1.0, &mut rng);
+        let y = net.forward(&x, true).unwrap();
+        let g = net.backward(&Tensor::ones(y.shape().clone())).unwrap();
+        assert_eq!(g.shape(), x.shape());
+        assert!(g.norm() > 0.0);
+    }
+
+    #[test]
+    fn paper_spec_parameter_count_matches_paper_order_of_magnitude() {
+        // Table I reports 24.3K parameters for FSRCNN in RGB.
+        let spec = FsrcnnConfig::paper().inference_spec();
+        let params = spec.total_params();
+        assert!(
+            (20_000..30_000).contains(&params),
+            "FSRCNN paper-scale params {params} outside expected range"
+        );
+    }
+
+    #[test]
+    fn paper_spec_macs_match_table1_order() {
+        // Table I reports 5.82B MACs for upscaling 299x299 to 598x598.
+        let spec = FsrcnnConfig::paper().inference_spec();
+        let macs = spec.total_macs((3, 299, 299)).unwrap();
+        assert!(
+            (4_000_000_000..8_000_000_000).contains(&macs),
+            "FSRCNN paper-scale MACs {macs} outside expected range"
+        );
+    }
+
+    #[test]
+    fn local_config_is_smaller_than_paper() {
+        let local = FsrcnnConfig::local().inference_spec().total_params();
+        let paper = FsrcnnConfig::paper().inference_spec().total_params();
+        assert!(local < paper);
+    }
+}

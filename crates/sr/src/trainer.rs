@@ -1,0 +1,236 @@
+//! Training loop for SR networks on the synthetic DIV2K-like dataset.
+
+use crate::upscaler::Upscaler;
+use crate::Result;
+use sesr_datagen::SrDataset;
+use sesr_imaging::psnr;
+use sesr_nn::{mae_loss, mse_loss, Adam, Layer, Optimizer};
+use sesr_tensor::TensorError;
+
+/// The pixel loss used to train an SR network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SrLoss {
+    /// Mean absolute error (EDSR / SESR convention).
+    Mae,
+    /// Mean squared error (FSRCNN convention).
+    Mse,
+}
+
+/// Configuration of an SR training run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SrTrainingConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// Pixel loss.
+    pub loss: SrLoss,
+}
+
+impl Default for SrTrainingConfig {
+    fn default() -> Self {
+        SrTrainingConfig {
+            epochs: 8,
+            batch_size: 8,
+            learning_rate: 1e-3,
+            loss: SrLoss::Mae,
+        }
+    }
+}
+
+/// Summary of an SR training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SrTrainingReport {
+    /// Mean training loss per epoch.
+    pub epoch_losses: Vec<f32>,
+    /// PSNR on the validation split after training (dB).
+    pub val_psnr: f32,
+    /// PSNR of plain bicubic upscaling on the same split, as a floor.
+    pub bicubic_psnr: f32,
+}
+
+/// Trainer that fits any [`Layer`] SR network on an [`SrDataset`].
+#[derive(Debug, Clone, Copy)]
+pub struct SrTrainer {
+    config: SrTrainingConfig,
+}
+
+impl SrTrainer {
+    /// Create a trainer with the given configuration.
+    pub fn new(config: SrTrainingConfig) -> Self {
+        SrTrainer { config }
+    }
+
+    /// The training configuration.
+    pub fn config(&self) -> SrTrainingConfig {
+        self.config
+    }
+
+    /// Train `network` in place on `dataset` and return a report.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the dataset and network are incompatible (e.g. the
+    /// network does not upscale by the dataset's scale factor).
+    pub fn train(&self, network: &mut dyn Layer, dataset: &SrDataset) -> Result<SrTrainingReport> {
+        if dataset.train_len() == 0 {
+            return Err(TensorError::invalid_argument("cannot train on an empty dataset"));
+        }
+        let mut optimizer = Adam::new(self.config.learning_rate);
+        let mut epoch_losses = Vec::with_capacity(self.config.epochs);
+        for _ in 0..self.config.epochs {
+            let mut epoch_loss = 0.0f32;
+            let mut batches = 0usize;
+            for (hr, lr) in dataset.train_batches(self.config.batch_size)? {
+                let prediction = network.forward(&lr, true)?;
+                if prediction.shape() != hr.shape() {
+                    return Err(TensorError::ShapeMismatch {
+                        left: hr.shape().dims().to_vec(),
+                        right: prediction.shape().dims().to_vec(),
+                    });
+                }
+                let loss = match self.config.loss {
+                    SrLoss::Mae => mae_loss(&prediction, &hr)?,
+                    SrLoss::Mse => mse_loss(&prediction, &hr)?,
+                };
+                network.zero_grad();
+                network.backward(&loss.grad)?;
+                optimizer.step(&mut network.params_mut());
+                epoch_loss += loss.loss;
+                batches += 1;
+            }
+            epoch_losses.push(epoch_loss / batches.max(1) as f32);
+        }
+        let val_psnr = evaluate_network_psnr(network, dataset)?;
+        let bicubic_psnr = evaluate_bicubic_psnr(dataset)?;
+        Ok(SrTrainingReport {
+            epoch_losses,
+            val_psnr,
+            bicubic_psnr,
+        })
+    }
+}
+
+/// Mean validation PSNR of a trained network on an SR dataset.
+///
+/// # Errors
+///
+/// Returns an error if the network output shape does not match the HR target.
+pub fn evaluate_network_psnr(network: &mut dyn Layer, dataset: &SrDataset) -> Result<f32> {
+    let mut total = 0.0f32;
+    let mut count = 0usize;
+    for i in 0..dataset.val_len() {
+        let (hr, lr) = dataset.val_pair(i);
+        let prediction = network.forward(lr, false)?.clamp(0.0, 1.0);
+        total += psnr(&prediction, hr)?;
+        count += 1;
+    }
+    Ok(if count > 0 { total / count as f32 } else { 0.0 })
+}
+
+/// Mean validation PSNR of any [`Upscaler`] on an SR dataset.
+///
+/// # Errors
+///
+/// Returns an error if the upscaler output shape does not match the HR target.
+pub fn evaluate_upscaler_psnr(upscaler: &mut dyn Upscaler, dataset: &SrDataset) -> Result<f32> {
+    let mut total = 0.0f32;
+    let mut count = 0usize;
+    for i in 0..dataset.val_len() {
+        let (hr, lr) = dataset.val_pair(i);
+        let prediction = upscaler.upscale(lr)?;
+        total += psnr(&prediction, hr)?;
+        count += 1;
+    }
+    Ok(if count > 0 { total / count as f32 } else { 0.0 })
+}
+
+/// Mean validation PSNR of bicubic interpolation, the classical floor that
+/// learned SR should beat.
+///
+/// # Errors
+///
+/// Returns an error if interpolation fails (cannot occur for valid datasets).
+pub fn evaluate_bicubic_psnr(dataset: &SrDataset) -> Result<f32> {
+    let mut bicubic = crate::upscaler::InterpolationUpscaler::bicubic(dataset.config().scale);
+    evaluate_upscaler_psnr(&mut bicubic, dataset)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sesr::{Sesr, SesrConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sesr_datagen::SrDatasetConfig;
+
+    fn tiny_dataset() -> SrDataset {
+        SrDataset::generate(SrDatasetConfig {
+            train_size: 12,
+            val_size: 4,
+            hr_size: 16,
+            scale: 2,
+            seed: 3,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let dataset = tiny_dataset();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut net = Sesr::new(SesrConfig::m2().with_expansion(8), &mut rng);
+        let trainer = SrTrainer::new(SrTrainingConfig {
+            epochs: 6,
+            batch_size: 4,
+            learning_rate: 2e-3,
+            loss: SrLoss::Mae,
+        });
+        let report = trainer.train(&mut net, &dataset).unwrap();
+        assert_eq!(report.epoch_losses.len(), 6);
+        let first = report.epoch_losses.first().unwrap();
+        let last = report.epoch_losses.last().unwrap();
+        assert!(last < first, "loss should decrease: {first} -> {last}");
+        assert!(report.val_psnr.is_finite());
+    }
+
+    #[test]
+    fn mse_loss_variant_also_trains() {
+        let dataset = tiny_dataset();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut net = Sesr::new(SesrConfig::m2().with_expansion(8), &mut rng);
+        let trainer = SrTrainer::new(SrTrainingConfig {
+            epochs: 3,
+            batch_size: 4,
+            learning_rate: 2e-3,
+            loss: SrLoss::Mse,
+        });
+        let report = trainer.train(&mut net, &dataset).unwrap();
+        assert!(report.epoch_losses.iter().all(|l| l.is_finite()));
+    }
+
+    #[test]
+    fn bicubic_psnr_is_a_reasonable_floor() {
+        let dataset = tiny_dataset();
+        let p = evaluate_bicubic_psnr(&dataset).unwrap();
+        assert!(p > 15.0, "bicubic psnr {p} suspiciously low");
+    }
+
+    #[test]
+    fn empty_dataset_is_rejected() {
+        let dataset = SrDataset::generate(SrDatasetConfig {
+            train_size: 0,
+            val_size: 0,
+            hr_size: 16,
+            scale: 2,
+            seed: 0,
+        })
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut net = Sesr::new(SesrConfig::m2().with_expansion(8), &mut rng);
+        let trainer = SrTrainer::new(SrTrainingConfig::default());
+        assert!(trainer.train(&mut net, &dataset).is_err());
+    }
+}

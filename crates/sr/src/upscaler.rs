@@ -1,0 +1,185 @@
+//! The [`Upscaler`] trait shared by deep-learning SR models and the
+//! interpolation baselines, matching the role of the "SR method" column in
+//! Tables I, II and IV of the paper.
+
+use crate::Result;
+use sesr_nn::Layer;
+use sesr_tensor::resample::{upscale, Interpolation};
+use sesr_tensor::{Tensor, TensorError};
+
+/// Anything that can upscale an NCHW image batch by a fixed integer factor.
+///
+/// The defense pipeline is generic over this trait so that Nearest Neighbour,
+/// FSRCNN, EDSR and the SESR variants are interchangeable, exactly as in the
+/// paper's comparison.
+pub trait Upscaler: Send {
+    /// Human-readable model name used in reports and tables.
+    fn name(&self) -> &str;
+
+    /// The integer upscaling factor (the paper uses ×2 everywhere).
+    fn scale(&self) -> usize;
+
+    /// Upscale a `[N, C, H, W]` batch to `[N, C, H*scale, W*scale]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input is not rank 4 or is incompatible with
+    /// the model (e.g. wrong channel count).
+    fn upscale(&mut self, input: &Tensor) -> Result<Tensor>;
+}
+
+/// Interpolation-based upscaler (the paper's "Nearest Neighbor" baseline and
+/// an additional bicubic baseline).
+#[derive(Debug, Clone)]
+pub struct InterpolationUpscaler {
+    name: String,
+    method: Interpolation,
+    scale: usize,
+}
+
+impl InterpolationUpscaler {
+    /// Nearest-neighbour upscaling by `scale`.
+    pub fn nearest(scale: usize) -> Self {
+        InterpolationUpscaler {
+            name: "nearest-neighbor".to_string(),
+            method: Interpolation::Nearest,
+            scale,
+        }
+    }
+
+    /// Bicubic upscaling by `scale`.
+    pub fn bicubic(scale: usize) -> Self {
+        InterpolationUpscaler {
+            name: "bicubic".to_string(),
+            method: Interpolation::Bicubic,
+            scale,
+        }
+    }
+
+    /// Bilinear upscaling by `scale`.
+    pub fn bilinear(scale: usize) -> Self {
+        InterpolationUpscaler {
+            name: "bilinear".to_string(),
+            method: Interpolation::Bilinear,
+            scale,
+        }
+    }
+}
+
+impl Upscaler for InterpolationUpscaler {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn scale(&self) -> usize {
+        self.scale
+    }
+
+    fn upscale(&mut self, input: &Tensor) -> Result<Tensor> {
+        let out = upscale(input, self.scale, self.method)?;
+        Ok(out.clamp(0.0, 1.0))
+    }
+}
+
+/// Adapter wrapping any [`Layer`] network whose forward pass maps
+/// `[N, 3, H, W]` to `[N, 3, H*scale, W*scale]` into an [`Upscaler`].
+pub struct NetworkUpscaler<L: Layer> {
+    name: String,
+    scale: usize,
+    network: L,
+}
+
+impl<L: Layer> NetworkUpscaler<L> {
+    /// Wrap a network with its name and scale factor.
+    pub fn new(name: impl Into<String>, scale: usize, network: L) -> Self {
+        NetworkUpscaler {
+            name: name.into(),
+            scale,
+            network,
+        }
+    }
+
+    /// Borrow the wrapped network (e.g. to count parameters).
+    pub fn network(&self) -> &L {
+        &self.network
+    }
+
+    /// Mutably borrow the wrapped network (e.g. to train it).
+    pub fn network_mut(&mut self) -> &mut L {
+        &mut self.network
+    }
+
+    /// Unwrap into the inner network.
+    pub fn into_inner(self) -> L {
+        self.network
+    }
+}
+
+impl<L: Layer> Upscaler for NetworkUpscaler<L> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn scale(&self) -> usize {
+        self.scale
+    }
+
+    fn upscale(&mut self, input: &Tensor) -> Result<Tensor> {
+        let (_, _, h, w) = input.shape().as_nchw()?;
+        let out = self.network.forward(input, false)?;
+        let (_, _, oh, ow) = out.shape().as_nchw()?;
+        if oh != h * self.scale || ow != w * self.scale {
+            return Err(TensorError::invalid_argument(format!(
+                "network produced {oh}x{ow}, expected {}x{}",
+                h * self.scale,
+                w * self.scale
+            )));
+        }
+        Ok(out.clamp(0.0, 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sesr_nn::{Identity, PixelShuffle, Sequential};
+    use sesr_tensor::Shape;
+
+    #[test]
+    fn nearest_upscaler_doubles_size() {
+        let mut up = InterpolationUpscaler::nearest(2);
+        assert_eq!(up.name(), "nearest-neighbor");
+        assert_eq!(up.scale(), 2);
+        let x = Tensor::full(Shape::new(&[1, 3, 4, 4]), 0.5);
+        let y = up.upscale(&x).unwrap();
+        assert_eq!(y.shape().dims(), &[1, 3, 8, 8]);
+    }
+
+    #[test]
+    fn bicubic_output_is_clamped() {
+        let mut up = InterpolationUpscaler::bicubic(2);
+        let x = Tensor::from_vec(
+            Shape::new(&[1, 1, 2, 2]),
+            vec![0.0, 1.0, 1.0, 0.0],
+        )
+        .unwrap();
+        let y = up.upscale(&x).unwrap();
+        assert!(y.min() >= 0.0 && y.max() <= 1.0);
+    }
+
+    #[test]
+    fn network_upscaler_validates_output_size() {
+        // An identity network does not upscale, so the adapter must reject it.
+        let mut bad = NetworkUpscaler::new("identity", 2, Identity::new());
+        let x = Tensor::zeros(Shape::new(&[1, 3, 4, 4]));
+        assert!(bad.upscale(&x).is_err());
+
+        // A pixel-shuffle network with 12 -> 3 channels does upscale by 2.
+        let mut net = Sequential::new("shuffle_only");
+        net.push(PixelShuffle::new(2));
+        let mut good = NetworkUpscaler::new("shuffle", 2, net);
+        let x = Tensor::zeros(Shape::new(&[1, 12, 4, 4]));
+        let y = good.upscale(&x).unwrap();
+        assert_eq!(y.shape().dims(), &[1, 3, 8, 8]);
+    }
+}

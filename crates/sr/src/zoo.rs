@@ -1,0 +1,207 @@
+//! The SR model zoo enumeration used by every experiment, mapping one-to-one
+//! onto the "SR method" rows of Tables I, II and IV of the paper.
+
+use crate::edsr::{Edsr, EdsrConfig};
+use crate::fsrcnn::{Fsrcnn, FsrcnnConfig};
+use crate::sesr::{Sesr, SesrConfig};
+use crate::upscaler::{InterpolationUpscaler, Upscaler};
+use rand::Rng;
+use sesr_nn::spec::NetworkSpec;
+use sesr_nn::Layer;
+
+/// Every upscaler compared in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SrModelKind {
+    /// Nearest-neighbour interpolation (the cheap non-learned baseline).
+    NearestNeighbor,
+    /// Bicubic interpolation (extra baseline, not in the paper tables).
+    Bicubic,
+    /// EDSR-base (16 residual blocks, 64 channels at paper scale).
+    EdsrBase,
+    /// Full EDSR (32 residual blocks, 256 channels at paper scale).
+    Edsr,
+    /// FSRCNN (d=56, s=12, m=4 at paper scale).
+    Fsrcnn,
+    /// SESR-M2 (2 collapsible blocks, 16 channels).
+    SesrM2,
+    /// SESR-M3 (3 collapsible blocks, 16 channels).
+    SesrM3,
+    /// SESR-M5 (5 collapsible blocks, 16 channels).
+    SesrM5,
+    /// SESR-XL (11 collapsible blocks, 32 channels).
+    SesrXl,
+}
+
+impl SrModelKind {
+    /// Every kind, in the row order used by Table II of the paper (with the
+    /// extra bicubic baseline appended).
+    pub fn all() -> Vec<SrModelKind> {
+        vec![
+            SrModelKind::NearestNeighbor,
+            SrModelKind::EdsrBase,
+            SrModelKind::Edsr,
+            SrModelKind::Fsrcnn,
+            SrModelKind::SesrM2,
+            SrModelKind::SesrM3,
+            SrModelKind::SesrM5,
+            SrModelKind::SesrXl,
+            SrModelKind::Bicubic,
+        ]
+    }
+
+    /// The deep-learning models only (the rows of Table I).
+    pub fn learned() -> Vec<SrModelKind> {
+        SrModelKind::all()
+            .into_iter()
+            .filter(|k| k.is_learned())
+            .collect()
+    }
+
+    /// Display name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SrModelKind::NearestNeighbor => "Nearest Neighbor",
+            SrModelKind::Bicubic => "Bicubic",
+            SrModelKind::EdsrBase => "EDSR-base",
+            SrModelKind::Edsr => "EDSR",
+            SrModelKind::Fsrcnn => "FSRCNN",
+            SrModelKind::SesrM2 => "SESR-M2",
+            SrModelKind::SesrM3 => "SESR-M3",
+            SrModelKind::SesrM5 => "SESR-M5",
+            SrModelKind::SesrXl => "SESR-XL",
+        }
+    }
+
+    /// `true` for deep-learning SR models, `false` for interpolation.
+    pub fn is_learned(&self) -> bool {
+        !matches!(self, SrModelKind::NearestNeighbor | SrModelKind::Bicubic)
+    }
+
+    /// The paper-scale analytic spec (for Table I / IV cost accounting), or
+    /// `None` for interpolation baselines.
+    pub fn paper_spec(&self) -> Option<NetworkSpec> {
+        match self {
+            SrModelKind::NearestNeighbor | SrModelKind::Bicubic => None,
+            SrModelKind::EdsrBase => Some(EdsrConfig::base_paper().inference_spec()),
+            SrModelKind::Edsr => Some(EdsrConfig::full_paper().inference_spec()),
+            SrModelKind::Fsrcnn => Some(FsrcnnConfig::paper().inference_spec()),
+            SrModelKind::SesrM2 => Some(SesrConfig::m2().inference_spec()),
+            SrModelKind::SesrM3 => Some(SesrConfig::m3().inference_spec()),
+            SrModelKind::SesrM5 => Some(SesrConfig::m5().inference_spec()),
+            SrModelKind::SesrXl => Some(SesrConfig::xl().inference_spec()),
+        }
+    }
+
+    /// Build the laptop-scale runnable (untrained) network for a learned
+    /// kind, or `None` for interpolation baselines.
+    pub fn build_local_network(&self, rng: &mut impl Rng) -> Option<Box<dyn Layer>> {
+        match self {
+            SrModelKind::NearestNeighbor | SrModelKind::Bicubic => None,
+            SrModelKind::EdsrBase => Some(Box::new(Edsr::new(EdsrConfig::base_local(), rng))),
+            SrModelKind::Edsr => Some(Box::new(Edsr::new(EdsrConfig::full_local(), rng))),
+            SrModelKind::Fsrcnn => Some(Box::new(Fsrcnn::new(FsrcnnConfig::local(), rng))),
+            SrModelKind::SesrM2 => Some(Box::new(Sesr::new(SesrConfig::m2().with_expansion(32), rng))),
+            SrModelKind::SesrM3 => Some(Box::new(Sesr::new(SesrConfig::m3().with_expansion(32), rng))),
+            SrModelKind::SesrM5 => Some(Box::new(Sesr::new(SesrConfig::m5().with_expansion(32), rng))),
+            SrModelKind::SesrXl => Some(Box::new(Sesr::new(SesrConfig::xl().with_expansion(32), rng))),
+        }
+    }
+
+    /// Build the interpolation upscaler for non-learned kinds, or `None` for
+    /// learned kinds (which must be trained first).
+    pub fn build_interpolation(&self, scale: usize) -> Option<Box<dyn Upscaler>> {
+        match self {
+            SrModelKind::NearestNeighbor => Some(Box::new(InterpolationUpscaler::nearest(scale))),
+            SrModelKind::Bicubic => Some(Box::new(InterpolationUpscaler::bicubic(scale))),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for SrModelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn all_contains_paper_rows() {
+        let all = SrModelKind::all();
+        assert!(all.contains(&SrModelKind::Fsrcnn));
+        assert!(all.contains(&SrModelKind::SesrM2));
+        assert!(all.contains(&SrModelKind::Edsr));
+        assert_eq!(SrModelKind::learned().len(), 7);
+    }
+
+    #[test]
+    fn learned_kinds_have_specs_and_networks() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for kind in SrModelKind::learned() {
+            assert!(kind.is_learned());
+            assert!(kind.paper_spec().is_some(), "{kind} should have a spec");
+            assert!(
+                kind.build_local_network(&mut rng).is_some(),
+                "{kind} should build"
+            );
+            assert!(kind.build_interpolation(2).is_none());
+        }
+    }
+
+    #[test]
+    fn interpolation_kinds_have_upscalers_only() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for kind in [SrModelKind::NearestNeighbor, SrModelKind::Bicubic] {
+            assert!(!kind.is_learned());
+            assert!(kind.paper_spec().is_none());
+            assert!(kind.build_local_network(&mut rng).is_none());
+            assert!(kind.build_interpolation(2).is_some());
+        }
+    }
+
+    #[test]
+    fn names_match_paper_rows() {
+        assert_eq!(SrModelKind::SesrM2.name(), "SESR-M2");
+        assert_eq!(SrModelKind::EdsrBase.to_string(), "EDSR-base");
+        assert_eq!(SrModelKind::NearestNeighbor.name(), "Nearest Neighbor");
+    }
+
+    #[test]
+    fn paper_macs_ordering_matches_table1() {
+        // SESR-M2 < SESR-M3 < SESR-M5 < FSRCNN < SESR-XL < EDSR-base < EDSR.
+        let macs = |k: SrModelKind| {
+            k.paper_spec()
+                .unwrap()
+                .total_macs((3, 299, 299))
+                .unwrap()
+        };
+        assert!(macs(SrModelKind::SesrM2) < macs(SrModelKind::SesrM3));
+        assert!(macs(SrModelKind::SesrM3) < macs(SrModelKind::SesrM5));
+        assert!(macs(SrModelKind::SesrM5) < macs(SrModelKind::Fsrcnn));
+        assert!(macs(SrModelKind::Fsrcnn) < macs(SrModelKind::SesrXl));
+        assert!(macs(SrModelKind::SesrXl) < macs(SrModelKind::EdsrBase));
+        assert!(macs(SrModelKind::EdsrBase) < macs(SrModelKind::Edsr));
+    }
+
+    #[test]
+    fn sesr_m2_is_about_6x_cheaper_than_fsrcnn() {
+        // The headline Table I claim: SESR-M2 has ~6x fewer MACs than FSRCNN.
+        let m2 = SrModelKind::SesrM2
+            .paper_spec()
+            .unwrap()
+            .total_macs((3, 299, 299))
+            .unwrap() as f64;
+        let fsrcnn = SrModelKind::Fsrcnn
+            .paper_spec()
+            .unwrap()
+            .total_macs((3, 299, 299))
+            .unwrap() as f64;
+        let ratio = fsrcnn / m2;
+        assert!((4.0..9.0).contains(&ratio), "ratio={ratio}");
+    }
+}

@@ -1,0 +1,150 @@
+//! Error type shared by all tensor operations.
+
+use std::fmt;
+
+/// Error returned by fallible tensor operations.
+///
+/// Every public function in this crate that can fail returns
+/// [`TensorError`](crate::TensorError) so downstream crates can use `?`
+/// uniformly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The number of elements implied by a shape does not match the data length.
+    LengthMismatch {
+        /// Number of elements implied by the requested shape.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// Two tensors that must share a shape do not.
+    ShapeMismatch {
+        /// Shape of the left-hand operand.
+        left: Vec<usize>,
+        /// Shape of the right-hand operand.
+        right: Vec<usize>,
+    },
+    /// A tensor did not have the expected rank (number of dimensions).
+    RankMismatch {
+        /// Expected rank.
+        expected: usize,
+        /// Actual rank.
+        actual: usize,
+    },
+    /// The inner dimensions of a matrix product do not agree.
+    MatmulDimMismatch {
+        /// Columns of the left matrix.
+        left_cols: usize,
+        /// Rows of the right matrix.
+        right_rows: usize,
+    },
+    /// A convolution / pooling configuration is invalid for the given input.
+    InvalidConvConfig {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// An index was out of bounds for the tensor shape.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: Vec<usize>,
+        /// The tensor shape.
+        shape: Vec<usize>,
+    },
+    /// A generic invalid-argument error with a description.
+    InvalidArgument {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, actual } => write!(
+                f,
+                "data length {actual} does not match shape element count {expected}"
+            ),
+            TensorError::ShapeMismatch { left, right } => {
+                write!(f, "shape mismatch between {left:?} and {right:?}")
+            }
+            TensorError::RankMismatch { expected, actual } => {
+                write!(f, "expected tensor of rank {expected}, got rank {actual}")
+            }
+            TensorError::MatmulDimMismatch {
+                left_cols,
+                right_rows,
+            } => write!(
+                f,
+                "matmul inner dimensions disagree: left has {left_cols} columns, right has {right_rows} rows"
+            ),
+            TensorError::InvalidConvConfig { reason } => {
+                write!(f, "invalid convolution configuration: {reason}")
+            }
+            TensorError::IndexOutOfBounds { index, shape } => {
+                write!(f, "index {index:?} out of bounds for shape {shape:?}")
+            }
+            TensorError::InvalidArgument { reason } => write!(f, "invalid argument: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+impl TensorError {
+    /// Construct an [`TensorError::InvalidArgument`] from any displayable reason.
+    pub fn invalid_argument(reason: impl Into<String>) -> Self {
+        TensorError::InvalidArgument {
+            reason: reason.into(),
+        }
+    }
+
+    /// Construct an [`TensorError::InvalidConvConfig`] from any displayable reason.
+    pub fn invalid_conv(reason: impl Into<String>) -> Self {
+        TensorError::InvalidConvConfig {
+            reason: reason.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_start() {
+        let errors = vec![
+            TensorError::LengthMismatch {
+                expected: 4,
+                actual: 3,
+            },
+            TensorError::ShapeMismatch {
+                left: vec![1, 2],
+                right: vec![2, 1],
+            },
+            TensorError::RankMismatch {
+                expected: 4,
+                actual: 2,
+            },
+            TensorError::MatmulDimMismatch {
+                left_cols: 3,
+                right_rows: 5,
+            },
+            TensorError::invalid_conv("kernel larger than input"),
+            TensorError::IndexOutOfBounds {
+                index: vec![9],
+                shape: vec![3],
+            },
+            TensorError::invalid_argument("bad"),
+        ];
+        for err in errors {
+            let msg = err.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

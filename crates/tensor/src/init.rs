@@ -1,0 +1,116 @@
+//! Random tensor initialisation helpers (Kaiming / Xavier / uniform / normal).
+//!
+//! All initialisers take an explicit [`rand::Rng`] so that every experiment in
+//! the workspace is reproducible from a seed.
+
+use crate::{Shape, Tensor};
+use rand::Rng;
+
+/// Fill a new tensor with samples from `U(lo, hi)`.
+pub fn uniform(shape: Shape, lo: f32, hi: f32, rng: &mut impl Rng) -> Tensor {
+    let n = shape.num_elements();
+    let data = (0..n).map(|_| rng.gen_range(lo..hi)).collect();
+    Tensor::from_vec(shape, data).expect("uniform init length")
+}
+
+/// Fill a new tensor with samples from `N(mean, std^2)` using Box-Muller.
+pub fn normal(shape: Shape, mean: f32, std: f32, rng: &mut impl Rng) -> Tensor {
+    let n = shape.num_elements();
+    let mut data = Vec::with_capacity(n);
+    while data.len() < n {
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        data.push(mean + std * r * theta.cos());
+        if data.len() < n {
+            data.push(mean + std * r * theta.sin());
+        }
+    }
+    Tensor::from_vec(shape, data).expect("normal init length")
+}
+
+/// Kaiming (He) normal initialisation for a convolution weight of shape
+/// `[C_out, C_in, K, K]` or a linear weight `[out, in]`, appropriate for
+/// ReLU-family activations.
+pub fn kaiming_normal(shape: Shape, rng: &mut impl Rng) -> Tensor {
+    let fan_in = fan_in_of(&shape);
+    let std = (2.0 / fan_in.max(1) as f32).sqrt();
+    normal(shape, 0.0, std, rng)
+}
+
+/// Xavier/Glorot uniform initialisation, appropriate for linear/identity
+/// activations (used for the SESR collapsible blocks, which are linear).
+pub fn xavier_uniform(shape: Shape, rng: &mut impl Rng) -> Tensor {
+    let fan_in = fan_in_of(&shape);
+    let fan_out = fan_out_of(&shape);
+    let bound = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+    uniform(shape, -bound, bound, rng)
+}
+
+fn fan_in_of(shape: &Shape) -> usize {
+    match shape.rank() {
+        4 => shape.dim(1) * shape.dim(2) * shape.dim(3),
+        2 => shape.dim(1),
+        _ => shape.num_elements(),
+    }
+}
+
+fn fan_out_of(shape: &Shape) -> usize {
+    match shape.rank() {
+        4 => shape.dim(0) * shape.dim(2) * shape.dim(3),
+        2 => shape.dim(0),
+        _ => shape.num_elements(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = uniform(Shape::new(&[100]), -0.5, 0.5, &mut rng);
+        assert!(t.data().iter().all(|&v| (-0.5..0.5).contains(&v)));
+    }
+
+    #[test]
+    fn normal_has_reasonable_moments() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = normal(Shape::new(&[10_000]), 1.0, 2.0, &mut rng);
+        let mean = t.mean();
+        let var = t.map(|v| (v - mean) * (v - mean)).mean();
+        assert!((mean - 1.0).abs() < 0.1, "mean={mean}");
+        assert!((var - 4.0).abs() < 0.3, "var={var}");
+    }
+
+    #[test]
+    fn kaiming_scale_shrinks_with_fan_in() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let small_fan = kaiming_normal(Shape::new(&[16, 4, 3, 3]), &mut rng);
+        let big_fan = kaiming_normal(Shape::new(&[16, 256, 3, 3]), &mut rng);
+        let std_small = small_fan.map(|v| v * v).mean().sqrt();
+        let std_big = big_fan.map(|v| v * v).mean().sqrt();
+        assert!(std_small > std_big);
+    }
+
+    #[test]
+    fn xavier_bound_is_symmetric() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let t = xavier_uniform(Shape::new(&[32, 64]), &mut rng);
+        let bound = (6.0f32 / (32 + 64) as f32).sqrt();
+        assert!(t.max() <= bound && t.min() >= -bound);
+    }
+
+    #[test]
+    fn same_seed_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let ta = kaiming_normal(Shape::new(&[8, 3, 3, 3]), &mut a);
+        let tb = kaiming_normal(Shape::new(&[8, 3, 3, 3]), &mut b);
+        assert_eq!(ta, tb);
+    }
+}

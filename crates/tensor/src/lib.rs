@@ -1,0 +1,43 @@
+//! Dense `f32` tensor substrate for the SESR adversarial-defense reproduction.
+//!
+//! This crate provides the numerical foundation used by every other crate in the
+//! workspace: an owned, contiguous, row-major [`Tensor`] with an NCHW-oriented
+//! convolution toolkit (im2col/col2im, direct depthwise convolution), pooling,
+//! resampling, padding, and the shape bookkeeping needed to implement both the
+//! super-resolution networks and the classifiers of the paper *Super-Efficient
+//! Super Resolution for Fast Adversarial Defense at the Edge* (DATE 2022).
+//!
+//! The design goal is correctness and clarity rather than peak throughput: all
+//! kernels are straightforward loops over contiguous buffers, which is fast
+//! enough for the laptop-scale synthetic workloads used in the reproduction.
+//!
+//! # Example
+//!
+//! ```
+//! use sesr_tensor::{Shape, Tensor};
+//!
+//! let a = Tensor::from_vec(Shape::new(&[2, 3]), vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0])?;
+//! let b = Tensor::full(Shape::new(&[2, 3]), 0.5);
+//! let sum = a.add(&b)?;
+//! assert_eq!(sum.get(&[1, 2]), 6.5);
+//! # Ok::<(), sesr_tensor::TensorError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod conv;
+pub mod error;
+pub mod init;
+pub mod ops;
+pub mod pool;
+pub mod resample;
+pub mod shape;
+pub mod tensor;
+
+pub use error::TensorError;
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Convenience result alias used throughout the tensor crate.
+pub type Result<T> = std::result::Result<T, TensorError>;

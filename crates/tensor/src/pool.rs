@@ -1,0 +1,348 @@
+//! Pooling operators (max, average, global average) with backward passes.
+
+use crate::{Result, Shape, Tensor, TensorError};
+
+/// Configuration for spatial pooling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolConfig {
+    /// Pooling window size (square).
+    pub kernel: usize,
+    /// Stride in both spatial dimensions.
+    pub stride: usize,
+    /// Zero padding on every border (max pooling pads with negative infinity).
+    pub padding: usize,
+}
+
+impl PoolConfig {
+    /// Create a pooling configuration.
+    pub fn new(kernel: usize, stride: usize, padding: usize) -> Self {
+        PoolConfig {
+            kernel,
+            stride,
+            padding,
+        }
+    }
+
+    /// Spatial output size for an input of `(h, w)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidConvConfig`] for a zero stride/kernel or
+    /// a window larger than the padded input.
+    pub fn output_size(&self, h: usize, w: usize) -> Result<(usize, usize)> {
+        if self.stride == 0 || self.kernel == 0 {
+            return Err(TensorError::invalid_conv("pool kernel/stride must be non-zero"));
+        }
+        let ph = h + 2 * self.padding;
+        let pw = w + 2 * self.padding;
+        if self.kernel > ph || self.kernel > pw {
+            return Err(TensorError::invalid_conv("pool window larger than input"));
+        }
+        Ok(((ph - self.kernel) / self.stride + 1, (pw - self.kernel) / self.stride + 1))
+    }
+}
+
+/// Result of a max-pooling forward pass: the output and the flat input index
+/// chosen for every output element (needed for the backward pass).
+#[derive(Debug, Clone)]
+pub struct MaxPoolOutput {
+    /// Pooled output, shape `[N, C, OH, OW]`.
+    pub output: Tensor,
+    /// For every output element, the flat index into the input that won the max.
+    pub argmax: Vec<usize>,
+}
+
+/// Max pooling forward pass.
+///
+/// # Errors
+///
+/// Returns an error if `input` is not rank 4 or the configuration is invalid.
+pub fn max_pool2d(input: &Tensor, cfg: PoolConfig) -> Result<MaxPoolOutput> {
+    let (n, c, h, w) = input.shape().as_nchw()?;
+    let (oh, ow) = cfg.output_size(h, w)?;
+    let mut out = vec![f32::NEG_INFINITY; n * c * oh * ow];
+    let mut argmax = vec![0usize; n * c * oh * ow];
+    let data = input.data();
+    for b in 0..n {
+        for ci in 0..c {
+            let in_base = (b * c + ci) * h * w;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let out_idx = (b * c + ci) * oh * ow + oy * ow + ox;
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = in_base;
+                    for ky in 0..cfg.kernel {
+                        let iy = (oy * cfg.stride + ky) as isize - cfg.padding as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..cfg.kernel {
+                            let ix = (ox * cfg.stride + kx) as isize - cfg.padding as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            let idx = in_base + iy as usize * w + ix as usize;
+                            if data[idx] > best {
+                                best = data[idx];
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    out[out_idx] = best;
+                    argmax[out_idx] = best_idx;
+                }
+            }
+        }
+    }
+    Ok(MaxPoolOutput {
+        output: Tensor::from_vec(Shape::new(&[n, c, oh, ow]), out)?,
+        argmax,
+    })
+}
+
+/// Max pooling backward pass: route each output gradient to the winning input.
+///
+/// # Errors
+///
+/// Returns an error if shapes are inconsistent.
+pub fn max_pool2d_backward(
+    input_shape: &Shape,
+    pooled: &MaxPoolOutput,
+    grad_output: &Tensor,
+) -> Result<Tensor> {
+    if grad_output.shape() != pooled.output.shape() {
+        return Err(TensorError::ShapeMismatch {
+            left: pooled.output.shape().dims().to_vec(),
+            right: grad_output.shape().dims().to_vec(),
+        });
+    }
+    let mut grad_input = vec![0.0f32; input_shape.num_elements()];
+    for (out_idx, &in_idx) in pooled.argmax.iter().enumerate() {
+        grad_input[in_idx] += grad_output.data()[out_idx];
+    }
+    Tensor::from_vec(input_shape.clone(), grad_input)
+}
+
+/// Average pooling forward pass (divides by the full window size, including
+/// any padded positions, matching the usual deep-learning convention of
+/// `count_include_pad = false` only when padding is zero).
+///
+/// # Errors
+///
+/// Returns an error if `input` is not rank 4 or the configuration is invalid.
+pub fn avg_pool2d(input: &Tensor, cfg: PoolConfig) -> Result<Tensor> {
+    let (n, c, h, w) = input.shape().as_nchw()?;
+    let (oh, ow) = cfg.output_size(h, w)?;
+    let mut out = vec![0.0f32; n * c * oh * ow];
+    let data = input.data();
+    for b in 0..n {
+        for ci in 0..c {
+            let in_base = (b * c + ci) * h * w;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0f32;
+                    let mut count = 0usize;
+                    for ky in 0..cfg.kernel {
+                        let iy = (oy * cfg.stride + ky) as isize - cfg.padding as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..cfg.kernel {
+                            let ix = (ox * cfg.stride + kx) as isize - cfg.padding as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            acc += data[in_base + iy as usize * w + ix as usize];
+                            count += 1;
+                        }
+                    }
+                    out[(b * c + ci) * oh * ow + oy * ow + ox] =
+                        if count > 0 { acc / count as f32 } else { 0.0 };
+                }
+            }
+        }
+    }
+    Tensor::from_vec(Shape::new(&[n, c, oh, ow]), out)
+}
+
+/// Average pooling backward pass.
+///
+/// # Errors
+///
+/// Returns an error if shapes are inconsistent.
+pub fn avg_pool2d_backward(
+    input_shape: &Shape,
+    grad_output: &Tensor,
+    cfg: PoolConfig,
+) -> Result<Tensor> {
+    let (n, c, h, w) = input_shape.as_nchw()?;
+    let (oh, ow) = cfg.output_size(h, w)?;
+    let god = grad_output.shape().dims();
+    if god != [n, c, oh, ow] {
+        return Err(TensorError::ShapeMismatch {
+            left: vec![n, c, oh, ow],
+            right: god.to_vec(),
+        });
+    }
+    let mut grad_input = vec![0.0f32; input_shape.num_elements()];
+    let go = grad_output.data();
+    for b in 0..n {
+        for ci in 0..c {
+            let in_base = (b * c + ci) * h * w;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    // Recompute the window membership to divide by the same count
+                    // used in the forward pass.
+                    let mut members = Vec::new();
+                    for ky in 0..cfg.kernel {
+                        let iy = (oy * cfg.stride + ky) as isize - cfg.padding as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..cfg.kernel {
+                            let ix = (ox * cfg.stride + kx) as isize - cfg.padding as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            members.push(in_base + iy as usize * w + ix as usize);
+                        }
+                    }
+                    if members.is_empty() {
+                        continue;
+                    }
+                    let g = go[(b * c + ci) * oh * ow + oy * ow + ox] / members.len() as f32;
+                    for idx in members {
+                        grad_input[idx] += g;
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(input_shape.clone(), grad_input)
+}
+
+/// Global average pooling: `[N, C, H, W] -> [N, C]`.
+///
+/// # Errors
+///
+/// Returns an error if `input` is not rank 4.
+pub fn global_avg_pool(input: &Tensor) -> Result<Tensor> {
+    let (n, c, h, w) = input.shape().as_nchw()?;
+    let spatial = (h * w) as f32;
+    let mut out = vec![0.0f32; n * c];
+    let data = input.data();
+    for b in 0..n {
+        for ci in 0..c {
+            let base = (b * c + ci) * h * w;
+            let sum: f32 = data[base..base + h * w].iter().sum();
+            out[b * c + ci] = sum / spatial;
+        }
+    }
+    Tensor::from_vec(Shape::new(&[n, c]), out)
+}
+
+/// Backward pass of global average pooling.
+///
+/// # Errors
+///
+/// Returns an error if shapes are inconsistent.
+pub fn global_avg_pool_backward(input_shape: &Shape, grad_output: &Tensor) -> Result<Tensor> {
+    let (n, c, h, w) = input_shape.as_nchw()?;
+    let god = grad_output.shape().dims();
+    if god != [n, c] {
+        return Err(TensorError::ShapeMismatch {
+            left: vec![n, c],
+            right: god.to_vec(),
+        });
+    }
+    let spatial = (h * w) as f32;
+    let mut grad_input = vec![0.0f32; input_shape.num_elements()];
+    for b in 0..n {
+        for ci in 0..c {
+            let g = grad_output.data()[b * c + ci] / spatial;
+            let base = (b * c + ci) * h * w;
+            for v in &mut grad_input[base..base + h * w] {
+                *v = g;
+            }
+        }
+    }
+    Tensor::from_vec(input_shape.clone(), grad_input)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(shape: &[usize], data: &[f32]) -> Tensor {
+        Tensor::from_vec(Shape::new(shape), data.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn max_pool_basic() {
+        let input = t(
+            &[1, 1, 4, 4],
+            &[
+                1.0, 2.0, 5.0, 6.0, //
+                3.0, 4.0, 7.0, 8.0, //
+                9.0, 10.0, 13.0, 14.0, //
+                11.0, 12.0, 15.0, 16.0,
+            ],
+        );
+        let pooled = max_pool2d(&input, PoolConfig::new(2, 2, 0)).unwrap();
+        assert_eq!(pooled.output.shape().dims(), &[1, 1, 2, 2]);
+        assert_eq!(pooled.output.data(), &[4.0, 8.0, 12.0, 16.0]);
+    }
+
+    #[test]
+    fn max_pool_backward_routes_to_argmax() {
+        let input = t(&[1, 1, 2, 2], &[1.0, 5.0, 2.0, 3.0]);
+        let pooled = max_pool2d(&input, PoolConfig::new(2, 2, 0)).unwrap();
+        let grad_out = Tensor::full(pooled.output.shape().clone(), 2.0);
+        let gi = max_pool2d_backward(input.shape(), &pooled, &grad_out).unwrap();
+        assert_eq!(gi.data(), &[0.0, 2.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn avg_pool_basic_and_backward() {
+        let input = t(&[1, 1, 2, 2], &[1.0, 2.0, 3.0, 4.0]);
+        let cfg = PoolConfig::new(2, 2, 0);
+        let out = avg_pool2d(&input, cfg).unwrap();
+        assert_eq!(out.data(), &[2.5]);
+        let gi = avg_pool2d_backward(input.shape(), &Tensor::scalar(4.0).reshape(Shape::new(&[1, 1, 1, 1])).unwrap(), cfg).unwrap();
+        assert_eq!(gi.data(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn avg_pool_with_padding_uses_valid_count() {
+        let input = t(&[1, 1, 2, 2], &[4.0, 4.0, 4.0, 4.0]);
+        // 3x3 window with padding 1 at the corner sees 4 valid elements.
+        let out = avg_pool2d(&input, PoolConfig::new(3, 2, 1)).unwrap();
+        assert_eq!(out.data()[0], 4.0);
+    }
+
+    #[test]
+    fn global_avg_pool_and_backward() {
+        let input = t(&[1, 2, 2, 2], &[1.0, 2.0, 3.0, 4.0, 10.0, 10.0, 10.0, 10.0]);
+        let out = global_avg_pool(&input).unwrap();
+        assert_eq!(out.shape().dims(), &[1, 2]);
+        assert_eq!(out.data(), &[2.5, 10.0]);
+        let gi =
+            global_avg_pool_backward(input.shape(), &t(&[1, 2], &[4.0, 8.0])).unwrap();
+        assert_eq!(gi.data(), &[1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn pool_config_errors() {
+        assert!(PoolConfig::new(0, 1, 0).output_size(4, 4).is_err());
+        assert!(PoolConfig::new(2, 0, 0).output_size(4, 4).is_err());
+        assert!(PoolConfig::new(8, 1, 0).output_size(4, 4).is_err());
+    }
+
+    #[test]
+    fn max_pool_shape_mismatch_in_backward() {
+        let input = Tensor::zeros(Shape::new(&[1, 1, 4, 4]));
+        let pooled = max_pool2d(&input, PoolConfig::new(2, 2, 0)).unwrap();
+        let wrong = Tensor::zeros(Shape::new(&[1, 1, 4, 4]));
+        assert!(max_pool2d_backward(input.shape(), &pooled, &wrong).is_err());
+    }
+}

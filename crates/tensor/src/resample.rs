@@ -1,0 +1,344 @@
+//! Spatial resampling: nearest / bilinear / bicubic interpolation,
+//! depth-to-space (pixel shuffle) and space-to-depth rearrangement, and
+//! zero padding. These are the building blocks for the SR upscalers and the
+//! DI2FGSM input-diversity transform.
+
+use crate::{Result, Shape, Tensor, TensorError};
+
+/// Interpolation kernel used by [`resize`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Interpolation {
+    /// Nearest-neighbour sampling (the paper's cheap interpolation baseline).
+    Nearest,
+    /// Bilinear interpolation.
+    Bilinear,
+    /// Catmull-Rom bicubic interpolation (used to synthesise LR images the
+    /// same way the DIV2K bicubic track is produced).
+    Bicubic,
+}
+
+fn cubic_kernel(x: f32) -> f32 {
+    // Catmull-Rom spline (a = -0.5), the conventional "bicubic" kernel.
+    let a = -0.5f32;
+    let x = x.abs();
+    if x <= 1.0 {
+        (a + 2.0) * x.powi(3) - (a + 3.0) * x.powi(2) + 1.0
+    } else if x < 2.0 {
+        a * x.powi(3) - 5.0 * a * x.powi(2) + 8.0 * a * x - 4.0 * a
+    } else {
+        0.0
+    }
+}
+
+/// Resize an NCHW batch to `(out_h, out_w)` using the given interpolation.
+///
+/// # Errors
+///
+/// Returns an error if the input is not rank 4 or a target dimension is zero.
+pub fn resize(input: &Tensor, out_h: usize, out_w: usize, method: Interpolation) -> Result<Tensor> {
+    let (n, c, h, w) = input.shape().as_nchw()?;
+    if out_h == 0 || out_w == 0 {
+        return Err(TensorError::invalid_argument("resize target must be non-zero"));
+    }
+    let mut out = vec![0.0f32; n * c * out_h * out_w];
+    let data = input.data();
+    let scale_y = h as f32 / out_h as f32;
+    let scale_x = w as f32 / out_w as f32;
+    for b in 0..n {
+        for ci in 0..c {
+            let in_base = (b * c + ci) * h * w;
+            let out_base = (b * c + ci) * out_h * out_w;
+            for oy in 0..out_h {
+                for ox in 0..out_w {
+                    let value = match method {
+                        Interpolation::Nearest => {
+                            let iy = ((oy as f32 + 0.5) * scale_y) as usize;
+                            let ix = ((ox as f32 + 0.5) * scale_x) as usize;
+                            let iy = iy.min(h - 1);
+                            let ix = ix.min(w - 1);
+                            data[in_base + iy * w + ix]
+                        }
+                        Interpolation::Bilinear => {
+                            let fy = (oy as f32 + 0.5) * scale_y - 0.5;
+                            let fx = (ox as f32 + 0.5) * scale_x - 0.5;
+                            let y0 = fy.floor();
+                            let x0 = fx.floor();
+                            let dy = fy - y0;
+                            let dx = fx - x0;
+                            let sample = |yy: isize, xx: isize| -> f32 {
+                                let yy = yy.clamp(0, h as isize - 1) as usize;
+                                let xx = xx.clamp(0, w as isize - 1) as usize;
+                                data[in_base + yy * w + xx]
+                            };
+                            let y0 = y0 as isize;
+                            let x0 = x0 as isize;
+                            let top = sample(y0, x0) * (1.0 - dx) + sample(y0, x0 + 1) * dx;
+                            let bot =
+                                sample(y0 + 1, x0) * (1.0 - dx) + sample(y0 + 1, x0 + 1) * dx;
+                            top * (1.0 - dy) + bot * dy
+                        }
+                        Interpolation::Bicubic => {
+                            let fy = (oy as f32 + 0.5) * scale_y - 0.5;
+                            let fx = (ox as f32 + 0.5) * scale_x - 0.5;
+                            let y0 = fy.floor() as isize;
+                            let x0 = fx.floor() as isize;
+                            let mut acc = 0.0f32;
+                            let mut weight_sum = 0.0f32;
+                            for m in -1..=2isize {
+                                for nn in -1..=2isize {
+                                    let wy = cubic_kernel(fy - (y0 + m) as f32);
+                                    let wx = cubic_kernel(fx - (x0 + nn) as f32);
+                                    let yy = (y0 + m).clamp(0, h as isize - 1) as usize;
+                                    let xx = (x0 + nn).clamp(0, w as isize - 1) as usize;
+                                    acc += wy * wx * data[in_base + yy * w + xx];
+                                    weight_sum += wy * wx;
+                                }
+                            }
+                            if weight_sum.abs() > 1e-8 {
+                                acc / weight_sum
+                            } else {
+                                acc
+                            }
+                        }
+                    };
+                    out[out_base + oy * out_w + ox] = value;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(Shape::new(&[n, c, out_h, out_w]), out)
+}
+
+/// Upscale by an integer factor using the given interpolation.
+///
+/// # Errors
+///
+/// Returns an error if the input is not rank 4 or `factor` is zero.
+pub fn upscale(input: &Tensor, factor: usize, method: Interpolation) -> Result<Tensor> {
+    let (_, _, h, w) = input.shape().as_nchw()?;
+    if factor == 0 {
+        return Err(TensorError::invalid_argument("upscale factor must be non-zero"));
+    }
+    resize(input, h * factor, w * factor, method)
+}
+
+/// Depth-to-space (pixel shuffle): `[N, C*r*r, H, W] -> [N, C, H*r, W*r]`.
+///
+/// This is the upsampling tail used by SESR, FSRCNN-style and EDSR networks.
+///
+/// # Errors
+///
+/// Returns an error if the channel count is not divisible by `r * r`.
+pub fn depth_to_space(input: &Tensor, r: usize) -> Result<Tensor> {
+    let (n, c, h, w) = input.shape().as_nchw()?;
+    if r == 0 || c % (r * r) != 0 {
+        return Err(TensorError::invalid_argument(format!(
+            "depth_to_space requires channels ({c}) divisible by r^2 ({})",
+            r * r
+        )));
+    }
+    let c_out = c / (r * r);
+    let mut out = vec![0.0f32; n * c * h * w];
+    let data = input.data();
+    for b in 0..n {
+        for co in 0..c_out {
+            for dy in 0..r {
+                for dx in 0..r {
+                    let ci = co * r * r + dy * r + dx;
+                    for y in 0..h {
+                        for x in 0..w {
+                            let src = ((b * c + ci) * h + y) * w + x;
+                            let dst = ((b * c_out + co) * (h * r) + (y * r + dy)) * (w * r)
+                                + (x * r + dx);
+                            out[dst] = data[src];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(Shape::new(&[n, c_out, h * r, w * r]), out)
+}
+
+/// Space-to-depth, the exact inverse of [`depth_to_space`].
+///
+/// # Errors
+///
+/// Returns an error if the spatial dimensions are not divisible by `r`.
+pub fn space_to_depth(input: &Tensor, r: usize) -> Result<Tensor> {
+    let (n, c, h, w) = input.shape().as_nchw()?;
+    if r == 0 || h % r != 0 || w % r != 0 {
+        return Err(TensorError::invalid_argument(format!(
+            "space_to_depth requires H ({h}) and W ({w}) divisible by r ({r})"
+        )));
+    }
+    let oh = h / r;
+    let ow = w / r;
+    let c_out = c * r * r;
+    let mut out = vec![0.0f32; n * c * h * w];
+    let data = input.data();
+    for b in 0..n {
+        for ci in 0..c {
+            for dy in 0..r {
+                for dx in 0..r {
+                    let co = ci * r * r + dy * r + dx;
+                    for y in 0..oh {
+                        for x in 0..ow {
+                            let src = ((b * c + ci) * h + (y * r + dy)) * w + (x * r + dx);
+                            let dst = ((b * c_out + co) * oh + y) * ow + x;
+                            out[dst] = data[src];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(Shape::new(&[n, c_out, oh, ow]), out)
+}
+
+/// Zero-pad an NCHW batch: `pad = (top, bottom, left, right)`.
+///
+/// # Errors
+///
+/// Returns an error if the input is not rank 4.
+pub fn pad_nchw(input: &Tensor, pad: (usize, usize, usize, usize)) -> Result<Tensor> {
+    let (n, c, h, w) = input.shape().as_nchw()?;
+    let (top, bottom, left, right) = pad;
+    let oh = h + top + bottom;
+    let ow = w + left + right;
+    let mut out = vec![0.0f32; n * c * oh * ow];
+    let data = input.data();
+    for b in 0..n {
+        for ci in 0..c {
+            for y in 0..h {
+                let src_row = ((b * c + ci) * h + y) * w;
+                let dst_row = ((b * c + ci) * oh + y + top) * ow + left;
+                out[dst_row..dst_row + w].copy_from_slice(&data[src_row..src_row + w]);
+            }
+        }
+    }
+    Tensor::from_vec(Shape::new(&[n, c, oh, ow]), out)
+}
+
+/// Crop an NCHW batch to the window starting at `(top, left)` with size `(h, w)`.
+///
+/// # Errors
+///
+/// Returns an error if the crop window exceeds the input bounds.
+pub fn crop_nchw(input: &Tensor, top: usize, left: usize, h: usize, w: usize) -> Result<Tensor> {
+    let (n, c, ih, iw) = input.shape().as_nchw()?;
+    if top + h > ih || left + w > iw {
+        return Err(TensorError::invalid_argument(format!(
+            "crop window ({top},{left})+{h}x{w} exceeds input {ih}x{iw}"
+        )));
+    }
+    let mut out = vec![0.0f32; n * c * h * w];
+    let data = input.data();
+    for b in 0..n {
+        for ci in 0..c {
+            for y in 0..h {
+                let src_row = ((b * c + ci) * ih + y + top) * iw + left;
+                let dst_row = ((b * c + ci) * h + y) * w;
+                out[dst_row..dst_row + w].copy_from_slice(&data[src_row..src_row + w]);
+            }
+        }
+    }
+    Tensor::from_vec(Shape::new(&[n, c, h, w]), out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(shape: &[usize], data: &[f32]) -> Tensor {
+        Tensor::from_vec(Shape::new(shape), data.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn nearest_upscale_duplicates_pixels() {
+        let input = t(&[1, 1, 2, 2], &[1.0, 2.0, 3.0, 4.0]);
+        let out = upscale(&input, 2, Interpolation::Nearest).unwrap();
+        assert_eq!(out.shape().dims(), &[1, 1, 4, 4]);
+        assert_eq!(out.get(&[0, 0, 0, 0]), 1.0);
+        assert_eq!(out.get(&[0, 0, 0, 1]), 1.0);
+        assert_eq!(out.get(&[0, 0, 3, 3]), 4.0);
+    }
+
+    #[test]
+    fn bilinear_preserves_constant_images() {
+        let input = Tensor::full(Shape::new(&[1, 2, 3, 3]), 7.5);
+        let out = resize(&input, 6, 5, Interpolation::Bilinear).unwrap();
+        assert!(out.data().iter().all(|&v| (v - 7.5).abs() < 1e-5));
+    }
+
+    #[test]
+    fn bicubic_preserves_constant_images() {
+        let input = Tensor::full(Shape::new(&[1, 1, 4, 4]), -3.25);
+        let out = resize(&input, 8, 8, Interpolation::Bicubic).unwrap();
+        assert!(out.data().iter().all(|&v| (v + 3.25).abs() < 1e-4));
+    }
+
+    #[test]
+    fn downscale_then_size_matches() {
+        let input = Tensor::zeros(Shape::new(&[2, 3, 8, 8]));
+        let out = resize(&input, 4, 4, Interpolation::Bicubic).unwrap();
+        assert_eq!(out.shape().dims(), &[2, 3, 4, 4]);
+    }
+
+    #[test]
+    fn resize_identity_is_exact_for_nearest() {
+        let input = t(&[1, 1, 2, 3], &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let out = resize(&input, 2, 3, Interpolation::Nearest).unwrap();
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn depth_to_space_known_layout() {
+        // 4 channels, 1x1 spatial, r=2 -> 1 channel 2x2 in raster order.
+        let input = t(&[1, 4, 1, 1], &[1.0, 2.0, 3.0, 4.0]);
+        let out = depth_to_space(&input, 2).unwrap();
+        assert_eq!(out.shape().dims(), &[1, 1, 2, 2]);
+        assert_eq!(out.data(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn depth_to_space_roundtrip_with_space_to_depth() {
+        let data: Vec<f32> = (0..1 * 8 * 4 * 4).map(|i| i as f32).collect();
+        let input = t(&[1, 8, 4, 4], &data);
+        let up = depth_to_space(&input, 2).unwrap();
+        assert_eq!(up.shape().dims(), &[1, 2, 8, 8]);
+        let back = space_to_depth(&up, 2).unwrap();
+        assert_eq!(back, input);
+    }
+
+    #[test]
+    fn depth_to_space_rejects_bad_channels() {
+        let input = Tensor::zeros(Shape::new(&[1, 3, 2, 2]));
+        assert!(depth_to_space(&input, 2).is_err());
+        assert!(space_to_depth(&Tensor::zeros(Shape::new(&[1, 1, 3, 3])), 2).is_err());
+    }
+
+    #[test]
+    fn pad_and_crop_roundtrip() {
+        let input = t(&[1, 1, 2, 2], &[1.0, 2.0, 3.0, 4.0]);
+        let padded = pad_nchw(&input, (1, 2, 3, 0)).unwrap();
+        assert_eq!(padded.shape().dims(), &[1, 1, 5, 5]);
+        assert_eq!(padded.get(&[0, 0, 0, 0]), 0.0);
+        assert_eq!(padded.get(&[0, 0, 1, 3]), 1.0);
+        let cropped = crop_nchw(&padded, 1, 3, 2, 2).unwrap();
+        assert_eq!(cropped, input);
+    }
+
+    #[test]
+    fn crop_out_of_bounds_is_error() {
+        let input = Tensor::zeros(Shape::new(&[1, 1, 4, 4]));
+        assert!(crop_nchw(&input, 2, 2, 3, 3).is_err());
+    }
+
+    #[test]
+    fn resize_zero_target_is_error() {
+        let input = Tensor::zeros(Shape::new(&[1, 1, 4, 4]));
+        assert!(resize(&input, 0, 4, Interpolation::Nearest).is_err());
+        assert!(upscale(&input, 0, Interpolation::Nearest).is_err());
+    }
+}

@@ -1,0 +1,226 @@
+//! Shape bookkeeping for dense row-major tensors.
+
+use crate::TensorError;
+use std::fmt;
+
+/// The shape (dimension sizes) of a [`Tensor`](crate::Tensor).
+///
+/// Shapes are stored as a small vector of dimension sizes in row-major
+/// (C-style) order. For image tensors the convention throughout the workspace
+/// is `[N, C, H, W]`.
+///
+/// # Example
+///
+/// ```
+/// use sesr_tensor::Shape;
+///
+/// let shape = Shape::new(&[2, 3, 8, 8]);
+/// assert_eq!(shape.rank(), 4);
+/// assert_eq!(shape.num_elements(), 2 * 3 * 8 * 8);
+/// assert_eq!(shape.dim(1), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Create a shape from a slice of dimension sizes.
+    pub fn new(dims: &[usize]) -> Self {
+        Shape {
+            dims: dims.to_vec(),
+        }
+    }
+
+    /// Shape of a scalar (rank 0, one element).
+    pub fn scalar() -> Self {
+        Shape { dims: Vec::new() }
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// The size of dimension `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= self.rank()`.
+    pub fn dim(&self, axis: usize) -> usize {
+        self.dims[axis]
+    }
+
+    /// All dimension sizes as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Total number of elements (product of all dimensions; 1 for a scalar).
+    pub fn num_elements(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Row-major strides, in elements, for this shape.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![0usize; self.dims.len()];
+        let mut acc = 1usize;
+        for (i, &d) in self.dims.iter().enumerate().rev() {
+            strides[i] = acc;
+            acc *= d;
+        }
+        strides
+    }
+
+    /// Convert a multi-dimensional index into a flat row-major offset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] if `index` has the wrong rank
+    /// or any coordinate exceeds the corresponding dimension.
+    pub fn offset(&self, index: &[usize]) -> Result<usize, TensorError> {
+        if index.len() != self.dims.len() {
+            return Err(TensorError::IndexOutOfBounds {
+                index: index.to_vec(),
+                shape: self.dims.clone(),
+            });
+        }
+        let mut offset = 0usize;
+        let strides = self.strides();
+        for ((&i, &d), &s) in index.iter().zip(&self.dims).zip(&strides) {
+            if i >= d {
+                return Err(TensorError::IndexOutOfBounds {
+                    index: index.to_vec(),
+                    shape: self.dims.clone(),
+                });
+            }
+            offset += i * s;
+        }
+        Ok(offset)
+    }
+
+    /// Interpret this shape as an NCHW image batch, returning `(n, c, h, w)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] if the shape is not rank 4.
+    pub fn as_nchw(&self) -> Result<(usize, usize, usize, usize), TensorError> {
+        if self.dims.len() != 4 {
+            return Err(TensorError::RankMismatch {
+                expected: 4,
+                actual: self.dims.len(),
+            });
+        }
+        Ok((self.dims[0], self.dims[1], self.dims[2], self.dims[3]))
+    }
+
+    /// Interpret this shape as a matrix, returning `(rows, cols)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] if the shape is not rank 2.
+    pub fn as_matrix(&self) -> Result<(usize, usize), TensorError> {
+        if self.dims.len() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.dims.len(),
+            });
+        }
+        Ok((self.dims[0], self.dims[1]))
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape { dims }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn num_elements_and_rank() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.rank(), 3);
+        assert_eq!(s.num_elements(), 24);
+        assert_eq!(s.dims(), &[2, 3, 4]);
+    }
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::scalar();
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.num_elements(), 1);
+        assert_eq!(s.offset(&[]).unwrap(), 0);
+    }
+
+    #[test]
+    fn strides_row_major() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+    }
+
+    #[test]
+    fn offset_computation() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.offset(&[0, 0, 0]).unwrap(), 0);
+        assert_eq!(s.offset(&[1, 2, 3]).unwrap(), 23);
+        assert_eq!(s.offset(&[0, 1, 2]).unwrap(), 6);
+    }
+
+    #[test]
+    fn offset_out_of_bounds() {
+        let s = Shape::new(&[2, 3]);
+        assert!(s.offset(&[2, 0]).is_err());
+        assert!(s.offset(&[0]).is_err());
+        assert!(s.offset(&[0, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn nchw_accessor() {
+        let s = Shape::new(&[1, 3, 8, 9]);
+        assert_eq!(s.as_nchw().unwrap(), (1, 3, 8, 9));
+        assert!(Shape::new(&[3, 8, 9]).as_nchw().is_err());
+    }
+
+    #[test]
+    fn matrix_accessor() {
+        let s = Shape::new(&[5, 7]);
+        assert_eq!(s.as_matrix().unwrap(), (5, 7));
+        assert!(Shape::new(&[5]).as_matrix().is_err());
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Shape::new(&[2, 3]).to_string(), "[2, 3]");
+        assert_eq!(Shape::scalar().to_string(), "[]");
+    }
+
+    #[test]
+    fn from_vec_and_slice() {
+        let a: Shape = vec![1, 2].into();
+        let b: Shape = (&[1usize, 2][..]).into();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,322 @@
+//! The dense, owned, row-major `f32` tensor type.
+
+use crate::{Result, Shape, TensorError};
+use std::fmt;
+
+/// A dense, contiguous, row-major `f32` tensor.
+///
+/// [`Tensor`] is the single numerical container used throughout the
+/// workspace. Image batches use the NCHW layout `[batch, channels, height,
+/// width]`; matrices use `[rows, cols]`.
+///
+/// # Example
+///
+/// ```
+/// use sesr_tensor::{Shape, Tensor};
+///
+/// let t = Tensor::zeros(Shape::new(&[1, 3, 4, 4]));
+/// assert_eq!(t.shape().num_elements(), 48);
+/// assert_eq!(t.get(&[0, 2, 3, 3]), 0.0);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Create a tensor of the given shape filled with zeros.
+    pub fn zeros(shape: Shape) -> Self {
+        let n = shape.num_elements();
+        Tensor {
+            shape,
+            data: vec![0.0; n],
+        }
+    }
+
+    /// Create a tensor of the given shape filled with ones.
+    pub fn ones(shape: Shape) -> Self {
+        Tensor::full(shape, 1.0)
+    }
+
+    /// Create a tensor of the given shape filled with `value`.
+    pub fn full(shape: Shape, value: f32) -> Self {
+        let n = shape.num_elements();
+        Tensor {
+            shape,
+            data: vec![value; n],
+        }
+    }
+
+    /// Create a tensor from an existing data buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if `data.len()` does not equal
+    /// the number of elements implied by `shape`.
+    pub fn from_vec(shape: Shape, data: Vec<f32>) -> Result<Self> {
+        if shape.num_elements() != data.len() {
+            return Err(TensorError::LengthMismatch {
+                expected: shape.num_elements(),
+                actual: data.len(),
+            });
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    /// Create a rank-1 tensor from a slice.
+    pub fn from_slice(data: &[f32]) -> Self {
+        Tensor {
+            shape: Shape::new(&[data.len()]),
+            data: data.to_vec(),
+        }
+    }
+
+    /// Create a scalar (rank-0) tensor.
+    pub fn scalar(value: f32) -> Self {
+        Tensor {
+            shape: Shape::scalar(),
+            data: vec![value],
+        }
+    }
+
+    /// The shape of this tensor.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Borrow the underlying contiguous data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutably borrow the underlying contiguous data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consume the tensor and return its raw data buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Read the element at a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds; use [`Shape::offset`] for a
+    /// fallible lookup.
+    pub fn get(&self, index: &[usize]) -> f32 {
+        let off = self
+            .shape
+            .offset(index)
+            .expect("index out of bounds in Tensor::get");
+        self.data[off]
+    }
+
+    /// Write the element at a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds.
+    pub fn set(&mut self, index: &[usize], value: f32) {
+        let off = self
+            .shape
+            .offset(index)
+            .expect("index out of bounds in Tensor::set");
+        self.data[off] = value;
+    }
+
+    /// Return a tensor with the same data but a different shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if the new shape does not have
+    /// the same number of elements.
+    pub fn reshape(&self, shape: Shape) -> Result<Tensor> {
+        if shape.num_elements() != self.data.len() {
+            return Err(TensorError::LengthMismatch {
+                expected: shape.num_elements(),
+                actual: self.data.len(),
+            });
+        }
+        Ok(Tensor {
+            shape,
+            data: self.data.clone(),
+        })
+    }
+
+    /// Number of elements in the tensor.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` if the tensor has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Extract the single element of a scalar or one-element tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] if the tensor has more than
+    /// one element.
+    pub fn to_scalar(&self) -> Result<f32> {
+        if self.data.len() != 1 {
+            return Err(TensorError::invalid_argument(format!(
+                "to_scalar called on tensor with {} elements",
+                self.data.len()
+            )));
+        }
+        Ok(self.data[0])
+    }
+
+    /// Slice out image `index` from an NCHW batch as a `[1, C, H, W]` tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the tensor is not rank 4 or the index is out of
+    /// bounds.
+    pub fn batch_item(&self, index: usize) -> Result<Tensor> {
+        let (n, c, h, w) = self.shape.as_nchw()?;
+        if index >= n {
+            return Err(TensorError::IndexOutOfBounds {
+                index: vec![index],
+                shape: self.shape.dims().to_vec(),
+            });
+        }
+        let stride = c * h * w;
+        let start = index * stride;
+        let data = self.data[start..start + stride].to_vec();
+        Tensor::from_vec(Shape::new(&[1, c, h, w]), data)
+    }
+
+    /// Stack a list of `[1, C, H, W]` tensors into a `[N, C, H, W]` batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the list is empty or the items disagree in shape.
+    pub fn stack_batch(items: &[Tensor]) -> Result<Tensor> {
+        let first = items
+            .first()
+            .ok_or_else(|| TensorError::invalid_argument("stack_batch on empty list"))?;
+        let (n0, c, h, w) = first.shape.as_nchw()?;
+        if n0 != 1 {
+            return Err(TensorError::invalid_argument(
+                "stack_batch expects items with batch dimension 1",
+            ));
+        }
+        let mut data = Vec::with_capacity(items.len() * c * h * w);
+        for item in items {
+            if item.shape() != first.shape() {
+                return Err(TensorError::ShapeMismatch {
+                    left: first.shape.dims().to_vec(),
+                    right: item.shape.dims().to_vec(),
+                });
+            }
+            data.extend_from_slice(item.data());
+        }
+        Tensor::from_vec(Shape::new(&[items.len(), c, h, w]), data)
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let preview: Vec<f32> = self.data.iter().take(8).copied().collect();
+        write!(
+            f,
+            "Tensor {{ shape: {}, len: {}, data[..8]: {:?} }}",
+            self.shape,
+            self.data.len(),
+            preview
+        )
+    }
+}
+
+impl Default for Tensor {
+    fn default() -> Self {
+        Tensor::scalar(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_ones_full() {
+        let z = Tensor::zeros(Shape::new(&[2, 2]));
+        assert!(z.data().iter().all(|&v| v == 0.0));
+        let o = Tensor::ones(Shape::new(&[2, 2]));
+        assert!(o.data().iter().all(|&v| v == 1.0));
+        let f = Tensor::full(Shape::new(&[3]), 2.5);
+        assert_eq!(f.data(), &[2.5, 2.5, 2.5]);
+    }
+
+    #[test]
+    fn from_vec_length_check() {
+        assert!(Tensor::from_vec(Shape::new(&[2, 2]), vec![1.0; 4]).is_ok());
+        assert!(Tensor::from_vec(Shape::new(&[2, 2]), vec![1.0; 3]).is_err());
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut t = Tensor::zeros(Shape::new(&[2, 3, 4]));
+        t.set(&[1, 2, 3], 7.0);
+        assert_eq!(t.get(&[1, 2, 3]), 7.0);
+        assert_eq!(t.get(&[0, 0, 0]), 0.0);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_slice(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let r = t.reshape(Shape::new(&[2, 3])).unwrap();
+        assert_eq!(r.get(&[1, 0]), 4.0);
+        assert!(t.reshape(Shape::new(&[4, 2])).is_err());
+    }
+
+    #[test]
+    fn scalar_roundtrip() {
+        let s = Tensor::scalar(3.5);
+        assert_eq!(s.to_scalar().unwrap(), 3.5);
+        assert!(Tensor::from_slice(&[1.0, 2.0]).to_scalar().is_err());
+    }
+
+    #[test]
+    fn batch_item_and_stack() {
+        let batch = Tensor::from_vec(
+            Shape::new(&[2, 1, 2, 2]),
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0],
+        )
+        .unwrap();
+        let a = batch.batch_item(0).unwrap();
+        let b = batch.batch_item(1).unwrap();
+        assert_eq!(a.data(), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(b.data(), &[5.0, 6.0, 7.0, 8.0]);
+        assert!(batch.batch_item(2).is_err());
+
+        let restacked = Tensor::stack_batch(&[a, b]).unwrap();
+        assert_eq!(restacked, batch);
+    }
+
+    #[test]
+    fn stack_batch_rejects_mismatched_shapes() {
+        let a = Tensor::zeros(Shape::new(&[1, 1, 2, 2]));
+        let b = Tensor::zeros(Shape::new(&[1, 1, 3, 3]));
+        assert!(Tensor::stack_batch(&[a, b]).is_err());
+        assert!(Tensor::stack_batch(&[]).is_err());
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let t = Tensor::zeros(Shape::new(&[4]));
+        assert!(!format!("{t:?}").is_empty());
+    }
+
+    #[test]
+    fn tensor_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Tensor>();
+    }
+}

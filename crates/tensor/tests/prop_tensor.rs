@@ -1,0 +1,119 @@
+//! Property-based tests on the tensor substrate: algebraic identities and
+//! structural invariants that the higher layers (training, attacks, the
+//! defense pipeline) implicitly rely on.
+
+use proptest::prelude::*;
+use sesr_tensor::conv::{conv2d, Conv2dConfig};
+use sesr_tensor::resample::{depth_to_space, resize, space_to_depth, Interpolation};
+use sesr_tensor::{Shape, Tensor};
+
+fn tensor_strategy(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-10.0f32..10.0, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Elementwise addition is commutative and subtraction is its inverse.
+    #[test]
+    fn add_commutes_and_sub_inverts(data_a in tensor_strategy(24), data_b in tensor_strategy(24)) {
+        let a = Tensor::from_vec(Shape::new(&[2, 3, 2, 2]), data_a).unwrap();
+        let b = Tensor::from_vec(Shape::new(&[2, 3, 2, 2]), data_b).unwrap();
+        let ab = a.add(&b).unwrap();
+        let ba = b.add(&a).unwrap();
+        prop_assert!(ab.max_abs_diff(&ba).unwrap() < 1e-5);
+        let back = ab.sub(&b).unwrap();
+        prop_assert!(back.max_abs_diff(&a).unwrap() < 1e-4);
+    }
+
+    /// Matrix multiplication distributes over addition: (A+B)C == AC + BC.
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in tensor_strategy(6),
+        b in tensor_strategy(6),
+        c in tensor_strategy(8),
+    ) {
+        let a = Tensor::from_vec(Shape::new(&[3, 2]), a).unwrap();
+        let b = Tensor::from_vec(Shape::new(&[3, 2]), b).unwrap();
+        let c = Tensor::from_vec(Shape::new(&[2, 4]), c).unwrap();
+        let lhs = a.add(&b).unwrap().matmul(&c).unwrap();
+        let rhs = a.matmul(&c).unwrap().add(&b.matmul(&c).unwrap()).unwrap();
+        prop_assert!(lhs.max_abs_diff(&rhs).unwrap() < 1e-3);
+    }
+
+    /// Transposing twice is the identity, and matmul with the transpose
+    /// produces a symmetric Gram matrix.
+    #[test]
+    fn transpose_involution_and_gram_symmetry(data in tensor_strategy(12)) {
+        let a = Tensor::from_vec(Shape::new(&[3, 4]), data).unwrap();
+        prop_assert_eq!(a.transpose().unwrap().transpose().unwrap(), a.clone());
+        let gram = a.matmul(&a.transpose().unwrap()).unwrap();
+        let gram_t = gram.transpose().unwrap();
+        prop_assert!(gram.max_abs_diff(&gram_t).unwrap() < 1e-3);
+    }
+
+    /// Convolution is linear in its input: conv(a*x) == a * conv(x).
+    #[test]
+    fn convolution_is_linear_in_the_input(
+        data in tensor_strategy(32),
+        weight in tensor_strategy(18),
+        alpha in -3.0f32..3.0,
+    ) {
+        let x = Tensor::from_vec(Shape::new(&[1, 2, 4, 4]), data).unwrap();
+        let w = Tensor::from_vec(Shape::new(&[1, 2, 3, 3]), weight).unwrap();
+        let cfg = Conv2dConfig::same(3);
+        let scaled_first = conv2d(&x.scale(alpha), &w, None, cfg).unwrap();
+        let scaled_after = conv2d(&x, &w, None, cfg).unwrap().scale(alpha);
+        prop_assert!(scaled_first.max_abs_diff(&scaled_after).unwrap() < 1e-2);
+    }
+
+    /// depth_to_space and space_to_depth are exact inverses and preserve the
+    /// multiset of values.
+    #[test]
+    fn pixel_shuffle_roundtrip_preserves_values(data in tensor_strategy(64)) {
+        let x = Tensor::from_vec(Shape::new(&[1, 4, 4, 4]), data).unwrap();
+        let up = depth_to_space(&x, 2).unwrap();
+        prop_assert_eq!(up.shape().dims(), &[1, 1, 8, 8]);
+        let back = space_to_depth(&up, 2).unwrap();
+        prop_assert_eq!(back, x.clone());
+        prop_assert!((up.sum() - x.sum()).abs() < 1e-3);
+    }
+
+    /// Resizing never produces values outside the input range (for all three
+    /// interpolation modes this holds for constant-padded natural images in
+    /// [0, 1] up to small overshoot for bicubic, which we clamp).
+    #[test]
+    fn nearest_and_bilinear_resize_respect_value_bounds(
+        data in prop::collection::vec(0.0f32..1.0, 48),
+        out_h in 2usize..10,
+        out_w in 2usize..10,
+    ) {
+        let x = Tensor::from_vec(Shape::new(&[1, 3, 4, 4]), data).unwrap();
+        for method in [Interpolation::Nearest, Interpolation::Bilinear] {
+            let y = resize(&x, out_h, out_w, method).unwrap();
+            prop_assert!(y.min() >= x.min() - 1e-5);
+            prop_assert!(y.max() <= x.max() + 1e-5);
+        }
+    }
+
+    /// Clamp really clamps and signum produces only {-1, 0, 1}.
+    #[test]
+    fn clamp_and_signum_invariants(data in tensor_strategy(20), lo in -2.0f32..0.0, width in 0.1f32..3.0) {
+        let x = Tensor::from_vec(Shape::new(&[20]), data).unwrap();
+        let hi = lo + width;
+        let clamped = x.clamp(lo, hi);
+        prop_assert!(clamped.min() >= lo - 1e-6);
+        prop_assert!(clamped.max() <= hi + 1e-6);
+        for v in x.signum().data() {
+            prop_assert!(*v == -1.0 || *v == 0.0 || *v == 1.0);
+        }
+    }
+
+    /// The mean lies between the minimum and maximum.
+    #[test]
+    fn mean_is_bounded_by_extrema(data in tensor_strategy(17)) {
+        let x = Tensor::from_vec(Shape::new(&[17]), data).unwrap();
+        prop_assert!(x.mean() >= x.min() - 1e-4);
+        prop_assert!(x.mean() <= x.max() + 1e-4);
+    }
+}

@@ -1,0 +1,86 @@
+//! Robustness-vs-epsilon sweep (an extension beyond the paper, which fixes
+//! ε = 8/255): how does the defense hold up as the attack budget grows?
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release -p sesr-defense --example robustness_sweep
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sesr_attacks::{AttackConfig, AttackKind};
+use sesr_defense::experiments::{build_defense, train_sr_models, ExperimentConfig};
+use sesr_defense::pipeline::PreprocessConfig;
+use sesr_defense::robustness::RobustnessEvaluator;
+use sesr_classifiers::{ClassifierKind, ClassifierTrainer, ClassifierTrainingConfig};
+use sesr_datagen::{ClassificationDataset, DatasetConfig};
+use sesr_models::SrModelKind;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut config = ExperimentConfig::quick();
+    config.num_classes = 4;
+    config.train_size = 48;
+    config.val_size = 24;
+    config.eval_images = 8;
+
+    println!("== Robust accuracy vs attack strength (PGD) ==");
+    let dataset = ClassificationDataset::generate(DatasetConfig {
+        num_classes: config.num_classes,
+        train_size: config.train_size,
+        val_size: config.val_size,
+        height: config.image_size,
+        width: config.image_size,
+        seed: config.seed,
+    })?;
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut classifier = ClassifierKind::ResNet50.build_local(config.num_classes, &mut rng);
+    ClassifierTrainer::new(ClassifierTrainingConfig {
+        epochs: config.classifier_epochs,
+        batch_size: 12,
+        learning_rate: 3e-3,
+    })
+    .train(classifier.as_mut(), &dataset)?;
+
+    let trained_sr = train_sr_models(&config)?;
+    let mut evaluator = RobustnessEvaluator::new(
+        "ResNet-50",
+        classifier,
+        dataset.val_images(),
+        dataset.val_labels(),
+        config.eval_images,
+    )?;
+
+    println!(
+        "{:<12} {:>14} {:>18} {:>14}",
+        "epsilon", "No Defense", "Nearest Neighbor", "SESR-M2"
+    );
+    for epsilon in [2.0 / 255.0, 8.0 / 255.0, 16.0 / 255.0] {
+        let attack = AttackKind::Pgd.build(AttackConfig::paper().with_epsilon(epsilon).with_steps(4));
+        let mut attack_rng = StdRng::seed_from_u64(3);
+        let adversarial = evaluator.craft_adversarial(attack.as_ref(), &mut attack_rng)?;
+        let none = evaluator.defended_accuracy(&adversarial, None)?;
+        let mut nn_defense = build_defense(
+            SrModelKind::NearestNeighbor,
+            PreprocessConfig::paper(),
+            &trained_sr,
+            config.seed,
+        )?;
+        let nearest = evaluator.defended_accuracy(&adversarial, Some(&mut nn_defense))?;
+        let mut sesr_defense = build_defense(
+            SrModelKind::SesrM2,
+            PreprocessConfig::paper(),
+            &trained_sr,
+            config.seed,
+        )?;
+        let sesr = evaluator.defended_accuracy(&adversarial, Some(&mut sesr_defense))?;
+        println!(
+            "{:<12.4} {:>13.1}% {:>17.1}% {:>13.1}%",
+            epsilon,
+            none * 100.0,
+            nearest * 100.0,
+            sesr * 100.0
+        );
+    }
+    Ok(())
+}

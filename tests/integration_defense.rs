@@ -1,0 +1,67 @@
+//! End-to-end integration test: the complete Table II machinery — data
+//! generation, SR training, classifier training, gray-box attacks, defense
+//! pipelines — at a minutes-scale configuration.
+
+use sesr_attacks::AttackKind;
+use sesr_classifiers::ClassifierKind;
+use sesr_defense::experiments::{run_table1, run_table2, run_table3, ExperimentConfig};
+use sesr_models::SrModelKind;
+
+fn quick_config() -> ExperimentConfig {
+    let mut config = ExperimentConfig::quick();
+    config.sr_kinds = vec![SrModelKind::NearestNeighbor, SrModelKind::SesrM2];
+    config.attacks = vec![AttackKind::Fgsm];
+    config.classifiers = vec![ClassifierKind::MobileNetV2];
+    config
+}
+
+#[test]
+fn table1_pipeline_produces_complete_rows() {
+    let mut config = quick_config();
+    config.sr_kinds = vec![SrModelKind::SesrM2, SrModelKind::Fsrcnn];
+    let rows = run_table1(&config).expect("table 1 run");
+    assert_eq!(rows.len(), 2);
+    for row in &rows {
+        assert!(row.params > 0);
+        assert!(row.macs > 0);
+        assert!(row.measured_psnr.is_finite());
+        assert!(row.paper_psnr.is_some());
+    }
+    // SESR-M2 must be the cheaper of the two at paper scale.
+    let sesr = rows.iter().find(|r| r.model == "SESR-M2").unwrap();
+    let fsrcnn = rows.iter().find(|r| r.model == "FSRCNN").unwrap();
+    assert!(sesr.macs < fsrcnn.macs);
+}
+
+#[test]
+fn table2_pipeline_produces_structured_sections() {
+    let config = quick_config();
+    let sections = run_table2(&config).expect("table 2 run");
+    assert_eq!(sections.len(), 1);
+    let section = &sections[0];
+    assert_eq!(section.classifier, "MobileNet-V2");
+    // Evaluation subset is clean-correct by construction.
+    assert!((section.clean_accuracy - 1.0).abs() < 1e-6);
+    // One row for "No Defense" plus one per SR kind.
+    assert_eq!(section.rows.len(), 1 + config.sr_kinds.len());
+    assert_eq!(section.rows[0].defense, "No Defense");
+    for row in &section.rows {
+        assert_eq!(row.accuracies.len(), config.attacks.len());
+        for (attack, accuracy) in &row.accuracies {
+            assert_eq!(attack, "FGSM");
+            assert!((0.0..=1.0).contains(accuracy), "{accuracy} out of range");
+        }
+    }
+}
+
+#[test]
+fn table3_pipeline_reports_both_jpeg_settings() {
+    let mut config = quick_config();
+    config.sr_kinds = vec![SrModelKind::SesrM2];
+    let rows = run_table3(&config).expect("table 3 run");
+    assert_eq!(rows.len(), 1);
+    let row = &rows[0];
+    assert_eq!(row.defense, "SESR-M2");
+    assert!((0.0..=1.0).contains(&row.jpeg_accuracy));
+    assert!((0.0..=1.0).contains(&row.no_jpeg_accuracy));
+}

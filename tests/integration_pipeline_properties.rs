@@ -1,0 +1,101 @@
+//! Property-based integration tests on the cross-crate invariants the
+//! defense relies on: the pipeline always produces valid classifier inputs,
+//! L∞ projection never exceeds the budget, and the SESR analytic collapse is
+//! exact for arbitrary configurations.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sesr_attacks::project_linf;
+use sesr_defense::pipeline::{DefensePipeline, PreprocessConfig};
+use sesr_imaging::JpegConfig;
+use sesr_models::{Sesr, SesrConfig, SrModelKind};
+use sesr_nn::Layer;
+use sesr_tensor::{init, Shape, Tensor};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The defense pipeline maps any valid image to a classifier input of the
+    /// right shape with values in [0, 1], for any JPEG quality.
+    #[test]
+    fn defense_pipeline_output_is_always_a_valid_classifier_input(
+        seed in 0u64..1000,
+        quality in 1u8..=100,
+        size in prop::sample::select(vec![16usize, 24, 32]),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let image = init::uniform(Shape::new(&[1, 3, size, size]), 0.0, 1.0, &mut rng);
+        let preprocess = PreprocessConfig {
+            jpeg: Some(JpegConfig::new(quality).unwrap()),
+            ..PreprocessConfig::paper()
+        };
+        let mut pipeline = DefensePipeline::new(
+            preprocess,
+            SrModelKind::NearestNeighbor.build_interpolation(2).unwrap(),
+        );
+        let out = pipeline.defend(&image).unwrap();
+        prop_assert_eq!(out.shape().dims(), &[1, 3, size * 2, size * 2]);
+        prop_assert!(out.min() >= 0.0);
+        prop_assert!(out.max() <= 1.0);
+    }
+
+    /// L-infinity projection never exceeds the requested budget and never
+    /// leaves the pixel range, for arbitrary perturbations.
+    #[test]
+    fn linf_projection_respects_budget(
+        seed in 0u64..1000,
+        epsilon in 0.005f32..0.2,
+        noise_scale in 0.0f32..0.8,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let original = init::uniform(Shape::new(&[1, 3, 8, 8]), 0.0, 1.0, &mut rng);
+        let noise = init::uniform(original.shape().clone(), -noise_scale, noise_scale + 1e-6, &mut rng);
+        let perturbed = original.add(&noise).unwrap();
+        let projected = project_linf(&original, &perturbed, epsilon).unwrap();
+        let max_diff = projected.sub(&original).unwrap().abs().max();
+        prop_assert!(max_diff <= epsilon + 1e-5);
+        prop_assert!(projected.min() >= 0.0);
+        prop_assert!(projected.max() <= 1.0);
+    }
+
+    /// The SESR analytic collapse computes exactly the same function as the
+    /// over-parameterised training network, for arbitrary block counts and
+    /// expansion widths.
+    #[test]
+    fn sesr_collapse_is_exact_for_arbitrary_configs(
+        seed in 0u64..1000,
+        num_blocks in 1usize..4,
+        expansion in prop::sample::select(vec![4usize, 8, 24]),
+        features in prop::sample::select(vec![8usize, 16]),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let config = SesrConfig {
+            num_blocks,
+            features,
+            expansion,
+            scale: 2,
+            channels: 3,
+        };
+        let mut network = Sesr::new(config, &mut rng);
+        let mut collapsed = network.collapse().unwrap();
+        let input = init::uniform(Shape::new(&[1, 3, 8, 8]), 0.0, 1.0, &mut rng);
+        let full = network.forward(&input, false).unwrap();
+        let fast = collapsed.forward(&input, false).unwrap();
+        prop_assert!(full.max_abs_diff(&fast).unwrap() < 1e-3);
+    }
+
+    /// Stacking single images into a batch and slicing them back is lossless
+    /// (the evaluation harness depends on this round trip).
+    #[test]
+    fn batch_stack_slice_roundtrip(seed in 0u64..1000, count in 1usize..5) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let images: Vec<Tensor> = (0..count)
+            .map(|_| init::uniform(Shape::new(&[1, 3, 6, 6]), 0.0, 1.0, &mut rng))
+            .collect();
+        let batch = Tensor::stack_batch(&images).unwrap();
+        for (i, image) in images.iter().enumerate() {
+            prop_assert_eq!(&batch.batch_item(i).unwrap(), image);
+        }
+    }
+}
