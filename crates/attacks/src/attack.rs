@@ -53,10 +53,14 @@ impl AttackConfig {
     /// Returns an error for a non-positive epsilon or zero steps.
     pub fn validate(&self) -> Result<()> {
         if self.epsilon <= 0.0 {
-            return Err(TensorError::invalid_argument("attack epsilon must be positive"));
+            return Err(TensorError::invalid_argument(
+                "attack epsilon must be positive",
+            ));
         }
         if self.steps == 0 {
-            return Err(TensorError::invalid_argument("attack steps must be non-zero"));
+            return Err(TensorError::invalid_argument(
+                "attack steps must be non-zero",
+            ));
         }
         Ok(())
     }

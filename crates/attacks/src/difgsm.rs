@@ -35,8 +35,16 @@ impl DiversityTransform {
             rng.gen_range(min_size..=original)
         };
         let slack = original - resized;
-        let pad_top = if slack > 0 { rng.gen_range(0..=slack) } else { 0 };
-        let pad_left = if slack > 0 { rng.gen_range(0..=slack) } else { 0 };
+        let pad_top = if slack > 0 {
+            rng.gen_range(0..=slack)
+        } else {
+            0
+        };
+        let pad_left = if slack > 0 {
+            rng.gen_range(0..=slack)
+        } else {
+            0
+        };
         DiversityTransform {
             resized,
             pad_top,
@@ -64,7 +72,13 @@ impl DiversityTransform {
     /// image (adjoint of [`apply`]): crop away the padding, then sum each
     /// nearest-neighbour sample's gradient back onto its source pixel.
     fn backward(&self, grad: &Tensor, input_shape: &Shape) -> Result<Tensor> {
-        let cropped = crop_nchw(grad, self.pad_top, self.pad_left, self.resized, self.resized)?;
+        let cropped = crop_nchw(
+            grad,
+            self.pad_top,
+            self.pad_left,
+            self.resized,
+            self.resized,
+        )?;
         let (n, c, h, w) = input_shape.as_nchw()?;
         let mut out = vec![0.0f32; input_shape.num_elements()];
         let g = cropped.data();

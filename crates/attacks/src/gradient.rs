@@ -78,7 +78,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let original = init::uniform(Shape::new(&[1, 3, 8, 8]), 0.0, 1.0, &mut rng);
         let perturbed = original
-            .add(&init::uniform(original.shape().clone(), -0.5, 0.5, &mut rng))
+            .add(&init::uniform(
+                original.shape().clone(),
+                -0.5,
+                0.5,
+                &mut rng,
+            ))
             .unwrap();
         let eps = 8.0 / 255.0;
         let projected = project_linf(&original, &perturbed, eps).unwrap();

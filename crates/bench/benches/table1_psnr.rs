@@ -13,7 +13,9 @@ use std::time::Duration;
 fn sr_inference(c: &mut Criterion) {
     let input = bench_image(16);
     let mut group = c.benchmark_group("table1_sr_inference_16px_x2");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for kind in SrModelKind::learned() {
         // Print the analytic paper-scale cost alongside the measured runtime
         // so the bench output can be read next to Table I.
@@ -36,9 +38,11 @@ fn sr_inference(c: &mut Criterion) {
 fn interpolation_baselines(c: &mut Criterion) {
     let input = bench_image(16);
     let mut group = c.benchmark_group("table1_interpolation_16px_x2");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     for kind in [SrModelKind::NearestNeighbor, SrModelKind::Bicubic] {
-        let mut upscaler = kind.build_interpolation(2).expect("interpolation");
+        let upscaler = kind.build_interpolation(2).expect("interpolation");
         group.bench_with_input(BenchmarkId::new("upscale", kind.name()), &kind, |b, _| {
             b.iter(|| upscaler.upscale(&input).expect("upscale"));
         });

@@ -17,7 +17,9 @@ use std::time::Duration;
 fn attack_crafting(c: &mut Criterion) {
     let image = bench_image(16);
     let mut group = c.benchmark_group("table2_attack_crafting_16px");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for attack_kind in AttackKind::all() {
         let mut classifier = bench_classifier(ClassifierKind::MobileNetV2, 4);
         let attack = attack_kind.build(AttackConfig::paper().with_steps(4));
@@ -40,7 +42,9 @@ fn attack_crafting(c: &mut Criterion) {
 fn defended_vs_undefended_inference(c: &mut Criterion) {
     let image = bench_image(16);
     let mut group = c.benchmark_group("table2_inference_path_16px");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
 
     let mut classifier = bench_classifier(ClassifierKind::MobileNetV2, 4);
     group.bench_function("undefended_classify", |b| {
@@ -48,7 +52,7 @@ fn defended_vs_undefended_inference(c: &mut Criterion) {
     });
 
     for kind in [SrModelKind::NearestNeighbor, SrModelKind::Bicubic] {
-        let mut defense = DefensePipeline::new(
+        let defense = DefensePipeline::new(
             PreprocessConfig::paper(),
             kind.build_interpolation(2).expect("interpolation"),
         );

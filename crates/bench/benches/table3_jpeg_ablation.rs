@@ -14,7 +14,9 @@ use std::time::Duration;
 fn jpeg_stage(c: &mut Criterion) {
     let image = bench_image(32);
     let mut group = c.benchmark_group("table3_jpeg_quality_32px");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     for quality in [10u8, 50, 75, 95] {
         let config = JpegConfig::new(quality).expect("quality");
         group.bench_with_input(BenchmarkId::new("compress", quality), &quality, |b, _| {
@@ -27,7 +29,9 @@ fn jpeg_stage(c: &mut Criterion) {
 fn wavelet_stage(c: &mut Criterion) {
     let image = bench_image(32);
     let mut group = c.benchmark_group("table3_wavelet_levels_32px");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     for levels in [1usize, 2, 3] {
         group.bench_with_input(BenchmarkId::new("denoise", levels), &levels, |b, _| {
             b.iter(|| wavelet_denoise(&image, WaveletConfig::new(levels)).expect("wavelet"));
@@ -39,12 +43,14 @@ fn wavelet_stage(c: &mut Criterion) {
 fn preprocessing_with_and_without_jpeg(c: &mut Criterion) {
     let image = bench_image(32);
     let mut group = c.benchmark_group("table3_preprocess_ablation_32px");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     for (label, preprocess) in [
         ("jpeg_plus_wavelet", PreprocessConfig::paper()),
         ("wavelet_only", PreprocessConfig::without_jpeg()),
     ] {
-        let mut pipeline = DefensePipeline::new(
+        let pipeline = DefensePipeline::new(
             preprocess,
             SrModelKind::NearestNeighbor
                 .build_interpolation(2)

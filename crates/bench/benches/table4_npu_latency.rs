@@ -23,7 +23,9 @@ fn npu_estimation(c: &mut Criterion) {
     print_table4_rows();
     let classifier = mobilenet_v2_paper_spec();
     let mut group = c.benchmark_group("table4_npu_estimation");
-    group.sample_size(30).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(2));
 
     for kind in table4_sr_models() {
         let sr_spec = kind.paper_spec().expect("learned model");
@@ -47,7 +49,9 @@ fn npu_config_sweep(c: &mut Criterion) {
         .paper_spec()
         .expect("learned model");
     let mut group = c.benchmark_group("table4_npu_config_sweep");
-    group.sample_size(30).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(2));
     for npu in [
         NpuConfig::ethos_u55_128(),
         NpuConfig::ethos_u55_256(),

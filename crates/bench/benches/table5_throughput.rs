@@ -1,0 +1,98 @@
+//! Table V (extension) bench: serving throughput of the defense pipeline.
+//!
+//! Compares defending a fixed burst of images sequentially on the caller's
+//! thread against pushing the same burst through the `sesr-serve` engine
+//! (4 workers, dynamic batches of up to 8 images). The serve path should
+//! finish the burst substantially faster; its internal latency percentiles
+//! are printed alongside the timings.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sesr_bench::bench_image;
+use sesr_defense::pipeline::{DefensePipeline, PreprocessConfig};
+use sesr_models::SrModelKind;
+use sesr_serve::{DefenseServer, ServeConfig, ServeError, WorkerAssets};
+use sesr_tensor::Tensor;
+use std::time::Duration;
+
+const BURST: usize = 32;
+const IMAGE_SIZE: usize = 24;
+
+fn burst_images() -> Vec<Tensor> {
+    // Distinct images (perturb a base image deterministically) so the serve
+    // path cannot win through caching.
+    let base = bench_image(IMAGE_SIZE);
+    (0..BURST)
+        .map(|i| base.add_scalar(i as f32 * 1e-3).clamp(0.0, 1.0))
+        .collect()
+}
+
+fn sequential_burst(c: &mut Criterion) {
+    let images = burst_images();
+    let pipeline = DefensePipeline::new(
+        PreprocessConfig::paper(),
+        SrModelKind::NearestNeighbor.build_interpolation(2).unwrap(),
+    );
+    let mut group = c.benchmark_group("table5_throughput_32x24px");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    group.bench_function(BenchmarkId::new("sequential", "1thread"), |b| {
+        b.iter(|| {
+            for image in &images {
+                pipeline.defend(image).expect("defend");
+            }
+        });
+    });
+    group.finish();
+}
+
+fn served_burst(c: &mut Criterion) {
+    let images = burst_images();
+    let config = ServeConfig {
+        num_workers: 4,
+        max_batch: 8,
+        max_linger: Duration::from_millis(1),
+        queue_capacity: 64,
+        cache_capacity: 0,
+    };
+    let server = DefenseServer::start(config, |_| {
+        Ok(WorkerAssets::new(DefensePipeline::new(
+            PreprocessConfig::paper(),
+            SrModelKind::NearestNeighbor.build_seeded_upscaler(2, 0)?,
+        )))
+    })
+    .expect("start server");
+    let client = server.client();
+
+    let mut group = c.benchmark_group("table5_throughput_32x24px");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    group.bench_function(BenchmarkId::new("served", "4workers_batch8"), |b| {
+        b.iter(|| {
+            let pending: Vec<_> = images
+                .iter()
+                .map(|image| loop {
+                    match client.submit(image.clone()) {
+                        Ok(p) => break p,
+                        Err(ServeError::Overloaded) => {
+                            std::thread::sleep(Duration::from_micros(50))
+                        }
+                        Err(other) => panic!("submit failed: {other}"),
+                    }
+                })
+                .collect();
+            for p in pending {
+                p.wait().expect("response");
+            }
+        });
+    });
+    group.finish();
+
+    eprintln!("[table5] serve stats: {}", server.stats());
+    drop(client);
+    server.shutdown();
+}
+
+criterion_group!(table5, sequential_burst, served_burst);
+criterion_main!(table5);

@@ -12,9 +12,7 @@
 
 use sesr_attacks::AttackKind;
 use sesr_classifiers::ClassifierKind;
-use sesr_defense::experiments::{
-    run_table1, run_table2, run_table3, run_table4, ExperimentConfig,
-};
+use sesr_defense::experiments::{run_table1, run_table2, run_table3, run_table4, ExperimentConfig};
 use sesr_defense::report::{format_table1, format_table2, format_table3, format_table4};
 use sesr_models::SrModelKind;
 use sesr_npu::NpuConfig;

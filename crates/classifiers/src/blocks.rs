@@ -99,12 +99,7 @@ pub struct ResidualBlock {
 
 impl ResidualBlock {
     /// Create a block mapping `in_channels` to `out_channels` at the given stride.
-    pub fn new(
-        in_channels: usize,
-        out_channels: usize,
-        stride: usize,
-        rng: &mut impl Rng,
-    ) -> Self {
+    pub fn new(in_channels: usize, out_channels: usize, stride: usize, rng: &mut impl Rng) -> Self {
         let mut body = Sequential::new("resnet_block_body");
         body.push(Conv2d::new(in_channels, out_channels, 3, stride, 1, rng));
         body.push(BatchNorm2d::new(out_channels));
@@ -267,7 +262,10 @@ impl Layer for InceptionBlock {
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
-        self.branches.iter_mut().flat_map(|b| b.params_mut()).collect()
+        self.branches
+            .iter_mut()
+            .flat_map(|b| b.params_mut())
+            .collect()
     }
 
     fn params(&self) -> Vec<&Param> {
@@ -333,8 +331,12 @@ mod tests {
     fn backward_without_forward_errors() {
         let mut rng = StdRng::seed_from_u64(3);
         let g = Tensor::zeros(Shape::new(&[1, 8, 4, 4]));
-        assert!(InvertedResidual::new(8, 8, 1, 2, &mut rng).backward(&g).is_err());
+        assert!(InvertedResidual::new(8, 8, 1, 2, &mut rng)
+            .backward(&g)
+            .is_err());
         assert!(ResidualBlock::new(8, 8, 1, &mut rng).backward(&g).is_err());
-        assert!(InceptionBlock::new(8, 2, 2, 2, 2, &mut rng).backward(&g).is_err());
+        assert!(InceptionBlock::new(8, 2, 2, 2, 2, &mut rng)
+            .backward(&g)
+            .is_err());
     }
 }

@@ -31,7 +31,10 @@ fn push_inverted_residual(
                 bias: false,
             },
         );
-        spec.push(format!("{name}_expand_act"), OpDesc::Elementwise { channels: hidden });
+        spec.push(
+            format!("{name}_expand_act"),
+            OpDesc::Elementwise { channels: hidden },
+        );
     }
     spec.push(
         format!("{name}_dw_3x3"),
@@ -42,7 +45,10 @@ fn push_inverted_residual(
             bias: false,
         },
     );
-    spec.push(format!("{name}_dw_act"), OpDesc::Elementwise { channels: hidden });
+    spec.push(
+        format!("{name}_dw_act"),
+        OpDesc::Elementwise { channels: hidden },
+    );
     spec.push(
         format!("{name}_project_1x1"),
         OpDesc::Conv2d {
@@ -159,7 +165,10 @@ fn push_bottleneck(
         // main path approximation: model it as an elementwise op here because
         // the spec is a single chain. Its cost (~10% of a stage) is folded
         // into the tolerance used when comparing against published numbers.
-        spec.push(format!("{name}_proj_marker"), OpDesc::Elementwise { channels: out_ch });
+        spec.push(
+            format!("{name}_proj_marker"),
+            OpDesc::Elementwise { channels: out_ch },
+        );
     }
 }
 
@@ -178,7 +187,13 @@ pub fn resnet50_paper_spec() -> NetworkSpec {
             bias: false,
         },
     );
-    spec.push("stem_pool", OpDesc::Pool { channels: 64, stride: 2 });
+    spec.push(
+        "stem_pool",
+        OpDesc::Pool {
+            channels: 64,
+            stride: 2,
+        },
+    );
     // (mid_channels, out_channels, blocks, first_stride)
     let stages: [(usize, usize, usize, usize); 4] = [
         (64, 256, 3, 1),

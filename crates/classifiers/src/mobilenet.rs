@@ -33,13 +33,7 @@ impl MobileNetV2Config {
     pub fn local(num_classes: usize) -> Self {
         MobileNetV2Config {
             stem_channels: 12,
-            blocks: vec![
-                (12, 1, 1),
-                (16, 2, 2),
-                (16, 1, 2),
-                (24, 2, 2),
-                (24, 1, 2),
-            ],
+            blocks: vec![(12, 1, 1), (16, 2, 2), (16, 1, 2), (24, 2, 2), (24, 1, 2)],
             head_channels: 48,
             num_classes,
         }

@@ -67,7 +67,9 @@ impl ClassifierTrainer {
         dataset: &ClassificationDataset,
     ) -> Result<ClassifierTrainingReport> {
         if dataset.train_len() == 0 {
-            return Err(TensorError::invalid_argument("cannot train on an empty dataset"));
+            return Err(TensorError::invalid_argument(
+                "cannot train on an empty dataset",
+            ));
         }
         let mut optimizer = Adam::new(self.config.learning_rate);
         let mut epoch_losses = Vec::with_capacity(self.config.epochs);
@@ -118,7 +120,11 @@ fn evaluate_split(
         correct += accuracy(&logits, &labels)? * labels.len() as f32;
         total += labels.len();
     }
-    Ok(if total > 0 { correct / total as f32 } else { 0.0 })
+    Ok(if total > 0 {
+        correct / total as f32
+    } else {
+        0.0
+    })
 }
 
 /// Predict the class of a single `[1, 3, H, W]` image.

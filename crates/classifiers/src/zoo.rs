@@ -49,9 +49,10 @@ impl ClassifierKind {
             ClassifierKind::ResNet50 => {
                 Box::new(ResNet::new(ResNetConfig::local(num_classes), rng))
             }
-            ClassifierKind::InceptionV3 => {
-                Box::new(InceptionNet::new(InceptionNetConfig::local(num_classes), rng))
-            }
+            ClassifierKind::InceptionV3 => Box::new(InceptionNet::new(
+                InceptionNetConfig::local(num_classes),
+                rng,
+            )),
         }
     }
 

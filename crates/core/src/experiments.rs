@@ -7,7 +7,6 @@
 use crate::pipeline::{DefensePipeline, PreprocessConfig};
 use crate::robustness::RobustnessEvaluator;
 use crate::Result;
-use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sesr_attacks::{AttackConfig, AttackKind};
@@ -16,10 +15,11 @@ use sesr_datagen::{ClassificationDataset, DatasetConfig, SrDataset, SrDatasetCon
 use sesr_models::cost::{paper_cost, paper_reported, paper_reported_psnr};
 use sesr_models::trainer::{evaluate_network_psnr, SrLoss, SrTrainer, SrTrainingConfig};
 use sesr_models::{NetworkUpscaler, SrModelKind};
-use sesr_npu::{estimate_pipeline, NpuConfig, PipelineLatency};
 use sesr_nn::serialize::{tensors_from_string, tensors_to_string};
 use sesr_nn::Layer;
+use sesr_npu::{estimate_pipeline, NpuConfig, PipelineLatency};
 use sesr_tensor::TensorError;
+use std::sync::Mutex;
 
 /// Sizes and hyperparameters shared by the experiment drivers.
 #[derive(Debug, Clone)]
@@ -189,13 +189,7 @@ pub struct TrainedSrModel {
 ///
 /// Returns an error if the parameter lists differ in length or shape.
 pub fn copy_weights(source: &dyn Layer, target: &mut dyn Layer) -> Result<()> {
-    let encoded = tensors_to_string(
-        &source
-            .params()
-            .iter()
-            .map(|p| &p.value)
-            .collect::<Vec<_>>(),
-    );
+    let encoded = tensors_to_string(&source.params().iter().map(|p| &p.value).collect::<Vec<_>>());
     let tensors = tensors_from_string(&encoded)?;
     let mut params = target.params_mut();
     if params.len() != tensors.len() {
@@ -364,19 +358,17 @@ fn run_table2_section(
         for attack_kind in &config.attacks {
             let attack = attack_kind.build(config.attack);
             let mut rng = StdRng::seed_from_u64(
-                config.seed.wrapping_add(4000 + *attack_kind as u64 * 17 + classifier_kind as u64),
+                config
+                    .seed
+                    .wrapping_add(4000 + *attack_kind as u64 * 17 + classifier_kind as u64),
             );
             let adversarial = evaluator.craft_adversarial(attack.as_ref(), &mut rng)?;
             let accuracy = match defense_kind {
                 None => evaluator.defended_accuracy(&adversarial, None)?,
                 Some(kind) => {
-                    let mut pipeline = build_defense(
-                        kind,
-                        PreprocessConfig::paper(),
-                        trained_sr,
-                        config.seed,
-                    )?;
-                    evaluator.defended_accuracy(&adversarial, Some(&mut pipeline))?
+                    let pipeline =
+                        build_defense(kind, PreprocessConfig::paper(), trained_sr, config.seed)?;
+                    evaluator.defended_accuracy(&adversarial, Some(&pipeline))?
                 }
             };
             accuracies.push((attack_kind.name().to_string(), accuracy));
@@ -405,26 +397,32 @@ pub fn run_table2(config: &ExperimentConfig) -> Result<Vec<Table2Section>> {
     let results: Mutex<Vec<(usize, Table2Section)>> = Mutex::new(Vec::new());
     let errors: Mutex<Vec<TensorError>> = Mutex::new(Vec::new());
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (index, classifier_kind) in config.classifiers.iter().copied().enumerate() {
             let dataset = &dataset;
             let trained_sr = &trained_sr;
             let results = &results;
             let errors = &errors;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 match run_table2_section(classifier_kind, dataset, trained_sr, config) {
-                    Ok(section) => results.lock().push((index, section)),
-                    Err(err) => errors.lock().push(err),
+                    Ok(section) => results.lock().unwrap().push((index, section)),
+                    Err(err) => errors.lock().unwrap().push(err),
                 }
             });
         }
-    })
-    .map_err(|_| TensorError::invalid_argument("a table II worker thread panicked"))?;
+    });
 
-    if let Some(err) = errors.into_inner().into_iter().next() {
+    if let Some(err) = errors
+        .into_inner()
+        .expect("table II error mutex poisoned")
+        .into_iter()
+        .next()
+    {
         return Err(err);
     }
-    let mut sections = results.into_inner();
+    let mut sections = results
+        .into_inner()
+        .expect("table II result mutex poisoned");
     sections.sort_by_key(|(index, _)| *index);
     Ok(sections.into_iter().map(|(_, section)| section).collect())
 }
@@ -457,18 +455,17 @@ pub fn run_table3(config: &ExperimentConfig) -> Result<Vec<Table3Row>> {
             );
             let adversarial = evaluator.craft_adversarial(attack.as_ref(), &mut rng)?;
             for kind in config.sr_kinds.iter().filter(|k| k.is_learned()) {
-                let mut with_jpeg =
+                let with_jpeg =
                     build_defense(*kind, PreprocessConfig::paper(), &trained_sr, config.seed)?;
-                let mut without_jpeg = build_defense(
+                let without_jpeg = build_defense(
                     *kind,
                     PreprocessConfig::without_jpeg(),
                     &trained_sr,
                     config.seed,
                 )?;
-                let jpeg_accuracy =
-                    evaluator.defended_accuracy(&adversarial, Some(&mut with_jpeg))?;
+                let jpeg_accuracy = evaluator.defended_accuracy(&adversarial, Some(&with_jpeg))?;
                 let no_jpeg_accuracy =
-                    evaluator.defended_accuracy(&adversarial, Some(&mut without_jpeg))?;
+                    evaluator.defended_accuracy(&adversarial, Some(&without_jpeg))?;
                 rows.push(Table3Row {
                     classifier: classifier_kind.name().to_string(),
                     defense: kind.name().to_string(),

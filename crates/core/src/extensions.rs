@@ -110,12 +110,11 @@ pub fn run_clean_accuracy_impact(config: &ExperimentConfig) -> Result<Vec<CleanI
             defense: "No Defense".to_string(),
             clean_defended_accuracy: evaluator.clean_accuracy()?,
         });
-        let clean_images: Vec<sesr_tensor::Tensor> =
-            evaluator.scenario().eval_images().to_vec();
+        let clean_images: Vec<sesr_tensor::Tensor> = evaluator.scenario().eval_images().to_vec();
         for kind in &config.sr_kinds {
-            let mut pipeline =
+            let pipeline =
                 build_defense(*kind, PreprocessConfig::paper(), &trained_sr, config.seed)?;
-            let accuracy = evaluator.defended_accuracy(&clean_images, Some(&mut pipeline))?;
+            let accuracy = evaluator.defended_accuracy(&clean_images, Some(&pipeline))?;
             rows.push(CleanImpactRow {
                 classifier: classifier_kind.name().to_string(),
                 defense: kind.name().to_string(),
@@ -168,7 +167,7 @@ pub fn run_epsilon_sweep(
             defense: "No Defense".to_string(),
             robust_accuracy: evaluator.defended_accuracy(&adversarial, None)?,
         });
-        let mut nearest = build_defense(
+        let nearest = build_defense(
             SrModelKind::NearestNeighbor,
             PreprocessConfig::paper(),
             &trained_sr,
@@ -177,9 +176,9 @@ pub fn run_epsilon_sweep(
         rows.push(EpsilonSweepRow {
             epsilon,
             defense: SrModelKind::NearestNeighbor.name().to_string(),
-            robust_accuracy: evaluator.defended_accuracy(&adversarial, Some(&mut nearest))?,
+            robust_accuracy: evaluator.defended_accuracy(&adversarial, Some(&nearest))?,
         });
-        let mut learned = build_defense(
+        let learned = build_defense(
             learned_kind,
             PreprocessConfig::paper(),
             &trained_sr,
@@ -188,7 +187,7 @@ pub fn run_epsilon_sweep(
         rows.push(EpsilonSweepRow {
             epsilon,
             defense: learned_kind.name().to_string(),
-            robust_accuracy: evaluator.defended_accuracy(&adversarial, Some(&mut learned))?,
+            robust_accuracy: evaluator.defended_accuracy(&adversarial, Some(&learned))?,
         });
     }
     Ok(rows)
@@ -218,20 +217,18 @@ pub fn run_wavelet_ablation(config: &ExperimentConfig) -> Result<Vec<WaveletAbla
         let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(11_000));
         let adversarial = evaluator.craft_adversarial(attack.as_ref(), &mut rng)?;
         for kind in config.sr_kinds.iter().filter(|k| k.is_learned()) {
-            let mut full =
-                build_defense(*kind, PreprocessConfig::paper(), &trained_sr, config.seed)?;
+            let full = build_defense(*kind, PreprocessConfig::paper(), &trained_sr, config.seed)?;
             let no_wavelet_config = PreprocessConfig {
                 wavelet: None::<WaveletConfig>,
                 ..PreprocessConfig::paper()
             };
-            let mut no_wavelet =
-                build_defense(*kind, no_wavelet_config, &trained_sr, config.seed)?;
+            let no_wavelet = build_defense(*kind, no_wavelet_config, &trained_sr, config.seed)?;
             rows.push(WaveletAblationRow {
                 classifier: classifier_kind.name().to_string(),
                 defense: kind.name().to_string(),
                 no_wavelet_accuracy: evaluator
-                    .defended_accuracy(&adversarial, Some(&mut no_wavelet))?,
-                wavelet_accuracy: evaluator.defended_accuracy(&adversarial, Some(&mut full))?,
+                    .defended_accuracy(&adversarial, Some(&no_wavelet))?,
+                wavelet_accuracy: evaluator.defended_accuracy(&adversarial, Some(&full))?,
             });
         }
     }
@@ -254,7 +251,10 @@ mod tests {
         let config = tiny_config();
         let rows = run_clean_accuracy_impact(&config).unwrap();
         // One "No Defense" row plus one per SR kind, per classifier.
-        assert_eq!(rows.len(), config.classifiers.len() * (1 + config.sr_kinds.len()));
+        assert_eq!(
+            rows.len(),
+            config.classifiers.len() * (1 + config.sr_kinds.len())
+        );
         // The undefended clean accuracy is 1.0 by construction of the subset.
         assert!((rows[0].clean_defended_accuracy - 1.0).abs() < 1e-6);
         for row in &rows {

@@ -84,11 +84,16 @@ impl DefensePipeline {
     /// Apply the defense to an `[N, 3, H, W]` batch with values in `[0, 1]`,
     /// returning the `[N, 3, H*scale, W*scale]` image fed to the classifier.
     ///
+    /// Takes `&self`: the preprocessing stages are pure and the upscaler
+    /// contract is `&self` (interior mutability where needed), so one
+    /// pipeline can serve many threads — which is what the `sesr-serve`
+    /// worker pool and the parallel table drivers rely on.
+    ///
     /// # Errors
     ///
     /// Returns an error if the input is not an RGB NCHW batch or a stage
     /// fails (e.g. odd image sizes for the wavelet transform).
-    pub fn defend(&mut self, image: &Tensor) -> Result<Tensor> {
+    pub fn defend(&self, image: &Tensor) -> Result<Tensor> {
         let mut x = image.clamp(0.0, 1.0);
         if let Some(jpeg) = self.preprocess.jpeg {
             x = jpeg_compress(&x, jpeg)?;
@@ -127,7 +132,7 @@ mod tests {
 
     #[test]
     fn pipeline_upscales_and_stays_in_range() {
-        let mut pipeline = DefensePipeline::new(
+        let pipeline = DefensePipeline::new(
             PreprocessConfig::paper(),
             Box::new(InterpolationUpscaler::nearest(2)),
         );
@@ -141,11 +146,11 @@ mod tests {
     #[test]
     fn jpeg_ablation_changes_the_output() {
         let img = image();
-        let mut with_jpeg = DefensePipeline::new(
+        let with_jpeg = DefensePipeline::new(
             PreprocessConfig::paper(),
             Box::new(InterpolationUpscaler::nearest(2)),
         );
-        let mut without_jpeg = DefensePipeline::new(
+        let without_jpeg = DefensePipeline::new(
             PreprocessConfig::without_jpeg(),
             Box::new(InterpolationUpscaler::nearest(2)),
         );
@@ -157,13 +162,13 @@ mod tests {
     #[test]
     fn none_preprocessing_is_pure_upscaling() {
         let img = image();
-        let mut pipeline = DefensePipeline::new(
+        let pipeline = DefensePipeline::new(
             PreprocessConfig::none(),
             Box::new(InterpolationUpscaler::nearest(2)),
         );
         let out = pipeline.defend(&img).unwrap();
-        let mut plain = InterpolationUpscaler::nearest(2);
-        let expected = sesr_models::Upscaler::upscale(&mut plain, &img).unwrap();
+        let plain = InterpolationUpscaler::nearest(2);
+        let expected = sesr_models::Upscaler::upscale(&plain, &img).unwrap();
         assert_eq!(out, expected);
     }
 
@@ -171,7 +176,7 @@ mod tests {
     fn works_with_zoo_interpolation_upscalers() {
         let img = image();
         for kind in [SrModelKind::NearestNeighbor, SrModelKind::Bicubic] {
-            let mut pipeline = DefensePipeline::new(
+            let pipeline = DefensePipeline::new(
                 PreprocessConfig::paper(),
                 kind.build_interpolation(2).unwrap(),
             );

@@ -184,7 +184,7 @@ mod tests {
             }],
             "Ethos-U55-256",
         );
-        assert!(t4.contains("Ethos-U55-256") && t4.contains("15.06") == false);
+        assert!(t4.contains("Ethos-U55-256") && !t4.contains("15.06"));
         assert!(t4.contains("SESR-M2"));
     }
 }

@@ -196,7 +196,7 @@ impl RobustnessEvaluator {
     pub fn defended_accuracy(
         &mut self,
         images: &[Tensor],
-        mut defense: Option<&mut DefensePipeline>,
+        defense: Option<&DefensePipeline>,
     ) -> Result<f32> {
         if images.len() != self.scenario.eval_labels.len() {
             return Err(TensorError::invalid_argument(format!(
@@ -207,7 +207,7 @@ impl RobustnessEvaluator {
         }
         let mut correct = 0usize;
         for (image, &label) in images.iter().zip(&self.scenario.eval_labels) {
-            let input = match defense.as_deref_mut() {
+            let input = match defense {
                 Some(pipeline) => pipeline.defend(image)?,
                 None => image.clone(),
             };
@@ -227,12 +227,11 @@ impl RobustnessEvaluator {
     pub fn evaluate(
         &mut self,
         attack: &dyn Attack,
-        defense: Option<&mut DefensePipeline>,
+        defense: Option<&DefensePipeline>,
         rng: &mut StdRng,
     ) -> Result<DefenseEvaluation> {
         let adversarial = self.craft_adversarial(attack, rng)?;
         let defense_name = defense
-            .as_ref()
             .map(|d| d.upscaler_name().to_string())
             .unwrap_or_else(|| "No Defense".to_string());
         let robust_accuracy = self.defended_accuracy(&adversarial, defense)?;
@@ -290,7 +289,10 @@ mod tests {
         assert_eq!(images.len(), labels.len());
         assert!(images.len() <= 10);
         for (image, &label) in images.iter().zip(&labels) {
-            assert_eq!(classifier.forward(image, false).unwrap().argmax().unwrap(), label);
+            assert_eq!(
+                classifier.forward(image, false).unwrap().argmax().unwrap(),
+                label
+            );
         }
     }
 
@@ -329,12 +331,12 @@ mod tests {
         assert_eq!(no_defense.defense, "No Defense");
         assert_eq!(no_defense.attack, "FGSM");
 
-        let mut defense = DefensePipeline::new(
+        let defense = DefensePipeline::new(
             PreprocessConfig::paper(),
             SrModelKind::NearestNeighbor.build_interpolation(2).unwrap(),
         );
         let defended = evaluator
-            .evaluate(&attack, Some(&mut defense), &mut rng)
+            .evaluate(&attack, Some(&defense), &mut rng)
             .unwrap();
         assert_eq!(defended.defense, "nearest-neighbor");
         assert!(defended.robust_accuracy >= 0.0 && defended.robust_accuracy <= 1.0);

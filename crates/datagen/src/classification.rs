@@ -60,10 +60,14 @@ impl ClassificationDataset {
     /// images.
     pub fn generate(config: DatasetConfig) -> Result<Self> {
         if config.num_classes == 0 {
-            return Err(TensorError::invalid_argument("dataset needs at least one class"));
+            return Err(TensorError::invalid_argument(
+                "dataset needs at least one class",
+            ));
         }
         if config.height == 0 || config.width == 0 {
-            return Err(TensorError::invalid_argument("dataset image size must be non-zero"));
+            return Err(TensorError::invalid_argument(
+                "dataset image size must be non-zero",
+            ));
         }
         let gen = ImageGenerator::new(config.height, config.width);
         let mut rng = StdRng::seed_from_u64(config.seed);

@@ -60,7 +60,7 @@ impl ImageParams {
             // Class-dependent frequency band.
             texture_freq: 2.0 + 10.0 * t + rng.gen_range(-0.5..0.5),
             texture_amp: rng.gen_range(0.10..0.22),
-            disc_shape: class % 2 == 0,
+            disc_shape: class.is_multiple_of(2),
             shape_center: (rng.gen_range(0.3..0.7), rng.gen_range(0.3..0.7)),
             shape_radius: rng.gen_range(0.18..0.32),
             shading_amp: rng.gen_range(0.08..0.18),

@@ -82,7 +82,8 @@ impl SrDataset {
     /// Returns an error if `hr_size` is not divisible by `scale` or either is
     /// zero.
     pub fn generate(config: SrDatasetConfig) -> Result<Self> {
-        if config.scale == 0 || config.hr_size == 0 || config.hr_size % config.scale != 0 {
+        if config.scale == 0 || config.hr_size == 0 || !config.hr_size.is_multiple_of(config.scale)
+        {
             return Err(TensorError::invalid_argument(format!(
                 "hr_size {} must be a non-zero multiple of scale {}",
                 config.hr_size, config.scale

@@ -78,9 +78,9 @@ mod tests {
 
     fn rgb_image(r: f32, g: f32, b: f32) -> Tensor {
         let mut data = Vec::new();
-        data.extend(std::iter::repeat(r).take(4));
-        data.extend(std::iter::repeat(g).take(4));
-        data.extend(std::iter::repeat(b).take(4));
+        data.extend(std::iter::repeat_n(r, 4));
+        data.extend(std::iter::repeat_n(g, 4));
+        data.extend(std::iter::repeat_n(b, 4));
         Tensor::from_vec(Shape::new(&[1, 3, 2, 2]), data).unwrap()
     }
 

@@ -100,8 +100,7 @@ fn dct_1d(input: &[f32; BLOCK], output: &mut [f32; BLOCK]) {
         let mut acc = 0.0f32;
         for (x, &v) in input.iter().enumerate() {
             acc += v
-                * ((2.0 * x as f32 + 1.0) * u as f32 * std::f32::consts::PI
-                    / (2.0 * BLOCK as f32))
+                * ((2.0 * x as f32 + 1.0) * u as f32 * std::f32::consts::PI / (2.0 * BLOCK as f32))
                     .cos();
         }
         *out = cu * acc;
@@ -119,8 +118,7 @@ fn idct_1d(input: &[f32; BLOCK], output: &mut [f32; BLOCK]) {
             };
             acc += cu
                 * v
-                * ((2.0 * x as f32 + 1.0) * u as f32 * std::f32::consts::PI
-                    / (2.0 * BLOCK as f32))
+                * ((2.0 * x as f32 + 1.0) * u as f32 * std::f32::consts::PI / (2.0 * BLOCK as f32))
                     .cos();
         }
         *out = acc;
@@ -187,7 +185,8 @@ fn compress_plane(plane: &mut [f32], h: usize, w: usize, table: &[f32; 64]) {
                     let sy = by * BLOCK + y;
                     let sx = bx * BLOCK + x;
                     if sy < h && sx < w {
-                        plane[sy * w + sx] = ((block[y * BLOCK + x] + 128.0) / 255.0).clamp(0.0, 1.0);
+                        plane[sy * w + sx] =
+                            ((block[y * BLOCK + x] + 128.0) / 255.0).clamp(0.0, 1.0);
                     }
                 }
             }

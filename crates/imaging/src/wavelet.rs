@@ -119,13 +119,7 @@ fn median(values: &mut [f32]) -> f32 {
 /// The noise standard deviation is estimated from the diagonal band with the
 /// robust median estimator `sigma = median(|d|) / 0.6745`, and the BayesShrink
 /// threshold `sigma^2 / sigma_x` is applied per band.
-fn shrink_details(
-    data: &mut [f32],
-    rows: usize,
-    cols: usize,
-    stride: usize,
-    threshold_scale: f32,
-) {
+fn shrink_details(data: &mut [f32], rows: usize, cols: usize, stride: usize, threshold_scale: f32) {
     let half_r = rows / 2;
     let half_c = cols / 2;
     // Estimate the noise level from the diagonal (HH) band.
@@ -240,8 +234,11 @@ mod tests {
         let mut data = Vec::with_capacity(h * w);
         for y in 0..h {
             for x in 0..w {
-                data.push(0.5 + 0.4 * ((x as f32 / w as f32) * std::f32::consts::PI).sin()
-                    * ((y as f32 / h as f32) * std::f32::consts::PI).cos());
+                data.push(
+                    0.5 + 0.4
+                        * ((x as f32 / w as f32) * std::f32::consts::PI).sin()
+                        * ((y as f32 / h as f32) * std::f32::consts::PI).cos(),
+                );
             }
         }
         Tensor::from_vec(Shape::new(&[1, 1, h, w]), data).unwrap()

@@ -99,9 +99,10 @@ impl Layer for LeakyRelu {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
-        let input = self.cached_input.take().ok_or_else(|| {
-            TensorError::invalid_argument("backward before forward in LeakyRelu")
-        })?;
+        let input = self
+            .cached_input
+            .take()
+            .ok_or_else(|| TensorError::invalid_argument("backward before forward in LeakyRelu"))?;
         let slope = self.slope;
         let mask = input.map(|v| if v > 0.0 { 1.0 } else { slope });
         grad_output.mul(&mask)
@@ -151,8 +152,7 @@ impl Layer for PRelu {
         let alpha = self.alpha.value.data();
         let mut out = input.data().to_vec();
         for b in 0..n {
-            for ci in 0..c {
-                let a = alpha[ci];
+            for (ci, &a) in alpha.iter().enumerate().take(c) {
                 let base = (b * c + ci) * h * w;
                 for v in &mut out[base..base + h * w] {
                     if *v < 0.0 {
@@ -182,8 +182,7 @@ impl Layer for PRelu {
         let x = input.data();
         let go = grad_output.data();
         for b in 0..n {
-            for ci in 0..c {
-                let a = alpha[ci];
+            for (ci, &a) in alpha.iter().enumerate().take(c) {
                 let base = (b * c + ci) * h * w;
                 for i in base..base + h * w {
                     if x[i] > 0.0 {
@@ -295,7 +294,9 @@ mod tests {
         let x = Tensor::from_slice(&[-1.0, 0.0, 2.0]);
         let y = relu.forward(&x, true).unwrap();
         assert_eq!(y.data(), &[0.0, 0.0, 2.0]);
-        let g = relu.backward(&Tensor::from_slice(&[1.0, 1.0, 1.0])).unwrap();
+        let g = relu
+            .backward(&Tensor::from_slice(&[1.0, 1.0, 1.0]))
+            .unwrap();
         assert_eq!(g.data(), &[0.0, 0.0, 1.0]);
     }
 

@@ -43,7 +43,12 @@ impl Conv2d {
     }
 
     /// Create a "same" (stride-1, output-preserving) convolution.
-    pub fn same(in_channels: usize, out_channels: usize, kernel: usize, rng: &mut impl Rng) -> Self {
+    pub fn same(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
         Conv2d::new(in_channels, out_channels, kernel, 1, kernel / 2, rng)
     }
 
@@ -70,7 +75,9 @@ impl Conv2d {
             });
         }
         if dims[2] != dims[3] {
-            return Err(TensorError::invalid_conv("only square kernels are supported"));
+            return Err(TensorError::invalid_conv(
+                "only square kernels are supported",
+            ));
         }
         if let Some(b) = &bias {
             if b.len() != dims[0] {

@@ -53,9 +53,7 @@ pub use activation::{LeakyRelu, PRelu, ReLU, Relu6, Sigmoid, Tanh};
 pub use conv::{Conv2d, DepthwiseConv2d};
 pub use layer::{Identity, Layer, Sequential};
 pub use linear::{Flatten, Linear};
-pub use loss::{
-    cross_entropy_loss, mae_loss, mse_loss, softmax, LossOutput,
-};
+pub use loss::{cross_entropy_loss, mae_loss, mse_loss, softmax, LossOutput};
 pub use norm::BatchNorm2d;
 pub use optim::{Adam, Optimizer, Sgd, StepLr};
 pub use param::Param;

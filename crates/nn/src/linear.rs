@@ -121,12 +121,15 @@ impl Layer for Linear {
         // grad_bias = column sums of grad_output
         let mut grad_bias = vec![0.0f32; self.out_features()];
         for b in 0..n {
-            for o in 0..self.out_features() {
-                grad_bias[o] += grad_output.data()[b * self.out_features() + o];
+            let row = &grad_output.data()[b * self.out_features()..(b + 1) * self.out_features()];
+            for (gb, g) in grad_bias.iter_mut().zip(row) {
+                *gb += g;
             }
         }
-        self.bias
-            .accumulate_grad(&Tensor::from_vec(Shape::new(&[self.out_features()]), grad_bias)?);
+        self.bias.accumulate_grad(&Tensor::from_vec(
+            Shape::new(&[self.out_features()]),
+            grad_bias,
+        )?);
         // grad_input = grad_output x W
         grad_output.matmul(&self.weight.value)
     }

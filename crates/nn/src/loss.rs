@@ -205,8 +205,7 @@ mod tests {
 
     #[test]
     fn cross_entropy_perfect_prediction_has_low_loss() {
-        let logits =
-            Tensor::from_vec(Shape::new(&[1, 3]), vec![10.0, -10.0, -10.0]).unwrap();
+        let logits = Tensor::from_vec(Shape::new(&[1, 3]), vec![10.0, -10.0, -10.0]).unwrap();
         let out = cross_entropy_loss(&logits, &[0]).unwrap();
         assert!(out.loss < 1e-3);
         // Gradient pushes the correct logit up (negative gradient) only slightly.
@@ -241,11 +240,8 @@ mod tests {
 
     #[test]
     fn accuracy_counts_correct_rows() {
-        let logits = Tensor::from_vec(
-            Shape::new(&[3, 2]),
-            vec![1.0, 0.0, 0.0, 1.0, 2.0, 5.0],
-        )
-        .unwrap();
+        let logits =
+            Tensor::from_vec(Shape::new(&[3, 2]), vec![1.0, 0.0, 0.0, 1.0, 2.0, 5.0]).unwrap();
         let acc = accuracy(&logits, &[0, 1, 0]).unwrap();
         assert!((acc - 2.0 / 3.0).abs() < 1e-6);
         assert!(accuracy(&logits, &[0]).is_err());

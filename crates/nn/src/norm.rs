@@ -167,8 +167,7 @@ impl Layer for BatchNorm2d {
             for b in 0..n {
                 let base = (b * c + ci) * spatial;
                 for i in base..base + spatial {
-                    grad_input[i] =
-                        g * inv / count * (count * go[i] - sum_go - xn[i] * sum_go_xn);
+                    grad_input[i] = g * inv / count * (count * go[i] - sum_go - xn[i] * sum_go_xn);
                 }
             }
         }

@@ -78,7 +78,9 @@ impl Optimizer for Sgd {
                 let v = &mut self.velocity[i];
                 // v = momentum * v + grad
                 let mut new_v = v.scale(self.momentum);
-                new_v.add_scaled_inplace(&grad, 1.0).expect("velocity shape");
+                new_v
+                    .add_scaled_inplace(&grad, 1.0)
+                    .expect("velocity shape");
                 *v = new_v;
                 p.value
                     .add_scaled_inplace(v, -self.lr)
@@ -162,13 +164,7 @@ impl Optimizer for Adam {
                 *mv = self.beta1 * *mv + (1.0 - self.beta1) * gv;
                 *vv = self.beta2 * *vv + (1.0 - self.beta2) * gv * gv;
             }
-            for ((pv, mv), vv) in p
-                .value
-                .data_mut()
-                .iter_mut()
-                .zip(m.data())
-                .zip(v.data())
-            {
+            for ((pv, mv), vv) in p.value.data_mut().iter_mut().zip(m.data()).zip(v.data()) {
                 let m_hat = mv / bias1;
                 let v_hat = vv / bias2;
                 *pv -= self.lr * m_hat / (v_hat.sqrt() + self.eps);

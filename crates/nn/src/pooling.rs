@@ -36,9 +36,10 @@ impl Layer for MaxPool2d {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
-        let (input_shape, pooled) = self.cache.take().ok_or_else(|| {
-            TensorError::invalid_argument("backward before forward in MaxPool2d")
-        })?;
+        let (input_shape, pooled) = self
+            .cache
+            .take()
+            .ok_or_else(|| TensorError::invalid_argument("backward before forward in MaxPool2d"))?;
         max_pool2d_backward(&input_shape, &pooled, grad_output)
     }
 }
@@ -70,9 +71,10 @@ impl Layer for AvgPool2d {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
-        let shape = self.cached_shape.take().ok_or_else(|| {
-            TensorError::invalid_argument("backward before forward in AvgPool2d")
-        })?;
+        let shape = self
+            .cached_shape
+            .take()
+            .ok_or_else(|| TensorError::invalid_argument("backward before forward in AvgPool2d"))?;
         avg_pool2d_backward(&shape, grad_output, self.cfg)
     }
 }
@@ -116,16 +118,10 @@ mod tests {
     #[test]
     fn max_pool_layer_roundtrip() {
         let mut pool = MaxPool2d::new(2, 2, 0);
-        let x = Tensor::from_vec(
-            Shape::new(&[1, 1, 2, 2]),
-            vec![1.0, 9.0, 3.0, 4.0],
-        )
-        .unwrap();
+        let x = Tensor::from_vec(Shape::new(&[1, 1, 2, 2]), vec![1.0, 9.0, 3.0, 4.0]).unwrap();
         let y = pool.forward(&x, true).unwrap();
         assert_eq!(y.data(), &[9.0]);
-        let g = pool
-            .backward(&Tensor::ones(y.shape().clone()))
-            .unwrap();
+        let g = pool.backward(&Tensor::ones(y.shape().clone())).unwrap();
         assert_eq!(g.data(), &[0.0, 1.0, 0.0, 0.0]);
     }
 

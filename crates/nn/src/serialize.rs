@@ -162,7 +162,12 @@ mod tests {
         net2.push(Conv2d::new(1, 2, 3, 1, 1, &mut rng2));
         assert_ne!(net.params()[0].value, net2.params()[0].value);
         load_layer(&mut net2, &path).unwrap();
-        for (a, b) in net.params()[0].value.data().iter().zip(net2.params()[0].value.data()) {
+        for (a, b) in net.params()[0]
+            .value
+            .data()
+            .iter()
+            .zip(net2.params()[0].value.data())
+        {
             assert!((a - b).abs() < 1e-6);
         }
         std::fs::remove_file(&path).ok();

@@ -67,7 +67,12 @@ impl Layer for NearestUpsample {
     fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor> {
         let (_, _, h, w) = input.shape().as_nchw()?;
         self.cached_shape = Some(input.shape().clone());
-        resize(input, h * self.factor, w * self.factor, Interpolation::Nearest)
+        resize(
+            input,
+            h * self.factor,
+            w * self.factor,
+            Interpolation::Nearest,
+        )
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {

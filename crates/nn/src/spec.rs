@@ -212,8 +212,8 @@ impl OpDesc {
                 bias,
                 ..
             } => {
-                (in_channels * out_channels * kernel * kernel
-                    + if bias { out_channels } else { 0 }) as u64
+                (in_channels * out_channels * kernel * kernel + if bias { out_channels } else { 0 })
+                    as u64
             }
             OpDesc::Linear {
                 in_features,
@@ -478,14 +478,13 @@ mod tests {
     #[test]
     fn linear_after_global_pool() {
         let mut spec = NetworkSpec::new("head");
-        spec.push("gp", OpDesc::GlobalPool { channels: 64 })
-            .push(
-                "fc",
-                OpDesc::Linear {
-                    in_features: 64,
-                    out_features: 10,
-                },
-            );
+        spec.push("gp", OpDesc::GlobalPool { channels: 64 }).push(
+            "fc",
+            OpDesc::Linear {
+                in_features: 64,
+                out_features: 10,
+            },
+        );
         let costs = spec.costs((64, 7, 7)).unwrap();
         assert_eq!(costs[1].macs, 640);
         assert_eq!(costs[1].output_shape, (10, 1, 1));

@@ -7,8 +7,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sesr_nn::serialize::{tensors_from_string, tensors_to_string};
 use sesr_nn::{
-    cross_entropy_loss, softmax, BatchNorm2d, Conv2d, DepthwiseConv2d, Layer, Linear, PRelu,
-    ReLU, Sequential,
+    cross_entropy_loss, softmax, BatchNorm2d, Conv2d, DepthwiseConv2d, Layer, Linear, PRelu, ReLU,
+    Sequential,
 };
 use sesr_tensor::{init, Shape, Tensor};
 

@@ -143,14 +143,20 @@ mod tests {
 
     #[test]
     fn invalid_configs_are_rejected() {
-        let mut cfg = NpuConfig::default();
-        cfg.compute_efficiency = 0.0;
+        let cfg = NpuConfig {
+            compute_efficiency: 0.0,
+            ..NpuConfig::default()
+        };
         assert!(cfg.validate().is_err());
-        let mut cfg = NpuConfig::default();
-        cfg.macs_per_cycle = 0;
+        let cfg = NpuConfig {
+            macs_per_cycle: 0,
+            ..NpuConfig::default()
+        };
         assert!(cfg.validate().is_err());
-        let mut cfg = NpuConfig::default();
-        cfg.memory_bandwidth_bytes_per_s = -1.0;
+        let cfg = NpuConfig {
+            memory_bandwidth_bytes_per_s: -1.0,
+            ..NpuConfig::default()
+        };
         assert!(cfg.validate().is_err());
     }
 }

@@ -97,7 +97,11 @@ pub fn estimate_network(
         npu: npu.name.clone(),
         layers,
         total_ms,
-        fps: if total_ms > 0.0 { 1000.0 / total_ms } else { f64::INFINITY },
+        fps: if total_ms > 0.0 {
+            1000.0 / total_ms
+        } else {
+            f64::INFINITY
+        },
     })
 }
 
@@ -123,7 +127,11 @@ pub fn estimate_pipeline(
         sr_ms: sr.total_ms,
         classification_ms: classifier.total_ms,
         total_ms,
-        fps: if total_ms > 0.0 { 1000.0 / total_ms } else { f64::INFINITY },
+        fps: if total_ms > 0.0 {
+            1000.0 / total_ms
+        } else {
+            f64::INFINITY
+        },
     })
 }
 
@@ -207,8 +215,10 @@ mod tests {
     #[test]
     fn invalid_npu_is_rejected() {
         let spec = SrModelKind::SesrM2.paper_spec().unwrap();
-        let mut bad = NpuConfig::default();
-        bad.compute_efficiency = 0.0;
+        let bad = NpuConfig {
+            compute_efficiency: 0.0,
+            ..NpuConfig::default()
+        };
         assert!(estimate_network(&spec, PAPER_INPUT, &bad).is_err());
     }
 

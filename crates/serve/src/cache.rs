@@ -1,0 +1,244 @@
+//! Content-addressed LRU cache of defended outputs.
+//!
+//! Keys are 64-bit FNV-1a hashes of the input tensor's shape and exact f32
+//! bit patterns, salted with the serving pipeline's identity so two servers
+//! with different defenses never alias. A 64-bit digest is not
+//! collision-proof in the cryptographic sense, but for a bounded cache of
+//! image tensors the collision probability is negligible (~n²/2⁶⁵) and a
+//! collision only ever returns a *previously defended* output, never corrupts
+//! state.
+
+use sesr_tensor::Tensor;
+use std::collections::HashMap;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// 64-bit FNV-1a content hash of an image tensor, salted with `salt`
+/// (typically the upscaler name + preprocess configuration).
+pub fn content_hash(image: &Tensor, salt: &str) -> u64 {
+    let mut hash = FNV_OFFSET;
+    let mut eat = |byte: u8| {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    };
+    for byte in salt.as_bytes() {
+        eat(*byte);
+    }
+    for dim in image.shape().dims() {
+        for byte in (*dim as u64).to_le_bytes() {
+            eat(byte);
+        }
+    }
+    for value in image.data() {
+        for byte in value.to_bits().to_le_bytes() {
+            eat(byte);
+        }
+    }
+    hash
+}
+
+const NIL: usize = usize::MAX;
+
+struct Node<V> {
+    key: u64,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// A fixed-capacity least-recently-used cache with O(1) get/insert.
+///
+/// Implemented as a slab-backed doubly linked recency list plus a key → slot
+/// index map; no unsafe code and no external dependencies. Capacity 0 turns
+/// the cache into a no-op (every lookup misses, inserts are dropped), which
+/// is how `sesr-serve` disables caching.
+pub struct LruCache<V> {
+    capacity: usize,
+    nodes: Vec<Node<V>>,
+    index: HashMap<u64, usize>,
+    head: usize,
+    tail: usize,
+    free: Vec<usize>,
+    hits: u64,
+    misses: u64,
+}
+
+impl<V> LruCache<V> {
+    /// Create a cache holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            capacity,
+            nodes: Vec::with_capacity(capacity.min(1024)),
+            index: HashMap::new(),
+            head: NIL,
+            tail: NIL,
+            free: Vec::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// `true` when the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Lifetime `(hits, misses)` counters for this cache.
+    pub fn hit_counts(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    fn detach(&mut self, slot: usize) {
+        let (prev, next) = (self.nodes[slot].prev, self.nodes[slot].next);
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.nodes[prev].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.nodes[next].prev = prev;
+        }
+    }
+
+    fn push_front(&mut self, slot: usize) {
+        self.nodes[slot].prev = NIL;
+        self.nodes[slot].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+
+    /// Look up `key`, refreshing its recency on a hit.
+    pub fn get(&mut self, key: u64) -> Option<&V> {
+        match self.index.get(&key).copied() {
+            Some(slot) => {
+                self.detach(slot);
+                self.push_front(slot);
+                self.hits += 1;
+                Some(&self.nodes[slot].value)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert (or refresh) `key`, evicting the least-recently-used entry if
+    /// the cache is full. With capacity 0 this is a no-op.
+    pub fn insert(&mut self, key: u64, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(slot) = self.index.get(&key).copied() {
+            self.nodes[slot].value = value;
+            self.detach(slot);
+            self.push_front(slot);
+            return;
+        }
+        if self.index.len() >= self.capacity {
+            let victim = self.tail;
+            self.detach(victim);
+            self.index.remove(&self.nodes[victim].key);
+            self.free.push(victim);
+        }
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.nodes[slot].key = key;
+                self.nodes[slot].value = value;
+                slot
+            }
+            None => {
+                self.nodes.push(Node {
+                    key,
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.nodes.len() - 1
+            }
+        };
+        self.index.insert(key, slot);
+        self.push_front(slot);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sesr_tensor::Shape;
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut cache: LruCache<u32> = LruCache::new(2);
+        cache.insert(1, 10);
+        cache.insert(2, 20);
+        assert_eq!(cache.get(1), Some(&10)); // 1 is now most recent.
+        cache.insert(3, 30); // evicts 2.
+        assert_eq!(cache.get(2), None);
+        assert_eq!(cache.get(1), Some(&10));
+        assert_eq!(cache.get(3), Some(&30));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn reinserting_refreshes_value_and_recency() {
+        let mut cache: LruCache<u32> = LruCache::new(2);
+        cache.insert(1, 10);
+        cache.insert(2, 20);
+        cache.insert(1, 11); // refresh 1, making 2 the LRU entry.
+        cache.insert(3, 30); // evicts 2.
+        assert_eq!(cache.get(1), Some(&11));
+        assert_eq!(cache.get(2), None);
+    }
+
+    #[test]
+    fn zero_capacity_disables_the_cache() {
+        let mut cache: LruCache<u32> = LruCache::new(0);
+        cache.insert(1, 10);
+        assert!(cache.is_empty());
+        assert_eq!(cache.get(1), None);
+        assert_eq!(cache.hit_counts(), (0, 1));
+    }
+
+    #[test]
+    fn heavy_churn_keeps_len_bounded() {
+        let mut cache: LruCache<u64> = LruCache::new(8);
+        for key in 0..1000u64 {
+            cache.insert(key, key * 2);
+            assert!(cache.len() <= 8);
+        }
+        // The eight most recent keys survive.
+        for key in 992..1000 {
+            assert_eq!(cache.get(key), Some(&(key * 2)));
+        }
+    }
+
+    #[test]
+    fn content_hash_separates_values_shapes_and_salts() {
+        let a = Tensor::full(Shape::new(&[1, 3, 4, 4]), 0.5);
+        let b = Tensor::full(Shape::new(&[1, 3, 4, 4]), 0.25);
+        let c = Tensor::full(Shape::new(&[1, 3, 2, 8]), 0.5);
+        assert_eq!(content_hash(&a, "s"), content_hash(&a, "s"));
+        assert_ne!(content_hash(&a, "s"), content_hash(&b, "s"));
+        assert_ne!(content_hash(&a, "s"), content_hash(&c, "s"));
+        assert_ne!(content_hash(&a, "nearest"), content_hash(&a, "bicubic"));
+    }
+}

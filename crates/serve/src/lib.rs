@@ -1,0 +1,89 @@
+//! **sesr-serve** — a batched, multi-worker serving subsystem for the SESR
+//! adversarial defense.
+//!
+//! The paper's pitch is that the JPEG → wavelet → ×2-SR defense is cheap
+//! enough to sit *in front of every classifier invocation* on edge hardware.
+//! This crate turns the single-caller
+//! [`DefensePipeline`](sesr_defense::pipeline::DefensePipeline) into a
+//! concurrent inference engine able to absorb heavy request traffic:
+//!
+//! ```text
+//!                 ┌──────────────────────── DefenseServer ───────────────────────┐
+//!                 │                                                              │
+//! submit(image) ──┼─► bounded submission queue ──► dynamic batcher ─► work queue │
+//! (try_send;      │   (capacity queue_capacity;    (coalesce ≤ max_batch,  │     │
+//!  Overloaded     │    rejects when full)           linger ≤ max_linger,   │     │
+//!  when full)     │                                 group by shape)        ▼     │
+//!       │         │   ┌───────────┐                                ┌─ worker 0 ─┐│
+//!       ├────────►│   │ LRU cache │◄── insert defended outputs ────┤  worker 1  ││
+//!       │  hit?   │   │ (content  │                                │   ...      ││
+//!       │         │   │  hash)    │    each worker owns its own    │ worker N-1 ││
+//!       │         │   └───────────┘    DefensePipeline             └────┬───────┘│
+//!       ▼         │                    (+ optional classifier)          │        │
+//! PendingResponse◄┼───────────── per-request response channels ◄── split batch   │
+//!                 │                                                              │
+//!                 │          StatsRecorder: p50/p95/p99 latency, images/sec      │
+//!                 └──────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! Design points:
+//!
+//! * **Bounded ingress with explicit backpressure.** [`DefenseClient::submit`]
+//!   never blocks: when the submission queue is full it returns
+//!   [`ServeError::Overloaded`] so callers can shed load (the behaviour a
+//!   front-of-classifier defense needs under attack-volume traffic).
+//! * **Dynamic batching.** Requests are coalesced until either `max_batch`
+//!   images are waiting or `max_linger` has elapsed since the first one, then
+//!   merged with [`Tensor::concat_batch`](sesr_tensor::Tensor::concat_batch)
+//!   into one `[N, 3, H, W]` defend call. Mixed image sizes are grouped by
+//!   shape, never mixed in one batch, and batched serving is bitwise
+//!   equivalent to sequential `defend` for the interpolation upscalers.
+//! * **Share-nothing workers.** Each worker thread owns its own
+//!   `DefensePipeline` (and optional classifier), built from a deterministic
+//!   factory such as
+//!   [`SrModelKind::build_seeded_upscaler`](sesr_models::SrModelKind::build_seeded_upscaler),
+//!   so there is no lock contention on the defend hot path.
+//! * **Content-addressed caching.** Defended outputs are cached in a
+//!   hash-keyed [`LruCache`]; resubmitting an identical image skips the
+//!   pipeline entirely.
+//! * **Built-in observability.** Every completion is timed; the
+//!   [`StatsRecorder`] reports p50/p95/p99 latency and sustained images/sec.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use sesr_serve::{DefenseServer, ServeConfig, WorkerAssets};
+//! use sesr_defense::pipeline::{DefensePipeline, PreprocessConfig};
+//! use sesr_models::SrModelKind;
+//! use sesr_tensor::{Shape, Tensor};
+//!
+//! let server = DefenseServer::start(ServeConfig::default(), |_worker| {
+//!     let upscaler = SrModelKind::NearestNeighbor.build_seeded_upscaler(2, 0)?;
+//!     Ok(WorkerAssets::new(DefensePipeline::new(
+//!         PreprocessConfig::paper(),
+//!         upscaler,
+//!     )))
+//! })?;
+//! let client = server.client();
+//! let image = Tensor::full(Shape::new(&[1, 3, 16, 16]), 0.5);
+//! let response = client.defend_blocking(image)?;
+//! assert_eq!(response.defended.shape().dims(), &[1, 3, 32, 32]);
+//! println!("{}", server.stats());
+//! drop(client); // client clones keep the submission queue open
+//! server.shutdown();
+//! # Ok::<(), sesr_serve::ServeError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod server;
+pub mod stats;
+
+pub use cache::{content_hash, LruCache};
+pub use server::{
+    DefenseClient, DefenseResponse, DefenseServer, PendingResponse, ServeConfig, ServeError,
+    WorkerAssets,
+};
+pub use stats::{ServeStats, StatsRecorder};

@@ -1,0 +1,702 @@
+//! The serving engine: bounded submission queue → dynamic batcher → worker
+//! pool → per-request response channels.
+//!
+//! Concurrency layout (all `std::thread` + `std::sync::mpsc`, no async
+//! runtime):
+//!
+//! * the **client** half is a cloneable handle holding the bounded submission
+//!   sender, the shared LRU cache and the stats recorder;
+//! * one **batcher** thread drains the submission queue, coalescing requests
+//!   into shape-homogeneous batches bounded by `max_batch` images and
+//!   `max_linger` wall-clock time;
+//! * `num_workers` **worker** threads pull batches from a shared bounded work
+//!   queue; each worker owns its own [`DefensePipeline`] and optional
+//!   classifier, so defends run with zero cross-worker locking.
+//!
+//! Backpressure is end-to-end: the work queue is bounded, so slow workers
+//! stall the batcher, the submission queue fills, and
+//! [`DefenseClient::submit`] starts returning [`ServeError::Overloaded`]
+//! instead of queueing unbounded work.
+
+use crate::cache::{content_hash, LruCache};
+use crate::stats::{ServeStats, StatsRecorder};
+use sesr_defense::pipeline::DefensePipeline;
+use sesr_nn::Layer;
+use sesr_tensor::{Tensor, TensorError};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Errors surfaced to serving clients.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The bounded submission queue is full; the caller should shed load or
+    /// retry later.
+    Overloaded,
+    /// The server has shut down (or a worker disappeared mid-request).
+    Closed,
+    /// The request was malformed (wrong rank or batch dimension).
+    InvalidRequest(String),
+    /// A pipeline stage failed while processing the request.
+    Pipeline(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded => write!(f, "submission queue is full (overloaded)"),
+            ServeError::Closed => write!(f, "defense server is shut down"),
+            ServeError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
+            ServeError::Pipeline(msg) => write!(f, "defense pipeline failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<TensorError> for ServeError {
+    fn from(err: TensorError) -> Self {
+        ServeError::Pipeline(err.to_string())
+    }
+}
+
+/// Tuning knobs of the serving engine.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads, each owning an independent pipeline (default 4).
+    pub num_workers: usize,
+    /// Maximum images coalesced into one defend call (default 8).
+    pub max_batch: usize,
+    /// Longest the batcher waits for more requests after the first one
+    /// (default 1 ms; `Duration::ZERO` dispatches immediately).
+    pub max_linger: Duration,
+    /// Bounded submission-queue capacity; submissions beyond it are rejected
+    /// with [`ServeError::Overloaded`] (default 64).
+    pub queue_capacity: usize,
+    /// LRU cache capacity in defended images; 0 disables caching
+    /// (default 256).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            num_workers: 4,
+            max_batch: 8,
+            max_linger: Duration::from_millis(1),
+            queue_capacity: 64,
+            cache_capacity: 256,
+        }
+    }
+}
+
+impl ServeConfig {
+    fn validate(&self) -> Result<(), ServeError> {
+        if self.num_workers == 0 || self.max_batch == 0 || self.queue_capacity == 0 {
+            return Err(ServeError::InvalidRequest(
+                "num_workers, max_batch and queue_capacity must all be positive".to_string(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Everything one worker owns: a defense pipeline and an optional classifier
+/// run on the defended output to produce labels.
+pub struct WorkerAssets {
+    pipeline: DefensePipeline,
+    classifier: Option<Box<dyn Layer>>,
+}
+
+impl WorkerAssets {
+    /// A defend-only worker.
+    pub fn new(pipeline: DefensePipeline) -> Self {
+        WorkerAssets {
+            pipeline,
+            classifier: None,
+        }
+    }
+
+    /// A defend-then-classify worker; responses carry the predicted label.
+    pub fn with_classifier(pipeline: DefensePipeline, classifier: Box<dyn Layer>) -> Self {
+        WorkerAssets {
+            pipeline,
+            classifier: Some(classifier),
+        }
+    }
+}
+
+/// The answer to one request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DefenseResponse {
+    /// The defended `[1, 3, H*scale, W*scale]` image.
+    pub defended: Tensor,
+    /// Predicted label, when the workers carry a classifier.
+    pub label: Option<usize>,
+    /// `true` when the response was served from the LRU cache.
+    pub cache_hit: bool,
+}
+
+type JobResult = Result<DefenseResponse, ServeError>;
+
+struct Job {
+    image: Tensor,
+    enqueued: Instant,
+    responder: Sender<JobResult>,
+    cache_key: Option<u64>,
+}
+
+struct Batch {
+    jobs: Vec<Job>,
+}
+
+type SharedCache = Arc<Mutex<LruCache<(Tensor, Option<usize>)>>>;
+
+/// A response that may already be resolved (cache hit) or still in flight.
+pub struct PendingResponse {
+    inner: PendingInner,
+}
+
+enum PendingInner {
+    Ready(Box<DefenseResponse>),
+    Waiting(Receiver<JobResult>),
+}
+
+impl PendingResponse {
+    /// Block until the response arrives.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Closed`] if the server shut down before
+    /// answering, or the pipeline error for this request.
+    pub fn wait(self) -> JobResult {
+        match self.inner {
+            PendingInner::Ready(response) => Ok(*response),
+            PendingInner::Waiting(receiver) => receiver.recv().map_err(|_| ServeError::Closed)?,
+        }
+    }
+}
+
+/// Cloneable submission handle to a running [`DefenseServer`].
+#[derive(Clone)]
+pub struct DefenseClient {
+    sender: SyncSender<Job>,
+    cache: SharedCache,
+    stats: Arc<StatsRecorder>,
+    cache_salt: Arc<str>,
+    cache_enabled: bool,
+}
+
+impl DefenseClient {
+    /// Submit one `[1, 3, H, W]` image without blocking.
+    ///
+    /// On an LRU hit the returned [`PendingResponse`] is already resolved; on
+    /// a miss the request is enqueued for batching.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Overloaded`] when the submission queue is full,
+    /// [`ServeError::InvalidRequest`] for non-`[1, C, H, W]` inputs,
+    /// [`ServeError::Closed`] when the server is gone.
+    pub fn submit(&self, image: Tensor) -> Result<PendingResponse, ServeError> {
+        let started = Instant::now();
+        let (n, _, _, _) = image
+            .shape()
+            .as_nchw()
+            .map_err(|e| ServeError::InvalidRequest(e.to_string()))?;
+        if n != 1 {
+            return Err(ServeError::InvalidRequest(format!(
+                "submit expects a single-image [1, C, H, W] batch, got batch size {n}"
+            )));
+        }
+
+        let cache_key = if self.cache_enabled {
+            let key = content_hash(&image, &self.cache_salt);
+            let mut cache = self.cache.lock().expect("cache mutex poisoned");
+            if let Some((defended, label)) = cache.get(key) {
+                let response = DefenseResponse {
+                    defended: defended.clone(),
+                    label: *label,
+                    cache_hit: true,
+                };
+                drop(cache);
+                self.stats.record_completion(started.elapsed(), true);
+                return Ok(PendingResponse {
+                    inner: PendingInner::Ready(Box::new(response)),
+                });
+            }
+            Some(key)
+        } else {
+            None
+        };
+
+        let (responder, receiver) = mpsc::channel();
+        let job = Job {
+            image,
+            enqueued: started,
+            responder,
+            cache_key,
+        };
+        match self.sender.try_send(job) {
+            Ok(()) => Ok(PendingResponse {
+                inner: PendingInner::Waiting(receiver),
+            }),
+            Err(TrySendError::Full(_)) => {
+                self.stats.record_rejection();
+                Err(ServeError::Overloaded)
+            }
+            Err(TrySendError::Disconnected(_)) => Err(ServeError::Closed),
+        }
+    }
+
+    /// Submit and wait: the convenience path for synchronous callers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates every [`ServeError`] that [`DefenseClient::submit`] or
+    /// [`PendingResponse::wait`] can produce.
+    pub fn defend_blocking(&self, image: Tensor) -> JobResult {
+        self.submit(image)?.wait()
+    }
+
+    /// Snapshot of the server's latency/throughput statistics.
+    pub fn stats(&self) -> ServeStats {
+        self.stats.snapshot()
+    }
+}
+
+/// The running serving engine; owns the batcher and worker threads.
+pub struct DefenseServer {
+    client: DefenseClient,
+    batcher: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl DefenseServer {
+    /// Start the engine. `factory(worker_index)` is called once per worker on
+    /// the calling thread to build that worker's private pipeline (and
+    /// optional classifier); use a deterministic factory (e.g.
+    /// [`SrModelKind::build_seeded_upscaler`](sesr_models::SrModelKind::build_seeded_upscaler)
+    /// with a fixed seed) when all workers must compute the same function.
+    ///
+    /// The LRU cache key is salted with the first worker's pipeline identity
+    /// (upscaler name + enabled preprocessing stages), so servers with
+    /// different defenses never share cached outputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configuration is invalid or the factory fails.
+    pub fn start<F>(config: ServeConfig, mut factory: F) -> Result<DefenseServer, ServeError>
+    where
+        F: FnMut(usize) -> sesr_tensor::Result<WorkerAssets>,
+    {
+        config.validate()?;
+        let mut assets = Vec::with_capacity(config.num_workers);
+        for worker in 0..config.num_workers {
+            assets.push(factory(worker)?);
+        }
+        let cache_salt: Arc<str> = Arc::from(format!("{:?}", assets[0].pipeline).as_str());
+
+        let stats = Arc::new(StatsRecorder::new());
+        let cache: SharedCache = Arc::new(Mutex::new(LruCache::new(config.cache_capacity)));
+        let (submit_tx, submit_rx) = mpsc::sync_channel::<Job>(config.queue_capacity);
+        let (work_tx, work_rx) = mpsc::sync_channel::<Batch>(config.num_workers * 2);
+        let work_rx = Arc::new(Mutex::new(work_rx));
+
+        let mut workers = Vec::with_capacity(config.num_workers);
+        for worker_assets in assets {
+            let work_rx = Arc::clone(&work_rx);
+            let cache = Arc::clone(&cache);
+            let stats = Arc::clone(&stats);
+            workers.push(std::thread::spawn(move || {
+                worker_loop(worker_assets, &work_rx, &cache, &stats)
+            }));
+        }
+
+        let batcher_stats = Arc::clone(&stats);
+        let max_batch = config.max_batch;
+        let max_linger = config.max_linger;
+        let batcher = std::thread::spawn(move || {
+            batcher_loop(&submit_rx, &work_tx, max_batch, max_linger, &batcher_stats)
+        });
+
+        Ok(DefenseServer {
+            client: DefenseClient {
+                sender: submit_tx,
+                cache,
+                stats,
+                cache_salt,
+                cache_enabled: config.cache_capacity > 0,
+            },
+            batcher,
+            workers,
+        })
+    }
+
+    /// A cloneable submission handle.
+    pub fn client(&self) -> DefenseClient {
+        self.client.clone()
+    }
+
+    /// Snapshot of the latency/throughput statistics.
+    pub fn stats(&self) -> ServeStats {
+        self.client.stats.snapshot()
+    }
+
+    /// Stop the engine and join all threads.
+    ///
+    /// Dropping the server's own client closes the submission channel once
+    /// every external [`DefenseClient`] clone is gone; the batcher then
+    /// drains the queue and exits, which closes the work queue and stops the
+    /// workers. Drop outstanding client clones (or stop submitting) before
+    /// calling `shutdown`, otherwise the join blocks until the last clone
+    /// disappears.
+    pub fn shutdown(self) {
+        let DefenseServer {
+            client,
+            batcher,
+            workers,
+        } = self;
+        drop(client);
+        let _ = batcher.join();
+        for worker in workers {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn batcher_loop(
+    submit_rx: &Receiver<Job>,
+    work_tx: &SyncSender<Batch>,
+    max_batch: usize,
+    max_linger: Duration,
+    stats: &StatsRecorder,
+) {
+    loop {
+        let first = match submit_rx.recv() {
+            Ok(job) => job,
+            Err(_) => return, // every client dropped; drain complete
+        };
+        let mut jobs = vec![first];
+        let deadline = Instant::now() + max_linger;
+        while jobs.len() < max_batch {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match submit_rx.recv_timeout(deadline - now) {
+                Ok(job) => jobs.push(job),
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+
+        // Group by input shape: a batch must be shape-homogeneous to concat.
+        let mut groups: Vec<(Vec<usize>, Vec<Job>)> = Vec::new();
+        for job in jobs {
+            let dims = job.image.shape().dims().to_vec();
+            match groups.iter_mut().find(|(d, _)| *d == dims) {
+                Some((_, group)) => group.push(job),
+                None => groups.push((dims, vec![job])),
+            }
+        }
+        for (_, group) in groups {
+            stats.record_batch(group.len());
+            if let Err(mpsc::SendError(batch)) = work_tx.send(Batch { jobs: group }) {
+                // Workers are gone; fail the whole batch.
+                for job in batch.jobs {
+                    let _ = job.responder.send(Err(ServeError::Closed));
+                }
+                return;
+            }
+        }
+    }
+}
+
+fn worker_loop(
+    mut assets: WorkerAssets,
+    work_rx: &Arc<Mutex<Receiver<Batch>>>,
+    cache: &SharedCache,
+    stats: &StatsRecorder,
+) {
+    loop {
+        // Hold the lock only for the dequeue, never while defending.
+        let batch = {
+            let receiver = work_rx.lock().expect("work queue mutex poisoned");
+            receiver.recv()
+        };
+        let batch = match batch {
+            Ok(batch) => batch,
+            Err(_) => return, // batcher gone and queue drained
+        };
+        process_batch(&mut assets, batch, cache, stats);
+    }
+}
+
+fn process_batch(
+    assets: &mut WorkerAssets,
+    batch: Batch,
+    cache: &SharedCache,
+    stats: &StatsRecorder,
+) {
+    let inputs: Vec<&Tensor> = batch.jobs.iter().map(|job| &job.image).collect();
+    let defended = Tensor::concat_batch(&inputs).and_then(|merged| assets.pipeline.defend(&merged));
+    let outcome = defended.and_then(|defended| {
+        let labels = match assets.classifier.as_mut() {
+            Some(classifier) => {
+                let logits = classifier.forward(&defended, false)?;
+                Some(row_argmax(&logits)?)
+            }
+            None => None,
+        };
+        let parts = defended.split_batch(1)?;
+        Ok((parts, labels))
+    });
+
+    match outcome {
+        Ok((parts, labels)) => {
+            stats.record_computed(parts.len());
+            for (index, (job, part)) in batch.jobs.into_iter().zip(parts).enumerate() {
+                let label = labels.as_ref().map(|l| l[index]);
+                if let Some(key) = job.cache_key {
+                    cache
+                        .lock()
+                        .expect("cache mutex poisoned")
+                        .insert(key, (part.clone(), label));
+                }
+                stats.record_completion(job.enqueued.elapsed(), false);
+                let _ = job.responder.send(Ok(DefenseResponse {
+                    defended: part,
+                    label,
+                    cache_hit: false,
+                }));
+            }
+        }
+        Err(err) => {
+            let message = err.to_string();
+            for job in batch.jobs {
+                stats.record_error();
+                let _ = job
+                    .responder
+                    .send(Err(ServeError::Pipeline(message.clone())));
+            }
+        }
+    }
+}
+
+/// Per-row argmax of a `[N, K]` logits tensor.
+fn row_argmax(logits: &Tensor) -> sesr_tensor::Result<Vec<usize>> {
+    let (rows, cols) = logits.shape().as_matrix()?;
+    let data = logits.data();
+    let mut labels = Vec::with_capacity(rows);
+    for row in 0..rows {
+        let slice = &data[row * cols..(row + 1) * cols];
+        let mut best = 0usize;
+        for (i, v) in slice.iter().enumerate() {
+            if *v > slice[best] {
+                best = i;
+            }
+        }
+        labels.push(best);
+    }
+    Ok(labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sesr_defense::pipeline::PreprocessConfig;
+    use sesr_models::{SrModelKind, Upscaler};
+    use sesr_tensor::{init, Shape};
+
+    fn nearest_assets() -> sesr_tensor::Result<WorkerAssets> {
+        Ok(WorkerAssets::new(DefensePipeline::new(
+            PreprocessConfig::paper(),
+            SrModelKind::NearestNeighbor.build_seeded_upscaler(2, 0)?,
+        )))
+    }
+
+    fn test_image(seed: u64, size: usize) -> Tensor {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        init::uniform(Shape::new(&[1, 3, size, size]), 0.0, 1.0, &mut rng)
+    }
+
+    #[test]
+    fn round_trip_matches_direct_defend() {
+        let server = DefenseServer::start(ServeConfig::default(), |_| nearest_assets()).unwrap();
+        let client = server.client();
+        let image = test_image(1, 16);
+        let response = client.defend_blocking(image.clone()).unwrap();
+        assert_eq!(response.defended.shape().dims(), &[1, 3, 32, 32]);
+        assert!(!response.cache_hit);
+
+        let direct = DefensePipeline::new(
+            PreprocessConfig::paper(),
+            SrModelKind::NearestNeighbor.build_interpolation(2).unwrap(),
+        )
+        .defend(&image)
+        .unwrap();
+        assert_eq!(response.defended, direct);
+        drop(client);
+        server.shutdown();
+    }
+
+    #[test]
+    fn mixed_shapes_are_batched_separately() {
+        let config = ServeConfig {
+            max_linger: Duration::from_millis(20),
+            ..ServeConfig::default()
+        };
+        let server = DefenseServer::start(config, |_| nearest_assets()).unwrap();
+        let client = server.client();
+        let pending: Vec<_> = (0..8)
+            .map(|i| {
+                let size = if i % 2 == 0 { 8 } else { 16 };
+                client.submit(test_image(i, size)).unwrap()
+            })
+            .collect();
+        for (i, pending) in pending.into_iter().enumerate() {
+            let response = pending.wait().unwrap();
+            let expected = if i % 2 == 0 { 16 } else { 32 };
+            assert_eq!(
+                response.defended.shape().dims(),
+                &[1, 3, expected, expected]
+            );
+        }
+        drop(client);
+        server.shutdown();
+    }
+
+    #[test]
+    fn invalid_requests_are_rejected_synchronously() {
+        let server = DefenseServer::start(ServeConfig::default(), |_| nearest_assets()).unwrap();
+        let client = server.client();
+        let rank2 = Tensor::zeros(Shape::new(&[4, 4]));
+        assert!(matches!(
+            client.submit(rank2),
+            Err(ServeError::InvalidRequest(_))
+        ));
+        let multi = Tensor::zeros(Shape::new(&[2, 3, 8, 8]));
+        assert!(matches!(
+            client.submit(multi),
+            Err(ServeError::InvalidRequest(_))
+        ));
+        drop(client);
+        server.shutdown();
+    }
+
+    #[test]
+    fn labels_come_from_the_worker_classifier() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let server = DefenseServer::start(ServeConfig::default(), |_| {
+            let mut rng = StdRng::seed_from_u64(3);
+            let classifier = sesr_classifiers::ClassifierKind::MobileNetV2.build_local(4, &mut rng);
+            Ok(WorkerAssets::with_classifier(
+                DefensePipeline::new(
+                    PreprocessConfig::paper(),
+                    SrModelKind::NearestNeighbor.build_seeded_upscaler(2, 0)?,
+                ),
+                classifier,
+            ))
+        })
+        .unwrap();
+        let client = server.client();
+        let response = client.defend_blocking(test_image(5, 16)).unwrap();
+        assert!(response.label.is_some());
+        assert!(response.label.unwrap() < 4);
+        drop(client);
+        server.shutdown();
+    }
+
+    /// An upscaler that sleeps, to make backpressure deterministic in tests.
+    struct SlowUpscaler {
+        delay: Duration,
+        inner: Box<dyn Upscaler>,
+    }
+
+    impl Upscaler for SlowUpscaler {
+        fn name(&self) -> &str {
+            "slow"
+        }
+        fn scale(&self) -> usize {
+            self.inner.scale()
+        }
+        fn upscale(&self, input: &Tensor) -> sesr_tensor::Result<Tensor> {
+            std::thread::sleep(self.delay);
+            self.inner.upscale(input)
+        }
+    }
+
+    #[test]
+    fn full_queue_rejects_with_overloaded() {
+        let config = ServeConfig {
+            num_workers: 1,
+            max_batch: 1,
+            max_linger: Duration::ZERO,
+            queue_capacity: 2,
+            cache_capacity: 0,
+        };
+        let server = DefenseServer::start(config, |_| {
+            Ok(WorkerAssets::new(DefensePipeline::new(
+                PreprocessConfig::none(),
+                Box::new(SlowUpscaler {
+                    delay: Duration::from_millis(40),
+                    inner: SrModelKind::NearestNeighbor.build_interpolation(2).unwrap(),
+                }),
+            )))
+        })
+        .unwrap();
+        let client = server.client();
+        let mut pending = Vec::new();
+        let mut rejected = 0usize;
+        for seed in 0..32 {
+            match client.submit(test_image(seed, 8)) {
+                Ok(p) => pending.push(p),
+                Err(ServeError::Overloaded) => rejected += 1,
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+        }
+        assert!(
+            rejected > 0,
+            "a 2-slot queue behind a 40ms/image worker must reject a 32-image burst"
+        );
+        assert_eq!(server.stats().rejected, rejected as u64);
+        for p in pending {
+            p.wait().unwrap();
+        }
+        drop(client);
+        server.shutdown();
+    }
+
+    #[test]
+    fn cache_hits_skip_recomputation() {
+        let server = DefenseServer::start(ServeConfig::default(), |_| nearest_assets()).unwrap();
+        let client = server.client();
+        let image = test_image(9, 16);
+        let first = client.defend_blocking(image.clone()).unwrap();
+        assert!(!first.cache_hit);
+        let second = client.defend_blocking(image.clone()).unwrap();
+        assert!(second.cache_hit);
+        assert_eq!(first.defended, second.defended);
+        let stats = server.stats();
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(
+            stats.computed_images, 1,
+            "the second request must not recompute"
+        );
+        drop(client);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_joins_cleanly_and_closes_the_queue() {
+        let server = DefenseServer::start(ServeConfig::default(), |_| nearest_assets()).unwrap();
+        let client = server.client();
+        client.defend_blocking(test_image(2, 8)).unwrap();
+        drop(client);
+        server.shutdown();
+    }
+}

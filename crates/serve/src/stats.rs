@@ -1,0 +1,267 @@
+//! Latency and throughput accounting for the serving subsystem.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Latency samples kept for percentile estimation. Memory stays bounded on a
+/// long-lived server (a ring of the most recent completions) and
+/// [`StatsRecorder::snapshot`] sorts at most this many entries, so snapshots
+/// never stall the hot path for longer than a fixed O(window) amount.
+const LATENCY_WINDOW: usize = 8192;
+
+/// Thread-safe recorder fed by the client (rejections, cache hits) and the
+/// workers (completions, batch sizes). Cheap enough to call per request: one
+/// short mutexed push per event, all aggregation deferred to
+/// [`StatsRecorder::snapshot`]. Percentiles and the mean are computed over a
+/// sliding window of the most recent [`LATENCY_WINDOW`] completions; the
+/// counters cover the server's whole lifetime.
+pub struct StatsRecorder {
+    inner: Mutex<Inner>,
+}
+
+#[derive(Default)]
+struct Inner {
+    latencies_us: Vec<u64>,
+    latency_cursor: usize,
+    completed: u64,
+    computed_images: u64,
+    cache_hits: u64,
+    rejected: u64,
+    errors: u64,
+    batches: u64,
+    batched_images: u64,
+    largest_batch: usize,
+    first_completion: Option<Instant>,
+    last_completion: Option<Instant>,
+}
+
+impl StatsRecorder {
+    /// Create an empty recorder.
+    pub fn new() -> Self {
+        StatsRecorder {
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().expect("stats mutex poisoned")
+    }
+
+    /// Record one finished request with its end-to-end latency.
+    pub fn record_completion(&self, latency: Duration, cache_hit: bool) {
+        let now = Instant::now();
+        let mut inner = self.lock();
+        inner.completed += 1;
+        if cache_hit {
+            inner.cache_hits += 1;
+        }
+        let sample = latency.as_micros() as u64;
+        if inner.latencies_us.len() < LATENCY_WINDOW {
+            inner.latencies_us.push(sample);
+        } else {
+            let cursor = inner.latency_cursor;
+            inner.latencies_us[cursor] = sample;
+        }
+        inner.latency_cursor = (inner.latency_cursor + 1) % LATENCY_WINDOW;
+        inner.first_completion.get_or_insert(now);
+        inner.last_completion = Some(now);
+    }
+
+    /// Record images that actually went through the defense pipeline (as
+    /// opposed to being served from cache).
+    pub fn record_computed(&self, images: usize) {
+        self.lock().computed_images += images as u64;
+    }
+
+    /// Record a submission rejected with `Overloaded`.
+    pub fn record_rejection(&self) {
+        self.lock().rejected += 1;
+    }
+
+    /// Record a request that failed inside the pipeline.
+    pub fn record_error(&self) {
+        self.lock().errors += 1;
+    }
+
+    /// Record one dispatched batch of `size` images.
+    pub fn record_batch(&self, size: usize) {
+        let mut inner = self.lock();
+        inner.batches += 1;
+        inner.batched_images += size as u64;
+        inner.largest_batch = inner.largest_batch.max(size);
+    }
+
+    /// Aggregate everything recorded so far.
+    pub fn snapshot(&self) -> ServeStats {
+        let inner = self.lock();
+        let mut sorted = inner.latencies_us.clone();
+        sorted.sort_unstable();
+        let percentile = |q: f64| -> Duration {
+            if sorted.is_empty() {
+                return Duration::ZERO;
+            }
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            Duration::from_micros(sorted[rank - 1])
+        };
+        let mean = if sorted.is_empty() {
+            Duration::ZERO
+        } else {
+            Duration::from_micros(sorted.iter().sum::<u64>() / sorted.len() as u64)
+        };
+        let elapsed = match (inner.first_completion, inner.last_completion) {
+            (Some(first), Some(last)) => last.duration_since(first),
+            _ => Duration::ZERO,
+        };
+        let images_per_sec = if elapsed.as_secs_f64() > 0.0 && inner.completed > 1 {
+            // The first completion opens the window, so it is not part of the
+            // rate measured across the window.
+            (inner.completed - 1) as f64 / elapsed.as_secs_f64()
+        } else {
+            0.0
+        };
+        ServeStats {
+            completed: inner.completed,
+            computed_images: inner.computed_images,
+            cache_hits: inner.cache_hits,
+            rejected: inner.rejected,
+            errors: inner.errors,
+            batches: inner.batches,
+            mean_batch: if inner.batches > 0 {
+                inner.batched_images as f64 / inner.batches as f64
+            } else {
+                0.0
+            },
+            largest_batch: inner.largest_batch,
+            p50: percentile(0.50),
+            p95: percentile(0.95),
+            p99: percentile(0.99),
+            mean,
+            images_per_sec,
+        }
+    }
+}
+
+impl Default for StatsRecorder {
+    fn default() -> Self {
+        StatsRecorder::new()
+    }
+}
+
+/// A point-in-time aggregate of serving behaviour.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeStats {
+    /// Requests answered (including cache hits).
+    pub completed: u64,
+    /// Images that actually ran through the defense pipeline.
+    pub computed_images: u64,
+    /// Requests served from the LRU cache.
+    pub cache_hits: u64,
+    /// Submissions rejected with `Overloaded`.
+    pub rejected: u64,
+    /// Requests that failed inside the pipeline.
+    pub errors: u64,
+    /// Batches dispatched to workers.
+    pub batches: u64,
+    /// Mean images per dispatched batch.
+    pub mean_batch: f64,
+    /// Largest batch dispatched.
+    pub largest_batch: usize,
+    /// Median end-to-end latency over the recent-completion window.
+    pub p50: Duration,
+    /// 95th-percentile end-to-end latency over the recent-completion window.
+    pub p95: Duration,
+    /// 99th-percentile end-to-end latency over the recent-completion window.
+    pub p99: Duration,
+    /// Mean end-to-end latency over the recent-completion window.
+    pub mean: Duration,
+    /// Completions per second across the first→last completion window.
+    pub images_per_sec: f64,
+}
+
+impl std::fmt::Display for ServeStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "served {} (cache hits {}, rejected {}, errors {}) | \
+             {} batches, mean {:.2} img/batch, max {} | \
+             latency p50 {:?} p95 {:?} p99 {:?} mean {:?} | {:.1} images/sec",
+            self.completed,
+            self.cache_hits,
+            self.rejected,
+            self.errors,
+            self.batches,
+            self.mean_batch,
+            self.largest_batch,
+            self.p50,
+            self.p95,
+            self.p99,
+            self.mean,
+            self.images_per_sec
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_are_order_statistics() {
+        let recorder = StatsRecorder::new();
+        for ms in 1..=100u64 {
+            recorder.record_completion(Duration::from_millis(ms), false);
+        }
+        let stats = recorder.snapshot();
+        assert_eq!(stats.completed, 100);
+        assert_eq!(stats.p50, Duration::from_millis(50));
+        assert_eq!(stats.p95, Duration::from_millis(95));
+        assert_eq!(stats.p99, Duration::from_millis(99));
+        assert_eq!(stats.mean, Duration::from_micros(50_500));
+    }
+
+    #[test]
+    fn empty_recorder_snapshots_zeros() {
+        let stats = StatsRecorder::new().snapshot();
+        assert_eq!(stats.completed, 0);
+        assert_eq!(stats.p99, Duration::ZERO);
+        assert_eq!(stats.images_per_sec, 0.0);
+    }
+
+    #[test]
+    fn latency_window_is_bounded_and_keeps_recent_samples() {
+        let recorder = StatsRecorder::new();
+        // Fill far past the window with 1ms, then overwrite with 2ms.
+        for _ in 0..LATENCY_WINDOW {
+            recorder.record_completion(Duration::from_millis(1), false);
+        }
+        for _ in 0..LATENCY_WINDOW {
+            recorder.record_completion(Duration::from_millis(2), false);
+        }
+        let stats = recorder.snapshot();
+        assert_eq!(stats.completed, 2 * LATENCY_WINDOW as u64);
+        // Every retained sample is from the recent (2ms) traffic.
+        assert_eq!(stats.p50, Duration::from_millis(2));
+        assert_eq!(stats.p99, Duration::from_millis(2));
+        assert_eq!(stats.mean, Duration::from_millis(2));
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let recorder = StatsRecorder::new();
+        recorder.record_rejection();
+        recorder.record_error();
+        recorder.record_batch(3);
+        recorder.record_batch(5);
+        recorder.record_computed(8);
+        recorder.record_completion(Duration::from_millis(1), true);
+        let stats = recorder.snapshot();
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.errors, 1);
+        assert_eq!(stats.batches, 2);
+        assert_eq!(stats.mean_batch, 4.0);
+        assert_eq!(stats.largest_batch, 5);
+        assert_eq!(stats.computed_images, 8);
+        assert_eq!(stats.cache_hits, 1);
+        assert!(!stats.to_string().is_empty());
+    }
+}

@@ -153,7 +153,12 @@ impl EdsrConfig {
                     bias: true,
                 },
             );
-            spec.push(format!("block{i}_relu"), OpDesc::Elementwise { channels: self.features });
+            spec.push(
+                format!("block{i}_relu"),
+                OpDesc::Elementwise {
+                    channels: self.features,
+                },
+            );
             spec.push(
                 format!("block{i}_conv2"),
                 OpDesc::Conv2d {
@@ -267,9 +272,10 @@ impl Layer for Edsr {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
-        let _ = self.cached_head_out.take().ok_or_else(|| {
-            TensorError::invalid_argument("backward before forward in Edsr")
-        })?;
+        let _ = self
+            .cached_head_out
+            .take()
+            .ok_or_else(|| TensorError::invalid_argument("backward before forward in Edsr"))?;
         let grad_up = self.tail.backward(grad_output)?;
         let grad_up = self.shuffle.backward(&grad_up)?;
         let grad_features = self.upsample_conv.backward(&grad_up)?;
@@ -330,7 +336,10 @@ mod tests {
         let g = net.backward(&Tensor::ones(y.shape().clone())).unwrap();
         assert_eq!(g.shape(), x.shape());
         assert!(g.norm() > 0.0);
-        assert!(net.params().iter().all(|p| p.grad.shape() == p.value.shape()));
+        assert!(net
+            .params()
+            .iter()
+            .all(|p| p.grad.shape() == p.value.shape()));
     }
 
     #[test]
@@ -342,7 +351,10 @@ mod tests {
             (38_000_000..46_000_000).contains(&edsr),
             "EDSR params {edsr}"
         );
-        assert!((1_000_000..1_500_000).contains(&base), "EDSR-base params {base}");
+        assert!(
+            (1_000_000..1_500_000).contains(&base),
+            "EDSR-base params {base}"
+        );
     }
 
     #[test]

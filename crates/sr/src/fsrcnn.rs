@@ -96,7 +96,10 @@ impl FsrcnnConfig {
                     bias: true,
                 },
             );
-            spec.push(format!("prelu_map_{i}"), OpDesc::Elementwise { channels: self.s });
+            spec.push(
+                format!("prelu_map_{i}"),
+                OpDesc::Elementwise { channels: self.s },
+            );
         }
         spec.push(
             "expand_1x1",

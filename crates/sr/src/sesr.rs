@@ -58,12 +58,20 @@ impl CollapsibleLinearBlock {
         );
         let project_w =
             init::xavier_uniform(Shape::new(&[out_channels, expanded_channels, 1, 1]), rng);
-        let expand =
-            Conv2d::from_weights(expand_w, Some(Tensor::zeros(Shape::new(&[expanded_channels]))), 1, kernel / 2)
-                .expect("expand conv construction");
-        let project =
-            Conv2d::from_weights(project_w, Some(Tensor::zeros(Shape::new(&[out_channels]))), 1, 0)
-                .expect("project conv construction");
+        let expand = Conv2d::from_weights(
+            expand_w,
+            Some(Tensor::zeros(Shape::new(&[expanded_channels]))),
+            1,
+            kernel / 2,
+        )
+        .expect("expand conv construction");
+        let project = Conv2d::from_weights(
+            project_w,
+            Some(Tensor::zeros(Shape::new(&[out_channels]))),
+            1,
+            0,
+        )
+        .expect("project conv construction");
         CollapsibleLinearBlock {
             in_channels,
             out_channels,
@@ -133,8 +141,7 @@ impl CollapsibleLinearBlock {
                 }
                 for i in 0..fi {
                     for kk in 0..k * k {
-                        weight[(o * fi + i) * k * k + kk] +=
-                            w2_op * w1[(pi * fi + i) * k * k + kk];
+                        weight[(o * fi + i) * k * k + kk] += w2_op * w1[(pi * fi + i) * k * k + kk];
                     }
                 }
                 bias[o] += w2_op * b1[pi];
@@ -273,7 +280,12 @@ impl SesrConfig {
                 bias: true,
             },
         );
-        spec.push("prelu_first", OpDesc::Elementwise { channels: self.features });
+        spec.push(
+            "prelu_first",
+            OpDesc::Elementwise {
+                channels: self.features,
+            },
+        );
         for i in 0..self.num_blocks {
             spec.push(
                 format!("conv3x3_body_{i}"),
@@ -287,7 +299,9 @@ impl SesrConfig {
             );
             spec.push(
                 format!("prelu_body_{i}"),
-                OpDesc::Elementwise { channels: self.features },
+                OpDesc::Elementwise {
+                    channels: self.features,
+                },
             );
         }
         spec.push(
@@ -330,13 +344,8 @@ struct SesrCache {
 impl Sesr {
     /// Build a SESR network from a configuration.
     pub fn new(config: SesrConfig, rng: &mut impl Rng) -> Self {
-        let first = CollapsibleLinearBlock::new(
-            config.channels,
-            config.features,
-            5,
-            config.expansion,
-            rng,
-        );
+        let first =
+            CollapsibleLinearBlock::new(config.channels, config.features, 5, config.expansion, rng);
         let act_first = PRelu::new(config.features);
         let body = (0..config.num_blocks)
             .map(|_| {

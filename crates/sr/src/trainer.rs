@@ -76,7 +76,9 @@ impl SrTrainer {
     /// network does not upscale by the dataset's scale factor).
     pub fn train(&self, network: &mut dyn Layer, dataset: &SrDataset) -> Result<SrTrainingReport> {
         if dataset.train_len() == 0 {
-            return Err(TensorError::invalid_argument("cannot train on an empty dataset"));
+            return Err(TensorError::invalid_argument(
+                "cannot train on an empty dataset",
+            ));
         }
         let mut optimizer = Adam::new(self.config.learning_rate);
         let mut epoch_losses = Vec::with_capacity(self.config.epochs);
@@ -135,7 +137,7 @@ pub fn evaluate_network_psnr(network: &mut dyn Layer, dataset: &SrDataset) -> Re
 /// # Errors
 ///
 /// Returns an error if the upscaler output shape does not match the HR target.
-pub fn evaluate_upscaler_psnr(upscaler: &mut dyn Upscaler, dataset: &SrDataset) -> Result<f32> {
+pub fn evaluate_upscaler_psnr(upscaler: &dyn Upscaler, dataset: &SrDataset) -> Result<f32> {
     let mut total = 0.0f32;
     let mut count = 0usize;
     for i in 0..dataset.val_len() {
@@ -154,8 +156,8 @@ pub fn evaluate_upscaler_psnr(upscaler: &mut dyn Upscaler, dataset: &SrDataset) 
 ///
 /// Returns an error if interpolation fails (cannot occur for valid datasets).
 pub fn evaluate_bicubic_psnr(dataset: &SrDataset) -> Result<f32> {
-    let mut bicubic = crate::upscaler::InterpolationUpscaler::bicubic(dataset.config().scale);
-    evaluate_upscaler_psnr(&mut bicubic, dataset)
+    let bicubic = crate::upscaler::InterpolationUpscaler::bicubic(dataset.config().scale);
+    evaluate_upscaler_psnr(&bicubic, dataset)
 }
 
 #[cfg(test)]

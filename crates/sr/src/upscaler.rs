@@ -6,13 +6,20 @@ use crate::Result;
 use sesr_nn::Layer;
 use sesr_tensor::resample::{upscale, Interpolation};
 use sesr_tensor::{Tensor, TensorError};
+use std::sync::Mutex;
 
 /// Anything that can upscale an NCHW image batch by a fixed integer factor.
 ///
 /// The defense pipeline is generic over this trait so that Nearest Neighbour,
 /// FSRCNN, EDSR and the SESR variants are interchangeable, exactly as in the
 /// paper's comparison.
-pub trait Upscaler: Send {
+///
+/// `upscale` takes `&self` so a pipeline can be shared across evaluation and
+/// serving threads; implementations that need mutable state for their forward
+/// pass (e.g. [`NetworkUpscaler`]'s activation caches) use interior
+/// mutability. The `Send + Sync` bound is what lets `sesr-serve` hand one
+/// upscaler per worker thread, or share a single one behind an `Arc`.
+pub trait Upscaler: Send + Sync {
     /// Human-readable model name used in reports and tables.
     fn name(&self) -> &str;
 
@@ -25,7 +32,7 @@ pub trait Upscaler: Send {
     ///
     /// Returns an error if the input is not rank 4 or is incompatible with
     /// the model (e.g. wrong channel count).
-    fn upscale(&mut self, input: &Tensor) -> Result<Tensor>;
+    fn upscale(&self, input: &Tensor) -> Result<Tensor>;
 }
 
 /// Interpolation-based upscaler (the paper's "Nearest Neighbor" baseline and
@@ -75,7 +82,7 @@ impl Upscaler for InterpolationUpscaler {
         self.scale
     }
 
-    fn upscale(&mut self, input: &Tensor) -> Result<Tensor> {
+    fn upscale(&self, input: &Tensor) -> Result<Tensor> {
         let out = upscale(input, self.scale, self.method)?;
         Ok(out.clamp(0.0, 1.0))
     }
@@ -83,10 +90,16 @@ impl Upscaler for InterpolationUpscaler {
 
 /// Adapter wrapping any [`Layer`] network whose forward pass maps
 /// `[N, 3, H, W]` to `[N, 3, H*scale, W*scale]` into an [`Upscaler`].
+///
+/// The wrapped network is kept behind a mutex because [`Layer::forward`]
+/// mutates activation caches; inference through the adapter therefore
+/// serialises per upscaler instance. Concurrent serving gets parallelism by
+/// giving each worker its own `NetworkUpscaler` (see `sesr-serve`), not by
+/// sharing one.
 pub struct NetworkUpscaler<L: Layer> {
     name: String,
     scale: usize,
-    network: L,
+    network: Mutex<L>,
 }
 
 impl<L: Layer> NetworkUpscaler<L> {
@@ -95,23 +108,30 @@ impl<L: Layer> NetworkUpscaler<L> {
         NetworkUpscaler {
             name: name.into(),
             scale,
-            network,
+            network: Mutex::new(network),
         }
     }
 
-    /// Borrow the wrapped network (e.g. to count parameters).
-    pub fn network(&self) -> &L {
-        &self.network
+    /// Run a closure over the wrapped network (e.g. to count parameters).
+    pub fn with_network<T>(&self, f: impl FnOnce(&L) -> T) -> T {
+        f(&self
+            .network
+            .lock()
+            .expect("network upscaler mutex poisoned"))
     }
 
     /// Mutably borrow the wrapped network (e.g. to train it).
     pub fn network_mut(&mut self) -> &mut L {
-        &mut self.network
+        self.network
+            .get_mut()
+            .expect("network upscaler mutex poisoned")
     }
 
     /// Unwrap into the inner network.
     pub fn into_inner(self) -> L {
         self.network
+            .into_inner()
+            .expect("network upscaler mutex poisoned")
     }
 }
 
@@ -124,9 +144,13 @@ impl<L: Layer> Upscaler for NetworkUpscaler<L> {
         self.scale
     }
 
-    fn upscale(&mut self, input: &Tensor) -> Result<Tensor> {
+    fn upscale(&self, input: &Tensor) -> Result<Tensor> {
         let (_, _, h, w) = input.shape().as_nchw()?;
-        let out = self.network.forward(input, false)?;
+        let out = self
+            .network
+            .lock()
+            .expect("network upscaler mutex poisoned")
+            .forward(input, false)?;
         let (_, _, oh, ow) = out.shape().as_nchw()?;
         if oh != h * self.scale || ow != w * self.scale {
             return Err(TensorError::invalid_argument(format!(
@@ -147,7 +171,7 @@ mod tests {
 
     #[test]
     fn nearest_upscaler_doubles_size() {
-        let mut up = InterpolationUpscaler::nearest(2);
+        let up = InterpolationUpscaler::nearest(2);
         assert_eq!(up.name(), "nearest-neighbor");
         assert_eq!(up.scale(), 2);
         let x = Tensor::full(Shape::new(&[1, 3, 4, 4]), 0.5);
@@ -157,12 +181,8 @@ mod tests {
 
     #[test]
     fn bicubic_output_is_clamped() {
-        let mut up = InterpolationUpscaler::bicubic(2);
-        let x = Tensor::from_vec(
-            Shape::new(&[1, 1, 2, 2]),
-            vec![0.0, 1.0, 1.0, 0.0],
-        )
-        .unwrap();
+        let up = InterpolationUpscaler::bicubic(2);
+        let x = Tensor::from_vec(Shape::new(&[1, 1, 2, 2]), vec![0.0, 1.0, 1.0, 0.0]).unwrap();
         let y = up.upscale(&x).unwrap();
         assert!(y.min() >= 0.0 && y.max() <= 1.0);
     }
@@ -170,16 +190,34 @@ mod tests {
     #[test]
     fn network_upscaler_validates_output_size() {
         // An identity network does not upscale, so the adapter must reject it.
-        let mut bad = NetworkUpscaler::new("identity", 2, Identity::new());
+        let bad = NetworkUpscaler::new("identity", 2, Identity::new());
         let x = Tensor::zeros(Shape::new(&[1, 3, 4, 4]));
         assert!(bad.upscale(&x).is_err());
 
         // A pixel-shuffle network with 12 -> 3 channels does upscale by 2.
         let mut net = Sequential::new("shuffle_only");
         net.push(PixelShuffle::new(2));
-        let mut good = NetworkUpscaler::new("shuffle", 2, net);
+        let good = NetworkUpscaler::new("shuffle", 2, net);
         let x = Tensor::zeros(Shape::new(&[1, 12, 4, 4]));
         let y = good.upscale(&x).unwrap();
         assert_eq!(y.shape().dims(), &[1, 3, 8, 8]);
+    }
+
+    #[test]
+    fn upscalers_are_shareable_across_threads() {
+        // &self upscaling from several threads must agree with sequential use.
+        let up = InterpolationUpscaler::bicubic(2);
+        let x = Tensor::full(Shape::new(&[1, 3, 4, 4]), 0.25);
+        let expected = up.upscale(&x).unwrap();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let up = &up;
+                let x = &x;
+                let expected = &expected;
+                scope.spawn(move || {
+                    assert_eq!(&up.upscale(x).unwrap(), expected);
+                });
+            }
+        });
     }
 }

@@ -5,7 +5,7 @@ use crate::edsr::{Edsr, EdsrConfig};
 use crate::fsrcnn::{Fsrcnn, FsrcnnConfig};
 use crate::sesr::{Sesr, SesrConfig};
 use crate::upscaler::{InterpolationUpscaler, Upscaler};
-use rand::Rng;
+use rand::{Rng, SeedableRng};
 use sesr_nn::spec::NetworkSpec;
 use sesr_nn::Layer;
 
@@ -100,10 +100,22 @@ impl SrModelKind {
             SrModelKind::EdsrBase => Some(Box::new(Edsr::new(EdsrConfig::base_local(), rng))),
             SrModelKind::Edsr => Some(Box::new(Edsr::new(EdsrConfig::full_local(), rng))),
             SrModelKind::Fsrcnn => Some(Box::new(Fsrcnn::new(FsrcnnConfig::local(), rng))),
-            SrModelKind::SesrM2 => Some(Box::new(Sesr::new(SesrConfig::m2().with_expansion(32), rng))),
-            SrModelKind::SesrM3 => Some(Box::new(Sesr::new(SesrConfig::m3().with_expansion(32), rng))),
-            SrModelKind::SesrM5 => Some(Box::new(Sesr::new(SesrConfig::m5().with_expansion(32), rng))),
-            SrModelKind::SesrXl => Some(Box::new(Sesr::new(SesrConfig::xl().with_expansion(32), rng))),
+            SrModelKind::SesrM2 => Some(Box::new(Sesr::new(
+                SesrConfig::m2().with_expansion(32),
+                rng,
+            ))),
+            SrModelKind::SesrM3 => Some(Box::new(Sesr::new(
+                SesrConfig::m3().with_expansion(32),
+                rng,
+            ))),
+            SrModelKind::SesrM5 => Some(Box::new(Sesr::new(
+                SesrConfig::m5().with_expansion(32),
+                rng,
+            ))),
+            SrModelKind::SesrXl => Some(Box::new(Sesr::new(
+                SesrConfig::xl().with_expansion(32),
+                rng,
+            ))),
         }
     }
 
@@ -115,6 +127,45 @@ impl SrModelKind {
             SrModelKind::Bicubic => Some(Box::new(InterpolationUpscaler::bicubic(scale))),
             _ => None,
         }
+    }
+
+    /// Build an upscaler deterministically from `(kind, scale, seed)`.
+    ///
+    /// This is the *cloneable construction path* used by multi-worker serving
+    /// (`sesr-serve`): calling it repeatedly with the same arguments yields
+    /// upscalers that compute bitwise-identical functions, so every worker in
+    /// a pool can own an independent instance. Interpolation kinds ignore the
+    /// seed; learned kinds build the laptop-scale network with weights seeded
+    /// from `seed` (untrained — callers wanting trained weights should copy
+    /// them in afterwards, e.g. with `sesr_defense::experiments::copy_weights`).
+    ///
+    /// Learned local networks are ×2-only; `scale` must be 2 for them.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `scale` is unsupported for a learned kind.
+    pub fn build_seeded_upscaler(
+        &self,
+        scale: usize,
+        seed: u64,
+    ) -> sesr_tensor::Result<Box<dyn Upscaler>> {
+        if let Some(upscaler) = self.build_interpolation(scale) {
+            return Ok(upscaler);
+        }
+        if scale != 2 {
+            return Err(sesr_tensor::TensorError::invalid_argument(format!(
+                "learned local SR networks are x2-only, requested x{scale}"
+            )));
+        }
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let network = self
+            .build_local_network(&mut rng)
+            .expect("learned kinds always build a local network");
+        Ok(Box::new(crate::upscaler::NetworkUpscaler::new(
+            self.name(),
+            scale,
+            network,
+        )))
     }
 }
 
@@ -174,12 +225,7 @@ mod tests {
     #[test]
     fn paper_macs_ordering_matches_table1() {
         // SESR-M2 < SESR-M3 < SESR-M5 < FSRCNN < SESR-XL < EDSR-base < EDSR.
-        let macs = |k: SrModelKind| {
-            k.paper_spec()
-                .unwrap()
-                .total_macs((3, 299, 299))
-                .unwrap()
-        };
+        let macs = |k: SrModelKind| k.paper_spec().unwrap().total_macs((3, 299, 299)).unwrap();
         assert!(macs(SrModelKind::SesrM2) < macs(SrModelKind::SesrM3));
         assert!(macs(SrModelKind::SesrM3) < macs(SrModelKind::SesrM5));
         assert!(macs(SrModelKind::SesrM5) < macs(SrModelKind::Fsrcnn));

@@ -59,7 +59,10 @@ impl Conv2dConfig {
                 self.kernel, ph, pw
             )));
         }
-        Ok(((ph - self.kernel) / self.stride + 1, (pw - self.kernel) / self.stride + 1))
+        Ok((
+            (ph - self.kernel) / self.stride + 1,
+            (pw - self.kernel) / self.stride + 1,
+        ))
     }
 }
 
@@ -121,11 +124,7 @@ pub fn im2col(input: &Tensor, cfg: Conv2dConfig) -> Result<Tensor> {
 /// # Errors
 ///
 /// Returns an error if shapes are inconsistent with the configuration.
-pub fn col2im(
-    cols: &Tensor,
-    input_shape: &Shape,
-    cfg: Conv2dConfig,
-) -> Result<Tensor> {
+pub fn col2im(cols: &Tensor, input_shape: &Shape, cfg: Conv2dConfig) -> Result<Tensor> {
     let (n, c, h, w) = input_shape.as_nchw()?;
     let (oh, ow) = cfg.output_size(h, w)?;
     let k = cfg.kernel;
@@ -507,7 +506,9 @@ mod tests {
         );
         let weight = t(
             &[2, 1, 3, 3],
-            &(0..18).map(|i| (i as f32 * 0.17).cos() * 0.5).collect::<Vec<_>>(),
+            &(0..18)
+                .map(|i| (i as f32 * 0.17).cos() * 0.5)
+                .collect::<Vec<_>>(),
         );
         let bias = t(&[2], &[0.1, -0.2]);
         // Loss = sum(conv(x)), so dL/dY is all ones.
@@ -593,14 +594,15 @@ mod tests {
         );
         let weight = t(
             &[2, 1, 3, 3],
-            &(0..18).map(|i| (i as f32 * 0.23).cos() * 0.3).collect::<Vec<_>>(),
+            &(0..18)
+                .map(|i| (i as f32 * 0.23).cos() * 0.3)
+                .collect::<Vec<_>>(),
         );
         let out = depthwise_conv2d(&input, &weight, None, cfg).unwrap();
         let grad_out = Tensor::ones(out.shape().clone());
         let (gi, gw, _gb) = depthwise_conv2d_backward(&input, &weight, &grad_out, cfg).unwrap();
         let eps = 1e-3;
-        let loss =
-            |inp: &Tensor, wt: &Tensor| depthwise_conv2d(inp, wt, None, cfg).unwrap().sum();
+        let loss = |inp: &Tensor, wt: &Tensor| depthwise_conv2d(inp, wt, None, cfg).unwrap().sum();
         for &idx in &[0usize, 7, 12, 17] {
             let mut plus = input.clone();
             plus.data_mut()[idx] += eps;

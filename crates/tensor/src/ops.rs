@@ -152,7 +152,10 @@ impl Tensor {
 
     /// Maximum element (negative infinity for an empty tensor).
     pub fn max(&self) -> f32 {
-        self.data().iter().copied().fold(f32::NEG_INFINITY, f32::max)
+        self.data()
+            .iter()
+            .copied()
+            .fold(f32::NEG_INFINITY, f32::max)
     }
 
     /// Minimum element (positive infinity for an empty tensor).

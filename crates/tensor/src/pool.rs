@@ -31,14 +31,19 @@ impl PoolConfig {
     /// a window larger than the padded input.
     pub fn output_size(&self, h: usize, w: usize) -> Result<(usize, usize)> {
         if self.stride == 0 || self.kernel == 0 {
-            return Err(TensorError::invalid_conv("pool kernel/stride must be non-zero"));
+            return Err(TensorError::invalid_conv(
+                "pool kernel/stride must be non-zero",
+            ));
         }
         let ph = h + 2 * self.padding;
         let pw = w + 2 * self.padding;
         if self.kernel > ph || self.kernel > pw {
             return Err(TensorError::invalid_conv("pool window larger than input"));
         }
-        Ok(((ph - self.kernel) / self.stride + 1, (pw - self.kernel) / self.stride + 1))
+        Ok((
+            (ph - self.kernel) / self.stride + 1,
+            (pw - self.kernel) / self.stride + 1,
+        ))
     }
 }
 
@@ -308,7 +313,14 @@ mod tests {
         let cfg = PoolConfig::new(2, 2, 0);
         let out = avg_pool2d(&input, cfg).unwrap();
         assert_eq!(out.data(), &[2.5]);
-        let gi = avg_pool2d_backward(input.shape(), &Tensor::scalar(4.0).reshape(Shape::new(&[1, 1, 1, 1])).unwrap(), cfg).unwrap();
+        let gi = avg_pool2d_backward(
+            input.shape(),
+            &Tensor::scalar(4.0)
+                .reshape(Shape::new(&[1, 1, 1, 1]))
+                .unwrap(),
+            cfg,
+        )
+        .unwrap();
         assert_eq!(gi.data(), &[1.0, 1.0, 1.0, 1.0]);
     }
 
@@ -326,8 +338,7 @@ mod tests {
         let out = global_avg_pool(&input).unwrap();
         assert_eq!(out.shape().dims(), &[1, 2]);
         assert_eq!(out.data(), &[2.5, 10.0]);
-        let gi =
-            global_avg_pool_backward(input.shape(), &t(&[1, 2], &[4.0, 8.0])).unwrap();
+        let gi = global_avg_pool_backward(input.shape(), &t(&[1, 2], &[4.0, 8.0])).unwrap();
         assert_eq!(gi.data(), &[1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 2.0]);
     }
 

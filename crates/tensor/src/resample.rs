@@ -38,7 +38,9 @@ fn cubic_kernel(x: f32) -> f32 {
 pub fn resize(input: &Tensor, out_h: usize, out_w: usize, method: Interpolation) -> Result<Tensor> {
     let (n, c, h, w) = input.shape().as_nchw()?;
     if out_h == 0 || out_w == 0 {
-        return Err(TensorError::invalid_argument("resize target must be non-zero"));
+        return Err(TensorError::invalid_argument(
+            "resize target must be non-zero",
+        ));
     }
     let mut out = vec![0.0f32; n * c * out_h * out_w];
     let data = input.data();
@@ -73,8 +75,7 @@ pub fn resize(input: &Tensor, out_h: usize, out_w: usize, method: Interpolation)
                             let y0 = y0 as isize;
                             let x0 = x0 as isize;
                             let top = sample(y0, x0) * (1.0 - dx) + sample(y0, x0 + 1) * dx;
-                            let bot =
-                                sample(y0 + 1, x0) * (1.0 - dx) + sample(y0 + 1, x0 + 1) * dx;
+                            let bot = sample(y0 + 1, x0) * (1.0 - dx) + sample(y0 + 1, x0 + 1) * dx;
                             top * (1.0 - dy) + bot * dy
                         }
                         Interpolation::Bicubic => {
@@ -117,7 +118,9 @@ pub fn resize(input: &Tensor, out_h: usize, out_w: usize, method: Interpolation)
 pub fn upscale(input: &Tensor, factor: usize, method: Interpolation) -> Result<Tensor> {
     let (_, _, h, w) = input.shape().as_nchw()?;
     if factor == 0 {
-        return Err(TensorError::invalid_argument("upscale factor must be non-zero"));
+        return Err(TensorError::invalid_argument(
+            "upscale factor must be non-zero",
+        ));
     }
     resize(input, h * factor, w * factor, method)
 }
@@ -303,7 +306,7 @@ mod tests {
 
     #[test]
     fn depth_to_space_roundtrip_with_space_to_depth() {
-        let data: Vec<f32> = (0..1 * 8 * 4 * 4).map(|i| i as f32).collect();
+        let data: Vec<f32> = (0..8 * 4 * 4).map(|i| i as f32).collect();
         let input = t(&[1, 8, 4, 4], &data);
         let up = depth_to_space(&input, 2).unwrap();
         assert_eq!(up.shape().dims(), &[1, 2, 8, 8]);

@@ -219,6 +219,70 @@ impl Tensor {
         }
         Tensor::from_vec(Shape::new(&[items.len(), c, h, w]), data)
     }
+
+    /// Concatenate NCHW batches along the batch axis: `[n_0, C, H, W]`,
+    /// `[n_1, C, H, W]`, … become `[Σn_i, C, H, W]`.
+    ///
+    /// Unlike [`Tensor::stack_batch`], items may themselves be batches; this
+    /// is the merge half of the dynamic batcher in `sesr-serve` (coalescing
+    /// single-image requests into one defended batch). Data is copied once
+    /// into a contiguous buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the list is empty, any item is not rank 4, or the
+    /// items disagree on `C`, `H` or `W`.
+    pub fn concat_batch(items: &[&Tensor]) -> Result<Tensor> {
+        let first = items
+            .first()
+            .ok_or_else(|| TensorError::invalid_argument("concat_batch on empty list"))?;
+        let (_, c, h, w) = first.shape.as_nchw()?;
+        let mut total = 0usize;
+        for item in items {
+            let (n, ic, ih, iw) = item.shape.as_nchw()?;
+            if (ic, ih, iw) != (c, h, w) {
+                return Err(TensorError::ShapeMismatch {
+                    left: first.shape.dims().to_vec(),
+                    right: item.shape.dims().to_vec(),
+                });
+            }
+            total += n;
+        }
+        let mut data = Vec::with_capacity(total * c * h * w);
+        for item in items {
+            data.extend_from_slice(item.data());
+        }
+        Tensor::from_vec(Shape::new(&[total, c, h, w]), data)
+    }
+
+    /// Split an `[N, C, H, W]` batch into chunks of at most `chunk` images,
+    /// in order: `ceil(N / chunk)` tensors whose batch sizes sum to `N`.
+    ///
+    /// This is the scatter half of the dynamic batcher in `sesr-serve`
+    /// (handing each worker a bounded slice of the queue) and the inverse of
+    /// [`Tensor::concat_batch`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the tensor is not rank 4 or `chunk` is zero.
+    pub fn split_batch(&self, chunk: usize) -> Result<Vec<Tensor>> {
+        if chunk == 0 {
+            return Err(TensorError::invalid_argument(
+                "split_batch chunk size must be positive",
+            ));
+        }
+        let (n, c, h, w) = self.shape.as_nchw()?;
+        let stride = c * h * w;
+        let mut out = Vec::with_capacity(n.div_ceil(chunk));
+        let mut start = 0usize;
+        while start < n {
+            let size = chunk.min(n - start);
+            let data = self.data[start * stride..(start + size) * stride].to_vec();
+            out.push(Tensor::from_vec(Shape::new(&[size, c, h, w]), data)?);
+            start += size;
+        }
+        Ok(out)
+    }
 }
 
 impl fmt::Debug for Tensor {
@@ -298,6 +362,41 @@ mod tests {
 
         let restacked = Tensor::stack_batch(&[a, b]).unwrap();
         assert_eq!(restacked, batch);
+    }
+
+    #[test]
+    fn concat_and_split_batch_roundtrip() {
+        let a = Tensor::from_vec(
+            Shape::new(&[2, 1, 2, 2]),
+            (0..8).map(|v| v as f32).collect(),
+        )
+        .unwrap();
+        let b = Tensor::from_vec(
+            Shape::new(&[3, 1, 2, 2]),
+            (8..20).map(|v| v as f32).collect(),
+        )
+        .unwrap();
+        let merged = Tensor::concat_batch(&[&a, &b]).unwrap();
+        assert_eq!(merged.shape().dims(), &[5, 1, 2, 2]);
+        assert_eq!(merged.data()[..8], *a.data());
+        assert_eq!(merged.data()[8..], *b.data());
+
+        let chunks = merged.split_batch(2).unwrap();
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(chunks[0].shape().dims(), &[2, 1, 2, 2]);
+        assert_eq!(chunks[2].shape().dims(), &[1, 1, 2, 2]);
+        let rejoined = Tensor::concat_batch(&chunks.iter().collect::<Vec<_>>()).unwrap();
+        assert_eq!(rejoined, merged);
+    }
+
+    #[test]
+    fn concat_split_batch_reject_bad_arguments() {
+        assert!(Tensor::concat_batch(&[]).is_err());
+        let a = Tensor::zeros(Shape::new(&[1, 1, 2, 2]));
+        let b = Tensor::zeros(Shape::new(&[1, 1, 3, 3]));
+        assert!(Tensor::concat_batch(&[&a, &b]).is_err());
+        assert!(a.split_batch(0).is_err());
+        assert!(Tensor::from_slice(&[1.0]).split_batch(1).is_err());
     }
 
     #[test]

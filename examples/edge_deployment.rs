@@ -11,8 +11,8 @@
 
 use sesr_defense::experiments::run_table4;
 use sesr_defense::report::format_table4;
-use sesr_npu::{estimate_network, NpuConfig};
 use sesr_models::SrModelKind;
+use sesr_npu::{estimate_network, NpuConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== Edge deployment latency planning ==\n");

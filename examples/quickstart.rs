@@ -10,11 +10,11 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sesr_attacks::{AttackConfig, AttackKind};
+use sesr_classifiers::{ClassifierKind, ClassifierTrainer, ClassifierTrainingConfig};
+use sesr_datagen::{ClassificationDataset, DatasetConfig};
 use sesr_defense::experiments::{build_defense, train_sr_models, ExperimentConfig};
 use sesr_defense::pipeline::PreprocessConfig;
 use sesr_defense::robustness::RobustnessEvaluator;
-use sesr_classifiers::{ClassifierKind, ClassifierTrainer, ClassifierTrainingConfig};
-use sesr_datagen::{ClassificationDataset, DatasetConfig};
 use sesr_models::SrModelKind;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -70,9 +70,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 4. Defend with nearest-neighbour and with SESR-M2.
     println!("[4/4] applying the JPEG + wavelet + SR defense ...");
     for kind in [SrModelKind::NearestNeighbor, SrModelKind::SesrM2] {
-        let mut pipeline = build_defense(kind, PreprocessConfig::paper(), &trained_sr, config.seed)?;
-        let accuracy = evaluator.defended_accuracy(&adversarial, Some(&mut pipeline))?;
-        println!("      defense with {:<17}: {:.1}%", kind.name(), accuracy * 100.0);
+        let pipeline = build_defense(kind, PreprocessConfig::paper(), &trained_sr, config.seed)?;
+        let accuracy = evaluator.defended_accuracy(&adversarial, Some(&pipeline))?;
+        println!(
+            "      defense with {:<17}: {:.1}%",
+            kind.name(),
+            accuracy * 100.0
+        );
     }
     println!("done.");
     Ok(())

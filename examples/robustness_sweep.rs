@@ -10,11 +10,11 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sesr_attacks::{AttackConfig, AttackKind};
+use sesr_classifiers::{ClassifierKind, ClassifierTrainer, ClassifierTrainingConfig};
+use sesr_datagen::{ClassificationDataset, DatasetConfig};
 use sesr_defense::experiments::{build_defense, train_sr_models, ExperimentConfig};
 use sesr_defense::pipeline::PreprocessConfig;
 use sesr_defense::robustness::RobustnessEvaluator;
-use sesr_classifiers::{ClassifierKind, ClassifierTrainer, ClassifierTrainingConfig};
-use sesr_datagen::{ClassificationDataset, DatasetConfig};
 use sesr_models::SrModelKind;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -56,24 +56,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "epsilon", "No Defense", "Nearest Neighbor", "SESR-M2"
     );
     for epsilon in [2.0 / 255.0, 8.0 / 255.0, 16.0 / 255.0] {
-        let attack = AttackKind::Pgd.build(AttackConfig::paper().with_epsilon(epsilon).with_steps(4));
+        let attack =
+            AttackKind::Pgd.build(AttackConfig::paper().with_epsilon(epsilon).with_steps(4));
         let mut attack_rng = StdRng::seed_from_u64(3);
         let adversarial = evaluator.craft_adversarial(attack.as_ref(), &mut attack_rng)?;
         let none = evaluator.defended_accuracy(&adversarial, None)?;
-        let mut nn_defense = build_defense(
+        let nn_defense = build_defense(
             SrModelKind::NearestNeighbor,
             PreprocessConfig::paper(),
             &trained_sr,
             config.seed,
         )?;
-        let nearest = evaluator.defended_accuracy(&adversarial, Some(&mut nn_defense))?;
-        let mut sesr_defense = build_defense(
+        let nearest = evaluator.defended_accuracy(&adversarial, Some(&nn_defense))?;
+        let sesr_defense = build_defense(
             SrModelKind::SesrM2,
             PreprocessConfig::paper(),
             &trained_sr,
             config.seed,
         )?;
-        let sesr = evaluator.defended_accuracy(&adversarial, Some(&mut sesr_defense))?;
+        let sesr = evaluator.defended_accuracy(&adversarial, Some(&sesr_defense))?;
         println!(
             "{:<12.4} {:>13.1}% {:>17.1}% {:>13.1}%",
             epsilon,

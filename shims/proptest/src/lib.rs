@@ -1,0 +1,295 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment has no crates.io access, so this shim provides the
+//! subset of the proptest 1.x surface the workspace's property tests use:
+//! the [`proptest!`] macro (with `#![proptest_config(..)]`), [`prop_assert!`]
+//! / [`prop_assert_eq!`], range strategies, `prop::collection::vec` and
+//! `prop::sample::select`. Cases are generated deterministically from the
+//! case index, so failures are always reproducible; there is no shrinking.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleRange, SampleUniform, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// Per-test configuration (only the case count is honoured).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` generated inputs per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// Deterministic generator handed to strategies, one per test case.
+pub type TestRng = StdRng;
+
+/// Build the generator for a given test case index.
+pub fn rng_for_case(case: u32) -> TestRng {
+    TestRng::seed_from_u64(0x5851_f42d_4c95_7f2d_u64.wrapping_mul(u64::from(case) + 1))
+}
+
+/// A value generator, mirroring proptest's `Strategy` (without shrinking).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<T> Strategy for Range<T>
+where
+    T: SampleUniform,
+    Range<T>: Clone + SampleRange<T>,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T> Strategy for RangeInclusive<T>
+where
+    T: SampleUniform,
+    RangeInclusive<T>: Clone + SampleRange<T>,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Strategy namespace mirroring `proptest::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use rand::Rng;
+
+        /// Size specifications accepted by [`vec`]: a fixed length or a
+        /// half-open range of lengths.
+        pub trait IntoSizeRange {
+            /// Inclusive `(min, max)` length bounds.
+            fn bounds(&self) -> (usize, usize);
+        }
+
+        impl IntoSizeRange for usize {
+            fn bounds(&self) -> (usize, usize) {
+                (*self, *self)
+            }
+        }
+
+        impl IntoSizeRange for std::ops::Range<usize> {
+            fn bounds(&self) -> (usize, usize) {
+                (self.start, self.end.saturating_sub(1))
+            }
+        }
+
+        impl IntoSizeRange for std::ops::RangeInclusive<usize> {
+            fn bounds(&self) -> (usize, usize) {
+                (*self.start(), *self.end())
+            }
+        }
+
+        /// Strategy producing `Vec`s of values from an element strategy.
+        pub struct VecStrategy<S: Strategy> {
+            element: S,
+            min: usize,
+            max: usize,
+        }
+
+        /// `Vec` strategy with lengths drawn from `size`.
+        pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+            let (min, max) = size.bounds();
+            VecStrategy { element, min, max }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let len = if self.max > self.min {
+                    rng.gen_range(self.min..=self.max)
+                } else {
+                    self.min
+                };
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+
+    /// Sampling strategies.
+    pub mod sample {
+        use super::super::{Strategy, TestRng};
+        use rand::Rng;
+
+        /// Strategy choosing uniformly from a fixed list of values.
+        pub struct Select<T: Clone> {
+            items: Vec<T>,
+        }
+
+        /// Choose uniformly from `items` (which must be non-empty).
+        pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+            assert!(!items.is_empty(), "select requires a non-empty list");
+            Select { items }
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+
+            fn generate(&self, rng: &mut TestRng) -> T {
+                self.items[rng.gen_range(0..self.items.len())].clone()
+            }
+        }
+    }
+}
+
+/// Everything a property-test file needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{prop, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+/// Assert a condition inside a property, failing the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {}",
+                ::std::stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Assert equality inside a property, failing the current case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+                ::std::stringify!($left),
+                ::std::stringify!($right),
+                left,
+                right
+            ));
+        }
+    }};
+}
+
+/// Define deterministic property tests over generated inputs.
+///
+/// Supports the form used across this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(16))]
+///     #[test]
+///     fn my_property(x in 0u64..100, v in prop::collection::vec(0.0f32..1.0, 8)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@inner ($config) $($rest)*);
+    };
+    (
+        $(#[$first_meta:meta])*
+        fn $($rest:tt)*
+    ) => {
+        $crate::proptest!(@inner ($crate::ProptestConfig::default())
+            $(#[$first_meta])* fn $($rest)*);
+    };
+    (@inner ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $($arg:ident in $strategy:expr),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                for case in 0..config.cases {
+                    let mut proptest_rng = $crate::rng_for_case(case);
+                    $(
+                        let $arg = $crate::Strategy::generate(&($strategy), &mut proptest_rng);
+                    )*
+                    let outcome: ::std::result::Result<(), ::std::string::String> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(message) = outcome {
+                        ::std::panic!("property {} failed on case {}: {}",
+                            ::std::stringify!($name), case, message);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..9, f in -1.0f32..1.0, k in 1usize..=3) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f));
+            prop_assert!((1..=3).contains(&k));
+        }
+
+        #[test]
+        fn vec_and_select_compose(
+            v in prop::collection::vec(0.0f32..1.0, 4),
+            n in prop::collection::vec(0u64..5, 1..4),
+            pick in prop::sample::select(vec![2usize, 4, 8]),
+        ) {
+            prop_assert_eq!(v.len(), 4);
+            prop_assert!(!n.is_empty() && n.len() <= 3);
+            prop_assert!(pick == 2 || pick == 4 || pick == 8);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property always_fails failed on case 0")]
+    fn failures_panic_with_case_context() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(1))]
+            fn always_fails(x in 0u64..1) {
+                prop_assert!(x > 10, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,32 @@
+//! Workspace-root façade for the reproduction of *Super-Efficient Super
+//! Resolution for Fast Adversarial Defense at the Edge* (DATE 2022).
+//!
+//! The actual implementation lives in the `crates/` members; this crate only
+//! re-exports them so the root `examples/` and `tests/` have a single
+//! dependency surface, and so `cargo doc` produces one entry point.
+//!
+//! | crate | role |
+//! |-------|------|
+//! | [`sesr_tensor`] | dense f32 NCHW tensor substrate |
+//! | [`sesr_nn`] | layers, losses, optimisers |
+//! | [`sesr_models`] | SR zoo: SESR / FSRCNN / EDSR / interpolation |
+//! | [`sesr_classifiers`] | MobileNet-V2 / ResNet / Inception classifiers |
+//! | [`sesr_imaging`] | JPEG + wavelet preprocessing, PSNR |
+//! | [`sesr_attacks`] | FGSM / PGD / APGD / DI-FGSM attacks |
+//! | [`sesr_datagen`] | synthetic SR + classification datasets |
+//! | [`sesr_npu`] | Ethos-U55-class analytic latency model |
+//! | [`sesr_defense`] | the JPEG → wavelet → ×2-SR defense pipeline + tables |
+//! | [`sesr_serve`] | batched, multi-worker defense-serving subsystem |
+
+#![forbid(unsafe_code)]
+
+pub use sesr_attacks;
+pub use sesr_classifiers;
+pub use sesr_datagen;
+pub use sesr_defense;
+pub use sesr_imaging;
+pub use sesr_models;
+pub use sesr_nn;
+pub use sesr_npu;
+pub use sesr_serve;
+pub use sesr_tensor;

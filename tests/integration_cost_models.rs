@@ -34,9 +34,7 @@ fn sesr_m2_is_roughly_6x_cheaper_than_fsrcnn_and_100x_cheaper_than_edsr_base() {
 fn enlarged_classifier_is_cheaper_than_fsrcnn_but_not_than_sesr() {
     // Section IV-E: the enlarged MobileNet-V2 costs ~2.1B MACs, which is less
     // than FSRCNN's 5.82B but more than any SESR-M variant.
-    let classifier = mobilenet_v2_paper_spec()
-        .total_macs((3, 598, 598))
-        .unwrap() as f64;
+    let classifier = mobilenet_v2_paper_spec().total_macs((3, 598, 598)).unwrap() as f64;
     let fsrcnn = paper_cost(SrModelKind::Fsrcnn).unwrap().unwrap().macs as f64;
     let sesr_m5 = paper_cost(SrModelKind::SesrM5).unwrap().unwrap().macs as f64;
     assert!(classifier < fsrcnn);

@@ -30,7 +30,7 @@ proptest! {
             jpeg: Some(JpegConfig::new(quality).unwrap()),
             ..PreprocessConfig::paper()
         };
-        let mut pipeline = DefensePipeline::new(
+        let pipeline = DefensePipeline::new(
             preprocess,
             SrModelKind::NearestNeighbor.build_interpolation(2).unwrap(),
         );

@@ -1,0 +1,196 @@
+//! Integration tests for the `sesr-serve` subsystem, proving the three
+//! properties the serving layer promises on top of the defense:
+//!
+//! (a) batched-parallel serving is *bitwise equivalent* to sequential
+//!     `DefensePipeline::defend` for the interpolation upscalers,
+//! (b) the bounded submission queue rejects with `Overloaded` instead of
+//!     blocking forever, and
+//! (c) LRU cache hits skip recomputation entirely.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sesr_defense::pipeline::{DefensePipeline, PreprocessConfig};
+use sesr_models::{SrModelKind, Upscaler};
+use sesr_serve::{DefenseServer, ServeConfig, ServeError, WorkerAssets};
+use sesr_tensor::{init, Shape, Tensor};
+use std::time::Duration;
+
+fn images(count: usize, size: usize) -> Vec<Tensor> {
+    let mut rng = StdRng::seed_from_u64(42);
+    (0..count)
+        .map(|_| init::uniform(Shape::new(&[1, 3, size, size]), 0.0, 1.0, &mut rng))
+        .collect()
+}
+
+#[test]
+fn batched_parallel_serving_is_bitwise_equivalent_to_sequential() {
+    for kind in [SrModelKind::NearestNeighbor, SrModelKind::Bicubic] {
+        let sequential = DefensePipeline::new(
+            PreprocessConfig::paper(),
+            kind.build_interpolation(2).unwrap(),
+        );
+        let config = ServeConfig {
+            num_workers: 4,
+            max_batch: 8,
+            max_linger: Duration::from_millis(5),
+            queue_capacity: 64,
+            cache_capacity: 0, // isolate the batching path
+        };
+        let server = DefenseServer::start(config, |_| {
+            Ok(WorkerAssets::new(DefensePipeline::new(
+                PreprocessConfig::paper(),
+                kind.build_seeded_upscaler(2, 0)?,
+            )))
+        })
+        .unwrap();
+        let client = server.client();
+
+        let inputs = images(24, 16);
+        // Submit everything up front so the batcher actually coalesces.
+        let pending: Vec<_> = inputs
+            .iter()
+            .map(|image| client.submit(image.clone()).unwrap())
+            .collect();
+        for (image, pending) in inputs.iter().zip(pending) {
+            let served = pending.wait().unwrap();
+            let direct = sequential.defend(image).unwrap();
+            assert_eq!(
+                served.defended, direct,
+                "served output must be bitwise identical for {kind}"
+            );
+        }
+
+        let stats = server.stats();
+        assert_eq!(stats.completed, 24);
+        assert!(
+            stats.largest_batch > 1,
+            "a 24-image burst should produce at least one multi-image batch, got {}",
+            stats.largest_batch
+        );
+        drop(client);
+        server.shutdown();
+    }
+}
+
+/// An upscaler that sleeps per call, making queue saturation deterministic.
+struct SlowUpscaler {
+    delay: Duration,
+    inner: Box<dyn Upscaler>,
+}
+
+impl Upscaler for SlowUpscaler {
+    fn name(&self) -> &str {
+        "slow"
+    }
+
+    fn scale(&self) -> usize {
+        self.inner.scale()
+    }
+
+    fn upscale(&self, input: &Tensor) -> sesr_tensor::Result<Tensor> {
+        std::thread::sleep(self.delay);
+        self.inner.upscale(input)
+    }
+}
+
+#[test]
+fn bounded_queue_rejects_with_overloaded_instead_of_blocking() {
+    let config = ServeConfig {
+        num_workers: 1,
+        max_batch: 1,
+        max_linger: Duration::ZERO,
+        queue_capacity: 2,
+        cache_capacity: 0,
+    };
+    let server = DefenseServer::start(config, |_| {
+        Ok(WorkerAssets::new(DefensePipeline::new(
+            PreprocessConfig::none(),
+            Box::new(SlowUpscaler {
+                delay: Duration::from_millis(30),
+                inner: SrModelKind::NearestNeighbor.build_interpolation(2).unwrap(),
+            }),
+        )))
+    })
+    .unwrap();
+    let client = server.client();
+
+    let mut accepted = Vec::new();
+    let mut rejected = 0usize;
+    for image in images(40, 8) {
+        match client.submit(image) {
+            Ok(pending) => accepted.push(pending),
+            Err(ServeError::Overloaded) => rejected += 1,
+            Err(other) => panic!("expected Overloaded, got {other}"),
+        }
+    }
+    assert!(
+        rejected > 0,
+        "a 2-deep queue behind a 30ms worker must shed part of a 40-image burst"
+    );
+    // Accepted requests still complete; nothing was silently dropped.
+    for pending in accepted {
+        pending.wait().unwrap();
+    }
+    let stats = server.stats();
+    assert_eq!(stats.rejected, rejected as u64);
+    assert_eq!(stats.completed + stats.rejected, 40);
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
+fn cache_hits_skip_recomputation() {
+    let server = DefenseServer::start(ServeConfig::default(), |_| {
+        Ok(WorkerAssets::new(DefensePipeline::new(
+            PreprocessConfig::paper(),
+            SrModelKind::NearestNeighbor.build_seeded_upscaler(2, 0)?,
+        )))
+    })
+    .unwrap();
+    let client = server.client();
+
+    let unique = images(6, 16);
+    for image in &unique {
+        let response = client.defend_blocking(image.clone()).unwrap();
+        assert!(!response.cache_hit);
+    }
+    let computed_after_first_pass = server.stats().computed_images;
+    assert_eq!(computed_after_first_pass, 6);
+
+    // Replaying the same traffic is answered from cache: no new computation.
+    for image in &unique {
+        let response = client.defend_blocking(image.clone()).unwrap();
+        assert!(
+            response.cache_hit,
+            "identical resubmission must hit the cache"
+        );
+    }
+    let stats = server.stats();
+    assert_eq!(stats.computed_images, computed_after_first_pass);
+    assert_eq!(stats.cache_hits, 6);
+    assert_eq!(stats.completed, 12);
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
+fn seeded_upscaler_construction_is_deterministic_across_instances() {
+    // The worker-pool contract: two upscalers built from the same
+    // (kind, scale, seed) triple compute the same function, including for
+    // learned kinds with freshly initialised weights.
+    let a = SrModelKind::SesrM2.build_seeded_upscaler(2, 7).unwrap();
+    let b = SrModelKind::SesrM2.build_seeded_upscaler(2, 7).unwrap();
+    let c = SrModelKind::SesrM2.build_seeded_upscaler(2, 8).unwrap();
+    let image = &images(1, 8)[0];
+    let out_a = a.upscale(image).unwrap();
+    let out_b = b.upscale(image).unwrap();
+    let out_c = c.upscale(image).unwrap();
+    assert_eq!(out_a, out_b, "same seed must give identical upscalers");
+    assert_ne!(out_a, out_c, "different seeds must give different weights");
+
+    // Learned kinds refuse non-×2 scales instead of failing at runtime.
+    assert!(SrModelKind::SesrM2.build_seeded_upscaler(3, 0).is_err());
+    assert!(SrModelKind::NearestNeighbor
+        .build_seeded_upscaler(3, 0)
+        .is_ok());
+}
