@@ -1,9 +1,13 @@
 //! Training loop for classifiers on the synthetic classification dataset.
 
+use crate::zoo::ClassifierKind;
 use crate::Result;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use sesr_datagen::ClassificationDataset;
 use sesr_nn::loss::accuracy;
 use sesr_nn::{cross_entropy_loss, Adam, Layer, Optimizer};
+use sesr_store::{fnv1a64, Checkpoint, ModelStore, StoredArtifact};
 use sesr_tensor::{Tensor, TensorError};
 
 /// Configuration of a classifier training run.
@@ -24,6 +28,18 @@ impl Default for ClassifierTrainingConfig {
             batch_size: 16,
             learning_rate: 2e-3,
         }
+    }
+}
+
+impl ClassifierTrainingConfig {
+    /// A stable 64-bit digest of this configuration, recorded in checkpoint
+    /// headers so stored artifacts carry their training provenance.
+    pub fn digest(&self) -> u64 {
+        let mut bytes = Vec::with_capacity(20);
+        bytes.extend_from_slice(&(self.epochs as u64).to_le_bytes());
+        bytes.extend_from_slice(&(self.batch_size as u64).to_le_bytes());
+        bytes.extend_from_slice(&self.learning_rate.to_bits().to_le_bytes());
+        fnv1a64(&bytes)
     }
 }
 
@@ -95,6 +111,35 @@ impl ClassifierTrainer {
             train_accuracy,
             val_accuracy,
         })
+    }
+
+    /// Train a fresh `kind` classifier and persist the resulting weights in
+    /// the same artifact store the SR models use (scale 1, model id
+    /// [`ClassifierKind::store_id`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if training fails or the store cannot persist the
+    /// artifact.
+    pub fn train_and_save(
+        &self,
+        kind: ClassifierKind,
+        dataset: &ClassificationDataset,
+        store: &ModelStore,
+        seed: u64,
+    ) -> Result<(ClassifierTrainingReport, StoredArtifact)> {
+        let num_classes = dataset.config().num_classes;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut network = kind.build_local(num_classes, &mut rng);
+        let report = self.train(network.as_mut(), dataset)?;
+        let checkpoint = Checkpoint::from_layer(
+            kind.store_id(num_classes),
+            1,
+            self.config.digest(),
+            network.as_ref(),
+        );
+        let artifact = store.save(&checkpoint)?;
+        Ok((report, artifact))
     }
 }
 
@@ -184,6 +229,41 @@ mod tests {
             seed: 11,
         })
         .unwrap()
+    }
+
+    #[test]
+    fn train_and_save_then_hydrate_reproduces_the_classifier() {
+        let dir = std::env::temp_dir().join(format!("sesr_clf_train_save_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let store = ModelStore::open(&dir).unwrap();
+        let dataset = tiny_dataset();
+        let trainer = ClassifierTrainer::new(ClassifierTrainingConfig {
+            epochs: 2,
+            batch_size: 10,
+            learning_rate: 3e-3,
+        });
+        let (report, artifact) = trainer
+            .train_and_save(ClassifierKind::MobileNetV2, &dataset, &store, 3)
+            .unwrap();
+        assert!(report.val_accuracy.is_finite());
+        assert_eq!(artifact.model_id, "mobilenet-v2-c3");
+        assert_eq!(artifact.scale, 1);
+
+        // A fresh registry over the same directory hydrates identical logits.
+        let registry = sesr_store::ModelRegistry::new(ModelStore::open(&dir).unwrap());
+        let mut hydrated = ClassifierKind::MobileNetV2
+            .build_from_store(3, &registry, 999)
+            .unwrap();
+        let stored = store.load(&artifact).unwrap();
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut direct = ClassifierKind::MobileNetV2.build_local(3, &mut rng);
+        stored.apply_to(direct.as_mut()).unwrap();
+        let (image, _) = dataset.val_batches(1).unwrap().into_iter().next().unwrap();
+        assert_eq!(
+            hydrated.forward(&image, false).unwrap(),
+            direct.forward(&image, false).unwrap()
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

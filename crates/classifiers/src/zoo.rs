@@ -5,7 +5,7 @@ use crate::cost::{mobilenet_v2_paper_spec, resnet50_paper_spec};
 use crate::inception::{InceptionNet, InceptionNetConfig};
 use crate::mobilenet::{MobileNetV2, MobileNetV2Config};
 use crate::resnet::{ResNet, ResNetConfig};
-use rand::Rng;
+use rand::{Rng, SeedableRng};
 use sesr_nn::spec::NetworkSpec;
 use sesr_nn::Layer;
 
@@ -54,6 +54,47 @@ impl ClassifierKind {
                 rng,
             )),
         }
+    }
+
+    /// The store identity for this classifier at a given class count.
+    ///
+    /// The class count is part of the identity because it changes the head
+    /// architecture: a checkpoint trained for 3 classes cannot hydrate a
+    /// 6-class network.
+    pub fn store_id(&self, num_classes: usize) -> String {
+        format!("{}-c{num_classes}", self.name())
+    }
+
+    /// Build a classifier hydrated with trained weights from a model store
+    /// (classifier checkpoints live in the same store as SR artifacts, under
+    /// scale 1).
+    ///
+    /// Falls back to the seeded-random network **only** when no artifact
+    /// exists for [`ClassifierKind::store_id`]; corrupt or mismatched
+    /// artifacts are errors, never silently ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a stored artifact fails validation or does not fit
+    /// this architecture.
+    pub fn build_from_store(
+        &self,
+        num_classes: usize,
+        registry: &sesr_store::ModelRegistry,
+        seed: u64,
+    ) -> sesr_tensor::Result<Box<dyn Layer>> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut network = self.build_local(num_classes, &mut rng);
+        match registry.hydrate(&self.store_id(num_classes), 1) {
+            Ok(checkpoint) => {
+                checkpoint
+                    .apply_to(network.as_mut())
+                    .map_err(sesr_tensor::TensorError::from)?;
+            }
+            Err(err) if err.is_not_found() => {} // nothing trained yet
+            Err(err) => return Err(err.into()),
+        }
+        Ok(network)
     }
 
     /// Paper-scale analytic spec, where available (`MobileNet-V2` and

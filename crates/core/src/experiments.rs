@@ -96,7 +96,7 @@ impl ExperimentConfig {
             eval_images: 25,
             attack: AttackConfig::paper(),
             attacks: AttackKind::all(),
-            sr_kinds: SrModelKind::all(),
+            sr_kinds: SrModelKind::all().to_vec(),
             classifiers: ClassifierKind::all(),
             seed: 0,
         }

@@ -47,7 +47,14 @@
 //!   hash-keyed [`LruCache`]; resubmitting an identical image skips the
 //!   pipeline entirely.
 //! * **Built-in observability.** Every completion is timed; the
-//!   [`StatsRecorder`] reports p50/p95/p99 latency and sustained images/sec.
+//!   [`StatsRecorder`] reports p50/p95/p99 latency, sustained images/sec and
+//!   cache hit/miss counters.
+//! * **Trained-weight hydration.** [`DefenseServer::start_from_store`] builds
+//!   the whole pool from a `sesr-store` artifact directory: the newest
+//!   checkpoint for the model is read and validated once (memoized by a
+//!   [`ModelRegistry`](sesr_store::ModelRegistry)) and every worker receives
+//!   identical trained weights — the *deploy many* half of the paper's
+//!   train-once / deploy-many edge story.
 //!
 //! # Quickstart
 //!

@@ -20,9 +20,12 @@
 
 use crate::cache::{content_hash, LruCache};
 use crate::stats::{ServeStats, StatsRecorder};
-use sesr_defense::pipeline::DefensePipeline;
+use sesr_defense::pipeline::{DefensePipeline, PreprocessConfig};
+use sesr_models::SrModelKind;
 use sesr_nn::Layer;
+use sesr_store::{ModelRegistry, ModelStore};
 use sesr_tensor::{Tensor, TensorError};
+use std::path::Path;
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
@@ -124,6 +127,33 @@ impl WorkerAssets {
             pipeline,
             classifier: Some(classifier),
         }
+    }
+
+    /// Build a defend-only worker whose upscaler is hydrated with trained
+    /// weights from a model store (see
+    /// [`SrModelKind::build_from_store`](sesr_models::SrModelKind::build_from_store)).
+    ///
+    /// Every worker built from the same registry hydrates from the same
+    /// memoized checkpoint, so the whole pool computes bitwise-identical
+    /// defenses — and the artifact is read and validated from disk only once.
+    /// When nothing is stored for `(kind, scale)` the worker falls back to
+    /// the seeded-random network; corrupt artifacts fail construction with a
+    /// typed error.
+    ///
+    /// # Errors
+    ///
+    /// Everything `build_from_store` can return.
+    pub fn from_store(
+        registry: &ModelRegistry,
+        kind: SrModelKind,
+        scale: usize,
+        preprocess: PreprocessConfig,
+        seed: u64,
+    ) -> sesr_tensor::Result<WorkerAssets> {
+        let upscaler = kind.build_from_store(scale, registry, seed)?;
+        Ok(WorkerAssets::new(DefensePipeline::new(
+            preprocess, upscaler,
+        )))
     }
 }
 
@@ -239,9 +269,16 @@ impl DefenseClient {
             cache_key,
         };
         match self.sender.try_send(job) {
-            Ok(()) => Ok(PendingResponse {
-                inner: PendingInner::Waiting(receiver),
-            }),
+            Ok(()) => {
+                // Counted only once the request is actually on its way to the
+                // pipeline; a rejected submission is not a cache miss.
+                if cache_key.is_some() {
+                    self.stats.record_cache_miss();
+                }
+                Ok(PendingResponse {
+                    inner: PendingInner::Waiting(receiver),
+                })
+            }
             Err(TrySendError::Full(_)) => {
                 self.stats.record_rejection();
                 Err(ServeError::Overloaded)
@@ -331,6 +368,38 @@ impl DefenseServer {
             },
             batcher,
             workers,
+        })
+    }
+
+    /// Start the engine with every worker hydrated from a trained-weight
+    /// store at `store_path`: the *deploy many* half of the train-once /
+    /// deploy-many workflow.
+    ///
+    /// One [`ModelRegistry`] is shared across the pool, so the newest
+    /// artifact for `(kind, scale)` is read and validated once and all
+    /// `config.num_workers` workers receive identical weights. With an empty
+    /// store the pool falls back to the seeded-random network (still
+    /// identical across workers, since all use `seed`); a corrupt or
+    /// version-mismatched artifact aborts startup with a typed error instead
+    /// of serving damaged weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the store cannot be opened, the artifact fails
+    /// validation, or the configuration is invalid.
+    pub fn start_from_store(
+        config: ServeConfig,
+        store_path: impl AsRef<Path>,
+        kind: SrModelKind,
+        scale: usize,
+        preprocess: PreprocessConfig,
+        seed: u64,
+    ) -> Result<DefenseServer, ServeError> {
+        let store = ModelStore::open(store_path.as_ref().to_path_buf())
+            .map_err(|e| ServeError::Pipeline(e.to_string()))?;
+        let registry = ModelRegistry::new(store);
+        DefenseServer::start(config, |_worker| {
+            WorkerAssets::from_store(&registry, kind, scale, preprocess, seed)
         })
     }
 
@@ -683,12 +752,98 @@ mod tests {
         let stats = server.stats();
         assert_eq!(stats.completed, 2);
         assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.cache_misses, 1, "the first lookup was a miss");
+        assert_eq!(stats.cache_hit_rate(), 0.5);
         assert_eq!(
             stats.computed_images, 1,
             "the second request must not recompute"
         );
         drop(client);
         server.shutdown();
+    }
+
+    #[test]
+    fn start_from_store_hydrates_identical_workers() {
+        use sesr_store::{Checkpoint, ModelStore};
+        let dir = std::env::temp_dir().join(format!("sesr_serve_store_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        // Populate the store with a (random but fixed) trained-weight stand-in.
+        {
+            use rand::{rngs::StdRng, SeedableRng};
+            let mut rng = StdRng::seed_from_u64(77);
+            let network = SrModelKind::SesrM2.build_local_network(&mut rng).unwrap();
+            let store = ModelStore::open(&dir).unwrap();
+            store
+                .save(&Checkpoint::from_layer("SESR-M2", 2, 0, network.as_ref()))
+                .unwrap();
+        }
+        let config = ServeConfig {
+            num_workers: 2,
+            cache_capacity: 0, // force every request through a worker
+            ..ServeConfig::default()
+        };
+        let server = DefenseServer::start_from_store(
+            config,
+            &dir,
+            SrModelKind::SesrM2,
+            2,
+            PreprocessConfig::none(),
+            0,
+        )
+        .unwrap();
+        let client = server.client();
+        let image = test_image(4, 8);
+        // Sequential submissions land on whichever worker is free; identical
+        // outputs prove the pool hydrated identical weights.
+        let first = client.defend_blocking(image.clone()).unwrap();
+        for _ in 0..6 {
+            let next = client.defend_blocking(image.clone()).unwrap();
+            assert_eq!(first.defended, next.defended);
+        }
+        // And those outputs are the stored network's, not the seeded fallback.
+        let fallback = DefensePipeline::new(
+            PreprocessConfig::none(),
+            SrModelKind::SesrM2.build_seeded_upscaler(2, 0).unwrap(),
+        )
+        .defend(&image)
+        .unwrap();
+        assert_ne!(first.defended, fallback);
+        drop(client);
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn start_from_store_rejects_a_corrupt_artifact() {
+        use sesr_store::{Checkpoint, ModelStore};
+        let dir = std::env::temp_dir().join(format!("sesr_serve_corrupt_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let artifact = {
+            use rand::{rngs::StdRng, SeedableRng};
+            let mut rng = StdRng::seed_from_u64(1);
+            let network = SrModelKind::SesrM2.build_local_network(&mut rng).unwrap();
+            let store = ModelStore::open(&dir).unwrap();
+            store
+                .save(&Checkpoint::from_layer("SESR-M2", 2, 0, network.as_ref()))
+                .unwrap()
+        };
+        let mut bytes = std::fs::read(&artifact.path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&artifact.path, &bytes).unwrap();
+        let result = DefenseServer::start_from_store(
+            ServeConfig::default(),
+            &dir,
+            SrModelKind::SesrM2,
+            2,
+            PreprocessConfig::none(),
+            0,
+        );
+        assert!(
+            matches!(result, Err(ServeError::Pipeline(_))),
+            "a corrupt artifact must abort startup, not serve damaged weights"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -26,6 +26,7 @@ struct Inner {
     completed: u64,
     computed_images: u64,
     cache_hits: u64,
+    cache_misses: u64,
     rejected: u64,
     errors: u64,
     batches: u64,
@@ -71,6 +72,15 @@ impl StatsRecorder {
     /// opposed to being served from cache).
     pub fn record_computed(&self, images: usize) {
         self.lock().computed_images += images as u64;
+    }
+
+    /// Record an LRU lookup that missed (hits are counted by
+    /// [`StatsRecorder::record_completion`], which sees the resolved
+    /// response). Mirrors the cache's own lifetime counters
+    /// ([`LruCache::hit_counts`](crate::cache::LruCache::hit_counts)) into
+    /// the snapshot every client can read.
+    pub fn record_cache_miss(&self) {
+        self.lock().cache_misses += 1;
     }
 
     /// Record a submission rejected with `Overloaded`.
@@ -123,6 +133,7 @@ impl StatsRecorder {
             completed: inner.completed,
             computed_images: inner.computed_images,
             cache_hits: inner.cache_hits,
+            cache_misses: inner.cache_misses,
             rejected: inner.rejected,
             errors: inner.errors,
             batches: inner.batches,
@@ -156,6 +167,9 @@ pub struct ServeStats {
     pub computed_images: u64,
     /// Requests served from the LRU cache.
     pub cache_hits: u64,
+    /// Cache lookups that missed and went on to the pipeline (0 when caching
+    /// is disabled, since no lookups happen at all).
+    pub cache_misses: u64,
     /// Submissions rejected with `Overloaded`.
     pub rejected: u64,
     /// Requests that failed inside the pipeline.
@@ -178,15 +192,30 @@ pub struct ServeStats {
     pub images_per_sec: f64,
 }
 
+impl ServeStats {
+    /// Fraction of cache lookups that hit, in `[0, 1]`; 0.0 when no lookup
+    /// has happened (cache disabled or no traffic yet).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let lookups = self.cache_hits + self.cache_misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / lookups as f64
+        }
+    }
+}
+
 impl std::fmt::Display for ServeStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "served {} (cache hits {}, rejected {}, errors {}) | \
+            "served {} (cache {}/{} hits, {:.0}% | rejected {}, errors {}) | \
              {} batches, mean {:.2} img/batch, max {} | \
              latency p50 {:?} p95 {:?} p99 {:?} mean {:?} | {:.1} images/sec",
             self.completed,
             self.cache_hits,
+            self.cache_hits + self.cache_misses,
+            self.cache_hit_rate() * 100.0,
             self.rejected,
             self.errors,
             self.batches,
@@ -253,6 +282,7 @@ mod tests {
         recorder.record_batch(3);
         recorder.record_batch(5);
         recorder.record_computed(8);
+        recorder.record_cache_miss();
         recorder.record_completion(Duration::from_millis(1), true);
         let stats = recorder.snapshot();
         assert_eq!(stats.rejected, 1);
@@ -262,6 +292,16 @@ mod tests {
         assert_eq!(stats.largest_batch, 5);
         assert_eq!(stats.computed_images, 8);
         assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.cache_misses, 1);
+        assert_eq!(stats.cache_hit_rate(), 0.5);
         assert!(!stats.to_string().is_empty());
+    }
+
+    #[test]
+    fn cache_hit_rate_handles_no_lookups() {
+        let stats = StatsRecorder::new().snapshot();
+        assert_eq!(stats.cache_hits, 0);
+        assert_eq!(stats.cache_misses, 0);
+        assert_eq!(stats.cache_hit_rate(), 0.0);
     }
 }

@@ -1,10 +1,14 @@
 //! Training loop for SR networks on the synthetic DIV2K-like dataset.
 
 use crate::upscaler::Upscaler;
+use crate::zoo::SrModelKind;
 use crate::Result;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use sesr_datagen::SrDataset;
 use sesr_imaging::psnr;
 use sesr_nn::{mae_loss, mse_loss, Adam, Layer, Optimizer};
+use sesr_store::{fnv1a64, Checkpoint, ModelStore, StoredArtifact};
 use sesr_tensor::TensorError;
 
 /// The pixel loss used to train an SR network.
@@ -37,6 +41,22 @@ impl Default for SrTrainingConfig {
             learning_rate: 1e-3,
             loss: SrLoss::Mae,
         }
+    }
+}
+
+impl SrTrainingConfig {
+    /// A stable 64-bit digest of this configuration, recorded in checkpoint
+    /// headers so stored artifacts carry their training provenance.
+    pub fn digest(&self) -> u64 {
+        let mut bytes = Vec::with_capacity(25);
+        bytes.extend_from_slice(&(self.epochs as u64).to_le_bytes());
+        bytes.extend_from_slice(&(self.batch_size as u64).to_le_bytes());
+        bytes.extend_from_slice(&self.learning_rate.to_bits().to_le_bytes());
+        bytes.push(match self.loss {
+            SrLoss::Mae => 0,
+            SrLoss::Mse => 1,
+        });
+        fnv1a64(&bytes)
     }
 }
 
@@ -112,6 +132,44 @@ impl SrTrainer {
             val_psnr,
             bicubic_psnr,
         })
+    }
+
+    /// Train a fresh network for `kind` and persist the resulting weights:
+    /// the *train once* half of the train-once / deploy-many workflow.
+    ///
+    /// The network is built with weights seeded from `seed`, trained on
+    /// `dataset`, snapshotted into a [`Checkpoint`] (model id = `kind.name()`,
+    /// scale = the dataset's scale, config digest =
+    /// [`SrTrainingConfig::digest`]) and saved to `store`. The stored
+    /// artifact can then hydrate any number of serving workers via
+    /// [`SrModelKind::build_from_store`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `kind` is not a learned model, if training fails,
+    /// or if the store cannot persist the artifact.
+    pub fn train_and_save(
+        &self,
+        kind: SrModelKind,
+        dataset: &SrDataset,
+        store: &ModelStore,
+        seed: u64,
+    ) -> Result<(SrTrainingReport, StoredArtifact)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut network = kind.build_local_network(&mut rng).ok_or_else(|| {
+            TensorError::invalid_argument(format!(
+                "{kind} is an interpolation baseline; only learned kinds have weights to store"
+            ))
+        })?;
+        let report = self.train(network.as_mut(), dataset)?;
+        let checkpoint = Checkpoint::from_layer(
+            kind.name(),
+            dataset.config().scale,
+            self.config.digest(),
+            network.as_ref(),
+        );
+        let artifact = store.save(&checkpoint)?;
+        Ok((report, artifact))
     }
 }
 
@@ -218,6 +276,56 @@ mod tests {
         let dataset = tiny_dataset();
         let p = evaluate_bicubic_psnr(&dataset).unwrap();
         assert!(p > 15.0, "bicubic psnr {p} suspiciously low");
+    }
+
+    #[test]
+    fn config_digest_separates_configurations() {
+        let base = SrTrainingConfig::default();
+        let mut more_epochs = base;
+        more_epochs.epochs += 1;
+        let mut mse = base;
+        mse.loss = SrLoss::Mse;
+        assert_eq!(base.digest(), SrTrainingConfig::default().digest());
+        assert_ne!(base.digest(), more_epochs.digest());
+        assert_ne!(base.digest(), mse.digest());
+    }
+
+    #[test]
+    fn train_and_save_persists_a_loadable_artifact() {
+        let dir = std::env::temp_dir().join(format!("sesr_sr_train_save_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let store = sesr_store::ModelStore::open(&dir).unwrap();
+        let dataset = tiny_dataset();
+        let trainer = SrTrainer::new(SrTrainingConfig {
+            epochs: 2,
+            batch_size: 4,
+            learning_rate: 2e-3,
+            loss: SrLoss::Mae,
+        });
+        let (report, artifact) = trainer
+            .train_and_save(SrModelKind::SesrM2, &dataset, &store, 7)
+            .unwrap();
+        assert!(report.val_psnr.is_finite());
+        assert_eq!(artifact.model_id, "sesr-m2");
+        assert_eq!(artifact.scale, 2);
+        let loaded = store.load(&artifact).unwrap();
+        assert_eq!(loaded.meta.model_id, "SESR-M2");
+        assert_eq!(loaded.meta.config_digest, trainer.config().digest());
+        assert_eq!(loaded.meta.tensor_count, loaded.tensors.len());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn train_and_save_rejects_interpolation_kinds() {
+        let dir = std::env::temp_dir().join(format!("sesr_sr_train_interp_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let store = sesr_store::ModelStore::open(&dir).unwrap();
+        let dataset = tiny_dataset();
+        let trainer = SrTrainer::new(SrTrainingConfig::default());
+        assert!(trainer
+            .train_and_save(SrModelKind::Bicubic, &dataset, &store, 0)
+            .is_err());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -34,9 +34,10 @@ pub enum SrModelKind {
 
 impl SrModelKind {
     /// Every kind, in the row order used by Table II of the paper (with the
-    /// extra bicubic baseline appended).
-    pub fn all() -> Vec<SrModelKind> {
-        vec![
+    /// extra bicubic baseline appended). Returns a static slice so hot
+    /// callers (table drivers, benches) never allocate.
+    pub fn all() -> &'static [SrModelKind] {
+        const ALL: [SrModelKind; 9] = [
             SrModelKind::NearestNeighbor,
             SrModelKind::EdsrBase,
             SrModelKind::Edsr,
@@ -46,13 +47,15 @@ impl SrModelKind {
             SrModelKind::SesrM5,
             SrModelKind::SesrXl,
             SrModelKind::Bicubic,
-        ]
+        ];
+        &ALL
     }
 
     /// The deep-learning models only (the rows of Table I).
     pub fn learned() -> Vec<SrModelKind> {
         SrModelKind::all()
-            .into_iter()
+            .iter()
+            .copied()
             .filter(|k| k.is_learned())
             .collect()
     }
@@ -152,20 +155,74 @@ impl SrModelKind {
         if let Some(upscaler) = self.build_interpolation(scale) {
             return Ok(upscaler);
         }
+        let network = self.build_seeded_network(scale, seed)?;
+        Ok(self.wrap_network(scale, network))
+    }
+
+    /// Seeded construction of the learned local network, shared by the
+    /// untrained and store-hydrated build paths. Callers have already
+    /// dispatched interpolation kinds.
+    fn build_seeded_network(&self, scale: usize, seed: u64) -> sesr_tensor::Result<Box<dyn Layer>> {
         if scale != 2 {
             return Err(sesr_tensor::TensorError::invalid_argument(format!(
                 "learned local SR networks are x2-only, requested x{scale}"
             )));
         }
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let network = self
+        Ok(self
             .build_local_network(&mut rng)
-            .expect("learned kinds always build a local network");
-        Ok(Box::new(crate::upscaler::NetworkUpscaler::new(
+            .expect("learned kinds always build a local network"))
+    }
+
+    fn wrap_network(&self, scale: usize, network: Box<dyn Layer>) -> Box<dyn Upscaler> {
+        Box::new(crate::upscaler::NetworkUpscaler::new(
             self.name(),
             scale,
             network,
-        )))
+        ))
+    }
+
+    /// Build an upscaler hydrated with trained weights from a model store.
+    ///
+    /// This is the serving-side half of the *train once, deploy many*
+    /// workflow: the registry resolves the newest artifact for
+    /// `(self.name(), scale)` (one validated disk read per process, see
+    /// [`ModelRegistry`](sesr_store::ModelRegistry)) and its weights are
+    /// copied into a freshly built network. Interpolation kinds have no
+    /// weights and build directly.
+    ///
+    /// Fallback is deliberately narrow: only
+    /// [`StoreError::NotFound`](sesr_store::StoreError::NotFound) (nothing
+    /// trained yet) degrades to the seeded-random network that
+    /// [`SrModelKind::build_seeded_upscaler`] would produce. A corrupt,
+    /// truncated or version-mismatched artifact is an error — damaged weights
+    /// are never served silently.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `scale` is unsupported for a learned kind, if the
+    /// stored artifact fails validation, or if its architecture does not
+    /// match this kind.
+    pub fn build_from_store(
+        &self,
+        scale: usize,
+        registry: &sesr_store::ModelRegistry,
+        seed: u64,
+    ) -> sesr_tensor::Result<Box<dyn Upscaler>> {
+        if let Some(upscaler) = self.build_interpolation(scale) {
+            return Ok(upscaler);
+        }
+        let mut network = self.build_seeded_network(scale, seed)?;
+        match registry.hydrate(self.name(), scale) {
+            Ok(checkpoint) => {
+                checkpoint
+                    .apply_to(network.as_mut())
+                    .map_err(sesr_tensor::TensorError::from)?;
+            }
+            Err(err) if err.is_not_found() => {} // train-free fallback
+            Err(err) => return Err(err.into()),
+        }
+        Ok(self.wrap_network(scale, network))
     }
 }
 
@@ -220,6 +277,51 @@ mod tests {
         assert_eq!(SrModelKind::SesrM2.name(), "SESR-M2");
         assert_eq!(SrModelKind::EdsrBase.to_string(), "EDSR-base");
         assert_eq!(SrModelKind::NearestNeighbor.name(), "Nearest Neighbor");
+    }
+
+    #[test]
+    fn build_from_store_falls_back_and_hydrates() {
+        use sesr_store::{Checkpoint, ModelRegistry, ModelStore};
+        let dir = std::env::temp_dir().join(format!("sesr_zoo_store_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let registry = ModelRegistry::new(ModelStore::open(&dir).unwrap());
+
+        // Empty store: learned kinds fall back to the seeded-random network,
+        // interpolation kinds build directly.
+        let fallback = SrModelKind::SesrM2
+            .build_from_store(2, &registry, 5)
+            .unwrap();
+        let seeded = SrModelKind::SesrM2.build_seeded_upscaler(2, 5).unwrap();
+        let x = sesr_tensor::Tensor::full(sesr_tensor::Shape::new(&[1, 3, 8, 8]), 0.5);
+        assert_eq!(fallback.upscale(&x).unwrap(), seeded.upscale(&x).unwrap());
+        assert!(SrModelKind::Bicubic
+            .build_from_store(2, &registry, 0)
+            .is_ok());
+
+        // Store a differently seeded network; hydration must now reproduce
+        // that network's outputs instead of the fallback's.
+        let mut rng = StdRng::seed_from_u64(99);
+        let source = SrModelKind::SesrM2.build_local_network(&mut rng).unwrap();
+        registry
+            .store()
+            .save(&Checkpoint::from_layer("SESR-M2", 2, 0, source.as_ref()))
+            .unwrap();
+        let hydrated = SrModelKind::SesrM2
+            .build_from_store(2, &registry, 5)
+            .unwrap();
+        let direct = crate::upscaler::NetworkUpscaler::new("src", 2, source);
+        assert_eq!(hydrated.upscale(&x).unwrap(), direct.upscale(&x).unwrap());
+        assert_ne!(
+            hydrated.upscale(&x).unwrap(),
+            seeded.upscale(&x).unwrap(),
+            "hydrated weights must differ from the seeded fallback"
+        );
+
+        // x3 is not buildable for learned local networks.
+        assert!(SrModelKind::SesrM2
+            .build_from_store(3, &registry, 0)
+            .is_err());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

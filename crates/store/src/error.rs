@@ -1,0 +1,125 @@
+//! Typed errors for the artifact store.
+//!
+//! Every way an artifact can fail to load is a distinct variant, so callers
+//! can distinguish "nothing trained yet" ([`StoreError::NotFound`], the only
+//! variant that may fall back to seeded-random weights) from "the artifact is
+//! damaged or incompatible" (everything else, which must never be loaded
+//! silently).
+
+use sesr_tensor::TensorError;
+use std::path::PathBuf;
+
+/// Everything that can go wrong saving, loading or resolving an artifact.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem I/O failed (directory creation, read, write, rename).
+    Io {
+        /// The path the operation touched.
+        path: PathBuf,
+        /// The underlying OS error, stringified.
+        message: String,
+    },
+    /// No artifact is stored for the requested `(model_id, scale)` pair.
+    NotFound {
+        /// The model identity that was requested.
+        model_id: String,
+        /// The requested upscaling factor.
+        scale: usize,
+    },
+    /// The artifact bytes are damaged: bad magic, truncated header or
+    /// payload, unparsable metadata, or an inconsistent tensor count.
+    Corrupt {
+        /// What exactly failed to parse.
+        reason: String,
+    },
+    /// The artifact was written by an incompatible format version.
+    FormatVersionMismatch {
+        /// The version found in the artifact header.
+        found: u32,
+        /// The version this build supports.
+        supported: u32,
+    },
+    /// The payload checksum does not match the header+payload bytes.
+    ChecksumMismatch {
+        /// Checksum recorded in the artifact.
+        stored: u64,
+        /// Checksum recomputed from the bytes on disk.
+        computed: u64,
+    },
+    /// The checkpoint loaded fine but does not fit the target network
+    /// (different parameter count or shapes).
+    ArchitectureMismatch {
+        /// Human-readable description of the incompatibility.
+        reason: String,
+    },
+    /// A tensor-level failure surfaced while decoding or applying weights.
+    Tensor(TensorError),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io { path, message } => {
+                write!(f, "store I/O error at {}: {message}", path.display())
+            }
+            StoreError::NotFound { model_id, scale } => {
+                write!(f, "no stored artifact for {model_id} (x{scale})")
+            }
+            StoreError::Corrupt { reason } => write!(f, "corrupt artifact: {reason}"),
+            StoreError::FormatVersionMismatch { found, supported } => write!(
+                f,
+                "artifact format version {found} is not supported (this build reads version \
+                 {supported})"
+            ),
+            StoreError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "artifact checksum mismatch: header says {stored:#018x}, bytes hash to \
+                 {computed:#018x}"
+            ),
+            StoreError::ArchitectureMismatch { reason } => {
+                write!(f, "checkpoint does not fit the target network: {reason}")
+            }
+            StoreError::Tensor(err) => write!(f, "tensor error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<TensorError> for StoreError {
+    fn from(err: TensorError) -> Self {
+        StoreError::Tensor(err)
+    }
+}
+
+impl From<StoreError> for TensorError {
+    fn from(err: StoreError) -> Self {
+        TensorError::invalid_argument(err.to_string())
+    }
+}
+
+impl StoreError {
+    /// Build an [`StoreError::Io`] from an OS error.
+    pub fn io(path: impl Into<PathBuf>, err: &std::io::Error) -> Self {
+        StoreError::Io {
+            path: path.into(),
+            message: err.to_string(),
+        }
+    }
+
+    /// Build a [`StoreError::Corrupt`].
+    pub fn corrupt(reason: impl Into<String>) -> Self {
+        StoreError::Corrupt {
+            reason: reason.into(),
+        }
+    }
+
+    /// `true` only for [`StoreError::NotFound`]: the one case where callers
+    /// may fall back to freshly initialised weights.
+    pub fn is_not_found(&self) -> bool {
+        matches!(self, StoreError::NotFound { .. })
+    }
+}
+
+/// Result alias for store operations.
+pub type Result<T> = std::result::Result<T, StoreError>;

@@ -181,6 +181,13 @@ fn main() -> Result<(), ServeError> {
         "  latency: p50 {:?}  p95 {:?}  p99 {:?}  mean {:?}",
         stats.p50, stats.p95, stats.p99, stats.mean
     );
+    println!(
+        "  cache: {} hits / {} misses over {} lookups ({:.0}% hit rate)",
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.cache_hits + stats.cache_misses,
+        stats.cache_hit_rate() * 100.0
+    );
     assert!(
         served_rate > seq_rate,
         "the serving engine ({served_rate:.1} images/sec) must beat the sequential \

@@ -15,6 +15,7 @@
 //! | [`sesr_attacks`] | FGSM / PGD / APGD / DI-FGSM attacks |
 //! | [`sesr_datagen`] | synthetic SR + classification datasets |
 //! | [`sesr_npu`] | Ethos-U55-class analytic latency model |
+//! | [`sesr_store`] | trained-weight artifact store + model registry |
 //! | [`sesr_defense`] | the JPEG → wavelet → ×2-SR defense pipeline + tables |
 //! | [`sesr_serve`] | batched, multi-worker defense-serving subsystem |
 
@@ -29,4 +30,5 @@ pub use sesr_models;
 pub use sesr_nn;
 pub use sesr_npu;
 pub use sesr_serve;
+pub use sesr_store;
 pub use sesr_tensor;
