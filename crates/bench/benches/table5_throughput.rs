@@ -10,7 +10,10 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sesr_bench::bench_image;
 use sesr_defense::pipeline::{DefensePipeline, PreprocessConfig};
 use sesr_models::SrModelKind;
-use sesr_serve::{DefenseServer, ServeConfig, ServeError, WorkerAssets};
+use sesr_serve::{
+    DefenseRequest, DefenseServer, GatewayBuilder, RouteConfig, RouteKey, ServeConfig, ServeError,
+    WorkerAssets,
+};
 use sesr_tensor::Tensor;
 use std::time::Duration;
 
@@ -94,5 +97,62 @@ fn served_burst(c: &mut Criterion) {
     server.shutdown();
 }
 
-criterion_group!(table5, sequential_burst, served_burst);
+/// The same burst spread across three gateway routes: measures the
+/// multi-model overhead of routed submission + shard-per-route dispatch.
+fn gateway_burst(c: &mut Criterion) {
+    let images = burst_images();
+    let routes = [
+        RouteKey::paper(SrModelKind::NearestNeighbor, 2),
+        RouteKey::new(SrModelKind::NearestNeighbor, 2, PreprocessConfig::none()),
+        RouteKey::new(SrModelKind::Bicubic, 2, PreprocessConfig::none()),
+    ];
+    let config = RouteConfig {
+        num_workers: 2,
+        max_batch: 8,
+        max_linger: Duration::from_millis(1),
+        queue_capacity: 64,
+    };
+    let gateway = GatewayBuilder::new()
+        .cache_capacity(0)
+        .default_route_config(config)
+        .route(routes[0])
+        .route(routes[1])
+        .route(routes[2])
+        .build()
+        .expect("start gateway");
+    let client = gateway.client();
+
+    let mut group = c.benchmark_group("table5_throughput_32x24px");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    group.bench_function(BenchmarkId::new("gateway", "3routes_2workers"), |b| {
+        b.iter(|| {
+            let pending: Vec<_> = images
+                .iter()
+                .enumerate()
+                .map(|(i, image)| loop {
+                    let request = DefenseRequest::new(image.clone()).on(routes[i % routes.len()]);
+                    match client.submit(request) {
+                        Ok(p) => break p,
+                        Err(ServeError::Overloaded) => {
+                            std::thread::sleep(Duration::from_micros(50))
+                        }
+                        Err(other) => panic!("submit failed: {other}"),
+                    }
+                })
+                .collect();
+            for p in pending {
+                p.wait().expect("response");
+            }
+        });
+    });
+    group.finish();
+
+    eprintln!("[table5] gateway stats:\n{}", gateway.stats());
+    drop(client);
+    gateway.shutdown();
+}
+
+criterion_group!(table5, sequential_burst, served_burst, gateway_burst);
 criterion_main!(table5);

@@ -4,6 +4,8 @@
 //! ```text
 //! cargo run --release -p sesr-bench --bin pretrain -- <store-dir> [options]
 //!
+//!   --list                   list every stored artifact (model ids, scales,
+//!                            full version history) and exit without training
 //!   --kinds a,b,c            SR kinds to train; "none" skips SR (default:
 //!                            sesr-m2, or none when --classifiers is given)
 //!                            (sesr-m2|sesr-m3|sesr-m5|sesr-xl|fsrcnn|edsr|edsr-base)
@@ -31,6 +33,7 @@ use std::process::exit;
 
 struct Args {
     store_dir: String,
+    list: bool,
     kinds: Option<Vec<SrModelKind>>,
     epochs: usize,
     train_size: usize,
@@ -44,24 +47,17 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: pretrain <store-dir> [--kinds a,b] [--epochs N] [--train-size N] \
+        "usage: pretrain <store-dir> [--list] [--kinds a,b] [--epochs N] [--train-size N] \
          [--val-size N] [--hr-size N] [--classifiers a,b] [--classes N] \
          [--classifier-epochs N] [--seed N]"
     );
     exit(2);
 }
 
+/// A trainable SR kind: any zoo name/slug the registry parses, minus the
+/// interpolation baselines (which have no weights to train or store).
 fn parse_sr_kind(name: &str) -> Option<SrModelKind> {
-    match name {
-        "sesr-m2" => Some(SrModelKind::SesrM2),
-        "sesr-m3" => Some(SrModelKind::SesrM3),
-        "sesr-m5" => Some(SrModelKind::SesrM5),
-        "sesr-xl" => Some(SrModelKind::SesrXl),
-        "fsrcnn" => Some(SrModelKind::Fsrcnn),
-        "edsr" => Some(SrModelKind::Edsr),
-        "edsr-base" => Some(SrModelKind::EdsrBase),
-        _ => None,
-    }
+    SrModelKind::parse(name).filter(SrModelKind::is_learned)
 }
 
 fn parse_classifier_kind(name: &str) -> Option<ClassifierKind> {
@@ -76,6 +72,7 @@ fn parse_classifier_kind(name: &str) -> Option<ClassifierKind> {
 fn parse_args() -> Args {
     let mut args = Args {
         store_dir: String::new(),
+        list: false,
         kinds: None,
         epochs: 8,
         train_size: 48,
@@ -93,6 +90,10 @@ fn parse_args() -> Args {
     }
     args.store_dir = store_dir;
     while let Some(flag) = raw.next() {
+        if flag == "--list" {
+            args.list = true;
+            continue;
+        }
         let Some(value) = raw.next() else { usage() };
         let parse_usize = |v: &str| v.parse::<usize>().unwrap_or_else(|_| usage());
         match flag.as_str() {
@@ -134,6 +135,55 @@ fn parse_args() -> Args {
     args
 }
 
+/// `--list`: enumerate every stored model with its full version history,
+/// via the store's `list_model_ids`/`list_versions` helpers (the same
+/// enumeration the serving gateway uses to declare routes).
+fn list_store(store: &ModelStore) {
+    let model_ids = store.list_model_ids().unwrap_or_else(|err| {
+        eprintln!("cannot list store: {err}");
+        exit(1);
+    });
+    if model_ids.is_empty() {
+        println!("store is empty");
+        return;
+    }
+    let artifacts = store.list().unwrap_or_else(|err| {
+        eprintln!("cannot list store: {err}");
+        exit(1);
+    });
+    println!("{} model(s) stored:", model_ids.len());
+    for model_id in &model_ids {
+        let servable = SrModelKind::parse(model_id).map_or("", |_| " [SR route]");
+        println!("  {model_id}{servable}");
+        let mut scales: Vec<usize> = artifacts
+            .iter()
+            .filter(|a| &a.model_id == model_id)
+            .map(|a| a.scale)
+            .collect();
+        scales.dedup();
+        for scale in scales {
+            let versions = store.list_versions(model_id, scale).unwrap_or_else(|err| {
+                eprintln!("cannot list versions: {err}");
+                exit(1);
+            });
+            // list_versions sorts ascending by (version, digest), so the last
+            // entry is exactly what resolve() hydrates — including the
+            // digest tie-break between concurrent same-version saves.
+            for (index, artifact) in versions.iter().enumerate() {
+                let newest = if index + 1 == versions.len() {
+                    "  <- newest"
+                } else {
+                    ""
+                };
+                println!(
+                    "    x{} v{:04} {:016x}{newest}",
+                    artifact.scale, artifact.version, artifact.digest
+                );
+            }
+        }
+    }
+}
+
 fn main() {
     let args = parse_args();
     // With no --kinds flag, default to SESR-M2 — unless the invocation is
@@ -153,6 +203,11 @@ fn main() {
         }
     };
     println!("store: {}", store.root().display());
+
+    if args.list {
+        list_store(&store);
+        return;
+    }
 
     if !kinds.is_empty() {
         let dataset = SrDataset::generate(SrDatasetConfig {

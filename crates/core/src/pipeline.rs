@@ -42,6 +42,32 @@ impl PreprocessConfig {
             wavelet: None,
         }
     }
+
+    /// Short stable identity label for the enabled stages, e.g.
+    /// `"jpeg75+wavelet2"`, `"wavelet2"` or `"raw"`. Two configurations with
+    /// the same label compute the same preprocessing, which is what lets
+    /// serving routes and cache keys name a configuration compactly.
+    pub fn label(&self) -> String {
+        let mut parts = Vec::new();
+        if let Some(jpeg) = self.jpeg {
+            parts.push(format!("jpeg{}", jpeg.quality));
+        }
+        if let Some(wavelet) = self.wavelet {
+            if wavelet.threshold_scale == 1.0 {
+                parts.push(format!("wavelet{}", wavelet.levels));
+            } else {
+                parts.push(format!(
+                    "wavelet{}t{}",
+                    wavelet.levels, wavelet.threshold_scale
+                ));
+            }
+        }
+        if parts.is_empty() {
+            "raw".to_string()
+        } else {
+            parts.join("+")
+        }
+    }
 }
 
 impl Default for PreprocessConfig {
@@ -183,6 +209,16 @@ mod tests {
             let out = pipeline.defend(&img).unwrap();
             assert_eq!(out.shape().dims(), &[1, 3, 64, 64]);
         }
+    }
+
+    #[test]
+    fn labels_name_the_enabled_stages() {
+        assert_eq!(PreprocessConfig::paper().label(), "jpeg75+wavelet2");
+        assert_eq!(PreprocessConfig::without_jpeg().label(), "wavelet2");
+        assert_eq!(PreprocessConfig::none().label(), "raw");
+        let mut aggressive = PreprocessConfig::without_jpeg();
+        aggressive.wavelet.as_mut().unwrap().threshold_scale = 2.0;
+        assert_eq!(aggressive.label(), "wavelet2t2");
     }
 
     #[test]

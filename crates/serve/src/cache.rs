@@ -1,21 +1,24 @@
-//! Content-addressed LRU cache of defended outputs.
+//! Keyed LRU cache of defended outputs.
 //!
-//! Keys are 64-bit FNV-1a hashes of the input tensor's shape and exact f32
-//! bit patterns, salted with the serving pipeline's identity so two servers
-//! with different defenses never alias. A 64-bit digest is not
+//! The gateway keys the cache by `(RouteKey, content-hash)` — the route
+//! identifies *which* defense produced the output, the 64-bit FNV-1a content
+//! hash identifies the input image — so two routes serving different models
+//! can never return each other's defended outputs. A 64-bit digest is not
 //! collision-proof in the cryptographic sense, but for a bounded cache of
 //! image tensors the collision probability is negligible (~n²/2⁶⁵) and a
-//! collision only ever returns a *previously defended* output, never corrupts
-//! state.
+//! collision only ever returns a *previously defended* output of the same
+//! route, never corrupts state.
 
 use sesr_tensor::Tensor;
 use std::collections::HashMap;
+use std::hash::Hash;
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
-/// 64-bit FNV-1a content hash of an image tensor, salted with `salt`
-/// (typically the upscaler name + preprocess configuration).
+/// 64-bit FNV-1a content hash of an image tensor's shape and exact f32 bit
+/// patterns, salted with `salt` (empty when the cache key already carries the
+/// route identity).
 pub fn content_hash(image: &Tensor, salt: &str) -> u64 {
     let mut hash = FNV_OFFSET;
     let mut eat = |byte: u8| {
@@ -40,23 +43,25 @@ pub fn content_hash(image: &Tensor, salt: &str) -> u64 {
 
 const NIL: usize = usize::MAX;
 
-struct Node<V> {
-    key: u64,
+struct Node<K, V> {
+    key: K,
     value: V,
     prev: usize,
     next: usize,
 }
 
-/// A fixed-capacity least-recently-used cache with O(1) get/insert.
+/// A fixed-capacity least-recently-used cache with O(1) get/insert, generic
+/// over the key type (the serving gateway uses `(RouteKey, u64)` composite
+/// keys; plain `u64` works too).
 ///
 /// Implemented as a slab-backed doubly linked recency list plus a key → slot
 /// index map; no unsafe code and no external dependencies. Capacity 0 turns
 /// the cache into a no-op (every lookup misses, inserts are dropped), which
 /// is how `sesr-serve` disables caching.
-pub struct LruCache<V> {
+pub struct LruCache<K, V> {
     capacity: usize,
-    nodes: Vec<Node<V>>,
-    index: HashMap<u64, usize>,
+    nodes: Vec<Node<K, V>>,
+    index: HashMap<K, usize>,
     head: usize,
     tail: usize,
     free: Vec<usize>,
@@ -64,7 +69,7 @@ pub struct LruCache<V> {
     misses: u64,
 }
 
-impl<V> LruCache<V> {
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     /// Create a cache holding at most `capacity` entries.
     pub fn new(capacity: usize) -> Self {
         LruCache {
@@ -126,8 +131,8 @@ impl<V> LruCache<V> {
     }
 
     /// Look up `key`, refreshing its recency on a hit.
-    pub fn get(&mut self, key: u64) -> Option<&V> {
-        match self.index.get(&key).copied() {
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        match self.index.get(key).copied() {
             Some(slot) => {
                 self.detach(slot);
                 self.push_front(slot);
@@ -143,7 +148,7 @@ impl<V> LruCache<V> {
 
     /// Insert (or refresh) `key`, evicting the least-recently-used entry if
     /// the cache is full. With capacity 0 this is a no-op.
-    pub fn insert(&mut self, key: u64, value: V) {
+    pub fn insert(&mut self, key: K, value: V) {
         if self.capacity == 0 {
             return;
         }
@@ -161,13 +166,13 @@ impl<V> LruCache<V> {
         }
         let slot = match self.free.pop() {
             Some(slot) => {
-                self.nodes[slot].key = key;
+                self.nodes[slot].key = key.clone();
                 self.nodes[slot].value = value;
                 slot
             }
             None => {
                 self.nodes.push(Node {
-                    key,
+                    key: key.clone(),
                     value,
                     prev: NIL,
                     next: NIL,
@@ -178,6 +183,40 @@ impl<V> LruCache<V> {
         self.index.insert(key, slot);
         self.push_front(slot);
     }
+
+    /// Drop every entry whose key fails `keep`, preserving the recency order
+    /// of the survivors. O(len); used by hot reload to purge one route's
+    /// now-stale outputs without touching other routes. Purged values are
+    /// dropped immediately (defended tensors are large; they must not linger
+    /// in dead slab slots waiting for reuse), so the slab is rebuilt from
+    /// the survivors.
+    pub fn retain(&mut self, mut keep: impl FnMut(&K) -> bool) {
+        // Recency order, most to least recent, before tearing the slab down.
+        let mut order = Vec::with_capacity(self.index.len());
+        let mut slot = self.head;
+        while slot != NIL {
+            order.push(slot);
+            slot = self.nodes[slot].next;
+        }
+        let mut old_nodes: Vec<Option<Node<K, V>>> = std::mem::take(&mut self.nodes)
+            .into_iter()
+            .map(Some)
+            .collect();
+        self.index.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+        // Reinsert survivors least-recent first so insert()'s push-front
+        // rebuilds the same recency order; victims drop with `old_nodes`.
+        for slot in order.into_iter().rev() {
+            let node = old_nodes[slot]
+                .take()
+                .expect("slot was on the recency list");
+            if keep(&node.key) {
+                self.insert(node.key, node.value);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -187,48 +226,104 @@ mod tests {
 
     #[test]
     fn evicts_least_recently_used() {
-        let mut cache: LruCache<u32> = LruCache::new(2);
+        let mut cache: LruCache<u64, u32> = LruCache::new(2);
         cache.insert(1, 10);
         cache.insert(2, 20);
-        assert_eq!(cache.get(1), Some(&10)); // 1 is now most recent.
+        assert_eq!(cache.get(&1), Some(&10)); // 1 is now most recent.
         cache.insert(3, 30); // evicts 2.
-        assert_eq!(cache.get(2), None);
-        assert_eq!(cache.get(1), Some(&10));
-        assert_eq!(cache.get(3), Some(&30));
+        assert_eq!(cache.get(&2), None);
+        assert_eq!(cache.get(&1), Some(&10));
+        assert_eq!(cache.get(&3), Some(&30));
         assert_eq!(cache.len(), 2);
     }
 
     #[test]
     fn reinserting_refreshes_value_and_recency() {
-        let mut cache: LruCache<u32> = LruCache::new(2);
+        let mut cache: LruCache<u64, u32> = LruCache::new(2);
         cache.insert(1, 10);
         cache.insert(2, 20);
         cache.insert(1, 11); // refresh 1, making 2 the LRU entry.
         cache.insert(3, 30); // evicts 2.
-        assert_eq!(cache.get(1), Some(&11));
-        assert_eq!(cache.get(2), None);
+        assert_eq!(cache.get(&1), Some(&11));
+        assert_eq!(cache.get(&2), None);
     }
 
     #[test]
     fn zero_capacity_disables_the_cache() {
-        let mut cache: LruCache<u32> = LruCache::new(0);
+        let mut cache: LruCache<u64, u32> = LruCache::new(0);
         cache.insert(1, 10);
         assert!(cache.is_empty());
-        assert_eq!(cache.get(1), None);
+        assert_eq!(cache.get(&1), None);
         assert_eq!(cache.hit_counts(), (0, 1));
     }
 
     #[test]
     fn heavy_churn_keeps_len_bounded() {
-        let mut cache: LruCache<u64> = LruCache::new(8);
+        let mut cache: LruCache<u64, u64> = LruCache::new(8);
         for key in 0..1000u64 {
             cache.insert(key, key * 2);
             assert!(cache.len() <= 8);
         }
         // The eight most recent keys survive.
         for key in 992..1000 {
-            assert_eq!(cache.get(key), Some(&(key * 2)));
+            assert_eq!(cache.get(&key), Some(&(key * 2)));
         }
+    }
+
+    #[test]
+    fn composite_keys_separate_identical_hashes() {
+        // The cache-poisoning regression at the data-structure level: the
+        // same content hash under two different route components must be two
+        // distinct entries.
+        let mut cache: LruCache<(&str, u64), u32> = LruCache::new(4);
+        cache.insert(("sesr-m2", 42), 1);
+        cache.insert(("bicubic", 42), 2);
+        assert_eq!(cache.get(&("sesr-m2", 42)), Some(&1));
+        assert_eq!(cache.get(&("bicubic", 42)), Some(&2));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn retain_purges_selectively_and_keeps_recency_order() {
+        let mut cache: LruCache<(u8, u64), u32> = LruCache::new(8);
+        for i in 0..4u64 {
+            cache.insert((0, i), i as u32);
+            cache.insert((1, i), 100 + i as u32);
+        }
+        cache.retain(|(route, _)| *route != 0);
+        assert_eq!(cache.len(), 4);
+        for i in 0..4u64 {
+            assert_eq!(cache.get(&(0, i)), None, "route 0 must be purged");
+            assert_eq!(cache.get(&(1, i)), Some(&(100 + i as u32)));
+        }
+        // The slab stays bounded after a purge.
+        for i in 0..8u64 {
+            cache.insert((2, i), i as u32);
+        }
+        assert_eq!(cache.len(), 8);
+        assert!(cache.nodes.len() <= 8, "slab must not grow past capacity");
+        // Survivors kept their recency: (2, 0..8) filled the cache, so the
+        // route-1 entries (older) are gone and the newest survive in order.
+        assert_eq!(cache.get(&(1, 0)), None);
+        assert_eq!(cache.get(&(2, 7)), Some(&7));
+    }
+
+    #[test]
+    fn retain_drops_purged_values_immediately() {
+        use std::sync::Arc;
+        let mut cache: LruCache<u8, Arc<()>> = LruCache::new(8);
+        let purged = Arc::new(());
+        let kept = Arc::new(());
+        cache.insert(0, Arc::clone(&purged));
+        cache.insert(1, Arc::clone(&kept));
+        cache.retain(|key| *key != 0);
+        assert_eq!(
+            Arc::strong_count(&purged),
+            1,
+            "a purged value must be dropped by retain, not parked in a dead slot"
+        );
+        assert_eq!(Arc::strong_count(&kept), 2);
+        assert_eq!(cache.len(), 1);
     }
 
     #[test]

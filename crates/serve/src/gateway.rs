@@ -1,0 +1,1202 @@
+//! The multi-model defense gateway: routed requests, per-model worker
+//! shards, zero-downtime hot reload.
+//!
+//! One [`DefenseGateway`] serves the whole model zoo at once. Each declared
+//! [`RouteKey`] — `(SR model, scale, preprocess)` — owns a private shard
+//! (bounded queue → dynamic batcher → worker pool), so a hot route saturates
+//! its own queue and sheds its own load while every other route keeps its
+//! full capacity. Clients submit typed [`DefenseRequest`]s through a
+//! cloneable [`GatewayClient`]; requests without an explicit route go to the
+//! gateway's default route.
+//!
+//! ```text
+//!                         ┌────────────────── DefenseGateway ──────────────────┐
+//!                         │                 ┌─ shard sesr-m2:x2 ─────────────┐ │
+//! DefenseRequest ─────────┼─► route table ──┤ queue → batcher → workers      │ │
+//! { image, RouteKey,      │   (HashMap)     └────────────────────────────────┘ │
+//!   skip_cache, deadline }│                 ┌─ shard fsrcnn:x2 ──────────────┐ │
+//!                         │            ├────┤ queue → batcher → workers      │ │
+//!        UnknownRoute ◄───┤ miss       │    └────────────────────────────────┘ │
+//!                         │            └──► ... one shard per declared route   │
+//!                         │                                                    │
+//!                         │   shared LRU cache keyed by (RouteKey, hash)       │
+//!                         │   StatsRecorder per route + gateway-wide           │
+//!                         └────────────────────────────────────────────────────┘
+//! ```
+//!
+//! **Hot reload** ([`GatewayClient::reload`]) rebuilds one route's workers
+//! with freshly hydrated weights (after
+//! [`ModelRegistry::invalidate`](sesr_store::ModelRegistry::invalidate), so a
+//! retrained artifact version is picked up), atomically swaps the new shard
+//! into the route table, then retires the old shard by letting it drain:
+//! every job already accepted is still answered, so a reload under load
+//! drops nothing. [`ReloadWatcher`] automates this by polling the artifact
+//! store and reloading any route whose newest artifact changed.
+
+use crate::route::{DefenseRequest, RouteConfig, RouteKey};
+use crate::server::{PendingResponse, ServeError, WorkerAssets};
+use crate::shard::{spawn_shard, CacheKey, Job, ShardInner, ShardThreads, SharedCache, StatsPair};
+use crate::stats::{GatewayStats, ServeStats, StatsRecorder};
+use crate::{content_hash, LruCache};
+use sesr_defense::pipeline::DefensePipeline;
+use sesr_models::SrModelKind;
+use sesr_store::{ModelRegistry, ModelStore};
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError, TrySendError};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Per-worker asset factory: called with the worker index at build and
+/// reload time.
+pub type WorkerFactory = Box<dyn FnMut(usize) -> sesr_tensor::Result<WorkerAssets> + Send>;
+
+/// One declared route: its immutable configuration, the factory that
+/// (re)builds its workers, and the currently active shard.
+struct RouteEntry {
+    config: RouteConfig,
+    /// `None` for routes built from pre-built assets (the compatibility
+    /// shim), which cannot be reloaded.
+    factory: Mutex<Option<WorkerFactory>>,
+    /// Per-route stats; survives reloads so the breakdown covers the route's
+    /// whole lifetime.
+    stats: Arc<StatsRecorder>,
+    /// The live shard; hot reload swaps the `Arc` under a brief write lock.
+    active: RwLock<Arc<ShardInner>>,
+    /// Join handles of the active shard (taken on retire/shutdown).
+    threads: Mutex<Option<ShardThreads>>,
+}
+
+struct GatewayShared {
+    routes: HashMap<RouteKey, Arc<RouteEntry>>,
+    /// Declaration order, for stable stats/iteration output.
+    order: Vec<RouteKey>,
+    default_route: RouteKey,
+    cache: SharedCache,
+    cache_enabled: bool,
+    stats: Arc<StatsRecorder>,
+    registry: Option<Arc<ModelRegistry>>,
+}
+
+/// The running multi-model serving engine; owns every route shard.
+pub struct DefenseGateway {
+    shared: Arc<GatewayShared>,
+}
+
+/// Cloneable submission/administration handle to a running
+/// [`DefenseGateway`].
+#[derive(Clone)]
+pub struct GatewayClient {
+    shared: Arc<GatewayShared>,
+}
+
+fn entry_for<'a>(
+    shared: &'a GatewayShared,
+    route: &RouteKey,
+) -> Result<&'a Arc<RouteEntry>, ServeError> {
+    shared
+        .routes
+        .get(route)
+        .ok_or_else(|| ServeError::UnknownRoute(route.label()))
+}
+
+fn submit_to(
+    shared: &GatewayShared,
+    request: DefenseRequest,
+) -> Result<PendingResponse, ServeError> {
+    let started = Instant::now();
+    let DefenseRequest {
+        image,
+        route,
+        skip_cache,
+        deadline,
+    } = request;
+    let (n, _, _, _) = image
+        .shape()
+        .as_nchw()
+        .map_err(|e| ServeError::InvalidRequest(e.to_string()))?;
+    if n != 1 {
+        return Err(ServeError::InvalidRequest(format!(
+            "submit expects a single-image [1, C, H, W] batch, got batch size {n}"
+        )));
+    }
+
+    let route = route.unwrap_or(shared.default_route);
+    let entry = entry_for(shared, &route)?;
+    let stats = StatsPair {
+        global: Arc::clone(&shared.stats),
+        route: Arc::clone(&entry.stats),
+    };
+
+    let cache_key: Option<CacheKey> = if shared.cache_enabled && !skip_cache {
+        let key = (route, content_hash(&image, ""));
+        let mut cache = shared.cache.lock().expect("cache mutex poisoned");
+        if let Some((defended, label)) = cache.get(&key) {
+            let response = crate::server::DefenseResponse {
+                defended: defended.clone(),
+                label: *label,
+                cache_hit: true,
+            };
+            drop(cache);
+            stats.record_completion(started.elapsed(), true);
+            return Ok(PendingResponse::ready(response));
+        }
+        Some(key)
+    } else {
+        None
+    };
+
+    let (responder, receiver) = mpsc::channel();
+    let job = Job {
+        image,
+        enqueued: started,
+        deadline: deadline.map(|d| started + d),
+        responder,
+        cache_key,
+    };
+    // Clone the live shard handle under a brief read lock, then send outside
+    // it so a concurrent reload is never blocked behind a full queue.
+    let inner = Arc::clone(&entry.active.read().expect("route lock poisoned"));
+    match inner.sender.try_send(job) {
+        Ok(()) => {
+            // Counted only once the request is actually on its way to the
+            // pipeline; a rejected submission is not a cache miss.
+            if cache_key.is_some() {
+                stats.record_cache_miss();
+            }
+            Ok(PendingResponse::waiting(receiver))
+        }
+        Err(TrySendError::Full(_)) => {
+            stats.record_rejection();
+            Err(ServeError::Overloaded)
+        }
+        Err(TrySendError::Disconnected(_)) => Err(ServeError::Closed),
+    }
+}
+
+/// Build one worker's assets for an auto-declared route: hydrated from the
+/// registry when a store is attached, seeded-random otherwise.
+fn build_auto_assets(
+    registry: Option<&ModelRegistry>,
+    key: &RouteKey,
+    seed: u64,
+) -> sesr_tensor::Result<WorkerAssets> {
+    let upscaler = match registry {
+        Some(registry) => key.model.build_from_store(key.scale, registry, seed)?,
+        None => key.model.build_seeded_upscaler(key.scale, seed)?,
+    };
+    Ok(WorkerAssets::new(DefensePipeline::new(
+        key.preprocess,
+        upscaler,
+    )))
+}
+
+fn reload_route(shared: &GatewayShared, route: &RouteKey) -> Result<(), ServeError> {
+    let entry = Arc::clone(entry_for(shared, route)?);
+    // One reload at a time per route: the factory lock is held across the
+    // rebuild, but submissions keep flowing to the old shard meanwhile.
+    let mut factory_guard = entry.factory.lock().expect("factory mutex poisoned");
+    let factory = factory_guard.as_mut().ok_or_else(|| {
+        ServeError::InvalidRequest(format!(
+            "route {route} was built from pre-built worker assets and cannot be reloaded"
+        ))
+    })?;
+
+    // Forget the memoized checkpoint so the factory re-resolves the newest
+    // artifact version from disk.
+    if let Some(registry) = &shared.registry {
+        registry.invalidate(route.model.name(), route.scale);
+    }
+    let mut assets = Vec::with_capacity(entry.config.num_workers);
+    for worker in 0..entry.config.num_workers {
+        assets.push(factory(worker).map_err(|e| ServeError::Pipeline(e.to_string()))?);
+    }
+    let stats = StatsPair {
+        global: Arc::clone(&shared.stats),
+        route: Arc::clone(&entry.stats),
+    };
+    let (inner, threads) = spawn_shard(&entry.config, assets, &shared.cache, &stats);
+
+    // Swap the live shard; new submissions land on the fresh workers from
+    // here on.
+    let old_inner = {
+        let mut active = entry.active.write().expect("route lock poisoned");
+        std::mem::replace(&mut *active, inner)
+    };
+    let old_threads = entry
+        .threads
+        .lock()
+        .expect("threads mutex poisoned")
+        .replace(threads);
+
+    // Retire the old shard: dropping our handle releases its submission
+    // sender (in-flight submit calls hold transient clones, which drop as
+    // soon as their try_send returns), so the batcher drains the queue and
+    // exits, the workers finish every accepted job, and the join below
+    // returns only once all in-flight responses are delivered.
+    drop(old_inner);
+    if let Some(old_threads) = old_threads {
+        old_threads.join();
+    }
+
+    // The old weights' outputs are stale now that the drain is complete;
+    // purge this route's cache entries without touching other routes.
+    if shared.cache_enabled {
+        shared
+            .cache
+            .lock()
+            .expect("cache mutex poisoned")
+            .retain(|(cached_route, _)| cached_route != route);
+    }
+    Ok(())
+}
+
+fn snapshot(shared: &GatewayShared) -> GatewayStats {
+    GatewayStats {
+        global: shared.stats.snapshot(),
+        per_route: shared
+            .order
+            .iter()
+            .map(|key| (*key, shared.routes[key].stats.snapshot()))
+            .collect(),
+    }
+}
+
+impl GatewayClient {
+    /// Submit one routed request without blocking.
+    ///
+    /// On an LRU hit the returned [`PendingResponse`] is already resolved;
+    /// on a miss the request is enqueued on its route's shard.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownRoute`] when the request names a route the
+    /// gateway does not serve, [`ServeError::Overloaded`] when that route's
+    /// queue is full, [`ServeError::InvalidRequest`] for non-`[1, C, H, W]`
+    /// inputs, [`ServeError::Closed`] when the gateway is gone.
+    pub fn submit(&self, request: DefenseRequest) -> Result<PendingResponse, ServeError> {
+        submit_to(&self.shared, request)
+    }
+
+    /// Submit and wait: the convenience path for synchronous callers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates every [`ServeError`] that [`GatewayClient::submit`] or
+    /// [`PendingResponse::wait`] can produce.
+    pub fn defend_blocking(
+        &self,
+        request: DefenseRequest,
+    ) -> Result<crate::server::DefenseResponse, ServeError> {
+        self.submit(request)?.wait()
+    }
+
+    /// Every route the gateway serves, in declaration order.
+    pub fn routes(&self) -> Vec<RouteKey> {
+        self.shared.order.clone()
+    }
+
+    /// The route requests go to when they name none.
+    pub fn default_route(&self) -> RouteKey {
+        self.shared.default_route
+    }
+
+    /// Global + per-route statistics snapshot.
+    pub fn stats(&self) -> GatewayStats {
+        snapshot(&self.shared)
+    }
+
+    /// One route's statistics snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownRoute`] when the gateway does not serve `route`.
+    pub fn route_stats(&self, route: &RouteKey) -> Result<ServeStats, ServeError> {
+        Ok(entry_for(&self.shared, route)?.stats.snapshot())
+    }
+
+    /// Hot-reload one route with zero downtime and zero dropped jobs.
+    ///
+    /// Rebuilds the route's workers through its factory — for store-backed
+    /// routes the registry entry is invalidated first, so a newly saved
+    /// artifact version is hydrated — swaps the fresh shard in for new
+    /// submissions, then drains and retires the old shard: every job it had
+    /// already accepted still gets its response. The route's now-stale cache
+    /// entries are purged; other routes are untouched throughout.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownRoute`] for an unserved route,
+    /// [`ServeError::Pipeline`] when rebuilding the workers fails (e.g. a
+    /// corrupt artifact — the old shard keeps serving in that case), and
+    /// [`ServeError::InvalidRequest`] for routes built from pre-built assets.
+    pub fn reload(&self, route: &RouteKey) -> Result<(), ServeError> {
+        reload_route(&self.shared, route)
+    }
+
+    /// Spawn a [`ReloadWatcher`] polling the attached store every `interval`
+    /// and reloading any route whose newest artifact changed.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidRequest`] when the gateway was built without a
+    /// store.
+    pub fn watch_store(&self, interval: Duration) -> Result<ReloadWatcher, ServeError> {
+        ReloadWatcher::spawn(self.clone(), interval)
+    }
+}
+
+impl DefenseGateway {
+    /// Start declaring routes. Alias for [`GatewayBuilder::new`].
+    pub fn builder() -> GatewayBuilder {
+        GatewayBuilder::new()
+    }
+
+    /// A cloneable submission/administration handle.
+    pub fn client(&self) -> GatewayClient {
+        GatewayClient {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Every route the gateway serves, in declaration order.
+    pub fn routes(&self) -> Vec<RouteKey> {
+        self.shared.order.clone()
+    }
+
+    /// Global + per-route statistics snapshot.
+    pub fn stats(&self) -> GatewayStats {
+        snapshot(&self.shared)
+    }
+
+    /// Hot-reload one route; see [`GatewayClient::reload`].
+    ///
+    /// # Errors
+    ///
+    /// Everything [`GatewayClient::reload`] can return.
+    pub fn reload(&self, route: &RouteKey) -> Result<(), ServeError> {
+        reload_route(&self.shared, route)
+    }
+
+    /// Stop every shard and join all threads.
+    ///
+    /// Like [`DefenseServer::shutdown`](crate::server::DefenseServer::shutdown),
+    /// drop every outstanding [`GatewayClient`] clone (and stop any
+    /// [`ReloadWatcher`]) first, otherwise the submission channels stay open
+    /// and the join blocks.
+    pub fn shutdown(self) {
+        let DefenseGateway { shared } = self;
+        let threads: Vec<ShardThreads> = shared
+            .order
+            .iter()
+            .filter_map(|key| {
+                shared.routes[key]
+                    .threads
+                    .lock()
+                    .expect("threads mutex poisoned")
+                    .take()
+            })
+            .collect();
+        // Dropping the last strong reference releases every shard's
+        // submission sender; the batchers then drain and exit.
+        drop(shared);
+        for shard in threads {
+            shard.join();
+        }
+    }
+}
+
+/// How one route's workers come to be.
+enum RouteSource {
+    /// Built by the gateway: store-hydrated when a store is attached,
+    /// seeded-random otherwise. Reloadable.
+    Auto,
+    /// Built by a caller-supplied factory. Reloadable.
+    Factory(WorkerFactory),
+    /// Pre-built assets handed over as-is (the compatibility shim's path).
+    /// Not reloadable.
+    Prebuilt(Vec<WorkerAssets>),
+}
+
+struct RouteDecl {
+    key: RouteKey,
+    config: RouteConfig,
+    source: RouteSource,
+}
+
+/// Declarative constructor for a [`DefenseGateway`]: routes (explicit, or
+/// everything servable in a [`ModelStore`]), per-route worker counts and
+/// queue depths, the default route, cache capacity and the weight seed.
+pub struct GatewayBuilder {
+    routes: Vec<RouteDecl>,
+    default_route: Option<RouteKey>,
+    default_config: RouteConfig,
+    cache_capacity: usize,
+    seed: u64,
+    store: Option<ModelStore>,
+}
+
+impl Default for GatewayBuilder {
+    fn default() -> Self {
+        GatewayBuilder::new()
+    }
+}
+
+impl GatewayBuilder {
+    /// An empty builder: no routes, paper-default route config, a 256-entry
+    /// cache, seed 0, no store.
+    pub fn new() -> Self {
+        GatewayBuilder {
+            routes: Vec::new(),
+            default_route: None,
+            default_config: RouteConfig::default(),
+            cache_capacity: 256,
+            seed: 0,
+            store: None,
+        }
+    }
+
+    /// Shared LRU capacity in defended images across all routes; 0 disables
+    /// caching.
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Seed for deterministic worker construction (and the fallback weights
+    /// of store-less learned routes).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The [`RouteConfig`] used by routes declared without an explicit one.
+    pub fn default_route_config(mut self, config: RouteConfig) -> Self {
+        self.default_config = config;
+        self
+    }
+
+    /// Attach a trained-weight store: auto routes hydrate from it (one
+    /// validated read per `(model, scale)`, memoized by a shared
+    /// [`ModelRegistry`]), [`GatewayBuilder::routes_from_store`] enumerates
+    /// it, and hot reload re-resolves artifacts in it.
+    pub fn with_store(mut self, store: ModelStore) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// Open and attach the store rooted at `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Pipeline`] when the store root cannot be created.
+    pub fn open_store(self, path: impl AsRef<Path>) -> Result<Self, ServeError> {
+        let store = ModelStore::open(path.as_ref().to_path_buf())
+            .map_err(|e| ServeError::Pipeline(e.to_string()))?;
+        Ok(self.with_store(store))
+    }
+
+    /// Declare a route with the default [`RouteConfig`].
+    pub fn route(self, key: RouteKey) -> Self {
+        let config = self.default_config.clone();
+        self.route_with(key, config)
+    }
+
+    /// Declare a route with an explicit per-route configuration.
+    pub fn route_with(mut self, key: RouteKey, config: RouteConfig) -> Self {
+        self.routes.push(RouteDecl {
+            key,
+            config,
+            source: RouteSource::Auto,
+        });
+        self
+    }
+
+    /// Declare a route whose workers come from `factory(worker_index)` —
+    /// the escape hatch for custom pipelines (wrapped upscalers, classifier
+    /// stages). The factory is retained, so the route stays reloadable.
+    pub fn route_with_factory(
+        mut self,
+        key: RouteKey,
+        config: RouteConfig,
+        factory: impl FnMut(usize) -> sesr_tensor::Result<WorkerAssets> + Send + 'static,
+    ) -> Self {
+        self.routes.push(RouteDecl {
+            key,
+            config,
+            source: RouteSource::Factory(Box::new(factory)),
+        });
+        self
+    }
+
+    /// Declare a route from pre-built worker assets (one per worker). Used
+    /// by the [`DefenseServer`](crate::server::DefenseServer) shim, whose
+    /// legacy factory closures are neither `Send` nor `'static`; such a
+    /// route cannot be hot-reloaded.
+    pub fn route_with_assets(
+        mut self,
+        key: RouteKey,
+        config: RouteConfig,
+        assets: Vec<WorkerAssets>,
+    ) -> Self {
+        self.routes.push(RouteDecl {
+            key,
+            config,
+            source: RouteSource::Prebuilt(assets),
+        });
+        self
+    }
+
+    /// Declare one route (default config, paper preprocessing, ×2) for every
+    /// servable SR model in the attached store: every stored model id that
+    /// parses as an [`SrModelKind`] and has at least one ×2 artifact.
+    /// Classifier artifacts and already-declared routes are skipped.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidRequest`] when no store is attached,
+    /// [`ServeError::Pipeline`] on store-scan failure.
+    pub fn routes_from_store(mut self) -> Result<Self, ServeError> {
+        let store = self.store.as_ref().ok_or_else(|| {
+            ServeError::InvalidRequest(
+                "routes_from_store requires a store (GatewayBuilder::with_store)".to_string(),
+            )
+        })?;
+        let mut discovered = Vec::new();
+        for model_id in store
+            .list_model_ids()
+            .map_err(|e| ServeError::Pipeline(e.to_string()))?
+        {
+            let Some(model) = SrModelKind::parse(&model_id) else {
+                continue; // not an SR artifact (e.g. a stored classifier)
+            };
+            let versions = store
+                .list_versions(&model_id, 2)
+                .map_err(|e| ServeError::Pipeline(e.to_string()))?;
+            if !versions.is_empty() {
+                discovered.push(RouteKey::paper(model, 2));
+            }
+        }
+        for key in discovered {
+            if !self.routes.iter().any(|decl| decl.key == key) {
+                self = self.route(key);
+            }
+        }
+        Ok(self)
+    }
+
+    /// The route used by requests that name none. Defaults to the first
+    /// declared route.
+    pub fn default_route(mut self, key: RouteKey) -> Self {
+        self.default_route = Some(key);
+        self
+    }
+
+    /// Build every shard and start the gateway.
+    ///
+    /// Worker factories run on the calling thread, so a failure (corrupt
+    /// artifact, unsupported scale) aborts startup with a typed error before
+    /// any traffic is accepted.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidRequest`] for an empty/duplicate route set, an
+    /// unknown default route or an invalid [`RouteConfig`];
+    /// [`ServeError::Pipeline`] when building a route's workers fails.
+    pub fn build(self) -> Result<DefenseGateway, ServeError> {
+        let GatewayBuilder {
+            routes,
+            default_route,
+            default_config: _,
+            cache_capacity,
+            seed,
+            store,
+        } = self;
+        if routes.is_empty() {
+            return Err(ServeError::InvalidRequest(
+                "a gateway needs at least one route".to_string(),
+            ));
+        }
+        let order: Vec<RouteKey> = routes.iter().map(|decl| decl.key).collect();
+        for (i, key) in order.iter().enumerate() {
+            if order[..i].contains(key) {
+                return Err(ServeError::InvalidRequest(format!(
+                    "route {key} is declared twice"
+                )));
+            }
+        }
+        let default_route = default_route.unwrap_or(order[0]);
+        if !order.contains(&default_route) {
+            return Err(ServeError::UnknownRoute(default_route.label()));
+        }
+
+        let registry = store.map(|store| Arc::new(ModelRegistry::new(store)));
+        let cache: SharedCache = Arc::new(Mutex::new(LruCache::new(cache_capacity)));
+        let global_stats = Arc::new(StatsRecorder::new());
+
+        let mut table = HashMap::with_capacity(routes.len());
+        for decl in routes {
+            decl.config.validate()?;
+            let RouteDecl {
+                key,
+                config,
+                source,
+            } = decl;
+            let (assets, factory): (Vec<WorkerAssets>, Option<WorkerFactory>) = match source {
+                RouteSource::Auto => {
+                    let registry = registry.clone();
+                    let mut factory: WorkerFactory =
+                        Box::new(move |_worker| build_auto_assets(registry.as_deref(), &key, seed));
+                    let assets = build_with(&mut factory, config.num_workers)?;
+                    (assets, Some(factory))
+                }
+                RouteSource::Factory(mut factory) => {
+                    let assets = build_with(&mut factory, config.num_workers)?;
+                    (assets, Some(factory))
+                }
+                RouteSource::Prebuilt(assets) => {
+                    if assets.len() != config.num_workers {
+                        return Err(ServeError::InvalidRequest(format!(
+                            "route {key} declares {} workers but {} pre-built assets",
+                            config.num_workers,
+                            assets.len()
+                        )));
+                    }
+                    (assets, None)
+                }
+            };
+            let route_stats = Arc::new(StatsRecorder::new());
+            let stats = StatsPair {
+                global: Arc::clone(&global_stats),
+                route: Arc::clone(&route_stats),
+            };
+            let (inner, threads) = spawn_shard(&config, assets, &cache, &stats);
+            table.insert(
+                key,
+                Arc::new(RouteEntry {
+                    config,
+                    factory: Mutex::new(factory),
+                    stats: route_stats,
+                    active: RwLock::new(inner),
+                    threads: Mutex::new(Some(threads)),
+                }),
+            );
+        }
+
+        Ok(DefenseGateway {
+            shared: Arc::new(GatewayShared {
+                routes: table,
+                order,
+                default_route,
+                cache,
+                cache_enabled: cache_capacity > 0,
+                stats: global_stats,
+                registry,
+            }),
+        })
+    }
+}
+
+fn build_with(
+    factory: &mut WorkerFactory,
+    num_workers: usize,
+) -> Result<Vec<WorkerAssets>, ServeError> {
+    let mut assets = Vec::with_capacity(num_workers);
+    for worker in 0..num_workers {
+        assets.push(factory(worker).map_err(|e| ServeError::Pipeline(e.to_string()))?);
+    }
+    Ok(assets)
+}
+
+/// Background thread that polls the gateway's store and hot-reloads any
+/// route whose newest artifact `(version, digest)` changed — the
+/// "save a retrained model, serving picks it up" loop with no restarts.
+///
+/// The watcher holds a [`GatewayClient`]; call [`ReloadWatcher::stop`]
+/// before [`DefenseGateway::shutdown`] or the shutdown join will wait on it.
+pub struct ReloadWatcher {
+    stop_tx: mpsc::Sender<()>,
+    thread: JoinHandle<()>,
+    reloads: Arc<AtomicU64>,
+    failures: Arc<AtomicU64>,
+}
+
+impl ReloadWatcher {
+    fn spawn(client: GatewayClient, interval: Duration) -> Result<ReloadWatcher, ServeError> {
+        let registry = client.shared.registry.clone().ok_or_else(|| {
+            ServeError::InvalidRequest(
+                "watch_store requires a gateway built with a store".to_string(),
+            )
+        })?;
+        // Only reloadable routes are worth polling: a pre-built-assets route
+        // has no factory, so reloading it can never succeed.
+        let routes: Vec<RouteKey> = client
+            .routes()
+            .into_iter()
+            .filter(|key| {
+                client.shared.routes[key]
+                    .factory
+                    .lock()
+                    .expect("factory mutex poisoned")
+                    .is_some()
+            })
+            .collect();
+        // Baseline before the first poll: the shards were just built from
+        // whatever is newest now, so only *changes* from here on reload.
+        let mut seen: HashMap<RouteKey, Option<(u32, u64)>> = routes
+            .iter()
+            .map(|key| (*key, current_artifact(&registry, key)))
+            .collect();
+        let reloads = Arc::new(AtomicU64::new(0));
+        let failures = Arc::new(AtomicU64::new(0));
+        let reload_counter = Arc::clone(&reloads);
+        let failure_counter = Arc::clone(&failures);
+        let (stop_tx, stop_rx) = mpsc::channel::<()>();
+        let thread = std::thread::spawn(move || loop {
+            match stop_rx.recv_timeout(interval) {
+                Ok(()) | Err(RecvTimeoutError::Disconnected) => return,
+                Err(RecvTimeoutError::Timeout) => {}
+            }
+            for key in &routes {
+                let newest = current_artifact(&registry, key);
+                let known = seen.get_mut(key).expect("route disappeared");
+                if newest.is_some() && newest != *known {
+                    // Mark the version seen only once it is actually being
+                    // served; a failed reload (e.g. a corrupt artifact or
+                    // transient I/O) is counted and retried on every poll
+                    // until it succeeds.
+                    match client.reload(key) {
+                        Ok(()) => {
+                            reload_counter.fetch_add(1, Ordering::Relaxed);
+                            *known = newest;
+                        }
+                        Err(_) => {
+                            failure_counter.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            }
+        });
+        Ok(ReloadWatcher {
+            stop_tx,
+            thread,
+            reloads,
+            failures,
+        })
+    }
+
+    /// Number of successful reloads the watcher has triggered.
+    pub fn reload_count(&self) -> u64 {
+        self.reloads.load(Ordering::Relaxed)
+    }
+
+    /// Number of reload attempts that failed (each is retried on the next
+    /// poll). A steadily climbing count means a route's newest artifact
+    /// cannot be served — e.g. it is corrupt — while the old weights keep
+    /// serving.
+    pub fn failure_count(&self) -> u64 {
+        self.failures.load(Ordering::Relaxed)
+    }
+
+    /// Stop polling and join the watcher thread (releases its client).
+    pub fn stop(self) {
+        let ReloadWatcher {
+            stop_tx, thread, ..
+        } = self;
+        let _ = stop_tx.send(());
+        let _ = thread.join();
+    }
+}
+
+fn current_artifact(registry: &ModelRegistry, key: &RouteKey) -> Option<(u32, u64)> {
+    registry
+        .store()
+        .resolve(key.model.name(), key.scale)
+        .ok()
+        .map(|artifact| (artifact.version, artifact.digest))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sesr_defense::pipeline::PreprocessConfig;
+    use sesr_models::Upscaler;
+    use sesr_store::Checkpoint;
+    use sesr_tensor::{init, Shape, Tensor};
+    use std::sync::atomic::AtomicU64;
+
+    static TEST_DIR_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!(
+            "sesr_gateway_{tag}_{}_{}",
+            std::process::id(),
+            TEST_DIR_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    fn test_image(seed: u64, size: usize) -> Tensor {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        init::uniform(Shape::new(&[1, 3, size, size]), 0.0, 1.0, &mut rng)
+    }
+
+    fn nearest_route() -> RouteKey {
+        RouteKey::new(SrModelKind::NearestNeighbor, 2, PreprocessConfig::none())
+    }
+
+    fn bicubic_route() -> RouteKey {
+        RouteKey::new(SrModelKind::Bicubic, 2, PreprocessConfig::none())
+    }
+
+    #[test]
+    fn builder_rejects_empty_duplicate_and_unknown_default() {
+        assert!(matches!(
+            GatewayBuilder::new().build(),
+            Err(ServeError::InvalidRequest(_))
+        ));
+        assert!(matches!(
+            GatewayBuilder::new()
+                .route(nearest_route())
+                .route(nearest_route())
+                .build(),
+            Err(ServeError::InvalidRequest(_))
+        ));
+        assert!(matches!(
+            GatewayBuilder::new()
+                .route(nearest_route())
+                .default_route(bicubic_route())
+                .build(),
+            Err(ServeError::UnknownRoute(_))
+        ));
+    }
+
+    #[test]
+    fn requests_route_explicitly_or_by_default() {
+        let gateway = GatewayBuilder::new()
+            .route(nearest_route())
+            .route(bicubic_route())
+            .build()
+            .unwrap();
+        let client = gateway.client();
+        assert_eq!(client.default_route(), nearest_route());
+        assert_eq!(client.routes(), vec![nearest_route(), bicubic_route()]);
+
+        let image = test_image(1, 8);
+        let defaulted = client
+            .defend_blocking(DefenseRequest::new(image.clone()))
+            .unwrap();
+        let nearest = client
+            .defend_blocking(DefenseRequest::new(image.clone()).on(nearest_route()))
+            .unwrap();
+        let bicubic = client
+            .defend_blocking(DefenseRequest::new(image).on(bicubic_route()))
+            .unwrap();
+        assert_eq!(
+            defaulted.defended, nearest.defended,
+            "no route means the default route"
+        );
+        assert_ne!(nearest.defended, bicubic.defended);
+
+        let stats = gateway.stats();
+        assert_eq!(stats.global.completed, 3);
+        assert_eq!(stats.route(&bicubic_route()).unwrap().completed, 1);
+        drop(client);
+        gateway.shutdown();
+    }
+
+    #[test]
+    fn unknown_routes_fail_fast_with_their_label() {
+        let gateway = GatewayBuilder::new()
+            .route(nearest_route())
+            .build()
+            .unwrap();
+        let client = gateway.client();
+        let missing = RouteKey::paper(SrModelKind::SesrXl, 2);
+        match client.submit(DefenseRequest::new(test_image(0, 8)).on(missing)) {
+            Err(ServeError::UnknownRoute(label)) => assert_eq!(label, missing.label()),
+            Err(other) => panic!("expected UnknownRoute, got {other}"),
+            Ok(_) => panic!("expected UnknownRoute, got a pending response"),
+        }
+        assert!(matches!(
+            client.route_stats(&missing),
+            Err(ServeError::UnknownRoute(_))
+        ));
+        assert!(matches!(
+            client.reload(&missing),
+            Err(ServeError::UnknownRoute(_))
+        ));
+        drop(client);
+        gateway.shutdown();
+    }
+
+    #[test]
+    fn skip_cache_bypasses_lookup_and_insert() {
+        let gateway = GatewayBuilder::new()
+            .route(nearest_route())
+            .build()
+            .unwrap();
+        let client = gateway.client();
+        let image = test_image(3, 8);
+        for _ in 0..2 {
+            let response = client
+                .defend_blocking(DefenseRequest::new(image.clone()).skip_cache())
+                .unwrap();
+            assert!(!response.cache_hit, "skip_cache must never hit");
+        }
+        let stats = client.stats().global;
+        assert_eq!(stats.computed_images, 2, "skip_cache must recompute");
+        assert_eq!(stats.cache_hits + stats.cache_misses, 0, "no lookups");
+        // And the bypassing requests inserted nothing: a normal request
+        // still misses.
+        assert!(
+            !client
+                .defend_blocking(DefenseRequest::new(image))
+                .unwrap()
+                .cache_hit
+        );
+        drop(client);
+        gateway.shutdown();
+    }
+
+    /// An upscaler that sleeps, to make queueing deterministic in tests.
+    struct SlowUpscaler {
+        delay: Duration,
+        inner: Box<dyn Upscaler>,
+    }
+
+    impl Upscaler for SlowUpscaler {
+        fn name(&self) -> &str {
+            "slow"
+        }
+        fn scale(&self) -> usize {
+            self.inner.scale()
+        }
+        fn upscale(&self, input: &Tensor) -> sesr_tensor::Result<Tensor> {
+            std::thread::sleep(self.delay);
+            self.inner.upscale(input)
+        }
+    }
+
+    fn slow_factory(delay: Duration) -> impl FnMut(usize) -> sesr_tensor::Result<WorkerAssets> {
+        move |_| {
+            Ok(WorkerAssets::new(DefensePipeline::new(
+                PreprocessConfig::none(),
+                Box::new(SlowUpscaler {
+                    delay,
+                    inner: SrModelKind::NearestNeighbor.build_interpolation(2).unwrap(),
+                }),
+            )))
+        }
+    }
+
+    #[test]
+    fn expired_deadlines_get_a_typed_answer_without_compute() {
+        let config = RouteConfig {
+            num_workers: 1,
+            max_batch: 1,
+            max_linger: Duration::ZERO,
+            queue_capacity: 8,
+        };
+        let gateway = GatewayBuilder::new()
+            .cache_capacity(0)
+            .route_with_factory(
+                nearest_route(),
+                config,
+                slow_factory(Duration::from_millis(30)),
+            )
+            .build()
+            .unwrap();
+        let client = gateway.client();
+        // First request occupies the worker for 30ms; the queued ones with a
+        // tiny deadline expire behind it.
+        let blocker = client
+            .submit(DefenseRequest::new(test_image(0, 8)))
+            .unwrap();
+        let doomed: Vec<_> = (1..4)
+            .map(|seed| {
+                client
+                    .submit(
+                        DefenseRequest::new(test_image(seed, 8))
+                            .with_deadline(Duration::from_millis(1)),
+                    )
+                    .unwrap()
+            })
+            .collect();
+        assert!(blocker.wait().is_ok());
+        for pending in doomed {
+            assert_eq!(pending.wait().unwrap_err(), ServeError::DeadlineExceeded);
+        }
+        let stats = client.stats().global;
+        assert_eq!(stats.expired, 3);
+        assert_eq!(stats.computed_images, 1, "expired jobs are never defended");
+        drop(client);
+        gateway.shutdown();
+    }
+
+    #[test]
+    fn routes_from_store_enumerates_servable_sr_models_only() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let dir = temp_dir("enumerate");
+        let store = ModelStore::open(&dir).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let network = SrModelKind::SesrM2.build_local_network(&mut rng).unwrap();
+        store
+            .save(&Checkpoint::from_layer("SESR-M2", 2, 0, network.as_ref()))
+            .unwrap();
+        // A classifier artifact in the same store must not become a route.
+        store
+            .save(&Checkpoint::from_layer(
+                "MobileNet-V2",
+                1,
+                0,
+                network.as_ref(),
+            ))
+            .unwrap();
+
+        let gateway = GatewayBuilder::new()
+            .with_store(store)
+            .routes_from_store()
+            .unwrap()
+            .build()
+            .unwrap();
+        assert_eq!(
+            gateway.routes(),
+            vec![RouteKey::paper(SrModelKind::SesrM2, 2)]
+        );
+        gateway.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn routes_from_store_requires_a_store() {
+        assert!(matches!(
+            GatewayBuilder::new().routes_from_store(),
+            Err(ServeError::InvalidRequest(_))
+        ));
+    }
+
+    #[test]
+    fn prebuilt_routes_cannot_reload_but_factory_routes_can() {
+        let assets = vec![
+            WorkerAssets::new(DefensePipeline::new(
+                PreprocessConfig::none(),
+                SrModelKind::NearestNeighbor
+                    .build_seeded_upscaler(2, 0)
+                    .unwrap(),
+            )),
+            WorkerAssets::new(DefensePipeline::new(
+                PreprocessConfig::none(),
+                SrModelKind::NearestNeighbor
+                    .build_seeded_upscaler(2, 0)
+                    .unwrap(),
+            )),
+        ];
+        let gateway = GatewayBuilder::new()
+            .route_with_assets(
+                nearest_route(),
+                RouteConfig {
+                    num_workers: 2,
+                    ..RouteConfig::default()
+                },
+                assets,
+            )
+            .route(bicubic_route())
+            .build()
+            .unwrap();
+        assert!(matches!(
+            gateway.reload(&nearest_route()),
+            Err(ServeError::InvalidRequest(_))
+        ));
+        gateway.reload(&bicubic_route()).unwrap();
+        // The reloaded route still serves correctly.
+        let client = gateway.client();
+        let image = test_image(2, 8);
+        let served = client
+            .defend_blocking(DefenseRequest::new(image.clone()).on(bicubic_route()))
+            .unwrap();
+        let direct = DefensePipeline::new(
+            PreprocessConfig::none(),
+            SrModelKind::Bicubic.build_interpolation(2).unwrap(),
+        )
+        .defend(&image)
+        .unwrap();
+        assert_eq!(served.defended, direct);
+        drop(client);
+        gateway.shutdown();
+    }
+
+    #[test]
+    fn watcher_counts_failed_reloads_and_keeps_serving_old_weights() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let dir = temp_dir("watch_fail");
+        let store = ModelStore::open(&dir).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let network = SrModelKind::SesrM2.build_local_network(&mut rng).unwrap();
+        store
+            .save(&Checkpoint::from_layer("SESR-M2", 2, 0, network.as_ref()))
+            .unwrap();
+
+        let route = RouteKey::new(SrModelKind::SesrM2, 2, PreprocessConfig::none());
+        let gateway = GatewayBuilder::new()
+            .with_store(store)
+            .route(route)
+            .build()
+            .unwrap();
+        let client = gateway.client();
+        let image = test_image(1, 8);
+        let before = client
+            .defend_blocking(DefenseRequest::new(image.clone()).skip_cache())
+            .unwrap();
+
+        let watcher = client.watch_store(Duration::from_millis(5)).unwrap();
+        // A newer artifact version appears, but its bytes are garbage: every
+        // reload attempt must fail (counted), be retried, and leave the old
+        // weights serving.
+        std::fs::write(
+            dir.join("sesr-m2")
+                .join("x2")
+                .join("v0002-00000000000000ff.sesrckpt"),
+            b"not a checkpoint",
+        )
+        .unwrap();
+        let mut waited = Duration::ZERO;
+        while watcher.failure_count() < 2 && waited < Duration::from_secs(10) {
+            std::thread::sleep(Duration::from_millis(5));
+            waited += Duration::from_millis(5);
+        }
+        assert!(
+            watcher.failure_count() >= 2,
+            "an unservable newest artifact must be counted and retried"
+        );
+        assert_eq!(watcher.reload_count(), 0);
+        let after = client
+            .defend_blocking(DefenseRequest::new(image).skip_cache())
+            .unwrap();
+        assert_eq!(
+            before.defended, after.defended,
+            "the route must keep serving the last good weights"
+        );
+        watcher.stop();
+        drop(client);
+        gateway.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn watch_store_requires_a_store() {
+        let gateway = GatewayBuilder::new()
+            .route(nearest_route())
+            .build()
+            .unwrap();
+        let client = gateway.client();
+        assert!(matches!(
+            client.watch_store(Duration::from_millis(10)),
+            Err(ServeError::InvalidRequest(_))
+        ));
+        drop(client);
+        gateway.shutdown();
+    }
+}

@@ -1,83 +1,87 @@
-//! **sesr-serve** — a batched, multi-worker serving subsystem for the SESR
-//! adversarial defense.
+//! **sesr-serve** — a multi-model, batched, multi-worker serving subsystem
+//! for the SESR adversarial defense.
 //!
 //! The paper's pitch is that the JPEG → wavelet → ×2-SR defense is cheap
-//! enough to sit *in front of every classifier invocation* on edge hardware.
-//! This crate turns the single-caller
-//! [`DefensePipeline`](sesr_defense::pipeline::DefensePipeline) into a
-//! concurrent inference engine able to absorb heavy request traffic:
+//! enough to sit *in front of every classifier invocation* on edge hardware —
+//! and that many tiny SESR variants (XXS→L, ×2/×4) can each play that role.
+//! This crate serves the whole zoo at once: a [`DefenseGateway`] hosts one
+//! isolated worker shard per route, where a route is a
+//! [`RouteKey`]` = (SR model, scale, preprocess)` picked **per request**
+//! rather than per deployment.
 //!
 //! ```text
-//!                 ┌──────────────────────── DefenseServer ───────────────────────┐
-//!                 │                                                              │
-//! submit(image) ──┼─► bounded submission queue ──► dynamic batcher ─► work queue │
-//! (try_send;      │   (capacity queue_capacity;    (coalesce ≤ max_batch,  │     │
-//!  Overloaded     │    rejects when full)           linger ≤ max_linger,   │     │
-//!  when full)     │                                 group by shape)        ▼     │
-//!       │         │   ┌───────────┐                                ┌─ worker 0 ─┐│
-//!       ├────────►│   │ LRU cache │◄── insert defended outputs ────┤  worker 1  ││
-//!       │  hit?   │   │ (content  │                                │   ...      ││
-//!       │         │   │  hash)    │    each worker owns its own    │ worker N-1 ││
-//!       │         │   └───────────┘    DefensePipeline             └────┬───────┘│
-//!       ▼         │                    (+ optional classifier)          │        │
-//! PendingResponse◄┼───────────── per-request response channels ◄── split batch   │
-//!                 │                                                              │
-//!                 │          StatsRecorder: p50/p95/p99 latency, images/sec      │
-//!                 └──────────────────────────────────────────────────────────────┘
+//!                      ┌───────────────────── DefenseGateway ─────────────────────┐
+//!                      │                                                          │
+//! DefenseRequest ──────┼─► route table ─┬─► shard sesr-m2:x2:jpeg75+wavelet2      │
+//! { image, RouteKey,   │   (UnknownRoute│     queue → batcher → worker pool       │
+//!   skip_cache,        │    on miss)    ├─► shard fsrcnn:x2:jpeg75+wavelet2       │
+//!   deadline }         │                │     queue → batcher → worker pool       │
+//!       │              │                └─► shard bicubic:x2:raw   ...            │
+//!       │   hit?       │   ┌──────────────────────────┐      │                    │
+//!       ├─────────────►│   │ shared LRU cache, keyed  │◄─────┤ insert defended    │
+//!       ▼              │   │ by (RouteKey, hash)      │      ▼                    │
+//! PendingResponse ◄────┼── per-request response channels ◄── split batch          │
+//!                      │                                                          │
+//!                      │   StatsRecorder per route + gateway-wide (GatewayStats)  │
+//!                      └──────────────────────────────────────────────────────────┘
 //! ```
 //!
 //! Design points:
 //!
-//! * **Bounded ingress with explicit backpressure.** [`DefenseClient::submit`]
-//!   never blocks: when the submission queue is full it returns
-//!   [`ServeError::Overloaded`] so callers can shed load (the behaviour a
-//!   front-of-classifier defense needs under attack-volume traffic).
-//! * **Dynamic batching.** Requests are coalesced until either `max_batch`
-//!   images are waiting or `max_linger` has elapsed since the first one, then
-//!   merged with [`Tensor::concat_batch`](sesr_tensor::Tensor::concat_batch)
-//!   into one `[N, 3, H, W]` defend call. Mixed image sizes are grouped by
-//!   shape, never mixed in one batch, and batched serving is bitwise
-//!   equivalent to sequential `defend` for the interpolation upscalers.
-//! * **Share-nothing workers.** Each worker thread owns its own
-//!   `DefensePipeline` (and optional classifier), built from a deterministic
-//!   factory such as
-//!   [`SrModelKind::build_seeded_upscaler`](sesr_models::SrModelKind::build_seeded_upscaler),
-//!   so there is no lock contention on the defend hot path.
-//! * **Content-addressed caching.** Defended outputs are cached in a
-//!   hash-keyed [`LruCache`]; resubmitting an identical image skips the
-//!   pipeline entirely.
-//! * **Built-in observability.** Every completion is timed; the
-//!   [`StatsRecorder`] reports p50/p95/p99 latency, sustained images/sec and
-//!   cache hit/miss counters.
-//! * **Trained-weight hydration.** [`DefenseServer::start_from_store`] builds
-//!   the whole pool from a `sesr-store` artifact directory: the newest
-//!   checkpoint for the model is read and validated once (memoized by a
-//!   [`ModelRegistry`](sesr_store::ModelRegistry)) and every worker receives
-//!   identical trained weights — the *deploy many* half of the paper's
-//!   train-once / deploy-many edge story.
+//! * **Shard-per-route isolation.** Every declared route owns a bounded
+//!   submission queue, a dynamic batcher and `num_workers` private
+//!   pipelines. A hot model fills *its own* queue and sheds *its own* load
+//!   ([`ServeError::Overloaded`]); other routes keep their full capacity.
+//! * **Typed routing.** Requests are [`DefenseRequest`]s: an image, an
+//!   optional [`RouteKey`] (default route otherwise) and per-request options
+//!   (`skip_cache`, a soft deadline answered with
+//!   [`ServeError::DeadlineExceeded`]). Unserved routes fail fast with
+//!   [`ServeError::UnknownRoute`].
+//! * **Zero-downtime hot reload.** [`GatewayClient::reload`] rebuilds one
+//!   route's workers from the newest stored artifact
+//!   ([`ModelRegistry::invalidate`](sesr_store::ModelRegistry::invalidate) +
+//!   rehydrate), swaps the fresh shard in, then drains and retires the old
+//!   one — every accepted job still gets its response. [`ReloadWatcher`]
+//!   automates the loop by polling the store for new artifact versions.
+//! * **Route-keyed caching.** Defended outputs are cached under
+//!   `(RouteKey, content-hash)`, so two routes serving different models can
+//!   never return each other's outputs; a reload purges only its own
+//!   route's entries.
+//! * **Per-route observability.** [`GatewayStats`] reports the global view
+//!   plus a per-route breakdown (jobs, p50/p95/p99, cache hit rate,
+//!   rejections).
+//! * **Dynamic batching** (per shard) with shape-homogeneous grouping, and
+//!   **share-nothing workers** as before.
+//!
+//! The legacy single-pipeline [`DefenseServer`] API is kept as a thin
+//! one-route compatibility shim over the gateway.
 //!
 //! # Quickstart
 //!
 //! ```
-//! use sesr_serve::{DefenseServer, ServeConfig, WorkerAssets};
-//! use sesr_defense::pipeline::{DefensePipeline, PreprocessConfig};
+//! use sesr_serve::{DefenseRequest, GatewayBuilder, RouteKey};
+//! use sesr_defense::pipeline::PreprocessConfig;
 //! use sesr_models::SrModelKind;
 //! use sesr_tensor::{Shape, Tensor};
 //!
-//! let server = DefenseServer::start(ServeConfig::default(), |_worker| {
-//!     let upscaler = SrModelKind::NearestNeighbor.build_seeded_upscaler(2, 0)?;
-//!     Ok(WorkerAssets::new(DefensePipeline::new(
-//!         PreprocessConfig::paper(),
-//!         upscaler,
-//!     )))
-//! })?;
-//! let client = server.client();
+//! let nearest = RouteKey::paper(SrModelKind::NearestNeighbor, 2);
+//! let bicubic = RouteKey::new(SrModelKind::Bicubic, 2, PreprocessConfig::none());
+//! let gateway = GatewayBuilder::new()
+//!     .route(nearest)
+//!     .route(bicubic)
+//!     .default_route(nearest)
+//!     .build()?;
+//! let client = gateway.client();
+//!
 //! let image = Tensor::full(Shape::new(&[1, 3, 16, 16]), 0.5);
-//! let response = client.defend_blocking(image)?;
+//! // Explicitly routed request:
+//! let response = client.defend_blocking(DefenseRequest::new(image.clone()).on(bicubic))?;
 //! assert_eq!(response.defended.shape().dims(), &[1, 3, 32, 32]);
-//! println!("{}", server.stats());
-//! drop(client); // client clones keep the submission queue open
-//! server.shutdown();
+//! // Default route:
+//! client.defend_blocking(DefenseRequest::new(image))?;
+//! println!("{}", gateway.stats());
+//! drop(client); // client clones keep the submission queues open
+//! gateway.shutdown();
 //! # Ok::<(), sesr_serve::ServeError>(())
 //! ```
 
@@ -85,12 +89,17 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod gateway;
+pub mod route;
 pub mod server;
+mod shard;
 pub mod stats;
 
 pub use cache::{content_hash, LruCache};
+pub use gateway::{DefenseGateway, GatewayBuilder, GatewayClient, ReloadWatcher, WorkerFactory};
+pub use route::{DefenseRequest, RouteConfig, RouteKey};
 pub use server::{
     DefenseClient, DefenseResponse, DefenseServer, PendingResponse, ServeConfig, ServeError,
     WorkerAssets,
 };
-pub use stats::{ServeStats, StatsRecorder};
+pub use stats::{GatewayStats, ServeStats, StatsRecorder};

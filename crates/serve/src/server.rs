@@ -1,35 +1,28 @@
-//! The serving engine: bounded submission queue → dynamic batcher → worker
-//! pool → per-request response channels.
+//! The single-pipeline serving façade, now a thin one-route compatibility
+//! shim over the multi-model [`DefenseGateway`](crate::gateway::DefenseGateway).
 //!
-//! Concurrency layout (all `std::thread` + `std::sync::mpsc`, no async
-//! runtime):
-//!
-//! * the **client** half is a cloneable handle holding the bounded submission
-//!   sender, the shared LRU cache and the stats recorder;
-//! * one **batcher** thread drains the submission queue, coalescing requests
-//!   into shape-homogeneous batches bounded by `max_batch` images and
-//!   `max_linger` wall-clock time;
-//! * `num_workers` **worker** threads pull batches from a shared bounded work
-//!   queue; each worker owns its own [`DefensePipeline`] and optional
-//!   classifier, so defends run with zero cross-worker locking.
-//!
-//! Backpressure is end-to-end: the work queue is bounded, so slow workers
-//! stall the batcher, the submission queue fills, and
-//! [`DefenseClient::submit`] starts returning [`ServeError::Overloaded`]
-//! instead of queueing unbounded work.
+//! [`DefenseServer::start`] keeps its original closure-factory signature —
+//! build `num_workers` private pipelines, serve one defense — but the engine
+//! behind it is a gateway with exactly one route (which is also the default
+//! route), so the queue → batcher → worker behaviour, backpressure and
+//! caching semantics are the gateway's. New code should use
+//! [`GatewayBuilder`](crate::gateway::GatewayBuilder) directly and declare
+//! its routes; this module also hosts the types both layers share
+//! ([`ServeError`], [`ServeConfig`], [`WorkerAssets`], [`DefenseResponse`],
+//! [`PendingResponse`]).
 
-use crate::cache::{content_hash, LruCache};
-use crate::stats::{ServeStats, StatsRecorder};
+use crate::gateway::{DefenseGateway, GatewayBuilder, GatewayClient};
+use crate::route::{DefenseRequest, RouteConfig, RouteKey};
+use crate::shard::JobResult;
+use crate::stats::ServeStats;
 use sesr_defense::pipeline::{DefensePipeline, PreprocessConfig};
 use sesr_models::SrModelKind;
 use sesr_nn::Layer;
-use sesr_store::{ModelRegistry, ModelStore};
+use sesr_store::ModelRegistry;
 use sesr_tensor::{Tensor, TensorError};
 use std::path::Path;
-use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError};
-use std::sync::{mpsc, Arc, Mutex};
-use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::sync::mpsc::Receiver;
+use std::time::Duration;
 
 /// Errors surfaced to serving clients.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -39,6 +32,12 @@ pub enum ServeError {
     Overloaded,
     /// The server has shut down (or a worker disappeared mid-request).
     Closed,
+    /// The request named a route the gateway does not serve (the payload is
+    /// the route's label).
+    UnknownRoute(String),
+    /// The request's per-request deadline passed while it was still queued;
+    /// it was answered without being defended.
+    DeadlineExceeded,
     /// The request was malformed (wrong rank or batch dimension).
     InvalidRequest(String),
     /// A pipeline stage failed while processing the request.
@@ -50,6 +49,10 @@ impl std::fmt::Display for ServeError {
         match self {
             ServeError::Overloaded => write!(f, "submission queue is full (overloaded)"),
             ServeError::Closed => write!(f, "defense server is shut down"),
+            ServeError::UnknownRoute(route) => write!(f, "no such route: {route}"),
+            ServeError::DeadlineExceeded => {
+                write!(f, "request deadline passed before a worker reached it")
+            }
             ServeError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
             ServeError::Pipeline(msg) => write!(f, "defense pipeline failed: {msg}"),
         }
@@ -64,7 +67,9 @@ impl From<TensorError> for ServeError {
     }
 }
 
-/// Tuning knobs of the serving engine.
+/// Tuning knobs of the single-route serving shim (see
+/// [`RouteConfig`](crate::route::RouteConfig) for the per-route gateway
+/// equivalent; `From<&ServeConfig>` maps between them).
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Worker threads, each owning an independent pipeline (default 4).
@@ -94,22 +99,11 @@ impl Default for ServeConfig {
     }
 }
 
-impl ServeConfig {
-    fn validate(&self) -> Result<(), ServeError> {
-        if self.num_workers == 0 || self.max_batch == 0 || self.queue_capacity == 0 {
-            return Err(ServeError::InvalidRequest(
-                "num_workers, max_batch and queue_capacity must all be positive".to_string(),
-            ));
-        }
-        Ok(())
-    }
-}
-
 /// Everything one worker owns: a defense pipeline and an optional classifier
 /// run on the defended output to produce labels.
 pub struct WorkerAssets {
-    pipeline: DefensePipeline,
-    classifier: Option<Box<dyn Layer>>,
+    pub(crate) pipeline: DefensePipeline,
+    pub(crate) classifier: Option<Box<dyn Layer>>,
 }
 
 impl WorkerAssets {
@@ -155,6 +149,20 @@ impl WorkerAssets {
             preprocess, upscaler,
         )))
     }
+
+    /// The route key matching this worker's pipeline: scale and
+    /// preprocessing read off the pipeline, the model recovered from the
+    /// upscaler name (falling back to the nearest-neighbor baseline for
+    /// custom upscalers the zoo cannot name).
+    pub(crate) fn route_key(&self) -> RouteKey {
+        let model = SrModelKind::parse(self.pipeline.upscaler_name())
+            .unwrap_or(SrModelKind::NearestNeighbor);
+        RouteKey::new(
+            model,
+            self.pipeline.scale(),
+            self.pipeline.preprocess_config(),
+        )
+    }
 }
 
 /// The answer to one request.
@@ -168,21 +176,6 @@ pub struct DefenseResponse {
     pub cache_hit: bool,
 }
 
-type JobResult = Result<DefenseResponse, ServeError>;
-
-struct Job {
-    image: Tensor,
-    enqueued: Instant,
-    responder: Sender<JobResult>,
-    cache_key: Option<u64>,
-}
-
-struct Batch {
-    jobs: Vec<Job>,
-}
-
-type SharedCache = Arc<Mutex<LruCache<(Tensor, Option<usize>)>>>;
-
 /// A response that may already be resolved (cache hit) or still in flight.
 pub struct PendingResponse {
     inner: PendingInner,
@@ -194,6 +187,18 @@ enum PendingInner {
 }
 
 impl PendingResponse {
+    pub(crate) fn ready(response: DefenseResponse) -> Self {
+        PendingResponse {
+            inner: PendingInner::Ready(Box::new(response)),
+        }
+    }
+
+    pub(crate) fn waiting(receiver: Receiver<JobResult>) -> Self {
+        PendingResponse {
+            inner: PendingInner::Waiting(receiver),
+        }
+    }
+
     /// Block until the response arrives.
     ///
     /// # Errors
@@ -208,14 +213,11 @@ impl PendingResponse {
     }
 }
 
-/// Cloneable submission handle to a running [`DefenseServer`].
+/// Cloneable submission handle to a running [`DefenseServer`]: a
+/// [`GatewayClient`] pinned to the server's single route.
 #[derive(Clone)]
 pub struct DefenseClient {
-    sender: SyncSender<Job>,
-    cache: SharedCache,
-    stats: Arc<StatsRecorder>,
-    cache_salt: Arc<str>,
-    cache_enabled: bool,
+    inner: GatewayClient,
 }
 
 impl DefenseClient {
@@ -230,61 +232,7 @@ impl DefenseClient {
     /// [`ServeError::InvalidRequest`] for non-`[1, C, H, W]` inputs,
     /// [`ServeError::Closed`] when the server is gone.
     pub fn submit(&self, image: Tensor) -> Result<PendingResponse, ServeError> {
-        let started = Instant::now();
-        let (n, _, _, _) = image
-            .shape()
-            .as_nchw()
-            .map_err(|e| ServeError::InvalidRequest(e.to_string()))?;
-        if n != 1 {
-            return Err(ServeError::InvalidRequest(format!(
-                "submit expects a single-image [1, C, H, W] batch, got batch size {n}"
-            )));
-        }
-
-        let cache_key = if self.cache_enabled {
-            let key = content_hash(&image, &self.cache_salt);
-            let mut cache = self.cache.lock().expect("cache mutex poisoned");
-            if let Some((defended, label)) = cache.get(key) {
-                let response = DefenseResponse {
-                    defended: defended.clone(),
-                    label: *label,
-                    cache_hit: true,
-                };
-                drop(cache);
-                self.stats.record_completion(started.elapsed(), true);
-                return Ok(PendingResponse {
-                    inner: PendingInner::Ready(Box::new(response)),
-                });
-            }
-            Some(key)
-        } else {
-            None
-        };
-
-        let (responder, receiver) = mpsc::channel();
-        let job = Job {
-            image,
-            enqueued: started,
-            responder,
-            cache_key,
-        };
-        match self.sender.try_send(job) {
-            Ok(()) => {
-                // Counted only once the request is actually on its way to the
-                // pipeline; a rejected submission is not a cache miss.
-                if cache_key.is_some() {
-                    self.stats.record_cache_miss();
-                }
-                Ok(PendingResponse {
-                    inner: PendingInner::Waiting(receiver),
-                })
-            }
-            Err(TrySendError::Full(_)) => {
-                self.stats.record_rejection();
-                Err(ServeError::Overloaded)
-            }
-            Err(TrySendError::Disconnected(_)) => Err(ServeError::Closed),
-        }
+        self.inner.submit(DefenseRequest::new(image))
     }
 
     /// Submit and wait: the convenience path for synchronous callers.
@@ -299,15 +247,15 @@ impl DefenseClient {
 
     /// Snapshot of the server's latency/throughput statistics.
     pub fn stats(&self) -> ServeStats {
-        self.stats.snapshot()
+        self.inner.stats().global
     }
 }
 
-/// The running serving engine; owns the batcher and worker threads.
+/// The single-defense serving engine: a [`DefenseGateway`] with exactly one
+/// route, kept for callers that deploy one model per process.
 pub struct DefenseServer {
+    gateway: DefenseGateway,
     client: DefenseClient,
-    batcher: JoinHandle<()>,
-    workers: Vec<JoinHandle<()>>,
 }
 
 impl DefenseServer {
@@ -317,10 +265,6 @@ impl DefenseServer {
     /// [`SrModelKind::build_seeded_upscaler`](sesr_models::SrModelKind::build_seeded_upscaler)
     /// with a fixed seed) when all workers must compute the same function.
     ///
-    /// The LRU cache key is salted with the first worker's pipeline identity
-    /// (upscaler name + enabled preprocessing stages), so servers with
-    /// different defenses never share cached outputs.
-    ///
     /// # Errors
     ///
     /// Returns an error if the configuration is invalid or the factory fails.
@@ -328,47 +272,27 @@ impl DefenseServer {
     where
         F: FnMut(usize) -> sesr_tensor::Result<WorkerAssets>,
     {
-        config.validate()?;
+        if config.num_workers == 0 {
+            return Err(ServeError::InvalidRequest(
+                "num_workers, max_batch and queue_capacity must all be positive".to_string(),
+            ));
+        }
+        // Legacy factories are neither `Send` nor `'static`, so the assets
+        // are built here and handed to the gateway pre-built; the resulting
+        // route is not hot-reloadable (use `GatewayBuilder` for that).
         let mut assets = Vec::with_capacity(config.num_workers);
         for worker in 0..config.num_workers {
             assets.push(factory(worker)?);
         }
-        let cache_salt: Arc<str> = Arc::from(format!("{:?}", assets[0].pipeline).as_str());
-
-        let stats = Arc::new(StatsRecorder::new());
-        let cache: SharedCache = Arc::new(Mutex::new(LruCache::new(config.cache_capacity)));
-        let (submit_tx, submit_rx) = mpsc::sync_channel::<Job>(config.queue_capacity);
-        let (work_tx, work_rx) = mpsc::sync_channel::<Batch>(config.num_workers * 2);
-        let work_rx = Arc::new(Mutex::new(work_rx));
-
-        let mut workers = Vec::with_capacity(config.num_workers);
-        for worker_assets in assets {
-            let work_rx = Arc::clone(&work_rx);
-            let cache = Arc::clone(&cache);
-            let stats = Arc::clone(&stats);
-            workers.push(std::thread::spawn(move || {
-                worker_loop(worker_assets, &work_rx, &cache, &stats)
-            }));
-        }
-
-        let batcher_stats = Arc::clone(&stats);
-        let max_batch = config.max_batch;
-        let max_linger = config.max_linger;
-        let batcher = std::thread::spawn(move || {
-            batcher_loop(&submit_rx, &work_tx, max_batch, max_linger, &batcher_stats)
-        });
-
-        Ok(DefenseServer {
-            client: DefenseClient {
-                sender: submit_tx,
-                cache,
-                stats,
-                cache_salt,
-                cache_enabled: config.cache_capacity > 0,
-            },
-            batcher,
-            workers,
-        })
+        let key = assets[0].route_key();
+        let gateway = GatewayBuilder::new()
+            .cache_capacity(config.cache_capacity)
+            .route_with_assets(key, RouteConfig::from(&config), assets)
+            .build()?;
+        let client = DefenseClient {
+            inner: gateway.client(),
+        };
+        Ok(DefenseServer { gateway, client })
     }
 
     /// Start the engine with every worker hydrated from a trained-weight
@@ -395,12 +319,19 @@ impl DefenseServer {
         preprocess: PreprocessConfig,
         seed: u64,
     ) -> Result<DefenseServer, ServeError> {
-        let store = ModelStore::open(store_path.as_ref().to_path_buf())
-            .map_err(|e| ServeError::Pipeline(e.to_string()))?;
-        let registry = ModelRegistry::new(store);
-        DefenseServer::start(config, |_worker| {
-            WorkerAssets::from_store(&registry, kind, scale, preprocess, seed)
-        })
+        let gateway = GatewayBuilder::new()
+            .cache_capacity(config.cache_capacity)
+            .seed(seed)
+            .open_store(store_path)?
+            .route_with(
+                RouteKey::new(kind, scale, preprocess),
+                RouteConfig::from(&config),
+            )
+            .build()?;
+        let client = DefenseClient {
+            inner: gateway.client(),
+        };
+        Ok(DefenseServer { gateway, client })
     }
 
     /// A cloneable submission handle.
@@ -410,7 +341,7 @@ impl DefenseServer {
 
     /// Snapshot of the latency/throughput statistics.
     pub fn stats(&self) -> ServeStats {
-        self.client.stats.snapshot()
+        self.gateway.stats().global
     }
 
     /// Stop the engine and join all threads.
@@ -422,154 +353,10 @@ impl DefenseServer {
     /// calling `shutdown`, otherwise the join blocks until the last clone
     /// disappears.
     pub fn shutdown(self) {
-        let DefenseServer {
-            client,
-            batcher,
-            workers,
-        } = self;
+        let DefenseServer { gateway, client } = self;
         drop(client);
-        let _ = batcher.join();
-        for worker in workers {
-            let _ = worker.join();
-        }
+        gateway.shutdown();
     }
-}
-
-fn batcher_loop(
-    submit_rx: &Receiver<Job>,
-    work_tx: &SyncSender<Batch>,
-    max_batch: usize,
-    max_linger: Duration,
-    stats: &StatsRecorder,
-) {
-    loop {
-        let first = match submit_rx.recv() {
-            Ok(job) => job,
-            Err(_) => return, // every client dropped; drain complete
-        };
-        let mut jobs = vec![first];
-        let deadline = Instant::now() + max_linger;
-        while jobs.len() < max_batch {
-            let now = Instant::now();
-            if now >= deadline {
-                break;
-            }
-            match submit_rx.recv_timeout(deadline - now) {
-                Ok(job) => jobs.push(job),
-                Err(RecvTimeoutError::Timeout) => break,
-                Err(RecvTimeoutError::Disconnected) => break,
-            }
-        }
-
-        // Group by input shape: a batch must be shape-homogeneous to concat.
-        let mut groups: Vec<(Vec<usize>, Vec<Job>)> = Vec::new();
-        for job in jobs {
-            let dims = job.image.shape().dims().to_vec();
-            match groups.iter_mut().find(|(d, _)| *d == dims) {
-                Some((_, group)) => group.push(job),
-                None => groups.push((dims, vec![job])),
-            }
-        }
-        for (_, group) in groups {
-            stats.record_batch(group.len());
-            if let Err(mpsc::SendError(batch)) = work_tx.send(Batch { jobs: group }) {
-                // Workers are gone; fail the whole batch.
-                for job in batch.jobs {
-                    let _ = job.responder.send(Err(ServeError::Closed));
-                }
-                return;
-            }
-        }
-    }
-}
-
-fn worker_loop(
-    mut assets: WorkerAssets,
-    work_rx: &Arc<Mutex<Receiver<Batch>>>,
-    cache: &SharedCache,
-    stats: &StatsRecorder,
-) {
-    loop {
-        // Hold the lock only for the dequeue, never while defending.
-        let batch = {
-            let receiver = work_rx.lock().expect("work queue mutex poisoned");
-            receiver.recv()
-        };
-        let batch = match batch {
-            Ok(batch) => batch,
-            Err(_) => return, // batcher gone and queue drained
-        };
-        process_batch(&mut assets, batch, cache, stats);
-    }
-}
-
-fn process_batch(
-    assets: &mut WorkerAssets,
-    batch: Batch,
-    cache: &SharedCache,
-    stats: &StatsRecorder,
-) {
-    let inputs: Vec<&Tensor> = batch.jobs.iter().map(|job| &job.image).collect();
-    let defended = Tensor::concat_batch(&inputs).and_then(|merged| assets.pipeline.defend(&merged));
-    let outcome = defended.and_then(|defended| {
-        let labels = match assets.classifier.as_mut() {
-            Some(classifier) => {
-                let logits = classifier.forward(&defended, false)?;
-                Some(row_argmax(&logits)?)
-            }
-            None => None,
-        };
-        let parts = defended.split_batch(1)?;
-        Ok((parts, labels))
-    });
-
-    match outcome {
-        Ok((parts, labels)) => {
-            stats.record_computed(parts.len());
-            for (index, (job, part)) in batch.jobs.into_iter().zip(parts).enumerate() {
-                let label = labels.as_ref().map(|l| l[index]);
-                if let Some(key) = job.cache_key {
-                    cache
-                        .lock()
-                        .expect("cache mutex poisoned")
-                        .insert(key, (part.clone(), label));
-                }
-                stats.record_completion(job.enqueued.elapsed(), false);
-                let _ = job.responder.send(Ok(DefenseResponse {
-                    defended: part,
-                    label,
-                    cache_hit: false,
-                }));
-            }
-        }
-        Err(err) => {
-            let message = err.to_string();
-            for job in batch.jobs {
-                stats.record_error();
-                let _ = job
-                    .responder
-                    .send(Err(ServeError::Pipeline(message.clone())));
-            }
-        }
-    }
-}
-
-/// Per-row argmax of a `[N, K]` logits tensor.
-fn row_argmax(logits: &Tensor) -> sesr_tensor::Result<Vec<usize>> {
-    let (rows, cols) = logits.shape().as_matrix()?;
-    let data = logits.data();
-    let mut labels = Vec::with_capacity(rows);
-    for row in 0..rows {
-        let slice = &data[row * cols..(row + 1) * cols];
-        let mut best = 0usize;
-        for (i, v) in slice.iter().enumerate() {
-            if *v > slice[best] {
-                best = i;
-            }
-        }
-        labels.push(best);
-    }
-    Ok(labels)
 }
 
 #[cfg(test)]
@@ -853,5 +640,38 @@ mod tests {
         client.defend_blocking(test_image(2, 8)).unwrap();
         drop(client);
         server.shutdown();
+    }
+
+    #[test]
+    fn zero_worker_config_is_rejected() {
+        let config = ServeConfig {
+            num_workers: 0,
+            ..ServeConfig::default()
+        };
+        assert!(matches!(
+            DefenseServer::start(config, |_| nearest_assets()),
+            Err(ServeError::InvalidRequest(_))
+        ));
+    }
+
+    #[test]
+    fn route_key_recovery_names_zoo_models_and_falls_back() {
+        let assets = nearest_assets().unwrap();
+        let key = assets.route_key();
+        assert_eq!(key.model, SrModelKind::NearestNeighbor);
+        assert_eq!(key.scale, 2);
+
+        let custom = WorkerAssets::new(DefensePipeline::new(
+            PreprocessConfig::none(),
+            Box::new(SlowUpscaler {
+                delay: Duration::ZERO,
+                inner: SrModelKind::Bicubic.build_interpolation(2).unwrap(),
+            }),
+        ));
+        assert_eq!(
+            custom.route_key().model,
+            SrModelKind::NearestNeighbor,
+            "unrecognised upscaler names fall back to the baseline key"
+        );
     }
 }

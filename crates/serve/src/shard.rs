@@ -1,0 +1,294 @@
+//! Per-route serving shard: one bounded submission queue, one dynamic
+//! batcher thread and a private worker pool.
+//!
+//! A [`DefenseGateway`](crate::gateway::DefenseGateway) owns one shard per
+//! [`RouteKey`](crate::route::RouteKey); the
+//! [`DefenseServer`](crate::server::DefenseServer) compatibility shim owns
+//! exactly one. Shards share nothing but the gateway-wide output cache and
+//! the global stats recorder, so a saturated route rejects its own traffic
+//! without slowing any other route. Retiring a shard (shutdown or hot
+//! reload) is drain-based: dropping every submission sender lets the batcher
+//! finish the queue, close the work channel and stop the workers — in-flight
+//! jobs always get their response.
+
+use crate::cache::LruCache;
+use crate::route::{RouteConfig, RouteKey};
+use crate::server::{DefenseResponse, ServeError, WorkerAssets};
+use crate::stats::StatsRecorder;
+use sesr_tensor::Tensor;
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, SyncSender};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+pub(crate) type JobResult = Result<DefenseResponse, ServeError>;
+
+/// Cache key: which route defended the image, and what the image was.
+pub(crate) type CacheKey = (RouteKey, u64);
+
+pub(crate) type SharedCache = Arc<Mutex<LruCache<CacheKey, (Tensor, Option<usize>)>>>;
+
+pub(crate) struct Job {
+    pub image: Tensor,
+    pub enqueued: Instant,
+    pub deadline: Option<Instant>,
+    pub responder: Sender<JobResult>,
+    pub cache_key: Option<CacheKey>,
+}
+
+struct Batch {
+    jobs: Vec<Job>,
+}
+
+/// Events are mirrored to the gateway-wide recorder and the route's own, so
+/// both the global view and the per-route breakdown stay exact.
+#[derive(Clone)]
+pub(crate) struct StatsPair {
+    pub global: Arc<StatsRecorder>,
+    pub route: Arc<StatsRecorder>,
+}
+
+impl StatsPair {
+    pub fn record_completion(&self, latency: Duration, cache_hit: bool) {
+        self.global.record_completion(latency, cache_hit);
+        self.route.record_completion(latency, cache_hit);
+    }
+
+    pub fn record_computed(&self, images: usize) {
+        self.global.record_computed(images);
+        self.route.record_computed(images);
+    }
+
+    pub fn record_cache_miss(&self) {
+        self.global.record_cache_miss();
+        self.route.record_cache_miss();
+    }
+
+    pub fn record_rejection(&self) {
+        self.global.record_rejection();
+        self.route.record_rejection();
+    }
+
+    pub fn record_error(&self) {
+        self.global.record_error();
+        self.route.record_error();
+    }
+
+    pub fn record_expired(&self) {
+        self.global.record_expired();
+        self.route.record_expired();
+    }
+
+    pub fn record_batch(&self, size: usize) {
+        self.global.record_batch(size);
+        self.route.record_batch(size);
+    }
+}
+
+/// The live half of a shard: what a submit needs. Held behind an
+/// `Arc` that reloads swap out; the submission channel closes when the last
+/// clone drops, which is what lets the old shard drain instead of dropping
+/// in-flight jobs.
+pub(crate) struct ShardInner {
+    pub sender: SyncSender<Job>,
+}
+
+/// The join half of a shard, retired by `ShardThreads::join` after the
+/// matching [`ShardInner`] is unreachable.
+pub(crate) struct ShardThreads {
+    batcher: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ShardThreads {
+    /// Block until the shard has drained its queue and every thread exited.
+    pub fn join(self) {
+        let _ = self.batcher.join();
+        for worker in self.workers {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Spawn a shard: `assets` (one per worker) are consumed by the worker
+/// threads; the caller keeps the returned `ShardInner` for submissions and
+/// `ShardThreads` for retirement.
+pub(crate) fn spawn_shard(
+    config: &RouteConfig,
+    assets: Vec<WorkerAssets>,
+    cache: &SharedCache,
+    stats: &StatsPair,
+) -> (Arc<ShardInner>, ShardThreads) {
+    let (submit_tx, submit_rx) = mpsc::sync_channel::<Job>(config.queue_capacity);
+    let (work_tx, work_rx) = mpsc::sync_channel::<Batch>(assets.len() * 2);
+    let work_rx = Arc::new(Mutex::new(work_rx));
+
+    let mut workers = Vec::with_capacity(assets.len());
+    for worker_assets in assets {
+        let work_rx = Arc::clone(&work_rx);
+        let cache = Arc::clone(cache);
+        let stats = stats.clone();
+        workers.push(std::thread::spawn(move || {
+            worker_loop(worker_assets, &work_rx, &cache, &stats)
+        }));
+    }
+
+    let batcher_stats = stats.clone();
+    let max_batch = config.max_batch;
+    let max_linger = config.max_linger;
+    let batcher = std::thread::spawn(move || {
+        batcher_loop(&submit_rx, &work_tx, max_batch, max_linger, &batcher_stats)
+    });
+
+    (
+        Arc::new(ShardInner { sender: submit_tx }),
+        ShardThreads { batcher, workers },
+    )
+}
+
+fn batcher_loop(
+    submit_rx: &Receiver<Job>,
+    work_tx: &SyncSender<Batch>,
+    max_batch: usize,
+    max_linger: Duration,
+    stats: &StatsPair,
+) {
+    loop {
+        let first = match submit_rx.recv() {
+            Ok(job) => job,
+            Err(_) => return, // every submission sender dropped; drain complete
+        };
+        let mut jobs = vec![first];
+        let deadline = Instant::now() + max_linger;
+        while jobs.len() < max_batch {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match submit_rx.recv_timeout(deadline - now) {
+                Ok(job) => jobs.push(job),
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+
+        // Group by input shape: a batch must be shape-homogeneous to concat.
+        let mut groups: Vec<(Vec<usize>, Vec<Job>)> = Vec::new();
+        for job in jobs {
+            let dims = job.image.shape().dims().to_vec();
+            match groups.iter_mut().find(|(d, _)| *d == dims) {
+                Some((_, group)) => group.push(job),
+                None => groups.push((dims, vec![job])),
+            }
+        }
+        for (_, group) in groups {
+            stats.record_batch(group.len());
+            if let Err(mpsc::SendError(batch)) = work_tx.send(Batch { jobs: group }) {
+                // Workers are gone; fail the whole batch.
+                for job in batch.jobs {
+                    let _ = job.responder.send(Err(ServeError::Closed));
+                }
+                return;
+            }
+        }
+    }
+}
+
+fn worker_loop(
+    mut assets: WorkerAssets,
+    work_rx: &Arc<Mutex<Receiver<Batch>>>,
+    cache: &SharedCache,
+    stats: &StatsPair,
+) {
+    loop {
+        // Hold the lock only for the dequeue, never while defending.
+        let batch = {
+            let receiver = work_rx.lock().expect("work queue mutex poisoned");
+            receiver.recv()
+        };
+        let batch = match batch {
+            Ok(batch) => batch,
+            Err(_) => return, // batcher gone and queue drained
+        };
+        process_batch(&mut assets, batch, cache, stats);
+    }
+}
+
+fn process_batch(assets: &mut WorkerAssets, batch: Batch, cache: &SharedCache, stats: &StatsPair) {
+    // Answer expired jobs before paying for the defense: a deadline request
+    // prefers a fast typed error over a late response.
+    let now = Instant::now();
+    let (live, expired): (Vec<Job>, Vec<Job>) = batch
+        .jobs
+        .into_iter()
+        .partition(|job| job.deadline.is_none_or(|deadline| now < deadline));
+    for job in expired {
+        stats.record_expired();
+        let _ = job.responder.send(Err(ServeError::DeadlineExceeded));
+    }
+    if live.is_empty() {
+        return;
+    }
+
+    let inputs: Vec<&Tensor> = live.iter().map(|job| &job.image).collect();
+    let defended = Tensor::concat_batch(&inputs).and_then(|merged| assets.pipeline.defend(&merged));
+    let outcome = defended.and_then(|defended| {
+        let labels = match assets.classifier.as_mut() {
+            Some(classifier) => {
+                let logits = classifier.forward(&defended, false)?;
+                Some(row_argmax(&logits)?)
+            }
+            None => None,
+        };
+        let parts = defended.split_batch(1)?;
+        Ok((parts, labels))
+    });
+
+    match outcome {
+        Ok((parts, labels)) => {
+            stats.record_computed(parts.len());
+            for (index, (job, part)) in live.into_iter().zip(parts).enumerate() {
+                let label = labels.as_ref().map(|l| l[index]);
+                if let Some(key) = job.cache_key {
+                    cache
+                        .lock()
+                        .expect("cache mutex poisoned")
+                        .insert(key, (part.clone(), label));
+                }
+                stats.record_completion(job.enqueued.elapsed(), false);
+                let _ = job.responder.send(Ok(DefenseResponse {
+                    defended: part,
+                    label,
+                    cache_hit: false,
+                }));
+            }
+        }
+        Err(err) => {
+            let message = err.to_string();
+            for job in live {
+                stats.record_error();
+                let _ = job
+                    .responder
+                    .send(Err(ServeError::Pipeline(message.clone())));
+            }
+        }
+    }
+}
+
+/// Per-row argmax of a `[N, K]` logits tensor.
+fn row_argmax(logits: &Tensor) -> sesr_tensor::Result<Vec<usize>> {
+    let (rows, cols) = logits.shape().as_matrix()?;
+    let data = logits.data();
+    let mut labels = Vec::with_capacity(rows);
+    for row in 0..rows {
+        let slice = &data[row * cols..(row + 1) * cols];
+        let mut best = 0usize;
+        for (i, v) in slice.iter().enumerate() {
+            if *v > slice[best] {
+                best = i;
+            }
+        }
+        labels.push(best);
+    }
+    Ok(labels)
+}

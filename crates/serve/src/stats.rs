@@ -1,5 +1,12 @@
 //! Latency and throughput accounting for the serving subsystem.
+//!
+//! Every [`StatsRecorder`] aggregates one stream of events into a
+//! [`ServeStats`] snapshot. The gateway keeps one recorder per route plus a
+//! global one (each event is recorded on both), and snapshots them together
+//! as [`GatewayStats`]: the global view the old single-pipeline server
+//! reported, alongside a per-[`RouteKey`](crate::route::RouteKey) breakdown.
 
+use crate::route::RouteKey;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -29,6 +36,7 @@ struct Inner {
     cache_misses: u64,
     rejected: u64,
     errors: u64,
+    expired: u64,
     batches: u64,
     batched_images: u64,
     largest_batch: usize,
@@ -93,6 +101,12 @@ impl StatsRecorder {
         self.lock().errors += 1;
     }
 
+    /// Record a request whose per-request deadline passed before a worker
+    /// reached it (answered with `DeadlineExceeded`, never defended).
+    pub fn record_expired(&self) {
+        self.lock().expired += 1;
+    }
+
     /// Record one dispatched batch of `size` images.
     pub fn record_batch(&self, size: usize) {
         let mut inner = self.lock();
@@ -136,6 +150,7 @@ impl StatsRecorder {
             cache_misses: inner.cache_misses,
             rejected: inner.rejected,
             errors: inner.errors,
+            expired: inner.expired,
             batches: inner.batches,
             mean_batch: if inner.batches > 0 {
                 inner.batched_images as f64 / inner.batches as f64
@@ -174,6 +189,8 @@ pub struct ServeStats {
     pub rejected: u64,
     /// Requests that failed inside the pipeline.
     pub errors: u64,
+    /// Requests answered with `DeadlineExceeded` (deadline passed in queue).
+    pub expired: u64,
     /// Batches dispatched to workers.
     pub batches: u64,
     /// Mean images per dispatched batch.
@@ -209,7 +226,7 @@ impl std::fmt::Display for ServeStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "served {} (cache {}/{} hits, {:.0}% | rejected {}, errors {}) | \
+            "served {} (cache {}/{} hits, {:.0}% | rejected {}, errors {}, expired {}) | \
              {} batches, mean {:.2} img/batch, max {} | \
              latency p50 {:?} p95 {:?} p99 {:?} mean {:?} | {:.1} images/sec",
             self.completed,
@@ -218,6 +235,7 @@ impl std::fmt::Display for ServeStats {
             self.cache_hit_rate() * 100.0,
             self.rejected,
             self.errors,
+            self.expired,
             self.batches,
             self.mean_batch,
             self.largest_batch,
@@ -227,6 +245,48 @@ impl std::fmt::Display for ServeStats {
             self.mean,
             self.images_per_sec
         )
+    }
+}
+
+/// Snapshot of a whole gateway: the global aggregate plus one [`ServeStats`]
+/// per route, in route-declaration order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GatewayStats {
+    /// Aggregate over every route (what a single-pipeline server reported).
+    pub global: ServeStats,
+    /// Per-route breakdown, in the order routes were declared.
+    pub per_route: Vec<(RouteKey, ServeStats)>,
+}
+
+impl GatewayStats {
+    /// The breakdown entry for `route`, if the gateway serves it.
+    pub fn route(&self, route: &RouteKey) -> Option<&ServeStats> {
+        self.per_route
+            .iter()
+            .find(|(key, _)| key == route)
+            .map(|(_, stats)| stats)
+    }
+}
+
+impl std::fmt::Display for GatewayStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "gateway: {}", self.global)?;
+        for (route, stats) in &self.per_route {
+            writeln!(
+                f,
+                "  {route}: {} jobs | p50 {:?} p95 {:?} p99 {:?} | cache {:.0}% | \
+                 rejected {}, errors {}, expired {}",
+                stats.completed,
+                stats.p50,
+                stats.p95,
+                stats.p99,
+                stats.cache_hit_rate() * 100.0,
+                stats.rejected,
+                stats.errors,
+                stats.expired,
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -275,10 +335,29 @@ mod tests {
     }
 
     #[test]
+    fn gateway_stats_index_and_render_per_route() {
+        use sesr_models::SrModelKind;
+        let recorder = StatsRecorder::new();
+        recorder.record_completion(Duration::from_millis(3), false);
+        let route = RouteKey::paper(SrModelKind::SesrM2, 2);
+        let other = RouteKey::paper(SrModelKind::Fsrcnn, 2);
+        let stats = GatewayStats {
+            global: recorder.snapshot(),
+            per_route: vec![(route, recorder.snapshot())],
+        };
+        assert_eq!(stats.route(&route).unwrap().completed, 1);
+        assert!(stats.route(&other).is_none());
+        let text = stats.to_string();
+        assert!(text.contains("gateway:"));
+        assert!(text.contains("sesr-m2:x2:jpeg75+wavelet2"));
+    }
+
+    #[test]
     fn counters_accumulate() {
         let recorder = StatsRecorder::new();
         recorder.record_rejection();
         recorder.record_error();
+        recorder.record_expired();
         recorder.record_batch(3);
         recorder.record_batch(5);
         recorder.record_computed(8);
@@ -287,6 +366,7 @@ mod tests {
         let stats = recorder.snapshot();
         assert_eq!(stats.rejected, 1);
         assert_eq!(stats.errors, 1);
+        assert_eq!(stats.expired, 1);
         assert_eq!(stats.batches, 2);
         assert_eq!(stats.mean_batch, 4.0);
         assert_eq!(stats.largest_batch, 5);

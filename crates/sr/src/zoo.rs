@@ -80,6 +80,29 @@ impl SrModelKind {
         !matches!(self, SrModelKind::NearestNeighbor | SrModelKind::Bicubic)
     }
 
+    /// Filesystem/route-safe identity slug of the display name
+    /// (`"SESR-M2"` → `"sesr-m2"`, `"Nearest Neighbor"` →
+    /// `"nearest-neighbor"`): [`sesr_store::slugify`], the same mapping the
+    /// artifact store uses for its directories, so a store listing maps back
+    /// to a kind with [`SrModelKind::parse`].
+    pub fn slug(&self) -> String {
+        sesr_store::slugify(self.name())
+    }
+
+    /// Parse a display name (`"SESR-M2"`), slug (`"sesr-m2"`) or
+    /// space/underscore variant back into a kind; `None` for anything that is
+    /// not an SR model (e.g. a classifier artifact id in a shared store).
+    ///
+    /// This is the inverse of [`SrModelKind::name`]/[`SrModelKind::slug`] and
+    /// is what lets CLI flags and store listings name routes.
+    pub fn parse(name: &str) -> Option<SrModelKind> {
+        let normalized = sesr_store::slugify(name);
+        SrModelKind::all()
+            .iter()
+            .copied()
+            .find(|kind| kind.slug() == normalized)
+    }
+
     /// The paper-scale analytic spec (for Table I / IV cost accounting), or
     /// `None` for interpolation baselines.
     pub fn paper_spec(&self) -> Option<NetworkSpec> {
@@ -277,6 +300,22 @@ mod tests {
         assert_eq!(SrModelKind::SesrM2.name(), "SESR-M2");
         assert_eq!(SrModelKind::EdsrBase.to_string(), "EDSR-base");
         assert_eq!(SrModelKind::NearestNeighbor.name(), "Nearest Neighbor");
+    }
+
+    #[test]
+    fn parse_inverts_name_and_slug_for_every_kind() {
+        for kind in SrModelKind::all() {
+            assert_eq!(SrModelKind::parse(kind.name()), Some(*kind));
+            assert_eq!(SrModelKind::parse(&kind.slug()), Some(*kind));
+        }
+        assert_eq!(SrModelKind::parse("sesr_m2"), Some(SrModelKind::SesrM2));
+        assert_eq!(
+            SrModelKind::parse("NEAREST NEIGHBOR"),
+            Some(SrModelKind::NearestNeighbor)
+        );
+        assert_eq!(SrModelKind::SesrXl.slug(), "sesr-xl");
+        assert_eq!(SrModelKind::parse("mobilenet-v2"), None);
+        assert_eq!(SrModelKind::parse(""), None);
     }
 
     #[test]

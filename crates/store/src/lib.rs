@@ -48,4 +48,4 @@ pub use checkpoint::{
 };
 pub use error::{Result, StoreError};
 pub use registry::ModelRegistry;
-pub use store::{ModelStore, StoredArtifact, ARTIFACT_EXTENSION};
+pub use store::{slugify, ModelStore, StoredArtifact, ARTIFACT_EXTENSION};

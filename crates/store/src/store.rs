@@ -192,6 +192,39 @@ impl ModelStore {
         self.load(&artifact)
     }
 
+    /// Distinct model-id slugs with at least one stored artifact, sorted.
+    ///
+    /// This is the enumeration entry point for multi-model serving: a gateway
+    /// can discover every servable model instead of probing known ids by
+    /// construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] on directory-scan failure.
+    pub fn list_model_ids(&self) -> Result<Vec<String>> {
+        let mut ids: Vec<String> = self
+            .list()?
+            .into_iter()
+            .map(|artifact| artifact.model_id)
+            .collect();
+        ids.dedup();
+        Ok(ids)
+    }
+
+    /// Full version history for `(model_id, scale)`, ascending by
+    /// `(version, digest)`; empty when nothing is stored for the pair.
+    ///
+    /// [`ModelStore::resolve`] returns the last element of this list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] on directory-scan failure.
+    pub fn list_versions(&self, model_id: &str, scale: usize) -> Result<Vec<StoredArtifact>> {
+        let mut versions = self.versions_in(&self.model_dir(model_id, scale))?;
+        versions.sort_by_key(|a| (a.version, a.digest));
+        Ok(versions)
+    }
+
     /// Every artifact in the store, across all models and scales, sorted by
     /// `(model, scale, version)`.
     ///
@@ -287,8 +320,11 @@ fn read_dir_or_empty(dir: &Path) -> Result<Vec<PathBuf>> {
     }
 }
 
-/// Lowercase a model id into a filesystem-safe directory name.
-fn slugify(model_id: &str) -> String {
+/// Lowercase a model id into a filesystem-safe directory name (every
+/// non-alphanumeric character becomes `-`). This is the canonical identity
+/// slug for stored artifacts; `sesr_models::SrModelKind::slug`/`parse` use
+/// it too, so store listings round-trip back to model kinds.
+pub fn slugify(model_id: &str) -> String {
     model_id
         .chars()
         .map(|c| {
@@ -379,6 +415,33 @@ mod tests {
         assert_eq!(listed[0].model_id, "fsrcnn");
         assert_eq!(listed[1].model_id, "sesr-m2");
         assert_eq!(listed[2].version, 2);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn list_model_ids_and_versions_enumerate_the_store() {
+        let (dir, store) = temp_store();
+        assert!(store.list_model_ids().unwrap().is_empty());
+        assert!(store.list_versions("SESR-M2", 2).unwrap().is_empty());
+
+        store.save(&test_checkpoint(1)).unwrap();
+        store.save(&test_checkpoint(2)).unwrap();
+        let mut other = test_checkpoint(3);
+        other.meta.model_id = "FSRCNN".to_string();
+        store.save(&other).unwrap();
+
+        assert_eq!(store.list_model_ids().unwrap(), ["fsrcnn", "sesr-m2"]);
+        let versions = store.list_versions("SESR-M2", 2).unwrap();
+        assert_eq!(
+            versions.iter().map(|a| a.version).collect::<Vec<_>>(),
+            [1, 2],
+            "history must be ascending"
+        );
+        assert_eq!(
+            versions.last().unwrap(),
+            &store.resolve("SESR-M2", 2).unwrap(),
+            "resolve returns the last list_versions entry"
+        );
         fs::remove_dir_all(&dir).ok();
     }
 
