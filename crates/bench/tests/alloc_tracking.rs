@@ -1,0 +1,131 @@
+//! Allocation-tracking harness for the serving hot path.
+//!
+//! A counting global allocator wraps the system allocator and proves the
+//! headline property of the cross-request tensor arena: once a worker's
+//! [`ScratchSpace`] is warm, the SR defense forward pass (`defend_scratch`
+//! with no JPEG/wavelet preprocessing) performs **zero heap allocations per
+//! request**, while the classic allocating path (`defend`) pays dozens of
+//! allocations for the same work.
+//!
+//! This file deliberately contains a single `#[test]` so no sibling test can
+//! allocate concurrently inside a counting window.
+
+use sesr_defense::pipeline::{DefensePipeline, PreprocessConfig};
+use sesr_models::{ScratchSpace, SrModelKind};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Counts `alloc`/`realloc`/`alloc_zeroed` calls while `COUNTING` is set.
+struct CountingAllocator;
+
+static COUNTING: AtomicBool = AtomicBool::new(false);
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+impl CountingAllocator {
+    fn record(&self) {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        self.record();
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        self.record();
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        self.record();
+        unsafe { System.alloc_zeroed(layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+/// Run `f` with allocation counting enabled and return how many heap
+/// allocations it performed.
+fn count_allocations(f: impl FnOnce()) -> u64 {
+    ALLOCATIONS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    f();
+    COUNTING.store(false, Ordering::SeqCst);
+    ALLOCATIONS.load(Ordering::SeqCst)
+}
+
+#[test]
+fn sr_forward_path_allocates_zero_after_warmup() {
+    const WARMUP: usize = 3;
+    const REQUESTS: u64 = 16;
+
+    // The worker configuration of the zero-alloc claim: a learned SESR
+    // network (real convolutions, PReLUs, pixel shuffle and both long
+    // residuals) with the preprocessing stages disabled.
+    let pipeline = DefensePipeline::new(
+        PreprocessConfig::none(),
+        SrModelKind::SesrM2.build_seeded_upscaler(2, 0).unwrap(),
+    );
+    let image = sesr_bench::bench_image(16);
+    let expected = pipeline.defend(&image).unwrap();
+
+    // Contrast: the allocating path pays for every intermediate, every call.
+    let allocating = count_allocations(|| {
+        let out = pipeline.defend(&image).unwrap();
+        assert_eq!(out, expected);
+    });
+    assert!(
+        allocating > 10,
+        "the allocating defense path is expected to allocate per intermediate, \
+         measured {allocating}"
+    );
+
+    // Warm the worker's scratch space: the first pass populates the arena's
+    // size-class pools with the working set of this (shape, model) pair.
+    let mut scratch = ScratchSpace::new();
+    for _ in 0..WARMUP {
+        let out = pipeline.defend_scratch(&image, &mut scratch).unwrap();
+        assert_eq!(out, expected);
+        scratch.recycle(out);
+    }
+
+    // Steady state: every buffer of every request comes from the arena.
+    let steady = count_allocations(|| {
+        for _ in 0..REQUESTS {
+            let out = pipeline.defend_scratch(&image, &mut scratch).unwrap();
+            scratch.recycle(out);
+        }
+    });
+    assert_eq!(
+        steady, 0,
+        "a warmed-up arena must serve the SR forward pass with zero heap \
+         allocations ({REQUESTS} requests performed {steady} allocations; \
+         baseline allocating path: {allocating} per request)"
+    );
+
+    let stats = scratch.stats();
+    assert_eq!(stats.in_use_bytes, 0, "every buffer was recycled");
+    assert!(
+        stats.hit_rate() > 0.5,
+        "steady-state traffic must be pool hits (hit rate {:.2})",
+        stats.hit_rate()
+    );
+
+    // Visible with `cargo test -p sesr-bench --test alloc_tracking -- --nocapture`.
+    println!(
+        "allocating defend: {allocating} allocations/request | arena defend_scratch: \
+         {steady} allocations over {REQUESTS} requests | arena high water {} KiB, \
+         hit rate {:.0}%",
+        stats.high_water_bytes / 1024,
+        stats.hit_rate() * 100.0
+    );
+}

@@ -3,7 +3,7 @@
 
 use crate::Result;
 use sesr_imaging::{jpeg_compress, wavelet_denoise, JpegConfig, WaveletConfig};
-use sesr_models::Upscaler;
+use sesr_models::{ScratchSpace, Upscaler};
 use sesr_tensor::Tensor;
 
 /// Configuration of the non-learned preprocessing stages.
@@ -129,6 +129,47 @@ impl DefensePipeline {
         }
         self.upscaler.upscale(&x)
     }
+
+    /// Arena-backed [`DefensePipeline::defend`], the serving hot path: the
+    /// clamp and the whole SR forward pass draw their buffers from `scratch`
+    /// and recycle them, so a warmed-up scratch space runs the SR stage with
+    /// zero heap allocations per request. The caller may recycle the
+    /// returned tensor once it is consumed.
+    ///
+    /// The optional JPEG and wavelet stages still allocate internally (they
+    /// are cheap, block-local transforms); configure
+    /// [`PreprocessConfig::none`] to make the entire call allocation-free.
+    /// Output is bitwise identical to `defend`.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`DefensePipeline::defend`] can return.
+    pub fn defend_scratch(&self, image: &Tensor, scratch: &mut ScratchSpace) -> Result<Tensor> {
+        // Every stage recycles its input even on failure, so the arena's
+        // in-use accounting stays exact when a stage rejects a request.
+        let mut x = image.clamp_arena(0.0, 1.0, scratch.arena());
+        if let Some(jpeg) = self.preprocess.jpeg {
+            match jpeg_compress(&x, jpeg) {
+                Ok(compressed) => scratch.recycle(std::mem::replace(&mut x, compressed)),
+                Err(err) => {
+                    scratch.recycle(x);
+                    return Err(err);
+                }
+            }
+        }
+        if let Some(wavelet) = self.preprocess.wavelet {
+            match wavelet_denoise(&x, wavelet) {
+                Ok(denoised) => scratch.recycle(std::mem::replace(&mut x, denoised)),
+                Err(err) => {
+                    scratch.recycle(x);
+                    return Err(err);
+                }
+            }
+        }
+        let out = self.upscaler.upscale_scratch(&x, scratch);
+        scratch.recycle(x);
+        out
+    }
 }
 
 impl std::fmt::Debug for DefensePipeline {
@@ -209,6 +250,29 @@ mod tests {
             let out = pipeline.defend(&img).unwrap();
             assert_eq!(out.shape().dims(), &[1, 3, 64, 64]);
         }
+    }
+
+    #[test]
+    fn defend_scratch_matches_defend() {
+        let img = image();
+        let mut scratch = sesr_models::ScratchSpace::new();
+        for preprocess in [
+            PreprocessConfig::paper(),
+            PreprocessConfig::without_jpeg(),
+            PreprocessConfig::none(),
+        ] {
+            let pipeline = DefensePipeline::new(
+                preprocess,
+                SrModelKind::SesrM2.build_seeded_upscaler(2, 7).unwrap(),
+            );
+            let expected = pipeline.defend(&img).unwrap();
+            for _ in 0..2 {
+                let out = pipeline.defend_scratch(&img, &mut scratch).unwrap();
+                assert_eq!(out, expected, "arena defense must be bitwise identical");
+                scratch.recycle(out);
+            }
+        }
+        assert!(scratch.stats().hits > 0);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Activation layers: ReLU, ReLU6, LeakyReLU, learnable PReLU, Sigmoid, Tanh.
 
 use crate::param::Param;
+use crate::scratch::ScratchSpace;
 use crate::{Layer, Result};
 use sesr_tensor::{Shape, Tensor, TensorError};
 
@@ -25,6 +26,15 @@ impl Layer for ReLU {
     fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor> {
         self.cached_input = Some(input.clone());
         Ok(input.map(|v| v.max(0.0)))
+    }
+
+    fn forward_scratch(
+        &mut self,
+        input: &Tensor,
+        _train: bool,
+        scratch: &mut ScratchSpace,
+    ) -> Result<Tensor> {
+        Ok(input.map_arena(|v| v.max(0.0), scratch.arena()))
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
@@ -58,6 +68,15 @@ impl Layer for Relu6 {
     fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor> {
         self.cached_input = Some(input.clone());
         Ok(input.map(|v| v.clamp(0.0, 6.0)))
+    }
+
+    fn forward_scratch(
+        &mut self,
+        input: &Tensor,
+        _train: bool,
+        scratch: &mut ScratchSpace,
+    ) -> Result<Tensor> {
+        Ok(input.map_arena(|v| v.clamp(0.0, 6.0), scratch.arena()))
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
@@ -96,6 +115,16 @@ impl Layer for LeakyRelu {
         self.cached_input = Some(input.clone());
         let slope = self.slope;
         Ok(input.map(|v| if v > 0.0 { v } else { slope * v }))
+    }
+
+    fn forward_scratch(
+        &mut self,
+        input: &Tensor,
+        _train: bool,
+        scratch: &mut ScratchSpace,
+    ) -> Result<Tensor> {
+        let slope = self.slope;
+        Ok(input.map_arena(|v| if v > 0.0 { v } else { slope * v }, scratch.arena()))
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
@@ -162,6 +191,35 @@ impl Layer for PRelu {
             }
         }
         Tensor::from_vec(input.shape().clone(), out)
+    }
+
+    fn forward_scratch(
+        &mut self,
+        input: &Tensor,
+        _train: bool,
+        scratch: &mut ScratchSpace,
+    ) -> Result<Tensor> {
+        let (n, c, h, w) = input.shape().as_nchw()?;
+        if c != self.channels {
+            return Err(TensorError::invalid_argument(format!(
+                "prelu configured for {} channels, got {c}",
+                self.channels
+            )));
+        }
+        let mut out = scratch.arena().alloc_copy(input);
+        let alpha = self.alpha.value.data();
+        let data = out.data_mut();
+        for b in 0..n {
+            for (ci, &a) in alpha.iter().enumerate().take(c) {
+                let base = (b * c + ci) * h * w;
+                for v in &mut data[base..base + h * w] {
+                    if *v < 0.0 {
+                        *v *= a;
+                    }
+                }
+            }
+        }
+        Ok(out)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
@@ -234,6 +292,15 @@ impl Layer for Sigmoid {
         Ok(out)
     }
 
+    fn forward_scratch(
+        &mut self,
+        input: &Tensor,
+        _train: bool,
+        scratch: &mut ScratchSpace,
+    ) -> Result<Tensor> {
+        Ok(input.map_arena(|v| 1.0 / (1.0 + (-v).exp()), scratch.arena()))
+    }
+
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
         let out = self
             .cached_output
@@ -268,6 +335,15 @@ impl Layer for Tanh {
         let out = input.map(f32::tanh);
         self.cached_output = Some(out.clone());
         Ok(out)
+    }
+
+    fn forward_scratch(
+        &mut self,
+        input: &Tensor,
+        _train: bool,
+        scratch: &mut ScratchSpace,
+    ) -> Result<Tensor> {
+        Ok(input.map_arena(f32::tanh, scratch.arena()))
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {

@@ -1,10 +1,12 @@
 //! Convolution layers: dense [`Conv2d`] and [`DepthwiseConv2d`].
 
 use crate::param::Param;
+use crate::scratch::ScratchSpace;
 use crate::{Layer, Result};
 use rand::Rng;
 use sesr_tensor::conv::{
-    conv2d, conv2d_backward, depthwise_conv2d, depthwise_conv2d_backward, Conv2dConfig,
+    conv2d, conv2d_arena, conv2d_backward, depthwise_conv2d, depthwise_conv2d_arena,
+    depthwise_conv2d_backward, Conv2dConfig,
 };
 use sesr_tensor::{init, Shape, Tensor, TensorError};
 
@@ -143,6 +145,22 @@ impl Layer for Conv2d {
         )
     }
 
+    fn forward_scratch(
+        &mut self,
+        input: &Tensor,
+        _train: bool,
+        scratch: &mut ScratchSpace,
+    ) -> Result<Tensor> {
+        // Inference-only: no input cache, so no allocation outside the arena.
+        conv2d_arena(
+            input,
+            &self.weight.value,
+            self.bias.as_ref().map(|b| &b.value),
+            self.cfg,
+            scratch.arena(),
+        )
+    }
+
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
         let input = self
             .cached_input
@@ -226,6 +244,21 @@ impl Layer for DepthwiseConv2d {
             &self.weight.value,
             self.bias.as_ref().map(|b| &b.value),
             self.cfg,
+        )
+    }
+
+    fn forward_scratch(
+        &mut self,
+        input: &Tensor,
+        _train: bool,
+        scratch: &mut ScratchSpace,
+    ) -> Result<Tensor> {
+        depthwise_conv2d_arena(
+            input,
+            &self.weight.value,
+            self.bias.as_ref().map(|b| &b.value),
+            self.cfg,
+            scratch.arena(),
         )
     }
 

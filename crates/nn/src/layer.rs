@@ -1,6 +1,7 @@
 //! The [`Layer`] trait and generic containers ([`Sequential`], [`Identity`]).
 
 use crate::param::Param;
+use crate::scratch::ScratchSpace;
 use crate::Result;
 use sesr_tensor::Tensor;
 
@@ -41,6 +42,37 @@ pub trait Layer: Send + Sync {
     /// shape is inconsistent.
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor>;
 
+    /// Arena-backed inference forward: intermediates (and the returned
+    /// output) are drawn from `scratch`, and the caller may recycle the
+    /// output back into the same scratch space once it is consumed.
+    ///
+    /// This is the serving hot path. Two contract differences from
+    /// [`Layer::forward`]:
+    ///
+    /// * **Inference-only.** Overriding layers skip the activation caches
+    ///   the backward pass needs; do not call [`Layer::backward`] after
+    ///   `forward_scratch`.
+    /// * **Identical numerics.** The output must be bitwise identical to
+    ///   `forward(input, train)` — the arena changes where buffers live, not
+    ///   what is computed.
+    ///
+    /// The default implementation falls back to the allocating
+    /// [`Layer::forward`], so every layer supports the scratch calling
+    /// convention; only the hot layers override it.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input shape is incompatible with the layer.
+    fn forward_scratch(
+        &mut self,
+        input: &Tensor,
+        train: bool,
+        scratch: &mut ScratchSpace,
+    ) -> Result<Tensor> {
+        let _ = scratch;
+        self.forward(input, train)
+    }
+
     /// The layer's learnable parameters, in a stable order.
     fn params_mut(&mut self) -> Vec<&mut Param> {
         Vec::new()
@@ -78,6 +110,15 @@ impl Layer for Box<dyn Layer> {
         self.as_mut().backward(grad_output)
     }
 
+    fn forward_scratch(
+        &mut self,
+        input: &Tensor,
+        train: bool,
+        scratch: &mut ScratchSpace,
+    ) -> Result<Tensor> {
+        self.as_mut().forward_scratch(input, train, scratch)
+    }
+
     fn params_mut(&mut self) -> Vec<&mut Param> {
         self.as_mut().params_mut()
     }
@@ -110,6 +151,15 @@ impl Layer for Identity {
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
         Ok(grad_output.clone())
+    }
+
+    fn forward_scratch(
+        &mut self,
+        input: &Tensor,
+        _train: bool,
+        scratch: &mut ScratchSpace,
+    ) -> Result<Tensor> {
+        Ok(scratch.arena().alloc_copy(input))
     }
 }
 
@@ -170,6 +220,28 @@ impl Layer for Sequential {
             x = layer.forward(&x, train)?;
         }
         Ok(x)
+    }
+
+    fn forward_scratch(
+        &mut self,
+        input: &Tensor,
+        train: bool,
+        scratch: &mut ScratchSpace,
+    ) -> Result<Tensor> {
+        // Each intermediate is recycled as soon as the next layer has
+        // consumed it, so the container adds no live buffers of its own.
+        let mut x: Option<Tensor> = None;
+        for layer in &mut self.layers {
+            let y = layer.forward_scratch(x.as_ref().unwrap_or(input), train, scratch)?;
+            if let Some(prev) = x.take() {
+                scratch.recycle(prev);
+            }
+            x = Some(y);
+        }
+        match x {
+            Some(out) => Ok(out),
+            None => Ok(scratch.arena().alloc_copy(input)),
+        }
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {

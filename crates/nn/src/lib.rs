@@ -9,9 +9,14 @@
 //! There is deliberately no tape-based autograd: every layer caches exactly
 //! what its backward pass needs, which keeps the memory profile predictable
 //! for the laptop-scale experiments and makes the gradient flow easy to
-//! audit — an important property given that the adversarial attacks in
-//! [`sesr-attacks`](https://example.com) differentiate all the way back to
-//! the input image.
+//! audit — an important property given that the adversarial attacks in the
+//! `sesr-attacks` crate differentiate all the way back to the input image.
+//!
+//! For serving, the [`Layer`] trait has a second forward entry point:
+//! [`Layer::forward_scratch`] threads a [`ScratchSpace`] (a reusable
+//! [`TensorArena`](sesr_tensor::TensorArena)) through the network so that a
+//! warmed-up inference pass performs zero heap allocations. See the
+//! [`scratch`] module for the contract and an end-to-end doctest.
 //!
 //! # Example
 //!
@@ -45,6 +50,7 @@ pub mod norm;
 pub mod optim;
 pub mod param;
 pub mod pooling;
+pub mod scratch;
 pub mod serialize;
 pub mod shuffle;
 pub mod spec;
@@ -58,6 +64,7 @@ pub use norm::BatchNorm2d;
 pub use optim::{Adam, Optimizer, Sgd, StepLr};
 pub use param::Param;
 pub use pooling::{AvgPool2d, GlobalAvgPool, MaxPool2d};
+pub use scratch::ScratchSpace;
 pub use shuffle::{NearestUpsample, PixelShuffle};
 pub use spec::{NetworkSpec, OpCost, OpDesc};
 

@@ -64,6 +64,13 @@ pub fn tensors_from_string(text: &str) -> Result<Vec<Tensor>> {
                 })
                 .collect::<Result<Vec<usize>>>()?
         };
+        if dims.len() > sesr_tensor::MAX_RANK {
+            return Err(TensorError::invalid_argument(format!(
+                "checkpoint tensor claims rank {} (max {})",
+                dims.len(),
+                sesr_tensor::MAX_RANK
+            )));
+        }
         let data_line = lines
             .next()
             .ok_or_else(|| TensorError::invalid_argument("missing data line"))?;
@@ -163,9 +170,10 @@ pub fn tensors_from_bytes(bytes: &[u8]) -> Result<Vec<Tensor>> {
     let mut tensors = Vec::with_capacity(count.min(1024));
     for index in 0..count {
         let rank = reader.read_u32("tensor rank")? as usize;
-        if rank > 8 {
+        if rank > sesr_tensor::MAX_RANK {
             return Err(TensorError::invalid_argument(format!(
-                "binary checkpoint tensor {index} claims rank {rank} (max 8)"
+                "binary checkpoint tensor {index} claims rank {rank} (max {})",
+                sesr_tensor::MAX_RANK
             )));
         }
         let mut dims = Vec::with_capacity(rank);
@@ -376,6 +384,19 @@ mod tests {
         let mut bad_rank = good;
         bad_rank[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
         assert!(tensors_from_bytes(&bad_rank).is_err());
+
+        // Rank just above Shape's inline maximum is a typed error, not a
+        // panic — a crafted artifact must never abort a serving process.
+        let mut rank7 = Vec::new();
+        rank7.extend_from_slice(&1u32.to_le_bytes()); // count
+        rank7.extend_from_slice(&7u32.to_le_bytes()); // rank 7 > MAX_RANK
+        for _ in 0..7 {
+            rank7.extend_from_slice(&1u64.to_le_bytes());
+        }
+        rank7.extend_from_slice(&1u64.to_le_bytes()); // len
+        rank7.extend_from_slice(&1.0f32.to_le_bytes());
+        assert!(tensors_from_bytes(&rank7).is_err());
+        assert!(tensors_from_string("1\n1 1 1 1 1 1 1\n1.0\n").is_err());
 
         // Shape products that overflow usize are corruption, not a panic
         // (and in release must not wrap around to a "valid" small product).

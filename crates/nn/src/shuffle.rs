@@ -1,7 +1,10 @@
 //! Upsampling layers: [`PixelShuffle`] (depth-to-space) and [`NearestUpsample`].
 
+use crate::scratch::ScratchSpace;
 use crate::{Layer, Result};
-use sesr_tensor::resample::{depth_to_space, resize, space_to_depth, Interpolation};
+use sesr_tensor::resample::{
+    depth_to_space, depth_to_space_arena, resize, resize_arena, space_to_depth, Interpolation,
+};
 use sesr_tensor::{Shape, Tensor, TensorError};
 
 /// Depth-to-space upsampling (pixel shuffle), the upscaling tail used by
@@ -30,6 +33,15 @@ impl Layer for PixelShuffle {
 
     fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor> {
         depth_to_space(input, self.factor)
+    }
+
+    fn forward_scratch(
+        &mut self,
+        input: &Tensor,
+        _train: bool,
+        scratch: &mut ScratchSpace,
+    ) -> Result<Tensor> {
+        depth_to_space_arena(input, self.factor, scratch.arena())
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
@@ -72,6 +84,22 @@ impl Layer for NearestUpsample {
             h * self.factor,
             w * self.factor,
             Interpolation::Nearest,
+        )
+    }
+
+    fn forward_scratch(
+        &mut self,
+        input: &Tensor,
+        _train: bool,
+        scratch: &mut ScratchSpace,
+    ) -> Result<Tensor> {
+        let (_, _, h, w) = input.shape().as_nchw()?;
+        resize_arena(
+            input,
+            h * self.factor,
+            w * self.factor,
+            Interpolation::Nearest,
+            scratch.arena(),
         )
     }
 

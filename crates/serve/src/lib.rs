@@ -52,6 +52,14 @@
 //!   rejections).
 //! * **Dynamic batching** (per shard) with shape-homogeneous grouping, and
 //!   **share-nothing workers** as before.
+//! * **Cross-request tensor arena reuse.** Every worker owns a
+//!   [`ScratchSpace`](sesr_models::ScratchSpace) and defends through
+//!   `DefensePipeline::defend_scratch`, so batch merging and the whole SR
+//!   forward pass draw their buffers from a per-worker arena that is warm
+//!   after the first few requests — zero steady-state heap allocations in
+//!   the SR hot path (proven by the counting-allocator harness in
+//!   `crates/bench/tests/alloc_tracking.rs`). Only the response tensors,
+//!   which escape the worker thread, are plain allocations.
 //!
 //! The legacy single-pipeline [`DefenseServer`] API is kept as a thin
 //! one-route compatibility shim over the gateway.

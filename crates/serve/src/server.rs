@@ -1,12 +1,12 @@
 //! The single-pipeline serving façade, now a thin one-route compatibility
-//! shim over the multi-model [`DefenseGateway`](crate::gateway::DefenseGateway).
+//! shim over the multi-model [`DefenseGateway`].
 //!
 //! [`DefenseServer::start`] keeps its original closure-factory signature —
 //! build `num_workers` private pipelines, serve one defense — but the engine
 //! behind it is a gateway with exactly one route (which is also the default
 //! route), so the queue → batcher → worker behaviour, backpressure and
 //! caching semantics are the gateway's. New code should use
-//! [`GatewayBuilder`](crate::gateway::GatewayBuilder) directly and declare
+//! [`GatewayBuilder`] directly and declare
 //! its routes; this module also hosts the types both layers share
 //! ([`ServeError`], [`ServeConfig`], [`WorkerAssets`], [`DefenseResponse`],
 //! [`PendingResponse`]).
@@ -68,7 +68,7 @@ impl From<TensorError> for ServeError {
 }
 
 /// Tuning knobs of the single-route serving shim (see
-/// [`RouteConfig`](crate::route::RouteConfig) for the per-route gateway
+/// [`RouteConfig`] for the per-route gateway
 /// equivalent; `From<&ServeConfig>` maps between them).
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
@@ -99,11 +99,15 @@ impl Default for ServeConfig {
     }
 }
 
-/// Everything one worker owns: a defense pipeline and an optional classifier
-/// run on the defended output to produce labels.
+/// Everything one worker owns: a defense pipeline, an optional classifier
+/// run on the defended output to produce labels, and a private
+/// [`ScratchSpace`](sesr_models::ScratchSpace) whose arena is reused across
+/// requests — after the first few batches the SR forward pass performs zero
+/// heap allocations.
 pub struct WorkerAssets {
     pub(crate) pipeline: DefensePipeline,
     pub(crate) classifier: Option<Box<dyn Layer>>,
+    pub(crate) scratch: sesr_models::ScratchSpace,
 }
 
 impl WorkerAssets {
@@ -112,6 +116,7 @@ impl WorkerAssets {
         WorkerAssets {
             pipeline,
             classifier: None,
+            scratch: sesr_models::ScratchSpace::new(),
         }
     }
 
@@ -120,6 +125,7 @@ impl WorkerAssets {
         WorkerAssets {
             pipeline,
             classifier: Some(classifier),
+            scratch: sesr_models::ScratchSpace::new(),
         }
     }
 

@@ -230,19 +230,40 @@ fn process_batch(assets: &mut WorkerAssets, batch: Batch, cache: &SharedCache, s
         return;
     }
 
-    let inputs: Vec<&Tensor> = live.iter().map(|job| &job.image).collect();
-    let defended = Tensor::concat_batch(&inputs).and_then(|merged| assets.pipeline.defend(&merged));
-    let outcome = defended.and_then(|defended| {
-        let labels = match assets.classifier.as_mut() {
-            Some(classifier) => {
-                let logits = classifier.forward(&defended, false)?;
-                Some(row_argmax(&logits)?)
-            }
-            None => None,
-        };
-        let parts = defended.split_batch(1)?;
-        Ok((parts, labels))
-    });
+    // The worker's private arena serves the whole defense: the merged batch
+    // and every SR intermediate are recycled after use, so at steady state
+    // only the per-job response tensors (which escape to the clients) are
+    // heap-allocated.
+    let WorkerAssets {
+        pipeline,
+        classifier,
+        scratch,
+    } = assets;
+    let outcome = Tensor::concat_batch_arena(live.iter().map(|job| &job.image), scratch.arena())
+        .and_then(|merged| {
+            let defended = pipeline.defend_scratch(&merged, scratch);
+            scratch.recycle(merged);
+            defended
+        })
+        .and_then(|defended| {
+            // The batch tensor is recycled even when classification or the
+            // split fails, keeping the arena's in-use accounting exact.
+            let outcome = (|| {
+                let labels = match classifier.as_mut() {
+                    Some(classifier) => {
+                        let logits = classifier.forward(&defended, false)?;
+                        Some(row_argmax(&logits)?)
+                    }
+                    None => None,
+                };
+                // Responses leave the worker thread, so they are plain owned
+                // tensors, not arena buffers.
+                let parts = defended.split_batch(1)?;
+                Ok((parts, labels))
+            })();
+            scratch.recycle(defended);
+            outcome
+        });
 
     match outcome {
         Ok((parts, labels)) => {

@@ -4,7 +4,7 @@
 //! [`ServeStats`] snapshot. The gateway keeps one recorder per route plus a
 //! global one (each event is recorded on both), and snapshots them together
 //! as [`GatewayStats`]: the global view the old single-pipeline server
-//! reported, alongside a per-[`RouteKey`](crate::route::RouteKey) breakdown.
+//! reported, alongside a per-[`RouteKey`] breakdown.
 
 use crate::route::RouteKey;
 use std::sync::Mutex;
@@ -20,7 +20,7 @@ const LATENCY_WINDOW: usize = 8192;
 /// workers (completions, batch sizes). Cheap enough to call per request: one
 /// short mutexed push per event, all aggregation deferred to
 /// [`StatsRecorder::snapshot`]. Percentiles and the mean are computed over a
-/// sliding window of the most recent [`LATENCY_WINDOW`] completions; the
+/// sliding window of the most recent `LATENCY_WINDOW` completions; the
 /// counters cover the server's whole lifetime.
 pub struct StatsRecorder {
     inner: Mutex<Inner>,

@@ -35,5 +35,9 @@ pub use trainer::{SrTrainer, SrTrainingConfig, SrTrainingReport};
 pub use upscaler::{InterpolationUpscaler, NetworkUpscaler, Upscaler};
 pub use zoo::SrModelKind;
 
+// Serving-oriented re-export: pipelines downstream thread a `ScratchSpace`
+// through `Upscaler::upscale_scratch` without depending on `sesr-nn`.
+pub use sesr_nn::ScratchSpace;
+
 /// Result alias re-exported from the tensor crate.
 pub type Result<T> = sesr_tensor::Result<T>;

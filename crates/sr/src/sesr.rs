@@ -23,7 +23,7 @@
 use crate::Result;
 use rand::Rng;
 use sesr_nn::spec::{NetworkSpec, OpDesc};
-use sesr_nn::{Conv2d, Layer, PRelu, Param, PixelShuffle};
+use sesr_nn::{Conv2d, Layer, PRelu, Param, PixelShuffle, ScratchSpace};
 use sesr_tensor::{init, Shape, Tensor, TensorError};
 
 /// A Collapsible Linear Block: `k×k` expansion, `1×1` projection, optional
@@ -176,6 +176,30 @@ impl Layer for CollapsibleLinearBlock {
         } else {
             Ok(projected)
         }
+    }
+
+    fn forward_scratch(
+        &mut self,
+        input: &Tensor,
+        train: bool,
+        scratch: &mut ScratchSpace,
+    ) -> Result<Tensor> {
+        let expanded = self.expand.forward_scratch(input, train, scratch)?;
+        let mut projected = self.project.forward_scratch(&expanded, train, scratch)?;
+        scratch.recycle(expanded);
+        if self.short_residual {
+            if projected.shape() != input.shape() {
+                return Err(TensorError::ShapeMismatch {
+                    left: projected.shape().dims().to_vec(),
+                    right: input.shape().dims().to_vec(),
+                });
+            }
+            // The projection is arena-owned, so the residual adds in place.
+            for (p, &x) in projected.data_mut().iter_mut().zip(input.data()) {
+                *p += x;
+            }
+        }
+        Ok(projected)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
@@ -419,6 +443,19 @@ impl Sesr {
     /// Add the input image to every sub-pixel group of `z` (the second long
     /// residual), i.e. `z[:, g*C + c] += x[:, c]` for every group `g`.
     fn add_input_residual(z: &Tensor, x: &Tensor, scale: usize, channels: usize) -> Result<Tensor> {
+        let mut out = z.clone();
+        Sesr::add_input_residual_inplace(&mut out, x, scale, channels)?;
+        Ok(out)
+    }
+
+    /// In-place core of [`Self::add_input_residual`], used by the arena path
+    /// (which owns `z` and needs no copy).
+    fn add_input_residual_inplace(
+        z: &mut Tensor,
+        x: &Tensor,
+        scale: usize,
+        channels: usize,
+    ) -> Result<()> {
         let (n, zc, h, w) = z.shape().as_nchw()?;
         let groups = scale * scale;
         if zc != groups * channels {
@@ -426,7 +463,7 @@ impl Sesr {
                 "sub-pixel channel count mismatch in SESR input residual",
             ));
         }
-        let mut out = z.data().to_vec();
+        let out = z.data_mut();
         let x_data = x.data();
         let plane = h * w;
         for b in 0..n {
@@ -440,7 +477,7 @@ impl Sesr {
                 }
             }
         }
-        Tensor::from_vec(z.shape().clone(), out)
+        Ok(())
     }
 
     /// Gradient of [`Self::add_input_residual`] with respect to the input
@@ -492,6 +529,33 @@ impl Layer for Sesr {
         // Long residual 2: add the input image to every sub-pixel group.
         let z = Sesr::add_input_residual(&z, input, self.config.scale, self.config.channels)?;
         self.shuffle.forward(&z, train)
+    }
+
+    fn forward_scratch(
+        &mut self,
+        input: &Tensor,
+        train: bool,
+        scratch: &mut ScratchSpace,
+    ) -> Result<Tensor> {
+        let f0 = self.first.forward_scratch(input, train, scratch)?;
+        let mut x = self.act_first.forward_scratch(&f0, train, scratch)?;
+        for (block, act) in &mut self.body {
+            let y = block.forward_scratch(&x, train, scratch)?;
+            scratch.recycle(x);
+            x = act.forward_scratch(&y, train, scratch)?;
+            scratch.recycle(y);
+        }
+        // Long residual 1: add the pre-activation first feature map.
+        let y = x.add_arena(&f0, scratch.arena())?;
+        scratch.recycle(x);
+        scratch.recycle(f0);
+        let mut z = self.last.forward_scratch(&y, train, scratch)?;
+        scratch.recycle(y);
+        // Long residual 2 adds in place: `z` is arena-owned.
+        Sesr::add_input_residual_inplace(&mut z, input, self.config.scale, self.config.channels)?;
+        let out = self.shuffle.forward_scratch(&z, train, scratch)?;
+        scratch.recycle(z);
+        Ok(out)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
@@ -591,6 +655,31 @@ impl Layer for CollapsedSesr {
         let z = self.last.forward(&y, train)?;
         let z = Sesr::add_input_residual(&z, input, self.config.scale, self.config.channels)?;
         self.shuffle.forward(&z, train)
+    }
+
+    fn forward_scratch(
+        &mut self,
+        input: &Tensor,
+        train: bool,
+        scratch: &mut ScratchSpace,
+    ) -> Result<Tensor> {
+        let f0 = self.first.forward_scratch(input, train, scratch)?;
+        let mut x = self.act_first.forward_scratch(&f0, train, scratch)?;
+        for (conv, act) in &mut self.body {
+            let y = conv.forward_scratch(&x, train, scratch)?;
+            scratch.recycle(x);
+            x = act.forward_scratch(&y, train, scratch)?;
+            scratch.recycle(y);
+        }
+        let y = x.add_arena(&f0, scratch.arena())?;
+        scratch.recycle(x);
+        scratch.recycle(f0);
+        let mut z = self.last.forward_scratch(&y, train, scratch)?;
+        scratch.recycle(y);
+        Sesr::add_input_residual_inplace(&mut z, input, self.config.scale, self.config.channels)?;
+        let out = self.shuffle.forward_scratch(&z, train, scratch)?;
+        scratch.recycle(z);
+        Ok(out)
     }
 
     fn backward(&mut self, _grad_output: &Tensor) -> Result<Tensor> {
@@ -716,6 +805,36 @@ mod tests {
         let x = Tensor::zeros(Shape::new(&[1, 3, 4, 4]));
         let y = collapsed.forward(&x, false).unwrap();
         assert!(collapsed.backward(&y).is_err());
+    }
+
+    #[test]
+    fn scratch_forward_is_bitwise_identical_and_reuses_buffers() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let cfg = SesrConfig::m2().with_expansion(8);
+        let mut net = Sesr::new(cfg, &mut rng);
+        let mut collapsed = net.collapse().unwrap();
+        let x = init::uniform(Shape::new(&[2, 3, 8, 8]), 0.0, 1.0, &mut rng);
+
+        let expected_full = net.forward(&x, false).unwrap();
+        let expected_fast = collapsed.forward(&x, false).unwrap();
+
+        let mut scratch = ScratchSpace::new();
+        for _ in 0..3 {
+            let full = net.forward_scratch(&x, false, &mut scratch).unwrap();
+            assert_eq!(full, expected_full, "expanded scratch forward must match");
+            scratch.recycle(full);
+            let fast = collapsed.forward_scratch(&x, false, &mut scratch).unwrap();
+            assert_eq!(fast, expected_fast, "collapsed scratch forward must match");
+            scratch.recycle(fast);
+        }
+        let warm_misses = scratch.stats().misses;
+        let out = net.forward_scratch(&x, false, &mut scratch).unwrap();
+        scratch.recycle(out);
+        assert_eq!(
+            scratch.stats().misses,
+            warm_misses,
+            "a warmed-up scratch space must serve the whole forward from its pools"
+        );
     }
 
     #[test]

@@ -3,8 +3,8 @@
 //! Tables I, II and IV of the paper.
 
 use crate::Result;
-use sesr_nn::Layer;
-use sesr_tensor::resample::{upscale, Interpolation};
+use sesr_nn::{Layer, ScratchSpace};
+use sesr_tensor::resample::{upscale, upscale_arena, Interpolation};
 use sesr_tensor::{Tensor, TensorError};
 use std::sync::Mutex;
 
@@ -33,6 +33,23 @@ pub trait Upscaler: Send + Sync {
     /// Returns an error if the input is not rank 4 or is incompatible with
     /// the model (e.g. wrong channel count).
     fn upscale(&self, input: &Tensor) -> Result<Tensor>;
+
+    /// Arena-backed [`Upscaler::upscale`]: intermediates and the returned
+    /// tensor are drawn from `scratch`, so a serving worker that recycles
+    /// the output after use runs the SR forward pass without heap
+    /// allocations once the scratch space is warm. The result is bitwise
+    /// identical to `upscale`.
+    ///
+    /// The default implementation falls back to the allocating path, so
+    /// custom upscalers keep working unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Upscaler::upscale`] can return.
+    fn upscale_scratch(&self, input: &Tensor, scratch: &mut ScratchSpace) -> Result<Tensor> {
+        let _ = scratch;
+        self.upscale(input)
+    }
 }
 
 /// Interpolation-based upscaler (the paper's "Nearest Neighbor" baseline and
@@ -85,6 +102,12 @@ impl Upscaler for InterpolationUpscaler {
     fn upscale(&self, input: &Tensor) -> Result<Tensor> {
         let out = upscale(input, self.scale, self.method)?;
         Ok(out.clamp(0.0, 1.0))
+    }
+
+    fn upscale_scratch(&self, input: &Tensor, scratch: &mut ScratchSpace) -> Result<Tensor> {
+        let mut out = upscale_arena(input, self.scale, self.method, scratch.arena())?;
+        out.map_inplace(|v| v.clamp(0.0, 1.0));
+        Ok(out)
     }
 }
 
@@ -161,6 +184,26 @@ impl<L: Layer> Upscaler for NetworkUpscaler<L> {
         }
         Ok(out.clamp(0.0, 1.0))
     }
+
+    fn upscale_scratch(&self, input: &Tensor, scratch: &mut ScratchSpace) -> Result<Tensor> {
+        let (_, _, h, w) = input.shape().as_nchw()?;
+        let mut out = self
+            .network
+            .lock()
+            .expect("network upscaler mutex poisoned")
+            .forward_scratch(input, false, scratch)?;
+        let (_, _, oh, ow) = out.shape().as_nchw()?;
+        if oh != h * self.scale || ow != w * self.scale {
+            return Err(TensorError::invalid_argument(format!(
+                "network produced {oh}x{ow}, expected {}x{}",
+                h * self.scale,
+                w * self.scale
+            )));
+        }
+        // The output is owned by the scratch arena, so clamping is in place.
+        out.map_inplace(|v| v.clamp(0.0, 1.0));
+        Ok(out)
+    }
 }
 
 #[cfg(test)]
@@ -201,6 +244,36 @@ mod tests {
         let x = Tensor::zeros(Shape::new(&[1, 12, 4, 4]));
         let y = good.upscale(&x).unwrap();
         assert_eq!(y.shape().dims(), &[1, 3, 8, 8]);
+    }
+
+    #[test]
+    fn upscale_scratch_matches_upscale() {
+        let mut scratch = ScratchSpace::new();
+        let x = Tensor::full(Shape::new(&[1, 3, 4, 4]), 0.25);
+        for up in [
+            InterpolationUpscaler::nearest(2),
+            InterpolationUpscaler::bicubic(2),
+            InterpolationUpscaler::bilinear(2),
+        ] {
+            let expected = up.upscale(&x).unwrap();
+            let out = up.upscale_scratch(&x, &mut scratch).unwrap();
+            assert_eq!(out, expected);
+            scratch.recycle(out);
+        }
+
+        let mut net = Sequential::new("shuffle_only");
+        net.push(PixelShuffle::new(2));
+        let network = NetworkUpscaler::new("shuffle", 2, net);
+        let x = Tensor::full(Shape::new(&[1, 12, 4, 4]), 0.5);
+        let expected = network.upscale(&x).unwrap();
+        let out = network.upscale_scratch(&x, &mut scratch).unwrap();
+        assert_eq!(out, expected);
+        scratch.recycle(out);
+
+        // And the size validation still fires on the scratch path.
+        let bad = NetworkUpscaler::new("identity", 2, Identity::new());
+        let x = Tensor::zeros(Shape::new(&[1, 3, 4, 4]));
+        assert!(bad.upscale_scratch(&x, &mut scratch).is_err());
     }
 
     #[test]

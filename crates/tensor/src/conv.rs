@@ -2,7 +2,8 @@
 //! convolution, each with the backward passes required for training and for
 //! gradient-based adversarial attacks.
 
-use crate::{Result, Shape, Tensor, TensorError};
+use crate::ops::matmul_slices;
+use crate::{Result, Shape, Tensor, TensorArena, TensorError};
 
 /// Configuration of a 2-D convolution (shared by dense and depthwise paths).
 ///
@@ -88,6 +89,19 @@ pub fn im2col(input: &Tensor, cfg: Conv2dConfig) -> Result<Tensor> {
     let rows = c * k * k;
     let cols = n * oh * ow;
     let mut out = vec![0.0f32; rows * cols];
+    im2col_into(input, cfg, oh, ow, &mut out);
+    Tensor::from_vec(Shape::new(&[rows, cols]), out)
+}
+
+/// Core of [`im2col`]: lower `input` into `out`, which must hold exactly
+/// `C*K*K * N*OH*OW` elements. Every element of `out` is written.
+fn im2col_into(input: &Tensor, cfg: Conv2dConfig, oh: usize, ow: usize, out: &mut [f32]) {
+    let (n, c, h, w) = input
+        .shape()
+        .as_nchw()
+        .expect("im2col_into callers validated rank");
+    let k = cfg.kernel;
+    let cols = n * oh * ow;
     let in_data = input.data();
     for b in 0..n {
         for ci in 0..c {
@@ -115,7 +129,6 @@ pub fn im2col(input: &Tensor, cfg: Conv2dConfig) -> Result<Tensor> {
             }
         }
     }
-    Tensor::from_vec(Shape::new(&[rows, cols]), out)
 }
 
 /// Scatter a column-form gradient back onto an NCHW input gradient
@@ -184,6 +197,24 @@ pub fn conv2d(
     bias: Option<&Tensor>,
     cfg: Conv2dConfig,
 ) -> Result<Tensor> {
+    conv2d_arena(input, weight, bias, cfg, &mut TensorArena::exact())
+}
+
+/// Arena-backed [`conv2d`]: the im2col and matmul scratch buffers are drawn
+/// from (and recycled back into) `arena`, and the returned output tensor's
+/// buffer comes from the arena too, so the caller may recycle it after use.
+/// With a warmed-up arena this performs zero heap allocations.
+///
+/// # Errors
+///
+/// Returns an error on rank or dimension mismatches.
+pub fn conv2d_arena(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    cfg: Conv2dConfig,
+    arena: &mut TensorArena,
+) -> Result<Tensor> {
     let (n, c_in, h, w) = input.shape().as_nchw()?;
     let wd = weight.shape().dims();
     if wd.len() != 4 {
@@ -200,22 +231,28 @@ pub fn conv2d(
         )));
     }
     let (oh, ow) = cfg.output_size(h, w)?;
-    let cols = im2col(input, cfg)?;
-    let w_mat = weight.reshape(Shape::new(&[c_out, c_in * kh * kw]))?;
-    // [C_out, C_in*K*K] x [C_in*K*K, N*OH*OW] -> [C_out, N*OH*OW]
-    let prod = w_mat.matmul(&cols)?;
-    let mut out = vec![0.0f32; n * c_out * oh * ow];
-    let prod_data = prod.data();
+    let rows = c_in * kh * kw;
+    let ncols = n * oh * ow;
+    let mut cols = arena.alloc(rows * ncols);
+    im2col_into(input, cfg, oh, ow, &mut cols);
+    // [C_out, C_in*K*K] x [C_in*K*K, N*OH*OW] -> [C_out, N*OH*OW]; the weight
+    // tensor is already contiguous in exactly the matrix layout needed, so no
+    // reshape (and no copy) is required.
+    let mut prod = arena.alloc(c_out * ncols);
+    matmul_slices(weight.data(), c_out, rows, &cols, ncols, &mut prod);
+    arena.recycle_vec(cols);
+    let mut out = arena.alloc(n * c_out * oh * ow);
     let spatial = oh * ow;
     for co in 0..c_out {
         let b_val = bias.map(|b| b.data()[co]).unwrap_or(0.0);
         for b in 0..n {
             for s in 0..spatial {
                 out[(b * c_out + co) * spatial + s] =
-                    prod_data[co * (n * spatial) + b * spatial + s] + b_val;
+                    prod[co * (n * spatial) + b * spatial + s] + b_val;
             }
         }
     }
+    arena.recycle_vec(prod);
     Tensor::from_vec(Shape::new(&[n, c_out, oh, ow]), out)
 }
 
@@ -303,6 +340,22 @@ pub fn depthwise_conv2d(
     bias: Option<&Tensor>,
     cfg: Conv2dConfig,
 ) -> Result<Tensor> {
+    depthwise_conv2d_arena(input, weight, bias, cfg, &mut TensorArena::exact())
+}
+
+/// Arena-backed [`depthwise_conv2d`]: the output buffer comes from `arena`,
+/// so a warmed-up arena serves repeated calls without heap allocations.
+///
+/// # Errors
+///
+/// Returns an error on rank or dimension mismatches.
+pub fn depthwise_conv2d_arena(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    cfg: Conv2dConfig,
+    arena: &mut TensorArena,
+) -> Result<Tensor> {
     let (n, c, h, w) = input.shape().as_nchw()?;
     let wd = weight.shape().dims();
     if wd.len() != 4 || wd[0] != c || wd[1] != 1 || wd[2] != cfg.kernel || wd[3] != cfg.kernel {
@@ -313,7 +366,7 @@ pub fn depthwise_conv2d(
     }
     let (oh, ow) = cfg.output_size(h, w)?;
     let k = cfg.kernel;
-    let mut out = vec![0.0f32; n * c * oh * ow];
+    let mut out = arena.alloc(n * c * oh * ow);
     let in_data = input.data();
     let w_data = weight.data();
     for b in 0..n {
@@ -619,6 +672,65 @@ mod tests {
             let num = (loss(&input, &plus) - loss(&input, &minus)) / (2.0 * eps);
             assert!((num - gw.data()[idx]).abs() < 1e-2);
         }
+    }
+
+    #[test]
+    fn arena_conv_matches_allocating_and_reuses_buffers() {
+        let cfg = Conv2dConfig::same(3);
+        let input = t(
+            &[2, 3, 5, 5],
+            &(0..150)
+                .map(|i| (i as f32 * 0.17).sin())
+                .collect::<Vec<_>>(),
+        );
+        let weight = t(
+            &[4, 3, 3, 3],
+            &(0..108)
+                .map(|i| (i as f32 * 0.29).cos() * 0.4)
+                .collect::<Vec<_>>(),
+        );
+        let bias = t(&[4], &[0.1, -0.2, 0.3, 0.0]);
+        let expected = conv2d(&input, &weight, Some(&bias), cfg).unwrap();
+
+        let mut arena = TensorArena::new();
+        for round in 0..3 {
+            let out = conv2d_arena(&input, &weight, Some(&bias), cfg, &mut arena).unwrap();
+            assert_eq!(out, expected, "arena path must be bitwise identical");
+            arena.recycle(out);
+            if round > 0 {
+                // After warm-up every buffer comes from the pool.
+                assert_eq!(arena.stats().misses, 3, "cols, prod and out classes");
+            }
+        }
+        assert!(arena.stats().hits >= 6);
+    }
+
+    #[test]
+    fn allocating_wrapper_outputs_have_exact_capacity() {
+        // The allocating API wraps the arena path with an exact-capacity
+        // arena, so long-lived results don't pin rounded-up buffers.
+        let input = Tensor::zeros(Shape::new(&[1, 3, 5, 5]));
+        let weight = Tensor::zeros(Shape::new(&[2, 3, 3, 3]));
+        let out = conv2d(&input, &weight, None, Conv2dConfig::same(3)).unwrap();
+        let len = out.len();
+        assert_eq!(out.into_vec().capacity(), len);
+    }
+
+    #[test]
+    fn arena_depthwise_matches_allocating() {
+        let cfg = Conv2dConfig::same(3);
+        let input = t(
+            &[1, 2, 4, 4],
+            &(0..32).map(|i| (i as f32 * 0.11).sin()).collect::<Vec<_>>(),
+        );
+        let weight = t(
+            &[2, 1, 3, 3],
+            &(0..18).map(|i| (i as f32 * 0.07).cos()).collect::<Vec<_>>(),
+        );
+        let expected = depthwise_conv2d(&input, &weight, None, cfg).unwrap();
+        let mut arena = TensorArena::new();
+        let out = depthwise_conv2d_arena(&input, &weight, None, cfg, &mut arena).unwrap();
+        assert_eq!(out, expected);
     }
 
     #[test]

@@ -5,8 +5,7 @@ use std::fmt;
 /// Error returned by fallible tensor operations.
 ///
 /// Every public function in this crate that can fail returns
-/// [`TensorError`](crate::TensorError) so downstream crates can use `?`
-/// uniformly.
+/// [`TensorError`] so downstream crates can use `?` uniformly.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TensorError {
     /// The number of elements implied by a shape does not match the data length.

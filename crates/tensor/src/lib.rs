@@ -11,6 +11,17 @@
 //! kernels are straightforward loops over contiguous buffers, which is fast
 //! enough for the laptop-scale synthetic workloads used in the reproduction.
 //!
+//! The one concession to the serving hot path is memory traffic: the
+//! [`arena`] module provides [`TensorArena`], a pooled scratch allocator,
+//! and every hot kernel has an arena-backed variant (`conv2d_arena`,
+//! `resize_arena`, `concat_batch_arena`, …) whose intermediates and output
+//! buffers are drawn from — and recycled into — an arena. The allocating
+//! APIs are thin wrappers over the arena path, so both compute bitwise-
+//! identical results; a warmed-up arena serves repeated calls with zero
+//! heap allocations. [`Shape`] stores its dimensions inline for the same
+//! reason. See `ARCHITECTURE.md` at the repository root for how the serving
+//! workers in `sesr-serve` use this.
+//!
 //! # Example
 //!
 //! ```
@@ -22,10 +33,32 @@
 //! assert_eq!(sum.get(&[1, 2]), 6.5);
 //! # Ok::<(), sesr_tensor::TensorError>(())
 //! ```
+//!
+//! # Example: arena-backed convolution
+//!
+//! ```
+//! use sesr_tensor::conv::{conv2d, conv2d_arena, Conv2dConfig};
+//! use sesr_tensor::{Shape, Tensor, TensorArena};
+//!
+//! let input = Tensor::full(Shape::new(&[1, 3, 8, 8]), 0.5);
+//! let weight = Tensor::full(Shape::new(&[4, 3, 3, 3]), 0.1);
+//! let cfg = Conv2dConfig::same(3);
+//!
+//! let mut arena = TensorArena::new();
+//! let expected = conv2d(&input, &weight, None, cfg)?;
+//! for _ in 0..3 {
+//!     let out = conv2d_arena(&input, &weight, None, cfg, &mut arena)?;
+//!     assert_eq!(out, expected); // identical numerics
+//!     arena.recycle(out);       // reuse the buffers on the next call
+//! }
+//! assert!(arena.stats().hits > arena.stats().misses);
+//! # Ok::<(), sesr_tensor::TensorError>(())
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod conv;
 pub mod error;
 pub mod init;
@@ -35,8 +68,9 @@ pub mod resample;
 pub mod shape;
 pub mod tensor;
 
+pub use arena::{ArenaStats, TensorArena};
 pub use error::TensorError;
-pub use shape::Shape;
+pub use shape::{Shape, MAX_RANK};
 pub use tensor::Tensor;
 
 /// Convenience result alias used throughout the tensor crate.

@@ -1,6 +1,32 @@
 //! Elementwise operations, reductions and matrix multiplication.
 
-use crate::{Result, Shape, Tensor, TensorError};
+use crate::{Result, Shape, Tensor, TensorArena, TensorError};
+
+/// Core matrix-multiply kernel shared by [`Tensor::matmul`] and the
+/// arena-backed convolution path: `out += a (m×k) · b (k×n)`, all operands
+/// contiguous row-major slices. `out` must be zero-initialised by the caller.
+///
+/// Loop order (i, p, j) keeps the innermost accesses contiguous in both the
+/// output row and the B row, which matters for the im2col-based convolutions
+/// built on top of this.
+pub(crate) fn matmul_slices(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (p, &a_ip) in a_row.iter().enumerate() {
+            if a_ip == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (o, &b_pj) in out_row.iter_mut().zip(b_row) {
+                *o += a_ip * b_pj;
+            }
+        }
+    }
+}
 
 impl Tensor {
     fn check_same_shape(&self, other: &Tensor) -> Result<()> {
@@ -91,6 +117,35 @@ impl Tensor {
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
         let data = self.data().iter().map(|&v| f(v)).collect();
         Tensor::from_vec(self.shape().clone(), data).expect("map preserves length")
+    }
+
+    /// Arena-backed [`Tensor::map`]: the output buffer comes from (and can be
+    /// recycled into) `arena`.
+    pub fn map_arena(&self, f: impl Fn(f32) -> f32, arena: &mut TensorArena) -> Tensor {
+        let mut data = arena.alloc(self.len());
+        for (dst, &src) in data.iter_mut().zip(self.data()) {
+            *dst = f(src);
+        }
+        Tensor::from_vec(self.shape().clone(), data).expect("map preserves length")
+    }
+
+    /// Arena-backed [`Tensor::add`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn add_arena(&self, other: &Tensor, arena: &mut TensorArena) -> Result<Tensor> {
+        self.check_same_shape(other)?;
+        let mut data = arena.alloc(self.len());
+        for ((dst, &a), &b) in data.iter_mut().zip(self.data()).zip(other.data()) {
+            *dst = a + b;
+        }
+        Tensor::from_vec(self.shape().clone(), data)
+    }
+
+    /// Arena-backed [`Tensor::clamp`].
+    pub fn clamp_arena(&self, lo: f32, hi: f32, arena: &mut TensorArena) -> Tensor {
+        self.map_arena(|v| v.clamp(lo, hi), arena)
     }
 
     /// Apply `f` to every element in place.
@@ -242,25 +297,8 @@ impl Tensor {
                 right_rows: k2,
             });
         }
-        let a = self.data();
-        let b = other.data();
         let mut out = vec![0.0f32; m * n];
-        // Loop order (i, p, j) keeps the innermost accesses contiguous in both
-        // the output row and the B row, which matters for the im2col-based
-        // convolutions built on top of this.
-        for i in 0..m {
-            let a_row = &a[i * k..(i + 1) * k];
-            let out_row = &mut out[i * n..(i + 1) * n];
-            for (p, &a_ip) in a_row.iter().enumerate() {
-                if a_ip == 0.0 {
-                    continue;
-                }
-                let b_row = &b[p * n..(p + 1) * n];
-                for (o, &b_pj) in out_row.iter_mut().zip(b_row) {
-                    *o += a_ip * b_pj;
-                }
-            }
-        }
+        matmul_slices(self.data(), m, k, other.data(), n, &mut out);
         Tensor::from_vec(Shape::new(&[m, n]), out)
     }
 
@@ -477,6 +515,18 @@ mod tests {
         let b = Tensor::zeros(Shape::new(&[1, 1, 3, 3]));
         assert!(concat_channels(&[&a, &b]).is_err());
         assert!(concat_channels(&[]).is_err());
+    }
+
+    #[test]
+    fn arena_elementwise_variants_match_allocating() {
+        let mut arena = TensorArena::new();
+        let a = vec2(&[2, 2], &[1.0, -2.0, 3.0, 4.0]);
+        let b = vec2(&[2, 2], &[0.5, 0.5, 0.5, 0.5]);
+        assert_eq!(a.map_arena(|v| v * 2.0, &mut arena), a.map(|v| v * 2.0));
+        assert_eq!(a.add_arena(&b, &mut arena).unwrap(), a.add(&b).unwrap());
+        assert_eq!(a.clamp_arena(0.0, 2.0, &mut arena), a.clamp(0.0, 2.0));
+        let wrong = Tensor::zeros(Shape::new(&[3]));
+        assert!(a.add_arena(&wrong, &mut arena).is_err());
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! zero padding. These are the building blocks for the SR upscalers and the
 //! DI2FGSM input-diversity transform.
 
-use crate::{Result, Shape, Tensor, TensorError};
+use crate::{Result, Shape, Tensor, TensorArena, TensorError};
 
 /// Interpolation kernel used by [`resize`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -36,13 +36,29 @@ fn cubic_kernel(x: f32) -> f32 {
 ///
 /// Returns an error if the input is not rank 4 or a target dimension is zero.
 pub fn resize(input: &Tensor, out_h: usize, out_w: usize, method: Interpolation) -> Result<Tensor> {
+    resize_arena(input, out_h, out_w, method, &mut TensorArena::exact())
+}
+
+/// Arena-backed [`resize`]: the output buffer comes from `arena`, so the
+/// caller may recycle it after use and repeated calls stay allocation-free.
+///
+/// # Errors
+///
+/// Returns an error if the input is not rank 4 or a target dimension is zero.
+pub fn resize_arena(
+    input: &Tensor,
+    out_h: usize,
+    out_w: usize,
+    method: Interpolation,
+    arena: &mut TensorArena,
+) -> Result<Tensor> {
     let (n, c, h, w) = input.shape().as_nchw()?;
     if out_h == 0 || out_w == 0 {
         return Err(TensorError::invalid_argument(
             "resize target must be non-zero",
         ));
     }
-    let mut out = vec![0.0f32; n * c * out_h * out_w];
+    let mut out = arena.alloc(n * c * out_h * out_w);
     let data = input.data();
     let scale_y = h as f32 / out_h as f32;
     let scale_x = w as f32 / out_w as f32;
@@ -116,13 +132,27 @@ pub fn resize(input: &Tensor, out_h: usize, out_w: usize, method: Interpolation)
 ///
 /// Returns an error if the input is not rank 4 or `factor` is zero.
 pub fn upscale(input: &Tensor, factor: usize, method: Interpolation) -> Result<Tensor> {
+    upscale_arena(input, factor, method, &mut TensorArena::exact())
+}
+
+/// Arena-backed [`upscale`].
+///
+/// # Errors
+///
+/// Returns an error if the input is not rank 4 or `factor` is zero.
+pub fn upscale_arena(
+    input: &Tensor,
+    factor: usize,
+    method: Interpolation,
+    arena: &mut TensorArena,
+) -> Result<Tensor> {
     let (_, _, h, w) = input.shape().as_nchw()?;
     if factor == 0 {
         return Err(TensorError::invalid_argument(
             "upscale factor must be non-zero",
         ));
     }
-    resize(input, h * factor, w * factor, method)
+    resize_arena(input, h * factor, w * factor, method, arena)
 }
 
 /// Depth-to-space (pixel shuffle): `[N, C*r*r, H, W] -> [N, C, H*r, W*r]`.
@@ -133,6 +163,15 @@ pub fn upscale(input: &Tensor, factor: usize, method: Interpolation) -> Result<T
 ///
 /// Returns an error if the channel count is not divisible by `r * r`.
 pub fn depth_to_space(input: &Tensor, r: usize) -> Result<Tensor> {
+    depth_to_space_arena(input, r, &mut TensorArena::exact())
+}
+
+/// Arena-backed [`depth_to_space`]: the output buffer comes from `arena`.
+///
+/// # Errors
+///
+/// Returns an error if the channel count is not divisible by `r * r`.
+pub fn depth_to_space_arena(input: &Tensor, r: usize, arena: &mut TensorArena) -> Result<Tensor> {
     let (n, c, h, w) = input.shape().as_nchw()?;
     if r == 0 || c % (r * r) != 0 {
         return Err(TensorError::invalid_argument(format!(
@@ -141,7 +180,7 @@ pub fn depth_to_space(input: &Tensor, r: usize) -> Result<Tensor> {
         )));
     }
     let c_out = c / (r * r);
-    let mut out = vec![0.0f32; n * c * h * w];
+    let mut out = arena.alloc(n * c * h * w);
     let data = input.data();
     for b in 0..n {
         for co in 0..c_out {
@@ -336,6 +375,31 @@ mod tests {
     fn crop_out_of_bounds_is_error() {
         let input = Tensor::zeros(Shape::new(&[1, 1, 4, 4]));
         assert!(crop_nchw(&input, 2, 2, 3, 3).is_err());
+    }
+
+    #[test]
+    fn arena_resample_variants_match_allocating() {
+        let mut arena = TensorArena::new();
+        let data: Vec<f32> = (0..48).map(|i| (i as f32 * 0.31).sin()).collect();
+        let input = t(&[1, 3, 4, 4], &data);
+        for method in [
+            Interpolation::Nearest,
+            Interpolation::Bilinear,
+            Interpolation::Bicubic,
+        ] {
+            let expected = upscale(&input, 2, method).unwrap();
+            let out = upscale_arena(&input, 2, method, &mut arena).unwrap();
+            assert_eq!(out, expected);
+            arena.recycle(out);
+        }
+        let shuffled = t(
+            &[1, 4, 2, 2],
+            &(0..16).map(|v| v as f32).collect::<Vec<_>>(),
+        );
+        let expected = depth_to_space(&shuffled, 2).unwrap();
+        let out = depth_to_space_arena(&shuffled, 2, &mut arena).unwrap();
+        assert_eq!(out, expected);
+        assert!(arena.stats().hits > 0, "same-size buffers must be reused");
     }
 
     #[test]

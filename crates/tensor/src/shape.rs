@@ -3,11 +3,21 @@
 use crate::TensorError;
 use std::fmt;
 
+/// Maximum rank a [`Shape`] can represent.
+///
+/// Dimensions are stored inline (no heap allocation) so that constructing the
+/// output shape of a hot-path operation never touches the allocator — a
+/// prerequisite for the zero-allocation steady state of the
+/// [`TensorArena`](crate::TensorArena)-backed inference path. Every tensor in
+/// the workspace is rank 4 or lower (NCHW images, matrices, vectors,
+/// scalars); 6 leaves headroom.
+pub const MAX_RANK: usize = 6;
+
 /// The shape (dimension sizes) of a [`Tensor`](crate::Tensor).
 ///
-/// Shapes are stored as a small vector of dimension sizes in row-major
-/// (C-style) order. For image tensors the convention throughout the workspace
-/// is `[N, C, H, W]`.
+/// Shapes are stored as a small inline array of dimension sizes in row-major
+/// (C-style) order, so cloning or building one is allocation-free. For image
+/// tensors the convention throughout the workspace is `[N, C, H, W]`.
 ///
 /// # Example
 ///
@@ -19,27 +29,43 @@ use std::fmt;
 /// assert_eq!(shape.num_elements(), 2 * 3 * 8 * 8);
 /// assert_eq!(shape.dim(1), 3);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Clone)]
 pub struct Shape {
-    dims: Vec<usize>,
+    dims: [usize; MAX_RANK],
+    rank: u8,
 }
 
 impl Shape {
     /// Create a shape from a slice of dimension sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` has more than [`MAX_RANK`] entries.
     pub fn new(dims: &[usize]) -> Self {
+        assert!(
+            dims.len() <= MAX_RANK,
+            "Shape supports at most {MAX_RANK} dimensions, got {}",
+            dims.len()
+        );
+        let mut inline = [0usize; MAX_RANK];
+        inline[..dims.len()].copy_from_slice(dims);
         Shape {
-            dims: dims.to_vec(),
+            dims: inline,
+            rank: dims.len() as u8,
         }
     }
 
     /// Shape of a scalar (rank 0, one element).
     pub fn scalar() -> Self {
-        Shape { dims: Vec::new() }
+        Shape {
+            dims: [0; MAX_RANK],
+            rank: 0,
+        }
     }
 
     /// Number of dimensions.
     pub fn rank(&self) -> usize {
-        self.dims.len()
+        self.rank as usize
     }
 
     /// The size of dimension `axis`.
@@ -48,24 +74,25 @@ impl Shape {
     ///
     /// Panics if `axis >= self.rank()`.
     pub fn dim(&self, axis: usize) -> usize {
-        self.dims[axis]
+        self.dims()[axis]
     }
 
     /// All dimension sizes as a slice.
     pub fn dims(&self) -> &[usize] {
-        &self.dims
+        &self.dims[..self.rank as usize]
     }
 
     /// Total number of elements (product of all dimensions; 1 for a scalar).
     pub fn num_elements(&self) -> usize {
-        self.dims.iter().product()
+        self.dims().iter().product()
     }
 
     /// Row-major strides, in elements, for this shape.
     pub fn strides(&self) -> Vec<usize> {
-        let mut strides = vec![0usize; self.dims.len()];
+        let dims = self.dims();
+        let mut strides = vec![0usize; dims.len()];
         let mut acc = 1usize;
-        for (i, &d) in self.dims.iter().enumerate().rev() {
+        for (i, &d) in dims.iter().enumerate().rev() {
             strides[i] = acc;
             acc *= d;
         }
@@ -79,22 +106,23 @@ impl Shape {
     /// Returns [`TensorError::IndexOutOfBounds`] if `index` has the wrong rank
     /// or any coordinate exceeds the corresponding dimension.
     pub fn offset(&self, index: &[usize]) -> Result<usize, TensorError> {
-        if index.len() != self.dims.len() {
+        let dims = self.dims();
+        if index.len() != dims.len() {
             return Err(TensorError::IndexOutOfBounds {
                 index: index.to_vec(),
-                shape: self.dims.clone(),
+                shape: dims.to_vec(),
             });
         }
+        // Row-major Horner evaluation avoids materialising the stride vector.
         let mut offset = 0usize;
-        let strides = self.strides();
-        for ((&i, &d), &s) in index.iter().zip(&self.dims).zip(&strides) {
+        for (&i, &d) in index.iter().zip(dims) {
             if i >= d {
                 return Err(TensorError::IndexOutOfBounds {
                     index: index.to_vec(),
-                    shape: self.dims.clone(),
+                    shape: dims.to_vec(),
                 });
             }
-            offset += i * s;
+            offset = offset * d + i;
         }
         Ok(offset)
     }
@@ -105,10 +133,10 @@ impl Shape {
     ///
     /// Returns [`TensorError::RankMismatch`] if the shape is not rank 4.
     pub fn as_nchw(&self) -> Result<(usize, usize, usize, usize), TensorError> {
-        if self.dims.len() != 4 {
+        if self.rank != 4 {
             return Err(TensorError::RankMismatch {
                 expected: 4,
-                actual: self.dims.len(),
+                actual: self.rank as usize,
             });
         }
         Ok((self.dims[0], self.dims[1], self.dims[2], self.dims[3]))
@@ -120,20 +148,40 @@ impl Shape {
     ///
     /// Returns [`TensorError::RankMismatch`] if the shape is not rank 2.
     pub fn as_matrix(&self) -> Result<(usize, usize), TensorError> {
-        if self.dims.len() != 2 {
+        if self.rank != 2 {
             return Err(TensorError::RankMismatch {
                 expected: 2,
-                actual: self.dims.len(),
+                actual: self.rank as usize,
             });
         }
         Ok((self.dims[0], self.dims[1]))
     }
 }
 
+impl PartialEq for Shape {
+    fn eq(&self, other: &Self) -> bool {
+        self.dims() == other.dims()
+    }
+}
+
+impl Eq for Shape {}
+
+impl std::hash::Hash for Shape {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.dims().hash(state);
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Shape {{ dims: {:?} }}", self.dims())
+    }
+}
+
 impl fmt::Display for Shape {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "[")?;
-        for (i, d) in self.dims.iter().enumerate() {
+        for (i, d) in self.dims().iter().enumerate() {
             if i > 0 {
                 write!(f, ", ")?;
             }
@@ -151,7 +199,7 @@ impl From<&[usize]> for Shape {
 
 impl From<Vec<usize>> for Shape {
     fn from(dims: Vec<usize>) -> Self {
-        Shape { dims }
+        Shape::new(&dims)
     }
 }
 
@@ -222,5 +270,18 @@ mod tests {
         let a: Shape = vec![1, 2].into();
         let b: Shape = (&[1usize, 2][..]).into();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn equality_ignores_unused_slots() {
+        // Shapes of different rank sharing a prefix must not compare equal.
+        assert_ne!(Shape::new(&[2, 3]), Shape::new(&[2, 3, 1]));
+        assert_ne!(Shape::new(&[2]), Shape::scalar());
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn over_max_rank_panics() {
+        Shape::new(&[1, 1, 1, 1, 1, 1, 1]);
     }
 }

@@ -1,6 +1,6 @@
 //! The dense, owned, row-major `f32` tensor type.
 
-use crate::{Result, Shape, TensorError};
+use crate::{Result, Shape, TensorArena, TensorError};
 use std::fmt;
 
 /// A dense, contiguous, row-major `f32` tensor.
@@ -228,17 +228,55 @@ impl Tensor {
     /// single-image requests into one defended batch). Data is copied once
     /// into a contiguous buffer.
     ///
+    /// Accepts anything that iterates over tensor references, so callers can
+    /// pass `&owned_vec`, an array of references (`[&a, &b]`) or an adapter
+    /// directly — no intermediate borrow `Vec` needed:
+    ///
+    /// ```
+    /// use sesr_tensor::{Shape, Tensor};
+    ///
+    /// let chunks = vec![
+    ///     Tensor::zeros(Shape::new(&[2, 3, 4, 4])),
+    ///     Tensor::zeros(Shape::new(&[1, 3, 4, 4])),
+    /// ];
+    /// let merged = Tensor::concat_batch(&chunks)?;
+    /// assert_eq!(merged.shape().dims(), &[3, 3, 4, 4]);
+    /// # Ok::<(), sesr_tensor::TensorError>(())
+    /// ```
+    ///
     /// # Errors
     ///
     /// Returns an error if the list is empty, any item is not rank 4, or the
     /// items disagree on `C`, `H` or `W`.
-    pub fn concat_batch(items: &[&Tensor]) -> Result<Tensor> {
+    pub fn concat_batch<'a, I>(items: I) -> Result<Tensor>
+    where
+        I: IntoIterator<Item = &'a Tensor>,
+    {
+        Tensor::concat_batch_arena(items, &mut TensorArena::exact())
+    }
+
+    /// Arena-backed [`Tensor::concat_batch`]: the merged buffer comes from
+    /// `arena`, so a serving worker that recycles it after the defense keeps
+    /// its batching path allocation-free at steady state.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the list is empty, any item is not rank 4, or the
+    /// items disagree on `C`, `H` or `W`.
+    pub fn concat_batch_arena<'a, I>(items: I, arena: &mut TensorArena) -> Result<Tensor>
+    where
+        I: IntoIterator<Item = &'a Tensor>,
+    {
+        // The borrow list is buffered so the payload buffer can be sized (and
+        // arena-classed) exactly once; the list itself is a few pointers, the
+        // payload copy is what the arena keeps allocation-free.
+        let items: Vec<&Tensor> = items.into_iter().collect();
         let first = items
             .first()
             .ok_or_else(|| TensorError::invalid_argument("concat_batch on empty list"))?;
         let (_, c, h, w) = first.shape.as_nchw()?;
         let mut total = 0usize;
-        for item in items {
+        for item in &items {
             let (n, ic, ih, iw) = item.shape.as_nchw()?;
             if (ic, ih, iw) != (c, h, w) {
                 return Err(TensorError::ShapeMismatch {
@@ -248,9 +286,12 @@ impl Tensor {
             }
             total += n;
         }
-        let mut data = Vec::with_capacity(total * c * h * w);
-        for item in items {
-            data.extend_from_slice(item.data());
+        let stride = c * h * w;
+        let mut data = arena.alloc(total * stride);
+        let mut offset = 0usize;
+        for item in &items {
+            data[offset..offset + item.data.len()].copy_from_slice(item.data());
+            offset += item.data.len();
         }
         Tensor::from_vec(Shape::new(&[total, c, h, w]), data)
     }
@@ -266,6 +307,17 @@ impl Tensor {
     ///
     /// Returns an error if the tensor is not rank 4 or `chunk` is zero.
     pub fn split_batch(&self, chunk: usize) -> Result<Vec<Tensor>> {
+        self.split_batch_arena(chunk, &mut TensorArena::exact())
+    }
+
+    /// Arena-backed [`Tensor::split_batch`]: every chunk's buffer comes from
+    /// `arena`. (The container `Vec` holding the chunks is still a plain
+    /// allocation; it is the image payloads that dominate.)
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the tensor is not rank 4 or `chunk` is zero.
+    pub fn split_batch_arena(&self, chunk: usize, arena: &mut TensorArena) -> Result<Vec<Tensor>> {
         if chunk == 0 {
             return Err(TensorError::invalid_argument(
                 "split_batch chunk size must be positive",
@@ -277,7 +329,8 @@ impl Tensor {
         let mut start = 0usize;
         while start < n {
             let size = chunk.min(n - start);
-            let data = self.data[start * stride..(start + size) * stride].to_vec();
+            let mut data = arena.alloc(size * stride);
+            data.copy_from_slice(&self.data[start * stride..(start + size) * stride]);
             out.push(Tensor::from_vec(Shape::new(&[size, c, h, w]), data)?);
             start += size;
         }
@@ -376,7 +429,7 @@ mod tests {
             (8..20).map(|v| v as f32).collect(),
         )
         .unwrap();
-        let merged = Tensor::concat_batch(&[&a, &b]).unwrap();
+        let merged = Tensor::concat_batch([&a, &b]).unwrap();
         assert_eq!(merged.shape().dims(), &[5, 1, 2, 2]);
         assert_eq!(merged.data()[..8], *a.data());
         assert_eq!(merged.data()[8..], *b.data());
@@ -385,18 +438,44 @@ mod tests {
         assert_eq!(chunks.len(), 3);
         assert_eq!(chunks[0].shape().dims(), &[2, 1, 2, 2]);
         assert_eq!(chunks[2].shape().dims(), &[1, 1, 2, 2]);
-        let rejoined = Tensor::concat_batch(&chunks.iter().collect::<Vec<_>>()).unwrap();
+        // Owned chunks concatenate directly — no borrow Vec needed.
+        let rejoined = Tensor::concat_batch(&chunks).unwrap();
         assert_eq!(rejoined, merged);
     }
 
     #[test]
     fn concat_split_batch_reject_bad_arguments() {
-        assert!(Tensor::concat_batch(&[]).is_err());
+        assert!(Tensor::concat_batch([]).is_err());
         let a = Tensor::zeros(Shape::new(&[1, 1, 2, 2]));
         let b = Tensor::zeros(Shape::new(&[1, 1, 3, 3]));
-        assert!(Tensor::concat_batch(&[&a, &b]).is_err());
+        assert!(Tensor::concat_batch([&a, &b]).is_err());
         assert!(a.split_batch(0).is_err());
         assert!(Tensor::from_slice(&[1.0]).split_batch(1).is_err());
+    }
+
+    #[test]
+    fn arena_concat_split_round_trip() {
+        let mut arena = TensorArena::new();
+        let a = Tensor::from_vec(
+            Shape::new(&[2, 1, 2, 2]),
+            (0..8).map(|v| v as f32).collect(),
+        )
+        .unwrap();
+        let b = Tensor::from_vec(
+            Shape::new(&[1, 1, 2, 2]),
+            (8..12).map(|v| v as f32).collect(),
+        )
+        .unwrap();
+        let expected = Tensor::concat_batch([&a, &b]).unwrap();
+        let merged = Tensor::concat_batch_arena([&a, &b], &mut arena).unwrap();
+        assert_eq!(merged, expected);
+        let chunks = merged.split_batch_arena(1, &mut arena).unwrap();
+        assert_eq!(chunks.len(), 3);
+        for chunk in chunks {
+            arena.recycle(chunk);
+        }
+        arena.recycle(merged);
+        assert_eq!(arena.stats().in_use_bytes, 0);
     }
 
     #[test]

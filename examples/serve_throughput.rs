@@ -23,11 +23,15 @@
 //! 3. **multi-model gateway** — the same traffic round-robined across three
 //!    defense routes of one `DefenseGateway`, printing the per-route stats
 //!    breakdown (jobs, latency percentiles, cache hit rate per route).
+//! 4. **arena hot path** — before/after p50/p95 of the worker inner loop:
+//!    the allocating `defend` versus the arena-backed `defend_scratch` that
+//!    serving workers use (zero steady-state heap allocations; see the
+//!    counting-allocator proof in `crates/bench/tests/alloc_tracking.rs`).
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sesr_defense::pipeline::{DefensePipeline, PreprocessConfig};
-use sesr_models::SrModelKind;
+use sesr_models::{ScratchSpace, SrModelKind};
 use sesr_serve::{
     DefenseRequest, DefenseServer, GatewayBuilder, RouteKey, ServeConfig, ServeError, WorkerAssets,
 };
@@ -255,6 +259,71 @@ fn main() -> Result<(), ServeError> {
         );
     }
 
+    // ------------------------------------------------- arena hot path
+    // Before/after comparison of the worker inner loop: the same SESR-M2
+    // defense once through the classic allocating `defend` and once through
+    // the arena-backed `defend_scratch` every serving worker now uses. The
+    // outputs are bitwise identical; the arena removes every steady-state
+    // heap allocation from the SR forward pass (proven by the counting
+    // allocator in `crates/bench/tests/alloc_tracking.rs`), which shows up
+    // here as lower and tighter per-request latency.
+    const ARENA_ITERS: usize = 60;
+    let pipeline = DefensePipeline::new(
+        PreprocessConfig::none(),
+        SrModelKind::SesrM2
+            .build_seeded_upscaler(2, 0)
+            .map_err(ServeError::from)?,
+    );
+    let image = unique_images(1).remove(0);
+    let mut scratch = ScratchSpace::new();
+    let baseline = pipeline.defend(&image)?;
+    for _ in 0..5 {
+        // Warm-up: populate the arena pools (and the CPU caches for both paths).
+        let out = pipeline.defend_scratch(&image, &mut scratch)?;
+        assert_eq!(out, baseline, "arena defense must be bitwise identical");
+        scratch.recycle(out);
+    }
+    let mut alloc_latencies = Vec::with_capacity(ARENA_ITERS);
+    for _ in 0..ARENA_ITERS {
+        let start = Instant::now();
+        let out = pipeline.defend(&image)?;
+        alloc_latencies.push(start.elapsed());
+        drop(out);
+    }
+    let mut arena_latencies = Vec::with_capacity(ARENA_ITERS);
+    for _ in 0..ARENA_ITERS {
+        let start = Instant::now();
+        let out = pipeline.defend_scratch(&image, &mut scratch)?;
+        arena_latencies.push(start.elapsed());
+        scratch.recycle(out);
+    }
+    let stats = scratch.stats();
+    println!("\n[arena hot path: SESR-M2 x2 defend, {ARENA_ITERS} single-image requests]");
+    println!(
+        "  allocating defend          : p50 {:?}  p95 {:?}",
+        percentile(&mut alloc_latencies, 50),
+        percentile(&mut alloc_latencies, 95),
+    );
+    println!(
+        "  arena defend_scratch       : p50 {:?}  p95 {:?}",
+        percentile(&mut arena_latencies, 50),
+        percentile(&mut arena_latencies, 95),
+    );
+    println!(
+        "  arena: {} hits / {} misses ({:.0}% hit rate), high water {} KiB",
+        stats.hits,
+        stats.misses,
+        stats.hit_rate() * 100.0,
+        stats.high_water_bytes / 1024,
+    );
+
     println!("\nserve subsystem sustained strictly higher images/sec than the sequential baseline");
     Ok(())
+}
+
+/// The `pct`-th percentile of a latency sample (sorts in place).
+fn percentile(samples: &mut [Duration], pct: usize) -> Duration {
+    samples.sort_unstable();
+    let idx = (samples.len() * pct / 100).min(samples.len() - 1);
+    samples[idx]
 }

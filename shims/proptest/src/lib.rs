@@ -82,7 +82,7 @@ pub mod prop {
         use super::super::{Strategy, TestRng};
         use rand::Rng;
 
-        /// Size specifications accepted by [`vec`]: a fixed length or a
+        /// Size specifications accepted by [`vec()`]: a fixed length or a
         /// half-open range of lengths.
         pub trait IntoSizeRange {
             /// Inclusive `(min, max)` length bounds.
