@@ -129,6 +129,35 @@ impl AttackKind {
         }
     }
 
+    /// Lowercase identifier slug (`"fgsm"`, `"pgd"`, `"apgd"`,
+    /// `"di2fgsm"`); the inverse of [`AttackKind::parse`].
+    pub fn slug(&self) -> &'static str {
+        match self {
+            AttackKind::Fgsm => "fgsm",
+            AttackKind::Pgd => "pgd",
+            AttackKind::Apgd => "apgd",
+            AttackKind::DiFgsm => "di2fgsm",
+        }
+    }
+
+    /// Parse a display name (`"DI2FGSM"`), slug or punctuation variant
+    /// (`"di-fgsm"`) back into a kind, case-insensitively; `None` for
+    /// unknown names. This is what lets CLI flags name attack subsets.
+    pub fn parse(name: &str) -> Option<AttackKind> {
+        let normalized: String = name
+            .chars()
+            .filter(|c| c.is_ascii_alphanumeric())
+            .collect::<String>()
+            .to_ascii_lowercase();
+        match normalized.as_str() {
+            "fgsm" => Some(AttackKind::Fgsm),
+            "pgd" => Some(AttackKind::Pgd),
+            "apgd" | "autopgd" => Some(AttackKind::Apgd),
+            "di2fgsm" | "difgsm" => Some(AttackKind::DiFgsm),
+            _ => None,
+        }
+    }
+
     /// Build the attack with the given configuration.
     pub fn build(&self, config: AttackConfig) -> Box<dyn Attack> {
         match self {
@@ -163,6 +192,18 @@ mod tests {
     fn invalid_configs_are_rejected() {
         assert!(AttackConfig::paper().with_epsilon(0.0).validate().is_err());
         assert!(AttackConfig::paper().with_steps(0).validate().is_err());
+    }
+
+    #[test]
+    fn parse_inverts_name_and_slug_for_every_kind() {
+        for kind in AttackKind::all() {
+            assert_eq!(AttackKind::parse(kind.name()), Some(kind));
+            assert_eq!(AttackKind::parse(kind.slug()), Some(kind));
+        }
+        assert_eq!(AttackKind::parse("di-fgsm"), Some(AttackKind::DiFgsm));
+        assert_eq!(AttackKind::parse("Auto-PGD"), Some(AttackKind::Apgd));
+        assert_eq!(AttackKind::parse("cw"), None);
+        assert_eq!(AttackKind::parse(""), None);
     }
 
     #[test]

@@ -5,6 +5,8 @@
 //! `cargo run -p sesr-bench --bin tables -- table4` and by this bench's
 //! setup output.
 
+#![allow(deprecated)] // the run_table4 shim must keep working until removed
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sesr_classifiers::cost::mobilenet_v2_paper_spec;
 use sesr_defense::experiments::{run_table4, table4_sr_models};

@@ -1,29 +1,62 @@
-//! Regenerate the paper's tables.
+//! The evaluation-plan runner (formerly the hard-coded table regenerator).
 //!
 //! ```text
-//! cargo run --release -p sesr-bench --bin tables -- all          # every table, quick scale
-//! cargo run --release -p sesr-bench --bin tables -- table2 full  # one table, full scale
+//! tables [selection] [scale] [flags]
+//!
+//!   selection   all | table1 | table2 | table3 | table4 | transfer | gateway
+//!               (default: all)
+//!   scale       smoke | quick | full          (default: quick)
+//!
+//!   --list             print the selected scenario names and exit
+//!   --filter A,B,..    keep scenarios whose name contains any substring
+//!   --attacks a,b,..   override the attack grid (fgsm, pgd, apgd, di2fgsm)
+//!   --json PATH        write the machine-readable JSON artifact
+//!   --csv PATH         write the results as CSV
+//!   --store DIR        persistent model store (default: throw-away temp dir);
+//!                      a warm store skips every training run it already holds
+//!   --workers N        cap the scenario worker pool
 //! ```
 //!
-//! Scales: `quick` (default, minutes) trains tiny models on tiny synthetic
-//! datasets; `full` uses the larger configuration described in DESIGN.md and
-//! takes substantially longer, but covers every classifier, every attack and
-//! every SR model from the paper.
+//! Examples:
+//!
+//! ```text
+//! cargo run --release -p sesr-bench --bin tables -- all quick
+//! cargo run --release -p sesr-bench --bin tables -- table2 full --store eval-store
+//! cargo run --release -p sesr-bench --bin tables -- all smoke \
+//!     --filter transfer/mobilenet-v2-to-resnet-50,gateway/mobilenet-v2 \
+//!     --json BENCH_eval_smoke.json
+//! ```
+//!
+//! The process exits non-zero when any selected scenario fails, so CI can
+//! gate on it.
 
 use sesr_attacks::AttackKind;
 use sesr_classifiers::ClassifierKind;
-use sesr_defense::experiments::{run_table1, run_table2, run_table3, run_table4, ExperimentConfig};
-use sesr_defense::report::{format_table1, format_table2, format_table3, format_table4};
+use sesr_defense::eval::{CsvSink, EvalPlan, EvalSink, JsonSink, ModelBank, TextTableSink};
+use sesr_defense::experiments::ExperimentConfig;
 use sesr_models::SrModelKind;
 use sesr_npu::NpuConfig;
+use sesr_serve::GatewayScenario;
+use std::sync::Arc;
 
 fn usage() -> ! {
-    eprintln!("usage: tables <all|table1|table2|table3|table4> [quick|full]");
+    eprintln!(
+        "usage: tables [all|table1|table2|table3|table4|transfer|gateway] [smoke|quick|full]\n\
+         \x20      [--list] [--filter A,B] [--attacks a,b] [--json PATH] [--csv PATH]\n\
+         \x20      [--store DIR] [--workers N]"
+    );
     std::process::exit(2);
 }
 
 fn config_for_scale(scale: &str) -> ExperimentConfig {
     match scale {
+        // The test-scale grid (seconds): two classifiers so the transfer and
+        // gateway scenarios are expressible, everything else minimal.
+        "smoke" => {
+            let mut config = ExperimentConfig::quick();
+            config.classifiers = vec![ClassifierKind::MobileNetV2, ClassifierKind::ResNet50];
+            config
+        }
         "quick" => {
             // A configuration that exercises every code path in a few minutes:
             // two classifiers, two attacks, and a representative SR subset.
@@ -60,7 +93,7 @@ fn config_for_scale(scale: &str) -> ExperimentConfig {
     }
 }
 
-fn table3_config(base: &ExperimentConfig) -> ExperimentConfig {
+fn table3_config(base: &ExperimentConfig, attacks_overridden: bool) -> ExperimentConfig {
     // Table III uses the larger classifiers, PGD/APGD and a defense subset.
     let mut config = base.clone();
     config.classifiers = base
@@ -72,14 +105,19 @@ fn table3_config(base: &ExperimentConfig) -> ExperimentConfig {
     if config.classifiers.is_empty() {
         config.classifiers = vec![ClassifierKind::ResNet50];
     }
-    config.attacks = base
-        .attacks
-        .iter()
-        .copied()
-        .filter(|a| matches!(a, AttackKind::Pgd | AttackKind::Apgd))
-        .collect();
-    if config.attacks.is_empty() {
-        config.attacks = vec![AttackKind::Pgd];
+    // An explicit --attacks list wins over the paper's PGD/APGD default —
+    // silently substituting PGD for a user-requested grid would misattribute
+    // the rows.
+    if !attacks_overridden {
+        config.attacks = base
+            .attacks
+            .iter()
+            .copied()
+            .filter(|a| matches!(a, AttackKind::Pgd | AttackKind::Apgd))
+            .collect();
+        if config.attacks.is_empty() {
+            config.attacks = vec![AttackKind::Pgd];
+        }
     }
     config.sr_kinds = base
         .sr_kinds
@@ -90,51 +128,226 @@ fn table3_config(base: &ExperimentConfig) -> ExperimentConfig {
     config
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let which = args.first().map(String::as_str).unwrap_or("all");
-    let scale = args.get(1).map(String::as_str).unwrap_or("quick");
-    let config = config_for_scale(scale);
+/// The gateway plan: one serving-stack evaluation per classifier, routing
+/// every configured SR model.
+fn gateway_plan(config: &ExperimentConfig) -> EvalPlan {
+    let mut plan = EvalPlan::new("gateway");
+    for classifier in &config.classifiers {
+        plan = plan.custom(
+            format!("gateway/{}", classifier.slug()),
+            Arc::new(GatewayScenario::paper(
+                *classifier,
+                config.sr_kinds.iter().copied(),
+                config.attacks.clone(),
+            )),
+        );
+    }
+    plan
+}
 
-    let run_one = |name: &str| match name {
-        "table1" => {
-            println!("regenerating Table I ({scale} scale) ...");
-            match run_table1(&config) {
-                Ok(rows) => println!("{}", format_table1(&rows)),
-                Err(err) => eprintln!("table1 failed: {err}"),
-            }
-        }
-        "table2" => {
-            println!("regenerating Table II ({scale} scale) ...");
-            match run_table2(&config) {
-                Ok(sections) => println!("{}", format_table2(&sections)),
-                Err(err) => eprintln!("table2 failed: {err}"),
-            }
-        }
-        "table3" => {
-            println!("regenerating Table III ({scale} scale) ...");
-            match run_table3(&table3_config(&config)) {
-                Ok(rows) => println!("{}", format_table3(&rows)),
-                Err(err) => eprintln!("table3 failed: {err}"),
-            }
-        }
-        "table4" => {
-            println!("regenerating Table IV (analytic) ...");
-            let npu = NpuConfig::ethos_u55_256();
-            match run_table4(&npu) {
-                Ok(rows) => println!("{}", format_table4(&rows, &npu.name)),
-                Err(err) => eprintln!("table4 failed: {err}"),
-            }
-        }
+fn plan_for_selection(
+    selection: &str,
+    config: &ExperimentConfig,
+    attacks_overridden: bool,
+) -> EvalPlan {
+    match selection {
+        "all" => EvalPlan::new("all")
+            .extend(EvalPlan::table1(config))
+            .extend(EvalPlan::table2(config))
+            .extend(EvalPlan::table3(&table3_config(config, attacks_overridden)))
+            .extend(EvalPlan::table4(&NpuConfig::ethos_u55_256()))
+            .extend(EvalPlan::transfer(config))
+            .extend(gateway_plan(config)),
+        "table1" => EvalPlan::table1(config),
+        "table2" => EvalPlan::table2(config),
+        "table3" => EvalPlan::table3(&table3_config(config, attacks_overridden)),
+        "table4" => EvalPlan::table4(&NpuConfig::ethos_u55_256()),
+        "transfer" => EvalPlan::transfer(config),
+        "gateway" => gateway_plan(config),
         _ => usage(),
+    }
+}
+
+struct Args {
+    selection: String,
+    scale: String,
+    list: bool,
+    filter: Vec<String>,
+    attacks: Option<Vec<AttackKind>>,
+    json: Option<String>,
+    csv: Option<String>,
+    store: Option<String>,
+    workers: Option<usize>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        selection: "all".to_string(),
+        scale: "quick".to_string(),
+        list: false,
+        filter: Vec::new(),
+        attacks: None,
+        json: None,
+        csv: None,
+        store: None,
+        workers: None,
+    };
+    let mut positional = 0usize;
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        let mut flag_value = |name: &str| match iter.next() {
+            Some(value) => value,
+            None => {
+                eprintln!("{name} needs a value");
+                usage()
+            }
+        };
+        match arg.as_str() {
+            "--list" => args.list = true,
+            "--filter" => {
+                args.filter = flag_value("--filter")
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect();
+            }
+            "--attacks" => {
+                let parsed: Option<Vec<AttackKind>> = flag_value("--attacks")
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(AttackKind::parse)
+                    .collect();
+                match parsed {
+                    Some(kinds) if !kinds.is_empty() => args.attacks = Some(kinds),
+                    _ => {
+                        eprintln!("--attacks: unknown attack name");
+                        usage()
+                    }
+                }
+            }
+            "--json" => args.json = Some(flag_value("--json")),
+            "--csv" => args.csv = Some(flag_value("--csv")),
+            "--store" => args.store = Some(flag_value("--store")),
+            "--workers" => match flag_value("--workers").parse() {
+                Ok(n) if n > 0 => args.workers = Some(n),
+                _ => {
+                    eprintln!("--workers needs a positive integer");
+                    usage()
+                }
+            },
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag {flag}");
+                usage()
+            }
+            positional_arg => {
+                match positional {
+                    0 => args.selection = positional_arg.to_string(),
+                    1 => args.scale = positional_arg.to_string(),
+                    _ => usage(),
+                }
+                positional += 1;
+            }
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let mut config = config_for_scale(&args.scale);
+    if let Some(attacks) = &args.attacks {
+        config.attacks = attacks.clone();
+    }
+
+    let mut plan =
+        plan_for_selection(&args.selection, &config, args.attacks.is_some()).filter(&args.filter);
+    if let Some(workers) = args.workers {
+        plan = plan.workers(workers);
+    }
+    if args.list {
+        for name in plan.names() {
+            println!("{name}");
+        }
+        return;
+    }
+    if plan.is_empty() {
+        eprintln!(
+            "no scenarios selected (selection {:?}, filter {:?})",
+            args.selection, args.filter
+        );
+        std::process::exit(2);
+    }
+
+    // One bank for the whole run: scenarios (and tables) sharing a trained
+    // model train it once. With --store the reuse also spans invocations.
+    let bank = match &args.store {
+        Some(root) => ModelBank::open(root, config.clone()),
+        None => ModelBank::ephemeral(config.clone()),
+    };
+    let bank = match bank {
+        Ok(bank) => bank,
+        Err(err) => {
+            eprintln!("cannot open model store: {err}");
+            std::process::exit(1);
+        }
     };
 
-    match which {
-        "all" => {
-            for name in ["table1", "table2", "table3", "table4"] {
-                run_one(name);
+    println!(
+        "running {} scenario(s) at {} scale (store: {})",
+        plan.len(),
+        args.scale,
+        bank.store().root().display()
+    );
+
+    let mut text = TextTableSink::new(std::io::stdout());
+    let mut json = args.json.as_ref().map(JsonSink::to_path);
+    let mut csv_file = match &args.csv {
+        Some(path) => match std::fs::File::create(path) {
+            Ok(file) => Some(CsvSink::new(file)),
+            Err(err) => {
+                eprintln!("cannot create {path}: {err}");
+                std::process::exit(1);
             }
+        },
+        None => None,
+    };
+    let mut sinks: Vec<&mut dyn EvalSink> = vec![&mut text];
+    if let Some(sink) = json.as_mut() {
+        sinks.push(sink);
+    }
+    if let Some(sink) = csv_file.as_mut() {
+        sinks.push(sink);
+    }
+
+    let report = match plan.run_with_sinks(&bank, &mut sinks) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("plan failed: {err}");
+            std::process::exit(1);
         }
-        name => run_one(name),
+    };
+
+    let counts = bank.train_counts();
+    println!(
+        "trained {} SR model(s) and {} classifier(s) this run; registry {} hit(s) / {} miss(es)",
+        counts.sr_models,
+        counts.classifiers,
+        bank.registry().hit_counts().0,
+        bank.registry().hit_counts().1,
+    );
+    let failures = report.failures();
+    if !failures.is_empty() || !report.sink_errors.is_empty() {
+        for failure in &failures {
+            eprintln!("scenario {} failed", failure.meta.name);
+        }
+        for sink_error in &report.sink_errors {
+            eprintln!("sink failed: {sink_error}");
+        }
+        std::process::exit(1);
+    }
+    if let Some(path) = &args.json {
+        println!("JSON artifact written to {path}");
     }
 }

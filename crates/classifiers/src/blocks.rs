@@ -86,6 +86,14 @@ impl Layer for InvertedResidual {
     fn params(&self) -> Vec<&Param> {
         self.body.params()
     }
+
+    fn buffers(&self) -> Vec<&Tensor> {
+        self.body.buffers()
+    }
+
+    fn buffers_mut(&mut self) -> Vec<&mut Tensor> {
+        self.body.buffers_mut()
+    }
 }
 
 /// ResNet basic residual block (two 3×3 convolutions with batch norm), with a
@@ -164,6 +172,22 @@ impl Layer for ResidualBlock {
         let mut out = self.body.params();
         if let Some(s) = &self.shortcut {
             out.extend(s.params());
+        }
+        out
+    }
+
+    fn buffers(&self) -> Vec<&Tensor> {
+        let mut out = self.body.buffers();
+        if let Some(s) = &self.shortcut {
+            out.extend(s.buffers());
+        }
+        out
+    }
+
+    fn buffers_mut(&mut self) -> Vec<&mut Tensor> {
+        let mut out = self.body.buffers_mut();
+        if let Some(s) = &mut self.shortcut {
+            out.extend(s.buffers_mut());
         }
         out
     }
@@ -270,6 +294,17 @@ impl Layer for InceptionBlock {
 
     fn params(&self) -> Vec<&Param> {
         self.branches.iter().flat_map(|b| b.params()).collect()
+    }
+
+    fn buffers(&self) -> Vec<&Tensor> {
+        self.branches.iter().flat_map(|b| b.buffers()).collect()
+    }
+
+    fn buffers_mut(&mut self) -> Vec<&mut Tensor> {
+        self.branches
+            .iter_mut()
+            .flat_map(|b| b.buffers_mut())
+            .collect()
     }
 }
 

@@ -97,6 +97,14 @@ impl Layer for InceptionNet {
     fn params(&self) -> Vec<&Param> {
         self.network.params()
     }
+
+    fn buffers(&self) -> Vec<&Tensor> {
+        self.network.buffers()
+    }
+
+    fn buffers_mut(&mut self) -> Vec<&mut Tensor> {
+        self.network.buffers_mut()
+    }
 }
 
 #[cfg(test)]

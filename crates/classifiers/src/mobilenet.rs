@@ -96,6 +96,14 @@ impl Layer for MobileNetV2 {
     fn params(&self) -> Vec<&Param> {
         self.network.params()
     }
+
+    fn buffers(&self) -> Vec<&Tensor> {
+        self.network.buffers()
+    }
+
+    fn buffers_mut(&mut self) -> Vec<&mut Tensor> {
+        self.network.buffers_mut()
+    }
 }
 
 #[cfg(test)]

@@ -40,6 +40,25 @@ impl ClassifierKind {
         }
     }
 
+    /// Filesystem/identifier-safe slug of the display name
+    /// (`"MobileNet-V2"` → `"mobilenet-v2"`), the same mapping the artifact
+    /// store uses for its directories; the inverse of
+    /// [`ClassifierKind::parse`].
+    pub fn slug(&self) -> String {
+        sesr_store::slugify(self.name())
+    }
+
+    /// Parse a display name (`"ResNet-50"`), slug (`"resnet-50"`) or
+    /// space/underscore variant back into a kind; `None` for anything that
+    /// is not a classifier (e.g. an SR model id). This is what lets CLI
+    /// flags and scenario filters name classifiers.
+    pub fn parse(name: &str) -> Option<ClassifierKind> {
+        let normalized = sesr_store::slugify(name);
+        ClassifierKind::all()
+            .into_iter()
+            .find(|kind| kind.slug() == normalized)
+    }
+
     /// Build the laptop-scale runnable classifier for `num_classes` classes.
     pub fn build_local(&self, num_classes: usize, rng: &mut impl Rng) -> Box<dyn Layer> {
         match self {
@@ -137,6 +156,20 @@ mod tests {
         assert_eq!(ClassifierKind::MobileNetV2.name(), "MobileNet-V2");
         assert_eq!(ClassifierKind::ResNet50.to_string(), "ResNet-50");
         assert_eq!(ClassifierKind::InceptionV3.name(), "Inception-V3");
+    }
+
+    #[test]
+    fn parse_inverts_name_and_slug_for_every_kind() {
+        for kind in ClassifierKind::all() {
+            assert_eq!(ClassifierKind::parse(kind.name()), Some(kind));
+            assert_eq!(ClassifierKind::parse(&kind.slug()), Some(kind));
+        }
+        assert_eq!(
+            ClassifierKind::parse("mobilenet_v2"),
+            Some(ClassifierKind::MobileNetV2)
+        );
+        assert_eq!(ClassifierKind::parse("sesr-m2"), None);
+        assert_eq!(ClassifierKind::parse(""), None);
     }
 
     #[test]

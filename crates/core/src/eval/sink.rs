@@ -1,0 +1,414 @@
+//! Result sinks: where a plan run streams its records.
+//!
+//! Sinks receive scenarios in declaration order (the runner holds completed
+//! scenarios back until their prefix is done), so every sink's output is
+//! deterministic regardless of worker scheduling.
+
+use crate::eval::plan::{PlanReport, ScenarioMeta, ScenarioStatus};
+use crate::eval::record::{json_string, EvalRecord, FieldValue};
+use crate::Result;
+use sesr_tensor::TensorError;
+use std::io::Write;
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn io_err(context: &str, err: &std::io::Error) -> TensorError {
+    TensorError::invalid_argument(format!("eval sink {context}: {err}"))
+}
+
+/// A consumer of plan results.
+///
+/// All methods default to no-ops so a sink only implements the events it
+/// cares about.
+pub trait EvalSink {
+    /// Called once before any scenario, with the plan name and scenario
+    /// count.
+    ///
+    /// # Errors
+    ///
+    /// A sink error aborts the plan run with that error.
+    fn begin_plan(&mut self, _plan: &str, _scenarios: usize) -> Result<()> {
+        Ok(())
+    }
+
+    /// Called when a scenario's results start streaming.
+    ///
+    /// # Errors
+    ///
+    /// A sink error aborts the plan run with that error.
+    fn begin_scenario(&mut self, _meta: &ScenarioMeta) -> Result<()> {
+        Ok(())
+    }
+
+    /// Called once per result record.
+    ///
+    /// # Errors
+    ///
+    /// A sink error aborts the plan run with that error.
+    fn record(&mut self, _meta: &ScenarioMeta, _record: &EvalRecord) -> Result<()> {
+        Ok(())
+    }
+
+    /// Called when a scenario's results are complete (or it failed).
+    ///
+    /// # Errors
+    ///
+    /// A sink error aborts the plan run with that error.
+    fn end_scenario(
+        &mut self,
+        _meta: &ScenarioMeta,
+        _status: &ScenarioStatus,
+        _duration: Duration,
+    ) -> Result<()> {
+        Ok(())
+    }
+
+    /// Called once after every scenario has been emitted.
+    ///
+    /// # Errors
+    ///
+    /// A sink error fails the plan run with that error (the report is
+    /// already complete at this point).
+    fn end_plan(&mut self, _report: &PlanReport) -> Result<()> {
+        Ok(())
+    }
+}
+
+/// Human-readable sink: one aligned text table per scenario, written to any
+/// [`Write`] (stdout in the plan-runner bin).
+pub struct TextTableSink<W: Write> {
+    out: W,
+    pending: Vec<EvalRecord>,
+}
+
+impl<W: Write> TextTableSink<W> {
+    /// Wrap a writer.
+    pub fn new(out: W) -> Self {
+        TextTableSink {
+            out,
+            pending: Vec::new(),
+        }
+    }
+
+    /// The wrapped writer (useful for tests over `Vec<u8>`).
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+}
+
+/// Column layout: keys in first-appearance order across the scenario's
+/// records.
+fn columns(records: &[EvalRecord]) -> Vec<String> {
+    let mut keys: Vec<String> = Vec::new();
+    for record in records {
+        for (key, _) in record.fields() {
+            if !keys.contains(key) {
+                keys.push(key.clone());
+            }
+        }
+    }
+    keys
+}
+
+impl<W: Write> EvalSink for TextTableSink<W> {
+    fn begin_plan(&mut self, plan: &str, scenarios: usize) -> Result<()> {
+        writeln!(self.out, "plan {plan}: {scenarios} scenario(s)").map_err(|e| io_err("write", &e))
+    }
+
+    fn begin_scenario(&mut self, _meta: &ScenarioMeta) -> Result<()> {
+        self.pending.clear();
+        Ok(())
+    }
+
+    fn record(&mut self, _meta: &ScenarioMeta, record: &EvalRecord) -> Result<()> {
+        self.pending.push(record.clone());
+        Ok(())
+    }
+
+    fn end_scenario(
+        &mut self,
+        meta: &ScenarioMeta,
+        status: &ScenarioStatus,
+        duration: Duration,
+    ) -> Result<()> {
+        let write = |out: &mut W, text: &str| {
+            out.write_all(text.as_bytes())
+                .map_err(|e| io_err("write", &e))
+        };
+        match status {
+            ScenarioStatus::Failed { error } => {
+                return write(
+                    &mut self.out,
+                    &format!("\n== {} [{}] FAILED: {error}\n", meta.name, meta.kind),
+                );
+            }
+            ScenarioStatus::Completed { records } => {
+                write(
+                    &mut self.out,
+                    &format!(
+                        "\n== {} [{}] {records} row(s) in {:.2}s\n",
+                        meta.name,
+                        meta.kind,
+                        duration.as_secs_f64()
+                    ),
+                )?;
+            }
+        }
+        let keys = columns(&self.pending);
+        if keys.is_empty() {
+            return Ok(());
+        }
+        // Cell text first, widths second, then aligned output.
+        let rows: Vec<Vec<String>> = self
+            .pending
+            .iter()
+            .map(|record| {
+                keys.iter()
+                    .map(|key| record.get(key).map(FieldValue::display).unwrap_or_default())
+                    .collect()
+            })
+            .collect();
+        let widths: Vec<usize> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, key)| {
+                rows.iter()
+                    .map(|row| row[i].len())
+                    .chain(std::iter::once(key.len()))
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect();
+        let mut line = String::new();
+        for (key, width) in keys.iter().zip(&widths) {
+            line.push_str(&format!("{key:<width$}  "));
+        }
+        write(&mut self.out, &format!("{}\n", line.trim_end()))?;
+        for row in &rows {
+            let mut line = String::new();
+            for (cell, width) in row.iter().zip(&widths) {
+                line.push_str(&format!("{cell:<width$}  "));
+            }
+            write(&mut self.out, &format!("{}\n", line.trim_end()))?;
+        }
+        self.pending.clear();
+        Ok(())
+    }
+
+    fn end_plan(&mut self, report: &PlanReport) -> Result<()> {
+        let failed = report.failures().len();
+        writeln!(
+            self.out,
+            "\nplan {}: {} scenario(s), {} record(s), {failed} failure(s)",
+            report.plan,
+            report.scenarios.len(),
+            report.record_count()
+        )
+        .map_err(|e| io_err("write", &e))
+    }
+}
+
+/// Machine-readable sink: the whole run as one JSON document (the
+/// `BENCH_*.json`-style artifact the perf trajectory consumes).
+///
+/// The document is rendered on [`EvalSink::end_plan`]; use
+/// [`JsonSink::to_path`] to also write it to a file, and
+/// [`JsonSink::rendered`] to read it back programmatically.
+#[derive(Default)]
+pub struct JsonSink {
+    path: Option<PathBuf>,
+    rendered: String,
+}
+
+impl JsonSink {
+    /// A sink that only renders in memory.
+    pub fn new() -> Self {
+        JsonSink::default()
+    }
+
+    /// A sink that additionally writes the document to `path` at plan end.
+    pub fn to_path(path: impl Into<PathBuf>) -> Self {
+        JsonSink {
+            path: Some(path.into()),
+            rendered: String::new(),
+        }
+    }
+
+    /// The rendered JSON document (empty until `end_plan`).
+    pub fn rendered(&self) -> &str {
+        &self.rendered
+    }
+}
+
+impl EvalSink for JsonSink {
+    fn end_plan(&mut self, report: &PlanReport) -> Result<()> {
+        let mut out = String::new();
+        out.push_str(&format!("{{\n  \"plan\": {},\n", json_string(&report.plan)));
+        out.push_str(&format!(
+            "  \"failures\": {},\n  \"scenarios\": [\n",
+            report.failures().len()
+        ));
+        for (index, scenario) in report.scenarios.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": {}, \"kind\": {}, \"ok\": {}, \"duration_ms\": {}, ",
+                json_string(&scenario.meta.name),
+                json_string(scenario.meta.kind),
+                scenario.status.is_ok(),
+                scenario.duration.as_millis()
+            ));
+            if let ScenarioStatus::Failed { error } = &scenario.status {
+                out.push_str(&format!("\"error\": {}, ", json_string(error)));
+            }
+            let records: Vec<String> = scenario.records.iter().map(EvalRecord::to_json).collect();
+            out.push_str(&format!("\"records\": [{}]}}", records.join(", ")));
+            out.push_str(if index + 1 < report.scenarios.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        if let Some(path) = &self.path {
+            std::fs::write(path, &out).map_err(|e| io_err("json write", &e))?;
+        }
+        self.rendered = out;
+        Ok(())
+    }
+}
+
+/// Spreadsheet sink: CSV rows prefixed with the scenario name and kind. A
+/// header line is (re-)written whenever the field schema changes between
+/// records.
+pub struct CsvSink<W: Write> {
+    out: W,
+    schema: Vec<String>,
+}
+
+impl<W: Write> CsvSink<W> {
+    /// Wrap a writer.
+    pub fn new(out: W) -> Self {
+        CsvSink {
+            out,
+            schema: Vec::new(),
+        }
+    }
+
+    /// The wrapped writer.
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+}
+
+fn csv_cell(value: &str) -> String {
+    if value.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", value.replace('"', "\"\""))
+    } else {
+        value.to_string()
+    }
+}
+
+impl<W: Write> EvalSink for CsvSink<W> {
+    fn record(&mut self, meta: &ScenarioMeta, record: &EvalRecord) -> Result<()> {
+        let keys: Vec<String> = record.fields().iter().map(|(k, _)| k.clone()).collect();
+        if keys != self.schema {
+            let mut header = vec!["scenario".to_string(), "kind".to_string()];
+            header.extend(keys.iter().map(|k| csv_cell(k)));
+            writeln!(self.out, "{}", header.join(",")).map_err(|e| io_err("csv write", &e))?;
+            self.schema = keys;
+        }
+        let mut cells = vec![csv_cell(&meta.name), csv_cell(meta.kind)];
+        for (_, value) in record.fields() {
+            cells.push(match value {
+                FieldValue::Text(s) => csv_cell(s),
+                FieldValue::Int(v) => v.to_string(),
+                FieldValue::Float(v) => format!("{v}"),
+            });
+        }
+        writeln!(self.out, "{}", cells.join(",")).map_err(|e| io_err("csv write", &e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta() -> ScenarioMeta {
+        ScenarioMeta {
+            index: 0,
+            name: "table4/sesr-m2".to_string(),
+            kind: "npu-latency",
+        }
+    }
+
+    fn sample_record() -> EvalRecord {
+        EvalRecord::new()
+            .text("sr_model", "SESR-M2")
+            .float("total_ms", 66.4)
+            .int("frames", 15)
+    }
+
+    #[test]
+    fn text_sink_renders_aligned_tables_and_failures() {
+        let mut sink = TextTableSink::new(Vec::new());
+        sink.begin_plan("demo", 2).unwrap();
+        sink.begin_scenario(&meta()).unwrap();
+        sink.record(&meta(), &sample_record()).unwrap();
+        sink.end_scenario(
+            &meta(),
+            &ScenarioStatus::Completed { records: 1 },
+            Duration::from_millis(120),
+        )
+        .unwrap();
+        sink.end_scenario(
+            &meta(),
+            &ScenarioStatus::Failed {
+                error: "artifact corrupt".to_string(),
+            },
+            Duration::ZERO,
+        )
+        .unwrap();
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        assert!(text.contains("plan demo: 2 scenario(s)"));
+        assert!(text.contains("sr_model"));
+        assert!(text.contains("SESR-M2"));
+        assert!(text.contains("66.4000"));
+        assert!(text.contains("FAILED: artifact corrupt"));
+    }
+
+    #[test]
+    fn json_sink_renders_a_full_document() {
+        let mut sink = JsonSink::new();
+        let report = PlanReport {
+            plan: "demo".to_string(),
+            scenarios: vec![crate::eval::plan::ScenarioReport {
+                meta: meta(),
+                status: ScenarioStatus::Completed { records: 1 },
+                duration: Duration::from_millis(5),
+                records: vec![sample_record()],
+            }],
+            sink_errors: Vec::new(),
+        };
+        sink.end_plan(&report).unwrap();
+        let json = sink.rendered();
+        assert!(json.contains(r#""plan": "demo""#), "{json}");
+        assert!(json.contains(r#""failures": 0"#));
+        assert!(json.contains(r#""sr_model": "SESR-M2""#));
+        assert!(json.contains(r#""total_ms": 66.4"#));
+    }
+
+    #[test]
+    fn csv_sink_writes_headers_on_schema_change() {
+        let mut sink = CsvSink::new(Vec::new());
+        sink.record(&meta(), &sample_record()).unwrap();
+        sink.record(&meta(), &sample_record()).unwrap();
+        sink.record(&meta(), &EvalRecord::new().text("other,key", "a\"b"))
+            .unwrap();
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 5, "two headers + three rows: {text}");
+        assert_eq!(lines[0], "scenario,kind,sr_model,total_ms,frames");
+        assert_eq!(lines[1], "table4/sesr-m2,npu-latency,SESR-M2,66.4,15");
+        assert_eq!(lines[3], "scenario,kind,\"other,key\"");
+        assert_eq!(lines[4], "table4/sesr-m2,npu-latency,\"a\"\"b\"");
+    }
+}

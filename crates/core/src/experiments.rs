@@ -1,25 +1,38 @@
-//! End-to-end experiment drivers that regenerate each table of the paper at
-//! laptop scale (Tables I–III) or analytically (Table IV).
+//! Legacy experiment drivers for the paper's tables, now thin shims over the
+//! [`eval`](crate::eval) plan API.
 //!
-//! Every driver takes an [`ExperimentConfig`] so that the unit tests can run a
-//! minutes-scale configuration while the benchmark harness uses a larger one.
+//! The `run_table1..run_table4` functions are **deprecated**: each builds
+//! the corresponding [`EvalPlan`] and executes it
+//! against an ephemeral, throw-away model store, preserving the historical
+//! semantics (retrain on every invocation) and bitwise-identical output.
+//! New code should build plans directly and share a persistent
+//! [`ModelBank`] so training happens once:
+//!
+//! ```no_run
+//! use sesr_defense::eval::{EvalPlan, ModelBank};
+//! use sesr_defense::experiments::ExperimentConfig;
+//!
+//! let config = ExperimentConfig::quick();
+//! let bank = ModelBank::open("eval-store", config.clone())?;
+//! let report = EvalPlan::table2(&config).run(&bank)?;
+//! assert!(report.ok());
+//! # Ok::<(), sesr_tensor::TensorError>(())
+//! ```
 
+use crate::eval::{EvalPlan, EvalRecord, ModelBank, PlanReport};
 use crate::pipeline::{DefensePipeline, PreprocessConfig};
-use crate::robustness::RobustnessEvaluator;
 use crate::Result;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sesr_attacks::{AttackConfig, AttackKind};
-use sesr_classifiers::{ClassifierKind, ClassifierTrainer, ClassifierTrainingConfig};
-use sesr_datagen::{ClassificationDataset, DatasetConfig, SrDataset, SrDatasetConfig};
-use sesr_models::cost::{paper_cost, paper_reported, paper_reported_psnr};
+use sesr_classifiers::ClassifierKind;
+use sesr_datagen::{SrDataset, SrDatasetConfig};
 use sesr_models::trainer::{evaluate_network_psnr, SrLoss, SrTrainer, SrTrainingConfig};
 use sesr_models::{NetworkUpscaler, SrModelKind};
 use sesr_nn::serialize::{tensors_from_string, tensors_to_string};
 use sesr_nn::Layer;
-use sesr_npu::{estimate_pipeline, NpuConfig, PipelineLatency};
-use sesr_tensor::TensorError;
-use std::sync::Mutex;
+use sesr_npu::NpuConfig;
+use sesr_tensor::{Tensor, TensorError};
 
 /// Sizes and hyperparameters shared by the experiment drivers.
 #[derive(Debug, Clone)]
@@ -182,36 +195,58 @@ pub struct TrainedSrModel {
     pub val_psnr: f32,
 }
 
-/// Copy parameter values from one network into another with an identical
-/// architecture (used to hand trained SR weights to per-thread defenses).
+/// Copy parameter values and non-learnable buffers from one network into
+/// another with an identical architecture (used to hand trained SR weights
+/// to per-thread defenses).
 ///
 /// # Errors
 ///
-/// Returns an error if the parameter lists differ in length or shape.
+/// Returns an error if the parameter/buffer lists differ in length or shape.
 pub fn copy_weights(source: &dyn Layer, target: &mut dyn Layer) -> Result<()> {
-    let encoded = tensors_to_string(&source.params().iter().map(|p| &p.value).collect::<Vec<_>>());
+    let mut source_tensors: Vec<&Tensor> = source.params().iter().map(|p| &p.value).collect();
+    source_tensors.extend(source.buffers());
+    let encoded = tensors_to_string(&source_tensors);
     let tensors = tensors_from_string(&encoded)?;
-    let mut params = target.params_mut();
-    if params.len() != tensors.len() {
+    let num_params = target.params().len();
+    let num_buffers = target.buffers().len();
+    if num_params + num_buffers != tensors.len() {
         return Err(TensorError::invalid_argument(format!(
-            "cannot copy weights: {} source tensors vs {} target parameters",
+            "cannot copy weights: {} source tensors vs {num_params} target parameters + \
+             {num_buffers} buffers",
             tensors.len(),
-            params.len()
         )));
     }
-    for (param, tensor) in params.iter_mut().zip(tensors) {
+    let (param_tensors, buffer_tensors) = tensors.split_at(num_params);
+    for (param, tensor) in target.params().iter().zip(param_tensors) {
         if param.value.shape() != tensor.shape() {
             return Err(TensorError::ShapeMismatch {
                 left: param.value.shape().dims().to_vec(),
                 right: tensor.shape().dims().to_vec(),
             });
         }
-        param.value = tensor;
+    }
+    for (buffer, tensor) in target.buffers().iter().zip(buffer_tensors) {
+        if buffer.shape() != tensor.shape() {
+            return Err(TensorError::ShapeMismatch {
+                left: buffer.shape().dims().to_vec(),
+                right: tensor.shape().dims().to_vec(),
+            });
+        }
+    }
+    for (param, tensor) in target.params_mut().iter_mut().zip(param_tensors) {
+        param.value = tensor.clone();
+    }
+    for (buffer, tensor) in target.buffers_mut().iter_mut().zip(buffer_tensors) {
+        **buffer = tensor.clone();
     }
     Ok(())
 }
 
 /// Train every learned SR model in the config on a shared synthetic dataset.
+///
+/// This is the in-memory training path used by the quickstart examples; plan
+/// runs train through [`ModelBank`] instead, which
+/// persists and reuses the weights.
 ///
 /// # Errors
 ///
@@ -275,156 +310,117 @@ pub fn build_defense(
     Ok(DefensePipeline::new(preprocess, Box::new(upscaler)))
 }
 
+/// Run a plan against a throw-away store (the deprecated shims' semantics:
+/// every invocation retrains from scratch) and turn a scenario failure into
+/// a hard error, matching the legacy all-or-nothing drivers.
+fn run_ephemeral(plan: EvalPlan, config: &ExperimentConfig) -> Result<PlanReport> {
+    let bank = ModelBank::ephemeral(config.clone())?;
+    let report = plan.run(&bank)?;
+    if let Some(failure) = report.failures().first() {
+        if let crate::eval::ScenarioStatus::Failed { error } = &failure.status {
+            return Err(TensorError::invalid_argument(format!(
+                "scenario {} failed: {error}",
+                failure.meta.name
+            )));
+        }
+    }
+    Ok(report)
+}
+
+fn missing(record: &EvalRecord, key: &str) -> TensorError {
+    TensorError::invalid_argument(format!("eval record is missing field {key:?}: {record:?}"))
+}
+
+fn require_text(record: &EvalRecord, key: &str) -> Result<String> {
+    record
+        .get_text(key)
+        .map(str::to_string)
+        .ok_or_else(|| missing(record, key))
+}
+
+fn require_f32(record: &EvalRecord, key: &str) -> Result<f32> {
+    record
+        .get_float(key)
+        .map(|v| v as f32)
+        .ok_or_else(|| missing(record, key))
+}
+
+fn require_f64(record: &EvalRecord, key: &str) -> Result<f64> {
+    record.get_float(key).ok_or_else(|| missing(record, key))
+}
+
+fn require_int(record: &EvalRecord, key: &str) -> Result<u64> {
+    record.get_int(key).ok_or_else(|| missing(record, key))
+}
+
 /// Reproduce Table I: train every learned SR model, measure PSNR on the
 /// synthetic validation set, and report paper-scale parameters/MACs.
 ///
 /// # Errors
 ///
 /// Returns an error if any training or cost computation fails.
+#[deprecated(
+    since = "0.1.0",
+    note = "build `eval::EvalPlan::table1` and run it against a shared `eval::ModelBank` \
+            (trains once per config instead of per invocation); see README migration notes"
+)]
 pub fn run_table1(config: &ExperimentConfig) -> Result<Vec<Table1Row>> {
-    let trained = train_sr_models(config)?;
+    let report = run_ephemeral(EvalPlan::table1(config), config)?;
     let mut rows = Vec::new();
-    for model in &trained {
-        let cost = paper_cost(model.kind)?
-            .ok_or_else(|| TensorError::invalid_argument("learned kind must have a cost"))?;
-        let reported = paper_reported(model.kind);
+    for record in report.records() {
         rows.push(Table1Row {
-            model: model.kind.name().to_string(),
-            params: cost.params,
-            macs: cost.macs,
-            measured_psnr: model.val_psnr,
-            paper_psnr: paper_reported_psnr(model.kind),
-            paper_params: reported.map(|r| r.params),
-            paper_macs: reported.map(|r| r.macs),
+            model: require_text(record, "model")?,
+            params: require_int(record, "params")?,
+            macs: require_int(record, "macs")?,
+            measured_psnr: require_f32(record, "measured_psnr")?,
+            paper_psnr: record.get_float("paper_psnr").map(|v| v as f32),
+            paper_params: record.get_int("paper_params"),
+            paper_macs: record.get_int("paper_macs"),
         });
     }
     Ok(rows)
 }
 
-fn train_classifier(
-    kind: ClassifierKind,
-    dataset: &ClassificationDataset,
-    config: &ExperimentConfig,
-) -> Result<Box<dyn Layer>> {
-    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(3000 + kind as u64));
-    let mut classifier = kind.build_local(config.num_classes, &mut rng);
-    ClassifierTrainer::new(ClassifierTrainingConfig {
-        epochs: config.classifier_epochs,
-        batch_size: 12,
-        learning_rate: 3e-3,
-    })
-    .train(classifier.as_mut(), dataset)?;
-    Ok(classifier)
-}
-
-fn classification_dataset(config: &ExperimentConfig) -> Result<ClassificationDataset> {
-    ClassificationDataset::generate(DatasetConfig {
-        num_classes: config.num_classes,
-        train_size: config.train_size,
-        val_size: config.val_size,
-        height: config.image_size,
-        width: config.image_size,
-        seed: config.seed,
-    })
-}
-
-/// Evaluate one classifier section of Table II.
-fn run_table2_section(
-    classifier_kind: ClassifierKind,
-    dataset: &ClassificationDataset,
-    trained_sr: &[TrainedSrModel],
-    config: &ExperimentConfig,
-) -> Result<Table2Section> {
-    let classifier = train_classifier(classifier_kind, dataset, config)?;
-    let mut evaluator = RobustnessEvaluator::new(
-        classifier_kind.name(),
-        classifier,
-        dataset.val_images(),
-        dataset.val_labels(),
-        config.eval_images,
-    )?;
-    let clean_accuracy = evaluator.clean_accuracy()?;
-
-    let mut rows: Vec<Table2Row> = Vec::new();
-    // Row 0: No Defense. Then one row per SR kind in the config.
-    let mut defenses: Vec<Option<SrModelKind>> = vec![None];
-    defenses.extend(config.sr_kinds.iter().copied().map(Some));
-
-    for defense_kind in defenses {
-        let defense_name = defense_kind
-            .map(|k| k.name().to_string())
-            .unwrap_or_else(|| "No Defense".to_string());
-        let mut accuracies = Vec::new();
-        for attack_kind in &config.attacks {
-            let attack = attack_kind.build(config.attack);
-            let mut rng = StdRng::seed_from_u64(
-                config
-                    .seed
-                    .wrapping_add(4000 + *attack_kind as u64 * 17 + classifier_kind as u64),
-            );
-            let adversarial = evaluator.craft_adversarial(attack.as_ref(), &mut rng)?;
-            let accuracy = match defense_kind {
-                None => evaluator.defended_accuracy(&adversarial, None)?,
-                Some(kind) => {
-                    let pipeline =
-                        build_defense(kind, PreprocessConfig::paper(), trained_sr, config.seed)?;
-                    evaluator.defended_accuracy(&adversarial, Some(&pipeline))?
-                }
-            };
-            accuracies.push((attack_kind.name().to_string(), accuracy));
-        }
-        rows.push(Table2Row {
-            defense: defense_name,
-            accuracies,
-        });
-    }
-    Ok(Table2Section {
-        classifier: classifier_kind.name().to_string(),
-        clean_accuracy,
-        rows,
-    })
-}
-
 /// Reproduce Table II: robust accuracy of every classifier under every attack
-/// for every defense. Classifier sections run in parallel threads.
+/// for every defense. Classifier sections run in parallel workers.
 ///
 /// # Errors
 ///
 /// Returns an error if any stage (training, attacking, defending) fails.
+#[deprecated(
+    since = "0.1.0",
+    note = "build `eval::EvalPlan::table2` and run it against a shared `eval::ModelBank` \
+            (trains once per config instead of per invocation); see README migration notes"
+)]
 pub fn run_table2(config: &ExperimentConfig) -> Result<Vec<Table2Section>> {
-    let dataset = classification_dataset(config)?;
-    let trained_sr = train_sr_models(config)?;
-    let results: Mutex<Vec<(usize, Table2Section)>> = Mutex::new(Vec::new());
-    let errors: Mutex<Vec<TensorError>> = Mutex::new(Vec::new());
-
-    std::thread::scope(|scope| {
-        for (index, classifier_kind) in config.classifiers.iter().copied().enumerate() {
-            let dataset = &dataset;
-            let trained_sr = &trained_sr;
-            let results = &results;
-            let errors = &errors;
-            scope.spawn(move || {
-                match run_table2_section(classifier_kind, dataset, trained_sr, config) {
-                    Ok(section) => results.lock().unwrap().push((index, section)),
-                    Err(err) => errors.lock().unwrap().push(err),
-                }
-            });
+    let report = run_ephemeral(EvalPlan::table2(config), config)?;
+    let mut sections = Vec::new();
+    for scenario in &report.scenarios {
+        let Some(first) = scenario.records.first() else {
+            continue;
+        };
+        let mut section = Table2Section {
+            classifier: require_text(first, "classifier")?,
+            clean_accuracy: require_f32(first, "clean_accuracy")?,
+            rows: Vec::new(),
+        };
+        for record in &scenario.records {
+            let defense = require_text(record, "defense")?;
+            let cell = (
+                require_text(record, "attack")?,
+                require_f32(record, "robust_accuracy")?,
+            );
+            match section.rows.iter_mut().find(|row| row.defense == defense) {
+                Some(row) => row.accuracies.push(cell),
+                None => section.rows.push(Table2Row {
+                    defense,
+                    accuracies: vec![cell],
+                }),
+            }
         }
-    });
-
-    if let Some(err) = errors
-        .into_inner()
-        .expect("table II error mutex poisoned")
-        .into_iter()
-        .next()
-    {
-        return Err(err);
+        sections.push(section);
     }
-    let mut sections = results
-        .into_inner()
-        .expect("table II result mutex poisoned");
-    sections.sort_by_key(|(index, _)| *index);
-    Ok(sections.into_iter().map(|(_, section)| section).collect())
+    Ok(sections)
 }
 
 /// Reproduce Table III: the JPEG ablation (defense with and without the JPEG
@@ -433,48 +429,22 @@ pub fn run_table2(config: &ExperimentConfig) -> Result<Vec<Table2Section>> {
 /// # Errors
 ///
 /// Returns an error if any stage fails.
+#[deprecated(
+    since = "0.1.0",
+    note = "build `eval::EvalPlan::table3` and run it against a shared `eval::ModelBank` \
+            (trains once per config instead of per invocation); see README migration notes"
+)]
 pub fn run_table3(config: &ExperimentConfig) -> Result<Vec<Table3Row>> {
-    let dataset = classification_dataset(config)?;
-    let trained_sr = train_sr_models(config)?;
+    let report = run_ephemeral(EvalPlan::table3(config), config)?;
     let mut rows = Vec::new();
-    for classifier_kind in &config.classifiers {
-        let classifier = train_classifier(*classifier_kind, &dataset, config)?;
-        let mut evaluator = RobustnessEvaluator::new(
-            classifier_kind.name(),
-            classifier,
-            dataset.val_images(),
-            dataset.val_labels(),
-            config.eval_images,
-        )?;
-        for attack_kind in &config.attacks {
-            let attack = attack_kind.build(config.attack);
-            let mut rng = StdRng::seed_from_u64(
-                config
-                    .seed
-                    .wrapping_add(5000 + *attack_kind as u64 * 13 + *classifier_kind as u64),
-            );
-            let adversarial = evaluator.craft_adversarial(attack.as_ref(), &mut rng)?;
-            for kind in config.sr_kinds.iter().filter(|k| k.is_learned()) {
-                let with_jpeg =
-                    build_defense(*kind, PreprocessConfig::paper(), &trained_sr, config.seed)?;
-                let without_jpeg = build_defense(
-                    *kind,
-                    PreprocessConfig::without_jpeg(),
-                    &trained_sr,
-                    config.seed,
-                )?;
-                let jpeg_accuracy = evaluator.defended_accuracy(&adversarial, Some(&with_jpeg))?;
-                let no_jpeg_accuracy =
-                    evaluator.defended_accuracy(&adversarial, Some(&without_jpeg))?;
-                rows.push(Table3Row {
-                    classifier: classifier_kind.name().to_string(),
-                    defense: kind.name().to_string(),
-                    attack: attack_kind.name().to_string(),
-                    no_jpeg_accuracy,
-                    jpeg_accuracy,
-                });
-            }
-        }
+    for record in report.records() {
+        rows.push(Table3Row {
+            classifier: require_text(record, "classifier")?,
+            defense: require_text(record, "defense")?,
+            attack: require_text(record, "attack")?,
+            no_jpeg_accuracy: require_f32(record, "no_jpeg_accuracy")?,
+            jpeg_accuracy: require_f32(record, "jpeg_accuracy")?,
+        });
     }
     Ok(rows)
 }
@@ -495,31 +465,29 @@ pub fn table4_sr_models() -> Vec<SrModelKind> {
 /// # Errors
 ///
 /// Returns an error if a spec or the NPU configuration is inconsistent.
+#[deprecated(
+    since = "0.1.0",
+    note = "build `eval::EvalPlan::table4` and run it against an `eval::ModelBank`; \
+            see README migration notes"
+)]
 pub fn run_table4(npu: &NpuConfig) -> Result<Vec<Table4Row>> {
-    let classifier_spec = sesr_classifiers::cost::mobilenet_v2_paper_spec();
+    // Table IV is analytic: no training, so the ephemeral store stays empty.
+    let report = run_ephemeral(EvalPlan::table4(npu), &ExperimentConfig::quick())?;
     let mut rows = Vec::new();
-    for kind in table4_sr_models() {
-        let sr_spec = kind
-            .paper_spec()
-            .ok_or_else(|| TensorError::invalid_argument("table IV models are all learned"))?;
-        let PipelineLatency {
-            sr_ms,
-            classification_ms,
-            total_ms,
-            fps,
-        } = estimate_pipeline(&sr_spec, &classifier_spec, (3, 299, 299), 2, npu)?;
+    for record in report.records() {
         rows.push(Table4Row {
-            sr_model: kind.name().to_string(),
-            classification_ms,
-            sr_ms,
-            total_ms,
-            fps,
+            sr_model: require_text(record, "sr_model")?,
+            classification_ms: require_f64(record, "classification_ms")?,
+            sr_ms: require_f64(record, "sr_ms")?,
+            total_ms: require_f64(record, "total_ms")?,
+            fps: require_f64(record, "fps")?,
         });
     }
     Ok(rows)
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
 
@@ -547,6 +515,21 @@ mod tests {
         let source = SrModelKind::SesrM2.build_local_network(&mut rng).unwrap();
         let mut target = SrModelKind::SesrM3.build_local_network(&mut rng).unwrap();
         assert!(copy_weights(source.as_ref(), target.as_mut()).is_err());
+    }
+
+    #[test]
+    fn copy_weights_carries_batchnorm_buffers() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let source = ClassifierKind::MobileNetV2.build_local(3, &mut rng);
+        let mut target = ClassifierKind::MobileNetV2.build_local(3, &mut rng);
+        assert!(
+            !source.buffers().is_empty(),
+            "MobileNet-V2 has batch-norm buffers"
+        );
+        copy_weights(source.as_ref(), target.as_mut()).unwrap();
+        for (a, b) in source.buffers().iter().zip(target.buffers()) {
+            assert_eq!(*a, b);
+        }
     }
 
     #[test]

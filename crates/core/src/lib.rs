@@ -17,8 +17,13 @@
 //! * [`robustness`] — the gray-box evaluation harness: select a clean-correct
 //!   evaluation subset, craft attacks against the bare classifier, measure
 //!   robust accuracy with and without each defense (Tables II and III).
-//! * [`experiments`] — end-to-end drivers that train the substrate models and
-//!   regenerate each table of the paper at laptop scale.
+//! * [`eval`] — the composable evaluation-plan API: declarative
+//!   [`EvalPlan`](eval::EvalPlan)s over model × scale × preprocess × attack
+//!   × ε × classifier grids, executed on a share-nothing worker pool with
+//!   store-backed train-once model provisioning
+//!   ([`ModelBank`](eval::ModelBank)) and streaming result sinks.
+//! * [`experiments`] — the legacy per-table drivers, now deprecated shims
+//!   over [`eval`] with bitwise-identical output.
 //! * [`report`] — plain-text table formatting used by the `tables` binary and
 //!   the benchmark harness.
 //!
@@ -41,6 +46,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod eval;
 pub mod experiments;
 pub mod extensions;
 pub mod pipeline;

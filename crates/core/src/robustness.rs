@@ -186,6 +186,33 @@ impl RobustnessEvaluator {
         Ok(adversarial)
     }
 
+    /// Craft adversarial versions of the evaluation subset against an
+    /// arbitrary *surrogate* classifier instead of the evaluator's own — the
+    /// transfer-attack (black-box) threat model: the attacker has gradients
+    /// for `surrogate`, while this evaluator's classifier is the deployment
+    /// target that later judges the perturbed images.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the attack fails on any image.
+    pub fn craft_adversarial_against(
+        &self,
+        attack: &dyn Attack,
+        surrogate: &mut dyn Layer,
+        rng: &mut StdRng,
+    ) -> Result<Vec<Tensor>> {
+        let mut adversarial = Vec::with_capacity(self.scenario.eval_images.len());
+        for (image, &label) in self
+            .scenario
+            .eval_images
+            .iter()
+            .zip(&self.scenario.eval_labels)
+        {
+            adversarial.push(attack.perturb(surrogate, image, &[label], rng)?);
+        }
+        Ok(adversarial)
+    }
+
     /// Accuracy of the classifier on a list of (possibly adversarial) images
     /// after applying `defense` (or no defense).
     ///

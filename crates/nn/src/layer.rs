@@ -84,6 +84,23 @@ pub trait Layer: Send + Sync {
         Vec::new()
     }
 
+    /// Non-learnable state tensors, in a stable order (e.g. the running
+    /// batch statistics of [`BatchNorm2d`](crate::BatchNorm2d)).
+    ///
+    /// Buffers are part of a trained model's behaviour in evaluation mode
+    /// but are never visited by optimizers; checkpointing captures them
+    /// alongside the parameters so a persisted model evaluates identically
+    /// to the instance that was trained.
+    fn buffers(&self) -> Vec<&Tensor> {
+        Vec::new()
+    }
+
+    /// Mutable view of the non-learnable state tensors, in the same order as
+    /// [`Layer::buffers`].
+    fn buffers_mut(&mut self) -> Vec<&mut Tensor> {
+        Vec::new()
+    }
+
     /// Reset all accumulated gradients to zero.
     fn zero_grad(&mut self) {
         for p in self.params_mut() {
@@ -125,6 +142,14 @@ impl Layer for Box<dyn Layer> {
 
     fn params(&self) -> Vec<&Param> {
         self.as_ref().params()
+    }
+
+    fn buffers(&self) -> Vec<&Tensor> {
+        self.as_ref().buffers()
+    }
+
+    fn buffers_mut(&mut self) -> Vec<&mut Tensor> {
+        self.as_mut().buffers_mut()
     }
 }
 
@@ -261,6 +286,17 @@ impl Layer for Sequential {
 
     fn params(&self) -> Vec<&Param> {
         self.layers.iter().flat_map(|l| l.params()).collect()
+    }
+
+    fn buffers(&self) -> Vec<&Tensor> {
+        self.layers.iter().flat_map(|l| l.buffers()).collect()
+    }
+
+    fn buffers_mut(&mut self) -> Vec<&mut Tensor> {
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.buffers_mut())
+            .collect()
     }
 }
 

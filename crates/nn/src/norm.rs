@@ -186,6 +186,14 @@ impl Layer for BatchNorm2d {
     fn params(&self) -> Vec<&Param> {
         vec![&self.gamma, &self.beta]
     }
+
+    fn buffers(&self) -> Vec<&Tensor> {
+        vec![&self.running_mean, &self.running_var]
+    }
+
+    fn buffers_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![&mut self.running_mean, &mut self.running_var]
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,252 @@
+//! Gateway-backed evaluation: an [`CustomScenario`] implementation that
+//! measures robust accuracy **through the serving stack** instead of calling
+//! the defense pipeline directly.
+//!
+//! The pipeline-level scenarios in `sesr_defense::eval` prove the defense
+//! works; this scenario proves the *deployment* works: attacked images are
+//! submitted as routed [`DefenseRequest`]s and travel the full
+//! queue → batcher → worker → cache path of a
+//! [`DefenseGateway`](crate::DefenseGateway) before the classifier ever
+//! sees them. Because serving is bitwise-identical to direct
+//! pipeline calls, the robust accuracies must match the pipeline scenarios —
+//! any divergence is a serving bug, which is exactly what an end-to-end
+//! evaluation is for.
+
+use crate::route::{DefenseRequest, RouteConfig, RouteKey};
+use crate::server::WorkerAssets;
+use crate::{GatewayBuilder, ServeError};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sesr_attacks::AttackKind;
+use sesr_classifiers::ClassifierKind;
+use sesr_defense::eval::{CustomScenario, DefenseSpec, EvalRecord, ModelBank};
+use sesr_defense::robustness::RobustnessEvaluator;
+use sesr_tensor::{Tensor, TensorError};
+
+fn serve_err(context: &str, err: ServeError) -> TensorError {
+    TensorError::invalid_argument(format!("gateway eval {context}: {err}"))
+}
+
+/// Evaluate one classifier's robustness with every defense served through a
+/// multi-route [`DefenseGateway`](crate::DefenseGateway).
+///
+/// All trained models come from the plan's [`ModelBank`] (train-once), each
+/// defense spec becomes one gateway route with share-nothing workers, and
+/// the records carry both the robust accuracies and the per-route serving
+/// counters so a plan run doubles as a serving smoke test.
+pub struct GatewayScenario {
+    /// The classifier under attack.
+    pub classifier: ClassifierKind,
+    /// One gateway route per spec (`model` must be `Some`; the gateway has
+    /// no "no defense" route — that baseline belongs to the pipeline-level
+    /// robustness scenarios).
+    pub defenses: Vec<DefenseSpec>,
+    /// Attacks to evaluate.
+    pub attacks: Vec<AttackKind>,
+    /// Per-route shard configuration.
+    pub route_config: RouteConfig,
+    /// Shared gateway cache capacity (0 disables caching).
+    pub cache_capacity: usize,
+}
+
+impl GatewayScenario {
+    /// A scenario serving the paper's defense configuration (×2, JPEG +
+    /// wavelet) for each given SR model.
+    pub fn paper(
+        classifier: ClassifierKind,
+        models: impl IntoIterator<Item = sesr_models::SrModelKind>,
+        attacks: Vec<AttackKind>,
+    ) -> Self {
+        GatewayScenario {
+            classifier,
+            defenses: models.into_iter().map(DefenseSpec::paper).collect(),
+            attacks,
+            route_config: RouteConfig::default(),
+            cache_capacity: 256,
+        }
+    }
+}
+
+impl CustomScenario for GatewayScenario {
+    fn kind(&self) -> &'static str {
+        "gateway"
+    }
+
+    fn run(&self, bank: &ModelBank) -> sesr_tensor::Result<Vec<EvalRecord>> {
+        if self.defenses.is_empty() || self.attacks.is_empty() {
+            return Err(TensorError::invalid_argument(
+                "a gateway scenario needs at least one defense and one attack",
+            ));
+        }
+
+        // Classifier + clean-correct evaluation subset, exactly like the
+        // pipeline-level scenarios.
+        let dataset = bank.classification_dataset()?;
+        let classifier = bank.classifier(self.classifier)?;
+        let mut evaluator = RobustnessEvaluator::new(
+            self.classifier.name(),
+            classifier,
+            dataset.val_images(),
+            dataset.val_labels(),
+            bank.config().eval_images,
+        )?;
+        let clean_accuracy = evaluator.clean_accuracy()?;
+
+        // One route per defense spec, workers hydrated through the bank so
+        // the gateway serves the exact trained weights the plan evaluates.
+        let mut builder = GatewayBuilder::new().cache_capacity(self.cache_capacity);
+        let mut routes = Vec::with_capacity(self.defenses.len());
+        for spec in &self.defenses {
+            let Some(model) = spec.model else {
+                return Err(TensorError::invalid_argument(
+                    "gateway routes need a concrete SR model (DefenseSpec::none has no route)",
+                ));
+            };
+            let key = RouteKey::new(model, spec.scale, spec.preprocess);
+            let mut assets = Vec::with_capacity(self.route_config.num_workers);
+            for _ in 0..self.route_config.num_workers {
+                let pipeline = bank
+                    .defense(spec)?
+                    .expect("specs with a model always build a pipeline");
+                assets.push(WorkerAssets::new(pipeline));
+            }
+            builder = builder.route_with_assets(key, self.route_config.clone(), assets);
+            routes.push((key, *spec));
+        }
+        let gateway = builder.build().map_err(|e| serve_err("startup", e))?;
+        let client = gateway.client();
+
+        // Craft per attack, then push every adversarial image through every
+        // route. Serving counters become part of each record — as the
+        // *delta* accrued by that (attack, route) pass, so the JSON artifact
+        // shows exactly which requests travelled the serving stack and sums
+        // correctly across records.
+        let mut records = Vec::with_capacity(self.attacks.len() * routes.len());
+        let mut seen: std::collections::HashMap<RouteKey, (u64, u64)> =
+            std::collections::HashMap::new();
+        for attack_kind in &self.attacks {
+            let attack = attack_kind.build(bank.config().attack);
+            let mut rng = StdRng::seed_from_u64(
+                bank.config()
+                    .seed
+                    .wrapping_add(7000 + *attack_kind as u64 * 23 + self.classifier as u64),
+            );
+            let adversarial = evaluator.craft_adversarial(attack.as_ref(), &mut rng)?;
+            for (key, spec) in &routes {
+                let mut defended: Vec<Tensor> = Vec::with_capacity(adversarial.len());
+                for image in &adversarial {
+                    let response = client
+                        .defend_blocking(DefenseRequest::new(image.clone()).on(*key))
+                        .map_err(|e| serve_err("submit", e))?;
+                    defended.push(response.defended);
+                }
+                // The gateway already applied the defense; classify as-is.
+                let robust_accuracy = evaluator.defended_accuracy(&defended, None)?;
+                // `defend_blocking` is synchronous, so the route's counters
+                // are settled: subtract the totals of earlier passes to get
+                // this pass's share.
+                let route_stats = client.route_stats(key).map_err(|e| serve_err("stats", e))?;
+                let (prev_served, prev_hits) = seen
+                    .insert(*key, (route_stats.completed, route_stats.cache_hits))
+                    .unwrap_or((0, 0));
+                records.push(
+                    EvalRecord::new()
+                        .text("classifier", self.classifier.name())
+                        .text("defense", spec.name())
+                        .text("route", key.label())
+                        .text("attack", attack_kind.name())
+                        .float("clean_accuracy", f64::from(clean_accuracy))
+                        .float("robust_accuracy", f64::from(robust_accuracy))
+                        .int("num_images", adversarial.len() as u64)
+                        .int("served", route_stats.completed - prev_served)
+                        .int("cache_hits", route_stats.cache_hits - prev_hits),
+                );
+            }
+        }
+
+        drop(client);
+        gateway.shutdown();
+        Ok(records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sesr_defense::experiments::ExperimentConfig;
+    use sesr_models::SrModelKind;
+
+    fn tiny_config() -> ExperimentConfig {
+        let mut config = ExperimentConfig::quick();
+        config.sr_epochs = 1;
+        config.sr_train_size = 4;
+        config.sr_val_size = 2;
+        config.classifier_epochs = 2;
+        config
+    }
+
+    #[test]
+    fn gateway_scenario_matches_direct_pipeline_accuracy() {
+        let bank = ModelBank::ephemeral(tiny_config()).unwrap();
+        let scenario = GatewayScenario::paper(
+            ClassifierKind::MobileNetV2,
+            [SrModelKind::NearestNeighbor, SrModelKind::SesrM2],
+            vec![AttackKind::Fgsm],
+        );
+        let records = scenario.run(&bank).unwrap();
+        assert_eq!(records.len(), 2, "one record per (attack, route)");
+        for record in &records {
+            let served = record.get_int("served").unwrap();
+            assert!(served > 0, "requests must travel the serving stack");
+            let accuracy = record.get_float("robust_accuracy").unwrap();
+            assert!((0.0..=1.0).contains(&accuracy));
+
+            // Cross-check against the direct pipeline path: serving must not
+            // change the verdict.
+            let spec = DefenseSpec::paper(
+                SrModelKind::parse(record.get_text("defense").unwrap()).unwrap(),
+            );
+            let pipeline = bank.defense(&spec).unwrap().unwrap();
+            let classifier = bank.classifier(ClassifierKind::MobileNetV2).unwrap();
+            let dataset = bank.classification_dataset().unwrap();
+            let mut evaluator = RobustnessEvaluator::new(
+                "MobileNet-V2",
+                classifier,
+                dataset.val_images(),
+                dataset.val_labels(),
+                bank.config().eval_images,
+            )
+            .unwrap();
+            let attack = AttackKind::Fgsm.build(bank.config().attack);
+            let mut rng = StdRng::seed_from_u64(
+                bank.config()
+                    .seed
+                    .wrapping_add(7000 + AttackKind::Fgsm as u64 * 23),
+            );
+            let adversarial = evaluator
+                .craft_adversarial(attack.as_ref(), &mut rng)
+                .unwrap();
+            let direct = evaluator
+                .defended_accuracy(&adversarial, Some(&pipeline))
+                .unwrap();
+            assert_eq!(
+                accuracy as f32, direct,
+                "gateway-served accuracy must equal the direct pipeline accuracy"
+            );
+        }
+    }
+
+    #[test]
+    fn gateway_scenario_rejects_defenseless_specs() {
+        let bank = ModelBank::ephemeral(tiny_config()).unwrap();
+        let mut scenario = GatewayScenario::paper(
+            ClassifierKind::MobileNetV2,
+            [SrModelKind::NearestNeighbor],
+            vec![AttackKind::Fgsm],
+        );
+        scenario.defenses = vec![DefenseSpec::none()];
+        assert!(scenario.run(&bank).is_err());
+        scenario.defenses = Vec::new();
+        assert!(scenario.run(&bank).is_err());
+    }
+}

@@ -97,6 +97,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod eval;
 pub mod gateway;
 pub mod route;
 pub mod server;
@@ -104,6 +105,7 @@ mod shard;
 pub mod stats;
 
 pub use cache::{content_hash, LruCache};
+pub use eval::GatewayScenario;
 pub use gateway::{DefenseGateway, GatewayBuilder, GatewayClient, ReloadWatcher, WorkerFactory};
 pub use route::{DefenseRequest, RouteConfig, RouteKey};
 pub use server::{

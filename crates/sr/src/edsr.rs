@@ -67,6 +67,14 @@ impl Layer for ResidualBlock {
     fn params(&self) -> Vec<&Param> {
         self.body.params()
     }
+
+    fn buffers(&self) -> Vec<&Tensor> {
+        self.body.buffers()
+    }
+
+    fn buffers_mut(&mut self) -> Vec<&mut Tensor> {
+        self.body.buffers_mut()
+    }
 }
 
 /// Configuration of an EDSR network.
@@ -307,6 +315,28 @@ impl Layer for Edsr {
         out.extend(self.body_close.params());
         out.extend(self.upsample_conv.params());
         out.extend(self.tail.params());
+        out
+    }
+
+    fn buffers(&self) -> Vec<&Tensor> {
+        let mut out = self.head.buffers();
+        for block in &self.blocks {
+            out.extend(block.buffers());
+        }
+        out.extend(self.body_close.buffers());
+        out.extend(self.upsample_conv.buffers());
+        out.extend(self.tail.buffers());
+        out
+    }
+
+    fn buffers_mut(&mut self) -> Vec<&mut Tensor> {
+        let mut out = self.head.buffers_mut();
+        for block in &mut self.blocks {
+            out.extend(block.buffers_mut());
+        }
+        out.extend(self.body_close.buffers_mut());
+        out.extend(self.upsample_conv.buffers_mut());
+        out.extend(self.tail.buffers_mut());
         out
     }
 }

@@ -10,7 +10,7 @@
 //! [16..16+hlen)     UTF-8 header, one `key=value` per line:
 //!                     model=<model id, e.g. "SESR-M2">
 //!                     scale=<integer upscaling factor; 1 for classifiers>
-//!                     tensors=<parameter tensor count>
+//!                     tensors=<tensor count (parameters + buffers)>
 //!                     config_digest=<16-hex-digit training-config digest>
 //!                     encoding=<text|binary>
 //! [16+hlen..len-8)  weight payload in the declared `sesr_nn::serialize`
@@ -89,7 +89,7 @@ pub struct CheckpointMeta {
     pub model_id: String,
     /// Integer upscaling factor for SR models; 1 for classifiers.
     pub scale: usize,
-    /// Number of parameter tensors in the payload.
+    /// Number of tensors in the payload (parameters plus buffers).
     pub tensor_count: usize,
     /// Digest of the training configuration that produced the weights, for
     /// provenance (see e.g. `SrTrainingConfig::digest`).
@@ -104,20 +104,30 @@ pub struct CheckpointMeta {
 pub struct Checkpoint {
     /// The metadata header.
     pub meta: CheckpointMeta,
-    /// Parameter tensors in `Layer::params()` order.
+    /// Parameter tensors in `Layer::params()` order, followed by the
+    /// non-learnable buffers in `Layer::buffers()` order (e.g. batch-norm
+    /// running statistics).
     pub tensors: Vec<Tensor>,
 }
 
 impl Checkpoint {
-    /// Snapshot a layer's parameters (in `params()` order) into a checkpoint
-    /// with binary weight encoding.
+    /// Snapshot a layer's parameters (in `params()` order) and non-learnable
+    /// buffers (in `buffers()` order, appended after the parameters) into a
+    /// checkpoint with binary weight encoding.
+    ///
+    /// Capturing the buffers is what makes a restored classifier evaluate
+    /// identically to the trained instance: batch-norm running statistics
+    /// drive evaluation-mode normalisation but are invisible to optimizers,
+    /// so a params-only snapshot would silently revert them to their init
+    /// values on hydration.
     pub fn from_layer(
         model_id: impl Into<String>,
         scale: usize,
         config_digest: u64,
         layer: &dyn Layer,
     ) -> Self {
-        let tensors: Vec<Tensor> = layer.params().iter().map(|p| p.value.clone()).collect();
+        let mut tensors: Vec<Tensor> = layer.params().iter().map(|p| p.value.clone()).collect();
+        tensors.extend(layer.buffers().iter().map(|b| (*b).clone()));
         Checkpoint {
             meta: CheckpointMeta {
                 model_id: model_id.into(),
@@ -136,26 +146,30 @@ impl Checkpoint {
         self
     }
 
-    /// Copy this checkpoint's tensors into `layer`'s parameters.
+    /// Copy this checkpoint's tensors into `layer`'s parameters and
+    /// non-learnable buffers (parameters first, buffers after, matching
+    /// [`Checkpoint::from_layer`]).
     ///
     /// # Errors
     ///
     /// Returns [`StoreError::ArchitectureMismatch`] if the tensor count or
-    /// any shape differs from the layer's parameters; the layer is left
-    /// untouched in that case.
+    /// any shape differs from the layer's parameters + buffers; the layer is
+    /// left untouched in that case.
     pub fn apply_to(&self, layer: &mut dyn Layer) -> Result<()> {
-        let mut params = layer.params_mut();
-        if params.len() != self.tensors.len() {
+        let num_params = layer.params().len();
+        let num_buffers = layer.buffers().len();
+        if num_params + num_buffers != self.tensors.len() {
             return Err(StoreError::ArchitectureMismatch {
                 reason: format!(
-                    "checkpoint {} has {} tensors but the network has {} parameters",
+                    "checkpoint {} has {} tensors but the network has \
+                     {num_params} parameters + {num_buffers} buffers",
                     self.meta.model_id,
                     self.tensors.len(),
-                    params.len()
                 ),
             });
         }
-        for (index, (param, tensor)) in params.iter().zip(self.tensors.iter()).enumerate() {
+        let (param_tensors, buffer_tensors) = self.tensors.split_at(num_params);
+        for (index, (param, tensor)) in layer.params().iter().zip(param_tensors).enumerate() {
             if param.value.shape() != tensor.shape() {
                 return Err(StoreError::ArchitectureMismatch {
                     reason: format!(
@@ -166,8 +180,22 @@ impl Checkpoint {
                 });
             }
         }
-        for (param, tensor) in params.iter_mut().zip(self.tensors.iter()) {
+        for (index, (buffer, tensor)) in layer.buffers().iter().zip(buffer_tensors).enumerate() {
+            if buffer.shape() != tensor.shape() {
+                return Err(StoreError::ArchitectureMismatch {
+                    reason: format!(
+                        "buffer {index}: checkpoint shape {:?} vs network shape {:?}",
+                        tensor.shape().dims(),
+                        buffer.shape().dims()
+                    ),
+                });
+            }
+        }
+        for (param, tensor) in layer.params_mut().iter_mut().zip(param_tensors) {
             param.value = tensor.clone();
+        }
+        for (buffer, tensor) in layer.buffers_mut().iter_mut().zip(buffer_tensors) {
+            **buffer = tensor.clone();
         }
         Ok(())
     }

@@ -12,10 +12,16 @@ use crate::store::ModelStore;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
+/// One lock per `(model, scale)` pair, serialising producers in
+/// [`ModelRegistry::hydrate_or_insert`] so concurrent callers racing on a
+/// missing artifact produce (train) it exactly once.
+type ProducerLocks = Mutex<HashMap<(String, usize), Arc<Mutex<()>>>>;
+
 /// A memoizing front-end over a [`ModelStore`].
 pub struct ModelRegistry {
     store: ModelStore,
     cache: Mutex<RegistryInner>,
+    producers: ProducerLocks,
 }
 
 #[derive(Default)]
@@ -31,6 +37,7 @@ impl ModelRegistry {
         ModelRegistry {
             store,
             cache: Mutex::new(RegistryInner::default()),
+            producers: Mutex::new(HashMap::new()),
         }
     }
 
@@ -69,6 +76,49 @@ impl ModelRegistry {
             .entry(key)
             .or_insert_with(|| Arc::clone(&checkpoint));
         Ok(Arc::clone(entry))
+    }
+
+    /// Hydrate `(model_id, scale)`, producing and saving the artifact first
+    /// when nothing is stored yet: the *train-once* primitive.
+    ///
+    /// Returns the hydrated checkpoint and whether `produce` ran. Producers
+    /// for the same pair are serialised on a per-pair lock, so concurrent
+    /// callers racing on a cold store run `produce` exactly once — later
+    /// callers hydrate what the first one saved. Distinct pairs stay
+    /// concurrent.
+    ///
+    /// `produce` is only invoked for
+    /// [`StoreError::NotFound`](crate::StoreError::NotFound); a corrupt or
+    /// mismatched artifact is still a hard error, never silently re-produced.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`ModelRegistry::hydrate`] or [`ModelStore::save`] can
+    /// return, plus whatever `produce` itself fails with.
+    pub fn hydrate_or_insert<E: From<crate::StoreError>>(
+        &self,
+        model_id: &str,
+        scale: usize,
+        produce: impl FnOnce() -> std::result::Result<Checkpoint, E>,
+    ) -> std::result::Result<(Arc<Checkpoint>, bool), E> {
+        let pair_lock = {
+            let mut producers = self.producers.lock().expect("producer map poisoned");
+            Arc::clone(
+                producers
+                    .entry((model_id.to_string(), scale))
+                    .or_insert_with(|| Arc::new(Mutex::new(()))),
+            )
+        };
+        let _guard = pair_lock.lock().expect("producer lock poisoned");
+        match self.hydrate(model_id, scale) {
+            Ok(checkpoint) => Ok((checkpoint, false)),
+            Err(err) if err.is_not_found() => {
+                let checkpoint = produce()?;
+                self.store.save(&checkpoint)?;
+                Ok((self.hydrate(model_id, scale)?, true))
+            }
+            Err(err) => Err(err.into()),
+        }
     }
 
     /// Forget the memoized checkpoint for `(model_id, scale)`, forcing the

@@ -9,6 +9,8 @@
 //! cargo run --release -p sesr-defense --example edge_deployment
 //! ```
 
+#![allow(deprecated)] // run_table4 is the legacy path; see examples/eval_plan.rs
+
 use sesr_defense::experiments::run_table4;
 use sesr_defense::report::format_table4;
 use sesr_models::SrModelKind;

@@ -1,0 +1,170 @@
+//! Shim-parity proof: the plan-backed `run_table1` / `run_table2` shims must
+//! produce **byte-identical** formatted output to the pre-redesign drivers
+//! on the `quick` configuration.
+//!
+//! The `legacy` module below is a faithful reimplementation of the original
+//! monolithic drivers (train in-memory on every invocation, hand weights to
+//! defenses via `copy_weights`, evaluate with the just-trained classifier
+//! instance) built only on public API. If the plan-based path diverges by a
+//! single byte — a changed seed derivation, a lossy weight round-trip, a
+//! dropped batch-norm buffer — these tests fail.
+
+use sesr_defense::experiments::ExperimentConfig;
+use sesr_defense::report::{format_table1, format_table2};
+
+mod legacy {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sesr_classifiers::{ClassifierKind, ClassifierTrainer, ClassifierTrainingConfig};
+    use sesr_datagen::{ClassificationDataset, DatasetConfig};
+    use sesr_defense::experiments::{
+        build_defense, train_sr_models, ExperimentConfig, Table1Row, Table2Row, Table2Section,
+        TrainedSrModel,
+    };
+    use sesr_defense::pipeline::PreprocessConfig;
+    use sesr_defense::robustness::RobustnessEvaluator;
+    use sesr_models::cost::{paper_cost, paper_reported, paper_reported_psnr};
+    use sesr_models::SrModelKind;
+    use sesr_nn::Layer;
+
+    pub fn run_table1(config: &ExperimentConfig) -> Vec<Table1Row> {
+        let trained = train_sr_models(config).expect("legacy SR training");
+        let mut rows = Vec::new();
+        for model in &trained {
+            let cost = paper_cost(model.kind).unwrap().expect("learned cost");
+            let reported = paper_reported(model.kind);
+            rows.push(Table1Row {
+                model: model.kind.name().to_string(),
+                params: cost.params,
+                macs: cost.macs,
+                measured_psnr: model.val_psnr,
+                paper_psnr: paper_reported_psnr(model.kind),
+                paper_params: reported.map(|r| r.params),
+                paper_macs: reported.map(|r| r.macs),
+            });
+        }
+        rows
+    }
+
+    fn train_classifier(
+        kind: ClassifierKind,
+        dataset: &ClassificationDataset,
+        config: &ExperimentConfig,
+    ) -> Box<dyn Layer> {
+        let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(3000 + kind as u64));
+        let mut classifier = kind.build_local(config.num_classes, &mut rng);
+        ClassifierTrainer::new(ClassifierTrainingConfig {
+            epochs: config.classifier_epochs,
+            batch_size: 12,
+            learning_rate: 3e-3,
+        })
+        .train(classifier.as_mut(), dataset)
+        .expect("legacy classifier training");
+        classifier
+    }
+
+    fn run_table2_section(
+        classifier_kind: ClassifierKind,
+        dataset: &ClassificationDataset,
+        trained_sr: &[TrainedSrModel],
+        config: &ExperimentConfig,
+    ) -> Table2Section {
+        let classifier = train_classifier(classifier_kind, dataset, config);
+        let mut evaluator = RobustnessEvaluator::new(
+            classifier_kind.name(),
+            classifier,
+            dataset.val_images(),
+            dataset.val_labels(),
+            config.eval_images,
+        )
+        .expect("legacy evaluator");
+        let clean_accuracy = evaluator.clean_accuracy().unwrap();
+
+        let mut rows: Vec<Table2Row> = Vec::new();
+        let mut defenses: Vec<Option<SrModelKind>> = vec![None];
+        defenses.extend(config.sr_kinds.iter().copied().map(Some));
+
+        for defense_kind in defenses {
+            let defense_name = defense_kind
+                .map(|k| k.name().to_string())
+                .unwrap_or_else(|| "No Defense".to_string());
+            let mut accuracies = Vec::new();
+            for attack_kind in &config.attacks {
+                let attack = attack_kind.build(config.attack);
+                let mut rng = StdRng::seed_from_u64(
+                    config
+                        .seed
+                        .wrapping_add(4000 + *attack_kind as u64 * 17 + classifier_kind as u64),
+                );
+                let adversarial = evaluator
+                    .craft_adversarial(attack.as_ref(), &mut rng)
+                    .unwrap();
+                let accuracy = match defense_kind {
+                    None => evaluator.defended_accuracy(&adversarial, None).unwrap(),
+                    Some(kind) => {
+                        let pipeline =
+                            build_defense(kind, PreprocessConfig::paper(), trained_sr, config.seed)
+                                .expect("legacy defense build");
+                        evaluator
+                            .defended_accuracy(&adversarial, Some(&pipeline))
+                            .unwrap()
+                    }
+                };
+                accuracies.push((attack_kind.name().to_string(), accuracy));
+            }
+            rows.push(Table2Row {
+                defense: defense_name,
+                accuracies,
+            });
+        }
+        Table2Section {
+            classifier: classifier_kind.name().to_string(),
+            clean_accuracy,
+            rows,
+        }
+    }
+
+    pub fn run_table2(config: &ExperimentConfig) -> Vec<Table2Section> {
+        let dataset = ClassificationDataset::generate(DatasetConfig {
+            num_classes: config.num_classes,
+            train_size: config.train_size,
+            val_size: config.val_size,
+            height: config.image_size,
+            width: config.image_size,
+            seed: config.seed,
+        })
+        .expect("legacy dataset");
+        let trained_sr = train_sr_models(config).expect("legacy SR training");
+        config
+            .classifiers
+            .iter()
+            .map(|kind| run_table2_section(*kind, &dataset, &trained_sr, config))
+            .collect()
+    }
+}
+
+#[test]
+fn plan_backed_table1_is_byte_identical_to_legacy() {
+    let config = ExperimentConfig::quick();
+    let legacy_text = format_table1(&legacy::run_table1(&config));
+    #[allow(deprecated)]
+    let shim_rows = sesr_defense::experiments::run_table1(&config).expect("shim table 1");
+    let shim_text = format_table1(&shim_rows);
+    assert_eq!(
+        legacy_text, shim_text,
+        "plan-backed Table I output must match the pre-redesign driver byte for byte"
+    );
+}
+
+#[test]
+fn plan_backed_table2_is_byte_identical_to_legacy() {
+    let config = ExperimentConfig::quick();
+    let legacy_text = format_table2(&legacy::run_table2(&config));
+    #[allow(deprecated)]
+    let shim_sections = sesr_defense::experiments::run_table2(&config).expect("shim table 2");
+    let shim_text = format_table2(&shim_sections);
+    assert_eq!(
+        legacy_text, shim_text,
+        "plan-backed Table II output must match the pre-redesign driver byte for byte"
+    );
+}

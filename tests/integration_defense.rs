@@ -1,6 +1,10 @@
 //! End-to-end integration test: the complete Table II machinery — data
 //! generation, SR training, classifier training, gray-box attacks, defense
 //! pipelines — at a minutes-scale configuration.
+//!
+//! Exercises the deprecated `run_tableN` shims on purpose: they must keep
+//! working (and keep their legacy output) until removed.
+#![allow(deprecated)]
 
 use sesr_attacks::AttackKind;
 use sesr_classifiers::ClassifierKind;
