@@ -1,0 +1,218 @@
+//! A terminal dashboard over a gateway telemetry snapshot file.
+//!
+//! ```text
+//! sesr-top <snapshot.json> [flags]
+//!
+//!   --once             render one frame and exit (exit 1 if unreadable)
+//!   --interval-ms N    poll interval between frames (default 1000)
+//!   --ticks N          render N frames, then exit
+//! ```
+//!
+//! The snapshot file is whatever a running process exports — a gateway's
+//! [`TelemetryExporter`](sesr_serve::TelemetryExporter), the
+//! `serve_throughput` example, or `tables --telemetry PATH`. Each frame
+//! re-reads and re-parses the file, so the dashboard follows a live exporter
+//! without holding any connection to the process that writes it.
+//!
+//! Per-route stage latencies are recovered purely from the metric naming
+//! scheme (`route.<label>.stage.<stage>_ns`), so the dashboard needs no
+//! coordination with the serving process beyond the JSON schema.
+
+use sesr_telemetry::{HistogramSnapshot, TelemetrySnapshot};
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!("usage: sesr-top <snapshot.json> [--once] [--interval-ms N] [--ticks N]");
+    std::process::exit(2);
+}
+
+struct Args {
+    path: String,
+    interval: Duration,
+    ticks: Option<u64>,
+}
+
+fn parse_args() -> Args {
+    let mut path = None;
+    let mut interval = Duration::from_millis(1000);
+    let mut ticks = None;
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        let mut flag_value = |name: &str| match iter.next() {
+            Some(value) => value,
+            None => {
+                eprintln!("{name} needs a value");
+                usage()
+            }
+        };
+        match arg.as_str() {
+            "--once" => ticks = Some(1),
+            "--ticks" => match flag_value("--ticks").parse() {
+                Ok(n) if n > 0 => ticks = Some(n),
+                _ => {
+                    eprintln!("--ticks needs a positive integer");
+                    usage()
+                }
+            },
+            "--interval-ms" => match flag_value("--interval-ms").parse() {
+                Ok(ms) => interval = Duration::from_millis(ms),
+                Err(_) => {
+                    eprintln!("--interval-ms needs an integer");
+                    usage()
+                }
+            },
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag {flag}");
+                usage()
+            }
+            positional if path.is_none() => path = Some(positional.to_string()),
+            _ => usage(),
+        }
+    }
+    match path {
+        Some(path) => Args {
+            path,
+            interval,
+            ticks,
+        },
+        None => usage(),
+    }
+}
+
+/// Render a nanosecond quantity at a human scale.
+fn nanos(value: u64) -> String {
+    if value >= 1_000_000_000 {
+        format!("{:.2}s", value as f64 / 1e9)
+    } else if value >= 1_000_000 {
+        format!("{:.2}ms", value as f64 / 1e6)
+    } else if value >= 1_000 {
+        format!("{:.1}us", value as f64 / 1e3)
+    } else {
+        format!("{value}ns")
+    }
+}
+
+/// Split `route.<label>.stage.<stage>_ns` into `(label, stage)`.
+fn stage_key(name: &str) -> Option<(&str, &str)> {
+    let rest = name.strip_prefix("route.")?;
+    let (label, stage) = rest.split_once(".stage.")?;
+    Some((label, stage.strip_suffix("_ns").unwrap_or(stage)))
+}
+
+fn stage_row(out: &mut String, name: &str, hist: &HistogramSnapshot) {
+    use std::fmt::Write as _;
+    let _ = writeln!(
+        out,
+        "  {name:<24} {count:>8} {p50:>10} {p95:>10} {p99:>10} {max:>10}",
+        count = hist.count,
+        p50 = nanos(hist.quantile(0.50)),
+        p95 = nanos(hist.quantile(0.95)),
+        p99 = nanos(hist.quantile(0.99)),
+        max = nanos(hist.max),
+    );
+}
+
+fn render(snapshot: &TelemetrySnapshot) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+
+    if !snapshot.counters.is_empty() {
+        let _ = writeln!(out, "counters");
+        for (name, value) in &snapshot.counters {
+            let _ = writeln!(out, "  {name:<40} {value:>12}");
+        }
+    }
+    if !snapshot.gauges.is_empty() {
+        let _ = writeln!(out, "gauges");
+        for (name, value) in &snapshot.gauges {
+            let _ = writeln!(out, "  {name:<40} {value:>12}");
+        }
+    }
+
+    // Per-route stage tables, recovered from the naming scheme. Histograms
+    // arrive sorted by name, so each route's stages are already contiguous.
+    let mut current_route: Option<&str> = None;
+    let mut other = Vec::new();
+    for (name, hist) in &snapshot.histograms {
+        match stage_key(name) {
+            Some((label, stage)) => {
+                if current_route != Some(label) {
+                    current_route = Some(label);
+                    let _ = writeln!(out, "route {label}");
+                    let _ = writeln!(
+                        out,
+                        "  {:<24} {:>8} {:>10} {:>10} {:>10} {:>10}",
+                        "stage", "count", "p50", "p95", "p99", "max"
+                    );
+                }
+                stage_row(&mut out, stage, hist);
+            }
+            None => other.push((name, hist)),
+        }
+    }
+    if !other.is_empty() {
+        let _ = writeln!(out, "histograms");
+        let _ = writeln!(
+            out,
+            "  {:<24} {:>8} {:>10} {:>10} {:>10} {:>10}",
+            "name", "count", "p50", "p95", "p99", "max"
+        );
+        for (name, hist) in other {
+            stage_row(&mut out, name, hist);
+        }
+    }
+
+    let recent = snapshot.events.iter().rev().take(10).collect::<Vec<_>>();
+    if !recent.is_empty() {
+        let _ = writeln!(
+            out,
+            "events (last {}, {} dropped)",
+            recent.len(),
+            snapshot.dropped_events
+        );
+        for event in recent.into_iter().rev() {
+            let _ = writeln!(
+                out,
+                "  #{:<6} +{:<10} {:<5} {:<28} req={:<6} {}",
+                event.seq,
+                format!("{}us", event.micros),
+                event.level.as_str(),
+                event.name,
+                event.request,
+                nanos(event.value),
+            );
+        }
+    }
+    out
+}
+
+fn read_frame(path: &str) -> Result<TelemetrySnapshot, String> {
+    let text = std::fs::read_to_string(path).map_err(|err| format!("cannot read {path}: {err}"))?;
+    TelemetrySnapshot::from_json(&text).map_err(|err| format!("cannot parse {path}: {err}"))
+}
+
+fn main() {
+    let args = parse_args();
+    let mut tick = 0u64;
+    loop {
+        match read_frame(&args.path) {
+            Ok(snapshot) => {
+                println!("== {} ==", args.path);
+                print!("{}", render(&snapshot));
+            }
+            Err(err) if args.ticks == Some(1) => {
+                eprintln!("{err}");
+                std::process::exit(1);
+            }
+            // A live exporter may not have produced its first write yet (or
+            // we raced the atomic rename on a filesystem without one); keep
+            // polling rather than dying mid-session.
+            Err(err) => println!("waiting: {err}"),
+        }
+        tick += 1;
+        if args.ticks.is_some_and(|limit| tick >= limit) {
+            return;
+        }
+        std::thread::sleep(args.interval);
+    }
+}

@@ -15,6 +15,8 @@
 //!   --store DIR        persistent model store (default: throw-away temp dir);
 //!                      a warm store skips every training run it already holds
 //!   --workers N        cap the scenario worker pool
+//!   --telemetry PATH   write a TelemetrySnapshot JSON (per-scenario timings,
+//!                      store hydrate/publish metrics) after the run
 //! ```
 //!
 //! Examples:
@@ -37,13 +39,15 @@ use sesr_defense::experiments::ExperimentConfig;
 use sesr_models::SrModelKind;
 use sesr_npu::NpuConfig;
 use sesr_serve::GatewayScenario;
+use sesr_store::ModelStore;
+use sesr_telemetry::Telemetry;
 use std::sync::Arc;
 
 fn usage() -> ! {
     eprintln!(
         "usage: tables [all|table1|table2|table3|table4|transfer|gateway] [smoke|quick|full]\n\
          \x20      [--list] [--filter A,B] [--attacks a,b] [--json PATH] [--csv PATH]\n\
-         \x20      [--store DIR] [--workers N]"
+         \x20      [--store DIR] [--workers N] [--telemetry PATH]"
     );
     std::process::exit(2);
 }
@@ -178,6 +182,7 @@ struct Args {
     csv: Option<String>,
     store: Option<String>,
     workers: Option<usize>,
+    telemetry: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -191,6 +196,7 @@ fn parse_args() -> Args {
         csv: None,
         store: None,
         workers: None,
+        telemetry: None,
     };
     let mut positional = 0usize;
     let mut iter = std::env::args().skip(1);
@@ -230,6 +236,7 @@ fn parse_args() -> Args {
             "--json" => args.json = Some(flag_value("--json")),
             "--csv" => args.csv = Some(flag_value("--csv")),
             "--store" => args.store = Some(flag_value("--store")),
+            "--telemetry" => args.telemetry = Some(flag_value("--telemetry")),
             "--workers" => match flag_value("--workers").parse() {
                 Ok(n) if n > 0 => args.workers = Some(n),
                 _ => {
@@ -261,10 +268,15 @@ fn main() {
         config.attacks = attacks.clone();
     }
 
+    let telemetry = args.telemetry.as_ref().map(|_| Arc::new(Telemetry::new()));
+
     let mut plan =
         plan_for_selection(&args.selection, &config, args.attacks.is_some()).filter(&args.filter);
     if let Some(workers) = args.workers {
         plan = plan.workers(workers);
+    }
+    if let Some(hub) = &telemetry {
+        plan = plan.with_telemetry(hub);
     }
     if args.list {
         for name in plan.names() {
@@ -282,9 +294,15 @@ fn main() {
 
     // One bank for the whole run: scenarios (and tables) sharing a trained
     // model train it once. With --store the reuse also spans invocations.
-    let bank = match &args.store {
-        Some(root) => ModelBank::open(root, config.clone()),
-        None => ModelBank::ephemeral(config.clone()),
+    // A persistent store joins the telemetry hub so the snapshot also carries
+    // hydrate/publish timings; the ephemeral bank owns its throw-away store,
+    // so there the snapshot covers per-scenario timings only.
+    let bank = match (&args.store, &telemetry) {
+        (Some(root), Some(hub)) => ModelStore::open(root)
+            .map_err(sesr_tensor::TensorError::from)
+            .map(|store| ModelBank::new(store.with_telemetry(Arc::clone(hub)), config.clone())),
+        (Some(root), None) => ModelBank::open(root, config.clone()),
+        (None, _) => ModelBank::ephemeral(config.clone()),
     };
     let bank = match bank {
         Ok(bank) => bank,
@@ -337,6 +355,16 @@ fn main() {
         bank.registry().hit_counts().0,
         bank.registry().hit_counts().1,
     );
+    // The snapshot is written even when scenarios failed: the timings and the
+    // `eval.scenario_failed` journal entries are most useful exactly then.
+    if let (Some(path), Some(hub)) = (&args.telemetry, &telemetry) {
+        if let Err(err) = sesr_serve::write_snapshot_atomic(path.as_ref(), &hub.snapshot()) {
+            eprintln!("cannot write telemetry snapshot {path}: {err}");
+            std::process::exit(1);
+        }
+        println!("telemetry snapshot written to {path}");
+    }
+
     let failures = report.failures();
     if !failures.is_empty() || !report.sink_errors.is_empty() {
         for failure in &failures {

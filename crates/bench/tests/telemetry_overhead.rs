@@ -1,0 +1,100 @@
+//! Budget test: stage tracing must not meaningfully slow the defense path.
+//!
+//! The traced hot path is designed to cost two `Instant::now()` calls, a few
+//! relaxed atomic adds, and one seqlock ring write per stage — no heap
+//! allocation, no mutex. This test measures the instrumented defense against
+//! the uninstrumented one over identical inputs and fails if instrumentation
+//! costs more than 2x, a deliberately generous bound whose job is to catch a
+//! regression that sneaks a lock or an allocation into the recording path,
+//! not to benchmark.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sesr_defense::{DefendTrace, DefensePipeline, PreprocessConfig};
+use sesr_models::SrModelKind;
+use sesr_telemetry::{Level, Telemetry};
+use sesr_tensor::{init, Shape};
+use std::time::{Duration, Instant};
+
+const ROUNDS: usize = 40;
+
+fn pipeline() -> DefensePipeline {
+    DefensePipeline::new(
+        PreprocessConfig::paper(),
+        SrModelKind::SesrM2.build_seeded_upscaler(2, 7).unwrap(),
+    )
+}
+
+/// Total wall time of `rounds` defenses, with a few warmup rounds excluded.
+fn measure(rounds: usize, mut defend: impl FnMut()) -> Duration {
+    for _ in 0..4 {
+        defend();
+    }
+    let started = Instant::now();
+    for _ in 0..rounds {
+        defend();
+    }
+    started.elapsed()
+}
+
+#[test]
+fn stage_tracing_stays_within_overhead_budget() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let image = init::uniform(Shape::new(&[1, 3, 32, 32]), 0.0, 1.0, &mut rng);
+
+    let pipeline = pipeline();
+    let mut scratch = sesr_models::ScratchSpace::new();
+    let plain = measure(ROUNDS, || {
+        let out = pipeline.defend_scratch(&image, &mut scratch).unwrap();
+        scratch.recycle(out);
+    });
+
+    let telemetry = Telemetry::new();
+    let preprocess = telemetry.probe(
+        "stage.preprocess",
+        Level::Debug,
+        Some("stage.preprocess_ns"),
+    );
+    let sr_forward = telemetry.probe(
+        "stage.sr_forward",
+        Level::Debug,
+        Some("stage.sr_forward_ns"),
+    );
+    let mut scratch = sesr_models::ScratchSpace::new();
+    let mut request = 0u64;
+    let traced = measure(ROUNDS, || {
+        request += 1;
+        let trace = DefendTrace {
+            preprocess: &preprocess,
+            sr_forward: &sr_forward,
+            request,
+        };
+        let out = pipeline
+            .defend_scratch_traced(&image, &mut scratch, &trace)
+            .unwrap();
+        scratch.recycle(out);
+    });
+
+    // Every round must actually have recorded both stages, or the comparison
+    // is vacuous.
+    let snapshot = telemetry.snapshot();
+    for name in ["stage.preprocess_ns", "stage.sr_forward_ns"] {
+        let hist = snapshot.histogram(name).expect(name);
+        assert_eq!(hist.count as usize, ROUNDS + 4, "{name} missed spans");
+    }
+
+    // Wall-clock ratios on a loaded single-core CI runner are noise; only
+    // enforce the budget where the measurement can mean something.
+    let multicore = std::thread::available_parallelism()
+        .map(|n| n.get() > 1)
+        .unwrap_or(false);
+    let ratio = traced.as_secs_f64() / plain.as_secs_f64().max(1e-9);
+    println!("plain {plain:?}, traced {traced:?}, ratio {ratio:.3}");
+    if multicore {
+        assert!(
+            ratio < 2.0,
+            "instrumented defense is {ratio:.2}x the uninstrumented one \
+             (plain {plain:?}, traced {traced:?}); tracing should be nearly free"
+        );
+    }
+}

@@ -8,6 +8,7 @@ use crate::eval::sink::EvalSink;
 use crate::experiments::ExperimentConfig;
 use crate::Result;
 use sesr_npu::NpuConfig;
+use sesr_telemetry::{Counter, Level, Probe, Telemetry};
 use sesr_tensor::TensorError;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
@@ -104,6 +105,19 @@ impl PlanReport {
     }
 }
 
+/// Telemetry hooks of an instrumented plan: per-scenario durations and
+/// completion/failure counts.
+#[derive(Debug, Clone)]
+struct PlanTelemetry {
+    /// Journals `eval.scenario` per completed scenario (request = the
+    /// scenario's declaration index) and feeds `eval.scenario_ns`.
+    scenario: Probe,
+    /// Journals `eval.scenario_failed` at Warn for failed scenarios.
+    scenario_failed: Probe,
+    completed: Arc<Counter>,
+    failed: Arc<Counter>,
+}
+
 /// A declarative, ordered set of named scenarios, executed in parallel on a
 /// share-nothing worker pool and streamed to sinks in declaration order.
 #[derive(Debug, Clone)]
@@ -111,6 +125,7 @@ pub struct EvalPlan {
     name: String,
     scenarios: Vec<Scenario>,
     workers: Option<usize>,
+    telemetry: Option<PlanTelemetry>,
 }
 
 impl EvalPlan {
@@ -120,7 +135,23 @@ impl EvalPlan {
             name: name.into(),
             scenarios: Vec::new(),
             workers: None,
+            telemetry: None,
         }
+    }
+
+    /// Record execution telemetry into `hub`: each completed scenario's
+    /// wall-clock duration lands in the `eval.scenario_ns` histogram and an
+    /// `eval.scenario` journal event (tagged with the scenario's declaration
+    /// index); completions and failures are counted as
+    /// `eval.scenarios_completed` / `eval.scenarios_failed`.
+    pub fn with_telemetry(mut self, hub: &Telemetry) -> Self {
+        self.telemetry = Some(PlanTelemetry {
+            scenario: hub.probe("eval.scenario", Level::Info, Some("eval.scenario_ns")),
+            scenario_failed: hub.probe("eval.scenario_failed", Level::Warn, None),
+            completed: hub.metrics().counter("eval.scenarios_completed"),
+            failed: hub.metrics().counter("eval.scenarios_failed"),
+        });
+        self
     }
 
     /// The plan's name.
@@ -394,6 +425,15 @@ impl EvalPlan {
                         Vec::new(),
                     ),
                 };
+                if let Some(telemetry) = &self.telemetry {
+                    if status.is_ok() {
+                        telemetry.completed.incr();
+                        telemetry.scenario.observe(index as u64, duration);
+                    } else {
+                        telemetry.failed.incr();
+                        telemetry.scenario_failed.observe(index as u64, duration);
+                    }
+                }
                 slots[index] = Some(ScenarioReport {
                     meta,
                     status,
@@ -542,6 +582,38 @@ mod tests {
             ScenarioStatus::Failed { error } if error.contains("boom")
         ));
         assert!(report.scenario("will-pass").unwrap().status.is_ok());
+    }
+
+    #[test]
+    fn instrumented_plans_time_every_scenario() {
+        let bank = tiny_bank();
+        let hub = Telemetry::new();
+        struct Failing;
+        impl CustomScenario for Failing {
+            fn run(&self, _bank: &ModelBank) -> Result<Vec<EvalRecord>> {
+                Err(TensorError::invalid_argument("boom"))
+            }
+        }
+        let plan = npu_plan()
+            .custom("will-fail", Arc::new(Failing))
+            .with_telemetry(&hub);
+        let report = plan.run(&bank).unwrap();
+        assert_eq!(report.scenarios.len(), 5);
+
+        let snapshot = hub.snapshot();
+        assert_eq!(snapshot.counter("eval.scenarios_completed"), Some(4));
+        assert_eq!(snapshot.counter("eval.scenarios_failed"), Some(1));
+        assert_eq!(snapshot.histogram("eval.scenario_ns").unwrap().count, 4);
+        let failed: Vec<_> = snapshot
+            .events
+            .iter()
+            .filter(|e| e.name == "eval.scenario_failed")
+            .collect();
+        assert_eq!(failed.len(), 1);
+        assert_eq!(
+            failed[0].request, 4,
+            "the failure event carries the scenario's declaration index"
+        );
     }
 
     #[test]

@@ -53,7 +53,7 @@ pub mod pipeline;
 pub mod report;
 pub mod robustness;
 
-pub use pipeline::{DefensePipeline, PreprocessConfig};
+pub use pipeline::{DefendTrace, DefensePipeline, PreprocessConfig};
 pub use robustness::{DefenseEvaluation, RobustnessEvaluator, RobustnessScenario};
 
 /// Result alias re-exported from the tensor crate.

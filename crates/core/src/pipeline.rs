@@ -4,7 +4,23 @@
 use crate::Result;
 use sesr_imaging::{jpeg_compress, wavelet_denoise, JpegConfig, WaveletConfig};
 use sesr_models::{ScratchSpace, Upscaler};
+use sesr_telemetry::Probe;
 use sesr_tensor::Tensor;
+
+/// Telemetry hooks for the two timed stages of a defense call, passed to
+/// [`DefensePipeline::defend_scratch_traced`] by instrumented callers (the
+/// `sesr-serve` worker pool). Each probe records a span into its journal and,
+/// when bound to a histogram, the stage duration in nanoseconds; `request`
+/// tags the emitted events so a trace can be reassembled per request.
+#[derive(Debug, Clone, Copy)]
+pub struct DefendTrace<'a> {
+    /// Times the preprocessing stages (clamp + JPEG + wavelet) as one span.
+    pub preprocess: &'a Probe,
+    /// Times the super-resolution forward pass.
+    pub sr_forward: &'a Probe,
+    /// Request id attached to the emitted journal events.
+    pub request: u64,
+}
 
 /// Configuration of the non-learned preprocessing stages.
 ///
@@ -145,8 +161,37 @@ impl DefensePipeline {
     ///
     /// Everything [`DefensePipeline::defend`] can return.
     pub fn defend_scratch(&self, image: &Tensor, scratch: &mut ScratchSpace) -> Result<Tensor> {
+        self.defend_scratch_inner(image, scratch, None)
+    }
+
+    /// [`DefensePipeline::defend_scratch`] with stage-level telemetry: the
+    /// preprocessing stages and the SR forward pass each run under a span of
+    /// the corresponding [`DefendTrace`] probe, so instrumented servers get
+    /// per-stage latency histograms and journal events without the pipeline
+    /// depending on any particular metrics sink. Output is bitwise identical
+    /// to the untraced call.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`DefensePipeline::defend_scratch`] can return.
+    pub fn defend_scratch_traced(
+        &self,
+        image: &Tensor,
+        scratch: &mut ScratchSpace,
+        trace: &DefendTrace<'_>,
+    ) -> Result<Tensor> {
+        self.defend_scratch_inner(image, scratch, Some(trace))
+    }
+
+    fn defend_scratch_inner(
+        &self,
+        image: &Tensor,
+        scratch: &mut ScratchSpace,
+        trace: Option<&DefendTrace<'_>>,
+    ) -> Result<Tensor> {
         // Every stage recycles its input even on failure, so the arena's
         // in-use accounting stays exact when a stage rejects a request.
+        let span = trace.map(|t| t.preprocess.span(t.request));
         let mut x = image.clamp_arena(0.0, 1.0, scratch.arena());
         if let Some(jpeg) = self.preprocess.jpeg {
             match jpeg_compress(&x, jpeg) {
@@ -166,7 +211,10 @@ impl DefensePipeline {
                 }
             }
         }
+        drop(span);
+        let span = trace.map(|t| t.sr_forward.span(t.request));
         let out = self.upscaler.upscale_scratch(&x, scratch);
+        drop(span);
         scratch.recycle(x);
         out
     }
@@ -273,6 +321,47 @@ mod tests {
             }
         }
         assert!(scratch.stats().hits > 0);
+    }
+
+    #[test]
+    fn traced_defense_is_identical_and_emits_stage_spans() {
+        let img = image();
+        let mut scratch = sesr_models::ScratchSpace::new();
+        let pipeline = DefensePipeline::new(
+            PreprocessConfig::paper(),
+            SrModelKind::SesrM2.build_seeded_upscaler(2, 7).unwrap(),
+        );
+        let expected = pipeline.defend_scratch(&img, &mut scratch).unwrap();
+        scratch.recycle(expected.clone());
+
+        let telemetry = sesr_telemetry::Telemetry::new();
+        let trace = DefendTrace {
+            preprocess: &telemetry.probe(
+                "stage.preprocess",
+                sesr_telemetry::Level::Debug,
+                Some("stage.preprocess_ns"),
+            ),
+            sr_forward: &telemetry.probe(
+                "stage.sr_forward",
+                sesr_telemetry::Level::Debug,
+                Some("stage.sr_forward_ns"),
+            ),
+            request: 42,
+        };
+        let out = pipeline
+            .defend_scratch_traced(&img, &mut scratch, &trace)
+            .unwrap();
+        assert_eq!(out, expected, "tracing must not change the output");
+
+        let snapshot = telemetry.snapshot();
+        for name in ["stage.preprocess_ns", "stage.sr_forward_ns"] {
+            let hist = snapshot.histogram(name).expect(name);
+            assert_eq!(hist.count, 1, "{name} must record exactly one span");
+        }
+        let events: Vec<_> = snapshot.events.iter().map(|e| e.name.as_str()).collect();
+        assert!(events.contains(&"stage.preprocess"));
+        assert!(events.contains(&"stage.sr_forward"));
+        assert!(snapshot.events.iter().all(|e| e.request == 42));
     }
 
     #[test]

@@ -67,6 +67,7 @@ pub struct LruCache<K, V> {
     free: Vec<usize>,
     hits: u64,
     misses: u64,
+    evictions: u64,
 }
 
 impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
@@ -81,6 +82,7 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
             free: Vec::new(),
             hits: 0,
             misses: 0,
+            evictions: 0,
         }
     }
 
@@ -102,6 +104,12 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     /// Lifetime `(hits, misses)` counters for this cache.
     pub fn hit_counts(&self) -> (u64, u64) {
         (self.hits, self.misses)
+    }
+
+    /// Lifetime count of capacity evictions (entries displaced by `insert`
+    /// when the cache was full; `retain` purges are not evictions).
+    pub fn eviction_count(&self) -> u64 {
+        self.evictions
     }
 
     fn detach(&mut self, slot: usize) {
@@ -163,6 +171,7 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
             self.detach(victim);
             self.index.remove(&self.nodes[victim].key);
             self.free.push(victim);
+            self.evictions += 1;
         }
         let slot = match self.free.pop() {
             Some(slot) => {
@@ -255,6 +264,21 @@ mod tests {
         assert!(cache.is_empty());
         assert_eq!(cache.get(&1), None);
         assert_eq!(cache.hit_counts(), (0, 1));
+    }
+
+    #[test]
+    fn eviction_counter_tracks_capacity_displacements() {
+        let mut cache: LruCache<u64, u32> = LruCache::new(2);
+        cache.insert(1, 10);
+        cache.insert(2, 20);
+        assert_eq!(cache.eviction_count(), 0);
+        cache.insert(1, 11); // refresh, not an eviction
+        assert_eq!(cache.eviction_count(), 0);
+        cache.insert(3, 30); // evicts 2
+        cache.insert(4, 40); // evicts 1
+        assert_eq!(cache.eviction_count(), 2);
+        cache.retain(|_| false); // purges are not evictions
+        assert_eq!(cache.eviction_count(), 2);
     }
 
     #[test]

@@ -37,15 +37,17 @@ use crate::route::{DefenseRequest, RouteConfig, RouteKey};
 use crate::server::{PendingResponse, ServeError, WorkerAssets};
 use crate::shard::{spawn_shard, CacheKey, Job, ShardInner, ShardThreads, SharedCache, StatsPair};
 use crate::stats::{GatewayStats, ServeStats, StatsRecorder};
+use crate::telemetry::{ArenaGauges, StageProbes, TelemetryExporter};
 use crate::{content_hash, LruCache};
 use sesr_defense::pipeline::DefensePipeline;
 use sesr_models::SrModelKind;
 use sesr_store::{ModelRegistry, ModelStore};
+use sesr_telemetry::{Counter, Level, Probe, Telemetry, TelemetrySnapshot};
 use std::collections::HashMap;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError, TrySendError};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -63,10 +65,24 @@ struct RouteEntry {
     /// Per-route stats; survives reloads so the breakdown covers the route's
     /// whole lifetime.
     stats: Arc<StatsRecorder>,
+    /// Per-route stage probes (`route.<label>.stage.*_ns`); like the stats,
+    /// they survive reloads.
+    stages: Arc<StageProbes>,
     /// The live shard; hot reload swaps the `Arc` under a brief write lock.
     active: RwLock<Arc<ShardInner>>,
     /// Join handles of the active shard (taken on retire/shutdown).
     threads: Mutex<Option<ShardThreads>>,
+}
+
+/// Journal probes and counters for gateway lifecycle events (hot reloads).
+struct LifecycleProbes {
+    /// Successful route promotion; duration = whole rebuild-swap-drain cycle,
+    /// mirrored into the `gateway.reload_ns` histogram.
+    reload: Probe,
+    /// Failed reload attempt (the old shard keeps serving).
+    reload_failed: Probe,
+    reloads: Arc<Counter>,
+    reload_failures: Arc<Counter>,
 }
 
 struct GatewayShared {
@@ -78,6 +94,11 @@ struct GatewayShared {
     cache_enabled: bool,
     stats: Arc<StatsRecorder>,
     registry: Option<Arc<ModelRegistry>>,
+    /// The hub every metric and journal event of this gateway lands in.
+    telemetry: Arc<Telemetry>,
+    /// Monotonic request-id source; ids tag journal events end to end.
+    request_ids: AtomicU64,
+    lifecycle: LifecycleProbes,
 }
 
 /// The running multi-model serving engine; owns every route shard.
@@ -125,21 +146,34 @@ fn submit_to(
 
     let route = route.unwrap_or(shared.default_route);
     let entry = entry_for(shared, &route)?;
+    let request_id = shared.request_ids.fetch_add(1, Ordering::Relaxed);
     let stats = StatsPair {
         global: Arc::clone(&shared.stats),
         route: Arc::clone(&entry.stats),
+        stages: Arc::clone(&entry.stages),
     };
 
     let cache_key: Option<CacheKey> = if shared.cache_enabled && !skip_cache {
         let key = (route, content_hash(&image, ""));
-        let mut cache = shared.cache.lock().expect("cache mutex poisoned");
-        if let Some((defended, label)) = cache.get(&key) {
+        // The cache-lookup stage covers hashing's sibling cost: the lock plus
+        // the LRU probe. A poisoned guard means some other holder panicked;
+        // recover it rather than cascade the panic into every submitter.
+        let lookup_started = Instant::now();
+        let mut cache = shared.cache.lock().unwrap_or_else(PoisonError::into_inner);
+        let cached = cache
+            .get(&key)
+            .map(|(defended, label)| (defended.clone(), *label));
+        drop(cache);
+        stats
+            .stages
+            .cache_lookup
+            .observe(request_id, lookup_started.elapsed());
+        if let Some((defended, label)) = cached {
             let response = crate::server::DefenseResponse {
-                defended: defended.clone(),
-                label: *label,
+                defended,
+                label,
                 cache_hit: true,
             };
-            drop(cache);
             stats.record_completion(started.elapsed(), true);
             return Ok(PendingResponse::ready(response));
         }
@@ -151,10 +185,12 @@ fn submit_to(
     let (responder, receiver) = mpsc::channel();
     let job = Job {
         image,
+        request_id,
         enqueued: started,
         deadline: deadline.map(|d| started + d),
         responder,
         cache_key,
+        dequeued: None,
     };
     // Clone the live shard handle under a brief read lock, then send outside
     // it so a concurrent reload is never blocked behind a full queue.
@@ -194,6 +230,25 @@ fn build_auto_assets(
 }
 
 fn reload_route(shared: &GatewayShared, route: &RouteKey) -> Result<(), ServeError> {
+    // Every promotion attempt lands in the journal: successes with the full
+    // rebuild-swap-drain duration (also mirrored into `gateway.reload_ns`),
+    // failures at Warn so `sesr-top` surfaces a route stuck on old weights.
+    let started = Instant::now();
+    let result = reload_route_inner(shared, route);
+    match &result {
+        Ok(()) => {
+            shared.lifecycle.reloads.incr();
+            shared.lifecycle.reload.observe(0, started.elapsed());
+        }
+        Err(_) => {
+            shared.lifecycle.reload_failures.incr();
+            shared.lifecycle.reload_failed.observe(0, started.elapsed());
+        }
+    }
+    result
+}
+
+fn reload_route_inner(shared: &GatewayShared, route: &RouteKey) -> Result<(), ServeError> {
     let entry = Arc::clone(entry_for(shared, route)?);
     // One reload at a time per route: the factory lock is held across the
     // rebuild, but submissions keep flowing to the old shard meanwhile.
@@ -216,8 +271,10 @@ fn reload_route(shared: &GatewayShared, route: &RouteKey) -> Result<(), ServeErr
     let stats = StatsPair {
         global: Arc::clone(&shared.stats),
         route: Arc::clone(&entry.stats),
+        stages: Arc::clone(&entry.stages),
     };
-    let (inner, threads) = spawn_shard(&entry.config, assets, &shared.cache, &stats);
+    let arenas = arena_gauges(&shared.telemetry, route, entry.config.num_workers);
+    let (inner, threads) = spawn_shard(&entry.config, assets, &shared.cache, &stats, arenas);
 
     // Swap the live shard; new submissions land on the fresh workers from
     // here on.
@@ -247,10 +304,42 @@ fn reload_route(shared: &GatewayShared, route: &RouteKey) -> Result<(), ServeErr
         shared
             .cache
             .lock()
-            .expect("cache mutex poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .retain(|(cached_route, _)| cached_route != route);
     }
     Ok(())
+}
+
+/// Register the per-worker arena gauges for `route` (idempotent across
+/// reloads: the same names resolve to the same gauges).
+fn arena_gauges(telemetry: &Telemetry, route: &RouteKey, num_workers: usize) -> Vec<ArenaGauges> {
+    let label = route.label();
+    (0..num_workers)
+        .map(|worker| ArenaGauges::for_worker(telemetry, &label, worker))
+        .collect()
+}
+
+/// Refresh the gateway-level cache gauges, then snapshot the whole hub. The
+/// LRU counters live behind the cache mutex, so they are mirrored into
+/// gauges here — at snapshot time, off the hot path — rather than on every
+/// lookup.
+fn telemetry_snapshot(shared: &GatewayShared) -> TelemetrySnapshot {
+    if shared.cache_enabled {
+        let (hits, misses, evictions, entries) = {
+            let cache = shared.cache.lock().unwrap_or_else(PoisonError::into_inner);
+            let (hits, misses) = cache.hit_counts();
+            (hits, misses, cache.eviction_count(), cache.len() as u64)
+        };
+        let metrics = shared.telemetry.metrics();
+        let clamp = |v: u64| i64::try_from(v).unwrap_or(i64::MAX);
+        metrics.gauge("gateway.cache.hits").set(clamp(hits));
+        metrics.gauge("gateway.cache.misses").set(clamp(misses));
+        metrics
+            .gauge("gateway.cache.evictions")
+            .set(clamp(evictions));
+        metrics.gauge("gateway.cache.entries").set(clamp(entries));
+    }
+    shared.telemetry.snapshot()
 }
 
 fn snapshot(shared: &GatewayShared) -> GatewayStats {
@@ -346,6 +435,39 @@ impl GatewayClient {
     pub fn watch_store(&self, interval: Duration) -> Result<ReloadWatcher, ServeError> {
         ReloadWatcher::spawn(self.clone(), interval)
     }
+
+    /// The gateway's telemetry hub (counters, gauges, per-route stage
+    /// histograms and the event journal).
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.shared.telemetry
+    }
+
+    /// Snapshot every metric and the journal, including the freshly mirrored
+    /// cache gauges (`gateway.cache.*`). The JSON form of this snapshot is
+    /// what `sesr-top` renders.
+    pub fn telemetry_snapshot(&self) -> TelemetrySnapshot {
+        telemetry_snapshot(&self.shared)
+    }
+
+    /// Spawn a background thread writing [`GatewayClient::telemetry_snapshot`]
+    /// as JSON to `path` atomically — once immediately, then every
+    /// `interval`, and once more on [`TelemetryExporter::stop`]. This is the
+    /// polling surface `sesr-top` watches for a live view of the gateway.
+    ///
+    /// The exporter holds a gateway handle; like a [`ReloadWatcher`], stop it
+    /// before [`DefenseGateway::shutdown`] or the shutdown join will wait.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error writing the first snapshot (e.g. an unwritable path).
+    pub fn export_telemetry(
+        &self,
+        path: impl Into<PathBuf>,
+        interval: Duration,
+    ) -> std::io::Result<TelemetryExporter> {
+        let shared = Arc::clone(&self.shared);
+        TelemetryExporter::spawn(path.into(), interval, move || telemetry_snapshot(&shared))
+    }
 }
 
 impl DefenseGateway {
@@ -378,6 +500,17 @@ impl DefenseGateway {
     /// Everything [`GatewayClient::reload`] can return.
     pub fn reload(&self, route: &RouteKey) -> Result<(), ServeError> {
         reload_route(&self.shared, route)
+    }
+
+    /// The gateway's telemetry hub.
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.shared.telemetry
+    }
+
+    /// Snapshot every metric and the journal; see
+    /// [`GatewayClient::telemetry_snapshot`].
+    pub fn telemetry_snapshot(&self) -> TelemetrySnapshot {
+        telemetry_snapshot(&self.shared)
     }
 
     /// Stop every shard and join all threads.
@@ -436,6 +569,7 @@ pub struct GatewayBuilder {
     cache_capacity: usize,
     seed: u64,
     store: Option<ModelStore>,
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 impl Default for GatewayBuilder {
@@ -455,7 +589,16 @@ impl GatewayBuilder {
             cache_capacity: 256,
             seed: 0,
             store: None,
+            telemetry: None,
         }
+    }
+
+    /// Share an existing telemetry hub instead of creating a private one —
+    /// e.g. so the gateway, its model store and an evaluation plan all land
+    /// in one [`TelemetrySnapshot`].
+    pub fn telemetry(mut self, hub: Arc<Telemetry>) -> Self {
+        self.telemetry = Some(hub);
+        self
     }
 
     /// Shared LRU capacity in defended images across all routes; 0 disables
@@ -613,6 +756,7 @@ impl GatewayBuilder {
             cache_capacity,
             seed,
             store,
+            telemetry,
         } = self;
         if routes.is_empty() {
             return Err(ServeError::InvalidRequest(
@@ -632,9 +776,22 @@ impl GatewayBuilder {
             return Err(ServeError::UnknownRoute(default_route.label()));
         }
 
-        let registry = store.map(|store| Arc::new(ModelRegistry::new(store)));
+        let telemetry = telemetry.unwrap_or_else(|| Arc::new(Telemetry::new()));
+        let registry = store.map(|store| {
+            // The store shares the gateway's hub, so hydrate/publish timings
+            // land in the same snapshot as the serving metrics.
+            Arc::new(ModelRegistry::new(
+                store.with_telemetry(Arc::clone(&telemetry)),
+            ))
+        });
         let cache: SharedCache = Arc::new(Mutex::new(LruCache::new(cache_capacity)));
-        let global_stats = Arc::new(StatsRecorder::new());
+        let global_stats = Arc::new(StatsRecorder::registered(telemetry.metrics(), "gateway"));
+        let lifecycle = LifecycleProbes {
+            reload: telemetry.probe("gateway.reload", Level::Info, Some("gateway.reload_ns")),
+            reload_failed: telemetry.probe("gateway.reload_failed", Level::Warn, None),
+            reloads: telemetry.metrics().counter("gateway.reloads"),
+            reload_failures: telemetry.metrics().counter("gateway.reload_failures"),
+        };
 
         let mut table = HashMap::with_capacity(routes.len());
         for decl in routes {
@@ -667,18 +824,26 @@ impl GatewayBuilder {
                     (assets, None)
                 }
             };
-            let route_stats = Arc::new(StatsRecorder::new());
+            let label = key.label();
+            let route_stats = Arc::new(StatsRecorder::registered(
+                telemetry.metrics(),
+                &format!("route.{label}"),
+            ));
+            let route_stages = Arc::new(StageProbes::for_route(&telemetry, &label));
             let stats = StatsPair {
                 global: Arc::clone(&global_stats),
                 route: Arc::clone(&route_stats),
+                stages: Arc::clone(&route_stages),
             };
-            let (inner, threads) = spawn_shard(&config, assets, &cache, &stats);
+            let arenas = arena_gauges(&telemetry, &key, config.num_workers);
+            let (inner, threads) = spawn_shard(&config, assets, &cache, &stats, arenas);
             table.insert(
                 key,
                 Arc::new(RouteEntry {
                     config,
                     factory: Mutex::new(factory),
                     stats: route_stats,
+                    stages: route_stages,
                     active: RwLock::new(inner),
                     threads: Mutex::new(Some(threads)),
                 }),
@@ -694,6 +859,9 @@ impl GatewayBuilder {
                 cache_enabled: cache_capacity > 0,
                 stats: global_stats,
                 registry,
+                telemetry,
+                request_ids: AtomicU64::new(1),
+                lifecycle,
             }),
         })
     }
@@ -957,6 +1125,93 @@ mod tests {
                 .unwrap()
                 .cache_hit
         );
+        drop(client);
+        gateway.shutdown();
+    }
+
+    #[test]
+    fn telemetry_traces_stages_and_exports_snapshots() {
+        let gateway = GatewayBuilder::new()
+            .route(nearest_route())
+            .build()
+            .unwrap();
+        let client = gateway.client();
+        let label = nearest_route().label();
+        let image = test_image(5, 8);
+        client
+            .defend_blocking(DefenseRequest::new(image.clone()))
+            .unwrap();
+        // Same image again: served from the cache, timing only cache_lookup.
+        assert!(
+            client
+                .defend_blocking(DefenseRequest::new(image))
+                .unwrap()
+                .cache_hit
+        );
+
+        let snapshot = client.telemetry_snapshot();
+        for stage in ["queue_wait", "batch_dwell", "preprocess", "sr_forward"] {
+            let name = format!("route.{label}.stage.{stage}_ns");
+            let hist = snapshot.histogram(&name).unwrap_or_else(|| {
+                panic!("snapshot must carry a {name} histogram");
+            });
+            assert_eq!(hist.count, 1, "{name} must time the one computed request");
+        }
+        assert_eq!(
+            snapshot
+                .histogram(&format!("route.{label}.stage.cache_lookup_ns"))
+                .unwrap()
+                .count,
+            2,
+            "both requests probe the cache"
+        );
+        // The computed request's journal trace hangs together under one id.
+        let computed_id = snapshot
+            .events
+            .iter()
+            .find(|e| e.name == "stage.queue_wait")
+            .expect("queue_wait event")
+            .request;
+        for stage in ["stage.batch_dwell", "stage.preprocess", "stage.sr_forward"] {
+            assert!(
+                snapshot
+                    .events
+                    .iter()
+                    .any(|e| e.name == stage && e.request == computed_id),
+                "{stage} must be journaled under request {computed_id}"
+            );
+        }
+        // Cache gauges are mirrored at snapshot time.
+        assert_eq!(snapshot.gauge("gateway.cache.hits"), Some(1));
+        assert_eq!(snapshot.gauge("gateway.cache.misses"), Some(1));
+        assert_eq!(snapshot.gauge("gateway.cache.entries"), Some(1));
+        // Worker arena gauges were published after the batch.
+        assert!(
+            snapshot
+                .gauge(&format!("route.{label}.arena.w0.high_water_bytes"))
+                .is_some_and(|bytes| bytes > 0),
+            "worker 0 must publish its arena high-water mark"
+        );
+        // GatewayStats is a view over the same registry: the counters agree.
+        assert_eq!(
+            snapshot.counter(&format!("route.{label}.completed")),
+            Some(2)
+        );
+        assert_eq!(snapshot.counter("gateway.completed"), Some(2));
+
+        // The exporter round-trips the same snapshot shape through disk.
+        let dir = temp_dir("telemetry_export");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("telemetry.json");
+        let exporter = client
+            .export_telemetry(&path, Duration::from_secs(3600))
+            .unwrap();
+        exporter.stop().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let parsed = sesr_telemetry::TelemetrySnapshot::from_json(&text).unwrap();
+        assert_eq!(parsed.counter("gateway.completed"), Some(2));
+        std::fs::remove_dir_all(&dir).ok();
+
         drop(client);
         gateway.shutdown();
     }

@@ -103,6 +103,7 @@ pub mod route;
 pub mod server;
 mod shard;
 pub mod stats;
+pub mod telemetry;
 
 pub use cache::{content_hash, LruCache};
 pub use eval::GatewayScenario;
@@ -113,3 +114,4 @@ pub use server::{
     WorkerAssets,
 };
 pub use stats::{GatewayStats, ServeStats, StatsRecorder};
+pub use telemetry::{write_snapshot_atomic, TelemetryExporter};

@@ -15,9 +15,11 @@ use crate::cache::LruCache;
 use crate::route::{RouteConfig, RouteKey};
 use crate::server::{DefenseResponse, ServeError, WorkerAssets};
 use crate::stats::StatsRecorder;
+use crate::telemetry::{ArenaGauges, StageProbes};
+use sesr_defense::DefendTrace;
 use sesr_tensor::Tensor;
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, SyncSender};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -30,10 +32,17 @@ pub(crate) type SharedCache = Arc<Mutex<LruCache<CacheKey, (Tensor, Option<usize
 
 pub(crate) struct Job {
     pub image: Tensor,
+    /// Gateway-wide request id, tagged onto every journal event this job
+    /// produces so a trace can be reassembled per request.
+    pub request_id: u64,
     pub enqueued: Instant,
     pub deadline: Option<Instant>,
     pub responder: Sender<JobResult>,
     pub cache_key: Option<CacheKey>,
+    /// Stamped by the batcher when it pops the job off the submission queue;
+    /// `enqueued..dequeued` is the queue-wait stage, `dequeued..worker
+    /// pickup` the batch-dwell stage.
+    pub dequeued: Option<Instant>,
 }
 
 struct Batch {
@@ -41,11 +50,13 @@ struct Batch {
 }
 
 /// Events are mirrored to the gateway-wide recorder and the route's own, so
-/// both the global view and the per-route breakdown stay exact.
+/// both the global view and the per-route breakdown stay exact. The probe
+/// bundle carries the route's stage-level telemetry alongside.
 #[derive(Clone)]
 pub(crate) struct StatsPair {
     pub global: Arc<StatsRecorder>,
     pub route: Arc<StatsRecorder>,
+    pub stages: Arc<StageProbes>,
 }
 
 impl StatsPair {
@@ -118,18 +129,20 @@ pub(crate) fn spawn_shard(
     assets: Vec<WorkerAssets>,
     cache: &SharedCache,
     stats: &StatsPair,
+    arenas: Vec<ArenaGauges>,
 ) -> (Arc<ShardInner>, ShardThreads) {
     let (submit_tx, submit_rx) = mpsc::sync_channel::<Job>(config.queue_capacity);
     let (work_tx, work_rx) = mpsc::sync_channel::<Batch>(assets.len() * 2);
     let work_rx = Arc::new(Mutex::new(work_rx));
 
     let mut workers = Vec::with_capacity(assets.len());
-    for worker_assets in assets {
+    for (index, worker_assets) in assets.into_iter().enumerate() {
         let work_rx = Arc::clone(&work_rx);
         let cache = Arc::clone(cache);
         let stats = stats.clone();
+        let arena_gauges = arenas.get(index).cloned();
         workers.push(std::thread::spawn(move || {
-            worker_loop(worker_assets, &work_rx, &cache, &stats)
+            worker_loop(worker_assets, &work_rx, &cache, &stats, arena_gauges)
         }));
     }
 
@@ -153,9 +166,21 @@ fn batcher_loop(
     max_linger: Duration,
     stats: &StatsPair,
 ) {
+    // The batcher is the single consumer of the submission queue, so the
+    // queue-wait stage ends here: each pop stamps `dequeued` and reports
+    // submission → pop to the route's queue_wait probe.
+    let pop = |mut job: Job| {
+        let now = Instant::now();
+        stats
+            .stages
+            .queue_wait
+            .observe(job.request_id, now.duration_since(job.enqueued));
+        job.dequeued = Some(now);
+        job
+    };
     loop {
         let first = match submit_rx.recv() {
-            Ok(job) => job,
+            Ok(job) => pop(job),
             Err(_) => return, // every submission sender dropped; drain complete
         };
         let mut jobs = vec![first];
@@ -166,7 +191,7 @@ fn batcher_loop(
                 break;
             }
             match submit_rx.recv_timeout(deadline - now) {
-                Ok(job) => jobs.push(job),
+                Ok(job) => jobs.push(pop(job)),
                 Err(RecvTimeoutError::Timeout) => break,
                 Err(RecvTimeoutError::Disconnected) => break,
             }
@@ -199,11 +224,15 @@ fn worker_loop(
     work_rx: &Arc<Mutex<Receiver<Batch>>>,
     cache: &SharedCache,
     stats: &StatsPair,
+    arena_gauges: Option<ArenaGauges>,
 ) {
     loop {
-        // Hold the lock only for the dequeue, never while defending.
+        // Hold the lock only for the dequeue, never while defending. A
+        // poisoned mutex just means another worker panicked mid-dequeue; the
+        // receiver itself is still valid, so keep serving instead of
+        // cascading the panic across the whole pool.
         let batch = {
-            let receiver = work_rx.lock().expect("work queue mutex poisoned");
+            let receiver = work_rx.lock().unwrap_or_else(PoisonError::into_inner);
             receiver.recv()
         };
         let batch = match batch {
@@ -211,6 +240,9 @@ fn worker_loop(
             Err(_) => return, // batcher gone and queue drained
         };
         process_batch(&mut assets, batch, cache, stats);
+        if let Some(gauges) = &arena_gauges {
+            gauges.publish(&assets.scratch.stats());
+        }
     }
 }
 
@@ -230,6 +262,18 @@ fn process_batch(assets: &mut WorkerAssets, batch: Batch, cache: &SharedCache, s
         return;
     }
 
+    // The batch-dwell stage ends at worker pickup: each live job reports
+    // pop → pickup. Batch-level spans below are tagged with the first job's
+    // request id (a batch of one — the acceptance-test shape — therefore
+    // carries every stage under a single id).
+    for job in &live {
+        stats.stages.batch_dwell.observe(
+            job.request_id,
+            now.duration_since(job.dequeued.unwrap_or(job.enqueued)),
+        );
+    }
+    let lead_request = live[0].request_id;
+
     // The worker's private arena serves the whole defense: the merged batch
     // and every SR intermediate are recycled after use, so at steady state
     // only the per-job response tensors (which escape to the clients) are
@@ -239,9 +283,14 @@ fn process_batch(assets: &mut WorkerAssets, batch: Batch, cache: &SharedCache, s
         classifier,
         scratch,
     } = assets;
+    let trace = DefendTrace {
+        preprocess: &stats.stages.preprocess,
+        sr_forward: &stats.stages.sr_forward,
+        request: lead_request,
+    };
     let outcome = Tensor::concat_batch_arena(live.iter().map(|job| &job.image), scratch.arena())
         .and_then(|merged| {
-            let defended = pipeline.defend_scratch(&merged, scratch);
+            let defended = pipeline.defend_scratch_traced(&merged, scratch, &trace);
             scratch.recycle(merged);
             defended
         })
@@ -251,8 +300,11 @@ fn process_batch(assets: &mut WorkerAssets, batch: Batch, cache: &SharedCache, s
             let outcome = (|| {
                 let labels = match classifier.as_mut() {
                     Some(classifier) => {
+                        let span = stats.stages.classify.span(lead_request);
                         let logits = classifier.forward(&defended, false)?;
-                        Some(row_argmax(&logits)?)
+                        let labels = row_argmax(&logits)?;
+                        drop(span);
+                        Some(labels)
                     }
                     None => None,
                 };
@@ -271,9 +323,12 @@ fn process_batch(assets: &mut WorkerAssets, batch: Batch, cache: &SharedCache, s
             for (index, (job, part)) in live.into_iter().zip(parts).enumerate() {
                 let label = labels.as_ref().map(|l| l[index]);
                 if let Some(key) = job.cache_key {
+                    // A poisoned guard means some other holder panicked, not
+                    // that this worker did: recover it rather than cascade
+                    // the panic across every worker that caches.
                     cache
                         .lock()
-                        .expect("cache mutex poisoned")
+                        .unwrap_or_else(PoisonError::into_inner)
                         .insert(key, (part.clone(), label));
                 }
                 stats.record_completion(job.enqueued.elapsed(), false);

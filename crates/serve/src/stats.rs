@@ -5,81 +5,110 @@
 //! global one (each event is recorded on both), and snapshots them together
 //! as [`GatewayStats`]: the global view the old single-pipeline server
 //! reported, alongside a per-[`RouteKey`] breakdown.
+//!
+//! Since the telemetry refactor the recorder is a **thin view over a
+//! [`MetricsRegistry`]**: every counter lives in the registry under a scoped
+//! name (`gateway.completed`, `route.<label>.completed`, …) and latency goes
+//! into a shared log-bucketed [`Histogram`] covering the server's whole
+//! lifetime. Recording is a handful of relaxed atomic adds — no mutex (so a
+//! panicking worker can never poison the stats for everyone else, which the
+//! old `Mutex<Inner>` implementation did via its
+//! `expect("stats mutex poisoned")`), no allocation, and snapshots are an
+//! O(buckets) merge instead of a sort of an 8192-sample window.
+//!
+//! Semantics of [`ServeStats`] are preserved with one documented shift:
+//! `p50`/`p95`/`p99` are now whole-lifetime estimates with ~2% relative
+//! error (bucket midpoints) instead of exact order statistics over a
+//! sliding window, and `mean` is the exact lifetime mean.
 
 use crate::route::RouteKey;
-use std::sync::Mutex;
+use sesr_telemetry::{Counter, Gauge, Histogram, MetricsRegistry};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Latency samples kept for percentile estimation. Memory stays bounded on a
-/// long-lived server (a ring of the most recent completions) and
-/// [`StatsRecorder::snapshot`] sorts at most this many entries, so snapshots
-/// never stall the hot path for longer than a fixed O(window) amount.
-const LATENCY_WINDOW: usize = 8192;
-
 /// Thread-safe recorder fed by the client (rejections, cache hits) and the
-/// workers (completions, batch sizes). Cheap enough to call per request: one
-/// short mutexed push per event, all aggregation deferred to
-/// [`StatsRecorder::snapshot`]. Percentiles and the mean are computed over a
-/// sliding window of the most recent `LATENCY_WINDOW` completions; the
-/// counters cover the server's whole lifetime.
+/// workers (completions, batch sizes). Cheap enough to call per request:
+/// every event is a few relaxed atomic adds on registry-owned handles, all
+/// aggregation deferred to [`StatsRecorder::snapshot`].
 pub struct StatsRecorder {
-    inner: Mutex<Inner>,
-}
-
-#[derive(Default)]
-struct Inner {
-    latencies_us: Vec<u64>,
-    latency_cursor: usize,
-    completed: u64,
-    computed_images: u64,
-    cache_hits: u64,
-    cache_misses: u64,
-    rejected: u64,
-    errors: u64,
-    expired: u64,
-    batches: u64,
-    batched_images: u64,
-    largest_batch: usize,
-    first_completion: Option<Instant>,
-    last_completion: Option<Instant>,
+    epoch: Instant,
+    latency_ns: Arc<Histogram>,
+    completed: Arc<Counter>,
+    computed_images: Arc<Counter>,
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+    rejected: Arc<Counter>,
+    errors: Arc<Counter>,
+    expired: Arc<Counter>,
+    batches: Arc<Counter>,
+    batched_images: Arc<Counter>,
+    largest_batch: Arc<Gauge>,
+    first_completion_us: Arc<Gauge>,
+    last_completion_us: Arc<Gauge>,
 }
 
 impl StatsRecorder {
-    /// Create an empty recorder.
+    /// Create a recorder backed by its own private registry (scope
+    /// `"serve"`). Gateways instead register their recorders in a shared
+    /// registry via [`StatsRecorder::registered`] so one
+    /// [`TelemetrySnapshot`](sesr_telemetry::TelemetrySnapshot) covers
+    /// every route.
     pub fn new() -> Self {
+        Self::registered(&MetricsRegistry::new(), "serve")
+    }
+
+    /// Create a recorder whose metrics live in `registry` under
+    /// `scope.<metric>` names (e.g. `gateway.completed`,
+    /// `route.sesr-m2:x2:jpeg75+wavelet2.latency_ns`). Registration is
+    /// idempotent: two recorders built with the same registry and scope
+    /// share the same underlying metrics.
+    pub fn registered(registry: &MetricsRegistry, scope: &str) -> Self {
+        let counter = |metric: &str| registry.counter(&format!("{scope}.{metric}"));
+        let gauge = |metric: &str| registry.gauge(&format!("{scope}.{metric}"));
         StatsRecorder {
-            inner: Mutex::new(Inner::default()),
+            epoch: Instant::now(),
+            latency_ns: registry.histogram(&format!("{scope}.latency_ns")),
+            completed: counter("completed"),
+            computed_images: counter("computed_images"),
+            cache_hits: counter("cache_hits"),
+            cache_misses: counter("cache_misses"),
+            rejected: counter("rejected"),
+            errors: counter("errors"),
+            expired: counter("expired"),
+            batches: counter("batches"),
+            batched_images: counter("batched_images"),
+            largest_batch: gauge("largest_batch"),
+            first_completion_us: gauge("first_completion_us"),
+            last_completion_us: gauge("last_completion_us"),
         }
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
-        self.inner.lock().expect("stats mutex poisoned")
+    /// The lifetime latency histogram backing the percentile fields.
+    pub fn latency_histogram(&self) -> &Arc<Histogram> {
+        &self.latency_ns
     }
 
     /// Record one finished request with its end-to-end latency.
     pub fn record_completion(&self, latency: Duration, cache_hit: bool) {
-        let now = Instant::now();
-        let mut inner = self.lock();
-        inner.completed += 1;
+        self.completed.incr();
         if cache_hit {
-            inner.cache_hits += 1;
+            self.cache_hits.incr();
         }
-        let sample = latency.as_micros() as u64;
-        if inner.latencies_us.len() < LATENCY_WINDOW {
-            inner.latencies_us.push(sample);
-        } else {
-            let cursor = inner.latency_cursor;
-            inner.latencies_us[cursor] = sample;
-        }
-        inner.latency_cursor = (inner.latency_cursor + 1) % LATENCY_WINDOW;
-        inner.first_completion.get_or_insert(now);
-        inner.last_completion = Some(now);
+        self.latency_ns.record_duration(latency);
+        // Completion timestamps are micros since the recorder's epoch,
+        // clamped to at least 1 so 0 keeps meaning "never".
+        let now = u64::try_from(self.epoch.elapsed().as_micros())
+            .unwrap_or(u64::MAX)
+            .max(1);
+        let now = i64::try_from(now).unwrap_or(i64::MAX);
+        self.first_completion_us.set_if_unset(now);
+        self.last_completion_us.set_max(now);
     }
 
     /// Record images that actually went through the defense pipeline (as
     /// opposed to being served from cache).
     pub fn record_computed(&self, images: usize) {
-        self.lock().computed_images += images as u64;
+        self.computed_images.add(images as u64);
     }
 
     /// Record an LRU lookup that missed (hits are counted by
@@ -88,80 +117,67 @@ impl StatsRecorder {
     /// ([`LruCache::hit_counts`](crate::cache::LruCache::hit_counts)) into
     /// the snapshot every client can read.
     pub fn record_cache_miss(&self) {
-        self.lock().cache_misses += 1;
+        self.cache_misses.incr();
     }
 
     /// Record a submission rejected with `Overloaded`.
     pub fn record_rejection(&self) {
-        self.lock().rejected += 1;
+        self.rejected.incr();
     }
 
     /// Record a request that failed inside the pipeline.
     pub fn record_error(&self) {
-        self.lock().errors += 1;
+        self.errors.incr();
     }
 
     /// Record a request whose per-request deadline passed before a worker
     /// reached it (answered with `DeadlineExceeded`, never defended).
     pub fn record_expired(&self) {
-        self.lock().expired += 1;
+        self.expired.incr();
     }
 
     /// Record one dispatched batch of `size` images.
     pub fn record_batch(&self, size: usize) {
-        let mut inner = self.lock();
-        inner.batches += 1;
-        inner.batched_images += size as u64;
-        inner.largest_batch = inner.largest_batch.max(size);
+        self.batches.incr();
+        self.batched_images.add(size as u64);
+        self.largest_batch
+            .set_max(i64::try_from(size).unwrap_or(i64::MAX));
     }
 
     /// Aggregate everything recorded so far.
     pub fn snapshot(&self) -> ServeStats {
-        let inner = self.lock();
-        let mut sorted = inner.latencies_us.clone();
-        sorted.sort_unstable();
-        let percentile = |q: f64| -> Duration {
-            if sorted.is_empty() {
-                return Duration::ZERO;
-            }
-            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-            Duration::from_micros(sorted[rank - 1])
-        };
-        let mean = if sorted.is_empty() {
-            Duration::ZERO
-        } else {
-            Duration::from_micros(sorted.iter().sum::<u64>() / sorted.len() as u64)
-        };
-        let elapsed = match (inner.first_completion, inner.last_completion) {
-            (Some(first), Some(last)) => last.duration_since(first),
-            _ => Duration::ZERO,
-        };
-        let images_per_sec = if elapsed.as_secs_f64() > 0.0 && inner.completed > 1 {
+        let latency = self.latency_ns.snapshot();
+        let completed = self.completed.get();
+        let batches = self.batches.get();
+        let first_us = self.first_completion_us.get();
+        let last_us = self.last_completion_us.get();
+        let elapsed = Duration::from_micros((last_us - first_us).max(0) as u64);
+        let images_per_sec = if elapsed.as_secs_f64() > 0.0 && completed > 1 {
             // The first completion opens the window, so it is not part of the
             // rate measured across the window.
-            (inner.completed - 1) as f64 / elapsed.as_secs_f64()
+            (completed - 1) as f64 / elapsed.as_secs_f64()
         } else {
             0.0
         };
         ServeStats {
-            completed: inner.completed,
-            computed_images: inner.computed_images,
-            cache_hits: inner.cache_hits,
-            cache_misses: inner.cache_misses,
-            rejected: inner.rejected,
-            errors: inner.errors,
-            expired: inner.expired,
-            batches: inner.batches,
-            mean_batch: if inner.batches > 0 {
-                inner.batched_images as f64 / inner.batches as f64
+            completed,
+            computed_images: self.computed_images.get(),
+            cache_hits: self.cache_hits.get(),
+            cache_misses: self.cache_misses.get(),
+            rejected: self.rejected.get(),
+            errors: self.errors.get(),
+            expired: self.expired.get(),
+            batches,
+            mean_batch: if batches > 0 {
+                self.batched_images.get() as f64 / batches as f64
             } else {
                 0.0
             },
-            largest_batch: inner.largest_batch,
-            p50: percentile(0.50),
-            p95: percentile(0.95),
-            p99: percentile(0.99),
-            mean,
+            largest_batch: self.largest_batch.get().max(0) as usize,
+            p50: latency.quantile_duration(0.50),
+            p95: latency.quantile_duration(0.95),
+            p99: latency.quantile_duration(0.99),
+            mean: latency.mean_duration(),
             images_per_sec,
         }
     }
@@ -170,6 +186,15 @@ impl StatsRecorder {
 impl Default for StatsRecorder {
     fn default() -> Self {
         StatsRecorder::new()
+    }
+}
+
+impl std::fmt::Debug for StatsRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StatsRecorder")
+            .field("completed", &self.completed.get())
+            .field("batches", &self.batches.get())
+            .finish()
     }
 }
 
@@ -197,13 +222,14 @@ pub struct ServeStats {
     pub mean_batch: f64,
     /// Largest batch dispatched.
     pub largest_batch: usize,
-    /// Median end-to-end latency over the recent-completion window.
+    /// Median end-to-end latency over the server's lifetime (log-bucketed
+    /// estimate, ~2% relative error).
     pub p50: Duration,
-    /// 95th-percentile end-to-end latency over the recent-completion window.
+    /// 95th-percentile end-to-end latency (lifetime, ~2% estimate).
     pub p95: Duration,
-    /// 99th-percentile end-to-end latency over the recent-completion window.
+    /// 99th-percentile end-to-end latency (lifetime, ~2% estimate).
     pub p99: Duration,
-    /// Mean end-to-end latency over the recent-completion window.
+    /// Exact mean end-to-end latency over the server's lifetime.
     pub mean: Duration,
     /// Completions per second across the first→last completion window.
     pub images_per_sec: f64,
@@ -294,18 +320,59 @@ impl std::fmt::Display for GatewayStats {
 mod tests {
     use super::*;
 
+    /// Assert `got` is within 2% of `want` (the histogram's error bound).
+    fn assert_close(got: Duration, want: Duration) {
+        let (got, want) = (got.as_nanos() as f64, want.as_nanos() as f64);
+        assert!(
+            (got - want).abs() <= want * 0.02,
+            "expected {want}ns ± 2%, got {got}ns"
+        );
+    }
+
     #[test]
-    fn percentiles_are_order_statistics() {
+    fn percentiles_track_order_statistics_within_error_bound() {
         let recorder = StatsRecorder::new();
         for ms in 1..=100u64 {
             recorder.record_completion(Duration::from_millis(ms), false);
         }
         let stats = recorder.snapshot();
         assert_eq!(stats.completed, 100);
-        assert_eq!(stats.p50, Duration::from_millis(50));
-        assert_eq!(stats.p95, Duration::from_millis(95));
-        assert_eq!(stats.p99, Duration::from_millis(99));
+        assert_close(stats.p50, Duration::from_millis(50));
+        assert_close(stats.p95, Duration::from_millis(95));
+        assert_close(stats.p99, Duration::from_millis(99));
+        // The mean is exact (sum/count), not bucketed.
         assert_eq!(stats.mean, Duration::from_micros(50_500));
+    }
+
+    /// Before/after parity: the histogram-backed snapshot must agree with
+    /// the old sort-the-window estimator (same `ceil(q·n)` rank convention)
+    /// to within the bucket error bound, on an adversarial mixed-scale
+    /// latency stream.
+    #[test]
+    fn histogram_percentiles_match_sorting_estimator() {
+        let recorder = StatsRecorder::new();
+        let mut window_us: Vec<u64> = Vec::new();
+        let mut state = 0x2545_f491_4f6c_dd1du64;
+        for _ in 0..6_000 {
+            // xorshift* over five orders of magnitude: 10µs .. ~1s.
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            let sample_us = 10 + state.wrapping_mul(0x2545_f491_4f6c_dd1d) % 1_000_000;
+            recorder.record_completion(Duration::from_micros(sample_us), false);
+            window_us.push(sample_us);
+        }
+        window_us.sort_unstable();
+        let reference = |q: f64| -> Duration {
+            let rank = ((q * window_us.len() as f64).ceil() as usize).clamp(1, window_us.len());
+            Duration::from_micros(window_us[rank - 1])
+        };
+        let stats = recorder.snapshot();
+        for (q, got) in [(0.50, stats.p50), (0.95, stats.p95), (0.99, stats.p99)] {
+            assert_close(got, reference(q));
+        }
+        let exact_mean_us = window_us.iter().sum::<u64>() / window_us.len() as u64;
+        assert_close(stats.mean, Duration::from_micros(exact_mean_us));
     }
 
     #[test]
@@ -317,21 +384,70 @@ mod tests {
     }
 
     #[test]
-    fn latency_window_is_bounded_and_keeps_recent_samples() {
+    fn latency_covers_whole_lifetime() {
         let recorder = StatsRecorder::new();
-        // Fill far past the window with 1ms, then overwrite with 2ms.
-        for _ in 0..LATENCY_WINDOW {
+        // The old implementation kept a sliding 8192-sample window; the
+        // histogram covers the entire lifetime, so early traffic still
+        // shows up in the percentiles.
+        for _ in 0..8192 {
             recorder.record_completion(Duration::from_millis(1), false);
         }
-        for _ in 0..LATENCY_WINDOW {
+        for _ in 0..8192 {
             recorder.record_completion(Duration::from_millis(2), false);
         }
         let stats = recorder.snapshot();
-        assert_eq!(stats.completed, 2 * LATENCY_WINDOW as u64);
-        // Every retained sample is from the recent (2ms) traffic.
-        assert_eq!(stats.p50, Duration::from_millis(2));
-        assert_eq!(stats.p99, Duration::from_millis(2));
-        assert_eq!(stats.mean, Duration::from_millis(2));
+        assert_eq!(stats.completed, 2 * 8192);
+        assert_close(stats.p50, Duration::from_millis(1));
+        assert_close(stats.p99, Duration::from_millis(2));
+        assert_close(stats.mean, Duration::from_micros(1_500));
+    }
+
+    /// Regression test for the poisoned-stats cascade: the old recorder
+    /// held a `Mutex<Inner>` and called `expect("stats mutex poisoned")`,
+    /// so one panicking thread mid-record turned every later stats call
+    /// into a panic. The recorder is now lock-free; a thread that panics
+    /// while recording must leave the recorder fully usable.
+    #[test]
+    fn panicking_recorder_thread_does_not_cascade() {
+        let recorder = std::sync::Arc::new(StatsRecorder::new());
+        let poisoner = std::sync::Arc::clone(&recorder);
+        let result = std::thread::spawn(move || {
+            poisoner.record_completion(Duration::from_millis(1), false);
+            poisoner.record_batch(4);
+            panic!("worker dies mid-flight");
+        })
+        .join();
+        assert!(result.is_err(), "the thread must actually have panicked");
+        // Every recording and snapshot path still works.
+        recorder.record_completion(Duration::from_millis(2), true);
+        recorder.record_rejection();
+        let stats = recorder.snapshot();
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.largest_batch, 4);
+    }
+
+    #[test]
+    fn registered_recorders_share_scoped_metrics() {
+        let registry = MetricsRegistry::new();
+        let a = StatsRecorder::registered(&registry, "gateway");
+        let b = StatsRecorder::registered(&registry, "gateway");
+        a.record_completion(Duration::from_millis(5), false);
+        b.record_rejection();
+        // Both recorders write the same underlying metrics…
+        assert_eq!(a.snapshot().rejected, 1);
+        assert_eq!(b.snapshot().completed, 1);
+        // …and the registry exposes them under scoped names.
+        let dump = registry.collect();
+        assert!(dump
+            .counters
+            .contains(&("gateway.completed".to_string(), 1)));
+        assert!(dump.counters.contains(&("gateway.rejected".to_string(), 1)));
+        assert!(dump
+            .histograms
+            .iter()
+            .any(|(name, h)| name == "gateway.latency_ns" && h.count == 1));
     }
 
     #[test]

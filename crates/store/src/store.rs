@@ -22,9 +22,12 @@
 
 use crate::checkpoint::Checkpoint;
 use crate::error::{Result, StoreError};
+use sesr_telemetry::{Counter, Level, Probe, Telemetry};
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// File extension of stored artifacts.
 pub const ARTIFACT_EXTENSION: &str = "sesrckpt";
@@ -49,10 +52,25 @@ pub struct StoredArtifact {
     pub path: PathBuf,
 }
 
+/// Telemetry hooks for the two timed store operations: `publish` (a save
+/// that writes bytes) and `hydrate` (a load + validation). Attached via
+/// [`ModelStore::with_telemetry`]; absent by default, in which case the
+/// store records nothing.
+#[derive(Debug, Clone)]
+struct StoreTelemetry {
+    /// Journals `store.publish` and feeds the `store.publish_ns` histogram.
+    publish: Probe,
+    /// Journals `store.hydrate` and feeds the `store.hydrate_ns` histogram.
+    hydrate: Probe,
+    publishes: Arc<Counter>,
+    hydrates: Arc<Counter>,
+}
+
 /// A directory-backed store of trained-weight artifacts.
 #[derive(Debug, Clone)]
 pub struct ModelStore {
     root: PathBuf,
+    telemetry: Option<StoreTelemetry>,
 }
 
 impl ModelStore {
@@ -64,7 +82,25 @@ impl ModelStore {
     pub fn open(root: impl Into<PathBuf>) -> Result<Self> {
         let root = root.into();
         fs::create_dir_all(&root).map_err(|e| StoreError::io(&root, &e))?;
-        Ok(ModelStore { root })
+        Ok(ModelStore {
+            root,
+            telemetry: None,
+        })
+    }
+
+    /// Record save/load timings into `hub`: successful saves that write bytes
+    /// count as `store.publishes` with their duration in the
+    /// `store.publish_ns` histogram (deduped re-saves are not publishes);
+    /// successful loads count as `store.hydrates` / `store.hydrate_ns`. Both
+    /// also land in the journal, tagged with the artifact's version.
+    pub fn with_telemetry(mut self, hub: Arc<Telemetry>) -> Self {
+        self.telemetry = Some(StoreTelemetry {
+            publish: hub.probe("store.publish", Level::Info, Some("store.publish_ns")),
+            hydrate: hub.probe("store.hydrate", Level::Debug, Some("store.hydrate_ns")),
+            publishes: hub.metrics().counter("store.publishes"),
+            hydrates: hub.metrics().counter("store.hydrates"),
+        });
+        self
     }
 
     /// The store's root directory.
@@ -86,6 +122,22 @@ impl ModelStore {
     ///
     /// Returns [`StoreError::Io`] on filesystem failure.
     pub fn save(&self, checkpoint: &Checkpoint) -> Result<StoredArtifact> {
+        let started = Instant::now();
+        let (artifact, published) = self.save_impl(checkpoint)?;
+        if published {
+            if let Some(telemetry) = &self.telemetry {
+                telemetry.publishes.incr();
+                telemetry
+                    .publish
+                    .observe(u64::from(artifact.version), started.elapsed());
+            }
+        }
+        Ok(artifact)
+    }
+
+    /// [`ModelStore::save`] body; the flag reports whether new bytes were
+    /// published (false on the content-address dedupe path).
+    fn save_impl(&self, checkpoint: &Checkpoint) -> Result<(StoredArtifact, bool)> {
         let model_id = &checkpoint.meta.model_id;
         if model_id.is_empty() || model_id.chars().any(|c| c.is_control()) {
             // A newline would let the id inject extra `key=value` header
@@ -102,7 +154,7 @@ impl ModelStore {
 
         let existing = self.versions_in(&dir)?;
         if let Some(artifact) = existing.iter().find(|a| a.digest == digest) {
-            return Ok(artifact.clone());
+            return Ok((artifact.clone(), false));
         }
         let mut version = existing.iter().map(|a| a.version).max().unwrap_or(0) + 1;
 
@@ -135,13 +187,16 @@ impl ModelStore {
         };
         let _ = fs::remove_file(&tmp_path);
 
-        Ok(StoredArtifact {
-            model_id: slugify(&checkpoint.meta.model_id),
-            scale: checkpoint.meta.scale,
-            version,
-            digest,
-            path: final_path,
-        })
+        Ok((
+            StoredArtifact {
+                model_id: slugify(&checkpoint.meta.model_id),
+                scale: checkpoint.meta.scale,
+                version,
+                digest,
+                path: final_path,
+            },
+            true,
+        ))
     }
 
     /// Load and fully validate the checkpoint at `artifact`.
@@ -152,6 +207,7 @@ impl ModelStore {
     /// error; additionally rejects artifacts whose file digest no longer
     /// matches their content-address file name.
     pub fn load(&self, artifact: &StoredArtifact) -> Result<Checkpoint> {
+        let started = Instant::now();
         let bytes = fs::read(&artifact.path).map_err(|e| StoreError::io(&artifact.path, &e))?;
         let actual = crate::checkpoint::fnv1a64(&bytes);
         if actual != artifact.digest {
@@ -160,7 +216,14 @@ impl ModelStore {
                 computed: actual,
             });
         }
-        Checkpoint::from_bytes(&bytes)
+        let checkpoint = Checkpoint::from_bytes(&bytes)?;
+        if let Some(telemetry) = &self.telemetry {
+            telemetry.hydrates.incr();
+            telemetry
+                .hydrate
+                .observe(u64::from(artifact.version), started.elapsed());
+        }
+        Ok(checkpoint)
     }
 
     /// Resolve the newest artifact for `(model_id, scale)`: highest version,
@@ -442,6 +505,29 @@ mod tests {
             &store.resolve("SESR-M2", 2).unwrap(),
             "resolve returns the last list_versions entry"
         );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn telemetry_counts_publishes_and_hydrates() {
+        let (dir, store) = temp_store();
+        let hub = Arc::new(Telemetry::new());
+        let store = store.with_telemetry(Arc::clone(&hub));
+
+        let artifact = store.save(&test_checkpoint(1)).unwrap();
+        store.save(&test_checkpoint(1)).unwrap(); // dedupe: not a publish
+        store.save(&test_checkpoint(2)).unwrap();
+        store.load(&artifact).unwrap();
+        store.load_latest("SESR-M2", 2).unwrap();
+
+        let snapshot = hub.snapshot();
+        assert_eq!(snapshot.counter("store.publishes"), Some(2));
+        assert_eq!(snapshot.counter("store.hydrates"), Some(2));
+        assert_eq!(snapshot.histogram("store.publish_ns").unwrap().count, 2);
+        assert_eq!(snapshot.histogram("store.hydrate_ns").unwrap().count, 2);
+        let names: Vec<_> = snapshot.events.iter().map(|e| e.name.as_str()).collect();
+        assert!(names.contains(&"store.publish"));
+        assert!(names.contains(&"store.hydrate"));
         fs::remove_dir_all(&dir).ok();
     }
 

@@ -1,0 +1,562 @@
+//! Span tracing: a bounded structured-event ring journal and the [`Span`]
+//! guard that feeds it.
+//!
+//! The journal replaces ad-hoc `eprintln!` debugging in the serving stack.
+//! Each event is a fixed set of integers — a timestamp, a level, an interned
+//! name code, the current request id, a value (usually a duration in
+//! nanoseconds) and the parent span's code — stored in a fixed-capacity ring
+//! of atomic slots. Writers claim a slot with one `fetch_add` and stamp the
+//! fields with a seqlock protocol (sequence word written last, `Release`),
+//! so **recording never locks and never allocates**; readers detect and
+//! skip torn slots. When the ring wraps, the oldest events are overwritten
+//! — `dropped()` reports how many.
+//!
+//! Event *names* are interned up front via [`EventRing::register`], which
+//! returns a small integer [`EventCode`]; the string table is behind a
+//! mutex that only registration and snapshotting touch.
+//!
+//! [`Span`] is an RAII guard: creating one pushes its code onto a
+//! per-thread, fixed-depth span stack (so nested spans know their parent),
+//! and dropping it pops the stack and records an event carrying the
+//! measured duration — optionally mirroring it into a
+//! [`Histogram`].
+
+use crate::histogram::Histogram;
+use std::cell::Cell;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Event severity, ordered from least to most severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Level {
+    /// Fine-grained per-request stage events.
+    Debug = 0,
+    /// Notable state changes (promotions, publishes).
+    Info = 1,
+    /// Recoverable problems (rejected reloads, expired work).
+    Warn = 2,
+    /// Failures.
+    Error = 3,
+}
+
+impl Level {
+    /// Lower-case name used in exports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+
+    /// Parse the lower-case name produced by [`Level::as_str`].
+    pub fn parse(text: &str) -> Option<Level> {
+        match text {
+            "debug" => Some(Level::Debug),
+            "info" => Some(Level::Info),
+            "warn" => Some(Level::Warn),
+            "error" => Some(Level::Error),
+            _ => None,
+        }
+    }
+
+    fn from_bits(bits: u64) -> Level {
+        match bits & 0b11 {
+            0 => Level::Debug,
+            1 => Level::Info,
+            2 => Level::Warn,
+            _ => Level::Error,
+        }
+    }
+}
+
+/// Interned event-name handle returned by [`EventRing::register`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventCode(u16);
+
+/// Sentinel parent code meaning "no enclosing span".
+const NO_PARENT: u16 = u16::MAX;
+
+/// Maximum nesting depth tracked by the per-thread span stack; deeper spans
+/// still record but report the stack top as their parent.
+const MAX_SPAN_DEPTH: usize = 16;
+
+#[derive(Clone, Copy)]
+struct SpanStack {
+    depth: usize,
+    codes: [u16; MAX_SPAN_DEPTH],
+}
+
+thread_local! {
+    static SPAN_STACK: Cell<SpanStack> = const {
+        Cell::new(SpanStack { depth: 0, codes: [0; MAX_SPAN_DEPTH] })
+    };
+}
+
+fn stack_push(code: u16) -> u16 {
+    SPAN_STACK.with(|cell| {
+        let mut stack = cell.get();
+        let parent = if stack.depth == 0 {
+            NO_PARENT
+        } else {
+            stack.codes[(stack.depth - 1).min(MAX_SPAN_DEPTH - 1)]
+        };
+        if stack.depth < MAX_SPAN_DEPTH {
+            stack.codes[stack.depth] = code;
+        }
+        stack.depth += 1;
+        cell.set(stack);
+        parent
+    })
+}
+
+fn stack_pop() {
+    SPAN_STACK.with(|cell| {
+        let mut stack = cell.get();
+        stack.depth = stack.depth.saturating_sub(1);
+        cell.set(stack);
+    });
+}
+
+/// One seqlock-protected event slot. `seq == 0` means empty/in-progress;
+/// otherwise `seq` is the 1-based global sequence number of the event the
+/// slot holds, written last with `Release` so a reader that sees a stable
+/// non-zero `seq` also sees the matching fields.
+struct Slot {
+    seq: AtomicU64,
+    micros: AtomicU64,
+    /// Packed: bits 0..2 level, 2..18 code, 18..34 parent code.
+    meta: AtomicU64,
+    request: AtomicU64,
+    value: AtomicU64,
+}
+
+impl Slot {
+    fn empty() -> Self {
+        Slot {
+            seq: AtomicU64::new(0),
+            micros: AtomicU64::new(0),
+            meta: AtomicU64::new(0),
+            request: AtomicU64::new(0),
+            value: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Bounded structured-event journal.
+///
+/// See the [module docs](self) for the recording protocol. Capacity is
+/// fixed at construction (rounded up to a power of two); the ring keeps the
+/// most recent `capacity` events.
+pub struct EventRing {
+    epoch: Instant,
+    slots: Box<[Slot]>,
+    next: AtomicU64,
+    min_level: AtomicUsize,
+    names: Mutex<Vec<&'static str>>,
+}
+
+impl EventRing {
+    /// A ring keeping the most recent `capacity` events (rounded up to a
+    /// power of two, at least 8).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(8).next_power_of_two();
+        EventRing {
+            epoch: Instant::now(),
+            slots: (0..capacity).map(|_| Slot::empty()).collect(),
+            next: AtomicU64::new(0),
+            min_level: AtomicUsize::new(Level::Debug as usize),
+            names: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Intern `name` and return its code. Idempotent; call at setup time,
+    /// not on the hot path (takes the name-table lock).
+    pub fn register(&self, name: &'static str) -> EventCode {
+        let mut names = self.names.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(index) = names.iter().position(|&n| n == name) {
+            return EventCode(index as u16);
+        }
+        assert!(names.len() < NO_PARENT as usize, "event name table full");
+        names.push(name);
+        EventCode((names.len() - 1) as u16)
+    }
+
+    /// Suppress events below `level`. Defaults to [`Level::Debug`]
+    /// (everything recorded).
+    pub fn set_min_level(&self, level: Level) {
+        self.min_level.store(level as usize, Ordering::Relaxed);
+    }
+
+    /// Number of events recorded over the ring's lifetime.
+    pub fn recorded(&self) -> u64 {
+        self.next.load(Ordering::Relaxed)
+    }
+
+    /// Number of events overwritten because the ring wrapped.
+    pub fn dropped(&self) -> u64 {
+        self.recorded().saturating_sub(self.slots.len() as u64)
+    }
+
+    /// Record one event. Lock-free and allocation-free; the parent span code
+    /// is taken from the calling thread's span stack.
+    #[inline]
+    pub fn record(&self, level: Level, code: EventCode, request: u64, value: u64) {
+        let parent = SPAN_STACK.with(|cell| {
+            let stack = cell.get();
+            if stack.depth == 0 {
+                NO_PARENT
+            } else {
+                stack.codes[(stack.depth - 1).min(MAX_SPAN_DEPTH - 1)]
+            }
+        });
+        self.record_with_parent(level, code, parent, request, value);
+    }
+
+    #[inline]
+    fn record_with_parent(
+        &self,
+        level: Level,
+        code: EventCode,
+        parent: u16,
+        request: u64,
+        value: u64,
+    ) {
+        if (level as usize) < self.min_level.load(Ordering::Relaxed) {
+            return;
+        }
+        let micros = u64::try_from(self.epoch.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let index = self.next.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(index as usize) & (self.slots.len() - 1)];
+        let meta = level as u64 | (u64::from(code.0) << 2) | (u64::from(parent) << 18);
+        slot.seq.store(0, Ordering::Release);
+        slot.micros.store(micros, Ordering::Relaxed);
+        slot.meta.store(meta, Ordering::Relaxed);
+        slot.request.store(request, Ordering::Relaxed);
+        slot.value.store(value, Ordering::Relaxed);
+        slot.seq.store(index + 1, Ordering::Release);
+    }
+
+    /// Start a [`Span`] measuring from now until the guard drops.
+    pub fn span(&self, level: Level, code: EventCode, request: u64) -> Span<'_> {
+        Span::enter(self, level, code, request, None)
+    }
+
+    /// Copy out the currently readable events, oldest first. Slots being
+    /// concurrently rewritten are skipped rather than read torn.
+    pub fn events(&self) -> Vec<EventRecord> {
+        let names: Vec<&'static str> = self
+            .names
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        let resolve = |code: u16| -> String {
+            names
+                .get(code as usize)
+                .map(|&n| n.to_string())
+                .unwrap_or_else(|| format!("code#{code}"))
+        };
+        let mut records = Vec::with_capacity(self.slots.len());
+        for slot in self.slots.iter() {
+            let seq_before = slot.seq.load(Ordering::Acquire);
+            if seq_before == 0 {
+                continue;
+            }
+            let micros = slot.micros.load(Ordering::Relaxed);
+            let meta = slot.meta.load(Ordering::Relaxed);
+            let request = slot.request.load(Ordering::Relaxed);
+            let value = slot.value.load(Ordering::Relaxed);
+            if slot.seq.load(Ordering::Acquire) != seq_before {
+                continue; // torn: a writer raced us
+            }
+            let code = ((meta >> 2) & 0xFFFF) as u16;
+            let parent = ((meta >> 18) & 0xFFFF) as u16;
+            records.push(EventRecord {
+                seq: seq_before - 1,
+                micros,
+                level: Level::from_bits(meta),
+                name: resolve(code),
+                request,
+                value,
+                parent: (parent != NO_PARENT).then(|| resolve(parent)),
+            });
+        }
+        records.sort_by_key(|r| r.seq);
+        records
+    }
+}
+
+impl std::fmt::Debug for EventRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventRing")
+            .field("capacity", &self.slots.len())
+            .field("recorded", &self.recorded())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+/// One journal event, resolved to owned strings for export.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventRecord {
+    /// Global 0-based sequence number (total order of recording).
+    pub seq: u64,
+    /// Microseconds since the ring was created.
+    pub micros: u64,
+    /// Severity.
+    pub level: Level,
+    /// Interned event name.
+    pub name: String,
+    /// Request id the event belongs to (0 when not request-scoped).
+    pub request: u64,
+    /// Payload — a duration in nanoseconds for span/stage events.
+    pub value: u64,
+    /// Name of the enclosing span at record time, if any.
+    pub parent: Option<String>,
+}
+
+/// RAII span guard: measures from construction to drop, then records a
+/// journal event (and optionally a histogram sample) with the elapsed
+/// nanoseconds.
+///
+/// Spans are thread-affine (`!Send`): the parent relationship comes from a
+/// per-thread stack, so a span must be dropped on the thread that created
+/// it. For durations measured across threads (queue wait, batch dwell), use
+/// [`Probe::observe`] instead.
+pub struct Span<'a> {
+    ring: &'a EventRing,
+    level: Level,
+    code: EventCode,
+    parent: u16,
+    request: u64,
+    start: Instant,
+    histogram: Option<&'a Histogram>,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl<'a> Span<'a> {
+    fn enter(
+        ring: &'a EventRing,
+        level: Level,
+        code: EventCode,
+        request: u64,
+        histogram: Option<&'a Histogram>,
+    ) -> Span<'a> {
+        let parent = stack_push(code.0);
+        Span {
+            ring,
+            level,
+            code,
+            parent,
+            request,
+            start: Instant::now(),
+            histogram,
+            _not_send: PhantomData,
+        }
+    }
+
+    /// Elapsed time since the span started.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        stack_pop();
+        let nanos = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        if let Some(histogram) = self.histogram {
+            histogram.record(nanos);
+        }
+        self.ring
+            .record_with_parent(self.level, self.code, self.parent, self.request, nanos);
+    }
+}
+
+/// A pre-registered instrumentation point: an event code plus an optional
+/// histogram, bound to a journal.
+///
+/// Probes are built once at setup time and cloned into workers; recording
+/// through them is lock- and allocation-free.
+#[derive(Clone)]
+pub struct Probe {
+    ring: std::sync::Arc<EventRing>,
+    code: EventCode,
+    level: Level,
+    histogram: Option<std::sync::Arc<Histogram>>,
+}
+
+impl Probe {
+    /// A probe recording `code` events at `level` into `ring`.
+    pub fn new(ring: std::sync::Arc<EventRing>, code: EventCode, level: Level) -> Self {
+        Probe {
+            ring,
+            code,
+            level,
+            histogram: None,
+        }
+    }
+
+    /// Also mirror every recorded duration into `histogram`.
+    pub fn with_histogram(mut self, histogram: std::sync::Arc<Histogram>) -> Self {
+        self.histogram = Some(histogram);
+        self
+    }
+
+    /// The histogram this probe mirrors into, if any.
+    pub fn histogram(&self) -> Option<&std::sync::Arc<Histogram>> {
+        self.histogram.as_ref()
+    }
+
+    /// Start a span for `request`; records on drop.
+    pub fn span(&self, request: u64) -> Span<'_> {
+        Span::enter(
+            &self.ring,
+            self.level,
+            self.code,
+            request,
+            self.histogram.as_deref(),
+        )
+    }
+
+    /// Record an already-measured duration (for cross-thread intervals that
+    /// cannot use a [`Span`] guard).
+    #[inline]
+    pub fn observe(&self, request: u64, elapsed: Duration) {
+        let nanos = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        if let Some(histogram) = &self.histogram {
+            histogram.record(nanos);
+        }
+        self.ring.record(self.level, self.code, request, nanos);
+    }
+}
+
+impl std::fmt::Debug for Probe {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Probe")
+            .field("code", &self.code)
+            .field("level", &self.level)
+            .field("histogram", &self.histogram.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn events_record_in_order_with_levels() {
+        let ring = EventRing::new(16);
+        let a = ring.register("alpha");
+        let b = ring.register("beta");
+        assert_eq!(ring.register("alpha"), a, "interning is idempotent");
+        ring.record(Level::Info, a, 1, 10);
+        ring.record(Level::Warn, b, 2, 20);
+        let events = ring.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].name, "alpha");
+        assert_eq!(events[0].level, Level::Info);
+        assert_eq!(events[0].request, 1);
+        assert_eq!(events[0].value, 10);
+        assert_eq!(events[0].parent, None);
+        assert_eq!(events[1].name, "beta");
+        assert!(events[0].seq < events[1].seq);
+        assert!(events[0].micros <= events[1].micros);
+    }
+
+    #[test]
+    fn ring_wraps_and_reports_drops() {
+        let ring = EventRing::new(8);
+        let code = ring.register("tick");
+        for i in 0..20 {
+            ring.record(Level::Debug, code, i, i);
+        }
+        assert_eq!(ring.recorded(), 20);
+        assert_eq!(ring.dropped(), 12);
+        let events = ring.events();
+        assert_eq!(events.len(), 8);
+        // Only the most recent 8 survive.
+        assert_eq!(events.first().unwrap().seq, 12);
+        assert_eq!(events.last().unwrap().seq, 19);
+    }
+
+    #[test]
+    fn min_level_filters() {
+        let ring = EventRing::new(8);
+        let code = ring.register("noise");
+        ring.set_min_level(Level::Warn);
+        ring.record(Level::Debug, code, 0, 0);
+        ring.record(Level::Info, code, 0, 0);
+        ring.record(Level::Error, code, 0, 0);
+        let events = ring.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].level, Level::Error);
+    }
+
+    #[test]
+    fn nested_spans_report_parents() {
+        let ring = EventRing::new(16);
+        let outer = ring.register("outer");
+        let inner = ring.register("inner");
+        {
+            let _outer = ring.span(Level::Debug, outer, 7);
+            let _inner = ring.span(Level::Debug, inner, 7);
+        }
+        let events = ring.events();
+        // Inner drops (and records) first.
+        assert_eq!(events[0].name, "inner");
+        assert_eq!(events[0].parent.as_deref(), Some("outer"));
+        assert_eq!(events[1].name, "outer");
+        assert_eq!(events[1].parent, None);
+        assert_eq!(events[0].request, 7);
+    }
+
+    #[test]
+    fn probe_mirrors_into_histogram() {
+        let ring = Arc::new(EventRing::new(16));
+        let code = ring.register("stage");
+        let histogram = Arc::new(Histogram::new());
+        let probe = Probe::new(Arc::clone(&ring), code, Level::Debug)
+            .with_histogram(Arc::clone(&histogram));
+        probe.observe(3, Duration::from_nanos(500));
+        drop(probe.span(4));
+        let snap = histogram.snapshot();
+        assert_eq!(snap.count, 2);
+        assert_eq!(ring.events().len(), 2);
+        assert_eq!(ring.events()[0].value, 500);
+    }
+
+    #[test]
+    fn concurrent_writers_never_tear() {
+        let ring = Arc::new(EventRing::new(64));
+        let code = ring.register("burst");
+        let writers: Vec<_> = (0..4)
+            .map(|t| {
+                let ring = Arc::clone(&ring);
+                std::thread::spawn(move || {
+                    for i in 0..2_000u64 {
+                        ring.record(Level::Debug, code, t, i);
+                    }
+                })
+            })
+            .collect();
+        // Read concurrently; torn slots must be skipped, not corrupted.
+        for _ in 0..50 {
+            for event in ring.events() {
+                assert_eq!(event.name, "burst");
+                assert!(event.request < 4);
+                assert!(event.value < 2_000);
+            }
+        }
+        for writer in writers {
+            writer.join().unwrap();
+        }
+        assert_eq!(ring.recorded(), 8_000);
+        assert_eq!(ring.events().len(), 64);
+    }
+}

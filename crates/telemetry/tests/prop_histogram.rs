@@ -1,0 +1,58 @@
+//! Property tests for the log-bucketed histogram: against an exact
+//! sort-based oracle, every quoted quantile must stay within the advertised
+//! ~2% relative error for arbitrary value distributions.
+
+use proptest::prelude::*;
+use rand::Rng;
+use sesr_telemetry::Histogram;
+
+/// Exact oracle using the same `rank = ceil(q · n)` convention as
+/// `HistogramSnapshot::quantile`.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Quantile estimates stay within 2% (or ±1 for tiny values) of the
+    /// exact order statistic, for values spanning nine orders of magnitude
+    /// with arbitrary mixtures of scales.
+    #[test]
+    fn quantile_error_is_bounded(
+        seed in 0u64..10_000,
+        count in 1usize..4_000,
+        scale_bits in 1u32..40,
+    ) {
+        let mut rng = proptest::rng_for_case(seed as u32);
+        let histogram = Histogram::new();
+        let mut values = Vec::with_capacity(count);
+        for _ in 0..count {
+            // Log-uniform draw: pick a magnitude, then a value inside it,
+            // so every octave of the bucket table gets exercised.
+            let bits = rng.gen_range(0..=scale_bits);
+            let value = rng.gen_range(0..=(1u64 << bits));
+            histogram.record(value);
+            values.push(value);
+        }
+        values.sort_unstable();
+        let snapshot = histogram.snapshot();
+        prop_assert_eq!(snapshot.count, values.len() as u64);
+        prop_assert_eq!(snapshot.min, values[0]);
+        prop_assert_eq!(snapshot.max, *values.last().unwrap());
+        let total: u64 = values.iter().sum();
+        prop_assert_eq!(snapshot.sum, total);
+
+        for q in [0.0, 0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 1.0] {
+            let exact = exact_quantile(&values, q);
+            let estimate = snapshot.quantile(q);
+            let tolerance = (exact as f64 * 0.02).max(1.0);
+            prop_assert!(
+                (estimate as f64 - exact as f64).abs() <= tolerance,
+                "q={} estimate={} exact={} tolerance={} (n={})",
+                q, estimate, exact, tolerance, values.len()
+            );
+        }
+    }
+}

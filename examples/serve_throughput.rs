@@ -23,7 +23,12 @@
 //! 3. **multi-model gateway** — the same traffic round-robined across three
 //!    defense routes of one `DefenseGateway`, printing the per-route stats
 //!    breakdown (jobs, latency percentiles, cache hit rate per route).
-//! 4. **arena hot path** — before/after p50/p95 of the worker inner loop:
+//! 4. **telemetry** — the gateway run re-read through the telemetry
+//!    registry: a deterministic text dump of every counter, gauge and
+//!    per-route stage histogram, plus the stable machine-readable snapshot
+//!    written to `BENCH_serve_telemetry.json` (inspect it live with
+//!    `sesr-top`).
+//! 5. **arena hot path** — before/after p50/p95 of the worker inner loop:
 //!    the allocating `defend` versus the arena-backed `defend_scratch` that
 //!    serving workers use (zero steady-state heap allocations; see the
 //!    counting-allocator proof in `crates/bench/tests/alloc_tracking.rs`).
@@ -240,6 +245,7 @@ fn main() -> Result<(), ServeError> {
     }
     let gateway_rate = NUM_REQUESTS as f64 / start.elapsed().as_secs_f64();
     let gateway_stats = gateway.stats();
+    let telemetry = gateway.telemetry_snapshot();
     drop(client);
     gateway.shutdown();
 
@@ -256,6 +262,44 @@ fn main() -> Result<(), ServeError> {
             (NUM_REQUESTS / 3) as u64
                 + u64::from(routes.iter().position(|r| r == route).unwrap() < NUM_REQUESTS % 3),
             "every route must have served exactly its share"
+        );
+    }
+
+    // ----------------------------------------------------- telemetry
+    // The same run, seen through the gateway's telemetry hub: every stage of
+    // every request was recorded into per-route log-bucketed histograms
+    // (queue wait, batch dwell, preprocess, SR forward, cache lookup), and
+    // the whole registry exports as a stable machine-readable snapshot.
+    println!("\n[telemetry: the gateway run above, as the registry saw it]");
+    // The metrics part of the deterministic text dump; the journal (hundreds
+    // of per-stage span events) stays in the JSON snapshot where `sesr-top`
+    // and jq can read it without flooding the terminal.
+    let metrics_only = sesr_telemetry::TelemetrySnapshot {
+        events: Vec::new(),
+        dropped_events: 0,
+        ..telemetry.clone()
+    };
+    print!("{}", metrics_only.render_text());
+    println!(
+        "  journal: {} span event(s), exported in full below",
+        telemetry.events.len()
+    );
+    let telemetry_path = std::path::Path::new("BENCH_serve_telemetry.json");
+    sesr_serve::write_snapshot_atomic(telemetry_path, &telemetry).map_err(|err| {
+        ServeError::InvalidRequest(format!("cannot write {}: {err}", telemetry_path.display()))
+    })?;
+    println!("  snapshot written to {}", telemetry_path.display());
+    for route in &routes {
+        let completed = telemetry
+            .counter(&format!("route.{}.completed", route.label()))
+            .unwrap_or(0);
+        assert_eq!(
+            completed,
+            gateway_stats
+                .route(route)
+                .expect("declared route")
+                .completed,
+            "the registry and the stats view must agree per route"
         );
     }
 
