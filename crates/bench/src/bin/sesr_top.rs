@@ -4,25 +4,37 @@
 //! sesr-top <snapshot.json> [flags]
 //!
 //!   --once             render one frame and exit (exit 1 if unreadable)
+//!   --check            CI gate: read once, print health + alerts, exit 3
+//!                      if any alert is firing (1 if unreadable)
 //!   --interval-ms N    poll interval between frames (default 1000)
 //!   --ticks N          render N frames, then exit
+//!   --route SUBSTR     only show routes whose label contains SUBSTR
 //! ```
 //!
 //! The snapshot file is whatever a running process exports — a gateway's
 //! [`TelemetryExporter`](sesr_serve::TelemetryExporter), the
 //! `serve_throughput` example, or `tables --telemetry PATH`. Each frame
 //! re-reads and re-parses the file, so the dashboard follows a live exporter
-//! without holding any connection to the process that writes it.
+//! without holding any connection to the process that writes it. In live
+//! mode successive frames are kept in a [`WindowedStore`], from which
+//! per-route throughput sparklines are diffed; a v2 snapshot's ALERTS and
+//! HEALTH panes render the SLO engine's verdicts.
 //!
 //! Per-route stage latencies are recovered purely from the metric naming
 //! scheme (`route.<label>.stage.<stage>_ns`), so the dashboard needs no
 //! coordination with the serving process beyond the JSON schema.
+//!
+//! Every flag may be given at most once; duplicate, conflicting or unknown
+//! flags are a usage error (exit 2) rather than a silent last-one-wins.
 
-use sesr_telemetry::{HistogramSnapshot, TelemetrySnapshot};
-use std::time::Duration;
+use sesr_telemetry::{HealthState, HistogramSnapshot, TelemetrySnapshot, WindowedStore};
+use std::time::{Duration, Instant};
 
 fn usage() -> ! {
-    eprintln!("usage: sesr-top <snapshot.json> [--once] [--interval-ms N] [--ticks N]");
+    eprintln!(
+        "usage: sesr-top <snapshot.json> [--once | --check | --ticks N] \
+         [--interval-ms N] [--route SUBSTR]"
+    );
     std::process::exit(2);
 }
 
@@ -30,12 +42,16 @@ struct Args {
     path: String,
     interval: Duration,
     ticks: Option<u64>,
+    route: Option<String>,
+    check: bool,
 }
 
 fn parse_args() -> Args {
     let mut path = None;
-    let mut interval = Duration::from_millis(1000);
+    let mut interval = None;
     let mut ticks = None;
+    let mut route = None;
+    let mut check = false;
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
         let mut flag_value = |name: &str| match iter.next() {
@@ -45,35 +61,69 @@ fn parse_args() -> Args {
                 usage()
             }
         };
+        // One mode flag, once: --once, --check and --ticks all decide how
+        // many frames run, so any pair of them (or a repeat) conflicts.
+        let mut set_ticks = |flag: &str, value: u64| {
+            if ticks.is_some() || check {
+                eprintln!("{flag} conflicts with an earlier --once/--check/--ticks");
+                usage()
+            }
+            ticks = Some(value);
+        };
         match arg.as_str() {
-            "--once" => ticks = Some(1),
+            "--once" => set_ticks("--once", 1),
+            "--check" => {
+                if ticks.is_some() || check {
+                    eprintln!("--check conflicts with an earlier --once/--check/--ticks");
+                    usage()
+                }
+                check = true;
+            }
             "--ticks" => match flag_value("--ticks").parse() {
-                Ok(n) if n > 0 => ticks = Some(n),
+                Ok(n) if n > 0 => set_ticks("--ticks", n),
                 _ => {
                     eprintln!("--ticks needs a positive integer");
                     usage()
                 }
             },
-            "--interval-ms" => match flag_value("--interval-ms").parse() {
-                Ok(ms) => interval = Duration::from_millis(ms),
-                Err(_) => {
-                    eprintln!("--interval-ms needs an integer");
+            "--interval-ms" => {
+                if interval.is_some() {
+                    eprintln!("--interval-ms given twice");
                     usage()
                 }
-            },
+                match flag_value("--interval-ms").parse() {
+                    Ok(ms) => interval = Some(Duration::from_millis(ms)),
+                    Err(_) => {
+                        eprintln!("--interval-ms needs an integer");
+                        usage()
+                    }
+                }
+            }
+            "--route" => {
+                if route.is_some() {
+                    eprintln!("--route given twice");
+                    usage()
+                }
+                route = Some(flag_value("--route"));
+            }
             flag if flag.starts_with("--") => {
                 eprintln!("unknown flag {flag}");
                 usage()
             }
             positional if path.is_none() => path = Some(positional.to_string()),
-            _ => usage(),
+            extra => {
+                eprintln!("unexpected argument {extra}");
+                usage()
+            }
         }
     }
     match path {
         Some(path) => Args {
             path,
-            interval,
+            interval: interval.unwrap_or(Duration::from_millis(1000)),
             ticks,
+            route,
+            check,
         },
         None => usage(),
     }
@@ -99,6 +149,20 @@ fn stage_key(name: &str) -> Option<(&str, &str)> {
     Some((label, stage.strip_suffix("_ns").unwrap_or(stage)))
 }
 
+/// The route label of a `route.<label>.<metric>` name, if it has one.
+fn route_label_of(name: &str) -> Option<&str> {
+    name.strip_prefix("route.")?.split('.').next()
+}
+
+/// True when `name` survives the `--route` filter: non-route metrics always
+/// do; route-scoped ones only when their label contains the substring.
+fn route_matches(name: &str, filter: Option<&str>) -> bool {
+    match (route_label_of(name), filter) {
+        (Some(label), Some(substr)) => label.contains(substr),
+        _ => true,
+    }
+}
+
 fn stage_row(out: &mut String, name: &str, hist: &HistogramSnapshot) {
     use std::fmt::Write as _;
     let _ = writeln!(
@@ -112,19 +176,110 @@ fn stage_row(out: &mut String, name: &str, hist: &HistogramSnapshot) {
     );
 }
 
-fn render(snapshot: &TelemetrySnapshot) -> String {
+const SPARK: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Per-interval deltas of a cumulative counter series, as a sparkline
+/// scaled to the series' own maximum.
+fn sparkline(series: &[(u64, u64)], width: usize) -> String {
+    let deltas: Vec<u64> = series
+        .windows(2)
+        .map(|pair| pair[1].1.saturating_sub(pair[0].1))
+        .collect();
+    let tail = &deltas[deltas.len().saturating_sub(width)..];
+    let max = tail.iter().copied().max().unwrap_or(0);
+    tail.iter()
+        .map(|&delta| {
+            if max == 0 {
+                SPARK[0]
+            } else {
+                SPARK[(delta as usize * (SPARK.len() - 1))
+                    .div_ceil(max as usize)
+                    .min(SPARK.len() - 1)]
+            }
+        })
+        .collect()
+}
+
+/// The HEALTH and ALERTS panes (shared by live and `--check` rendering).
+fn render_status(snapshot: &TelemetrySnapshot, filter: Option<&str>) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let health: Vec<_> = snapshot
+        .health
+        .iter()
+        .filter(|(route, _)| filter.is_none_or(|substr| route.contains(substr)))
+        .collect();
+    if !health.is_empty() {
+        let _ = writeln!(out, "health");
+        for (route, state) in health {
+            let marker = match state {
+                HealthState::Healthy => "+",
+                HealthState::Degraded => "~",
+                HealthState::Unhealthy => "!",
+            };
+            let _ = writeln!(out, "  [{marker}] {route:<40} {state}");
+        }
+    }
+    let alerts: Vec<_> = snapshot
+        .alerts
+        .iter()
+        .filter(|alert| filter.is_none_or(|substr| alert.route.contains(substr)))
+        .collect();
+    if !alerts.is_empty() {
+        let _ = writeln!(out, "ALERTS ({} firing)", alerts.len());
+        for alert in alerts {
+            let _ = writeln!(out, "  {alert}");
+        }
+    }
+    out
+}
+
+fn render(snapshot: &TelemetrySnapshot, history: &WindowedStore, filter: Option<&str>) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
 
-    if !snapshot.counters.is_empty() {
+    out.push_str(&render_status(snapshot, filter));
+
+    // Throughput sparklines: one per route, diffed from the retained frame
+    // history (needs at least two frames, so they appear from tick 2 on).
+    if history.len() >= 2 {
+        let routes: Vec<&str> = snapshot
+            .counters
+            .iter()
+            .filter_map(|(name, _)| {
+                let label = route_label_of(name)?;
+                name.ends_with(".completed").then_some(label)
+            })
+            .filter(|label| filter.is_none_or(|substr| label.contains(substr)))
+            .collect();
+        if !routes.is_empty() {
+            let _ = writeln!(out, "throughput (completed/interval)");
+            for label in routes {
+                let series = history.counter_series(&format!("route.{label}.completed"));
+                let _ = writeln!(out, "  {label:<40} {}", sparkline(&series, 30));
+            }
+        }
+    }
+
+    let counters: Vec<_> = snapshot
+        .counters
+        .iter()
+        .filter(|(name, _)| route_matches(name, filter))
+        .collect();
+    if !counters.is_empty() {
         let _ = writeln!(out, "counters");
-        for (name, value) in &snapshot.counters {
+        for (name, value) in counters {
             let _ = writeln!(out, "  {name:<40} {value:>12}");
         }
     }
-    if !snapshot.gauges.is_empty() {
+    let gauges: Vec<_> = snapshot
+        .gauges
+        .iter()
+        .filter(|(name, _)| route_matches(name, filter))
+        .collect();
+    if !gauges.is_empty() {
         let _ = writeln!(out, "gauges");
-        for (name, value) in &snapshot.gauges {
+        for (name, value) in gauges {
             let _ = writeln!(out, "  {name:<40} {value:>12}");
         }
     }
@@ -134,6 +289,9 @@ fn render(snapshot: &TelemetrySnapshot) -> String {
     let mut current_route: Option<&str> = None;
     let mut other = Vec::new();
     for (name, hist) in &snapshot.histograms {
+        if !route_matches(name, filter) {
+            continue;
+        }
         match stage_key(name) {
             Some((label, stage)) => {
                 if current_route != Some(label) {
@@ -191,14 +349,53 @@ fn read_frame(path: &str) -> Result<TelemetrySnapshot, String> {
     TelemetrySnapshot::from_json(&text).map_err(|err| format!("cannot parse {path}: {err}"))
 }
 
+/// `--check`: the CI gate. Prints the status panes and exits 3 when any
+/// alert is firing, 1 when the snapshot cannot be read, 0 otherwise.
+fn run_check(args: &Args) -> ! {
+    let snapshot = match read_frame(&args.path) {
+        Ok(snapshot) => snapshot,
+        Err(err) => {
+            eprintln!("{err}");
+            std::process::exit(1);
+        }
+    };
+    let filter = args.route.as_deref();
+    let status = render_status(&snapshot, filter);
+    if status.is_empty() {
+        println!(
+            "{}: no health or alert data (v1 snapshot or no SLO runtime)",
+            args.path
+        );
+    } else {
+        print!("{status}");
+    }
+    let firing = snapshot
+        .alerts
+        .iter()
+        .filter(|alert| filter.is_none_or(|substr| alert.route.contains(substr)))
+        .count();
+    if firing > 0 {
+        eprintln!("{}: {firing} alert(s) firing", args.path);
+        std::process::exit(3);
+    }
+    std::process::exit(0);
+}
+
 fn main() {
     let args = parse_args();
+    if args.check {
+        run_check(&args);
+    }
+    let epoch = Instant::now();
+    let mut history = WindowedStore::new(64);
     let mut tick = 0u64;
     loop {
         match read_frame(&args.path) {
             Ok(snapshot) => {
+                let at_ms = u64::try_from(epoch.elapsed().as_millis()).unwrap_or(u64::MAX);
+                history.push(at_ms, snapshot.clone());
                 println!("== {} ==", args.path);
-                print!("{}", render(&snapshot));
+                print!("{}", render(&snapshot, &history, args.route.as_deref()));
             }
             Err(err) if args.ticks == Some(1) => {
                 eprintln!("{err}");
@@ -214,5 +411,63 @@ fn main() {
             return;
         }
         std::thread::sleep(args.interval);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sesr_telemetry::{Alert, AlertSeverity};
+
+    #[test]
+    fn sparkline_scales_deltas_to_the_glyph_range() {
+        // Cumulative 0, 4, 8, 16 → deltas 4, 4, 8; max 8 → half, half, full
+        // (half of the 0..=7 glyph range rounds up to index 4).
+        let series = vec![(0, 0), (100, 4), (200, 8), (300, 16)];
+        assert_eq!(sparkline(&series, 30), "▅▅█");
+        // Flat series renders the floor glyph rather than dividing by zero.
+        assert_eq!(sparkline(&[(0, 5), (100, 5)], 30), "▁");
+        // The width cap keeps only the most recent deltas.
+        assert_eq!(sparkline(&series, 2).chars().count(), 2);
+    }
+
+    #[test]
+    fn route_filter_keeps_global_metrics_and_matching_routes() {
+        assert!(route_matches("gateway.completed", Some("m2")));
+        assert!(route_matches("route.sesr-m2:x2:raw.completed", Some("m2")));
+        assert!(!route_matches("route.bicubic:x2:raw.completed", Some("m2")));
+        assert!(route_matches("route.bicubic:x2:raw.completed", None));
+        assert_eq!(
+            stage_key("route.sesr-m2:x2:raw.stage.infer_ns"),
+            Some(("sesr-m2:x2:raw", "infer"))
+        );
+    }
+
+    #[test]
+    fn status_panes_render_health_and_alerts_under_the_filter() {
+        let alert = Alert {
+            slo: "route.sesr-m2:x2:raw/latency".to_string(),
+            route: "sesr-m2:x2:raw".to_string(),
+            severity: AlertSeverity::Page,
+            burn_milli: 14_500,
+            long_window_ms: 3_600_000,
+            short_window_ms: 300_000,
+            since_ms: 1_000,
+        };
+        let snapshot = TelemetrySnapshot::new(Default::default(), vec![], 0).with_status(
+            vec![alert],
+            vec![
+                ("sesr-m2:x2:raw".to_string(), HealthState::Unhealthy),
+                ("bicubic:x2:raw".to_string(), HealthState::Healthy),
+            ],
+        );
+        let all = render_status(&snapshot, None);
+        assert!(all.contains("ALERTS (1 firing)"));
+        assert!(all.contains("[!] sesr-m2:x2:raw"));
+        assert!(all.contains("[+] bicubic:x2:raw"));
+        let filtered = render_status(&snapshot, Some("bicubic"));
+        assert!(filtered.contains("bicubic"));
+        assert!(!filtered.contains("ALERTS"));
+        assert!(!filtered.contains("sesr-m2"));
     }
 }

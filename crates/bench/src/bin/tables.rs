@@ -16,7 +16,8 @@
 //!                      a warm store skips every training run it already holds
 //!   --workers N        cap the scenario worker pool
 //!   --telemetry PATH   write a TelemetrySnapshot JSON (per-scenario timings,
-//!                      store hydrate/publish metrics) after the run
+//!                      store hydrate/publish metrics) after the run; the
+//!                      file is schema v2 and feeds `sesr-top PATH --check`
 //! ```
 //!
 //! Examples:

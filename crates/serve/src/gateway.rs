@@ -42,10 +42,10 @@ use crate::{content_hash, LruCache};
 use sesr_defense::pipeline::DefensePipeline;
 use sesr_models::SrModelKind;
 use sesr_store::{ModelRegistry, ModelStore};
-use sesr_telemetry::{Counter, Level, Probe, Telemetry, TelemetrySnapshot};
+use sesr_telemetry::{Counter, Gauge, HealthState, Level, Probe, Telemetry, TelemetrySnapshot};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError, TrySendError};
 use std::sync::{Arc, Mutex, PoisonError, RwLock};
 use std::thread::JoinHandle;
@@ -72,17 +72,42 @@ struct RouteEntry {
     active: RwLock<Arc<ShardInner>>,
     /// Join handles of the active shard (taken on retire/shutdown).
     threads: Mutex<Option<ShardThreads>>,
+    /// The route's serving health as set by an SLO runtime
+    /// ([`crate::slo::SloRuntime`]); stored as a [`HealthState`]
+    /// discriminant so admission reads it with one relaxed load.
+    health: AtomicU8,
+    /// Mirror of `health` in the metrics namespace (`route.<label>.health`).
+    health_gauge: Arc<Gauge>,
+    /// Submissions shed because the route was Unhealthy
+    /// (`route.<label>.shed`). Deliberately separate from `rejected`: shed
+    /// load must not feed back into the error budget, or an Unhealthy route
+    /// could never look clean enough to recover.
+    shed: Arc<Counter>,
+    /// True for store-hydrated auto routes, which are the only ones the
+    /// watcher knows how to roll back to a pinned artifact version.
+    auto: bool,
 }
 
-/// Journal probes and counters for gateway lifecycle events (hot reloads).
+/// Journal probes and counters for gateway lifecycle events (hot reloads,
+/// health-driven sheds and promotion gating).
 struct LifecycleProbes {
     /// Successful route promotion; duration = whole rebuild-swap-drain cycle,
     /// mirrored into the `gateway.reload_ns` histogram.
     reload: Probe,
     /// Failed reload attempt (the old shard keeps serving).
     reload_failed: Probe,
+    /// Promotion refused because the target route was not Healthy.
+    reload_refused: Probe,
+    /// Post-promotion rollback: health collapsed inside the probation
+    /// window, so the watcher re-pinned the prior artifact.
+    reload_demoted: Probe,
+    /// Submission shed at admission because its route was Unhealthy.
+    shed: Probe,
     reloads: Arc<Counter>,
     reload_failures: Arc<Counter>,
+    reload_refusals: Arc<Counter>,
+    reload_demotions: Arc<Counter>,
+    sheds: Arc<Counter>,
 }
 
 struct GatewayShared {
@@ -99,6 +124,9 @@ struct GatewayShared {
     /// Monotonic request-id source; ids tag journal events end to end.
     request_ids: AtomicU64,
     lifecycle: LifecycleProbes,
+    /// The builder's weight seed, kept so a pinned rollback rebuilds the
+    /// same network shape the original auto factory did.
+    seed: u64,
 }
 
 /// The running multi-model serving engine; owns every route shard.
@@ -147,6 +175,20 @@ fn submit_to(
     let route = route.unwrap_or(shared.default_route);
     let entry = entry_for(shared, &route)?;
     let request_id = shared.request_ids.fetch_add(1, Ordering::Relaxed);
+
+    // Health-gated admission: an Unhealthy route sheds load *before* the
+    // cache lookup and queue, so a melting-down shard is not kept warm by
+    // fresh traffic. Sheds are journaled and counted separately from queue
+    // rejections — they are a policy decision, not an error-budget event —
+    // which is what lets the route look clean and recover once the SLO
+    // engine sees load drop.
+    if HealthState::from_u8(entry.health.load(Ordering::Relaxed)) == HealthState::Unhealthy {
+        shared.lifecycle.sheds.incr();
+        entry.shed.incr();
+        shared.lifecycle.shed.observe(request_id, started.elapsed());
+        return Err(ServeError::Overloaded);
+    }
+
     let stats = StatsPair {
         global: Arc::clone(&shared.stats),
         route: Arc::clone(&entry.stats),
@@ -268,6 +310,19 @@ fn reload_route_inner(shared: &GatewayShared, route: &RouteKey) -> Result<(), Se
     for worker in 0..entry.config.num_workers {
         assets.push(factory(worker).map_err(|e| ServeError::Pipeline(e.to_string()))?);
     }
+    swap_in_assets(shared, &entry, route, assets);
+    Ok(())
+}
+
+/// The common tail of every reload: spawn a fresh shard from `assets`, swap
+/// it live, drain and retire the old shard, purge the route's stale cache
+/// entries. Infallible — by this point the new workers are already built.
+fn swap_in_assets(
+    shared: &GatewayShared,
+    entry: &RouteEntry,
+    route: &RouteKey,
+    assets: Vec<WorkerAssets>,
+) {
     let stats = StatsPair {
         global: Arc::clone(&shared.stats),
         route: Arc::clone(&entry.stats),
@@ -307,6 +362,62 @@ fn reload_route_inner(shared: &GatewayShared, route: &RouteKey) -> Result<(), Se
             .unwrap_or_else(PoisonError::into_inner)
             .retain(|(cached_route, _)| cached_route != route);
     }
+}
+
+/// Rebuild an auto route's workers from one *specific* stored artifact
+/// version instead of the newest — the watcher's rollback path when a
+/// just-promoted artifact tanks the route's health. Follows the same
+/// swap-drain-purge discipline as a forward reload.
+fn reload_route_pinned(
+    shared: &GatewayShared,
+    route: &RouteKey,
+    pinned: (u32, u64),
+) -> Result<(), ServeError> {
+    let entry = Arc::clone(entry_for(shared, route)?);
+    if !entry.auto {
+        return Err(ServeError::InvalidRequest(format!(
+            "route {route} is not store-hydrated and cannot be pinned to an artifact version"
+        )));
+    }
+    let registry = shared.registry.as_ref().ok_or_else(|| {
+        ServeError::InvalidRequest(
+            "pinned reload requires a gateway built with a store".to_string(),
+        )
+    })?;
+    // Same per-route serialization as a forward reload.
+    let _factory_guard = entry.factory.lock().expect("factory mutex poisoned");
+
+    let (version, digest) = pinned;
+    let artifact = registry
+        .store()
+        .list_versions(route.model.name(), route.scale)
+        .map_err(|e| ServeError::Pipeline(e.to_string()))?
+        .into_iter()
+        .find(|artifact| artifact.version == version && artifact.digest == digest)
+        .ok_or_else(|| {
+            ServeError::Pipeline(format!(
+                "route {route} has no stored artifact v{version:04} to roll back to"
+            ))
+        })?;
+    let checkpoint = registry
+        .store()
+        .load(&artifact)
+        .map_err(|e| ServeError::Pipeline(e.to_string()))?;
+    let mut assets = Vec::with_capacity(entry.config.num_workers);
+    for _worker in 0..entry.config.num_workers {
+        let upscaler = route
+            .model
+            .build_from_checkpoint(route.scale, &checkpoint, shared.seed)
+            .map_err(|e| ServeError::Pipeline(e.to_string()))?;
+        assets.push(WorkerAssets::new(DefensePipeline::new(
+            route.preprocess,
+            upscaler,
+        )));
+    }
+    // The registry's memo still points at the newest artifact; forget it so
+    // a later explicit hydrate re-reads disk rather than reviving it.
+    registry.invalidate(route.model.name(), route.scale);
+    swap_in_assets(shared, &entry, route, assets);
     Ok(())
 }
 
@@ -433,7 +544,24 @@ impl GatewayClient {
     /// [`ServeError::InvalidRequest`] when the gateway was built without a
     /// store.
     pub fn watch_store(&self, interval: Duration) -> Result<ReloadWatcher, ServeError> {
-        ReloadWatcher::spawn(self.clone(), interval)
+        ReloadWatcher::spawn(self.clone(), interval, ReloadWatcher::DEFAULT_PROBATION)
+    }
+
+    /// Like [`GatewayClient::watch_store`], with an explicit post-promotion
+    /// probation window: if a route's health collapses to Unhealthy within
+    /// `probation` after a promotion, the watcher rolls the route back to
+    /// the previously served artifact version.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidRequest`] when the gateway was built without a
+    /// store.
+    pub fn watch_store_with_probation(
+        &self,
+        interval: Duration,
+        probation: Duration,
+    ) -> Result<ReloadWatcher, ServeError> {
+        ReloadWatcher::spawn(self.clone(), interval, probation)
     }
 
     /// The gateway's telemetry hub (counters, gauges, per-route stage
@@ -466,7 +594,48 @@ impl GatewayClient {
         interval: Duration,
     ) -> std::io::Result<TelemetryExporter> {
         let shared = Arc::clone(&self.shared);
-        TelemetryExporter::spawn(path.into(), interval, move || telemetry_snapshot(&shared))
+        let errors = shared
+            .telemetry
+            .metrics()
+            .counter("telemetry.export.errors");
+        TelemetryExporter::spawn(path.into(), interval, Some(errors), move || {
+            telemetry_snapshot(&shared)
+        })
+    }
+
+    /// One route's current serving health, as last set by an SLO runtime
+    /// ([`crate::slo::SloRuntime`]). Routes start [`HealthState::Healthy`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownRoute`] when the gateway does not serve `route`.
+    pub fn route_health(&self, route: &RouteKey) -> Result<HealthState, ServeError> {
+        let entry = entry_for(&self.shared, route)?;
+        Ok(HealthState::from_u8(entry.health.load(Ordering::Relaxed)))
+    }
+
+    /// Set one route's health (SLO runtime only): updates the admission
+    /// atomic and mirrors the state into the `route.<label>.health` gauge.
+    pub(crate) fn set_route_health(
+        &self,
+        route: &RouteKey,
+        state: HealthState,
+    ) -> Result<(), ServeError> {
+        let entry = entry_for(&self.shared, route)?;
+        entry.health.store(state.as_u8(), Ordering::Relaxed);
+        entry.health_gauge.set(i64::from(state.as_u8()));
+        Ok(())
+    }
+
+    /// The position of `route` in declaration order — the stable integer
+    /// journal events use as their `request` field to identify a route
+    /// (journal event names must be `'static`, so labels cannot be used).
+    pub(crate) fn route_index(&self, route: &RouteKey) -> Option<u64> {
+        self.shared
+            .order
+            .iter()
+            .position(|key| key == route)
+            .map(|index| index as u64)
     }
 }
 
@@ -789,8 +958,14 @@ impl GatewayBuilder {
         let lifecycle = LifecycleProbes {
             reload: telemetry.probe("gateway.reload", Level::Info, Some("gateway.reload_ns")),
             reload_failed: telemetry.probe("gateway.reload_failed", Level::Warn, None),
+            reload_refused: telemetry.probe("gateway.reload_refused", Level::Warn, None),
+            reload_demoted: telemetry.probe("gateway.reload_demoted", Level::Warn, None),
+            shed: telemetry.probe("gateway.shed", Level::Warn, None),
             reloads: telemetry.metrics().counter("gateway.reloads"),
             reload_failures: telemetry.metrics().counter("gateway.reload_failures"),
+            reload_refusals: telemetry.metrics().counter("gateway.reload_refused"),
+            reload_demotions: telemetry.metrics().counter("gateway.reload_demoted"),
+            sheds: telemetry.metrics().counter("gateway.shed"),
         };
 
         let mut table = HashMap::with_capacity(routes.len());
@@ -801,6 +976,7 @@ impl GatewayBuilder {
                 config,
                 source,
             } = decl;
+            let auto = matches!(source, RouteSource::Auto);
             let (assets, factory): (Vec<WorkerAssets>, Option<WorkerFactory>) = match source {
                 RouteSource::Auto => {
                     let registry = registry.clone();
@@ -837,6 +1013,8 @@ impl GatewayBuilder {
             };
             let arenas = arena_gauges(&telemetry, &key, config.num_workers);
             let (inner, threads) = spawn_shard(&config, assets, &cache, &stats, arenas);
+            let health_gauge = telemetry.metrics().gauge(&format!("route.{label}.health"));
+            health_gauge.set(i64::from(HealthState::Healthy.as_u8()));
             table.insert(
                 key,
                 Arc::new(RouteEntry {
@@ -846,6 +1024,10 @@ impl GatewayBuilder {
                     stages: route_stages,
                     active: RwLock::new(inner),
                     threads: Mutex::new(Some(threads)),
+                    health: AtomicU8::new(HealthState::Healthy.as_u8()),
+                    health_gauge,
+                    shed: telemetry.metrics().counter(&format!("route.{label}.shed")),
+                    auto,
                 }),
             );
         }
@@ -862,6 +1044,7 @@ impl GatewayBuilder {
                 telemetry,
                 request_ids: AtomicU64::new(1),
                 lifecycle,
+                seed,
             }),
         })
     }
@@ -882,6 +1065,14 @@ fn build_with(
 /// route whose newest artifact `(version, digest)` changed — the
 /// "save a retrained model, serving picks it up" loop with no restarts.
 ///
+/// Promotion is **health-gated**: a new artifact is only promoted while its
+/// route is [`HealthState::Healthy`]; otherwise the attempt is refused
+/// (counted, journaled as `gateway.reload_refused`) and retried on every
+/// poll until the route recovers. After a promotion the route is on
+/// probation: if its health collapses to Unhealthy inside the probation
+/// window, the watcher rolls back to the previously served artifact version
+/// (`gateway.reload_demoted`) — the stepping stone to a full canary gate.
+///
 /// The watcher holds a [`GatewayClient`]; call [`ReloadWatcher::stop`]
 /// before [`DefenseGateway::shutdown`] or the shutdown join will wait on it.
 pub struct ReloadWatcher {
@@ -889,10 +1080,35 @@ pub struct ReloadWatcher {
     thread: JoinHandle<()>,
     reloads: Arc<AtomicU64>,
     failures: Arc<AtomicU64>,
+    refusals: Arc<AtomicU64>,
+    demotions: Arc<AtomicU64>,
+}
+
+/// Per-route watcher state: the artifact being served, plus probation
+/// bookkeeping for the most recent promotion.
+struct RouteWatch {
+    /// The `(version, digest)` the route currently serves (as far as the
+    /// watcher knows); `None` when nothing is stored yet.
+    known: Option<(u32, u64)>,
+    /// Set while the route is on post-promotion probation.
+    promoted: Option<Promotion>,
+}
+
+struct Promotion {
+    at: Instant,
+    /// What was serving before the promotion — the rollback target.
+    prior: Option<(u32, u64)>,
 }
 
 impl ReloadWatcher {
-    fn spawn(client: GatewayClient, interval: Duration) -> Result<ReloadWatcher, ServeError> {
+    /// Default post-promotion probation window.
+    pub const DEFAULT_PROBATION: Duration = Duration::from_secs(30);
+
+    fn spawn(
+        client: GatewayClient,
+        interval: Duration,
+        probation: Duration,
+    ) -> Result<ReloadWatcher, ServeError> {
         let registry = client.shared.registry.clone().ok_or_else(|| {
             ServeError::InvalidRequest(
                 "watch_store requires a gateway built with a store".to_string(),
@@ -913,14 +1129,26 @@ impl ReloadWatcher {
             .collect();
         // Baseline before the first poll: the shards were just built from
         // whatever is newest now, so only *changes* from here on reload.
-        let mut seen: HashMap<RouteKey, Option<(u32, u64)>> = routes
+        let mut watches: HashMap<RouteKey, RouteWatch> = routes
             .iter()
-            .map(|key| (*key, current_artifact(&registry, key)))
+            .map(|key| {
+                (
+                    *key,
+                    RouteWatch {
+                        known: current_artifact(&registry, key),
+                        promoted: None,
+                    },
+                )
+            })
             .collect();
         let reloads = Arc::new(AtomicU64::new(0));
         let failures = Arc::new(AtomicU64::new(0));
+        let refusals = Arc::new(AtomicU64::new(0));
+        let demotions = Arc::new(AtomicU64::new(0));
         let reload_counter = Arc::clone(&reloads);
         let failure_counter = Arc::clone(&failures);
+        let refusal_counter = Arc::clone(&refusals);
+        let demotion_counter = Arc::clone(&demotions);
         let (stop_tx, stop_rx) = mpsc::channel::<()>();
         let thread = std::thread::spawn(move || loop {
             match stop_rx.recv_timeout(interval) {
@@ -928,9 +1156,59 @@ impl ReloadWatcher {
                 Err(RecvTimeoutError::Timeout) => {}
             }
             for key in &routes {
+                let health = client.route_health(key).unwrap_or(HealthState::Unhealthy);
+                let route_index = client.route_index(key).unwrap_or(u64::MAX);
+                let watch = watches.get_mut(key).expect("route disappeared");
+
+                // Probation first: a just-promoted artifact that tanked the
+                // route gets rolled back before any further promotion.
+                if let Some(promotion) = &watch.promoted {
+                    if promotion.at.elapsed() >= probation {
+                        watch.promoted = None; // survived probation
+                    } else if health == HealthState::Unhealthy {
+                        let promotion = watch.promoted.take().expect("just checked");
+                        if let Some(prior) = promotion.prior {
+                            let shared = &client.shared;
+                            match reload_route_pinned(shared, key, prior) {
+                                Ok(()) => {
+                                    demotion_counter.fetch_add(1, Ordering::Relaxed);
+                                    shared.lifecycle.reload_demotions.incr();
+                                    shared
+                                        .lifecycle
+                                        .reload_demoted
+                                        .observe(route_index, promotion.at.elapsed());
+                                    // `known` stays at the newest (bad)
+                                    // version so it is not re-promoted; a
+                                    // future artifact will still differ and
+                                    // go through the gate normally.
+                                    continue;
+                                }
+                                Err(_) => {
+                                    failure_counter.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                    }
+                }
+
                 let newest = current_artifact(&registry, key);
-                let known = seen.get_mut(key).expect("route disappeared");
-                if newest.is_some() && newest != *known {
+                if newest.is_some() && newest != watch.known {
+                    // The promotion gate: never swap weights under a route
+                    // that is already missing its SLOs — a reload there
+                    // destroys the evidence and risks stacking regressions.
+                    if health != HealthState::Healthy {
+                        refusal_counter.fetch_add(1, Ordering::Relaxed);
+                        let shared = &client.shared;
+                        shared.lifecycle.reload_refusals.incr();
+                        shared
+                            .lifecycle
+                            .reload_refused
+                            .observe(route_index, Duration::ZERO);
+                        // `known` is deliberately not updated: the promotion
+                        // is retried on every poll until the route is
+                        // Healthy again.
+                        continue;
+                    }
                     // Mark the version seen only once it is actually being
                     // served; a failed reload (e.g. a corrupt artifact or
                     // transient I/O) is counted and retried on every poll
@@ -938,7 +1216,11 @@ impl ReloadWatcher {
                     match client.reload(key) {
                         Ok(()) => {
                             reload_counter.fetch_add(1, Ordering::Relaxed);
-                            *known = newest;
+                            watch.promoted = Some(Promotion {
+                                at: Instant::now(),
+                                prior: watch.known,
+                            });
+                            watch.known = newest;
                         }
                         Err(_) => {
                             failure_counter.fetch_add(1, Ordering::Relaxed);
@@ -952,6 +1234,8 @@ impl ReloadWatcher {
             thread,
             reloads,
             failures,
+            refusals,
+            demotions,
         })
     }
 
@@ -966,6 +1250,18 @@ impl ReloadWatcher {
     /// serving.
     pub fn failure_count(&self) -> u64 {
         self.failures.load(Ordering::Relaxed)
+    }
+
+    /// Number of promotions refused because the target route was not
+    /// Healthy (each is retried once the route recovers).
+    pub fn refused_count(&self) -> u64 {
+        self.refusals.load(Ordering::Relaxed)
+    }
+
+    /// Number of post-promotion rollbacks: health collapsed inside the
+    /// probation window and the prior artifact was re-pinned.
+    pub fn demotion_count(&self) -> u64 {
+        self.demotions.load(Ordering::Relaxed)
     }
 
     /// Stop polling and join the watcher thread (releases its client).

@@ -102,6 +102,7 @@ pub mod gateway;
 pub mod route;
 pub mod server;
 mod shard;
+pub mod slo;
 pub mod stats;
 pub mod telemetry;
 
@@ -113,5 +114,6 @@ pub use server::{
     DefenseClient, DefenseResponse, DefenseServer, PendingResponse, ServeConfig, ServeError,
     WorkerAssets,
 };
+pub use slo::{SloMonitor, SloPolicy, SloRuntime};
 pub use stats::{GatewayStats, ServeStats, StatsRecorder};
 pub use telemetry::{write_snapshot_atomic, TelemetryExporter};

@@ -1,0 +1,444 @@
+//! SLO evaluation wired into a running gateway: burn-rate alerts, journal
+//! events, and the per-route health states that gate admission and reload.
+//!
+//! [`SloRuntime`] owns an [`SloEngine`] fed from the gateway's own
+//! telemetry snapshots. Every tick it (1) evaluates each route's latency
+//! and error-budget SLOs over the windowed ring, (2) journals alert
+//! lifecycle edges (`slo.page` / `slo.warn` / `slo.resolved`), (3) steps
+//! each route's [`HealthMachine`] with the worst firing severity and writes
+//! the result back into the gateway — which is what makes an Unhealthy
+//! route shed load and blocks artifact promotion — and (4) publishes the
+//! firing alerts plus health to the hub's status board, so they appear in
+//! every exported v2 snapshot.
+//!
+//! Drive it deterministically with [`SloRuntime::tick_at`] (tests), on the
+//! real clock with [`SloRuntime::tick`], or in the background with
+//! [`SloRuntime::spawn`].
+
+use crate::gateway::GatewayClient;
+use crate::route::RouteKey;
+use sesr_telemetry::{
+    AlertSeverity, BurnRateRule, Counter, Gauge, HealthMachine, HealthPolicy, Level, Probe,
+    SloEngine, SloEvaluation, SloObjective, SloSpec, SloTransition,
+};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Declarative SLO policy applied uniformly to every gateway route.
+#[derive(Debug, Clone)]
+pub struct SloPolicy {
+    /// Latency objective: at most [`SloPolicy::latency_allowed_milli`]
+    /// thousandths of requests may take longer than this, end to end.
+    pub latency_threshold: Duration,
+    /// Allowed slow fraction in thousandths (10 = a p99 objective).
+    pub latency_allowed_milli: u64,
+    /// Error budget in thousandths over rejected (`Overloaded`), expired
+    /// (`DeadlineExceeded`) and pipeline-error outcomes.
+    pub error_budget_milli: u64,
+    /// Burn-rate rules evaluated per objective; defaults to the classic
+    /// fast-page (1h/5m at 14.4×) + slow-warn (3d/6h at 1×) pair.
+    pub rules: Vec<BurnRateRule>,
+    /// Hysteresis thresholds for the per-route health machines.
+    pub health: HealthPolicy,
+    /// Snapshot frames retained in the windowed ring. Size to cover the
+    /// longest rule window at the tick interval in use.
+    pub window_frames: usize,
+}
+
+impl Default for SloPolicy {
+    fn default() -> Self {
+        SloPolicy {
+            latency_threshold: Duration::from_millis(100),
+            latency_allowed_milli: 10,
+            error_budget_milli: 10,
+            rules: BurnRateRule::classic(),
+            health: HealthPolicy::default(),
+            window_frames: 512,
+        }
+    }
+}
+
+/// Journal probes for SLO lifecycle events. Event names are static (the
+/// journal requires it), so the *route* is identified by the event's
+/// `request` field — the route's index in gateway declaration order — and
+/// the `value` field carries the long-window burn rate in thousandths.
+struct SloProbes {
+    page: Probe,
+    warn: Probe,
+    resolved: Probe,
+    /// Health transitions; `value` is the new state's discriminant.
+    health: Probe,
+}
+
+/// The per-tick SLO evaluator bound to one gateway.
+pub struct SloRuntime {
+    client: GatewayClient,
+    engine: SloEngine,
+    machines: Vec<(RouteKey, HealthMachine)>,
+    epoch: Instant,
+    probes: SloProbes,
+    fired: Arc<Counter>,
+    resolved: Arc<Counter>,
+    firing_gauge: Arc<Gauge>,
+    /// One `telemetry.slo.<spec>.burn_milli` gauge per spec, in spec order.
+    burn_gauges: Vec<Arc<Gauge>>,
+}
+
+impl SloRuntime {
+    /// Build the runtime: two [`SloSpec`]s per route — a latency objective
+    /// over `route.<label>.latency_ns` and an error budget over the route's
+    /// rejected/expired/error counters. Sheds (`route.<label>.shed`) are
+    /// deliberately *not* in the error budget: they are the health
+    /// machine's own output, and counting them would lock an Unhealthy
+    /// route out of recovery.
+    pub fn new(client: GatewayClient, policy: SloPolicy) -> Self {
+        let telemetry = Arc::clone(client.telemetry());
+        let mut engine = SloEngine::new(policy.window_frames);
+        let mut machines = Vec::new();
+        let mut burn_gauges = Vec::new();
+        for key in client.routes() {
+            let label = key.label();
+            let counter = |name: &str| format!("route.{label}.{name}");
+            let specs = [
+                SloSpec {
+                    name: format!("route.{label}/latency"),
+                    route: label.clone(),
+                    objective: SloObjective::Latency {
+                        histogram: counter("latency_ns"),
+                        threshold_ns: u64::try_from(policy.latency_threshold.as_nanos())
+                            .unwrap_or(u64::MAX),
+                        allowed_milli: policy.latency_allowed_milli,
+                    },
+                    rules: policy.rules.clone(),
+                },
+                SloSpec {
+                    name: format!("route.{label}/errors"),
+                    route: label.clone(),
+                    objective: SloObjective::ErrorBudget {
+                        errors: vec![counter("rejected"), counter("expired"), counter("errors")],
+                        total: vec![
+                            counter("completed"),
+                            counter("rejected"),
+                            counter("expired"),
+                            counter("errors"),
+                        ],
+                        budget_milli: policy.error_budget_milli,
+                    },
+                    rules: policy.rules.clone(),
+                },
+            ];
+            for spec in specs {
+                burn_gauges.push(
+                    telemetry
+                        .metrics()
+                        .gauge(&format!("telemetry.slo.{}.burn_milli", spec.name)),
+                );
+                engine.add_spec(spec);
+            }
+            machines.push((key, HealthMachine::new(policy.health)));
+        }
+        let probes = SloProbes {
+            page: telemetry.probe("slo.page", Level::Warn, None),
+            warn: telemetry.probe("slo.warn", Level::Info, None),
+            resolved: telemetry.probe("slo.resolved", Level::Info, None),
+            health: telemetry.probe("route.health_changed", Level::Warn, None),
+        };
+        SloRuntime {
+            client,
+            engine,
+            machines,
+            epoch: Instant::now(),
+            probes,
+            fired: telemetry.metrics().counter("telemetry.slo.alerts_fired"),
+            resolved: telemetry.metrics().counter("telemetry.slo.alerts_resolved"),
+            firing_gauge: telemetry.metrics().gauge("telemetry.slo.firing"),
+            burn_gauges,
+        }
+    }
+
+    /// The underlying engine (specs, firing alerts, the frame ring).
+    pub fn engine(&self) -> &SloEngine {
+        &self.engine
+    }
+
+    /// Evaluate one tick on the runtime's own clock (milliseconds since
+    /// construction).
+    pub fn tick(&mut self) -> Vec<SloEvaluation> {
+        let now_ms = u64::try_from(self.epoch.elapsed().as_millis()).unwrap_or(u64::MAX);
+        self.tick_at(now_ms)
+    }
+
+    /// Evaluate one tick at an explicit time on a caller-supplied monotonic
+    /// millisecond axis — the deterministic entry point tests use to
+    /// compress hours of burn-rate history into milliseconds.
+    pub fn tick_at(&mut self, now_ms: u64) -> Vec<SloEvaluation> {
+        let snapshot = self.client.telemetry_snapshot();
+        let evaluations = self.engine.observe(now_ms, snapshot);
+
+        // Journal the alert lifecycle edges and refresh the burn gauges.
+        for (index, evaluation) in evaluations.iter().enumerate() {
+            if let Some(gauge) = self.burn_gauges.get(index) {
+                gauge.set(i64::try_from(evaluation.burn_milli).unwrap_or(i64::MAX));
+            }
+            let route_index = self.route_index_by_label(&evaluation.route);
+            match &evaluation.transition {
+                Some(SloTransition::Fired(alert)) => {
+                    self.fired.incr();
+                    let probe = match alert.severity {
+                        AlertSeverity::Page => &self.probes.page,
+                        AlertSeverity::Warn => &self.probes.warn,
+                    };
+                    probe.observe(route_index, Duration::from_nanos(alert.burn_milli));
+                }
+                Some(SloTransition::Resolved(alert)) => {
+                    self.resolved.incr();
+                    self.probes
+                        .resolved
+                        .observe(route_index, Duration::from_nanos(alert.burn_milli));
+                }
+                None => {}
+            }
+        }
+
+        // Step every route's health machine and write the verdicts back
+        // into the gateway (admission) and the status board (export).
+        for (key, machine) in &mut self.machines {
+            let label = key.label();
+            let worst = self.engine.worst_for_route(&label);
+            if let Some(transition) = machine.observe(worst) {
+                let route_index = self.client.route_index(key).unwrap_or(u64::MAX);
+                self.probes.health.observe(
+                    route_index,
+                    Duration::from_nanos(u64::from(transition.to.as_u8())),
+                );
+            }
+            let state = machine.state();
+            let _ = self.client.set_route_health(key, state);
+            self.client.telemetry().status().set_health(&label, state);
+        }
+        let firing = self.engine.firing();
+        self.firing_gauge
+            .set(i64::try_from(firing.len()).unwrap_or(i64::MAX));
+        self.client.telemetry().status().set_alerts(firing);
+        evaluations
+    }
+
+    fn route_index_by_label(&self, label: &str) -> u64 {
+        self.machines
+            .iter()
+            .position(|(key, _)| key.label() == label)
+            .map(|index| index as u64)
+            .unwrap_or(u64::MAX)
+    }
+
+    /// Run the runtime on a background thread, ticking every `interval`.
+    pub fn spawn(self, interval: Duration) -> SloMonitor {
+        let (stop_tx, stop_rx) = mpsc::channel::<()>();
+        let mut runtime = self;
+        let thread = std::thread::spawn(move || loop {
+            match stop_rx.recv_timeout(interval) {
+                Ok(()) | Err(RecvTimeoutError::Disconnected) => return,
+                Err(RecvTimeoutError::Timeout) => {
+                    runtime.tick();
+                }
+            }
+        });
+        SloMonitor { stop_tx, thread }
+    }
+}
+
+impl std::fmt::Debug for SloRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SloRuntime")
+            .field("specs", &self.engine.specs().len())
+            .field("routes", &self.machines.len())
+            .finish()
+    }
+}
+
+/// Handle to a background [`SloRuntime`] thread. The monitor holds a
+/// [`GatewayClient`]; stop it before
+/// [`DefenseGateway::shutdown`](crate::gateway::DefenseGateway::shutdown)
+/// or the shutdown join will wait on it.
+pub struct SloMonitor {
+    stop_tx: mpsc::Sender<()>,
+    thread: JoinHandle<()>,
+}
+
+impl SloMonitor {
+    /// Stop ticking and join the monitor thread (releases its client).
+    pub fn stop(self) {
+        let SloMonitor { stop_tx, thread } = self;
+        let _ = stop_tx.send(());
+        let _ = thread.join();
+    }
+}
+
+impl std::fmt::Debug for SloMonitor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SloMonitor").finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gateway::GatewayBuilder;
+    use crate::route::DefenseRequest;
+    use sesr_defense::pipeline::PreprocessConfig;
+    use sesr_models::SrModelKind;
+    use sesr_telemetry::HealthState;
+    use sesr_tensor::{init, Shape, Tensor};
+
+    fn test_image(seed: u64) -> Tensor {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        init::uniform(Shape::new(&[1, 3, 8, 8]), 0.0, 1.0, &mut rng)
+    }
+
+    fn route() -> RouteKey {
+        RouteKey::new(SrModelKind::NearestNeighbor, 2, PreprocessConfig::none())
+    }
+
+    fn fast_policy() -> SloPolicy {
+        SloPolicy {
+            latency_threshold: Duration::from_nanos(1), // everything breaches
+            latency_allowed_milli: 10,
+            error_budget_milli: 10,
+            rules: vec![BurnRateRule {
+                long_ms: 500,
+                short_ms: 100,
+                max_burn_milli: 1_000,
+                severity: AlertSeverity::Page,
+            }],
+            health: HealthPolicy {
+                degrade_after: 1,
+                unhealthy_after: 1,
+                recover_after: 2,
+            },
+            window_frames: 32,
+        }
+    }
+
+    #[test]
+    fn breaching_traffic_walks_health_down_and_sheds() {
+        let gateway = GatewayBuilder::new()
+            .cache_capacity(0)
+            .route(route())
+            .build()
+            .unwrap();
+        let client = gateway.client();
+        let mut runtime = SloRuntime::new(client.clone(), fast_policy());
+
+        runtime.tick_at(0); // baseline frame
+        for seed in 0..10 {
+            client
+                .defend_blocking(DefenseRequest::new(test_image(seed)))
+                .unwrap();
+        }
+        runtime.tick_at(200); // every request violated the 1ns objective
+        assert_eq!(
+            client.route_health(&route()).unwrap(),
+            HealthState::Degraded
+        );
+        // The regression persists into the next short window: Degraded with
+        // a still-firing page escalates to Unhealthy.
+        for seed in 10..20 {
+            client
+                .defend_blocking(DefenseRequest::new(test_image(seed)))
+                .unwrap();
+        }
+        runtime.tick_at(400);
+        assert_eq!(
+            client.route_health(&route()).unwrap(),
+            HealthState::Unhealthy
+        );
+
+        // Unhealthy admission sheds before queueing, typed as Overloaded.
+        match client.submit(DefenseRequest::new(test_image(99))) {
+            Err(err) => assert_eq!(err, crate::server::ServeError::Overloaded),
+            Ok(_) => panic!("an Unhealthy route must shed new submissions"),
+        }
+        let snapshot = client.telemetry_snapshot();
+        assert_eq!(snapshot.counter("gateway.shed"), Some(1));
+        assert!(
+            snapshot.events.iter().any(|e| e.name == "gateway.shed"),
+            "sheds must be journaled"
+        );
+        // The shed request never reached the error budget.
+        assert_eq!(
+            snapshot.counter(&format!("route.{}.rejected", route().label())),
+            Some(0)
+        );
+        // Alerts + health are in the exported snapshot via the status board.
+        assert!(!snapshot.alerts.is_empty());
+        assert_eq!(
+            snapshot.health,
+            vec![(route().label(), HealthState::Unhealthy)]
+        );
+        assert!(snapshot.counter("telemetry.slo.alerts_fired").unwrap_or(0) >= 1);
+
+        // Quiet windows resolve the alert and health recovers one level at
+        // a time: Unhealthy → Degraded → Healthy.
+        for t in [1_000u64, 1_500, 2_000, 2_500, 3_000] {
+            runtime.tick_at(t);
+        }
+        assert_eq!(client.route_health(&route()).unwrap(), HealthState::Healthy);
+        let snapshot = client.telemetry_snapshot();
+        assert!(snapshot.alerts.is_empty(), "quiet windows must resolve");
+        assert_eq!(
+            snapshot.health,
+            vec![(route().label(), HealthState::Healthy)]
+        );
+
+        drop(client);
+        drop(runtime);
+        gateway.shutdown();
+    }
+
+    #[test]
+    fn clean_traffic_never_alerts() {
+        let gateway = GatewayBuilder::new().route(route()).build().unwrap();
+        let client = gateway.client();
+        let mut policy = fast_policy();
+        policy.latency_threshold = Duration::from_secs(3600);
+        let mut runtime = SloRuntime::new(client.clone(), policy);
+        runtime.tick_at(0);
+        for seed in 0..5 {
+            client
+                .defend_blocking(DefenseRequest::new(test_image(seed)).skip_cache())
+                .unwrap();
+        }
+        let evals = runtime.tick_at(200);
+        assert!(evals.iter().all(|e| e.firing.is_none()));
+        assert_eq!(client.route_health(&route()).unwrap(), HealthState::Healthy);
+        assert_eq!(
+            client.telemetry_snapshot().gauge("telemetry.slo.firing"),
+            Some(0)
+        );
+        drop(client);
+        drop(runtime);
+        gateway.shutdown();
+    }
+
+    #[test]
+    fn monitor_ticks_in_the_background() {
+        let gateway = GatewayBuilder::new().route(route()).build().unwrap();
+        let client = gateway.client();
+        let runtime = SloRuntime::new(client.clone(), SloPolicy::default());
+        let monitor = runtime.spawn(Duration::from_millis(5));
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while client.telemetry_snapshot().health.is_empty() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        monitor.stop();
+        assert_eq!(
+            client.telemetry_snapshot().health,
+            vec![(route().label(), HealthState::Healthy)]
+        );
+        drop(client);
+        gateway.shutdown();
+    }
+}

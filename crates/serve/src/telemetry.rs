@@ -9,7 +9,7 @@
 //! name per stage (`stage.queue_wait`, …) and are tagged with the request id
 //! instead, which keeps hot-path recording allocation-free.
 
-use sesr_telemetry::{Gauge, Level, Probe, Telemetry, TelemetrySnapshot};
+use sesr_telemetry::{Counter, Gauge, Level, Probe, Telemetry, TelemetrySnapshot};
 use sesr_tensor::ArenaStats;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -138,9 +138,17 @@ pub struct TelemetryExporter {
 impl TelemetryExporter {
     /// Spawn the exporter thread. `snapshot` is called once per tick; the
     /// result is written atomically to `path`.
+    ///
+    /// A failed periodic write no longer kills the thread: it is counted in
+    /// `errors` (the `telemetry.export.errors` counter when spawned through
+    /// the gateway) and the next tick tries again — a transiently full or
+    /// slow disk must not silently end telemetry for the rest of the
+    /// process. The last error, if any, is surfaced by
+    /// [`TelemetryExporter::stop`].
     pub(crate) fn spawn(
         path: PathBuf,
         interval: Duration,
+        errors: Option<Arc<Counter>>,
         snapshot: impl Fn() -> TelemetrySnapshot + Send + 'static,
     ) -> io::Result<Self> {
         // Fail fast: write the first snapshot on the caller's thread so an
@@ -148,14 +156,29 @@ impl TelemetryExporter {
         write_snapshot_atomic(&path, &snapshot())?;
         let (stop, stop_rx) = mpsc::channel::<()>();
         let thread_path = path.clone();
-        let thread = std::thread::spawn(move || loop {
-            match stop_rx.recv_timeout(interval) {
-                Err(RecvTimeoutError::Timeout) => {
-                    write_snapshot_atomic(&thread_path, &snapshot())?;
+        let thread = std::thread::spawn(move || {
+            let mut last_err: Option<io::Error> = None;
+            let mut attempt = |path: &Path, snapshot: TelemetrySnapshot| {
+                if let Err(err) = write_snapshot_atomic(path, &snapshot) {
+                    if let Some(errors) = &errors {
+                        errors.incr();
+                    }
+                    last_err = Some(err);
                 }
-                // Stop requested (or the handle was dropped): final flush.
-                Ok(()) | Err(RecvTimeoutError::Disconnected) => {
-                    return write_snapshot_atomic(&thread_path, &snapshot());
+            };
+            loop {
+                match stop_rx.recv_timeout(interval) {
+                    Err(RecvTimeoutError::Timeout) => {
+                        attempt(&thread_path, snapshot());
+                    }
+                    // Stop requested (or the handle was dropped): final flush.
+                    Ok(()) | Err(RecvTimeoutError::Disconnected) => {
+                        attempt(&thread_path, snapshot());
+                        return match last_err {
+                            Some(err) => Err(err),
+                            None => Ok(()),
+                        };
+                    }
                 }
             }
         });
@@ -171,8 +194,10 @@ impl TelemetryExporter {
         &self.path
     }
 
-    /// Stop the exporter, write one final snapshot and return the result of
-    /// that last write.
+    /// Stop the exporter and write one final snapshot. Returns the most
+    /// recent write error from the exporter's whole lifetime (periodic
+    /// ticks included — failures that previously vanished into the
+    /// background), or `Ok(())` when every write succeeded.
     pub fn stop(mut self) -> io::Result<()> {
         let _ = self.stop.send(());
         match self.thread.take() {
@@ -269,6 +294,7 @@ mod tests {
         let exporter = TelemetryExporter::spawn(
             path.clone(),
             Duration::from_secs(3600), // ticks never fire; spawn + stop write
+            None,
             move || writer.snapshot(),
         )
         .unwrap();
@@ -284,6 +310,45 @@ mod tests {
             Some(1),
             "stop must flush a final snapshot"
         );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn exporter_counts_write_failures_and_surfaces_the_last_error() {
+        let dir = std::env::temp_dir().join(format!(
+            "sesr-telemetry-exporter-err-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snapshot.json");
+        let hub = Arc::new(Telemetry::new());
+        let errors = hub.metrics().counter("telemetry.export.errors");
+        let writer = Arc::clone(&hub);
+        let exporter = TelemetryExporter::spawn(
+            path.clone(),
+            Duration::from_millis(5),
+            Some(Arc::clone(&errors)),
+            move || writer.snapshot(),
+        )
+        .unwrap();
+        // Sabotage the rename target: a directory at the snapshot path makes
+        // every subsequent atomic write fail, without touching the exporter.
+        std::fs::remove_file(&path).unwrap();
+        std::fs::create_dir_all(&path).unwrap();
+        let mut waited = Duration::ZERO;
+        while errors.get() < 2 && waited < Duration::from_secs(10) {
+            std::thread::sleep(Duration::from_millis(5));
+            waited += Duration::from_millis(5);
+        }
+        assert!(
+            errors.get() >= 2,
+            "failed periodic writes must be counted, not kill the thread"
+        );
+        let err = exporter
+            .stop()
+            .expect_err("stop must surface the last write error");
+        assert!(!err.to_string().is_empty());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

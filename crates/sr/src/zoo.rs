@@ -247,6 +247,32 @@ impl SrModelKind {
         }
         Ok(self.wrap_network(scale, network))
     }
+
+    /// Build an upscaler hydrated from one specific checkpoint, bypassing
+    /// the registry's newest-version resolution. This is how a serving
+    /// gateway pins (or rolls back to) an exact artifact version instead of
+    /// whatever is newest on disk. Interpolation kinds ignore the
+    /// checkpoint, matching [`SrModelKind::build_from_store`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `scale` is unsupported for a learned kind or the
+    /// checkpoint's architecture does not match this kind.
+    pub fn build_from_checkpoint(
+        &self,
+        scale: usize,
+        checkpoint: &sesr_store::Checkpoint,
+        seed: u64,
+    ) -> sesr_tensor::Result<Box<dyn Upscaler>> {
+        if let Some(upscaler) = self.build_interpolation(scale) {
+            return Ok(upscaler);
+        }
+        let mut network = self.build_seeded_network(scale, seed)?;
+        checkpoint
+            .apply_to(network.as_mut())
+            .map_err(sesr_tensor::TensorError::from)?;
+        Ok(self.wrap_network(scale, network))
+    }
 }
 
 impl std::fmt::Display for SrModelKind {

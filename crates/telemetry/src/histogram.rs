@@ -280,6 +280,71 @@ impl HistogramSnapshot {
     pub fn mean_duration(&self) -> Duration {
         Duration::from_nanos(self.mean() as u64)
     }
+
+    /// The histogram of everything recorded *after* `older` was taken, given
+    /// that `self` is a later snapshot of the same histogram.
+    ///
+    /// Because buckets are cumulative counts, the interval view is exact:
+    /// each bucket's delta count is the number of values recorded in the
+    /// interval. The interval `min`/`max` are only recoverable to bucket
+    /// resolution, so they are quoted as the first delta bucket's lower
+    /// bound and the last delta bucket's upper bound — which keeps
+    /// [`HistogramSnapshot::quantile`]'s clamping sound.
+    ///
+    /// Snapshots are taken with relaxed atomics, so under concurrent
+    /// recording a bucket can momentarily read *lower* in the newer
+    /// snapshot; such deltas saturate at zero rather than wrapping.
+    pub fn delta_since(&self, older: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut buckets = Vec::new();
+        let mut old_iter = older.buckets.iter().peekable();
+        for &(lower, n) in &self.buckets {
+            let mut prev = 0;
+            while let Some(&&(old_lower, old_n)) = old_iter.peek() {
+                if old_lower < lower {
+                    old_iter.next();
+                } else {
+                    if old_lower == lower {
+                        prev = old_n;
+                        old_iter.next();
+                    }
+                    break;
+                }
+            }
+            let delta = n.saturating_sub(prev);
+            if delta > 0 {
+                buckets.push((lower, delta));
+            }
+        }
+        let min = buckets.first().map_or(0, |&(lower, _)| lower);
+        let max = buckets.last().map_or(0, |&(lower, _)| {
+            lower.saturating_add(width_of_lower(lower) - 1)
+        });
+        HistogramSnapshot {
+            count: self.count.saturating_sub(older.count),
+            sum: self.sum.wrapping_sub(older.sum),
+            min,
+            max,
+            buckets,
+        }
+    }
+
+    /// Fraction of recorded values above `threshold`, in thousandths
+    /// (0..=1000). Counted at bucket resolution: only buckets that lie
+    /// entirely above the threshold contribute, so the estimate is
+    /// conservative by at most one bucket width (~1.6% of the threshold).
+    /// Returns 0 for an empty histogram.
+    pub fn fraction_over_milli(&self, threshold: u64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let over: u128 = self
+            .buckets
+            .iter()
+            .filter(|&&(lower, _)| lower > threshold)
+            .map(|&(_, n)| u128::from(n))
+            .sum();
+        u64::try_from(over * 1000 / u128::from(self.count)).unwrap_or(1000)
+    }
 }
 
 #[cfg(test)]
@@ -387,6 +452,50 @@ mod tests {
                 "q={q}: estimate {est} vs exact {exact}"
             );
         }
+    }
+
+    #[test]
+    fn delta_since_recovers_interval_counts_exactly() {
+        let h = Histogram::new();
+        for v in [5u64, 5, 900, 40_000] {
+            h.record(v);
+        }
+        let older = h.snapshot();
+        for v in [5u64, 7, 2_000_000] {
+            h.record(v);
+        }
+        let delta = h.snapshot().delta_since(&older);
+        assert_eq!(delta.count, 3);
+        assert_eq!(delta.sum, 5 + 7 + 2_000_000);
+        let total: u64 = delta.buckets.iter().map(|&(_, n)| n).sum();
+        assert_eq!(total, 3, "delta buckets must hold exactly the new values");
+        // The interval min/max are bucket-resolution bounds around the true
+        // extremes.
+        assert!(delta.min <= 5);
+        assert!(delta.max >= 2_000_000);
+        // Quantiles over the delta see only the interval's values.
+        assert_eq!(delta.quantile(0.5), 7);
+        let p100 = delta.quantile(1.0) as f64;
+        assert!((p100 - 2_000_000.0).abs() <= 2_000_000.0 * 0.02);
+        // Deltas against an identical snapshot are empty.
+        let snap = h.snapshot();
+        let none = snap.delta_since(&snap);
+        assert_eq!(none.count, 0);
+        assert!(none.buckets.is_empty());
+    }
+
+    #[test]
+    fn fraction_over_milli_counts_whole_buckets_above_threshold() {
+        let h = Histogram::new();
+        for _ in 0..9 {
+            h.record(10);
+        }
+        h.record(1_000_000);
+        let snap = h.snapshot();
+        assert_eq!(snap.fraction_over_milli(1_000), 100, "1 of 10 is over");
+        assert_eq!(snap.fraction_over_milli(u64::MAX), 0);
+        assert_eq!(snap.fraction_over_milli(0), 1000, "everything is over 0");
+        assert_eq!(HistogramSnapshot::default().fraction_over_milli(0), 0);
     }
 
     #[test]

@@ -46,16 +46,25 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod health;
 pub mod histogram;
 pub mod journal;
 pub mod json;
 pub mod metrics;
+pub mod slo;
 pub mod snapshot;
+pub mod window;
 
+pub use health::{HealthMachine, HealthPolicy, HealthState, HealthTransition};
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use journal::{EventCode, EventRecord, EventRing, Level, Probe, Span};
 pub use metrics::{Counter, Gauge, MetricsDump, MetricsRegistry};
-pub use snapshot::{TelemetrySnapshot, SCHEMA};
+pub use slo::{
+    Alert, AlertSeverity, BurnRateRule, SloEngine, SloEvaluation, SloObjective, SloSpec,
+    SloTransition, StatusBoard,
+};
+pub use snapshot::{TelemetrySnapshot, SCHEMA, SCHEMA_V1};
+pub use window::{Frame, WindowDelta, WindowedStore};
 
 use std::sync::Arc;
 
@@ -67,6 +76,7 @@ const DEFAULT_JOURNAL_CAPACITY: usize = 1024;
 pub struct Telemetry {
     metrics: MetricsRegistry,
     journal: Arc<EventRing>,
+    status: StatusBoard,
 }
 
 impl Telemetry {
@@ -80,6 +90,7 @@ impl Telemetry {
         Telemetry {
             metrics: MetricsRegistry::new(),
             journal: Arc::new(EventRing::new(capacity)),
+            status: StatusBoard::new(),
         }
     }
 
@@ -93,6 +104,12 @@ impl Telemetry {
         &self.journal
     }
 
+    /// The status board an SLO runtime publishes alerts and health to;
+    /// [`Telemetry::snapshot`] folds its contents into every export.
+    pub fn status(&self) -> &StatusBoard {
+        &self.status
+    }
+
     /// Build a [`Probe`] for `event` at `level`, optionally mirroring
     /// durations into the histogram named `histogram`.
     pub fn probe(&self, event: &'static str, level: Level, histogram: Option<&str>) -> Probe {
@@ -104,13 +121,15 @@ impl Telemetry {
         }
     }
 
-    /// Snapshot every metric and the current journal contents.
+    /// Snapshot every metric, the current journal contents, and whatever
+    /// status (alerts, route health) has been published to the board.
     pub fn snapshot(&self) -> TelemetrySnapshot {
         TelemetrySnapshot::new(
             self.metrics.collect(),
             self.journal.events(),
             self.journal.dropped(),
         )
+        .with_status(self.status.alerts(), self.status.health())
     }
 }
 

@@ -1,0 +1,656 @@
+//! Declarative SLOs evaluated with multi-window burn-rate rules.
+//!
+//! An [`SloSpec`] states an objective over the metric namespace — a latency
+//! threshold on a histogram, or an error budget over counters — and a set
+//! of [`BurnRateRule`]s in the classic SRE shape: an alert fires only when
+//! the **burn rate** (observed budget consumption ÷ allowed consumption)
+//! exceeds a limit over a *long* window **and** a *short* window at once.
+//! The long window keeps one noisy minute from paging; the short window
+//! makes the alert resolve promptly once the regression stops, instead of
+//! paging for hours on a stale average.
+//!
+//! Burn rates are integers in thousandths (`burn_milli`; 1000 = consuming
+//! budget exactly at the sustainable rate), so alerts round-trip exactly
+//! through the JSON snapshot schema.
+//!
+//! The [`SloEngine`] owns the [`WindowedStore`]: feed it one cumulative
+//! [`TelemetrySnapshot`] per tick via [`SloEngine::observe`] and it returns
+//! per-spec evaluations with fired/resolved transitions. A [`StatusBoard`]
+//! carries the currently firing alerts and per-route health into the next
+//! snapshot, which is how they reach the exporter, `sesr-top` and CI.
+
+use crate::health::HealthState;
+use crate::snapshot::TelemetrySnapshot;
+use crate::window::{WindowDelta, WindowedStore};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// How loudly an alert fires. `Ord`: [`AlertSeverity::Page`] outranks
+/// [`AlertSeverity::Warn`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AlertSeverity {
+    /// Slow-burn: the budget will be gone in days — investigate.
+    Warn,
+    /// Fast-burn: the budget is vanishing in hours — act now.
+    Page,
+}
+
+impl AlertSeverity {
+    /// Stable lowercase name, used in the JSON schema.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            AlertSeverity::Warn => "warn",
+            AlertSeverity::Page => "page",
+        }
+    }
+
+    /// Inverse of [`AlertSeverity::as_str`].
+    pub fn parse(text: &str) -> Option<AlertSeverity> {
+        match text {
+            "warn" => Some(AlertSeverity::Warn),
+            "page" => Some(AlertSeverity::Page),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for AlertSeverity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One multi-window burn-rate rule: fire at `severity` when the burn rate
+/// is at least `max_burn_milli` over **both** windows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BurnRateRule {
+    /// The long window, in milliseconds.
+    pub long_ms: u64,
+    /// The short confirmation window, in milliseconds.
+    pub short_ms: u64,
+    /// Firing threshold in thousandths (14_400 = 14.4× the sustainable
+    /// burn, the classic fast-page threshold for a 30-day budget).
+    pub max_burn_milli: u64,
+    /// Severity of the alert this rule raises.
+    pub severity: AlertSeverity,
+}
+
+impl BurnRateRule {
+    /// The classic fast-burn page: 1 h long / 5 m short at 14.4× burn.
+    pub fn page() -> Self {
+        BurnRateRule {
+            long_ms: 3_600_000,
+            short_ms: 300_000,
+            max_burn_milli: 14_400,
+            severity: AlertSeverity::Page,
+        }
+    }
+
+    /// The classic slow-burn warning: 3 d long / 6 h short at 1× burn.
+    pub fn warn() -> Self {
+        BurnRateRule {
+            long_ms: 259_200_000,
+            short_ms: 21_600_000,
+            max_burn_milli: 1_000,
+            severity: AlertSeverity::Warn,
+        }
+    }
+
+    /// The standard pair: [`BurnRateRule::page`] + [`BurnRateRule::warn`].
+    pub fn classic() -> Vec<BurnRateRule> {
+        vec![BurnRateRule::page(), BurnRateRule::warn()]
+    }
+
+    /// The same rule with both windows divided by `factor` — how tests and
+    /// short-lived demos compress hours into milliseconds without touching
+    /// the burn thresholds.
+    pub fn compressed(mut self, factor: u64) -> Self {
+        let factor = factor.max(1);
+        self.long_ms = (self.long_ms / factor).max(1);
+        self.short_ms = (self.short_ms / factor).max(1);
+        self
+    }
+}
+
+/// What an [`SloSpec`] measures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SloObjective {
+    /// A latency objective on a histogram: at most `allowed_milli`
+    /// thousandths of requests may exceed `threshold_ns`. (An
+    /// `allowed_milli` of 10 is a p99 objective: 1% of requests may be
+    /// slower than the threshold.)
+    Latency {
+        /// Name of the histogram carrying per-request values (nanoseconds).
+        histogram: String,
+        /// The latency objective in nanoseconds.
+        threshold_ns: u64,
+        /// Allowed violation fraction in thousandths (the error budget).
+        allowed_milli: u64,
+    },
+    /// An error-budget objective over counters: the sum of `errors` may be
+    /// at most `budget_milli` thousandths of the sum of `total`.
+    ErrorBudget {
+        /// Counters whose sum is the failure count.
+        errors: Vec<String>,
+        /// Counters whose sum is the request count.
+        total: Vec<String>,
+        /// Allowed failure fraction in thousandths.
+        budget_milli: u64,
+    },
+}
+
+/// One service-level objective plus the burn-rate rules that police it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SloSpec {
+    /// Unique name, also the `telemetry.slo.<name>.*` metrics scope.
+    pub name: String,
+    /// The route this SLO guards (feeds the route's health machine).
+    pub route: String,
+    /// What is measured.
+    pub objective: SloObjective,
+    /// When to alert. Evaluated in order; the worst firing rule wins.
+    pub rules: Vec<BurnRateRule>,
+}
+
+/// A firing (or fired) alert. All numeric fields are integers so the JSON
+/// snapshot round-trips exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Alert {
+    /// Name of the [`SloSpec`] that raised it.
+    pub slo: String,
+    /// The route the SLO guards.
+    pub route: String,
+    /// Severity of the worst firing rule.
+    pub severity: AlertSeverity,
+    /// The long-window burn rate in thousandths when last evaluated.
+    pub burn_milli: u64,
+    /// The firing rule's long window, in milliseconds.
+    pub long_window_ms: u64,
+    /// The firing rule's short window, in milliseconds.
+    pub short_window_ms: u64,
+    /// Engine tick time (caller's monotonic ms axis) when it started firing.
+    pub since_ms: u64,
+}
+
+impl std::fmt::Display for Alert {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Sub-second windows (compressed test/demo rules) keep their ms form.
+        let window = |ms: u64| {
+            if ms >= 1000 {
+                format!("{}s", ms / 1000)
+            } else {
+                format!("{ms}ms")
+            }
+        };
+        write!(
+            f,
+            "[{}] {} burn {:.1}x over {}/{} (since t+{}ms)",
+            self.severity,
+            self.slo,
+            self.burn_milli as f64 / 1000.0,
+            window(self.long_window_ms),
+            window(self.short_window_ms),
+            self.since_ms,
+        )
+    }
+}
+
+/// An alert lifecycle edge produced by one [`SloEngine::observe`] tick.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SloTransition {
+    /// The spec started firing (or escalated severity).
+    Fired(Alert),
+    /// The spec stopped firing; the payload is the last firing alert.
+    Resolved(Alert),
+}
+
+/// One spec's verdict for one tick.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SloEvaluation {
+    /// The spec's name.
+    pub spec: String,
+    /// The route the spec guards.
+    pub route: String,
+    /// Worst long-window burn rate across the spec's rules, in thousandths.
+    pub burn_milli: u64,
+    /// Severity of the worst firing rule, `None` when within budget.
+    pub firing: Option<AlertSeverity>,
+    /// The lifecycle edge this tick produced, if any.
+    pub transition: Option<SloTransition>,
+}
+
+/// Burn rate of `objective` over one window delta, in thousandths.
+/// `None` when the window carries no traffic (no data is not a breach).
+fn burn_milli(objective: &SloObjective, delta: &WindowDelta<'_>) -> Option<u64> {
+    match objective {
+        SloObjective::Latency {
+            histogram,
+            threshold_ns,
+            allowed_milli,
+        } => {
+            let interval = delta.histogram_delta(histogram)?;
+            if interval.count == 0 {
+                return None;
+            }
+            let violated = interval.fraction_over_milli(*threshold_ns);
+            Some(scale_by_budget(violated, *allowed_milli))
+        }
+        SloObjective::ErrorBudget {
+            errors,
+            total,
+            budget_milli,
+        } => {
+            let total = delta.counter_sum_delta(total);
+            if total == 0 {
+                return None;
+            }
+            let errors = delta.counter_sum_delta(errors).min(total);
+            let failed_milli =
+                u64::try_from(u128::from(errors) * 1000 / u128::from(total)).unwrap_or(1000);
+            Some(scale_by_budget(failed_milli, *budget_milli))
+        }
+    }
+}
+
+/// `observed_milli / (budget_milli / 1000)` without leaving integers: the
+/// burn rate in thousandths given an observed violation fraction and the
+/// allowed fraction, both in thousandths.
+fn scale_by_budget(observed_milli: u64, budget_milli: u64) -> u64 {
+    let budget = budget_milli.max(1);
+    u64::try_from(u128::from(observed_milli) * 1000 / u128::from(budget)).unwrap_or(u64::MAX)
+}
+
+/// The burn-rate evaluator: a ring of snapshots plus the specs over them.
+#[derive(Debug)]
+pub struct SloEngine {
+    store: WindowedStore,
+    specs: Vec<SloSpec>,
+    firing: Vec<Option<Alert>>,
+}
+
+impl SloEngine {
+    /// An engine retaining `capacity` snapshot frames. Size the ring to
+    /// cover the longest rule window at the expected tick interval.
+    pub fn new(capacity: usize) -> Self {
+        SloEngine {
+            store: WindowedStore::new(capacity),
+            specs: Vec::new(),
+            firing: Vec::new(),
+        }
+    }
+
+    /// Register one spec. Specs are evaluated in registration order.
+    pub fn add_spec(&mut self, spec: SloSpec) {
+        self.specs.push(spec);
+        self.firing.push(None);
+    }
+
+    /// The registered specs.
+    pub fn specs(&self) -> &[SloSpec] {
+        &self.specs
+    }
+
+    /// The underlying frame ring (for rate series / dashboards).
+    pub fn store(&self) -> &WindowedStore {
+        &self.store
+    }
+
+    /// Feed one cumulative snapshot taken at `now_ms` (caller's monotonic
+    /// axis) and evaluate every spec against it.
+    pub fn observe(&mut self, now_ms: u64, snapshot: TelemetrySnapshot) -> Vec<SloEvaluation> {
+        self.store.push(now_ms, snapshot);
+        let mut evaluations = Vec::with_capacity(self.specs.len());
+        for (spec, firing) in self.specs.iter().zip(self.firing.iter_mut()) {
+            let mut worst: Option<(&BurnRateRule, u64)> = None;
+            let mut worst_burn = 0u64;
+            for rule in &spec.rules {
+                let long = self
+                    .store
+                    .delta(rule.long_ms)
+                    .and_then(|delta| burn_milli(&spec.objective, &delta));
+                let short = self
+                    .store
+                    .delta(rule.short_ms)
+                    .and_then(|delta| burn_milli(&spec.objective, &delta));
+                let long_burn = long.unwrap_or(0);
+                worst_burn = worst_burn.max(long_burn);
+                let fires =
+                    long_burn >= rule.max_burn_milli && short.unwrap_or(0) >= rule.max_burn_milli;
+                if fires {
+                    let outranks = match worst {
+                        Some((current, _)) => rule.severity > current.severity,
+                        None => true,
+                    };
+                    if outranks {
+                        worst = Some((rule, long_burn));
+                    }
+                }
+            }
+            let transition = match (worst, firing.as_mut()) {
+                (Some((rule, burn)), Some(alert)) => {
+                    // Still firing: refresh the reading, escalate severity if
+                    // a louder rule took over, keep the original since_ms.
+                    let escalated = rule.severity > alert.severity;
+                    alert.severity = alert.severity.max(rule.severity);
+                    alert.burn_milli = burn;
+                    alert.long_window_ms = rule.long_ms;
+                    alert.short_window_ms = rule.short_ms;
+                    escalated.then(|| SloTransition::Fired(alert.clone()))
+                }
+                (Some((rule, burn)), None) => {
+                    let alert = Alert {
+                        slo: spec.name.clone(),
+                        route: spec.route.clone(),
+                        severity: rule.severity,
+                        burn_milli: burn,
+                        long_window_ms: rule.long_ms,
+                        short_window_ms: rule.short_ms,
+                        since_ms: now_ms,
+                    };
+                    *firing = Some(alert.clone());
+                    Some(SloTransition::Fired(alert))
+                }
+                (None, Some(_)) => firing.take().map(SloTransition::Resolved),
+                (None, None) => None,
+            };
+            evaluations.push(SloEvaluation {
+                spec: spec.name.clone(),
+                route: spec.route.clone(),
+                burn_milli: worst_burn,
+                firing: firing.as_ref().map(|alert| alert.severity),
+                transition,
+            });
+        }
+        evaluations
+    }
+
+    /// Every currently firing alert, in spec order.
+    pub fn firing(&self) -> Vec<Alert> {
+        self.firing.iter().flatten().cloned().collect()
+    }
+
+    /// The most severe alert currently firing for `route`.
+    pub fn worst_for_route(&self, route: &str) -> Option<AlertSeverity> {
+        self.firing
+            .iter()
+            .flatten()
+            .filter(|alert| alert.route == route)
+            .map(|alert| alert.severity)
+            .max()
+    }
+}
+
+/// Shared mutable slot for the *interpreted* state — firing alerts and
+/// per-route health — that a hub folds into every snapshot it takes.
+///
+/// The SLO runtime publishes here after each tick; readers (the snapshot
+/// path) copy the contents out under a short mutex hold. A poisoned lock is
+/// recovered, not propagated, like the metrics registry's.
+#[derive(Debug, Default)]
+pub struct StatusBoard {
+    inner: Mutex<StatusInner>,
+}
+
+#[derive(Debug, Default)]
+struct StatusInner {
+    alerts: Vec<Alert>,
+    health: Vec<(String, HealthState)>,
+}
+
+impl StatusBoard {
+    /// An empty board: no alerts, no tracked routes.
+    pub fn new() -> Self {
+        StatusBoard::default()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, StatusInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Replace the full set of firing alerts.
+    pub fn set_alerts(&self, alerts: Vec<Alert>) {
+        self.lock().alerts = alerts;
+    }
+
+    /// Upsert one route's health, keeping the list sorted by route.
+    pub fn set_health(&self, route: &str, state: HealthState) {
+        let mut inner = self.lock();
+        match inner
+            .health
+            .binary_search_by(|(name, _)| name.as_str().cmp(route))
+        {
+            Ok(index) => inner.health[index].1 = state,
+            Err(index) => inner.health.insert(index, (route.to_string(), state)),
+        }
+    }
+
+    /// The currently firing alerts.
+    pub fn alerts(&self) -> Vec<Alert> {
+        self.lock().alerts.clone()
+    }
+
+    /// Every tracked route's health, sorted by route.
+    pub fn health(&self) -> Vec<(String, HealthState)> {
+        self.lock().health.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+
+    fn snapshot_of(registry: &MetricsRegistry) -> TelemetrySnapshot {
+        TelemetrySnapshot::new(registry.collect(), Vec::new(), 0)
+    }
+
+    fn test_rules() -> Vec<BurnRateRule> {
+        vec![
+            BurnRateRule {
+                long_ms: 1_000,
+                short_ms: 250,
+                max_burn_milli: 1_000,
+                severity: AlertSeverity::Page,
+            },
+            BurnRateRule {
+                long_ms: 4_000,
+                short_ms: 1_000,
+                max_burn_milli: 500,
+                severity: AlertSeverity::Warn,
+            },
+        ]
+    }
+
+    fn error_budget_spec() -> SloSpec {
+        SloSpec {
+            name: "r/errors".to_string(),
+            route: "r".to_string(),
+            objective: SloObjective::ErrorBudget {
+                errors: vec!["r.rejected".to_string()],
+                total: vec!["r.completed".to_string(), "r.rejected".to_string()],
+                budget_milli: 10, // 1% of requests may fail
+            },
+            rules: test_rules(),
+        }
+    }
+
+    #[test]
+    fn error_budget_alert_fires_and_resolves() {
+        let registry = MetricsRegistry::new();
+        let completed = registry.counter("r.completed");
+        let rejected = registry.counter("r.rejected");
+        let mut engine = SloEngine::new(64);
+        engine.add_spec(error_budget_spec());
+
+        completed.add(100);
+        let evals = engine.observe(0, snapshot_of(&registry));
+        assert_eq!(evals[0].firing, None, "baseline tick cannot fire");
+
+        // A clean interval: burn stays zero.
+        completed.add(100);
+        let evals = engine.observe(250, snapshot_of(&registry));
+        assert_eq!(evals[0].burn_milli, 0);
+        assert!(evals[0].transition.is_none());
+
+        // 50% failures against a 1% budget: burn 50x on both windows.
+        completed.add(50);
+        rejected.add(50);
+        let evals = engine.observe(500, snapshot_of(&registry));
+        match &evals[0].transition {
+            Some(SloTransition::Fired(alert)) => {
+                assert_eq!(alert.severity, AlertSeverity::Page);
+                assert_eq!(alert.since_ms, 500);
+                assert!(alert.burn_milli >= 14_400, "burn {}", alert.burn_milli);
+            }
+            other => panic!("expected a fired page, got {other:?}"),
+        }
+        assert_eq!(engine.worst_for_route("r"), Some(AlertSeverity::Page));
+        assert_eq!(engine.firing().len(), 1);
+
+        // Healthy traffic again; once the short window clears the failures,
+        // the page resolves even though the long window still sees them.
+        completed.add(200);
+        engine.observe(750, snapshot_of(&registry));
+        completed.add(200);
+        let evals = engine.observe(1_750, snapshot_of(&registry));
+        assert!(
+            matches!(&evals[0].transition, Some(SloTransition::Resolved(_))),
+            "clean short window must resolve the page: {:?}",
+            evals[0]
+        );
+        assert_eq!(engine.worst_for_route("r"), None);
+    }
+
+    #[test]
+    fn latency_objective_burns_on_threshold_violations() {
+        let registry = MetricsRegistry::new();
+        let hist = registry.histogram("r.latency_ns");
+        let mut engine = SloEngine::new(64);
+        engine.add_spec(SloSpec {
+            name: "r/latency".to_string(),
+            route: "r".to_string(),
+            objective: SloObjective::Latency {
+                histogram: "r.latency_ns".to_string(),
+                threshold_ns: 10_000,
+                allowed_milli: 10,
+            },
+            rules: test_rules(),
+        });
+
+        for _ in 0..100 {
+            hist.record(1_000); // all well under the threshold
+        }
+        engine.observe(0, snapshot_of(&registry));
+        for _ in 0..100 {
+            hist.record(1_000);
+        }
+        let evals = engine.observe(250, snapshot_of(&registry));
+        assert_eq!(evals[0].burn_milli, 0);
+        assert_eq!(evals[0].firing, None);
+
+        // Every request in the next interval violates the threshold: the
+        // whole-lifetime histogram is still 2/3 healthy, but the interval
+        // view sees 100% violation — the regression is not diluted.
+        for _ in 0..100 {
+            hist.record(1_000_000);
+        }
+        let evals = engine.observe(500, snapshot_of(&registry));
+        assert_eq!(evals[0].firing, Some(AlertSeverity::Page));
+        // The long (1s) window spans both interval ticks — 100 clean plus
+        // 100 violated — so 50% violation on a 1% budget is a 50x burn.
+        assert!(
+            evals[0].burn_milli >= 40_000,
+            "expected a ~50x long-window burn, got {}",
+            evals[0].burn_milli
+        );
+    }
+
+    #[test]
+    fn no_traffic_is_not_a_breach() {
+        let registry = MetricsRegistry::new();
+        registry.counter("r.completed");
+        registry.counter("r.rejected");
+        let mut engine = SloEngine::new(8);
+        engine.add_spec(error_budget_spec());
+        for t in 0..5u64 {
+            let evals = engine.observe(t * 250, snapshot_of(&registry));
+            assert_eq!(evals[0].firing, None);
+            assert_eq!(evals[0].burn_milli, 0);
+        }
+    }
+
+    #[test]
+    fn both_windows_must_burn_before_firing() {
+        let registry = MetricsRegistry::new();
+        let completed = registry.counter("r.completed");
+        let rejected = registry.counter("r.rejected");
+        let mut engine = SloEngine::new(64);
+        // Only the page rule (1s long / 250ms short), so the short-window
+        // veto is what is under test.
+        let mut spec = error_budget_spec();
+        spec.rules.truncate(1);
+        engine.add_spec(spec);
+
+        // A burst of failures...
+        completed.add(50);
+        rejected.add(50);
+        engine.observe(0, snapshot_of(&registry));
+        // ...followed by a long healthy stretch. The long (1s) window still
+        // contains the burst? No: the burst predates frame 0, so it is in no
+        // interval. Produce one that straddles: failures land in (0, 250].
+        rejected.add(50);
+        completed.add(50);
+        engine.observe(250, snapshot_of(&registry));
+        // Healthy quarter-seconds push the short window clean while the long
+        // window still sees the burst: the rule must NOT fire on the long
+        // window alone.
+        completed.add(500);
+        engine.observe(750, snapshot_of(&registry));
+        completed.add(500);
+        let evals = engine.observe(1_000, snapshot_of(&registry));
+        assert!(
+            evals[0].burn_milli > 1_000,
+            "long window must still see the burst, got {}",
+            evals[0].burn_milli
+        );
+        assert_eq!(
+            evals[0].firing, None,
+            "a clean short window must veto the page"
+        );
+    }
+
+    #[test]
+    fn status_board_upserts_and_sorts() {
+        let board = StatusBoard::new();
+        assert!(board.alerts().is_empty());
+        board.set_health("b", HealthState::Degraded);
+        board.set_health("a", HealthState::Healthy);
+        board.set_health("b", HealthState::Unhealthy);
+        assert_eq!(
+            board.health(),
+            vec![
+                ("a".to_string(), HealthState::Healthy),
+                ("b".to_string(), HealthState::Unhealthy),
+            ]
+        );
+        let alert = Alert {
+            slo: "s".to_string(),
+            route: "r".to_string(),
+            severity: AlertSeverity::Warn,
+            burn_milli: 1_500,
+            long_window_ms: 1_000,
+            short_window_ms: 100,
+            since_ms: 7,
+        };
+        board.set_alerts(vec![alert.clone()]);
+        assert_eq!(board.alerts(), vec![alert]);
+    }
+
+    #[test]
+    fn compressed_rules_divide_windows_only() {
+        let rule = BurnRateRule::page().compressed(3_600);
+        assert_eq!(rule.long_ms, 1_000);
+        assert_eq!(rule.short_ms, 83);
+        assert_eq!(rule.max_burn_milli, 14_400);
+        assert_eq!(BurnRateRule::classic().len(), 2);
+    }
+}

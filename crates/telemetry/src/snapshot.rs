@@ -1,23 +1,31 @@
 //! Point-in-time export of a [`Telemetry`](crate::Telemetry) hub: a stable
 //! JSON schema plus a deterministic text rendering.
 
+use crate::health::HealthState;
 use crate::histogram::HistogramSnapshot;
 use crate::journal::{EventRecord, Level};
 use crate::json::{self, JsonError, Value};
 use crate::metrics::MetricsDump;
+use crate::slo::{Alert, AlertSeverity};
 use std::fmt::Write as _;
 
 /// Schema identifier stamped into every JSON export; bump on breaking
 /// changes to the layout.
-pub const SCHEMA: &str = "sesr-telemetry/v1";
+pub const SCHEMA: &str = "sesr-telemetry/v2";
+
+/// The previous schema, still accepted by [`TelemetrySnapshot::from_json`]:
+/// a v1 document is a v2 document with no `alerts` or `health` keys.
+pub const SCHEMA_V1: &str = "sesr-telemetry/v1";
 
 /// Everything a telemetry hub knows at one instant.
 ///
 /// The JSON layout (see [`TelemetrySnapshot::to_json`]) is a stable,
 /// machine-readable schema: top-level `schema`, `counters`, `gauges`,
-/// `histograms`, `events` and `dropped_events` keys, with metric maps keyed
-/// by name in sorted order. `from_json` inverts `to_json` exactly, which the
-/// schema-validation test in `tests/` asserts.
+/// `histograms`, `events`, `alerts`, `health` and `dropped_events` keys,
+/// with metric maps keyed by name in sorted order. `from_json` inverts
+/// `to_json` exactly, which the schema-validation test in `tests/` asserts;
+/// it also still reads [`SCHEMA_V1`] documents, which simply lack the
+/// status keys.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct TelemetrySnapshot {
     /// Counter values, sorted by name.
@@ -28,20 +36,34 @@ pub struct TelemetrySnapshot {
     pub histograms: Vec<(String, HistogramSnapshot)>,
     /// Journal events, oldest first.
     pub events: Vec<EventRecord>,
+    /// Alerts firing when the snapshot was taken, in spec order.
+    pub alerts: Vec<Alert>,
+    /// Per-route health, sorted by route.
+    pub health: Vec<(String, HealthState)>,
     /// How many journal events were overwritten before this snapshot.
     pub dropped_events: u64,
 }
 
 impl TelemetrySnapshot {
-    /// Assemble a snapshot from a metrics dump plus journal state.
+    /// Assemble a snapshot from a metrics dump plus journal state, with no
+    /// interpreted status (no alerts, no tracked routes).
     pub fn new(metrics: MetricsDump, events: Vec<EventRecord>, dropped_events: u64) -> Self {
         TelemetrySnapshot {
             counters: metrics.counters,
             gauges: metrics.gauges,
             histograms: metrics.histograms,
             events,
+            alerts: Vec::new(),
+            health: Vec::new(),
             dropped_events,
         }
+    }
+
+    /// The same snapshot carrying interpreted status from an SLO runtime.
+    pub fn with_status(mut self, alerts: Vec<Alert>, health: Vec<(String, HealthState)>) -> Self {
+        self.alerts = alerts;
+        self.health = health;
+        self
     }
 
     /// Look up a counter by name.
@@ -139,12 +161,51 @@ impl TelemetrySnapshot {
                 })
                 .collect(),
         );
+        let alerts = Value::Array(
+            self.alerts
+                .iter()
+                .map(|alert| {
+                    Value::Object(vec![
+                        ("slo".to_string(), Value::Str(alert.slo.clone())),
+                        ("route".to_string(), Value::Str(alert.route.clone())),
+                        (
+                            "severity".to_string(),
+                            Value::Str(alert.severity.as_str().to_string()),
+                        ),
+                        (
+                            "burn_milli".to_string(),
+                            Value::Int(i128::from(alert.burn_milli)),
+                        ),
+                        (
+                            "long_window_ms".to_string(),
+                            Value::Int(i128::from(alert.long_window_ms)),
+                        ),
+                        (
+                            "short_window_ms".to_string(),
+                            Value::Int(i128::from(alert.short_window_ms)),
+                        ),
+                        (
+                            "since_ms".to_string(),
+                            Value::Int(i128::from(alert.since_ms)),
+                        ),
+                    ])
+                })
+                .collect(),
+        );
+        let health = Value::Object(
+            self.health
+                .iter()
+                .map(|(route, state)| (route.clone(), Value::Str(state.as_str().to_string())))
+                .collect(),
+        );
         Value::Object(vec![
             ("schema".to_string(), Value::Str(SCHEMA.to_string())),
             ("counters".to_string(), counters),
             ("gauges".to_string(), gauges),
             ("histograms".to_string(), histograms),
             ("events".to_string(), events),
+            ("alerts".to_string(), alerts),
+            ("health".to_string(), health),
             (
                 "dropped_events".to_string(),
                 Value::Int(i128::from(self.dropped_events)),
@@ -164,7 +225,7 @@ impl TelemetrySnapshot {
             .get("schema")
             .and_then(Value::as_str)
             .ok_or_else(|| fail("missing schema"))?;
-        if schema != SCHEMA {
+        if schema != SCHEMA && schema != SCHEMA_V1 {
             return Err(fail(&format!("unsupported schema '{schema}'")));
         }
         let counters = root
@@ -265,6 +326,59 @@ impl TelemetrySnapshot {
                 })
             })
             .collect::<Result<Vec<_>, JsonError>>()?;
+        // Status keys are v2-only; a v1 document reads as having none.
+        let alerts = match root.get("alerts") {
+            Some(node) => node
+                .as_array()
+                .ok_or_else(|| fail("alerts is not an array"))?
+                .iter()
+                .map(|alert| {
+                    let field = |key: &str| {
+                        alert
+                            .get(key)
+                            .and_then(Value::as_u64)
+                            .ok_or_else(|| fail(&format!("alert missing u64 '{key}'")))
+                    };
+                    let text = |key: &str| {
+                        alert
+                            .get(key)
+                            .and_then(Value::as_str)
+                            .map(str::to_string)
+                            .ok_or_else(|| fail(&format!("alert missing string '{key}'")))
+                    };
+                    let severity = alert
+                        .get("severity")
+                        .and_then(Value::as_str)
+                        .and_then(AlertSeverity::parse)
+                        .ok_or_else(|| fail("alert missing severity"))?;
+                    Ok(Alert {
+                        slo: text("slo")?,
+                        route: text("route")?,
+                        severity,
+                        burn_milli: field("burn_milli")?,
+                        long_window_ms: field("long_window_ms")?,
+                        short_window_ms: field("short_window_ms")?,
+                        since_ms: field("since_ms")?,
+                    })
+                })
+                .collect::<Result<Vec<_>, JsonError>>()?,
+            None => Vec::new(),
+        };
+        let health = match root.get("health") {
+            Some(node) => node
+                .as_object()
+                .ok_or_else(|| fail("health is not an object"))?
+                .iter()
+                .map(|(route, state)| {
+                    state
+                        .as_str()
+                        .and_then(HealthState::parse)
+                        .map(|state| (route.clone(), state))
+                        .ok_or_else(|| fail(&format!("route '{route}' has a bad health state")))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            None => Vec::new(),
+        };
         let dropped_events = root
             .get("dropped_events")
             .and_then(Value::as_u64)
@@ -274,6 +388,8 @@ impl TelemetrySnapshot {
             gauges,
             histograms,
             events,
+            alerts,
+            health,
             dropped_events,
         })
     }
@@ -310,6 +426,18 @@ impl TelemetrySnapshot {
                     h.quantile(0.99),
                     h.max,
                 );
+            }
+        }
+        if !self.health.is_empty() {
+            let _ = writeln!(out, "\n[health]");
+            for (route, state) in &self.health {
+                let _ = writeln!(out, "{route} = {state}");
+            }
+        }
+        if !self.alerts.is_empty() {
+            let _ = writeln!(out, "\n[alerts]");
+            for alert in &self.alerts {
+                let _ = writeln!(out, "{alert}");
             }
         }
         let _ = writeln!(
@@ -362,7 +490,21 @@ mod tests {
             value: 1234,
             parent: Some("worker.batch".to_string()),
         }];
-        TelemetrySnapshot::new(dump, events, 5)
+        TelemetrySnapshot::new(dump, events, 5).with_status(
+            vec![Alert {
+                slo: "route.a/latency".to_string(),
+                route: "a".to_string(),
+                severity: AlertSeverity::Page,
+                burn_milli: 14_500,
+                long_window_ms: 3_600_000,
+                short_window_ms: 300_000,
+                since_ms: 120_000,
+            }],
+            vec![
+                ("a".to_string(), HealthState::Unhealthy),
+                ("b".to_string(), HealthState::Healthy),
+            ],
+        )
     }
 
     #[test]
@@ -385,6 +527,23 @@ mod tests {
     }
 
     #[test]
+    fn v1_documents_still_parse_without_status_keys() {
+        // A v2 export with the status keys stripped and the schema rolled
+        // back is exactly what PR 6's exporter wrote.
+        let mut snapshot = sample();
+        snapshot.alerts.clear();
+        snapshot.health.clear();
+        let v1 = snapshot
+            .to_json()
+            .replace(SCHEMA, SCHEMA_V1)
+            .replace("\"alerts\":[],", "")
+            .replace("\"health\":{},", "");
+        assert!(!v1.contains("alerts"), "fixture must be a true v1 doc");
+        let reparsed = TelemetrySnapshot::from_json(&v1).unwrap();
+        assert_eq!(reparsed, snapshot);
+    }
+
+    #[test]
     fn lookups_find_metrics() {
         let snapshot = sample();
         assert_eq!(snapshot.counter("gateway.completed"), Some(42));
@@ -402,6 +561,10 @@ mod tests {
             "[counters]",
             "[gauges]",
             "[histograms]",
+            "[health]",
+            "a = unhealthy",
+            "[alerts]",
+            "[page] route.a/latency burn 14.5x",
             "[journal] 1 events (5 dropped)",
             "gateway.completed = 42",
             "stage.classify",

@@ -1,0 +1,263 @@
+//! Windowed time-series over periodic [`TelemetrySnapshot`]s.
+//!
+//! The registry's counters and histograms are cumulative over the process
+//! lifetime, which is the right shape for exact export but the wrong shape
+//! for interpretation: a latency regression is diluted by hours of healthy
+//! warm-up history. A [`WindowedStore`] keeps a bounded ring of timestamped
+//! snapshots ("frames") and recovers *interval* views by subtraction — per
+//! -window counter rates via [`WindowDelta::counter_delta`] and exact
+//! interval histograms via
+//! [`HistogramSnapshot::delta_since`](crate::histogram::HistogramSnapshot::delta_since).
+//!
+//! Timestamps are caller-supplied milliseconds on any monotonic axis (a
+//! process epoch, a test's synthetic clock); the store never reads a wall
+//! clock, which keeps window arithmetic deterministic under test.
+
+use crate::histogram::HistogramSnapshot;
+use crate::snapshot::TelemetrySnapshot;
+use std::collections::VecDeque;
+
+/// One timestamped snapshot in a [`WindowedStore`].
+#[derive(Debug, Clone)]
+pub struct Frame {
+    /// Milliseconds since the caller's epoch when the snapshot was taken.
+    pub at_ms: u64,
+    /// The full cumulative snapshot at that instant.
+    pub snapshot: TelemetrySnapshot,
+}
+
+/// Bounded ring of timestamped [`TelemetrySnapshot`]s, oldest first.
+#[derive(Debug)]
+pub struct WindowedStore {
+    capacity: usize,
+    frames: VecDeque<Frame>,
+}
+
+impl WindowedStore {
+    /// A store keeping at most `capacity` frames (at least 2, so a delta is
+    /// always recoverable once two pushes have happened).
+    pub fn new(capacity: usize) -> Self {
+        WindowedStore {
+            capacity: capacity.max(2),
+            frames: VecDeque::new(),
+        }
+    }
+
+    /// Append a frame, evicting the oldest once the ring is full. Frames
+    /// pushed with a timestamp older than the newest frame are ignored —
+    /// the time axis must be monotonic for window subtraction to mean
+    /// anything.
+    pub fn push(&mut self, at_ms: u64, snapshot: TelemetrySnapshot) {
+        if let Some(newest) = self.frames.back() {
+            if at_ms < newest.at_ms {
+                return;
+            }
+        }
+        self.frames.push_back(Frame { at_ms, snapshot });
+        while self.frames.len() > self.capacity {
+            self.frames.pop_front();
+        }
+    }
+
+    /// Number of retained frames.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// True when no frame has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// The most recent frame.
+    pub fn latest(&self) -> Option<&Frame> {
+        self.frames.back()
+    }
+
+    /// Milliseconds between the oldest and newest retained frames.
+    pub fn span_ms(&self) -> u64 {
+        match (self.frames.front(), self.frames.back()) {
+            (Some(oldest), Some(newest)) => newest.at_ms - oldest.at_ms,
+            _ => 0,
+        }
+    }
+
+    /// The newest frame at or before `at_ms`.
+    fn frame_at_or_before(&self, at_ms: u64) -> Option<&Frame> {
+        self.frames.iter().rev().find(|frame| frame.at_ms <= at_ms)
+    }
+
+    /// The interval view over (approximately) the trailing `window_ms`
+    /// milliseconds: newest frame minus the newest frame at least
+    /// `window_ms` older. While the ring holds less history than the
+    /// window, the oldest frame stands in, so rates ramp up from whatever
+    /// history exists. `None` until two frames with distinct timestamps are
+    /// retained.
+    pub fn delta(&self, window_ms: u64) -> Option<WindowDelta<'_>> {
+        let newer = self.frames.back()?;
+        let target = newer.at_ms.saturating_sub(window_ms);
+        let older = self
+            .frame_at_or_before(target)
+            .or_else(|| self.frames.front())?;
+        if older.at_ms >= newer.at_ms {
+            return None;
+        }
+        Some(WindowDelta { older, newer })
+    }
+
+    /// The counter's cumulative value in every retained frame, oldest
+    /// first — the raw series a dashboard diffs into a sparkline.
+    pub fn counter_series(&self, name: &str) -> Vec<(u64, u64)> {
+        self.frames
+            .iter()
+            .map(|frame| (frame.at_ms, frame.snapshot.counter(name).unwrap_or(0)))
+            .collect()
+    }
+}
+
+/// The difference between two frames of a [`WindowedStore`]: everything
+/// recorded in the half-open interval `(older, newer]`.
+#[derive(Debug, Clone, Copy)]
+pub struct WindowDelta<'a> {
+    /// The frame at the start of the interval.
+    pub older: &'a Frame,
+    /// The frame at the end of the interval.
+    pub newer: &'a Frame,
+}
+
+impl WindowDelta<'_> {
+    /// Interval length in milliseconds (always > 0).
+    pub fn span_ms(&self) -> u64 {
+        self.newer.at_ms - self.older.at_ms
+    }
+
+    /// How much the counter grew over the interval. A counter absent from a
+    /// frame counts as 0, so counters registered mid-window still produce
+    /// sound deltas; momentary backwards reads saturate at zero.
+    pub fn counter_delta(&self, name: &str) -> u64 {
+        let newer = self.newer.snapshot.counter(name).unwrap_or(0);
+        let older = self.older.snapshot.counter(name).unwrap_or(0);
+        newer.saturating_sub(older)
+    }
+
+    /// Sum of [`WindowDelta::counter_delta`] over several counters.
+    pub fn counter_sum_delta(&self, names: &[String]) -> u64 {
+        names.iter().fold(0u64, |acc, name| {
+            acc.saturating_add(self.counter_delta(name))
+        })
+    }
+
+    /// The counter's growth rate over the interval, per second.
+    pub fn rate_per_sec(&self, name: &str) -> f64 {
+        self.counter_delta(name) as f64 * 1000.0 / self.span_ms() as f64
+    }
+
+    /// The interval histogram: only values recorded inside the window.
+    /// `None` when the newer frame does not carry the histogram; a
+    /// histogram registered mid-window deltas against an implicit empty
+    /// older snapshot.
+    pub fn histogram_delta(&self, name: &str) -> Option<HistogramSnapshot> {
+        let newer = self.newer.snapshot.histogram(name)?;
+        match self.older.snapshot.histogram(name) {
+            Some(older) => Some(newer.delta_since(older)),
+            None => Some(newer.clone()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+
+    fn snap_with(counter: &str, value: u64) -> TelemetrySnapshot {
+        let registry = MetricsRegistry::new();
+        registry.counter(counter).add(value);
+        TelemetrySnapshot::new(registry.collect(), Vec::new(), 0)
+    }
+
+    #[test]
+    fn ring_is_bounded_and_monotonic() {
+        let mut store = WindowedStore::new(3);
+        assert!(store.is_empty());
+        for t in 0..5u64 {
+            store.push(t * 100, snap_with("c", t));
+        }
+        assert_eq!(store.len(), 3, "capacity must bound the ring");
+        assert_eq!(store.latest().unwrap().at_ms, 400);
+        assert_eq!(store.span_ms(), 200);
+        // A frame from the past is dropped, not spliced in.
+        store.push(50, snap_with("c", 99));
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.latest().unwrap().at_ms, 400);
+    }
+
+    #[test]
+    fn delta_picks_the_frame_just_outside_the_window() {
+        let mut store = WindowedStore::new(16);
+        for t in 0..5u64 {
+            store.push(t * 100, snap_with("c", t * 10));
+        }
+        // Window of 250ms from t=400 reaches back to t=150; the newest frame
+        // at or before that is t=100.
+        let delta = store.delta(250).unwrap();
+        assert_eq!(delta.older.at_ms, 100);
+        assert_eq!(delta.span_ms(), 300);
+        assert_eq!(delta.counter_delta("c"), 30);
+        assert_eq!(delta.counter_delta("missing"), 0);
+        assert!((delta.rate_per_sec("c") - 100.0).abs() < 1e-9);
+        // A window longer than the retained history falls back to the
+        // oldest frame.
+        let all = store.delta(10_000).unwrap();
+        assert_eq!(all.older.at_ms, 0);
+        assert_eq!(all.counter_delta("c"), 40);
+    }
+
+    #[test]
+    fn delta_needs_two_distinct_timestamps() {
+        let mut store = WindowedStore::new(4);
+        assert!(store.delta(100).is_none());
+        store.push(10, snap_with("c", 1));
+        assert!(store.delta(100).is_none(), "one frame has no interval");
+        store.push(10, snap_with("c", 2));
+        assert!(store.delta(100).is_none(), "zero-length interval");
+        store.push(20, snap_with("c", 3));
+        assert_eq!(store.delta(100).unwrap().counter_delta("c"), 2);
+    }
+
+    #[test]
+    fn histogram_delta_recovers_interval_quantiles() {
+        let registry = MetricsRegistry::new();
+        let hist = registry.histogram("lat");
+        let mut store = WindowedStore::new(8);
+        for v in [10u64, 20, 30] {
+            hist.record(v);
+        }
+        store.push(0, TelemetrySnapshot::new(registry.collect(), Vec::new(), 0));
+        for _ in 0..100 {
+            hist.record(5_000);
+        }
+        store.push(
+            1_000,
+            TelemetrySnapshot::new(registry.collect(), Vec::new(), 0),
+        );
+        let delta = store.delta(1_000).unwrap();
+        let interval = delta.histogram_delta("lat").unwrap();
+        assert_eq!(interval.count, 100);
+        let p50 = interval.quantile(0.5) as f64;
+        assert!(
+            (p50 - 5_000.0).abs() <= 5_000.0 * 0.02,
+            "interval p50 {p50} must reflect only the regressed window"
+        );
+        assert!(delta.histogram_delta("missing").is_none());
+    }
+
+    #[test]
+    fn counter_series_tracks_every_frame() {
+        let mut store = WindowedStore::new(8);
+        for t in 0..3u64 {
+            store.push(t, snap_with("c", t * t));
+        }
+        assert_eq!(store.counter_series("c"), vec![(0, 0), (1, 1), (2, 4)]);
+    }
+}

@@ -1,0 +1,71 @@
+//! Property tests for the windowed time-series math: interval percentiles
+//! recovered by subtracting cumulative snapshots must match an exact oracle
+//! built from only the values recorded *inside* the interval — warm-up
+//! history must not leak into the window.
+
+use proptest::prelude::*;
+use rand::Rng;
+use sesr_telemetry::{Histogram, MetricsRegistry, TelemetrySnapshot, WindowedStore};
+
+/// Exact oracle using the same `rank = ceil(q · n)` convention as
+/// `HistogramSnapshot::quantile`.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Record a random warm-up phase, snapshot, record a random second
+    /// phase, snapshot again: quantiles of the window delta must match the
+    /// exact order statistics of the second phase alone, within the
+    /// histogram's advertised ~2% bucket error.
+    #[test]
+    fn interval_percentiles_match_the_oracle(
+        seed in 0u64..10_000,
+        warmup in 0usize..2_000,
+        interval in 1usize..2_000,
+        scale_bits in 1u32..40,
+    ) {
+        let mut rng = proptest::rng_for_case(seed as u32);
+        let registry = MetricsRegistry::new();
+        let histogram = registry.histogram("lat_ns");
+        let mut draw = |hist: &Histogram, n: usize, values: Option<&mut Vec<u64>>| {
+            let mut sink = Vec::new();
+            let out = values.unwrap_or(&mut sink);
+            for _ in 0..n {
+                let bits = rng.gen_range(0..=scale_bits);
+                let value = rng.gen_range(0..=(1u64 << bits));
+                hist.record(value);
+                out.push(value);
+            }
+        };
+
+        let mut store = WindowedStore::new(8);
+        draw(&histogram, warmup, None);
+        store.push(0, TelemetrySnapshot::new(registry.collect(), Vec::new(), 0));
+
+        let mut phase2 = Vec::with_capacity(interval);
+        draw(&histogram, interval, Some(&mut phase2));
+        store.push(1_000, TelemetrySnapshot::new(registry.collect(), Vec::new(), 0));
+        phase2.sort_unstable();
+
+        let delta = store.delta(1_000).expect("two distinct frames");
+        let snapshot = delta.histogram_delta("lat_ns").expect("histogram present");
+        prop_assert_eq!(snapshot.count, phase2.len() as u64);
+        let total: u64 = phase2.iter().sum();
+        prop_assert_eq!(snapshot.sum, total);
+
+        for q in [0.0, 0.10, 0.50, 0.90, 0.95, 0.99, 1.0] {
+            let exact = exact_quantile(&phase2, q);
+            let estimate = snapshot.quantile(q);
+            let tolerance = (exact as f64 * 0.02).max(1.0);
+            prop_assert!(
+                (estimate as f64 - exact as f64).abs() <= tolerance,
+                "q={} estimate={} exact={} tolerance={} (warmup={} interval={})",
+                q, estimate, exact, tolerance, warmup, phase2.len()
+            );
+        }
+    }
+}

@@ -32,15 +32,25 @@
 //!    the allocating `defend` versus the arena-backed `defend_scratch` that
 //!    serving workers use (zero steady-state heap allocations; see the
 //!    counting-allocator proof in `crates/bench/tests/alloc_tracking.rs`).
+//! 6. **SLO + health** — a synthetic latency regression injected mid-run:
+//!    the route's burn-rate alerts fire, the health machine walks
+//!    Healthy → Degraded → Unhealthy, the gateway sheds new submissions
+//!    with `Overloaded`, and once the regression is lifted the route
+//!    recovers. The peak (firing) snapshot is written to
+//!    `BENCH_serve_health.json` for `sesr-top --check` to chew on.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sesr_defense::pipeline::{DefensePipeline, PreprocessConfig};
-use sesr_models::{ScratchSpace, SrModelKind};
+use sesr_models::{ScratchSpace, SrModelKind, Upscaler};
 use sesr_serve::{
-    DefenseRequest, DefenseServer, GatewayBuilder, RouteKey, ServeConfig, ServeError, WorkerAssets,
+    DefenseRequest, DefenseServer, GatewayBuilder, RouteConfig, RouteKey, ServeConfig, ServeError,
+    SloPolicy, SloRuntime, WorkerAssets,
 };
+use sesr_telemetry::{AlertSeverity, BurnRateRule, HealthPolicy, HealthState, SloTransition};
 use sesr_tensor::{init, Shape, Tensor};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 const NUM_REQUESTS: usize = 160;
@@ -361,8 +371,176 @@ fn main() -> Result<(), ServeError> {
         stats.high_water_bytes / 1024,
     );
 
+    // ------------------------------------------------- SLO + health
+    // A one-route gateway whose upscaler has a runtime latency knob, watched
+    // by an SloRuntime with compressed burn windows and aggressive hysteresis
+    // so the whole regression/recovery arc fits in one demo run. Ticks are
+    // driven manually on a logical millisecond axis (`tick_at`), exactly the
+    // way the deterministic tests compress hours of burn history.
+    println!("\n[SLO + health: synthetic latency regression mid-run]");
+    let knob = Arc::new(AtomicU64::new(0));
+    let route = RouteKey::new(SrModelKind::NearestNeighbor, 2, PreprocessConfig::none());
+    let factory_knob = Arc::clone(&knob);
+    let gateway = GatewayBuilder::new()
+        .cache_capacity(0)
+        .route_with_factory(
+            route,
+            RouteConfig {
+                num_workers: 1,
+                max_batch: 1,
+                max_linger: Duration::ZERO,
+                queue_capacity: 64,
+            },
+            move |_| {
+                Ok(WorkerAssets::new(DefensePipeline::new(
+                    PreprocessConfig::none(),
+                    Box::new(ThrottledUpscaler {
+                        delay_us: Arc::clone(&factory_knob),
+                        inner: SrModelKind::NearestNeighbor.build_interpolation(2).unwrap(),
+                    }),
+                )))
+            },
+        )
+        .default_route(route)
+        .build()?;
+    let client = gateway.client();
+    let mut slo = SloRuntime::new(
+        client.clone(),
+        SloPolicy {
+            latency_threshold: Duration::from_millis(20),
+            latency_allowed_milli: 50,
+            error_budget_milli: 100,
+            rules: vec![BurnRateRule {
+                long_ms: 800,
+                short_ms: 200,
+                max_burn_milli: 1_000,
+                severity: AlertSeverity::Page,
+            }],
+            health: HealthPolicy {
+                degrade_after: 1,
+                unhealthy_after: 1,
+                recover_after: 2,
+            },
+            window_frames: 64,
+        },
+    );
+    let probe = unique_images(1).remove(0);
+    let drive = |n: usize| -> Result<(), ServeError> {
+        for _ in 0..n {
+            client.defend_blocking(DefenseRequest::new(probe.clone()).on(route))?;
+        }
+        Ok(())
+    };
+    let mut last = HealthState::Healthy;
+    let step = |slo: &mut SloRuntime, now_ms: u64, last: &mut HealthState| -> HealthState {
+        for eval in slo.tick_at(now_ms) {
+            if let Some(transition) = eval.transition {
+                let edge = match transition {
+                    SloTransition::Fired(_) => "fired",
+                    SloTransition::Resolved(_) => "resolved",
+                };
+                println!(
+                    "  t+{now_ms:<5}ms alert {edge:<8} {}  burn {:.1}x",
+                    eval.spec,
+                    eval.burn_milli as f64 / 1000.0
+                );
+            }
+        }
+        let state = client.route_health(&route).expect("declared route");
+        if state != *last {
+            println!("  t+{now_ms:<5}ms health {} -> {state}", *last);
+            *last = state;
+        }
+        state
+    };
+
+    step(&mut slo, 0, &mut last); // baseline frame
+    drive(20)?;
+    step(&mut slo, 250, &mut last);
+    drive(20)?;
+    let clean = step(&mut slo, 500, &mut last);
+    assert_eq!(
+        clean,
+        HealthState::Healthy,
+        "clean traffic must stay Healthy"
+    );
+    println!("  injecting +50ms synthetic latency into the route's upscaler");
+    knob.store(50_000, Ordering::Relaxed);
+    drive(8)?;
+    step(&mut slo, 750, &mut last);
+    drive(8)?;
+    let peak_state = step(&mut slo, 1000, &mut last);
+    assert_eq!(
+        peak_state,
+        HealthState::Unhealthy,
+        "the regression must walk the route down to Unhealthy"
+    );
+    match client.submit(DefenseRequest::new(probe.clone()).on(route)) {
+        Err(ServeError::Overloaded) => {
+            println!("  submission shed with Overloaded while Unhealthy (never queued)")
+        }
+        Ok(_) => panic!("an Unhealthy route must shed, not accept"),
+        Err(other) => panic!("expected Overloaded, got {other}"),
+    }
+    let peak = gateway.telemetry_snapshot();
+    assert!(
+        !peak.alerts.is_empty(),
+        "the peak snapshot must carry the firing alert"
+    );
+    assert!(
+        peak.counter("gateway.shed").unwrap_or(0) >= 1,
+        "the shed must be counted"
+    );
+    println!("  lifting the regression; quiet ticks drain the burn windows");
+    knob.store(0, Ordering::Relaxed);
+    let mut recovered = HealthState::Unhealthy;
+    for now_ms in [1250, 1500, 1750, 2000, 2250] {
+        recovered = step(&mut slo, now_ms, &mut last);
+    }
+    assert_eq!(
+        recovered,
+        HealthState::Healthy,
+        "the route must recover once the burn windows drain"
+    );
+    drive(4)?; // and it serves again
+    let health_path = std::path::Path::new("BENCH_serve_health.json");
+    sesr_serve::write_snapshot_atomic(health_path, &peak).map_err(|err| {
+        ServeError::InvalidRequest(format!("cannot write {}: {err}", health_path.display()))
+    })?;
+    println!(
+        "  peak (firing) snapshot written to {} — try `sesr-top {} --check`",
+        health_path.display(),
+        health_path.display()
+    );
+    drop(slo); // the runtime holds a client clone; shutdown drains clients
+    drop(client);
+    gateway.shutdown();
+
     println!("\nserve subsystem sustained strictly higher images/sec than the sequential baseline");
     Ok(())
+}
+
+/// An upscaler whose extra latency is dialed at runtime — the synthetic
+/// regression knob for the SLO + health demo.
+struct ThrottledUpscaler {
+    delay_us: Arc<AtomicU64>,
+    inner: Box<dyn Upscaler>,
+}
+
+impl Upscaler for ThrottledUpscaler {
+    fn name(&self) -> &str {
+        "throttled-nearest"
+    }
+    fn scale(&self) -> usize {
+        self.inner.scale()
+    }
+    fn upscale(&self, input: &Tensor) -> sesr_tensor::Result<Tensor> {
+        let delay = self.delay_us.load(Ordering::Relaxed);
+        if delay > 0 {
+            std::thread::sleep(Duration::from_micros(delay));
+        }
+        self.inner.upscale(input)
+    }
 }
 
 /// The `pct`-th percentile of a latency sample (sorts in place).
