@@ -24,6 +24,8 @@
 //! artifact; `sesr-serve` then hydrates whole worker pools from the same
 //! directory (see `examples/train_and_serve.rs`).
 
+#![forbid(unsafe_code)]
+
 use sesr_classifiers::{ClassifierKind, ClassifierTrainer, ClassifierTrainingConfig};
 use sesr_datagen::{ClassificationDataset, DatasetConfig, SrDataset, SrDatasetConfig};
 use sesr_models::trainer::{SrLoss, SrTrainer, SrTrainingConfig};

@@ -27,6 +27,8 @@
 //! Every flag may be given at most once; duplicate, conflicting or unknown
 //! flags are a usage error (exit 2) rather than a silent last-one-wins.
 
+#![forbid(unsafe_code)]
+
 use sesr_telemetry::{HealthState, HistogramSnapshot, TelemetrySnapshot, WindowedStore};
 use std::time::{Duration, Instant};
 

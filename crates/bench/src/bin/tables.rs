@@ -33,6 +33,8 @@
 //! The process exits non-zero when any selected scenario fails, so CI can
 //! gate on it.
 
+#![forbid(unsafe_code)]
+
 use sesr_attacks::AttackKind;
 use sesr_classifiers::ClassifierKind;
 use sesr_defense::eval::{CsvSink, EvalPlan, EvalSink, JsonSink, ModelBank, TextTableSink};

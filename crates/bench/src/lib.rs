@@ -4,6 +4,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod lint;
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sesr_classifiers::ClassifierKind;

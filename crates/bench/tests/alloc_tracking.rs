@@ -1,6 +1,6 @@
 //! Allocation-tracking harness for the serving hot path.
 //!
-//! A counting global allocator wraps the system allocator and proves the
+//! The shared [`CountingAllocator`] wraps the system allocator and proves the
 //! headline property of the cross-request tensor arena: once a worker's
 //! [`ScratchSpace`] is warm, the SR defense forward pass (`defend_scratch`
 //! with no JPEG/wavelet preprocessing) performs **zero heap allocations per
@@ -12,56 +12,10 @@
 
 use sesr_defense::pipeline::{DefensePipeline, PreprocessConfig};
 use sesr_models::{ScratchSpace, SrModelKind};
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-
-/// Counts `alloc`/`realloc`/`alloc_zeroed` calls while `COUNTING` is set.
-struct CountingAllocator;
-
-static COUNTING: AtomicBool = AtomicBool::new(false);
-static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
-
-impl CountingAllocator {
-    fn record(&self) {
-        if COUNTING.load(Ordering::Relaxed) {
-            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        }
-    }
-}
-
-unsafe impl GlobalAlloc for CountingAllocator {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        self.record();
-        unsafe { System.alloc(layout) }
-    }
-
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        unsafe { System.dealloc(ptr, layout) }
-    }
-
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        self.record();
-        unsafe { System.realloc(ptr, layout, new_size) }
-    }
-
-    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        self.record();
-        unsafe { System.alloc_zeroed(layout) }
-    }
-}
+use sesr_testkit::{count_allocations, CountingAllocator};
 
 #[global_allocator]
 static ALLOC: CountingAllocator = CountingAllocator;
-
-/// Run `f` with allocation counting enabled and return how many heap
-/// allocations it performed.
-fn count_allocations(f: impl FnOnce()) -> u64 {
-    ALLOCATIONS.store(0, Ordering::SeqCst);
-    COUNTING.store(true, Ordering::SeqCst);
-    f();
-    COUNTING.store(false, Ordering::SeqCst);
-    ALLOCATIONS.load(Ordering::SeqCst)
-}
 
 #[test]
 fn sr_forward_path_allocates_zero_after_warmup() {

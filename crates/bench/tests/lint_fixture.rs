@@ -1,0 +1,111 @@
+//! End-to-end test of the `sesr-lint` binary: a fixture tree containing a
+//! violation of every rule must produce a nonzero exit and `file:line`
+//! diagnostics, and `--explain` must document every rule.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn lint_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_sesr-lint")
+}
+
+/// Build a fake workspace in a fresh temp dir and return its root.
+fn write_fixture() -> PathBuf {
+    let root = std::env::temp_dir().join(format!(
+        "sesr_lint_fixture_{}_{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let src = root.join("crates/serve/src");
+    std::fs::create_dir_all(&src).unwrap();
+
+    // One file violating every rule:
+    //  line 1: crate root without #![forbid(unsafe_code)]  -> forbid-unsafe
+    //  line 2: Ordering literal outside allowed modules    -> atomic-ordering
+    //  line 3: ad-hoc thread                               -> thread-spawn
+    //  line 4: panicking accessor in the serve crate       -> no-unwrap
+    //  line 6: annotation without a justification          -> annotation
+    std::fs::write(
+        src.join("lib.rs"),
+        "use std::sync::atomic::{AtomicU64, Ordering};\n\
+         pub fn bad(a: &AtomicU64) -> u64 { a.load(Ordering::Relaxed) }\n\
+         pub fn worker() { std::thread::spawn(|| {}).join().unwrap(); }\n\
+         pub fn get(v: Option<u32>) -> u32 { v.expect(\"present\") }\n\
+         \n\
+         // lint: allow(atomic-ordering):\n\
+         pub const X: u32 = 0;\n",
+    )
+    .unwrap();
+
+    // Strings and comments must NOT trip the rules.
+    std::fs::write(
+        src.join("prose.rs"),
+        "#![forbid(unsafe_code)]\n\
+         // thread::spawn and .unwrap() in a comment are fine\n\
+         pub const DOC: &str = \"Ordering::SeqCst in a string is fine\";\n",
+    )
+    .unwrap();
+
+    root
+}
+
+#[test]
+fn fixture_violations_produce_nonzero_exit_with_file_line_diagnostics() {
+    let root = write_fixture();
+    let output = Command::new(lint_bin()).arg(&root).output().unwrap();
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    std::fs::remove_dir_all(&root).ok();
+
+    assert_eq!(
+        output.status.code(),
+        Some(1),
+        "violations must exit 1; stdout:\n{stdout}"
+    );
+    let bad = "crates/serve/src/lib.rs";
+    for expected in [
+        &format!("{bad}:1: [forbid-unsafe]") as &str,
+        &format!("{bad}:2: [atomic-ordering]"),
+        &format!("{bad}:3: [thread-spawn]"),
+        &format!("{bad}:3: [no-unwrap]"),
+        &format!("{bad}:4: [no-unwrap]"),
+        &format!("{bad}:6: [annotation]"),
+    ] {
+        assert!(
+            stdout.contains(expected),
+            "missing `{expected}` in:\n{stdout}"
+        );
+    }
+    assert!(
+        !stdout.contains("prose.rs"),
+        "comments/strings must not be flagged:\n{stdout}"
+    );
+}
+
+#[test]
+fn explain_documents_every_rule_and_rejects_unknown_ones() {
+    for rule in sesr_bench::lint::RULES {
+        let output = Command::new(lint_bin())
+            .args(["--explain", rule])
+            .output()
+            .unwrap();
+        assert!(output.status.success(), "--explain {rule} must succeed");
+        let text = String::from_utf8_lossy(&output.stdout);
+        assert!(text.contains(rule), "--explain {rule} must name the rule");
+    }
+    let output = Command::new(lint_bin())
+        .args(["--explain", "no-such-rule"])
+        .output()
+        .unwrap();
+    assert_eq!(output.status.code(), Some(2));
+}
+
+#[test]
+fn the_workspace_itself_is_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let output = Command::new(lint_bin()).arg(&root).output().unwrap();
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        output.status.success(),
+        "sesr-lint must pass on the workspace:\n{stdout}"
+    );
+}

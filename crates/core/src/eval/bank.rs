@@ -1,5 +1,7 @@
 //! The train-once model provider backing every plan run.
 
+// lint: allow-file(atomic-ordering): train-count/ephemeral-id counters; all Relaxed, no data guarded
+
 use crate::eval::scenario::DefenseSpec;
 use crate::experiments::ExperimentConfig;
 use crate::pipeline::DefensePipeline;

@@ -390,6 +390,7 @@ impl EvalPlan {
                 let tx = tx.clone();
                 let next = &next;
                 scope.spawn(move || loop {
+                    // lint: allow(atomic-ordering): work-stealing index; Relaxed suffices, no data published through it
                     let index = next.fetch_add(1, Ordering::Relaxed);
                     if index >= total {
                         break;

@@ -218,9 +218,11 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         // Reinsert survivors least-recent first so insert()'s push-front
         // rebuilds the same recency order; victims drop with `old_nodes`.
         for slot in order.into_iter().rev() {
-            let node = old_nodes[slot]
-                .take()
-                .expect("slot was on the recency list");
+            // Every slot on the recency list holds a node; a vacant one
+            // would mean the list and arena disagree — skip it.
+            let Some(node) = old_nodes[slot].take() else {
+                continue;
+            };
             if keep(&node.key) {
                 self.insert(node.key, node.value);
             }

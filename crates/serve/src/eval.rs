@@ -105,9 +105,11 @@ impl CustomScenario for GatewayScenario {
             let key = RouteKey::new(model, spec.scale, spec.preprocess);
             let mut assets = Vec::with_capacity(self.route_config.num_workers);
             for _ in 0..self.route_config.num_workers {
-                let pipeline = bank
-                    .defense(spec)?
-                    .expect("specs with a model always build a pipeline");
+                let pipeline = bank.defense(spec)?.ok_or_else(|| {
+                    TensorError::invalid_argument(
+                        "defense spec with a model built no pipeline (bank out of sync)",
+                    )
+                })?;
                 assets.push(WorkerAssets::new(pipeline));
             }
             builder = builder.route_with_assets(key, self.route_config.clone(), assets);

@@ -33,6 +33,8 @@
 //! drops nothing. [`ReloadWatcher`] automates this by polling the artifact
 //! store and reloading any route whose newest artifact changed.
 
+// lint: allow-file(atomic-ordering): route epoch + stats counters; the swap/drain protocol these back is modeled in sesr-verify (models::swap)
+
 use crate::route::{DefenseRequest, RouteConfig, RouteKey};
 use crate::server::{PendingResponse, ServeError, WorkerAssets};
 use crate::shard::{spawn_shard, CacheKey, Job, ShardInner, ShardThreads, SharedCache, StatsPair};
@@ -236,7 +238,7 @@ fn submit_to(
     };
     // Clone the live shard handle under a brief read lock, then send outside
     // it so a concurrent reload is never blocked behind a full queue.
-    let inner = Arc::clone(&entry.active.read().expect("route lock poisoned"));
+    let inner = Arc::clone(&entry.active.read().unwrap_or_else(PoisonError::into_inner));
     match inner.sender.try_send(job) {
         Ok(()) => {
             // Counted only once the request is actually on its way to the
@@ -294,7 +296,7 @@ fn reload_route_inner(shared: &GatewayShared, route: &RouteKey) -> Result<(), Se
     let entry = Arc::clone(entry_for(shared, route)?);
     // One reload at a time per route: the factory lock is held across the
     // rebuild, but submissions keep flowing to the old shard meanwhile.
-    let mut factory_guard = entry.factory.lock().expect("factory mutex poisoned");
+    let mut factory_guard = entry.factory.lock().unwrap_or_else(PoisonError::into_inner);
     let factory = factory_guard.as_mut().ok_or_else(|| {
         ServeError::InvalidRequest(format!(
             "route {route} was built from pre-built worker assets and cannot be reloaded"
@@ -334,13 +336,13 @@ fn swap_in_assets(
     // Swap the live shard; new submissions land on the fresh workers from
     // here on.
     let old_inner = {
-        let mut active = entry.active.write().expect("route lock poisoned");
+        let mut active = entry.active.write().unwrap_or_else(PoisonError::into_inner);
         std::mem::replace(&mut *active, inner)
     };
     let old_threads = entry
         .threads
         .lock()
-        .expect("threads mutex poisoned")
+        .unwrap_or_else(PoisonError::into_inner)
         .replace(threads);
 
     // Retire the old shard: dropping our handle releases its submission
@@ -385,7 +387,7 @@ fn reload_route_pinned(
         )
     })?;
     // Same per-route serialization as a forward reload.
-    let _factory_guard = entry.factory.lock().expect("factory mutex poisoned");
+    let _factory_guard = entry.factory.lock().unwrap_or_else(PoisonError::into_inner);
 
     let (version, digest) = pinned;
     let artifact = registry
@@ -697,7 +699,7 @@ impl DefenseGateway {
                 shared.routes[key]
                     .threads
                     .lock()
-                    .expect("threads mutex poisoned")
+                    .unwrap_or_else(PoisonError::into_inner)
                     .take()
             })
             .collect();
@@ -1123,7 +1125,7 @@ impl ReloadWatcher {
                 client.shared.routes[key]
                     .factory
                     .lock()
-                    .expect("factory mutex poisoned")
+                    .unwrap_or_else(PoisonError::into_inner)
                     .is_some()
             })
             .collect();
@@ -1158,15 +1160,16 @@ impl ReloadWatcher {
             for key in &routes {
                 let health = client.route_health(key).unwrap_or(HealthState::Unhealthy);
                 let route_index = client.route_index(key).unwrap_or(u64::MAX);
-                let watch = watches.get_mut(key).expect("route disappeared");
+                let Some(watch) = watches.get_mut(key) else {
+                    continue; // watcher routes are fixed at startup
+                };
 
                 // Probation first: a just-promoted artifact that tanked the
                 // route gets rolled back before any further promotion.
-                if let Some(promotion) = &watch.promoted {
+                if let Some(promotion) = watch.promoted.take() {
                     if promotion.at.elapsed() >= probation {
-                        watch.promoted = None; // survived probation
+                        // Survived probation: stays cleared.
                     } else if health == HealthState::Unhealthy {
-                        let promotion = watch.promoted.take().expect("just checked");
                         if let Some(prior) = promotion.prior {
                             let shared = &client.shared;
                             match reload_route_pinned(shared, key, prior) {
@@ -1188,6 +1191,9 @@ impl ReloadWatcher {
                                 }
                             }
                         }
+                    } else {
+                        // Healthy and still on probation: keep watching.
+                        watch.promoted = Some(promotion);
                     }
                 }
 

@@ -238,6 +238,11 @@ impl Checkpoint {
     /// * [`StoreError::ChecksumMismatch`] — any bit flip in header or
     ///   payload.
     pub fn from_bytes(bytes: &[u8]) -> Result<Checkpoint> {
+        // Length is validated up front, so fixed-width fields read with
+        // explicit byte indexing rather than fallible slice conversions.
+        let read_u32_le = |at: usize| {
+            u32::from_le_bytes([bytes[at], bytes[at + 1], bytes[at + 2], bytes[at + 3]])
+        };
         if bytes.len() < 16 + 8 {
             return Err(StoreError::corrupt(format!(
                 "artifact is {} bytes, smaller than the fixed container framing",
@@ -247,15 +252,14 @@ impl Checkpoint {
         if &bytes[0..8] != CHECKPOINT_MAGIC {
             return Err(StoreError::corrupt("bad magic (not a SESR checkpoint)"));
         }
-        let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4-byte slice"));
+        let version = read_u32_le(8);
         if version != CHECKPOINT_FORMAT_VERSION {
             return Err(StoreError::FormatVersionMismatch {
                 found: version,
                 supported: CHECKPOINT_FORMAT_VERSION,
             });
         }
-        let header_len =
-            u32::from_le_bytes(bytes[12..16].try_into().expect("4-byte slice")) as usize;
+        let header_len = read_u32_le(12) as usize;
         if header_len > MAX_HEADER_LEN || 16 + header_len + 8 > bytes.len() {
             return Err(StoreError::corrupt(format!(
                 "header length {header_len} does not fit in a {}-byte artifact",
@@ -263,7 +267,8 @@ impl Checkpoint {
             )));
         }
         let body = &bytes[16..bytes.len() - 8];
-        let stored = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().expect("8-byte slice"));
+        let tail = bytes.len() - 8;
+        let stored = u64::from(read_u32_le(tail)) | (u64::from(read_u32_le(tail + 4)) << 32);
         let computed = fnv1a64(body);
         if stored != computed {
             return Err(StoreError::ChecksumMismatch { stored, computed });

@@ -10,7 +10,7 @@ use crate::checkpoint::Checkpoint;
 use crate::error::Result;
 use crate::store::ModelStore;
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// One lock per `(model, scale)` pair, serialising producers in
 /// [`ModelRegistry::hydrate_or_insert`] so concurrent callers racing on a
@@ -60,7 +60,7 @@ impl ModelRegistry {
     pub fn hydrate(&self, model_id: &str, scale: usize) -> Result<Arc<Checkpoint>> {
         let key = (model_id.to_string(), scale);
         {
-            let mut inner = self.cache.lock().expect("registry mutex poisoned");
+            let mut inner = self.cache.lock().unwrap_or_else(PoisonError::into_inner);
             if let Some(checkpoint) = inner.loaded.get(&key).map(Arc::clone) {
                 inner.hits += 1;
                 return Ok(checkpoint);
@@ -70,7 +70,7 @@ impl ModelRegistry {
         // Load outside the lock: validating a large artifact must not block
         // other models' hydration.
         let checkpoint = Arc::new(self.store.load_latest(model_id, scale)?);
-        let mut inner = self.cache.lock().expect("registry mutex poisoned");
+        let mut inner = self.cache.lock().unwrap_or_else(PoisonError::into_inner);
         let entry = inner
             .loaded
             .entry(key)
@@ -102,14 +102,17 @@ impl ModelRegistry {
         produce: impl FnOnce() -> std::result::Result<Checkpoint, E>,
     ) -> std::result::Result<(Arc<Checkpoint>, bool), E> {
         let pair_lock = {
-            let mut producers = self.producers.lock().expect("producer map poisoned");
+            let mut producers = self
+                .producers
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
             Arc::clone(
                 producers
                     .entry((model_id.to_string(), scale))
                     .or_insert_with(|| Arc::new(Mutex::new(()))),
             )
         };
-        let _guard = pair_lock.lock().expect("producer lock poisoned");
+        let _guard = pair_lock.lock().unwrap_or_else(PoisonError::into_inner);
         match self.hydrate(model_id, scale) {
             Ok(checkpoint) => Ok((checkpoint, false)),
             Err(err) if err.is_not_found() => {
@@ -126,7 +129,7 @@ impl ModelRegistry {
     pub fn invalidate(&self, model_id: &str, scale: usize) {
         self.cache
             .lock()
-            .expect("registry mutex poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .loaded
             .remove(&(model_id.to_string(), scale));
     }
@@ -135,7 +138,7 @@ impl ModelRegistry {
     pub fn len(&self) -> usize {
         self.cache
             .lock()
-            .expect("registry mutex poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .loaded
             .len()
     }
@@ -147,7 +150,7 @@ impl ModelRegistry {
 
     /// Lifetime `(hits, misses)` counters of the memoization cache.
     pub fn hit_counts(&self) -> (u64, u64) {
-        let inner = self.cache.lock().expect("registry mutex poisoned");
+        let inner = self.cache.lock().unwrap_or_else(PoisonError::into_inner);
         (inner.hits, inner.misses)
     }
 }
@@ -202,6 +205,27 @@ mod tests {
         assert!(registry.hydrate("SESR-M2", 2).unwrap_err().is_not_found());
         save_checkpoint(&registry, 1);
         assert!(registry.hydrate("SESR-M2", 2).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cache_survives_a_poisoned_lock() {
+        let (dir, registry) = temp_registry();
+        save_checkpoint(&registry, 1);
+        let registry = Arc::new(registry);
+        let warm = registry.hydrate("SESR-M2", 2).unwrap();
+        let poisoner = Arc::clone(&registry);
+        let handle = std::thread::spawn(move || {
+            let _guard = poisoner.cache.lock().unwrap();
+            panic!("poison the registry cache on purpose");
+        });
+        assert!(handle.join().is_err());
+        assert!(registry.cache.is_poisoned());
+        // Hydration recovers the lock: cached entries are still served and
+        // hit counting keeps working.
+        let again = registry.hydrate("SESR-M2", 2).unwrap();
+        assert!(Arc::ptr_eq(&warm, &again), "memoized entry survives poison");
+        assert_eq!(registry.hit_counts(), (1, 1));
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -163,6 +163,7 @@ impl ModelStore {
         let tmp_path = tmp_dir.join(format!(
             "{}-{}.partial",
             std::process::id(),
+            // lint: allow(atomic-ordering): unique temp-file suffix; only uniqueness matters, not ordering
             TEMP_COUNTER.fetch_add(1, Ordering::Relaxed)
         ));
         fs::write(&tmp_path, &bytes).map_err(|e| StoreError::io(&tmp_path, &e))?;

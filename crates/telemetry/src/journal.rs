@@ -5,11 +5,23 @@
 //! Each event is a fixed set of integers — a timestamp, a level, an interned
 //! name code, the current request id, a value (usually a duration in
 //! nanoseconds) and the parent span's code — stored in a fixed-capacity ring
-//! of atomic slots. Writers claim a slot with one `fetch_add` and stamp the
-//! fields with a seqlock protocol (sequence word written last, `Release`),
-//! so **recording never locks and never allocates**; readers detect and
-//! skip torn slots. When the ring wraps, the oldest events are overwritten
-//! — `dropped()` reports how many.
+//! of atomic slots. Writers take a global index with one `fetch_add`, claim
+//! the slot by CAS-ing its sequence word to an odd in-flight marker, write
+//! the fields, and stamp an even completion word last (`Release`), so
+//! **recording never locks and never allocates**; readers accept only
+//! stable even sequence words and skip torn slots. A writer that loses the
+//! claim race (two writers lapped onto the same slot) abandons its record
+//! instead of interleaving with the winner — `abandoned()` counts those,
+//! and `dropped()` reports events overwritten by ring wrap.
+//!
+//! The claim step exists because the ring wraps: without it, two writers
+//! whose indices differ by a full ring revolution interleave on the same
+//! slot, and a reader can observe one writer's completed sequence word over
+//! a mix of both writers' fields — an accepted torn event. The
+//! `sesr-verify` model checker finds that interleaving in the claim-free
+//! protocol (`SeqlockVariant::PlainStoreClaim`) and proves the CAS-claim
+//! protocol modeled by `SeqlockVariant::CasClaim` free of it at small
+//! bounds.
 //!
 //! Event *names* are interned up front via [`EventRing::register`], which
 //! returns a small integer [`EventCode`]; the string table is behind a
@@ -121,10 +133,12 @@ fn stack_pop() {
     });
 }
 
-/// One seqlock-protected event slot. `seq == 0` means empty/in-progress;
-/// otherwise `seq` is the 1-based global sequence number of the event the
-/// slot holds, written last with `Release` so a reader that sees a stable
-/// non-zero `seq` also sees the matching fields.
+/// One seqlock-protected event slot. The sequence word encodes the slot
+/// state: `0` is empty, an odd value `2·index + 1` is a claim held by the
+/// writer of record `index` (fields in flight), and an even value
+/// `2·(index + 1)` is the completed record `index`, stamped last with
+/// `Release` so a reader that sees a stable even `seq` also sees the
+/// matching fields.
 struct Slot {
     seq: AtomicU64,
     micros: AtomicU64,
@@ -155,6 +169,7 @@ pub struct EventRing {
     epoch: Instant,
     slots: Box<[Slot]>,
     next: AtomicU64,
+    abandoned: AtomicU64,
     min_level: AtomicUsize,
     names: Mutex<Vec<&'static str>>,
 }
@@ -168,6 +183,7 @@ impl EventRing {
             epoch: Instant::now(),
             slots: (0..capacity).map(|_| Slot::empty()).collect(),
             next: AtomicU64::new(0),
+            abandoned: AtomicU64::new(0),
             min_level: AtomicUsize::new(Level::Debug as usize),
             names: Mutex::new(Vec::new()),
         }
@@ -201,6 +217,12 @@ impl EventRing {
         self.recorded().saturating_sub(self.slots.len() as u64)
     }
 
+    /// Number of events abandoned because another writer held the slot's
+    /// claim (only possible once the ring has lapped under write pressure).
+    pub fn abandoned(&self) -> u64 {
+        self.abandoned.load(Ordering::Relaxed)
+    }
+
     /// Record one event. Lock-free and allocation-free; the parent span code
     /// is taken from the calling thread's span stack.
     #[inline]
@@ -232,12 +254,28 @@ impl EventRing {
         let index = self.next.fetch_add(1, Ordering::Relaxed);
         let slot = &self.slots[(index as usize) & (self.slots.len() - 1)];
         let meta = level as u64 | (u64::from(code.0) << 2) | (u64::from(parent) << 18);
-        slot.seq.store(0, Ordering::Release);
+        // Claim the slot: CAS the sequence word from a stable (even) value
+        // to this record's odd in-flight marker. Abandoning on any
+        // interference — another writer's claim in flight (odd) or a
+        // same-or-newer record already stamped — is what keeps a reader
+        // from accepting a mix of two writers' fields.
+        let claim = 2 * index + 1;
+        let current = slot.seq.load(Ordering::Acquire);
+        if current % 2 == 1
+            || current >= claim
+            || slot
+                .seq
+                .compare_exchange(current, claim, Ordering::AcqRel, Ordering::Relaxed)
+                .is_err()
+        {
+            self.abandoned.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
         slot.micros.store(micros, Ordering::Relaxed);
         slot.meta.store(meta, Ordering::Relaxed);
         slot.request.store(request, Ordering::Relaxed);
         slot.value.store(value, Ordering::Relaxed);
-        slot.seq.store(index + 1, Ordering::Release);
+        slot.seq.store(2 * (index + 1), Ordering::Release);
     }
 
     /// Start a [`Span`] measuring from now until the guard drops.
@@ -262,20 +300,24 @@ impl EventRing {
         let mut records = Vec::with_capacity(self.slots.len());
         for slot in self.slots.iter() {
             let seq_before = slot.seq.load(Ordering::Acquire);
-            if seq_before == 0 {
-                continue;
+            if seq_before == 0 || seq_before % 2 == 1 {
+                continue; // empty, or a writer's claim is in flight
             }
             let micros = slot.micros.load(Ordering::Relaxed);
             let meta = slot.meta.load(Ordering::Relaxed);
             let request = slot.request.load(Ordering::Relaxed);
             let value = slot.value.load(Ordering::Relaxed);
+            // The fence orders the field loads above before the validating
+            // re-read below (the seqlock reader recipe): without it the
+            // re-read could be satisfied early and a torn snapshot accepted.
+            std::sync::atomic::fence(Ordering::Acquire);
             if slot.seq.load(Ordering::Acquire) != seq_before {
                 continue; // torn: a writer raced us
             }
             let code = ((meta >> 2) & 0xFFFF) as u16;
             let parent = ((meta >> 18) & 0xFFFF) as u16;
             records.push(EventRecord {
-                seq: seq_before - 1,
+                seq: seq_before / 2 - 1,
                 micros,
                 level: Level::from_bits(meta),
                 name: resolve(code),
@@ -295,6 +337,7 @@ impl std::fmt::Debug for EventRing {
             .field("capacity", &self.slots.len())
             .field("recorded", &self.recorded())
             .field("dropped", &self.dropped())
+            .field("abandoned", &self.abandoned())
             .finish()
     }
 }
@@ -478,11 +521,34 @@ mod tests {
         }
         assert_eq!(ring.recorded(), 20);
         assert_eq!(ring.dropped(), 12);
+        assert_eq!(ring.abandoned(), 0, "no claim races single-threaded");
         let events = ring.events();
         assert_eq!(events.len(), 8);
         // Only the most recent 8 survive.
         assert_eq!(events.first().unwrap().seq, 12);
         assert_eq!(events.last().unwrap().seq, 19);
+    }
+
+    #[test]
+    fn name_table_survives_a_poisoned_lock() {
+        let ring = Arc::new(EventRing::new(16));
+        let before = ring.register("before");
+        let poisoner = Arc::clone(&ring);
+        let handle = std::thread::spawn(move || {
+            let _guard = poisoner.names.lock().unwrap();
+            panic!("poison the name table on purpose");
+        });
+        assert!(handle.join().is_err());
+        assert!(ring.names.is_poisoned());
+        // Interning and reading recover the poisoned lock instead of
+        // propagating: the name table only ever grows, so a panicking
+        // registrant cannot leave it inconsistent.
+        let after = ring.register("after");
+        assert_ne!(before, after);
+        assert_eq!(ring.register("before"), before, "old entries intact");
+        ring.record(Level::Info, after, 1, 2);
+        let events = ring.events();
+        assert_eq!(events.last().unwrap().name, "after");
     }
 
     #[test]

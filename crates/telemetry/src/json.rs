@@ -351,7 +351,9 @@ impl Parser<'_> {
                     let rest = &self.bytes[self.pos..];
                     let text = std::str::from_utf8(rest)
                         .map_err(|_| self.error("invalid UTF-8 in string"))?;
-                    let ch = text.chars().next().unwrap();
+                    let Some(ch) = text.chars().next() else {
+                        return Err(self.error("unterminated string"));
+                    };
                     out.push(ch);
                     self.pos += ch.len_utf8();
                 }
@@ -396,8 +398,8 @@ impl Parser<'_> {
                 self.pos += 1;
             }
         }
-        let text =
-            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.error("invalid bytes in number"))?;
         if is_float {
             text.parse::<f64>()
                 .map(Value::Float)

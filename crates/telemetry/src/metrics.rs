@@ -203,6 +203,31 @@ mod tests {
     use super::*;
 
     #[test]
+    fn registry_map_survives_a_poisoned_lock() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let counter = registry.counter("poison.survivor");
+        counter.add(5);
+        let poisoner = Arc::clone(&registry);
+        let handle = std::thread::spawn(move || {
+            let _guard = poisoner.inner.lock().unwrap();
+            panic!("poison the metric map on purpose");
+        });
+        assert!(handle.join().is_err());
+        assert!(registry.inner.is_poisoned());
+        // Registration and snapshotting recover instead of propagating.
+        let same = registry.counter("poison.survivor");
+        same.add(2);
+        assert_eq!(counter.get(), 7, "handle identity survives poison");
+        let fresh = registry.gauge("poison.after");
+        fresh.set(1);
+        let dump = registry.collect();
+        assert!(
+            dump.counters.contains(&("poison.survivor".to_string(), 7)),
+            "collect must read through the recovered lock: {dump:?}"
+        );
+    }
+
+    #[test]
     fn registration_is_idempotent() {
         let registry = MetricsRegistry::new();
         let a = registry.counter("requests");

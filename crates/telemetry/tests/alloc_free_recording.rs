@@ -4,60 +4,17 @@
 //! no lock (everything below is relaxed atomics; there is no mutex on any of
 //! these paths to begin with).
 //!
-//! A counting global allocator wraps the system allocator, mirroring the
-//! arena's `alloc_tracking` harness. This file deliberately contains a
-//! single `#[test]` so no sibling test can allocate inside the counting
-//! window.
+//! The shared [`CountingAllocator`] from `sesr-testkit` wraps the system
+//! allocator, same as the arena's `alloc_tracking` harness. This file
+//! deliberately contains a single `#[test]` so no sibling test can
+//! allocate inside the counting window.
 
 use sesr_telemetry::{Level, Telemetry};
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use sesr_testkit::{count_allocations, CountingAllocator};
 use std::time::Duration;
-
-struct CountingAllocator;
-
-static COUNTING: AtomicBool = AtomicBool::new(false);
-static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
-
-impl CountingAllocator {
-    fn record(&self) {
-        if COUNTING.load(Ordering::Relaxed) {
-            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        }
-    }
-}
-
-unsafe impl GlobalAlloc for CountingAllocator {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        self.record();
-        unsafe { System.alloc(layout) }
-    }
-
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        unsafe { System.dealloc(ptr, layout) }
-    }
-
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        self.record();
-        unsafe { System.realloc(ptr, layout, new_size) }
-    }
-
-    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        self.record();
-        unsafe { System.alloc_zeroed(layout) }
-    }
-}
 
 #[global_allocator]
 static ALLOC: CountingAllocator = CountingAllocator;
-
-fn count_allocations(f: impl FnOnce()) -> u64 {
-    ALLOCATIONS.store(0, Ordering::SeqCst);
-    COUNTING.store(true, Ordering::SeqCst);
-    f();
-    COUNTING.store(false, Ordering::SeqCst);
-    ALLOCATIONS.load(Ordering::SeqCst)
-}
 
 #[test]
 fn recording_allocates_nothing_after_setup() {

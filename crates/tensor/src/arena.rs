@@ -15,6 +15,13 @@
 //! an arena do not have to originate from it; any owned [`Tensor`] can be
 //! donated to the pool.
 //!
+//! The concurrent variant of the acquire/recycle accounting — an atomic
+//! in-use counter with a `fetch_max` high-water mark, as a shared arena
+//! would need — is model-checked in `sesr-verify` (`models::arena`), which
+//! also demonstrates why a naive load-then-store counter miscounts under
+//! contention. The single-threaded design here is what makes that whole
+//! class of bug unrepresentable on the hot path.
+//!
 //! # Example: reuse round-trip
 //!
 //! ```

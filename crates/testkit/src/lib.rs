@@ -1,0 +1,110 @@
+//! Shared test instrumentation for the workspace.
+//!
+//! The single export is [`CountingAllocator`], the counting global
+//! allocator behind the two zero-allocation proofs (the tensor arena's
+//! steady-state serving path and telemetry's hot recording path). It used
+//! to be copy-pasted into each test file; it lives here once now so the
+//! counting protocol cannot drift between the proofs.
+//!
+//! This crate is the workspace's **only** source file allowed to contain
+//! `unsafe` (a `GlobalAlloc` impl cannot be written without it) — every
+//! other crate root carries `#![forbid(unsafe_code)]`, and `sesr-lint`
+//! enforces both sides of that bargain.
+//!
+//! # Usage
+//!
+//! A consuming test file installs the allocator and measures:
+//!
+//! ```ignore
+//! use sesr_testkit::{count_allocations, CountingAllocator};
+//!
+//! #[global_allocator]
+//! static ALLOC: CountingAllocator = CountingAllocator;
+//!
+//! let allocations = count_allocations(|| hot_path());
+//! assert_eq!(allocations, 0);
+//! ```
+//!
+//! Keep exactly one `#[test]` per consuming file: sibling tests run on
+//! other threads and would allocate inside the counting window.
+
+// lint: allow-file(atomic-ordering): allocator counters; Relaxed inside the window, SeqCst at its edges
+
+#![warn(missing_docs)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+static COUNTING: AtomicBool = AtomicBool::new(false);
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// A global allocator that forwards to [`System`] and counts every
+/// `alloc`/`realloc`/`alloc_zeroed` call made while a
+/// [`count_allocations`] window is open. Frees are never counted: the
+/// proofs are about acquiring memory on the hot path.
+pub struct CountingAllocator;
+
+impl CountingAllocator {
+    fn record(&self) {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        self.record();
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        self.record();
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        self.record();
+        unsafe { System.alloc_zeroed(layout) }
+    }
+}
+
+/// Run `f` with allocation counting enabled and return how many heap
+/// allocations it performed.
+///
+/// Only meaningful when [`CountingAllocator`] is installed as the
+/// `#[global_allocator]` of the running test binary; without it the count
+/// is always zero. Windows must not overlap (one test per file).
+pub fn count_allocations(f: impl FnOnce()) -> u64 {
+    ALLOCATIONS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    f();
+    COUNTING.store(false, Ordering::SeqCst);
+    ALLOCATIONS.load(Ordering::SeqCst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[global_allocator]
+    static ALLOC: CountingAllocator = CountingAllocator;
+
+    #[test]
+    fn counts_only_inside_the_window() {
+        let before = count_allocations(|| {});
+        assert_eq!(before, 0, "an empty window performs no allocations");
+        let counted = count_allocations(|| {
+            let v: Vec<u64> = Vec::with_capacity(32);
+            std::hint::black_box(&v);
+        });
+        assert!(counted >= 1, "a Vec allocation must be observed");
+        drop(vec![0u8; 64]);
+        let after = count_allocations(|| {});
+        assert_eq!(after, 0, "allocations outside a window are not counted");
+    }
+}

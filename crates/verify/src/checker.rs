@@ -1,0 +1,518 @@
+//! The exploration driver: exhaustive bounded-preemption DFS, seeded
+//! schedule fuzzing, and exact replay of a recorded schedule.
+//!
+//! Every execution is reproducible from its **choice sequence** — the list
+//! of indices the scheduler picked among the enabled transitions at each
+//! step. A [`Violation`] carries that sequence plus a rendered transition
+//! trace; [`replay`] re-runs it deterministically, so a failure found on
+//! any machine (or by the fuzzer under any seed) can be replayed anywhere.
+
+use crate::sched::{self, Actor, Op, Phase, SchedShared, SchedState, Step, StepKind, MAX_THREADS};
+use std::sync::Arc;
+
+/// Exploration limits.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Maximum *preemptions* per execution — context switches taken while
+    /// the previously running thread was still enabled. 2–3 catches the
+    /// overwhelming majority of concurrency bugs (the CHESS observation)
+    /// while keeping exhaustive exploration tractable.
+    pub preemption_bound: usize,
+    /// Hard cap on explored schedules; exhaustive runs that hit it report
+    /// `complete == false` instead of running away.
+    pub max_schedules: u64,
+    /// Hard cap on transitions per execution (livelock guard).
+    pub max_steps: usize,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            preemption_bound: 2,
+            max_schedules: 1_000_000,
+            max_steps: 10_000,
+        }
+    }
+}
+
+impl Config {
+    /// Default limits with a specific preemption bound.
+    pub fn with_preemptions(preemption_bound: usize) -> Config {
+        Config {
+            preemption_bound,
+            ..Config::default()
+        }
+    }
+}
+
+/// A failing schedule: what went wrong and how to see it again.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// The panic message (or deadlock/livelock report) from the execution.
+    pub message: String,
+    /// Human-readable transition trace of the failing execution.
+    pub trace: Vec<String>,
+    /// The scheduler's choice sequence; feed to [`replay`].
+    pub schedule: Vec<usize>,
+    /// The fuzzer seed that produced it, when found by [`fuzz`].
+    pub seed: Option<u64>,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "violation: {}", self.message)?;
+        writeln!(f, "failing schedule ({} transitions):", self.trace.len())?;
+        for (index, line) in self.trace.iter().enumerate() {
+            writeln!(f, "  {:3}. {line}", index + 1)?;
+        }
+        if let Some(seed) = self.seed {
+            writeln!(f, "found by fuzzing; replay with SESR_VERIFY_SEED={seed}")?;
+        }
+        write!(f, "replay choices: {:?}", self.schedule)
+    }
+}
+
+/// How a [`Report`] was produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Bounded-preemption DFS over every schedule.
+    Exhaustive,
+    /// Seeded random schedules.
+    Fuzz,
+    /// Single replayed schedule.
+    Replay,
+}
+
+/// Outcome of a checking run.
+#[derive(Debug)]
+pub struct Report {
+    /// How the schedules were generated.
+    pub mode: Mode,
+    /// Schedules explored (including the failing one, if any).
+    pub schedules: u64,
+    /// Whether the exploration finished (false only when `max_schedules`
+    /// stopped an exhaustive run early).
+    pub complete: bool,
+    /// The first failing schedule found, if any.
+    pub violation: Option<Violation>,
+}
+
+impl Report {
+    /// True when no violating schedule was found.
+    pub fn passed(&self) -> bool {
+        self.violation.is_none()
+    }
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mode = match self.mode {
+            Mode::Exhaustive => "exhaustive",
+            Mode::Fuzz => "fuzz",
+            Mode::Replay => "replay",
+        };
+        match &self.violation {
+            None => write!(
+                f,
+                "{mode}: {} schedules explored, no violation{}",
+                self.schedules,
+                if self.complete { "" } else { " (truncated)" }
+            ),
+            Some(v) => write!(
+                f,
+                "{mode}: violation after {} schedules\n{v}",
+                self.schedules
+            ),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Transitions
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Transition {
+    /// Grant the baton to a parked, enabled thread.
+    Run(usize),
+    /// Commit one buffered relaxed store to shared memory.
+    Commit { thread: usize, entry: usize },
+}
+
+fn op_enabled(st: &SchedState, op: Op) -> bool {
+    match op {
+        Op::MutexLock(mutex) => st.mutexes[mutex].owner.is_none(),
+        Op::Join(target) => st.threads[target].phase == Phase::Finished,
+        _ => true,
+    }
+}
+
+fn thread_enabled(st: &SchedState, thread: usize) -> bool {
+    match st.threads[thread].phase {
+        Phase::AtYield(op) => op_enabled(st, op),
+        _ => false,
+    }
+}
+
+/// Enumerate the enabled transitions, deterministically ordered: continue
+/// the last-run thread first (free), then other threads ascending (each a
+/// preemption when the last thread is still enabled), then store commits.
+fn enumerate(
+    st: &SchedState,
+    last: Option<usize>,
+    preemptions: usize,
+    bound: usize,
+) -> Vec<Transition> {
+    let mut out = Vec::new();
+    let last_enabled = last.is_some_and(|t| thread_enabled(st, t));
+    if let Some(t) = last {
+        if last_enabled {
+            out.push(Transition::Run(t));
+        }
+    }
+    let switching_preempts = last_enabled;
+    for t in 0..st.threads.len() {
+        if Some(t) == last || !thread_enabled(st, t) {
+            continue;
+        }
+        if switching_preempts && preemptions >= bound {
+            continue;
+        }
+        out.push(Transition::Run(t));
+    }
+    for (t, info) in st.threads.iter().enumerate() {
+        for entry in 0..info.pending.len() {
+            out.push(Transition::Commit { thread: t, entry });
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Choice cursors
+// ---------------------------------------------------------------------------
+
+struct DfsCursor {
+    /// `(taken, options)` per decision point of the schedule prefix.
+    stack: Vec<(usize, usize)>,
+    depth: usize,
+}
+
+impl DfsCursor {
+    fn new() -> DfsCursor {
+        DfsCursor {
+            stack: Vec::new(),
+            depth: 0,
+        }
+    }
+
+    fn pick(&mut self, options: usize) -> usize {
+        if self.depth < self.stack.len() {
+            let (taken, recorded) = self.stack[self.depth];
+            assert_eq!(
+                recorded, options,
+                "nondeterministic enabled set during DFS replay (checker bug)"
+            );
+            self.depth += 1;
+            taken
+        } else {
+            self.stack.push((0, options));
+            self.depth += 1;
+            0
+        }
+    }
+
+    /// Move to the next unexplored branch; false when the tree is done.
+    fn advance(&mut self) -> bool {
+        self.depth = 0;
+        while let Some((taken, options)) = self.stack.pop() {
+            if taken + 1 < options {
+                self.stack.push((taken + 1, options));
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// xorshift64* — deterministic, dependency-free schedule fuzzing.
+struct XorShift {
+    state: u64,
+}
+
+impl XorShift {
+    fn new(seed: u64) -> XorShift {
+        XorShift {
+            state: seed | 1, // never zero
+        }
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, bound: usize) -> usize {
+        (self.next() % bound as u64) as usize
+    }
+}
+
+enum Cursor<'a> {
+    Dfs(&'a mut DfsCursor),
+    Random(&'a mut XorShift),
+    Replay(&'a [usize]),
+}
+
+// ---------------------------------------------------------------------------
+// One execution
+// ---------------------------------------------------------------------------
+
+enum RunOutcome {
+    Complete,
+    Violation(Violation),
+}
+
+fn run_once<F>(config: &Config, root: &Arc<F>, cursor: &mut Cursor<'_>) -> RunOutcome
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let shared = SchedShared::new();
+    {
+        let mut st = shared.lock();
+        let id = sched::register_thread(&mut st);
+        debug_assert_eq!(id, 0);
+    }
+    let root_handle = {
+        let shared = Arc::clone(&shared);
+        let f = Arc::clone(root);
+        std::thread::spawn(move || sched::run_model_thread(shared, 0, move || f()))
+    };
+    shared.lock().os_handles[0] = Some(root_handle);
+
+    let mut choices: Vec<usize> = Vec::new();
+    let mut last: Option<usize> = None;
+    let mut preemptions = 0usize;
+    let mut steps = 0usize;
+
+    let failure: Option<String> = loop {
+        let mut st = shared.lock();
+        while st.active != Actor::Scheduler {
+            st = shared.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        // A model thread can park at a yield and still be mid-handshake;
+        // active == Scheduler is only set once it is truly parked, so the
+        // state below is quiescent.
+        if let Some(message) = st.failure.take() {
+            break Some(message);
+        }
+        if st.threads.iter().all(|t| t.phase == Phase::Finished) {
+            break None;
+        }
+        if steps >= config.max_steps {
+            break Some(format!(
+                "execution exceeded max_steps = {} (livelock or unbounded loop in the model)",
+                config.max_steps
+            ));
+        }
+        let transitions = enumerate(&st, last, preemptions, config.preemption_bound);
+        if transitions.is_empty() {
+            let stuck: Vec<String> = st
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.phase != Phase::Finished)
+                .map(|(i, t)| format!("t{i} {:?}", t.phase))
+                .collect();
+            break Some(format!(
+                "deadlock: no enabled transition [{}]",
+                stuck.join(", ")
+            ));
+        }
+        let pick = match cursor {
+            Cursor::Dfs(dfs) => dfs.pick(transitions.len()),
+            Cursor::Random(rng) => rng.below(transitions.len()),
+            Cursor::Replay(schedule) => {
+                let index = choices.len();
+                schedule
+                    .get(index)
+                    .copied()
+                    .unwrap_or(0)
+                    .min(transitions.len() - 1)
+            }
+        };
+        choices.push(pick);
+        steps += 1;
+        match transitions[pick] {
+            Transition::Run(t) => {
+                if let Some(previous) = last {
+                    if previous != t && thread_enabled(&st, previous) {
+                        preemptions += 1;
+                    }
+                }
+                last = Some(t);
+                st.active = Actor::Thread(t);
+                shared.cv.notify_all();
+            }
+            Transition::Commit { thread, entry } => {
+                let store = st.threads[thread].pending.remove(entry);
+                st.locations[store.loc].value = store.value;
+                st.trace.push(Step {
+                    thread,
+                    kind: StepKind::Commit {
+                        loc: store.loc,
+                        value: store.value,
+                    },
+                });
+            }
+        }
+    };
+
+    // Tear down: wake every surviving thread with the abort flag (they
+    // unwind via AbortToken) and join all OS threads.
+    let handles: Vec<_> = {
+        let mut st = shared.lock();
+        st.abort = true;
+        shared.cv.notify_all();
+        st.os_handles.iter_mut().map(|h| h.take()).collect()
+    };
+    for handle in handles.into_iter().flatten() {
+        let _ = handle.join();
+    }
+
+    match failure {
+        None => RunOutcome::Complete,
+        Some(message) => {
+            let st = shared.lock();
+            RunOutcome::Violation(Violation {
+                message,
+                trace: sched::render_trace(&st),
+                schedule: choices,
+                seed: None,
+            })
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public entry points
+// ---------------------------------------------------------------------------
+
+/// Exhaustively explore every schedule of `f` within the preemption bound.
+///
+/// `f` runs once per schedule on a fresh model thread; model state must be
+/// created inside it. Violations are panics inside `f` (assertion
+/// failures), deadlocks, or livelocks.
+pub fn check<F>(config: Config, f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    sched::install_panic_hook();
+    let root = Arc::new(f);
+    let mut dfs = DfsCursor::new();
+    let mut schedules = 0u64;
+    loop {
+        schedules += 1;
+        match run_once(&config, &root, &mut Cursor::Dfs(&mut dfs)) {
+            RunOutcome::Complete => {}
+            RunOutcome::Violation(render) => {
+                return Report {
+                    mode: Mode::Exhaustive,
+                    schedules,
+                    complete: true,
+                    violation: Some(render),
+                };
+            }
+        }
+        if !dfs.advance() {
+            return Report {
+                mode: Mode::Exhaustive,
+                schedules,
+                complete: true,
+                violation: None,
+            };
+        }
+        if schedules >= config.max_schedules {
+            return Report {
+                mode: Mode::Exhaustive,
+                schedules,
+                complete: false,
+                violation: None,
+            };
+        }
+    }
+}
+
+/// Explore `iterations` random schedules of `f`, seeded for reproduction.
+///
+/// The effective seed is `SESR_VERIFY_SEED` (env var) when set, otherwise
+/// `seed`; the violation, if any, records it.
+pub fn fuzz<F>(config: Config, iterations: u64, seed: u64, f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    sched::install_panic_hook();
+    let seed = env_seed(seed);
+    let root = Arc::new(f);
+    let mut schedules = 0u64;
+    for round in 0..iterations {
+        // Each round gets its own generator derived from (seed, round), so
+        // one failing round is reproducible without replaying the others.
+        let mut rng = XorShift::new(seed ^ round.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        schedules += 1;
+        match run_once(&config, &root, &mut Cursor::Random(&mut rng)) {
+            RunOutcome::Complete => {}
+            RunOutcome::Violation(mut render) => {
+                render.seed = Some(seed);
+                return Report {
+                    mode: Mode::Fuzz,
+                    schedules,
+                    complete: true,
+                    violation: Some(render),
+                };
+            }
+        }
+    }
+    Report {
+        mode: Mode::Fuzz,
+        schedules,
+        complete: true,
+        violation: None,
+    }
+}
+
+/// Re-run one exact schedule (a [`Violation::schedule`]) of `f`.
+pub fn replay<F>(config: Config, schedule: &[usize], f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    sched::install_panic_hook();
+    let root = Arc::new(f);
+    let outcome = run_once(&config, &root, &mut Cursor::Replay(schedule));
+    Report {
+        mode: Mode::Replay,
+        schedules: 1,
+        complete: true,
+        violation: match outcome {
+            RunOutcome::Complete => None,
+            RunOutcome::Violation(render) => Some(render),
+        },
+    }
+}
+
+/// The fuzzing seed: `SESR_VERIFY_SEED` when set (and parseable as u64),
+/// otherwise `default`.
+pub fn env_seed(default: u64) -> u64 {
+    std::env::var("SESR_VERIFY_SEED")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+/// Compile-time sanity: the thread cap the scheduler enforces.
+pub const fn max_threads() -> usize {
+    MAX_THREADS
+}

@@ -1,0 +1,77 @@
+//! Model of the tensor arena's in-use accounting
+//! (`crates/tensor/src/arena.rs`): concurrent acquire/recycle pairs keep a
+//! live-buffer counter and a high-water mark with single RMW instructions.
+//!
+//! Invariants checked on every schedule:
+//!
+//! - the in-use counter never underflows (a recycle always observes at
+//!   least its own acquire);
+//! - after every holder recycles, the counter returns to zero exactly;
+//! - the high-water mark ends between 1 and the number of holders.
+//!
+//! [`ArenaVariant::NonAtomicRmw`] is the mutant: acquire bumps the counter
+//! with a separate load + store instead of one `fetch_add`, losing an
+//! update when two acquires interleave — which the recycle path then
+//! reveals as an underflow or a nonzero final count.
+
+use crate::sync::{spawn, MAtomicU64};
+use std::sync::atomic::Ordering;
+
+/// Which accounting protocol to check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArenaVariant {
+    /// Single-instruction RMW accounting — must pass exhaustively.
+    Correct,
+    /// Mutant: acquire uses load-then-store — lost update reachable.
+    NonAtomicRmw,
+}
+
+fn acquire(variant: ArenaVariant, in_use: &MAtomicU64, high_water: &MAtomicU64) {
+    let now_live = match variant {
+        ArenaVariant::Correct => in_use.fetch_add(1, Ordering::Relaxed) + 1,
+        ArenaVariant::NonAtomicRmw => {
+            // BUG under test: a racing acquire between the load and the
+            // store is silently overwritten.
+            let seen = in_use.load(Ordering::Relaxed);
+            in_use.store(seen + 1, Ordering::Relaxed);
+            seen + 1
+        }
+    };
+    high_water.fetch_max(now_live, Ordering::Relaxed);
+}
+
+fn recycle(in_use: &MAtomicU64) {
+    let previous = in_use.fetch_sub(1, Ordering::Release);
+    assert!(previous >= 1, "arena in-use counter underflowed");
+}
+
+/// One execution: two holders acquire and recycle a buffer each.
+pub fn arena_model(variant: ArenaVariant) {
+    let in_use = MAtomicU64::new("in_use", 0);
+    let high_water = MAtomicU64::new("high_water", 0);
+
+    let other = {
+        let (in_use, high_water) = (in_use.clone(), high_water.clone());
+        spawn(move || {
+            acquire(variant, &in_use, &high_water);
+            recycle(&in_use);
+        })
+    };
+
+    // The root is the second holder.
+    acquire(variant, &in_use, &high_water);
+    recycle(&in_use);
+
+    other.join();
+
+    assert_eq!(
+        in_use.load(Ordering::Acquire),
+        0,
+        "arena in-use counter nonzero after all buffers recycled"
+    );
+    let peak = high_water.load(Ordering::Acquire);
+    assert!(
+        (1..=2).contains(&peak),
+        "high-water mark {peak} outside the possible range 1..=2"
+    );
+}

@@ -1,0 +1,125 @@
+//! Model of the `EventRing` seqlock slot protocol
+//! (`crates/telemetry/src/journal.rs`).
+//!
+//! Two writers race to publish a record into the **same ring slot** (their
+//! global indices differ by one full ring lap, as happens after the ring
+//! wraps) while a reader snapshots it. The invariant: a reader that
+//! *accepts* a record (stable, completed sequence word) must see one
+//! writer's fields as a matched pair — never a mix of two writers, never
+//! the slot's initial state.
+//!
+//! [`SeqlockVariant::CasClaim`] is the canonical protocol: a writer claims
+//! the slot by CAS-ing the sequence word from a stable (even) value to its
+//! own odd claim marker `2·index + 1`, abandoning the record on any
+//! interference, and stamps `2·(index + 1)` with `Release` when the fields
+//! are in place. Readers accept only stable non-zero *even* words.
+//!
+//! The mutants are the two bugs this model exists to catch:
+//!
+//! - [`SeqlockVariant::RelaxedStamp`] — the final stamp written `Relaxed`.
+//!   The store-buffer model lets the stamp commit before the field writes,
+//!   so a reader accepts the slot's stale fields.
+//! - [`SeqlockVariant::PlainStoreClaim`] — the pre-claim protocol the ring
+//!   originally shipped: writers "claim" with `seq.store(0)` and stamp
+//!   `index + 1`, with no collision detection. Two lapped writers
+//!   interleave claim/stamp so the reader accepts writer A's stamp over a
+//!   mix of A's and B's fields.
+
+use crate::sync::{spawn, MAtomicU64};
+use std::sync::atomic::Ordering;
+
+/// Which slot protocol to check. See the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeqlockVariant {
+    /// Canonical CAS-claim / odd-even protocol — must pass exhaustively.
+    CasClaim,
+    /// Mutant: completion stamp written `Relaxed` — torn read reachable.
+    RelaxedStamp,
+    /// Mutant: original claim-by-store protocol — lapped writers tear.
+    PlainStoreClaim,
+}
+
+/// Ring capacity implied by the two writer indices: writer 0 records index
+/// 0, writer 1 records index `LAP` (same slot, one lap later).
+const LAP: u64 = 4;
+
+fn writer(
+    variant: SeqlockVariant,
+    seq: &MAtomicU64,
+    name: &MAtomicU64,
+    value: &MAtomicU64,
+    w: u64,
+) {
+    let index = w * LAP;
+    match variant {
+        SeqlockVariant::CasClaim | SeqlockVariant::RelaxedStamp => {
+            let claim = 2 * index + 1;
+            let stamp = 2 * (index + 1);
+            let current = seq.load(Ordering::Acquire);
+            if current % 2 == 1 || current >= claim {
+                // Another writer is mid-flight, or a same-or-newer record
+                // already owns the slot: abandon (counts as dropped).
+                return;
+            }
+            if seq
+                .compare_exchange(current, claim, Ordering::AcqRel)
+                .is_err()
+            {
+                return;
+            }
+            name.store(10 + w, Ordering::Relaxed);
+            value.store(100 + w, Ordering::Relaxed);
+            let stamp_order = if variant == SeqlockVariant::RelaxedStamp {
+                Ordering::Relaxed
+            } else {
+                Ordering::Release
+            };
+            seq.store(stamp, stamp_order);
+        }
+        SeqlockVariant::PlainStoreClaim => {
+            seq.store(0, Ordering::Release);
+            name.store(10 + w, Ordering::Relaxed);
+            value.store(100 + w, Ordering::Relaxed);
+            seq.store(index + 1, Ordering::Release);
+        }
+    }
+}
+
+fn read_once(variant: SeqlockVariant, seq: &MAtomicU64, name: &MAtomicU64, value: &MAtomicU64) {
+    let before = seq.load(Ordering::Acquire);
+    let stable = match variant {
+        SeqlockVariant::CasClaim | SeqlockVariant::RelaxedStamp => before != 0 && before.is_multiple_of(2),
+        SeqlockVariant::PlainStoreClaim => before != 0,
+    };
+    if !stable {
+        return;
+    }
+    let n = name.load(Ordering::Relaxed);
+    let v = value.load(Ordering::Relaxed);
+    if seq.load(Ordering::Acquire) != before {
+        return;
+    }
+    // Accepted: the fields must be one writer's matched pair.
+    assert!(
+        v == n + 90 && n >= 10,
+        "torn read: accepted seq {before} with name {n} / value {v}"
+    );
+}
+
+/// One execution of the model: two lapped writers, one reader, one slot.
+pub fn slot_model(variant: SeqlockVariant) {
+    let seq = MAtomicU64::new("slot.seq", 0);
+    let name = MAtomicU64::new("slot.name", 0);
+    let value = MAtomicU64::new("slot.value", 0);
+
+    let (s0, n0, v0) = (seq.clone(), name.clone(), value.clone());
+    let a = spawn(move || writer(variant, &s0, &n0, &v0, 0));
+    let (s1, n1, v1) = (seq.clone(), name.clone(), value.clone());
+    let b = spawn(move || writer(variant, &s1, &n1, &v1, 1));
+
+    // The root thread is the reader.
+    read_once(variant, &seq, &name, &value);
+
+    a.join();
+    b.join();
+}

@@ -1,0 +1,752 @@
+//! The virtual scheduler: shared execution state, the baton handshake
+//! between the checker thread and model threads, and transition effects.
+//!
+//! One execution of a model runs every model thread as a real OS thread,
+//! but **exactly one actor is ever active**: either the scheduler (the
+//! checker's thread) or a single granted model thread. Model threads park
+//! on a condvar at every *scheduling point* — each operation on a model
+//! type ([`MAtomicU64`](crate::sync::MAtomicU64),
+//! [`MMutex`](crate::sync::MMutex), …) declares itself and parks before it
+//! takes effect. The scheduler inspects the declared operations, picks the
+//! next transition (DFS, random, or replayed), and hands the baton to that
+//! thread, which applies the effect under the state lock and keeps running
+//! until its next scheduling point. Interleaving is therefore decided
+//! entirely by the scheduler's picks, which makes every execution
+//! reproducible from its choice sequence.
+//!
+//! ## The memory model
+//!
+//! Sequential consistency is the baseline: effects apply in the order the
+//! scheduler grants them. On top of that, **relaxed stores are buffered**:
+//! a `store(…, Relaxed)` lands in the storing thread's private buffer
+//! (visible to its own later loads, invisible to everyone else) and is
+//! *committed* to shared memory by a separate scheduler transition — one
+//! per pending store, in any order. Release stores and read-modify-writes
+//! flush the thread's buffer first, spawn/join and mutex release/acquire
+//! edges flush as the corresponding synchronization would. This is a
+//! deliberately small model — it simulates store-store reordering (the
+//! ARM-flavoured failure mode of a `Relaxed`-published seqlock) but not
+//! load-load reordering; see the crate docs for the fine print.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Upper bound on model threads per execution; keeps state-space explosion
+/// (and accidental fork bombs in models) obvious early.
+pub(crate) const MAX_THREADS: usize = 8;
+
+/// Memory-ordering class of a model operation, collapsed from
+/// [`std::sync::atomic::Ordering`] to what the store-buffer model
+/// distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum OrderClass {
+    /// May be buffered / reordered.
+    Relaxed,
+    /// Flushes the executing thread's store buffer before taking effect.
+    Sync,
+}
+
+impl OrderClass {
+    pub(crate) fn of_store(order: Ordering) -> OrderClass {
+        match order {
+            Ordering::Release | Ordering::AcqRel | Ordering::SeqCst => OrderClass::Sync,
+            _ => OrderClass::Relaxed,
+        }
+    }
+
+    pub(crate) fn of_rmw(order: Ordering) -> OrderClass {
+        match order {
+            Ordering::Relaxed => OrderClass::Relaxed,
+            _ => OrderClass::Sync,
+        }
+    }
+}
+
+/// A read-modify-write flavour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RmwKind {
+    /// `fetch_add` (wrapping).
+    Add,
+    /// `fetch_sub` (wrapping).
+    Sub,
+    /// `fetch_max`.
+    Max,
+    /// `swap`.
+    Swap,
+    /// `compare_exchange(expected, new)`.
+    Cas,
+}
+
+/// A declared model operation — what a thread is about to do at its current
+/// scheduling point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Op {
+    /// Thread created, waiting to run its first instruction.
+    Start,
+    /// Explicit `yield_now` scheduling point.
+    Yield,
+    /// `spawn`: registers the child thread (release edge).
+    Spawn,
+    /// `join(thread)`: enabled once the target finished (acquire edge).
+    Join(usize),
+    /// Atomic load.
+    Load { loc: usize },
+    /// Atomic store.
+    Store {
+        loc: usize,
+        value: u64,
+        class: OrderClass,
+    },
+    /// Atomic read-modify-write. `operand2` is the CAS replacement value.
+    Rmw {
+        loc: usize,
+        kind: RmwKind,
+        operand: u64,
+        operand2: u64,
+        class: OrderClass,
+    },
+    /// Mutex acquire: enabled while unowned.
+    MutexLock(usize),
+    /// Mutex release (release edge).
+    MutexUnlock(usize),
+    /// Condvar wait: atomically releases the mutex and blocks.
+    CvWait { cv: usize, mutex: usize },
+    /// Condvar notify. `all` wakes every waiter, otherwise the oldest.
+    CvNotify { cv: usize, all: bool },
+}
+
+/// Where a parked thread stands, from the scheduler's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Phase {
+    /// Parked at a scheduling point with a declared operation.
+    AtYield(Op),
+    /// Granted the baton; executing model code.
+    Running,
+    /// Blocked inside `Condvar::wait`, not schedulable until notified.
+    BlockedCv { cv: usize, mutex: usize },
+    /// Closure returned (or panicked).
+    Finished,
+}
+
+/// Which actor may currently mutate model state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Actor {
+    Scheduler,
+    Thread(usize),
+}
+
+/// One entry in a thread's relaxed-store buffer.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PendingStore {
+    pub loc: usize,
+    pub value: u64,
+}
+
+pub(crate) struct ThreadInfo {
+    pub phase: Phase,
+    /// Relaxed stores not yet visible to other threads, program order.
+    pub pending: Vec<PendingStore>,
+}
+
+pub(crate) struct Location {
+    pub name: String,
+    /// The committed (globally visible) value.
+    pub value: u64,
+}
+
+pub(crate) struct MutexInfo {
+    pub name: String,
+    pub owner: Option<usize>,
+}
+
+pub(crate) struct CvInfo {
+    pub name: String,
+    /// Threads parked in `wait`, oldest first.
+    pub waiters: Vec<usize>,
+}
+
+/// One recorded transition, compact so the per-execution trace costs no
+/// allocation beyond the `Vec` itself; rendered to text only on violation.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum StepKind {
+    Start,
+    Yield,
+    Spawn {
+        child: usize,
+    },
+    Join {
+        target: usize,
+    },
+    Load {
+        loc: usize,
+        value: u64,
+        own: bool,
+    },
+    StoreBuffered {
+        loc: usize,
+        value: u64,
+    },
+    StoreCommitted {
+        loc: usize,
+        value: u64,
+    },
+    Rmw {
+        loc: usize,
+        kind: RmwKind,
+        prev: u64,
+        new: u64,
+    },
+    Lock {
+        mutex: usize,
+    },
+    Unlock {
+        mutex: usize,
+    },
+    CvWait {
+        cv: usize,
+    },
+    CvNotify {
+        cv: usize,
+        woken: usize,
+    },
+    /// Scheduler-chosen commit of a buffered relaxed store.
+    Commit {
+        loc: usize,
+        value: u64,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Step {
+    pub thread: usize,
+    pub kind: StepKind,
+}
+
+/// Everything an execution mutates, behind [`SchedShared::state`].
+pub(crate) struct SchedState {
+    pub active: Actor,
+    pub abort: bool,
+    pub threads: Vec<ThreadInfo>,
+    pub locations: Vec<Location>,
+    pub mutexes: Vec<MutexInfo>,
+    pub condvars: Vec<CvInfo>,
+    pub trace: Vec<Step>,
+    /// First failure observed (panic message from a model thread).
+    pub failure: Option<String>,
+    pub os_handles: Vec<Option<std::thread::JoinHandle<()>>>,
+}
+
+pub(crate) struct SchedShared {
+    pub state: Mutex<SchedState>,
+    pub cv: Condvar,
+}
+
+impl SchedShared {
+    pub fn new() -> Arc<SchedShared> {
+        Arc::new(SchedShared {
+            state: Mutex::new(SchedState {
+                active: Actor::Scheduler,
+                abort: false,
+                threads: Vec::new(),
+                locations: Vec::new(),
+                mutexes: Vec::new(),
+                condvars: Vec::new(),
+                trace: Vec::new(),
+                failure: None,
+                os_handles: Vec::new(),
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    pub fn lock(&self) -> MutexGuard<'_, SchedState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Panic payload used to unwind model threads when an execution is torn
+/// down early (violation found, or the checker is shutting down).
+pub(crate) struct AbortToken;
+
+// ---------------------------------------------------------------------------
+// Per-thread context
+// ---------------------------------------------------------------------------
+
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    pub shared: Arc<SchedShared>,
+    pub id: usize,
+}
+
+thread_local! {
+    static CTX: std::cell::RefCell<Option<Ctx>> = const { std::cell::RefCell::new(None) };
+    static LAST_PANIC_LOCATION: std::cell::RefCell<Option<String>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// The calling thread's model context; panics (with a clear message) when
+/// a model type is used outside [`crate::check`]/[`crate::fuzz`].
+pub(crate) fn current_ctx() -> Ctx {
+    CTX.with(|cell| {
+        cell.borrow().clone().expect(
+            "sesr-verify model types (MAtomicU64, MMutex, …) may only be used \
+             inside a checker execution — wrap the code in sesr_verify::check()",
+        )
+    })
+}
+
+pub(crate) fn in_model_thread() -> bool {
+    CTX.with(|cell| cell.borrow().is_some())
+}
+
+/// Install (once, process-wide) a panic hook that swallows the default
+/// stderr report for panics on model threads: model-thread panics are
+/// *expected* — they are how violations and teardown unwinds surface — and
+/// the checker reports them itself. The hook records the panic location so
+/// the violation message can include it.
+pub(crate) fn install_panic_hook() {
+    static INIT: std::sync::Once = std::sync::Once::new();
+    INIT.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if in_model_thread() {
+                let location = info
+                    .location()
+                    .map(|l| format!("{}:{}", l.file(), l.line()));
+                LAST_PANIC_LOCATION.with(|cell| *cell.borrow_mut() = location);
+            } else {
+                default(info);
+            }
+        }));
+    });
+}
+
+/// Turn a `catch_unwind` payload into a violation message, or `None` for
+/// the checker's own teardown token.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> Option<String> {
+    if payload.downcast_ref::<AbortToken>().is_some() {
+        return None;
+    }
+    let text = if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        match payload.downcast::<String>() {
+            Ok(s) => *s,
+            Err(_) => "model thread panicked with a non-string payload".to_string(),
+        }
+    };
+    let location = LAST_PANIC_LOCATION.with(|cell| cell.borrow_mut().take());
+    Some(match location {
+        Some(loc) => format!("{text} (at {loc})"),
+        None => text,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// The baton: parking, granting, and applying effects
+// ---------------------------------------------------------------------------
+
+/// What applying an effect tells the yielding loop to do next.
+enum EffectFlow {
+    /// Operation complete; return `value` to the model code.
+    Done(u64),
+    /// The thread blocked (condvar wait); park again and wait for the next
+    /// granted operation.
+    Reparked,
+}
+
+/// Declare `op`, park until the scheduler grants it (possibly a different
+/// op after condvar re-arming), apply its effect, and return its result.
+pub(crate) fn yield_op(ctx: &Ctx, op: Op) -> u64 {
+    // A guard dropped during a panic unwind still reaches this function
+    // (mutex unlock); parking for a scheduler grant mid-unwind risks a
+    // double panic on abort, so apply the effect out-of-band instead. The
+    // execution is already being reported as failed — determinism of the
+    // remainder no longer matters.
+    if std::thread::panicking() {
+        let mut st = ctx.shared.lock();
+        if let Op::MutexUnlock(m) = op {
+            st.mutexes[m].owner = None;
+        }
+        return 0;
+    }
+
+    let mut st = ctx.shared.lock();
+    st.threads[ctx.id].phase = Phase::AtYield(op);
+    st.active = Actor::Scheduler;
+    ctx.shared.cv.notify_all();
+    loop {
+        while !(st.abort || st.active == Actor::Thread(ctx.id)) {
+            st = ctx
+                .shared
+                .cv
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        if st.abort {
+            drop(st);
+            std::panic::panic_any(AbortToken);
+        }
+        let granted = match st.threads[ctx.id].phase {
+            Phase::AtYield(granted) => granted,
+            phase => unreachable!("granted thread must be parked at a yield, found {phase:?}"),
+        };
+        match apply_effect(&mut st, ctx.id, granted) {
+            EffectFlow::Done(value) => {
+                st.threads[ctx.id].phase = Phase::Running;
+                return value;
+            }
+            EffectFlow::Reparked => {
+                st.active = Actor::Scheduler;
+                ctx.shared.cv.notify_all();
+            }
+        }
+    }
+}
+
+/// First park of a fresh thread (its `Start` op was declared at
+/// registration time by the spawner).
+pub(crate) fn initial_park(ctx: &Ctx) {
+    let mut st = ctx.shared.lock();
+    while !(st.abort || st.active == Actor::Thread(ctx.id)) {
+        st = ctx
+            .shared
+            .cv
+            .wait(st)
+            .unwrap_or_else(PoisonError::into_inner);
+    }
+    if st.abort {
+        drop(st);
+        std::panic::panic_any(AbortToken);
+    }
+    st.trace.push(Step {
+        thread: ctx.id,
+        kind: StepKind::Start,
+    });
+    st.threads[ctx.id].phase = Phase::Running;
+}
+
+/// Mark the thread finished and hand the baton back.
+pub(crate) fn finish_thread(ctx: &Ctx, failure: Option<String>) {
+    let mut st = ctx.shared.lock();
+    st.threads[ctx.id].phase = Phase::Finished;
+    if let Some(message) = failure {
+        if st.failure.is_none() {
+            st.failure = Some(message);
+        }
+    }
+    st.active = Actor::Scheduler;
+    ctx.shared.cv.notify_all();
+}
+
+/// Flush every pending store of `thread`, oldest first (a release edge).
+fn flush_pending(st: &mut SchedState, thread: usize) {
+    let pending = std::mem::take(&mut st.threads[thread].pending);
+    for store in pending {
+        st.locations[store.loc].value = store.value;
+    }
+}
+
+/// Apply the effect of `op` for `thread`. Runs under the state lock while
+/// the thread holds the baton, so effects are atomic transitions.
+fn apply_effect(st: &mut SchedState, thread: usize, op: Op) -> EffectFlow {
+    let step = |st: &mut SchedState, kind: StepKind| st.trace.push(Step { thread, kind });
+    match op {
+        Op::Start => unreachable!("Start is consumed by initial_park"),
+        Op::Yield => {
+            step(st, StepKind::Yield);
+            EffectFlow::Done(0)
+        }
+        Op::Spawn => {
+            // Everything the parent wrote is visible to the child.
+            flush_pending(st, thread);
+            assert!(
+                st.threads.len() < MAX_THREADS,
+                "model spawned more than {MAX_THREADS} threads"
+            );
+            let child = st.threads.len();
+            st.threads.push(ThreadInfo {
+                phase: Phase::AtYield(Op::Start),
+                pending: Vec::new(),
+            });
+            st.os_handles.push(None);
+            step(st, StepKind::Spawn { child });
+            EffectFlow::Done(child as u64)
+        }
+        Op::Join(target) => {
+            // Everything the joined thread wrote is visible afterwards.
+            flush_pending(st, target);
+            step(st, StepKind::Join { target });
+            EffectFlow::Done(0)
+        }
+        Op::Load { loc } => {
+            // A thread always sees its own latest (possibly uncommitted)
+            // store; otherwise the committed value.
+            let own = st.threads[thread]
+                .pending
+                .iter()
+                .rev()
+                .find(|p| p.loc == loc)
+                .map(|p| p.value);
+            let value = own.unwrap_or(st.locations[loc].value);
+            step(
+                st,
+                StepKind::Load {
+                    loc,
+                    value,
+                    own: own.is_some(),
+                },
+            );
+            EffectFlow::Done(value)
+        }
+        Op::Store { loc, value, class } => match class {
+            OrderClass::Relaxed => {
+                // Coherence: a newer store to the same location replaces the
+                // buffered one (the old value was simply never observed).
+                let pending = &mut st.threads[thread].pending;
+                match pending.iter_mut().find(|p| p.loc == loc) {
+                    Some(entry) => entry.value = value,
+                    None => pending.push(PendingStore { loc, value }),
+                }
+                step(st, StepKind::StoreBuffered { loc, value });
+                EffectFlow::Done(0)
+            }
+            OrderClass::Sync => {
+                flush_pending(st, thread);
+                st.locations[loc].value = value;
+                step(st, StepKind::StoreCommitted { loc, value });
+                EffectFlow::Done(0)
+            }
+        },
+        Op::Rmw {
+            loc,
+            kind,
+            operand,
+            operand2,
+            class,
+        } => {
+            match class {
+                // Even a relaxed RMW acts on the location's modification
+                // order: the thread's own buffered store to this location
+                // must land first.
+                OrderClass::Relaxed => {
+                    let pending = &mut st.threads[thread].pending;
+                    if let Some(pos) = pending.iter().position(|p| p.loc == loc) {
+                        let entry = pending.remove(pos);
+                        st.locations[entry.loc].value = entry.value;
+                    }
+                }
+                OrderClass::Sync => flush_pending(st, thread),
+            }
+            let prev = st.locations[loc].value;
+            let new = match kind {
+                RmwKind::Add => prev.wrapping_add(operand),
+                RmwKind::Sub => prev.wrapping_sub(operand),
+                RmwKind::Max => prev.max(operand),
+                RmwKind::Swap => operand,
+                RmwKind::Cas => {
+                    if prev == operand {
+                        operand2
+                    } else {
+                        prev
+                    }
+                }
+            };
+            st.locations[loc].value = new;
+            step(
+                st,
+                StepKind::Rmw {
+                    loc,
+                    kind,
+                    prev,
+                    new,
+                },
+            );
+            EffectFlow::Done(prev)
+        }
+        Op::MutexLock(mutex) => {
+            assert!(
+                st.mutexes[mutex].owner.is_none(),
+                "scheduler granted a lock on an owned mutex (scheduler bug)"
+            );
+            st.mutexes[mutex].owner = Some(thread);
+            step(st, StepKind::Lock { mutex });
+            EffectFlow::Done(0)
+        }
+        Op::MutexUnlock(mutex) => {
+            assert_eq!(
+                st.mutexes[mutex].owner,
+                Some(thread),
+                "model bug: unlocked a mutex it does not own"
+            );
+            st.mutexes[mutex].owner = None;
+            flush_pending(st, thread);
+            step(st, StepKind::Unlock { mutex });
+            EffectFlow::Done(0)
+        }
+        Op::CvWait { cv, mutex } => {
+            assert_eq!(
+                st.mutexes[mutex].owner,
+                Some(thread),
+                "model bug: Condvar::wait without holding the mutex"
+            );
+            st.mutexes[mutex].owner = None;
+            flush_pending(st, thread);
+            st.condvars[cv].waiters.push(thread);
+            st.threads[thread].phase = Phase::BlockedCv { cv, mutex };
+            step(st, StepKind::CvWait { cv });
+            EffectFlow::Reparked
+        }
+        Op::CvNotify { cv, all } => {
+            let woken = if all {
+                std::mem::take(&mut st.condvars[cv].waiters)
+            } else if st.condvars[cv].waiters.is_empty() {
+                Vec::new()
+            } else {
+                vec![st.condvars[cv].waiters.remove(0)]
+            };
+            let count = woken.len();
+            for waiter in woken {
+                let mutex = match st.threads[waiter].phase {
+                    Phase::BlockedCv { mutex, .. } => mutex,
+                    phase => unreachable!("condvar waiter in phase {phase:?}"),
+                };
+                // A woken waiter competes for the mutex like any locker.
+                st.threads[waiter].phase = Phase::AtYield(Op::MutexLock(mutex));
+            }
+            step(st, StepKind::CvNotify { cv, woken: count });
+            EffectFlow::Done(count as u64)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Model-thread lifecycle
+// ---------------------------------------------------------------------------
+
+/// Register a new thread in `st` and return its id. The spawner (or the
+/// checker, for the root) must subsequently start an OS thread via
+/// [`run_model_thread`] with the same id.
+pub(crate) fn register_thread(st: &mut SchedState) -> usize {
+    let id = st.threads.len();
+    st.threads.push(ThreadInfo {
+        phase: Phase::AtYield(Op::Start),
+        pending: Vec::new(),
+    });
+    st.os_handles.push(None);
+    id
+}
+
+/// Body of every model OS thread: bind the context, park for the first
+/// grant, run the closure, report the outcome.
+pub(crate) fn run_model_thread<F: FnOnce() + Send + 'static>(
+    shared: Arc<SchedShared>,
+    id: usize,
+    f: F,
+) {
+    let ctx = Ctx { shared, id };
+    CTX.with(|cell| *cell.borrow_mut() = Some(ctx.clone()));
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        initial_park(&ctx);
+        f();
+    }));
+    let failure = match outcome {
+        Ok(()) => None,
+        Err(payload) => panic_message(payload),
+    };
+    finish_thread(&ctx, failure);
+    CTX.with(|cell| *cell.borrow_mut() = None);
+}
+
+// ---------------------------------------------------------------------------
+// Registration helpers used by the model types
+// ---------------------------------------------------------------------------
+
+pub(crate) fn register_location(ctx: &Ctx, name: &str, value: u64) -> usize {
+    let mut st = ctx.shared.lock();
+    let id = st.locations.len();
+    st.locations.push(Location {
+        name: name.to_string(),
+        value,
+    });
+    id
+}
+
+pub(crate) fn register_mutex(ctx: &Ctx, name: &str) -> usize {
+    let mut st = ctx.shared.lock();
+    let id = st.mutexes.len();
+    st.mutexes.push(MutexInfo {
+        name: name.to_string(),
+        owner: None,
+    });
+    id
+}
+
+pub(crate) fn register_condvar(ctx: &Ctx, name: &str) -> usize {
+    let mut st = ctx.shared.lock();
+    let id = st.condvars.len();
+    st.condvars.push(CvInfo {
+        name: name.to_string(),
+        waiters: Vec::new(),
+    });
+    id
+}
+
+// ---------------------------------------------------------------------------
+// Trace rendering
+// ---------------------------------------------------------------------------
+
+/// Render the compact trace to human-readable lines, one per transition.
+pub(crate) fn render_trace(st: &SchedState) -> Vec<String> {
+    let loc = |i: usize| st.locations[i].name.as_str();
+    let mtx = |i: usize| st.mutexes[i].name.as_str();
+    let cvn = |i: usize| st.condvars[i].name.as_str();
+    st.trace
+        .iter()
+        .map(|s| {
+            let t = s.thread;
+            match s.kind {
+                StepKind::Start => format!("t{t} starts"),
+                StepKind::Yield => format!("t{t} yields"),
+                StepKind::Spawn { child } => format!("t{t} spawns t{child}"),
+                StepKind::Join { target } => format!("t{t} joins t{target}"),
+                StepKind::Load { loc: l, value, own } => format!(
+                    "t{t} {}.load -> {value}{}",
+                    loc(l),
+                    if own { " (own buffered store)" } else { "" }
+                ),
+                StepKind::StoreBuffered { loc: l, value } => {
+                    format!("t{t} {}.store({value}, Relaxed) [buffered]", loc(l))
+                }
+                StepKind::StoreCommitted { loc: l, value } => {
+                    format!("t{t} {}.store({value}, Release)", loc(l))
+                }
+                StepKind::Rmw {
+                    loc: l,
+                    kind,
+                    prev,
+                    new,
+                } => {
+                    let name = match kind {
+                        RmwKind::Add => "fetch_add",
+                        RmwKind::Sub => "fetch_sub",
+                        RmwKind::Max => "fetch_max",
+                        RmwKind::Swap => "swap",
+                        RmwKind::Cas => "compare_exchange",
+                    };
+                    format!("t{t} {}.{name}: {prev} -> {new}", loc(l))
+                }
+                StepKind::Lock { mutex } => format!("t{t} locks {}", mtx(mutex)),
+                StepKind::Unlock { mutex } => format!("t{t} unlocks {}", mtx(mutex)),
+                StepKind::CvWait { cv } => format!("t{t} waits on {}", cvn(cv)),
+                StepKind::CvNotify { cv, woken } => {
+                    format!("t{t} notifies {} ({woken} woken)", cvn(cv))
+                }
+                StepKind::Commit { loc: l, value } => {
+                    format!("   [hw] commit of t{t}'s buffered {} = {value}", loc(l))
+                }
+            }
+        })
+        .collect()
+}

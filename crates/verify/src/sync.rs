@@ -1,0 +1,323 @@
+//! Model synchronization types — the vocabulary protocols are written in.
+//!
+//! Each type mirrors a `std::sync` counterpart but routes every operation
+//! through the virtual scheduler as an explicit scheduling point:
+//!
+//! | model type | stands in for |
+//! |---|---|
+//! | [`MAtomicU64`] / [`MAtomicUsize`] | `std::sync::atomic::AtomicU64` / `AtomicUsize` |
+//! | [`MMutex`] | `std::sync::Mutex` |
+//! | [`MCondvar`] | `std::sync::Condvar` |
+//! | [`spawn`] / [`JoinHandle`] | `std::thread::spawn` / `JoinHandle` |
+//!
+//! The types are `Clone`: clones alias the **same** logical variable (the
+//! clone is how a model shares state across model threads, where real code
+//! would share an `Arc`). They may only be used inside a checker execution
+//! ([`crate::check`], [`crate::fuzz`], [`crate::replay`]); any use outside
+//! one panics with a descriptive message.
+
+use crate::sched::{self, Op, OrderClass, RmwKind};
+use std::sync::atomic::Ordering;
+
+/// Model of `AtomicU64`. Relaxed stores are buffered (visible to the
+/// storing thread, committed to other threads by a later scheduler
+/// transition); release stores and non-relaxed RMWs flush the buffer.
+#[derive(Clone)]
+pub struct MAtomicU64 {
+    loc: usize,
+}
+
+impl MAtomicU64 {
+    /// A new location, named for the violation trace.
+    pub fn new(name: &str, value: u64) -> MAtomicU64 {
+        let ctx = sched::current_ctx();
+        MAtomicU64 {
+            loc: sched::register_location(&ctx, name, value),
+        }
+    }
+
+    fn op(&self, op: Op) -> u64 {
+        let ctx = sched::current_ctx();
+        sched::yield_op(&ctx, op)
+    }
+
+    /// Atomic load.
+    pub fn load(&self, _order: Ordering) -> u64 {
+        self.op(Op::Load { loc: self.loc })
+    }
+
+    /// Atomic store. `Relaxed` buffers; `Release`/`SeqCst` publish.
+    pub fn store(&self, value: u64, order: Ordering) {
+        self.op(Op::Store {
+            loc: self.loc,
+            value,
+            class: OrderClass::of_store(order),
+        });
+    }
+
+    /// Wrapping `fetch_add`; returns the previous value.
+    pub fn fetch_add(&self, operand: u64, order: Ordering) -> u64 {
+        self.rmw(RmwKind::Add, operand, 0, order)
+    }
+
+    /// Wrapping `fetch_sub`; returns the previous value.
+    pub fn fetch_sub(&self, operand: u64, order: Ordering) -> u64 {
+        self.rmw(RmwKind::Sub, operand, 0, order)
+    }
+
+    /// `fetch_max`; returns the previous value.
+    pub fn fetch_max(&self, operand: u64, order: Ordering) -> u64 {
+        self.rmw(RmwKind::Max, operand, 0, order)
+    }
+
+    /// `swap`; returns the previous value.
+    pub fn swap(&self, operand: u64, order: Ordering) -> u64 {
+        self.rmw(RmwKind::Swap, operand, 0, order)
+    }
+
+    /// `compare_exchange` (strong): `Ok(previous)` when the exchange
+    /// happened, `Err(actual)` otherwise. The failure ordering is implied.
+    pub fn compare_exchange(&self, expected: u64, new: u64, order: Ordering) -> Result<u64, u64> {
+        let prev = self.rmw(RmwKind::Cas, expected, new, order);
+        if prev == expected {
+            Ok(prev)
+        } else {
+            Err(prev)
+        }
+    }
+
+    fn rmw(&self, kind: RmwKind, operand: u64, operand2: u64, order: Ordering) -> u64 {
+        self.op(Op::Rmw {
+            loc: self.loc,
+            kind,
+            operand,
+            operand2,
+            class: OrderClass::of_rmw(order),
+        })
+    }
+}
+
+/// Model of `AtomicUsize` — a thin cast layer over [`MAtomicU64`].
+#[derive(Clone)]
+pub struct MAtomicUsize {
+    inner: MAtomicU64,
+}
+
+impl MAtomicUsize {
+    /// A new location, named for the violation trace.
+    pub fn new(name: &str, value: usize) -> MAtomicUsize {
+        MAtomicUsize {
+            inner: MAtomicU64::new(name, value as u64),
+        }
+    }
+
+    /// Atomic load.
+    pub fn load(&self, order: Ordering) -> usize {
+        self.inner.load(order) as usize
+    }
+
+    /// Atomic store.
+    pub fn store(&self, value: usize, order: Ordering) {
+        self.inner.store(value as u64, order);
+    }
+
+    /// Wrapping `fetch_add`; returns the previous value.
+    pub fn fetch_add(&self, operand: usize, order: Ordering) -> usize {
+        self.inner.fetch_add(operand as u64, order) as usize
+    }
+
+    /// Wrapping `fetch_sub`; returns the previous value.
+    pub fn fetch_sub(&self, operand: usize, order: Ordering) -> usize {
+        self.inner.fetch_sub(operand as u64, order) as usize
+    }
+
+    /// `fetch_max`; returns the previous value.
+    pub fn fetch_max(&self, operand: usize, order: Ordering) -> usize {
+        self.inner.fetch_max(operand as u64, order) as usize
+    }
+}
+
+/// Model of `std::sync::Mutex<T>`. Lock acquisition is a scheduling point
+/// enabled only while the mutex is free; release is a release edge (the
+/// holder's buffered stores are published).
+pub struct MMutex<T> {
+    id: usize,
+    data: std::sync::Arc<std::sync::Mutex<T>>,
+}
+
+impl<T> Clone for MMutex<T> {
+    fn clone(&self) -> Self {
+        MMutex {
+            id: self.id,
+            data: std::sync::Arc::clone(&self.data),
+        }
+    }
+}
+
+impl<T> MMutex<T> {
+    /// A new mutex-protected value, named for the violation trace.
+    pub fn new(name: &str, value: T) -> MMutex<T> {
+        let ctx = sched::current_ctx();
+        MMutex {
+            id: sched::register_mutex(&ctx, name),
+            data: std::sync::Arc::new(std::sync::Mutex::new(value)),
+        }
+    }
+
+    /// Acquire the lock, blocking (virtually) while another model thread
+    /// holds it.
+    pub fn lock(&self) -> MMutexGuard<'_, T> {
+        let ctx = sched::current_ctx();
+        sched::yield_op(&ctx, Op::MutexLock(self.id));
+        // The virtual grant guarantees the std mutex is uncontended: only
+        // the virtual owner ever touches it.
+        let inner = self
+            .data
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        MMutexGuard {
+            mutex: self,
+            inner: Some(inner),
+        }
+    }
+}
+
+/// Guard returned by [`MMutex::lock`]; releasing it is a scheduling point.
+pub struct MMutexGuard<'a, T> {
+    mutex: &'a MMutex<T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T> std::ops::Deref for MMutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard data present while live")
+    }
+}
+
+impl<T> std::ops::DerefMut for MMutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard data present while live")
+    }
+}
+
+impl<T> Drop for MMutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the std guard before the virtual unlock: another thread
+        // is only granted the lock after the virtual owner clears.
+        self.inner = None;
+        let ctx = sched::current_ctx();
+        sched::yield_op(&ctx, Op::MutexUnlock(self.mutex.id));
+    }
+}
+
+/// Model of `std::sync::Condvar`.
+///
+/// Simplifications (documented, deliberate): no spurious wakeups are
+/// generated, and `notify_one` wakes the oldest waiter deterministically.
+/// Models should still use the standard `while !predicate { wait }` shape.
+#[derive(Clone)]
+pub struct MCondvar {
+    id: usize,
+}
+
+impl MCondvar {
+    /// A new condvar, named for the violation trace.
+    pub fn new(name: &str) -> MCondvar {
+        let ctx = sched::current_ctx();
+        MCondvar {
+            id: sched::register_condvar(&ctx, name),
+        }
+    }
+
+    /// Atomically release the guard's mutex and block until notified, then
+    /// reacquire and return a fresh guard.
+    pub fn wait<'a, T>(&self, mut guard: MMutexGuard<'a, T>) -> MMutexGuard<'a, T> {
+        let ctx = sched::current_ctx();
+        let mutex = guard.mutex;
+        // Drop the std guard by hand so the guard's Drop (a MutexUnlock
+        // scheduling point) does not also run.
+        guard.inner = None;
+        std::mem::forget(guard);
+        // One yield covers the whole wait: the CvWait effect releases the
+        // mutex and blocks; a notify re-arms the thread as a MutexLock
+        // request, whose grant completes this call.
+        sched::yield_op(
+            &ctx,
+            Op::CvWait {
+                cv: self.id,
+                mutex: mutex.id,
+            },
+        );
+        let inner = mutex
+            .data
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        MMutexGuard {
+            mutex,
+            inner: Some(inner),
+        }
+    }
+
+    /// Wake every waiter.
+    pub fn notify_all(&self) {
+        let ctx = sched::current_ctx();
+        sched::yield_op(
+            &ctx,
+            Op::CvNotify {
+                cv: self.id,
+                all: true,
+            },
+        );
+    }
+
+    /// Wake the oldest waiter, if any.
+    pub fn notify_one(&self) {
+        let ctx = sched::current_ctx();
+        sched::yield_op(
+            &ctx,
+            Op::CvNotify {
+                cv: self.id,
+                all: false,
+            },
+        );
+    }
+}
+
+/// Handle to a model thread; see [`spawn`].
+pub struct JoinHandle {
+    id: usize,
+}
+
+impl JoinHandle {
+    /// Block (virtually) until the thread finishes. A release/acquire
+    /// edge: the joined thread's writes are visible afterwards.
+    pub fn join(self) {
+        let ctx = sched::current_ctx();
+        sched::yield_op(&ctx, Op::Join(self.id));
+    }
+}
+
+/// Spawn a model thread. A scheduling point and a release edge: the
+/// spawner's writes so far are visible to the child.
+pub fn spawn<F: FnOnce() + Send + 'static>(f: F) -> JoinHandle {
+    let ctx = sched::current_ctx();
+    let child = sched::yield_op(&ctx, Op::Spawn) as usize;
+    // The spawner holds the baton, so the scheduler cannot grant the child
+    // before the OS thread below exists and its handle is stored.
+    let shared = std::sync::Arc::clone(&ctx.shared);
+    let handle = std::thread::spawn({
+        let shared = std::sync::Arc::clone(&shared);
+        move || sched::run_model_thread(shared, child, f)
+    });
+    shared.lock().os_handles[child] = Some(handle);
+    JoinHandle { id: child }
+}
+
+/// An explicit scheduling point with no effect — lets the scheduler
+/// preempt between two otherwise-atomic model steps.
+pub fn yield_now() {
+    let ctx = sched::current_ctx();
+    sched::yield_op(&ctx, Op::Yield);
+}

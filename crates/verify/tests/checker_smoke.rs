@@ -1,0 +1,160 @@
+//! Core checker semantics: the scheduler finds classic races, respects
+//! release edges, models relaxed store-store reordering, detects
+//! deadlocks, and replays recorded schedules deterministically.
+
+use sesr_verify::sync::{spawn, MAtomicU64, MCondvar, MMutex};
+use sesr_verify::{check, fuzz, replay, Config};
+use std::sync::atomic::Ordering;
+
+#[test]
+fn lost_update_is_found() {
+    let report = check(Config::default(), || {
+        let counter = MAtomicU64::new("counter", 0);
+        let c2 = counter.clone();
+        let t = spawn(move || {
+            let v = c2.load(Ordering::SeqCst);
+            c2.store(v + 1, Ordering::SeqCst);
+        });
+        let v = counter.load(Ordering::SeqCst);
+        counter.store(v + 1, Ordering::SeqCst);
+        t.join();
+        assert_eq!(counter.load(Ordering::SeqCst), 2, "lost update");
+    });
+    let violation = report.violation.expect("checker must find the lost update");
+    assert!(violation.message.contains("lost update"), "{}", violation);
+    assert!(!violation.trace.is_empty());
+}
+
+#[test]
+fn fetch_add_has_no_lost_update() {
+    let report = check(Config::default(), || {
+        let counter = MAtomicU64::new("counter", 0);
+        let c2 = counter.clone();
+        let t = spawn(move || {
+            c2.fetch_add(1, Ordering::SeqCst);
+        });
+        counter.fetch_add(1, Ordering::SeqCst);
+        t.join();
+        assert_eq!(counter.load(Ordering::SeqCst), 2);
+    });
+    assert!(report.passed(), "{report}");
+    assert!(report.complete);
+    assert!(report.schedules > 1, "must have explored interleavings");
+}
+
+#[test]
+fn relaxed_stores_reorder_but_release_publishes() {
+    // Message-passing litmus: data then flag. With a Relaxed flag store the
+    // commits can reorder and the reader observes flag=1, data=0; with a
+    // Release flag store the buffer is flushed first and the stale read is
+    // impossible.
+    let run = |flag_order: Ordering| {
+        check(Config::with_preemptions(3), move || {
+            let data = MAtomicU64::new("data", 0);
+            let flag = MAtomicU64::new("flag", 0);
+            let (d2, f2) = (data.clone(), flag.clone());
+            let t = spawn(move || {
+                d2.store(1, Ordering::Relaxed);
+                f2.store(1, flag_order);
+            });
+            if flag.load(Ordering::Acquire) == 1 {
+                assert_eq!(data.load(Ordering::Relaxed), 1, "stale data behind flag");
+            }
+            t.join();
+        })
+    };
+    let relaxed = run(Ordering::Relaxed);
+    assert!(
+        !relaxed.passed(),
+        "relaxed flag must allow the stale read: {relaxed}"
+    );
+    let release = run(Ordering::Release);
+    assert!(release.passed(), "release flag must forbid it: {release}");
+}
+
+#[test]
+fn deadlock_is_detected() {
+    let report = check(Config::default(), || {
+        let a = MMutex::new("a", ());
+        let b = MMutex::new("b", ());
+        let (a2, b2) = (a.clone(), b.clone());
+        let t = spawn(move || {
+            let _ga = a2.lock();
+            let _gb = b2.lock();
+        });
+        let _gb = b.lock();
+        let _ga = a.lock();
+        drop((_ga, _gb));
+        t.join();
+    });
+    let violation = report.violation.expect("AB/BA locking must deadlock");
+    assert!(violation.message.contains("deadlock"), "{}", violation);
+}
+
+#[test]
+fn condvar_wakes_waiter() {
+    let report = check(Config::default(), || {
+        let ready = MMutex::new("ready", false);
+        let cv = MCondvar::new("cv");
+        let (r2, cv2) = (ready.clone(), cv.clone());
+        let t = spawn(move || {
+            *r2.lock() = true;
+            cv2.notify_one();
+        });
+        let mut guard = ready.lock();
+        while !*guard {
+            guard = cv.wait(guard);
+        }
+        drop(guard);
+        t.join();
+    });
+    assert!(report.passed(), "{report}");
+}
+
+#[test]
+fn violation_schedule_replays_to_same_failure() {
+    let model = || {
+        let counter = MAtomicU64::new("counter", 0);
+        let c2 = counter.clone();
+        let t = spawn(move || {
+            let v = c2.load(Ordering::SeqCst);
+            c2.store(v + 1, Ordering::SeqCst);
+        });
+        let v = counter.load(Ordering::SeqCst);
+        counter.store(v + 1, Ordering::SeqCst);
+        t.join();
+        assert_eq!(counter.load(Ordering::SeqCst), 2, "lost update");
+    };
+    let found = check(Config::default(), model)
+        .violation
+        .expect("lost update found");
+    let replayed = replay(Config::default(), &found.schedule, model)
+        .violation
+        .expect("replay must reproduce the failure");
+    assert_eq!(replayed.message, found.message);
+    assert_eq!(replayed.schedule, found.schedule);
+}
+
+#[test]
+fn fuzz_finds_race_and_is_seed_deterministic() {
+    let model = || {
+        let counter = MAtomicU64::new("counter", 0);
+        let c2 = counter.clone();
+        let t = spawn(move || {
+            let v = c2.load(Ordering::SeqCst);
+            c2.store(v + 1, Ordering::SeqCst);
+        });
+        let v = counter.load(Ordering::SeqCst);
+        counter.store(v + 1, Ordering::SeqCst);
+        t.join();
+        assert_eq!(counter.load(Ordering::SeqCst), 2, "lost update");
+    };
+    let first = fuzz(Config::default(), 256, 42, model);
+    let second = fuzz(Config::default(), 256, 42, model);
+    let (a, b) = (
+        first.violation.expect("fuzzer should stumble on the race"),
+        second.violation.expect("same seed, same result"),
+    );
+    assert_eq!(a.schedule, b.schedule, "fuzzing must be seed-deterministic");
+    assert_eq!(a.seed, Some(42));
+}

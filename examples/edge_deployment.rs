@@ -9,6 +9,7 @@
 //! cargo run --release -p sesr-defense --example edge_deployment
 //! ```
 
+#![forbid(unsafe_code)]
 #![allow(deprecated)] // run_table4 is the legacy path; see examples/eval_plan.rs
 
 use sesr_defense::experiments::run_table4;

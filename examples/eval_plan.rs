@@ -11,6 +11,8 @@
 //! Passing a store directory persists the trained weights, so a second
 //! invocation trains nothing at all.
 
+#![forbid(unsafe_code)]
+
 use sesr_attacks::AttackKind;
 use sesr_defense::eval::{
     DefenseSpec, EvalPlan, EvalSink, JsonSink, ModelBank, ScenarioSpec, TextTableSink,

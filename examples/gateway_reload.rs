@@ -24,6 +24,8 @@
 //!    outputs change after retraining, without a restart;
 //! 3. the `ReloadWatcher` picks a newly saved artifact up automatically.
 
+#![forbid(unsafe_code)]
+
 use sesr_datagen::{SrDataset, SrDatasetConfig};
 use sesr_defense::pipeline::{DefensePipeline, PreprocessConfig};
 use sesr_models::trainer::{SrLoss, SrTrainer, SrTrainingConfig};
@@ -131,6 +133,7 @@ fn main() -> Result<(), ServeError> {
 
     let load_client = client.clone();
     let load_image = image.clone();
+    // lint: allow(thread-spawn): example drives load from a plain thread on purpose
     let in_flight = std::thread::spawn(move || -> Result<usize, ServeError> {
         let mut answered = 0;
         for _ in 0..40 {

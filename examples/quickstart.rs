@@ -7,6 +7,8 @@
 //! cargo run --release -p sesr-defense --example quickstart
 //! ```
 
+#![forbid(unsafe_code)]
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sesr_attacks::{AttackConfig, AttackKind};

@@ -39,6 +39,10 @@
 //!    recovers. The peak (firing) snapshot is written to
 //!    `BENCH_serve_health.json` for `sesr-top --check` to chew on.
 
+// lint: allow-file(atomic-ordering): throughput counters in a demo harness; Relaxed totals read after join
+
+#![forbid(unsafe_code)]
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sesr_defense::pipeline::{DefensePipeline, PreprocessConfig};

@@ -8,6 +8,8 @@
 //! cargo run --release -p sesr-defense --example sesr_collapse
 //! ```
 
+#![forbid(unsafe_code)]
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sesr_models::cost::{paper_cost, paper_reported};

@@ -20,6 +20,8 @@
 //! outputs, and the stored weights beat the seeded-random fallback on a
 //! held-out PSNR evaluation.
 
+#![forbid(unsafe_code)]
+
 use sesr_datagen::{SrDataset, SrDatasetConfig};
 use sesr_defense::pipeline::PreprocessConfig;
 use sesr_models::trainer::{evaluate_upscaler_psnr, SrLoss, SrTrainer, SrTrainingConfig};
