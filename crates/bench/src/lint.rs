@@ -53,10 +53,10 @@ pub fn explain(rule: &str) -> Option<&'static str> {
         ),
         "thread-spawn" => Some(
             "thread-spawn: `thread::spawn` is confined to the serving-stack infrastructure\n\
-             (crates/serve shard/gateway/slo/telemetry modules) and the sesr-verify\n\
-             scheduler, plus test code. Ad-hoc threads bypass the drain/retire and\n\
-             telemetry machinery; route work through spawn_shard or the evaluation plan's\n\
-             scoped workers instead, or annotate with a justification.",
+             (crates/serve shard/gateway/slo/telemetry modules, the crates/net reactor)\n\
+             and the sesr-verify scheduler, plus test code. Ad-hoc threads bypass the\n\
+             drain/retire and telemetry machinery; route work through spawn_shard or the\n\
+             evaluation plan's scoped workers instead, or annotate with a justification.",
         ),
         "forbid-unsafe" => Some(
             "forbid-unsafe: every crate root (src/lib.rs, src/main.rs, src/bin/*.rs,\n\
@@ -449,6 +449,7 @@ fn spawn_allowed(path: &Path) -> bool {
             "crates/serve/src/gateway.rs",
             "crates/serve/src/slo.rs",
             "crates/serve/src/telemetry.rs",
+            "crates/net/src/reactor.rs",
         ]
         .iter()
         .any(|allowed| p.ends_with(allowed))

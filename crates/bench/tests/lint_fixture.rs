@@ -46,6 +46,22 @@ fn write_fixture() -> PathBuf {
     )
     .unwrap();
 
+    // The thread-spawn allowlist is per-file, not per-crate: the net
+    // reactor may spawn its event-loop thread, but a sibling module in the
+    // same crate may not.
+    let net = root.join("crates/net/src");
+    std::fs::create_dir_all(&net).unwrap();
+    std::fs::write(
+        net.join("reactor.rs"),
+        "pub fn start() { std::thread::spawn(|| {}); }\n",
+    )
+    .unwrap();
+    std::fs::write(
+        net.join("sidecar.rs"),
+        "pub fn sneaky() { std::thread::spawn(|| {}); }\n",
+    )
+    .unwrap();
+
     root
 }
 
@@ -78,6 +94,14 @@ fn fixture_violations_produce_nonzero_exit_with_file_line_diagnostics() {
     assert!(
         !stdout.contains("prose.rs"),
         "comments/strings must not be flagged:\n{stdout}"
+    );
+    assert!(
+        !stdout.contains("crates/net/src/reactor.rs"),
+        "the net reactor is on the thread-spawn allowlist:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("crates/net/src/sidecar.rs:1: [thread-spawn]"),
+        "the allowlist must not blanket the net crate:\n{stdout}"
     );
 }
 

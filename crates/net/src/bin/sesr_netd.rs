@@ -1,0 +1,224 @@
+//! `sesr-netd` — stand up a defense gateway behind the network front-end.
+//!
+//! ```text
+//! sesr-netd [flags]
+//!
+//!   --addr HOST:PORT        bind address (default 127.0.0.1:0 = OS-chosen
+//!                           port; the bound address is printed either way)
+//!   --workers N             worker threads per route (default 2)
+//!   --queue-capacity N      bounded submission queue per route (default 64)
+//!   --cache-capacity N      LRU output-cache entries (default 256)
+//!   --max-connections N     connection-table bound (default 64)
+//!   --per-client B:R        per-connection token bucket, burst B refilled
+//!                           at R tokens/s (default 256:512; 0:0 disables)
+//!   --global B:R            listener-wide bucket (default disabled)
+//!   --telemetry PATH        export the telemetry snapshot to PATH once a
+//!                           second (readable live with sesr-top)
+//!   --max-runtime-secs N    exit cleanly after N seconds (CI harnesses;
+//!                           default: run until killed)
+//! ```
+//!
+//! The gateway serves three interpolation routes — cheap enough that the
+//! front-end, not the SR math, is what a loopback driver measures:
+//!
+//! ```text
+//! nearest-neighbor:x2:raw                 (default route)
+//! bicubic:x2:raw
+//! nearest-neighbor:x2:jpeg75+wavelet2     (full paper preprocessing)
+//! ```
+//!
+//! Every flag may be given at most once; unknown or duplicate flags are a
+//! usage error (exit 2).
+
+#![forbid(unsafe_code)]
+
+use sesr_defense::pipeline::PreprocessConfig;
+use sesr_models::SrModelKind;
+use sesr_net::{NetConfig, NetServer, RateLimit};
+use sesr_serve::{GatewayBuilder, RouteConfig, RouteKey};
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sesr-netd [--addr HOST:PORT] [--workers N] [--queue-capacity N] \
+         [--cache-capacity N] [--max-connections N] [--per-client B:R] [--global B:R] \
+         [--telemetry PATH] [--max-runtime-secs N]"
+    );
+    std::process::exit(2);
+}
+
+struct Args {
+    addr: String,
+    workers: usize,
+    queue_capacity: usize,
+    cache_capacity: usize,
+    max_connections: usize,
+    per_client: Option<RateLimit>,
+    global: Option<RateLimit>,
+    telemetry: Option<String>,
+    max_runtime: Option<Duration>,
+}
+
+/// Parse `BURST:RATE` into a limit; `0:0` means "disabled".
+fn parse_limit(flag: &str, value: &str) -> Option<RateLimit> {
+    let Some((burst, rate)) = value.split_once(':') else {
+        eprintln!("{flag} needs BURST:RATE (e.g. 256:512)");
+        usage()
+    };
+    match (burst.parse::<u64>(), rate.parse::<u64>()) {
+        (Ok(0), Ok(0)) => None,
+        (Ok(burst), Ok(rate)) if burst > 0 => Some(RateLimit::new(burst, rate)),
+        _ => {
+            eprintln!("{flag} needs BURST:RATE with a positive burst (or 0:0 to disable)");
+            usage()
+        }
+    }
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        queue_capacity: 64,
+        cache_capacity: 256,
+        max_connections: 64,
+        per_client: Some(RateLimit::new(256, 512)),
+        global: None,
+        telemetry: None,
+        max_runtime: None,
+    };
+    let mut seen: Vec<String> = Vec::new();
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        if seen.contains(&arg) {
+            eprintln!("{arg} given twice");
+            usage()
+        }
+        seen.push(arg.clone());
+        let mut value = || match iter.next() {
+            Some(value) => value,
+            None => {
+                eprintln!("{arg} needs a value");
+                usage()
+            }
+        };
+        let parse_usize = |flag: &str, value: String| match value.parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!("{flag} needs a positive integer");
+                usage()
+            }
+        };
+        match arg.as_str() {
+            "--addr" => args.addr = value(),
+            "--workers" => args.workers = parse_usize("--workers", value()),
+            "--queue-capacity" => args.queue_capacity = parse_usize("--queue-capacity", value()),
+            "--cache-capacity" => args.cache_capacity = parse_usize("--cache-capacity", value()),
+            "--max-connections" => args.max_connections = parse_usize("--max-connections", value()),
+            "--per-client" => args.per_client = parse_limit("--per-client", &value()),
+            "--global" => args.global = parse_limit("--global", &value()),
+            "--telemetry" => args.telemetry = Some(value()),
+            "--max-runtime-secs" => {
+                args.max_runtime = Some(Duration::from_secs(parse_usize(
+                    "--max-runtime-secs",
+                    value(),
+                ) as u64))
+            }
+            _ => {
+                eprintln!("unknown flag {arg}");
+                usage()
+            }
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+
+    let nearest = RouteKey::new(SrModelKind::NearestNeighbor, 2, PreprocessConfig::none());
+    let bicubic = RouteKey::new(SrModelKind::Bicubic, 2, PreprocessConfig::none());
+    let paper = RouteKey::paper(SrModelKind::NearestNeighbor, 2);
+    let route_config = RouteConfig {
+        num_workers: args.workers,
+        queue_capacity: args.queue_capacity,
+        ..RouteConfig::default()
+    };
+    let gateway = match GatewayBuilder::new()
+        .route_with(nearest, route_config.clone())
+        .route_with(bicubic, route_config.clone())
+        .route_with(paper, route_config)
+        .default_route(nearest)
+        .cache_capacity(args.cache_capacity)
+        .build()
+    {
+        Ok(gateway) => gateway,
+        Err(err) => {
+            eprintln!("cannot build gateway: {err}");
+            std::process::exit(1);
+        }
+    };
+    let client = gateway.client();
+
+    let exporter = args.telemetry.as_ref().map(|path| {
+        match client.export_telemetry(path, Duration::from_secs(1)) {
+            Ok(exporter) => exporter,
+            Err(err) => {
+                eprintln!("cannot export telemetry to {path}: {err}");
+                std::process::exit(1);
+            }
+        }
+    });
+
+    let config = NetConfig {
+        max_connections: args.max_connections,
+        per_client_limit: args.per_client,
+        global_limit: args.global,
+        ..NetConfig::default()
+    };
+    let server = match NetServer::bind(&args.addr, config, client) {
+        Ok(server) => server,
+        Err(err) => {
+            eprintln!("cannot bind {}: {err}", args.addr);
+            std::process::exit(1);
+        }
+    };
+    // The harness contract: exactly one "listening on ADDR" line on stdout,
+    // flushed before traffic starts (CI greps the port out of it).
+    println!("listening on {}", server.local_addr());
+    for route in server_routes() {
+        println!("route {route}");
+    }
+    println!("default route {nearest}");
+
+    let deadline = args
+        .max_runtime
+        .map(|runtime| std::time::Instant::now() + runtime);
+    loop {
+        if server.is_finished() {
+            eprintln!("reactor thread exited unexpectedly");
+            std::process::exit(1);
+        }
+        if deadline.is_some_and(|deadline| std::time::Instant::now() >= deadline) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(250));
+    }
+
+    server.stop();
+    if let Some(exporter) = exporter {
+        if let Err(err) = exporter.stop() {
+            eprintln!("telemetry export error: {err}");
+        }
+    }
+    gateway.shutdown();
+    println!("clean shutdown");
+}
+
+fn server_routes() -> [RouteKey; 3] {
+    [
+        RouteKey::new(SrModelKind::NearestNeighbor, 2, PreprocessConfig::none()),
+        RouteKey::new(SrModelKind::Bicubic, 2, PreprocessConfig::none()),
+        RouteKey::paper(SrModelKind::NearestNeighbor, 2),
+    ]
+}

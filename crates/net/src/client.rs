@@ -1,0 +1,256 @@
+//! A small blocking client for the SESR wire protocol.
+//!
+//! [`NetClient`] owns one TCP connection and a reassembly buffer. Sending is
+//! fire-and-forget ([`NetClient::send_request`] / [`NetClient::send_stats`]);
+//! receiving is pull-based ([`NetClient::recv`] with a timeout), so a caller
+//! can pipeline many requests and collect the out-of-order replies — exactly
+//! what the open-loop traffic generator needs. [`NetClient::defend`] wraps
+//! the common one-request / wait-for-its-reply case.
+
+use crate::wire::{self, Frame, FrameDecode, WireError, WireRequest, WireResponse};
+use sesr_serve::content_hash;
+use sesr_tensor::Tensor;
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// Client-side failure talking to a [`NetServer`](crate::NetServer).
+#[derive(Debug)]
+pub enum NetError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The server sent bytes that do not decode as a frame.
+    Wire(WireError),
+    /// The server closed the connection.
+    Disconnected,
+    /// No frame arrived within the allowed wait.
+    TimedOut,
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Io(err) => write!(f, "socket error: {err}"),
+            NetError::Wire(err) => write!(f, "protocol error: {err}"),
+            NetError::Disconnected => write!(f, "server closed the connection"),
+            NetError::TimedOut => write!(f, "timed out waiting for a frame"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<std::io::Error> for NetError {
+    fn from(err: std::io::Error) -> Self {
+        NetError::Io(err)
+    }
+}
+
+impl From<WireError> for NetError {
+    fn from(err: WireError) -> Self {
+        NetError::Wire(err)
+    }
+}
+
+/// Options for building a [`WireRequest`] without spelling the struct out.
+#[derive(Debug, Clone, Default)]
+pub struct RequestOptions {
+    /// Route label; empty = the server's default route.
+    pub route: String,
+    /// Soft deadline in ms from server receipt; 0 = none.
+    pub deadline_ms: u32,
+    /// Bypass the server's output cache.
+    pub skip_cache: bool,
+}
+
+/// One blocking connection to a network front-end.
+pub struct NetClient {
+    stream: TcpStream,
+    read_buf: Vec<u8>,
+    pending: VecDeque<Frame>,
+    max_payload: usize,
+    next_id: u64,
+}
+
+impl NetClient {
+    /// Connect to `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error connecting or configuring the socket.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<NetClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(NetClient {
+            stream,
+            read_buf: Vec::new(),
+            pending: VecDeque::new(),
+            max_payload: wire::DEFAULT_MAX_PAYLOAD,
+            next_id: 1,
+        })
+    }
+
+    /// Build a request for `image` with a fresh correlation id; the content
+    /// hash is computed here so the server's integrity check passes.
+    pub fn make_request(&mut self, image: Tensor, options: &RequestOptions) -> WireRequest {
+        let id = self.next_id;
+        self.next_id += 1;
+        WireRequest {
+            id,
+            route: options.route.clone(),
+            deadline_ms: options.deadline_ms,
+            skip_cache: options.skip_cache,
+            content_hash: content_hash(&image, ""),
+            image,
+        }
+    }
+
+    /// Write one request frame; replies arrive via [`NetClient::recv`].
+    ///
+    /// # Errors
+    ///
+    /// Socket-level write failure.
+    pub fn send_request(&mut self, request: &WireRequest) -> Result<(), NetError> {
+        let bytes = wire::encode(&Frame::Request(request.clone()));
+        self.stream.write_all(&bytes)?;
+        Ok(())
+    }
+
+    /// Ask for the server's telemetry snapshot; returns the correlation id
+    /// the eventual [`Frame::StatsReply`] will echo.
+    ///
+    /// # Errors
+    ///
+    /// Socket-level write failure.
+    pub fn send_stats(&mut self) -> Result<u64, NetError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.stream.write_all(&wire::encode(&Frame::Stats { id }))?;
+        Ok(id)
+    }
+
+    /// Receive the next frame, waiting at most `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::TimedOut`] if no whole frame arrives in time,
+    /// [`NetError::Disconnected`] on EOF, [`NetError::Wire`] on garbage.
+    pub fn recv(&mut self, timeout: Duration) -> Result<Frame, NetError> {
+        if let Some(frame) = self.pending.pop_front() {
+            return Ok(frame);
+        }
+        self.recv_from_socket(Instant::now() + timeout)
+    }
+
+    /// Receive the next frame from the socket itself, bypassing the reorder
+    /// buffer. The selective receivers ([`NetClient::recv_response`],
+    /// [`NetClient::stats`]) must use this: pulling from the reorder buffer
+    /// while also pushing non-matching frames back into it would cycle the
+    /// buffer forever without ever reading the wire.
+    fn recv_from_socket(&mut self, deadline: Instant) -> Result<Frame, NetError> {
+        let mut chunk = [0u8; 4096];
+        loop {
+            match wire::decode(&self.read_buf, self.max_payload)? {
+                FrameDecode::Complete { frame, consumed } => {
+                    self.read_buf.drain(..consumed);
+                    return Ok(frame);
+                }
+                FrameDecode::Incomplete { .. } => {}
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(NetError::TimedOut);
+            }
+            self.stream.set_read_timeout(Some(deadline - now))?;
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Err(NetError::Disconnected),
+                Ok(n) => self.read_buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return Err(NetError::TimedOut);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(NetError::Io(e)),
+            }
+        }
+    }
+
+    /// Receive until the response with `id` arrives (other frames are
+    /// buffered for later [`NetClient::recv`] calls), within `timeout`
+    /// overall.
+    ///
+    /// # Errors
+    ///
+    /// As [`NetClient::recv`].
+    pub fn recv_response(&mut self, id: u64, timeout: Duration) -> Result<WireResponse, NetError> {
+        // Serve from the reorder buffer first.
+        if let Some(at) = self
+            .pending
+            .iter()
+            .position(|frame| matches!(frame, Frame::Response(response) if response.id == id))
+        {
+            if let Some(Frame::Response(response)) = self.pending.remove(at) {
+                return Ok(response);
+            }
+        }
+        let deadline = Instant::now() + timeout;
+        loop {
+            if Instant::now() >= deadline {
+                return Err(NetError::TimedOut);
+            }
+            match self.recv_from_socket(deadline)? {
+                Frame::Response(response) if response.id == id => return Ok(response),
+                other => self.pending.push_back(other),
+            }
+        }
+    }
+
+    /// Send one request for `image` and block for its reply.
+    ///
+    /// # Errors
+    ///
+    /// As [`NetClient::recv`].
+    pub fn defend(
+        &mut self,
+        image: Tensor,
+        options: &RequestOptions,
+        timeout: Duration,
+    ) -> Result<WireResponse, NetError> {
+        let request = self.make_request(image, options);
+        self.send_request(&request)?;
+        self.recv_response(request.id, timeout)
+    }
+
+    /// Fetch the server's telemetry snapshot JSON.
+    ///
+    /// # Errors
+    ///
+    /// As [`NetClient::recv`].
+    pub fn stats(&mut self, timeout: Duration) -> Result<String, NetError> {
+        let want = self.send_stats()?;
+        let deadline = Instant::now() + timeout;
+        loop {
+            if Instant::now() >= deadline {
+                return Err(NetError::TimedOut);
+            }
+            match self.recv_from_socket(deadline)? {
+                Frame::StatsReply { id, json } if id == want => return Ok(json),
+                other => self.pending.push_back(other),
+            }
+        }
+    }
+
+    /// Write raw bytes to the socket — for tests that need to speak
+    /// malformed protocol on purpose.
+    ///
+    /// # Errors
+    ///
+    /// Socket-level write failure.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> Result<(), NetError> {
+        self.stream.write_all(bytes)?;
+        Ok(())
+    }
+}

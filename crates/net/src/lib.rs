@@ -1,0 +1,40 @@
+//! `sesr-net` — the network front-end for the defense gateway.
+//!
+//! The serving stack (`sesr-serve`) exposes an in-process API: bounded
+//! shard queues, dynamic batchers, worker pools, an output cache, SLO
+//! health gating. This crate puts a socket in front of it without pulling
+//! in an async runtime — everything is `std::net` plus one reactor thread:
+//!
+//! - [`wire`] — the compact length-prefixed binary protocol: a 12-byte
+//!   header (magic, version, kind, payload length) framing requests that
+//!   carry a route label, content hash, soft deadline and the image tensor.
+//!   Decoding is a pure bounds-checked function that returns typed errors
+//!   and never panics or over-reads.
+//! - [`admission`] — token buckets with exact integer accounting, used
+//!   per-connection (client fairness) and optionally listener-wide.
+//! - [`reactor`] — the non-blocking polling loop: accept, read round-robin
+//!   under a fairness budget, admit (hash check → token bucket → route
+//!   resolution), submit to the gateway, poll in-flight replies, flush.
+//!   Overload and rate-limit sheds become structured retry-after replies;
+//!   wire deadlines propagate into the shard batcher.
+//! - [`client`] — a small blocking client used by the traffic generator,
+//!   the tests and examples.
+//! - [`metrics`] — the `net.*` metric namespace registered into the same
+//!   telemetry hub the gateway snapshots.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod client;
+pub mod metrics;
+pub mod reactor;
+pub mod wire;
+
+pub use admission::{RateLimit, TokenBucket};
+pub use client::{NetClient, NetError, RequestOptions};
+pub use metrics::NetMetrics;
+pub use reactor::{NetConfig, NetServer};
+pub use wire::{
+    Frame, FrameDecode, ResponseBody, RetryReason, WireError, WireRequest, WireResponse,
+};

@@ -1,0 +1,622 @@
+//! The network front-end: a hand-rolled non-blocking reactor over
+//! `std::net` that multiplexes wire connections onto the gateway's bounded
+//! shard queues.
+//!
+//! One reactor thread owns the listener and every connection. All sockets
+//! are in non-blocking mode; each sweep the reactor
+//!
+//! 1. accepts new connections (refusing with a retry-after frame past
+//!    `max_connections`),
+//! 2. reads from every connection round-robin under a per-sweep byte budget
+//!    (per-client fairness: one firehose client cannot monopolize a sweep),
+//! 3. parses complete frames, runs **admission control** — wire content-hash
+//!    verification, per-client and global token buckets, route resolution —
+//!    and submits admitted requests to the gateway without blocking,
+//! 4. polls every in-flight [`PendingResponse`] (the shard workers answer
+//!    on plain channels; [`PendingResponse::try_wait`] makes that pollable),
+//! 5. flushes response bytes, again without blocking.
+//!
+//! Nothing in the loop ever parks on a peer: a stalled client, a
+//! half-written frame or a request whose deadline expires mid-connection
+//! can delay only its own connection's buffers, never the reactor.
+//!
+//! **Load shedding is structured, not silent.** A full shard queue or an
+//! SLO-Unhealthy route ([`ServeError::Overloaded`]) and an exhausted token
+//! bucket both produce a [`ResponseBody::RetryAfter`] reply carrying a
+//! backoff hint — the connection stays open and the client decides when to
+//! come back, instead of being dropped mid-stream.
+//!
+//! **Deadlines propagate from the wire.** A request's `deadline_ms` becomes
+//! the [`DefenseRequest`] deadline; a job that expires while still queued is
+//! answered [`ResponseBody::DeadlineExceeded`] by the shard batcher without
+//! ever being handed to a worker.
+
+use crate::admission::{RateLimit, TokenBucket};
+use crate::metrics::NetMetrics;
+use crate::wire::{self, Frame, FrameDecode, ResponseBody, RetryReason, WireRequest, WireResponse};
+use sesr_serve::{
+    content_hash, DefenseRequest, GatewayClient, PendingResponse, RouteKey, ServeError,
+};
+use sesr_telemetry::HealthState;
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::mpsc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for a [`NetServer`].
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Connection-table bound; further connections are answered with one
+    /// retry-after frame and closed (default 64).
+    pub max_connections: usize,
+    /// Largest accepted frame payload in bytes (default 16 MiB).
+    pub max_frame_payload: usize,
+    /// Per-connection token bucket; `None` disables per-client limiting
+    /// (default 256-token burst, 512/s sustained).
+    pub per_client_limit: Option<RateLimit>,
+    /// Listener-wide token bucket across all connections; `None` disables
+    /// (default none).
+    pub global_limit: Option<RateLimit>,
+    /// In-flight requests per connection before the reactor stops parsing
+    /// (and, buffers permitting, reading) that connection — admission-side
+    /// backpressure (default 32).
+    pub max_inflight_per_conn: usize,
+    /// Bytes read per connection per sweep — the fairness quantum
+    /// (default 64 KiB).
+    pub read_budget: usize,
+    /// Backoff hint in retry-after replies for queue-full/Unhealthy sheds;
+    /// rate-limit sheds hint the exact token wait instead (default 25 ms).
+    pub overload_retry_after: Duration,
+    /// Sleep when a sweep made no progress at all (default 200 µs).
+    pub idle_sleep: Duration,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            max_connections: 64,
+            max_frame_payload: wire::DEFAULT_MAX_PAYLOAD,
+            per_client_limit: Some(RateLimit::new(256, 512)),
+            global_limit: None,
+            max_inflight_per_conn: 32,
+            read_budget: 64 * 1024,
+            overload_retry_after: Duration::from_millis(25),
+            idle_sleep: Duration::from_micros(200),
+        }
+    }
+}
+
+/// One request admitted to a shard and awaiting its reply.
+struct Inflight {
+    id: u64,
+    pending: PendingResponse,
+    started: Instant,
+}
+
+/// Per-connection state owned by the reactor.
+struct Conn {
+    stream: TcpStream,
+    read_buf: Vec<u8>,
+    write_buf: Vec<u8>,
+    write_pos: usize,
+    inflight: Vec<Inflight>,
+    bucket: Option<TokenBucket>,
+    /// Protocol violation seen: close once the error reply is flushed.
+    broken: bool,
+    /// Remove this connection at the end of the sweep.
+    dead: bool,
+}
+
+struct Reactor {
+    client: GatewayClient,
+    config: NetConfig,
+    metrics: NetMetrics,
+    routes: HashMap<String, RouteKey>,
+    global_bucket: Option<TokenBucket>,
+}
+
+/// The running network front-end; owns the reactor thread.
+///
+/// Holds a [`GatewayClient`] clone, so — like a
+/// [`ReloadWatcher`](sesr_serve::ReloadWatcher) — call [`NetServer::stop`]
+/// before `DefenseGateway::shutdown`, or the shutdown join will wait.
+/// Dropping the handle without stopping also ends the reactor (it notices
+/// the closed stop channel on its next sweep), but does not wait for it.
+pub struct NetServer {
+    stop_tx: mpsc::Sender<()>,
+    thread: Option<JoinHandle<()>>,
+    local_addr: SocketAddr,
+}
+
+impl NetServer {
+    /// Bind `addr` (use port 0 to let the OS pick) and start the reactor
+    /// serving `client`'s gateway.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error binding or configuring the listener.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        config: NetConfig,
+        client: GatewayClient,
+    ) -> std::io::Result<NetServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let metrics = NetMetrics::register(client.telemetry());
+        let routes = client
+            .routes()
+            .into_iter()
+            .map(|key| (key.label(), key))
+            .collect();
+        let global_bucket = config
+            .global_limit
+            .map(|limit| TokenBucket::new(limit, Instant::now()));
+        let reactor = Reactor {
+            client,
+            config,
+            metrics,
+            routes,
+            global_bucket,
+        };
+        let (stop_tx, stop_rx) = mpsc::channel();
+        let thread = std::thread::spawn(move || reactor.run(&listener, &stop_rx));
+        Ok(NetServer {
+            stop_tx,
+            thread: Some(thread),
+            local_addr,
+        })
+    }
+
+    /// The bound address — what clients connect to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// True when the reactor thread has exited. A healthy server returns
+    /// false until [`NetServer::stop`]; supervisors (like `sesr-netd`) poll
+    /// this so a dead reactor becomes a visible failure instead of a
+    /// listener that never answers.
+    pub fn is_finished(&self) -> bool {
+        self.thread
+            .as_ref()
+            .is_none_or(|thread| thread.is_finished())
+    }
+
+    /// Stop the reactor and join its thread. Connections are closed;
+    /// replies still in flight are discarded.
+    pub fn stop(mut self) {
+        let _ = self.stop_tx.send(());
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Reactor {
+    fn run(&self, listener: &TcpListener, stop_rx: &mpsc::Receiver<()>) {
+        let mut conns: Vec<Conn> = Vec::new();
+        let mut sweep: usize = 0;
+        loop {
+            match stop_rx.try_recv() {
+                Ok(()) | Err(mpsc::TryRecvError::Disconnected) => break,
+                Err(mpsc::TryRecvError::Empty) => {}
+            }
+            let mut progress = false;
+
+            // 1. Accept.
+            loop {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        progress = true;
+                        self.accept(stream, &mut conns);
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => break,
+                }
+            }
+
+            // 2–3. Read + parse, round-robin from a rotating start so no
+            // connection is structurally first in line every sweep.
+            let count = conns.len();
+            for k in 0..count {
+                let conn = &mut conns[(sweep + k) % count];
+                progress |= self.service_read(conn);
+                progress |= self.parse_frames(conn);
+            }
+
+            // 4–5. Poll in-flight replies and flush.
+            for conn in conns.iter_mut() {
+                progress |= self.poll_inflight(conn);
+                progress |= self.flush(conn);
+            }
+
+            // Reap.
+            let mut i = 0;
+            while i < conns.len() {
+                if conns[i].dead {
+                    let conn = conns.swap_remove(i);
+                    self.metrics.closed.incr();
+                    self.metrics.connections.add(-1);
+                    self.metrics.inflight.add(-(conn.inflight.len() as i64));
+                    progress = true;
+                } else {
+                    i += 1;
+                }
+            }
+
+            sweep = sweep.wrapping_add(1);
+            if !progress {
+                std::thread::sleep(self.config.idle_sleep);
+            }
+        }
+        // Stop path: account for the connections being dropped so the
+        // gauges return to zero and `net.closed` stays an honest total.
+        for conn in conns {
+            self.metrics.closed.incr();
+            self.metrics.connections.add(-1);
+            self.metrics.inflight.add(-(conn.inflight.len() as i64));
+        }
+    }
+
+    fn accept(&self, stream: TcpStream, conns: &mut Vec<Conn>) {
+        if conns.len() >= self.config.max_connections {
+            // Best-effort structured refusal: one retry-after frame, then
+            // the connection is closed. A client that sees it knows the
+            // listener (not its route) is saturated.
+            self.metrics.conn_rejected.incr();
+            let refusal = wire::encode(&Frame::Response(WireResponse {
+                id: 0,
+                body: ResponseBody::RetryAfter {
+                    retry_after_ms: self.retry_after_ms(self.config.overload_retry_after),
+                    reason: RetryReason::Overloaded,
+                },
+            }));
+            let mut stream = stream;
+            let _ = stream.write(&refusal);
+            return;
+        }
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        let _ = stream.set_nodelay(true);
+        self.metrics.accepted.incr();
+        self.metrics.connections.add(1);
+        self.metrics.accept_probe.observe(0, Duration::ZERO);
+        conns.push(Conn {
+            stream,
+            read_buf: Vec::new(),
+            write_buf: Vec::new(),
+            write_pos: 0,
+            inflight: Vec::new(),
+            bucket: self
+                .config
+                .per_client_limit
+                .map(|limit| TokenBucket::new(limit, Instant::now())),
+            broken: false,
+            dead: false,
+        });
+    }
+
+    /// Read under the fairness budget; backpressure a connection that is at
+    /// its in-flight cap *and* already has a frame's worth of bytes queued
+    /// by leaving further bytes in the kernel buffer (TCP flow control does
+    /// the rest).
+    fn service_read(&self, conn: &mut Conn) -> bool {
+        if conn.dead || conn.broken {
+            return false;
+        }
+        let mut chunk = [0u8; 4096];
+        let mut read_total = 0usize;
+        while read_total < self.config.read_budget {
+            if conn.inflight.len() >= self.config.max_inflight_per_conn
+                && conn.read_buf.len() >= wire::HEADER_LEN + self.config.max_frame_payload
+            {
+                break;
+            }
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    conn.dead = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.read_buf.extend_from_slice(&chunk[..n]);
+                    read_total += n;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    conn.dead = true;
+                    break;
+                }
+            }
+        }
+        if read_total > 0 {
+            self.metrics.bytes_rx.add(read_total as u64);
+        }
+        read_total > 0
+    }
+
+    fn parse_frames(&self, conn: &mut Conn) -> bool {
+        let mut progressed = false;
+        while !conn.broken && conn.inflight.len() < self.config.max_inflight_per_conn {
+            match wire::decode(&conn.read_buf, self.config.max_frame_payload) {
+                Ok(FrameDecode::Incomplete { .. }) => break,
+                Ok(FrameDecode::Complete { frame, consumed }) => {
+                    conn.read_buf.drain(..consumed);
+                    self.metrics.frames_rx.incr();
+                    progressed = true;
+                    self.handle_frame(conn, frame);
+                }
+                Err(err) => {
+                    // The stream is unsynchronized: answer with a typed
+                    // error frame, then close once it is flushed. This is
+                    // deliberate — resynchronizing a length-prefixed stream
+                    // after garbage is guesswork.
+                    self.metrics.decode_errors.incr();
+                    self.metrics.decode_probe.observe(0, Duration::ZERO);
+                    self.queue_response(
+                        conn,
+                        WireResponse {
+                            id: 0,
+                            body: ResponseBody::InvalidRequest(err.to_string()),
+                        },
+                    );
+                    conn.broken = true;
+                    conn.read_buf.clear();
+                    progressed = true;
+                }
+            }
+        }
+        progressed
+    }
+
+    fn handle_frame(&self, conn: &mut Conn, frame: Frame) {
+        match frame {
+            Frame::Request(request) => self.handle_request(conn, request),
+            Frame::Stats { id } => {
+                let json = self.client.telemetry_snapshot().to_json();
+                conn.write_buf
+                    .extend_from_slice(&wire::encode(&Frame::StatsReply { id, json }));
+                self.metrics.frames_tx.incr();
+            }
+            Frame::Response(_) | Frame::StatsReply { .. } => {
+                // Server-to-client frames arriving at the server are a
+                // protocol violation.
+                self.metrics.decode_errors.incr();
+                self.queue_response(
+                    conn,
+                    WireResponse {
+                        id: 0,
+                        body: ResponseBody::InvalidRequest(
+                            "client sent a server-side frame kind".to_string(),
+                        ),
+                    },
+                );
+                conn.broken = true;
+            }
+        }
+    }
+
+    fn handle_request(&self, conn: &mut Conn, request: WireRequest) {
+        let WireRequest {
+            id,
+            route,
+            deadline_ms,
+            skip_cache,
+            content_hash: claimed_hash,
+            image,
+        } = request;
+
+        // Integrity: the wire hash must match the payload. This catches
+        // corruption *and* keeps the server's cache key honest.
+        if content_hash(&image, "") != claimed_hash {
+            self.metrics.hash_mismatch.incr();
+            self.queue_response(
+                conn,
+                WireResponse {
+                    id,
+                    body: ResponseBody::InvalidRequest(
+                        "content hash does not match the image payload".to_string(),
+                    ),
+                },
+            );
+            return;
+        }
+
+        // Rate limiting: the client's own bucket first, then the listener's
+        // global one. (A request that passes the per-client check but loses
+        // the global race has spent a client token — acceptable: the global
+        // bucket only engages when the listener as a whole is saturated.)
+        let now = Instant::now();
+        let denied = conn
+            .bucket
+            .as_ref()
+            .and_then(|bucket| bucket.try_acquire_at(now).err())
+            .or_else(|| {
+                self.global_bucket
+                    .as_ref()
+                    .and_then(|bucket| bucket.try_acquire_at(now).err())
+            });
+        if let Some(wait) = denied {
+            self.metrics.shed_rate_limit.incr();
+            self.metrics.shed_probe.observe(id, wait);
+            self.queue_response(
+                conn,
+                WireResponse {
+                    id,
+                    body: ResponseBody::RetryAfter {
+                        retry_after_ms: self.retry_after_ms(wait),
+                        reason: RetryReason::RateLimited,
+                    },
+                },
+            );
+            return;
+        }
+
+        // Route resolution: empty label = gateway default.
+        let route_key = if route.is_empty() {
+            None
+        } else {
+            match self.routes.get(&route) {
+                Some(key) => Some(*key),
+                None => {
+                    self.queue_response(
+                        conn,
+                        WireResponse {
+                            id,
+                            body: ResponseBody::UnknownRoute(route),
+                        },
+                    );
+                    return;
+                }
+            }
+        };
+
+        let mut defense = DefenseRequest::new(image);
+        if let Some(key) = route_key {
+            defense = defense.on(key);
+        }
+        if skip_cache {
+            defense = defense.skip_cache();
+        }
+        if deadline_ms > 0 {
+            defense = defense.with_deadline(Duration::from_millis(u64::from(deadline_ms)));
+        }
+
+        match self.client.submit(defense) {
+            Ok(pending) => {
+                self.metrics.admitted.incr();
+                self.metrics.inflight.add(1);
+                conn.inflight.push(Inflight {
+                    id,
+                    pending,
+                    started: now,
+                });
+            }
+            Err(err) => {
+                let body = self.shed_body(id, route_key, err);
+                self.queue_response(conn, WireResponse { id, body });
+            }
+        }
+    }
+
+    /// Map a submit-time [`ServeError`] to its wire reply. `Overloaded` —
+    /// whether from a full queue or an SLO health shed — becomes a
+    /// structured retry-after instead of a dropped connection.
+    fn shed_body(&self, id: u64, route: Option<RouteKey>, err: ServeError) -> ResponseBody {
+        match err {
+            ServeError::Overloaded => {
+                let route = route.unwrap_or_else(|| self.client.default_route());
+                let reason = match self.client.route_health(&route) {
+                    Ok(HealthState::Unhealthy) => RetryReason::Unhealthy,
+                    _ => RetryReason::Overloaded,
+                };
+                self.metrics.shed_overload.incr();
+                self.metrics
+                    .shed_probe
+                    .observe(id, self.config.overload_retry_after);
+                ResponseBody::RetryAfter {
+                    retry_after_ms: self.retry_after_ms(self.config.overload_retry_after),
+                    reason,
+                }
+            }
+            ServeError::DeadlineExceeded => {
+                self.metrics.deadline_exceeded.incr();
+                ResponseBody::DeadlineExceeded
+            }
+            ServeError::UnknownRoute(label) => ResponseBody::UnknownRoute(label),
+            ServeError::InvalidRequest(msg) => ResponseBody::InvalidRequest(msg),
+            ServeError::Pipeline(msg) => ResponseBody::PipelineError(msg),
+            ServeError::Closed => ResponseBody::Closed,
+        }
+    }
+
+    fn poll_inflight(&self, conn: &mut Conn) -> bool {
+        let mut progressed = false;
+        let mut i = 0;
+        while i < conn.inflight.len() {
+            match conn.inflight[i].pending.try_wait() {
+                Some(result) => {
+                    let inflight = conn.inflight.swap_remove(i);
+                    self.metrics
+                        .request_probe
+                        .observe(inflight.id, inflight.started.elapsed());
+                    self.metrics.inflight.add(-1);
+                    let body = match result {
+                        Ok(response) => ResponseBody::Ok {
+                            cache_hit: response.cache_hit,
+                            label: response.label.map(|l| l as u64),
+                            defended: response.defended,
+                        },
+                        Err(err) => self.shed_body(inflight.id, None, err),
+                    };
+                    self.queue_response(
+                        conn,
+                        WireResponse {
+                            id: inflight.id,
+                            body,
+                        },
+                    );
+                    progressed = true;
+                }
+                None => i += 1,
+            }
+        }
+        progressed
+    }
+
+    fn queue_response(&self, conn: &mut Conn, response: WireResponse) {
+        conn.write_buf
+            .extend_from_slice(&wire::encode(&Frame::Response(response)));
+        self.metrics.frames_tx.incr();
+    }
+
+    fn flush(&self, conn: &mut Conn) -> bool {
+        if conn.write_pos >= conn.write_buf.len() {
+            conn.write_buf.clear();
+            conn.write_pos = 0;
+            if conn.broken {
+                conn.dead = true;
+            }
+            return false;
+        }
+        let mut wrote = 0usize;
+        while conn.write_pos < conn.write_buf.len() {
+            match conn.stream.write(&conn.write_buf[conn.write_pos..]) {
+                Ok(0) => {
+                    conn.dead = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.write_pos += n;
+                    wrote += n;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    conn.dead = true;
+                    break;
+                }
+            }
+        }
+        if conn.write_pos >= conn.write_buf.len() {
+            conn.write_buf.clear();
+            conn.write_pos = 0;
+            if conn.broken {
+                conn.dead = true;
+            }
+        }
+        if wrote > 0 {
+            self.metrics.bytes_tx.add(wrote as u64);
+        }
+        wrote > 0
+    }
+
+    fn retry_after_ms(&self, wait: Duration) -> u32 {
+        u32::try_from(wait.as_millis().max(1)).unwrap_or(u32::MAX)
+    }
+}

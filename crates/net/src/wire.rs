@@ -1,0 +1,675 @@
+//! The SESR wire protocol: compact length-prefixed binary frames.
+//!
+//! Every frame starts with a fixed 12-byte header:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  "SESR" (0x53 0x45 0x53 0x52)
+//! 4       1     version (currently 1)
+//! 5       1     frame kind (1=request, 2=response, 3=stats, 4=stats reply)
+//! 6       2     reserved, must be zero
+//! 8       4     payload length, u32 LE (bounded by the decoder's max)
+//! 12      …     payload
+//! ```
+//!
+//! Integers are little-endian throughout; tensors travel as
+//! `rank:u8, dims:u32×rank, data:f32×∏dims`. The decoder is a pure
+//! bounds-checked cursor over the input slice: malformed input — bad magic,
+//! unsupported version, oversized or short payloads, dimension overflow,
+//! non-UTF-8 route labels — is rejected with a typed [`WireError`] and can
+//! never panic or read past the buffer. A frame split across TCP segments
+//! reports [`FrameDecode::Incomplete`] so a streaming caller knows to wait
+//! for more bytes rather than treat the prefix as an error.
+
+use sesr_tensor::{Shape, Tensor};
+
+/// Frame magic: `"SESR"`.
+pub const MAGIC: [u8; 4] = *b"SESR";
+/// Current protocol version; the only one this build speaks.
+pub const VERSION: u8 = 1;
+/// Fixed frame-header size in bytes.
+pub const HEADER_LEN: usize = 12;
+/// Default upper bound on a frame payload (16 MiB) — frames claiming more
+/// are rejected before any allocation happens.
+pub const DEFAULT_MAX_PAYLOAD: usize = 16 * 1024 * 1024;
+
+const KIND_REQUEST: u8 = 1;
+const KIND_RESPONSE: u8 = 2;
+const KIND_STATS: u8 = 3;
+const KIND_STATS_REPLY: u8 = 4;
+
+/// Response status bytes on the wire.
+const STATUS_OK: u8 = 0;
+const STATUS_RETRY_AFTER: u8 = 1;
+const STATUS_DEADLINE: u8 = 2;
+const STATUS_UNKNOWN_ROUTE: u8 = 3;
+const STATUS_INVALID: u8 = 4;
+const STATUS_PIPELINE: u8 = 5;
+const STATUS_CLOSED: u8 = 6;
+
+/// Typed decode failure. Every variant names what was wrong; none of them
+/// can be produced by a merely *incomplete* buffer (that is
+/// [`FrameDecode::Incomplete`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The first four bytes were not `"SESR"`.
+    BadMagic([u8; 4]),
+    /// The version byte names a protocol this build does not speak.
+    UnsupportedVersion(u8),
+    /// The frame-kind byte is not one this protocol defines.
+    UnknownFrameKind(u8),
+    /// The reserved header bytes were non-zero.
+    NonZeroReserved,
+    /// The header claims a payload larger than the decoder's bound.
+    Oversized {
+        /// Claimed payload length.
+        claimed: usize,
+        /// The decoder's configured maximum.
+        max: usize,
+    },
+    /// The payload ended before the structure it claims to carry (the
+    /// context names the field being read).
+    Truncated(&'static str),
+    /// The payload carries trailing bytes past its own structure.
+    TrailingBytes(usize),
+    /// A structurally invalid field (context explains which).
+    Malformed(&'static str),
+    /// A route label that is not UTF-8.
+    BadLabel,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::BadMagic(bytes) => write!(f, "bad frame magic {bytes:02x?}"),
+            WireError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported protocol version {v} (this build speaks {VERSION})"
+                )
+            }
+            WireError::UnknownFrameKind(k) => write!(f, "unknown frame kind {k}"),
+            WireError::NonZeroReserved => write!(f, "reserved header bytes must be zero"),
+            WireError::Oversized { claimed, max } => {
+                write!(
+                    f,
+                    "frame payload of {claimed} bytes exceeds the {max}-byte bound"
+                )
+            }
+            WireError::Truncated(context) => write!(f, "payload truncated while reading {context}"),
+            WireError::TrailingBytes(n) => {
+                write!(f, "{n} trailing bytes past the payload structure")
+            }
+            WireError::Malformed(context) => write!(f, "malformed field: {context}"),
+            WireError::BadLabel => write!(f, "route label is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Why a request was told to come back later instead of being served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetryReason {
+    /// The route's bounded queue was full, or the route was shed as
+    /// Unhealthy by the SLO layer before queueing.
+    Overloaded,
+    /// The client exhausted its token bucket.
+    RateLimited,
+    /// The route is Unhealthy and the gateway is shedding its load.
+    Unhealthy,
+}
+
+impl RetryReason {
+    fn as_u8(self) -> u8 {
+        match self {
+            RetryReason::Overloaded => 0,
+            RetryReason::RateLimited => 1,
+            RetryReason::Unhealthy => 2,
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            0 => Some(RetryReason::Overloaded),
+            1 => Some(RetryReason::RateLimited),
+            2 => Some(RetryReason::Unhealthy),
+            _ => None,
+        }
+    }
+}
+
+/// One request as it travels the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireRequest {
+    /// Client-chosen correlation id, echoed verbatim in the response —
+    /// responses may complete out of order (cache hits, different routes).
+    pub id: u64,
+    /// Route label (e.g. `"sesr-m2:x2:jpeg75+wavelet2"`); empty means the
+    /// gateway's default route.
+    pub route: String,
+    /// Soft deadline in milliseconds from server receipt; 0 = none. A
+    /// request still queued when it expires is answered
+    /// `DeadlineExceeded`, never defended late.
+    pub deadline_ms: u32,
+    /// Bypass the server's output cache for this request.
+    pub skip_cache: bool,
+    /// FNV-1a64 content hash of the image (shape + data, as
+    /// [`sesr_serve::content_hash`] computes it). The server recomputes and
+    /// rejects mismatches, so it doubles as a payload integrity check.
+    pub content_hash: u64,
+    /// The `[1, C, H, W]` image to defend.
+    pub image: Tensor,
+}
+
+/// What a response says, separated from its correlation id.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResponseBody {
+    /// The defense ran (or was served from cache).
+    Ok {
+        /// Served from the LRU cache without recomputing.
+        cache_hit: bool,
+        /// Predicted label when the route's workers carry a classifier.
+        label: Option<u64>,
+        /// The defended image.
+        defended: Tensor,
+    },
+    /// Load was shed; come back after the hinted delay. This is the
+    /// structured alternative to dropping the connection.
+    RetryAfter {
+        /// Suggested client backoff in milliseconds.
+        retry_after_ms: u32,
+        /// Why the request was shed.
+        reason: RetryReason,
+    },
+    /// The deadline passed before a worker reached the request.
+    DeadlineExceeded,
+    /// The request named a route the server does not serve.
+    UnknownRoute(String),
+    /// The request was malformed (bad shape, hash mismatch, …).
+    InvalidRequest(String),
+    /// The defense pipeline failed.
+    PipelineError(String),
+    /// The serving gateway is shutting down.
+    Closed,
+}
+
+/// One response frame: the request's correlation id plus the outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireResponse {
+    /// Echo of [`WireRequest::id`].
+    pub id: u64,
+    /// The outcome.
+    pub body: ResponseBody,
+}
+
+/// Every frame this protocol defines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// A defense request.
+    Request(WireRequest),
+    /// The answer to a request.
+    Response(WireResponse),
+    /// Ask the server for its telemetry snapshot.
+    Stats {
+        /// Correlation id, echoed in the reply.
+        id: u64,
+    },
+    /// The server's telemetry snapshot as JSON text.
+    StatsReply {
+        /// Echo of the stats request id.
+        id: u64,
+        /// `TelemetrySnapshot::to_json()` output.
+        json: String,
+    },
+}
+
+/// Outcome of a streaming decode attempt.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FrameDecode {
+    /// Not enough bytes for a whole frame yet; `needed` is the total buffer
+    /// length at which another attempt can make progress.
+    Incomplete {
+        /// Total bytes needed (header + claimed payload once known).
+        needed: usize,
+    },
+    /// One whole frame, and how many buffer bytes it consumed.
+    Complete {
+        /// The decoded frame.
+        frame: Frame,
+        /// Bytes consumed from the front of the buffer.
+        consumed: usize,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn push_header(out: &mut Vec<u8>, kind: u8) -> usize {
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    out.push(kind);
+    out.extend_from_slice(&[0, 0]);
+    let len_at = out.len();
+    out.extend_from_slice(&[0; 4]); // payload length, patched below
+    len_at
+}
+
+fn patch_len(out: &mut [u8], len_at: usize) {
+    let payload = (out.len() - len_at - 4) as u32;
+    out[len_at..len_at + 4].copy_from_slice(&payload.to_le_bytes());
+}
+
+fn push_tensor(out: &mut Vec<u8>, tensor: &Tensor) {
+    let dims = tensor.shape().dims();
+    out.push(dims.len() as u8);
+    for dim in dims {
+        out.extend_from_slice(&(*dim as u32).to_le_bytes());
+    }
+    for value in tensor.data() {
+        out.extend_from_slice(&value.to_le_bytes());
+    }
+}
+
+fn push_str(out: &mut Vec<u8>, text: &str) {
+    out.extend_from_slice(&(text.len().min(u16::MAX as usize) as u16).to_le_bytes());
+    out.extend_from_slice(&text.as_bytes()[..text.len().min(u16::MAX as usize)]);
+}
+
+/// Encode one frame into a fresh byte vector.
+pub fn encode(frame: &Frame) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + 64);
+    match frame {
+        Frame::Request(request) => {
+            let len_at = push_header(&mut out, KIND_REQUEST);
+            out.extend_from_slice(&request.id.to_le_bytes());
+            out.extend_from_slice(&request.deadline_ms.to_le_bytes());
+            out.push(u8::from(request.skip_cache));
+            push_str(&mut out, &request.route);
+            out.extend_from_slice(&request.content_hash.to_le_bytes());
+            push_tensor(&mut out, &request.image);
+            patch_len(&mut out, len_at);
+        }
+        Frame::Response(response) => {
+            let len_at = push_header(&mut out, KIND_RESPONSE);
+            out.extend_from_slice(&response.id.to_le_bytes());
+            match &response.body {
+                ResponseBody::Ok {
+                    cache_hit,
+                    label,
+                    defended,
+                } => {
+                    out.push(STATUS_OK);
+                    out.push(u8::from(*cache_hit));
+                    out.push(u8::from(label.is_some()));
+                    out.extend_from_slice(&label.unwrap_or(0).to_le_bytes());
+                    push_tensor(&mut out, defended);
+                }
+                ResponseBody::RetryAfter {
+                    retry_after_ms,
+                    reason,
+                } => {
+                    out.push(STATUS_RETRY_AFTER);
+                    out.extend_from_slice(&retry_after_ms.to_le_bytes());
+                    out.push(reason.as_u8());
+                }
+                ResponseBody::DeadlineExceeded => out.push(STATUS_DEADLINE),
+                ResponseBody::UnknownRoute(msg) => {
+                    out.push(STATUS_UNKNOWN_ROUTE);
+                    push_str(&mut out, msg);
+                }
+                ResponseBody::InvalidRequest(msg) => {
+                    out.push(STATUS_INVALID);
+                    push_str(&mut out, msg);
+                }
+                ResponseBody::PipelineError(msg) => {
+                    out.push(STATUS_PIPELINE);
+                    push_str(&mut out, msg);
+                }
+                ResponseBody::Closed => out.push(STATUS_CLOSED),
+            }
+            patch_len(&mut out, len_at);
+        }
+        Frame::Stats { id } => {
+            let len_at = push_header(&mut out, KIND_STATS);
+            out.extend_from_slice(&id.to_le_bytes());
+            patch_len(&mut out, len_at);
+        }
+        Frame::StatsReply { id, json } => {
+            let len_at = push_header(&mut out, KIND_STATS_REPLY);
+            out.extend_from_slice(&id.to_le_bytes());
+            out.extend_from_slice(&(json.len() as u32).to_le_bytes());
+            out.extend_from_slice(json.as_bytes());
+            patch_len(&mut out, len_at);
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+/// Bounds-checked cursor over a payload slice; every read is explicit about
+/// what it was reading so truncation errors are self-describing.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, at: 0 }
+    }
+
+    fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], WireError> {
+        let end = self
+            .at
+            .checked_add(n)
+            .ok_or(WireError::Truncated(context))?;
+        if end > self.buf.len() {
+            return Err(WireError::Truncated(context));
+        }
+        let slice = &self.buf[self.at..end];
+        self.at = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self, context: &'static str) -> Result<u8, WireError> {
+        Ok(self.take(1, context)?[0])
+    }
+
+    fn u16(&mut self, context: &'static str) -> Result<u16, WireError> {
+        let b = self.take(2, context)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self, context: &'static str) -> Result<u32, WireError> {
+        let b = self.take(4, context)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self, context: &'static str) -> Result<u64, WireError> {
+        let b = self.take(8, context)?;
+        let mut bytes = [0u8; 8];
+        bytes.copy_from_slice(b);
+        Ok(u64::from_le_bytes(bytes))
+    }
+
+    fn string(&mut self, context: &'static str) -> Result<String, WireError> {
+        let len = self.u16(context)? as usize;
+        let bytes = self.take(len, context)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadLabel)
+    }
+
+    fn tensor(&mut self) -> Result<Tensor, WireError> {
+        let rank = self.u8("tensor rank")? as usize;
+        if rank == 0 || rank > 6 {
+            return Err(WireError::Malformed("tensor rank must be 1..=6"));
+        }
+        let mut dims = [0usize; 6];
+        let mut elements: usize = 1;
+        for dim in dims.iter_mut().take(rank) {
+            let d = self.u32("tensor dims")? as usize;
+            if d == 0 {
+                return Err(WireError::Malformed("zero tensor dimension"));
+            }
+            *dim = d;
+            elements = elements
+                .checked_mul(d)
+                .ok_or(WireError::Malformed("tensor element count overflows"))?;
+        }
+        let byte_len = elements
+            .checked_mul(4)
+            .ok_or(WireError::Malformed("tensor byte length overflows"))?;
+        let bytes = self.take(byte_len, "tensor data")?;
+        let mut data = Vec::with_capacity(elements);
+        for chunk in bytes.chunks_exact(4) {
+            data.push(f32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]));
+        }
+        Tensor::from_vec(Shape::new(&dims[..rank]), data)
+            .map_err(|_| WireError::Malformed("tensor shape/data mismatch"))
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        if self.at != self.buf.len() {
+            return Err(WireError::TrailingBytes(self.buf.len() - self.at));
+        }
+        Ok(())
+    }
+}
+
+fn decode_request(payload: &[u8]) -> Result<WireRequest, WireError> {
+    let mut cursor = Cursor::new(payload);
+    let id = cursor.u64("request id")?;
+    let deadline_ms = cursor.u32("deadline")?;
+    let flags = cursor.u8("flags")?;
+    if flags > 1 {
+        return Err(WireError::Malformed("unknown request flag bits"));
+    }
+    let route = cursor.string("route label")?;
+    let content_hash = cursor.u64("content hash")?;
+    let image = cursor.tensor()?;
+    cursor.finish()?;
+    Ok(WireRequest {
+        id,
+        route,
+        deadline_ms,
+        skip_cache: flags & 1 != 0,
+        content_hash,
+        image,
+    })
+}
+
+fn decode_response(payload: &[u8]) -> Result<WireResponse, WireError> {
+    let mut cursor = Cursor::new(payload);
+    let id = cursor.u64("response id")?;
+    let status = cursor.u8("status")?;
+    let body = match status {
+        STATUS_OK => {
+            let cache_hit = cursor.u8("cache-hit flag")? != 0;
+            let has_label = cursor.u8("label flag")? != 0;
+            let label = cursor.u64("label")?;
+            let defended = cursor.tensor()?;
+            ResponseBody::Ok {
+                cache_hit,
+                label: has_label.then_some(label),
+                defended,
+            }
+        }
+        STATUS_RETRY_AFTER => {
+            let retry_after_ms = cursor.u32("retry-after")?;
+            let reason = RetryReason::from_u8(cursor.u8("retry reason")?)
+                .ok_or(WireError::Malformed("unknown retry reason"))?;
+            ResponseBody::RetryAfter {
+                retry_after_ms,
+                reason,
+            }
+        }
+        STATUS_DEADLINE => ResponseBody::DeadlineExceeded,
+        STATUS_UNKNOWN_ROUTE => ResponseBody::UnknownRoute(cursor.string("route message")?),
+        STATUS_INVALID => ResponseBody::InvalidRequest(cursor.string("error message")?),
+        STATUS_PIPELINE => ResponseBody::PipelineError(cursor.string("error message")?),
+        STATUS_CLOSED => ResponseBody::Closed,
+        _ => return Err(WireError::Malformed("unknown response status")),
+    };
+    cursor.finish()?;
+    Ok(WireResponse { id, body })
+}
+
+fn decode_stats(payload: &[u8]) -> Result<Frame, WireError> {
+    let mut cursor = Cursor::new(payload);
+    let id = cursor.u64("stats id")?;
+    cursor.finish()?;
+    Ok(Frame::Stats { id })
+}
+
+fn decode_stats_reply(payload: &[u8]) -> Result<Frame, WireError> {
+    let mut cursor = Cursor::new(payload);
+    let id = cursor.u64("stats-reply id")?;
+    let len = cursor.u32("stats json length")? as usize;
+    let bytes = cursor.take(len, "stats json")?;
+    let json =
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::Malformed("stats json utf-8"))?;
+    cursor.finish()?;
+    Ok(Frame::StatsReply { id, json })
+}
+
+/// Try to decode one frame from the front of `buf`.
+///
+/// Returns [`FrameDecode::Incomplete`] when `buf` holds a valid prefix of a
+/// frame that has not fully arrived, and never consumes bytes in that case.
+/// The header is validated as soon as it is present, so garbage is rejected
+/// without waiting for its claimed payload.
+///
+/// # Errors
+///
+/// A typed [`WireError`] for any structurally invalid input; the stream
+/// should be considered unsynchronized after one.
+pub fn decode(buf: &[u8], max_payload: usize) -> Result<FrameDecode, WireError> {
+    if buf.len() < HEADER_LEN {
+        return Ok(FrameDecode::Incomplete { needed: HEADER_LEN });
+    }
+    let magic = [buf[0], buf[1], buf[2], buf[3]];
+    if magic != MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    if buf[4] != VERSION {
+        return Err(WireError::UnsupportedVersion(buf[4]));
+    }
+    let kind = buf[5];
+    if !(KIND_REQUEST..=KIND_STATS_REPLY).contains(&kind) {
+        return Err(WireError::UnknownFrameKind(kind));
+    }
+    if buf[6] != 0 || buf[7] != 0 {
+        return Err(WireError::NonZeroReserved);
+    }
+    let payload_len = u32::from_le_bytes([buf[8], buf[9], buf[10], buf[11]]) as usize;
+    if payload_len > max_payload {
+        return Err(WireError::Oversized {
+            claimed: payload_len,
+            max: max_payload,
+        });
+    }
+    let total = HEADER_LEN + payload_len;
+    if buf.len() < total {
+        return Ok(FrameDecode::Incomplete { needed: total });
+    }
+    let payload = &buf[HEADER_LEN..total];
+    let frame = match kind {
+        KIND_REQUEST => Frame::Request(decode_request(payload)?),
+        KIND_RESPONSE => Frame::Response(decode_response(payload)?),
+        KIND_STATS => decode_stats(payload)?,
+        _ => decode_stats_reply(payload)?,
+    };
+    Ok(FrameDecode::Complete {
+        frame,
+        consumed: total,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn image() -> Tensor {
+        Tensor::from_vec(
+            Shape::new(&[1, 3, 2, 2]),
+            (0..12).map(|i| i as f32 * 0.25).collect(),
+        )
+        .expect("static shape")
+    }
+
+    fn round_trip(frame: Frame) {
+        let bytes = encode(&frame);
+        match decode(&bytes, DEFAULT_MAX_PAYLOAD).expect("decode") {
+            FrameDecode::Complete {
+                frame: got,
+                consumed,
+            } => {
+                assert_eq!(got, frame);
+                assert_eq!(consumed, bytes.len());
+            }
+            FrameDecode::Incomplete { .. } => panic!("whole frame must decode"),
+        }
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        round_trip(Frame::Request(WireRequest {
+            id: 42,
+            route: "sesr-m2:x2:jpeg75+wavelet2".to_string(),
+            deadline_ms: 250,
+            skip_cache: true,
+            content_hash: 0xDEADBEEF,
+            image: image(),
+        }));
+        round_trip(Frame::Response(WireResponse {
+            id: 42,
+            body: ResponseBody::Ok {
+                cache_hit: true,
+                label: Some(7),
+                defended: image(),
+            },
+        }));
+        round_trip(Frame::Response(WireResponse {
+            id: 1,
+            body: ResponseBody::RetryAfter {
+                retry_after_ms: 50,
+                reason: RetryReason::RateLimited,
+            },
+        }));
+        round_trip(Frame::Response(WireResponse {
+            id: 2,
+            body: ResponseBody::UnknownRoute("nope:x2:raw".to_string()),
+        }));
+        round_trip(Frame::Stats { id: 9 });
+        round_trip(Frame::StatsReply {
+            id: 9,
+            json: "{\"schema\":\"sesr-telemetry/v2\"}".to_string(),
+        });
+    }
+
+    #[test]
+    fn split_frames_report_incomplete_without_consuming() {
+        let bytes = encode(&Frame::Stats { id: 3 });
+        for cut in 0..bytes.len() {
+            match decode(&bytes[..cut], DEFAULT_MAX_PAYLOAD) {
+                Ok(FrameDecode::Incomplete { needed }) => assert!(needed > cut),
+                other => panic!("prefix of {cut} bytes must be incomplete, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn header_garbage_is_typed() {
+        let mut bytes = encode(&Frame::Stats { id: 3 });
+        bytes[0] = b'X';
+        assert!(matches!(
+            decode(&bytes, DEFAULT_MAX_PAYLOAD),
+            Err(WireError::BadMagic(_))
+        ));
+
+        let mut bytes = encode(&Frame::Stats { id: 3 });
+        bytes[4] = 9;
+        assert!(matches!(
+            decode(&bytes, DEFAULT_MAX_PAYLOAD),
+            Err(WireError::UnsupportedVersion(9))
+        ));
+
+        let mut bytes = encode(&Frame::Stats { id: 3 });
+        bytes[5] = 99;
+        assert!(matches!(
+            decode(&bytes, DEFAULT_MAX_PAYLOAD),
+            Err(WireError::UnknownFrameKind(99))
+        ));
+
+        let mut bytes = encode(&Frame::Stats { id: 3 });
+        bytes[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode(&bytes, DEFAULT_MAX_PAYLOAD),
+            Err(WireError::Oversized { .. })
+        ));
+    }
+}

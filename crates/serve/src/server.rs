@@ -190,6 +190,8 @@ pub struct PendingResponse {
 enum PendingInner {
     Ready(Box<DefenseResponse>),
     Waiting(Receiver<JobResult>),
+    /// The result was already taken by [`PendingResponse::try_wait`].
+    Taken,
 }
 
 impl PendingResponse {
@@ -210,11 +212,37 @@ impl PendingResponse {
     /// # Errors
     ///
     /// Returns [`ServeError::Closed`] if the server shut down before
-    /// answering, or the pipeline error for this request.
+    /// answering (or the result was already taken by
+    /// [`PendingResponse::try_wait`]), or the pipeline error for this
+    /// request.
     pub fn wait(self) -> JobResult {
         match self.inner {
             PendingInner::Ready(response) => Ok(*response),
             PendingInner::Waiting(receiver) => receiver.recv().map_err(|_| ServeError::Closed)?,
+            PendingInner::Taken => Err(ServeError::Closed),
+        }
+    }
+
+    /// Poll for the response without blocking: `Some` exactly once when the
+    /// result is available (a cache hit resolves on the first poll), `None`
+    /// while the request is still in flight. This is what lets a
+    /// single-threaded event loop (the `sesr-net` reactor) multiplex many
+    /// in-flight requests without parking a thread per request.
+    ///
+    /// Once the result has been taken, further polls (and
+    /// [`PendingResponse::wait`]) report [`ServeError::Closed`].
+    pub fn try_wait(&mut self) -> Option<JobResult> {
+        match std::mem::replace(&mut self.inner, PendingInner::Taken) {
+            PendingInner::Ready(response) => Some(Ok(*response)),
+            PendingInner::Waiting(receiver) => match receiver.try_recv() {
+                Ok(result) => Some(result),
+                Err(std::sync::mpsc::TryRecvError::Empty) => {
+                    self.inner = PendingInner::Waiting(receiver);
+                    None
+                }
+                Err(std::sync::mpsc::TryRecvError::Disconnected) => Some(Err(ServeError::Closed)),
+            },
+            PendingInner::Taken => Some(Err(ServeError::Closed)),
         }
     }
 }

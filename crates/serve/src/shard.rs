@@ -168,20 +168,35 @@ fn batcher_loop(
 ) {
     // The batcher is the single consumer of the submission queue, so the
     // queue-wait stage ends here: each pop stamps `dequeued` and reports
-    // submission → pop to the route's queue_wait probe.
-    let pop = |mut job: Job| {
+    // submission → pop to the route's queue_wait probe. A job whose deadline
+    // passed while it sat in the queue is answered right here — it is never
+    // batched, never handed to a worker, and never defended late; this is
+    // the wire deadline's first enforcement point (the workers keep their
+    // own check for deadlines that expire during batch dwell).
+    let pop = |mut job: Job| -> Option<Job> {
         let now = Instant::now();
         stats
             .stages
             .queue_wait
             .observe(job.request_id, now.duration_since(job.enqueued));
+        if job.deadline.is_some_and(|deadline| now >= deadline) {
+            stats.record_expired();
+            let _ = job.responder.send(Err(ServeError::DeadlineExceeded));
+            return None;
+        }
         job.dequeued = Some(now);
-        job
+        Some(job)
     };
     loop {
-        let first = match submit_rx.recv() {
-            Ok(job) => pop(job),
-            Err(_) => return, // every submission sender dropped; drain complete
+        let first = loop {
+            match submit_rx.recv() {
+                Ok(job) => {
+                    if let Some(job) = pop(job) {
+                        break job;
+                    }
+                }
+                Err(_) => return, // every submission sender dropped; drain complete
+            }
         };
         let mut jobs = vec![first];
         let deadline = Instant::now() + max_linger;
@@ -191,7 +206,11 @@ fn batcher_loop(
                 break;
             }
             match submit_rx.recv_timeout(deadline - now) {
-                Ok(job) => jobs.push(pop(job)),
+                Ok(job) => {
+                    if let Some(job) = pop(job) {
+                        jobs.push(job);
+                    }
+                }
                 Err(RecvTimeoutError::Timeout) => break,
                 Err(RecvTimeoutError::Disconnected) => break,
             }

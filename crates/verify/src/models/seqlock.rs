@@ -88,7 +88,9 @@ fn writer(
 fn read_once(variant: SeqlockVariant, seq: &MAtomicU64, name: &MAtomicU64, value: &MAtomicU64) {
     let before = seq.load(Ordering::Acquire);
     let stable = match variant {
-        SeqlockVariant::CasClaim | SeqlockVariant::RelaxedStamp => before != 0 && before.is_multiple_of(2),
+        SeqlockVariant::CasClaim | SeqlockVariant::RelaxedStamp => {
+            before != 0 && before.is_multiple_of(2)
+        }
         SeqlockVariant::PlainStoreClaim => before != 0,
     };
     if !stable {
