@@ -1,0 +1,340 @@
+//! `sesr-clusterd` — a multi-process defense federation on one machine.
+//!
+//! ```text
+//! sesr-clusterd [flags]                         (front tier)
+//!
+//!   --addr HOST:PORT        front bind address (default 127.0.0.1:0; the
+//!                           bound address is printed either way)
+//!   --members N             worker processes to spawn (default 3)
+//!   --store PATH            shared model-store directory; adds the
+//!                           store-backed route below and watches PATH for
+//!                           promotions to fan out to the fleet
+//!   --telemetry PATH        export the front's telemetry snapshot to PATH
+//!                           once a second (readable live with sesr-top)
+//!   --max-runtime-secs N    exit cleanly after N seconds (CI harnesses;
+//!                           default: run until killed)
+//!
+//! sesr-clusterd --worker [--store PATH]         (one worker, internal)
+//! ```
+//!
+//! The front role binds the public socket, then spawns `--members` copies
+//! of *this same binary* in the worker role and supervises them: health
+//! probes over the wire, crash restarts with backoff, store-promotion
+//! fan-out. Each worker is a full single-process gateway (the same engine
+//! `sesr-netd` runs) bound to an OS-chosen loopback port, announced to the
+//! supervisor with the `listening on ADDR` stdout contract and tethered to
+//! it by stdin — if the front dies, every worker sees EOF and exits rather
+//! than leaking.
+//!
+//! The fleet serves the same three interpolation routes as `sesr-netd`
+//! (cheap enough that a loopback driver measures the federation, not the
+//! SR math), plus `sesr-m2:x2:raw` when `--store` is given — that route
+//! loads its weights from the store, so a promotion saved into PATH
+//! hot-reloads across every member:
+//!
+//! ```text
+//! nearest-neighbor:x2:raw                 (default route)
+//! bicubic:x2:raw
+//! nearest-neighbor:x2:jpeg75+wavelet2     (full paper preprocessing)
+//! sesr-m2:x2:raw                          (with --store only)
+//! ```
+//!
+//! With `--store`, an artifact for SESR-M2 ×2 must already exist in PATH
+//! when the cluster starts (`ModelStore::save` one before launching).
+//!
+//! Every flag may be given at most once; unknown or duplicate flags are a
+//! usage error (exit 2).
+
+#![forbid(unsafe_code)]
+
+use sesr_cluster::{Cluster, ClusterConfig, MemberState, WorkerCommand};
+use sesr_defense::pipeline::PreprocessConfig;
+use sesr_models::SrModelKind;
+use sesr_net::{NetConfig, NetServer};
+use sesr_serve::{GatewayBuilder, RouteKey};
+use std::io::Read as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sesr-clusterd [--addr HOST:PORT] [--members N] [--store PATH] \
+         [--telemetry PATH] [--max-runtime-secs N]\n\
+         \u{20}      sesr-clusterd --worker [--store PATH]"
+    );
+    std::process::exit(2);
+}
+
+struct Args {
+    worker: bool,
+    addr: String,
+    members: u32,
+    store: Option<String>,
+    telemetry: Option<String>,
+    max_runtime: Option<Duration>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        worker: false,
+        addr: "127.0.0.1:0".to_string(),
+        members: 3,
+        store: None,
+        telemetry: None,
+        max_runtime: None,
+    };
+    let mut seen: Vec<String> = Vec::new();
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        if seen.contains(&arg) {
+            eprintln!("{arg} given twice");
+            usage()
+        }
+        seen.push(arg.clone());
+        let mut value = || match iter.next() {
+            Some(value) => value,
+            None => {
+                eprintln!("{arg} needs a value");
+                usage()
+            }
+        };
+        match arg.as_str() {
+            "--worker" => args.worker = true,
+            "--addr" => args.addr = value(),
+            "--members" => match value().parse::<u32>() {
+                Ok(n) if n > 0 => args.members = n,
+                _ => {
+                    eprintln!("--members needs a positive integer");
+                    usage()
+                }
+            },
+            "--store" => args.store = Some(value()),
+            "--telemetry" => args.telemetry = Some(value()),
+            "--max-runtime-secs" => match value().parse::<u64>() {
+                Ok(n) if n > 0 => args.max_runtime = Some(Duration::from_secs(n)),
+                _ => {
+                    eprintln!("--max-runtime-secs needs a positive integer");
+                    usage()
+                }
+            },
+            _ => {
+                eprintln!("unknown flag {arg}");
+                usage()
+            }
+        }
+    }
+    if args.worker && (args.telemetry.is_some() || args.max_runtime.is_some()) {
+        eprintln!("--worker takes only --store");
+        usage()
+    }
+    args
+}
+
+/// The routes every member serves (and the front routes on). The
+/// store-backed SESR-M2 route exists only when a store is configured.
+fn fleet_routes(with_store: bool) -> Vec<RouteKey> {
+    let mut routes = vec![
+        RouteKey::new(SrModelKind::NearestNeighbor, 2, PreprocessConfig::none()),
+        RouteKey::new(SrModelKind::Bicubic, 2, PreprocessConfig::none()),
+        RouteKey::paper(SrModelKind::NearestNeighbor, 2),
+    ];
+    if with_store {
+        routes.push(RouteKey::new(
+            SrModelKind::SesrM2,
+            2,
+            PreprocessConfig::none(),
+        ));
+    }
+    routes
+}
+
+fn main() {
+    let args = parse_args();
+    if args.worker {
+        run_worker(&args)
+    } else {
+        run_front(&args)
+    }
+}
+
+/// One worker: a full gateway behind a private reactor, tethered to the
+/// supervisor by stdin. Exits cleanly on stdin EOF (planned drain, or the
+/// front died); crash restarts are the supervisor's job, not ours.
+fn run_worker(args: &Args) -> ! {
+    let routes = fleet_routes(args.store.is_some());
+    let mut builder = GatewayBuilder::new();
+    if let Some(path) = &args.store {
+        builder = match builder.open_store(path) {
+            Ok(builder) => builder,
+            Err(err) => {
+                eprintln!("cannot open store {path}: {err}");
+                std::process::exit(1);
+            }
+        };
+    }
+    for route in &routes {
+        builder = builder.route(*route);
+    }
+    let gateway = match builder.default_route(routes[0]).build() {
+        Ok(gateway) => gateway,
+        Err(err) => {
+            eprintln!("cannot build worker gateway: {err}");
+            std::process::exit(1);
+        }
+    };
+
+    // The front is this worker's only client, carrying the whole arc's
+    // traffic over one connection: per-client token buckets would shed the
+    // internal link, so admission control stays at the front tier.
+    let config = NetConfig {
+        per_client_limit: None,
+        global_limit: None,
+        max_inflight_per_conn: 256,
+        ..NetConfig::default()
+    };
+    let server = match NetServer::bind("127.0.0.1:0", config, gateway.client()) {
+        Ok(server) => server,
+        Err(err) => {
+            eprintln!("cannot bind worker socket: {err}");
+            std::process::exit(1);
+        }
+    };
+    // The supervisor contract: exactly one "listening on ADDR" line on
+    // stdout, flushed before any traffic can arrive.
+    println!("listening on {}", server.local_addr());
+
+    // Orphan tether: the supervisor holds our stdin open for our whole
+    // life. EOF means a planned drain or a dead front — either way, exit.
+    let stdin_closed = Arc::new(AtomicBool::new(false));
+    let tether = Arc::clone(&stdin_closed);
+    std::thread::Builder::new()
+        .name("stdin-tether".to_string())
+        .spawn(move || {
+            let mut sink = [0u8; 64];
+            let mut stdin = std::io::stdin().lock();
+            while let Ok(n) = stdin.read(&mut sink) {
+                if n == 0 {
+                    break;
+                }
+            }
+            // lint: allow(atomic-ordering): one-shot flag paired with the main loop's acquire
+            tether.store(true, Ordering::Release);
+        })
+        .expect("spawn stdin tether");
+
+    // lint: allow(atomic-ordering): acquire pairs with the tether's release
+    while !stdin_closed.load(Ordering::Acquire) {
+        if server.is_finished() {
+            eprintln!("worker reactor exited unexpectedly");
+            std::process::exit(1);
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    server.stop();
+    gateway.shutdown();
+    println!("clean shutdown");
+    std::process::exit(0);
+}
+
+/// The front tier: bind the public socket, spawn the fleet, supervise.
+fn run_front(args: &Args) -> ! {
+    let program = match std::env::current_exe() {
+        Ok(program) => program,
+        Err(err) => {
+            eprintln!("cannot resolve own executable: {err}");
+            std::process::exit(1);
+        }
+    };
+    let mut worker_args = vec!["--worker".to_string()];
+    if let Some(path) = &args.store {
+        worker_args.push("--store".to_string());
+        worker_args.push(path.clone());
+    }
+    let routes = fleet_routes(args.store.is_some());
+    let config = ClusterConfig {
+        routes: routes.clone(),
+        store_dir: args.store.as_ref().map(Into::into),
+        ..ClusterConfig::new(
+            args.members,
+            WorkerCommand {
+                program,
+                args: worker_args,
+            },
+        )
+    };
+    let cluster = match Cluster::start(&args.addr, config) {
+        Ok(cluster) => cluster,
+        Err(err) => {
+            eprintln!("cannot start cluster on {}: {err}", args.addr);
+            std::process::exit(1);
+        }
+    };
+    println!("listening on {}", cluster.local_addr());
+    for route in &routes {
+        println!("route {route}");
+    }
+    println!("default route {}", routes[0]);
+
+    // Fail fast on an unwritable telemetry path before any worker is
+    // declared ready; later writes happen on the main loop's tick.
+    if let Some(path) = &args.telemetry {
+        if let Err(err) =
+            sesr_serve::write_snapshot_atomic(std::path::Path::new(path), &cluster.stats_snapshot())
+        {
+            eprintln!("cannot export telemetry to {path}: {err}");
+            std::process::exit(1);
+        }
+    }
+
+    if cluster.wait_ready(Duration::from_secs(60)) {
+        for info in cluster.members() {
+            if let Some(addr) = info.addr {
+                println!("member {} up at {addr}", info.id);
+            }
+        }
+        println!("cluster ready: {} members", args.members);
+    } else {
+        eprintln!("cluster not ready after 60s; serving whatever came up");
+    }
+
+    let deadline = args.max_runtime.map(|runtime| Instant::now() + runtime);
+    let mut next_export = Instant::now() + Duration::from_secs(1);
+    loop {
+        if deadline.is_some_and(|deadline| Instant::now() >= deadline) {
+            break;
+        }
+        if cluster
+            .members()
+            .iter()
+            .all(|info| matches!(info.state, MemberState::Removed))
+        {
+            eprintln!("every member drained away; shutting down");
+            break;
+        }
+        if let Some(path) = &args.telemetry {
+            if Instant::now() >= next_export {
+                next_export = Instant::now() + Duration::from_secs(1);
+                if let Err(err) = sesr_serve::write_snapshot_atomic(
+                    std::path::Path::new(path),
+                    &cluster.stats_snapshot(),
+                ) {
+                    eprintln!("telemetry export error: {err}");
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(250));
+    }
+
+    // One final snapshot so even short runs leave a valid file behind.
+    if let Some(path) = &args.telemetry {
+        if let Err(err) =
+            sesr_serve::write_snapshot_atomic(std::path::Path::new(path), &cluster.stats_snapshot())
+        {
+            eprintln!("telemetry export error: {err}");
+        }
+    }
+    cluster.shutdown();
+    println!("clean shutdown");
+    std::process::exit(0);
+}

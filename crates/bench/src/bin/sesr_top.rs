@@ -236,11 +236,66 @@ fn render_status(snapshot: &TelemetrySnapshot, filter: Option<&str>) -> String {
     out
 }
 
+/// A `cluster.member.<id>.forward_ns` histogram name → member id.
+fn member_row_of(name: &str) -> Option<&str> {
+    name.strip_prefix("cluster.member.")?
+        .strip_suffix(".forward_ns")
+}
+
+/// The CLUSTER pane: membership, routing counters and a per-member
+/// forwarding-latency table. Empty (no pane) unless the snapshot came from
+/// a cluster front — a plain gateway has no `cluster.*` namespace.
+fn render_cluster(snapshot: &TelemetrySnapshot) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let members_up = snapshot
+        .gauges
+        .iter()
+        .find(|(name, _)| name == "cluster.members_up")
+        .map(|(_, value)| *value);
+    let rows: Vec<(&str, &HistogramSnapshot)> = snapshot
+        .histograms
+        .iter()
+        .filter_map(|(name, hist)| Some((member_row_of(name)?, hist)))
+        .collect();
+    if members_up.is_none() && rows.is_empty() {
+        return out;
+    }
+    let _ = writeln!(out, "cluster");
+    if let Some(up) = members_up {
+        let _ = writeln!(out, "  members up: {up}");
+    }
+    for counter in [
+        "cluster.forwarded",
+        "cluster.shed.member_down",
+        "cluster.member_lost",
+        "cluster.reconnects",
+        "cluster.supervisor.restarts",
+        "cluster.reload.promotions",
+    ] {
+        if let Some(value) = snapshot.counter(counter) {
+            let _ = writeln!(out, "  {counter:<40} {value:>12}");
+        }
+    }
+    if !rows.is_empty() {
+        let _ = writeln!(
+            out,
+            "  {:<24} {:>8} {:>10} {:>10} {:>10} {:>10}",
+            "member forward", "count", "p50", "p95", "p99", "max"
+        );
+        for (member, hist) in rows {
+            stage_row(&mut out, member, hist);
+        }
+    }
+    out
+}
+
 fn render(snapshot: &TelemetrySnapshot, history: &WindowedStore, filter: Option<&str>) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
 
     out.push_str(&render_status(snapshot, filter));
+    out.push_str(&render_cluster(snapshot));
 
     // Throughput sparklines: one per route, diffed from the retained frame
     // history (needs at least two frames, so they appear from tick 2 on).
@@ -292,6 +347,11 @@ fn render(snapshot: &TelemetrySnapshot, history: &WindowedStore, filter: Option<
     let mut other = Vec::new();
     for (name, hist) in &snapshot.histograms {
         if !route_matches(name, filter) {
+            continue;
+        }
+        // Member forwarding rows already have their own table in the
+        // CLUSTER pane.
+        if member_row_of(name).is_some() {
             continue;
         }
         match stage_key(name) {
@@ -443,6 +503,38 @@ mod tests {
             stage_key("route.sesr-m2:x2:raw.stage.infer_ns"),
             Some(("sesr-m2:x2:raw", "infer"))
         );
+    }
+
+    #[test]
+    fn cluster_pane_appears_only_for_cluster_snapshots() {
+        let plain = TelemetrySnapshot::new(Default::default(), vec![], 0);
+        assert!(render_cluster(&plain).is_empty());
+
+        let mut snapshot = TelemetrySnapshot::new(Default::default(), vec![], 0);
+        snapshot.gauges.push(("cluster.members_up".to_string(), 3));
+        snapshot
+            .counters
+            .push(("cluster.forwarded".to_string(), 42));
+        snapshot.histograms.push((
+            "cluster.member.0.forward_ns".to_string(),
+            HistogramSnapshot {
+                count: 10,
+                sum: 10_000,
+                min: 500,
+                max: 2_000,
+                buckets: vec![(500, 10)],
+            },
+        ));
+        let pane = render_cluster(&snapshot);
+        assert!(pane.contains("members up: 3"));
+        assert!(pane.contains("cluster.forwarded"));
+        assert!(pane.contains("42"));
+        // The member row renders under its id, and the generic histogram
+        // pane in render() skips it (it has its own table here).
+        assert!(pane.contains("  0 "));
+        assert_eq!(member_row_of("cluster.member.0.forward_ns"), Some("0"));
+        assert_eq!(member_row_of("cluster.member.0.restarts"), None);
+        assert_eq!(member_row_of("route.a.stage.infer_ns"), None);
     }
 
     #[test]

@@ -14,6 +14,10 @@
 //!   --seed N              RNG seed (default 42)
 //!   --out PATH            where to write the latency-under-load report
 //!                         (default BENCH_net_frontend.json)
+//!   --cluster             the target is a `sesr-clusterd` front: after the
+//!                         run, require the `cluster.*` namespace, print a
+//!                         per-member + fleet forwarding-latency table and
+//!                         fold it into the report
 //! ```
 //!
 //! Arrivals are **open-loop Poisson**: each connection draws exponential
@@ -50,7 +54,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: traffic-gen --addr HOST:PORT [--rates R1,R2,...] [--step-ms N] \
          [--connections N] [--unique-images N] [--zipf-s S] [--deadline-ms N] \
-         [--seed N] [--out PATH]"
+         [--seed N] [--out PATH] [--cluster]"
     );
     std::process::exit(2);
 }
@@ -65,6 +69,7 @@ struct Args {
     deadline_ms: u32,
     seed: u64,
     out: String,
+    cluster: bool,
 }
 
 fn parse_args() -> Args {
@@ -79,6 +84,7 @@ fn parse_args() -> Args {
         deadline_ms: 250,
         seed: 42,
         out: "BENCH_net_frontend.json".to_string(),
+        cluster: false,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
@@ -132,6 +138,7 @@ fn parse_args() -> Args {
                 Err(_) => usage(),
             },
             "--out" => args.out = value(),
+            "--cluster" => args.cluster = true,
             _ => {
                 eprintln!("unknown flag {arg}");
                 usage()
@@ -475,20 +482,107 @@ fn run(args: &Args) -> Result<(), String> {
         net_counters.len()
     );
 
-    write_report(args, &steps, &net_counters)?;
+    // In cluster mode the snapshot must also expose the federation: the
+    // routing counters and one forwarding-latency histogram per member.
+    let fleet = if args.cluster {
+        Some(cluster_table(&snapshot)?)
+    } else {
+        None
+    };
+
+    write_report(args, &steps, &net_counters, fleet.as_ref())?;
     println!("  report: {}", args.out);
     Ok(())
+}
+
+/// One member's forwarding-latency row in the cluster table.
+struct MemberRow {
+    member: String,
+    hist: sesr_telemetry::HistogramSnapshot,
+}
+
+/// The extracted cluster section: `cluster.*` routing counters plus the
+/// per-member (and fleet) latency rows.
+type ClusterSection = (Vec<(String, u64)>, Vec<MemberRow>);
+
+/// The cluster section: routing counters plus per-member and fleet
+/// latency rows, extracted from the front's snapshot (and printed).
+fn cluster_table(snapshot: &TelemetrySnapshot) -> Result<ClusterSection, String> {
+    let counters: Vec<(String, u64)> = snapshot
+        .counters
+        .iter()
+        .filter(|(name, _)| name.starts_with("cluster.") && !name.starts_with("cluster.fleet."))
+        .map(|(name, value)| (name.clone(), *value))
+        .collect();
+    let forwarded = snapshot.counter("cluster.forwarded").unwrap_or(0);
+    if forwarded == 0 {
+        return Err("--cluster: the front forwarded nothing (cluster.forwarded=0)".to_string());
+    }
+    let members_up = snapshot
+        .gauges
+        .iter()
+        .find(|(name, _)| name == "cluster.members_up")
+        .map_or(0, |(_, value)| *value);
+    if members_up <= 0 {
+        return Err("--cluster: no members up (cluster.members_up=0)".to_string());
+    }
+    let mut rows: Vec<MemberRow> = snapshot
+        .histograms
+        .iter()
+        .filter_map(|(name, hist)| {
+            let id = name
+                .strip_prefix("cluster.member.")?
+                .strip_suffix(".forward_ns")?;
+            Some(MemberRow {
+                member: id.to_string(),
+                hist: hist.clone(),
+            })
+        })
+        .collect();
+    if rows.is_empty() {
+        return Err("--cluster: no cluster.member.<id>.forward_ns histograms".to_string());
+    }
+    // The fleet row is the exact bucket union of the member rows.
+    let mut fleet = sesr_telemetry::HistogramSnapshot::default();
+    for row in &rows {
+        fleet.merge(&row.hist);
+    }
+    rows.push(MemberRow {
+        member: "fleet".to_string(),
+        hist: fleet,
+    });
+    println!("  cluster: {members_up} members up, {forwarded} forwarded");
+    println!(
+        "    {:<8} {:>8} {:>12} {:>12} {:>12}",
+        "member", "count", "p50_ms", "p99_ms", "max_ms"
+    );
+    for row in &rows {
+        println!(
+            "    {:<8} {:>8} {:>12.3} {:>12.3} {:>12.3}",
+            row.member,
+            row.hist.count,
+            row.hist.quantile(0.50) as f64 / 1e6,
+            row.hist.quantile(0.99) as f64 / 1e6,
+            row.hist.max as f64 / 1e6,
+        );
+    }
+    Ok((counters, rows))
 }
 
 fn write_report(
     args: &Args,
     steps: &[(f64, StepStats, f64)],
     net_counters: &[(String, u64)],
+    fleet: Option<&ClusterSection>,
 ) -> Result<(), String> {
     use std::fmt::Write as _;
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"schema\": \"sesr-net-frontend/v1\",");
+    if fleet.is_some() {
+        let _ = writeln!(json, "  \"schema\": \"sesr-cluster/v1\",");
+    } else {
+        let _ = writeln!(json, "  \"schema\": \"sesr-net-frontend/v1\",");
+    }
     let _ = writeln!(json, "  \"connections\": {},", args.connections);
     let _ = writeln!(json, "  \"step_ms\": {},", args.step.as_millis());
     let _ = writeln!(json, "  \"deadline_ms\": {},", args.deadline_ms);
@@ -518,12 +612,37 @@ fn write_report(
         );
     }
     let _ = writeln!(json, "  ],");
+    let section_end = if fleet.is_some() { "," } else { "" };
     let _ = writeln!(json, "  \"net_counters\": {{");
     for (at, (name, value)) in net_counters.iter().enumerate() {
         let comma = if at + 1 < net_counters.len() { "," } else { "" };
         let _ = writeln!(json, "    \"{name}\": {value}{comma}");
     }
-    let _ = writeln!(json, "  }}");
+    let _ = writeln!(json, "  }}{section_end}");
+    if let Some((counters, rows)) = fleet {
+        let _ = writeln!(json, "  \"cluster_counters\": {{");
+        for (at, (name, value)) in counters.iter().enumerate() {
+            let comma = if at + 1 < counters.len() { "," } else { "" };
+            let _ = writeln!(json, "    \"{name}\": {value}{comma}");
+        }
+        let _ = writeln!(json, "  }},");
+        let _ = writeln!(json, "  \"members\": [");
+        for (at, row) in rows.iter().enumerate() {
+            let comma = if at + 1 < rows.len() { "," } else { "" };
+            let _ = writeln!(
+                json,
+                "    {{\"member\": \"{}\", \"count\": {}, \"forward_ns\": \
+                 {{\"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {}}}}}{comma}",
+                row.member,
+                row.hist.count,
+                row.hist.quantile(0.50),
+                row.hist.quantile(0.95),
+                row.hist.quantile(0.99),
+                row.hist.max,
+            );
+        }
+        let _ = writeln!(json, "  ]");
+    }
     let _ = writeln!(json, "}}");
     std::fs::write(&args.out, json).map_err(|err| format!("cannot write {}: {err}", args.out))
 }

@@ -13,6 +13,7 @@
 //! |---|---|
 //! | `atomic-ordering` | `Ordering::{Relaxed,…,SeqCst}` literals only in the telemetry/verify cores, test code, or under an annotation |
 //! | `thread-spawn` | `thread::spawn` confined to shard/serve/verify infrastructure |
+//! | `process-spawn` | `Command::new` (child processes) confined to the cluster supervisor and binaries |
 //! | `forbid-unsafe` | every crate root opts into `#![forbid(unsafe_code)]` |
 //! | `no-unwrap` | no `.unwrap()` / `.expect("…")` in non-test serve/telemetry/store code |
 //!
@@ -33,9 +34,10 @@
 use std::path::{Path, PathBuf};
 
 /// The rule identifiers, in `--explain` order.
-pub const RULES: [&str; 4] = [
+pub const RULES: [&str; 5] = [
     "atomic-ordering",
     "thread-spawn",
+    "process-spawn",
     "forbid-unsafe",
     "no-unwrap",
 ];
@@ -57,6 +59,14 @@ pub fn explain(rule: &str) -> Option<&'static str> {
              and the sesr-verify scheduler, plus test code. Ad-hoc threads bypass the\n\
              drain/retire and telemetry machinery; route work through spawn_shard or the\n\
              evaluation plan's scoped workers instead, or annotate with a justification.",
+        ),
+        "process-spawn" => Some(
+            "process-spawn: `Command::new` (spawning child processes) is confined to the\n\
+             cluster supervisor (crates/cluster/src) and binary entry points (src/bin),\n\
+             plus test code. A child process outlives panics and bypasses every drain/\n\
+             shutdown path in the serving stack; the supervisor exists precisely to own\n\
+             that lifecycle (stdin tether, restart backoff, health probes). Route process\n\
+             management through sesr-cluster, or annotate with a justification.",
         ),
         "forbid-unsafe" => Some(
             "forbid-unsafe: every crate root (src/lib.rs, src/main.rs, src/bin/*.rs,\n\
@@ -450,9 +460,20 @@ fn spawn_allowed(path: &Path) -> bool {
             "crates/serve/src/slo.rs",
             "crates/serve/src/telemetry.rs",
             "crates/net/src/reactor.rs",
+            "crates/cluster/src/supervisor.rs",
+            "crates/cluster/src/cluster.rs",
         ]
         .iter()
         .any(|allowed| p.ends_with(allowed))
+}
+
+/// Files allowed to spawn child processes without annotation: the cluster
+/// supervisor (whose whole job is worker-process lifecycle) and binary
+/// entry points (a CLI launching a helper is operator-facing, not
+/// request-path code).
+fn process_spawn_allowed(path: &Path) -> bool {
+    let p = path_str(path);
+    p.contains("crates/cluster/src/") || p.contains("/src/bin/") || p.starts_with("src/bin/")
 }
 
 /// Crate roots that must carry `#![forbid(unsafe_code)]`.
@@ -562,6 +583,29 @@ pub fn lint_file(path: &Path, source: &str) -> Vec<Finding> {
                  (see --explain thread-spawn)"
                     .to_string(),
             );
+        }
+
+        // process-spawn: `Command::new` with an identifier boundary before
+        // it, so `WorkerCommand::new(...)` style constructors never match.
+        if !test_code && !process_spawn_allowed(path) {
+            let mut search = 0;
+            while let Some(found) = line[search..].find("Command::new") {
+                let at = search + found;
+                let bounded = at == 0
+                    || !line.as_bytes()[at - 1].is_ascii_alphanumeric()
+                        && line.as_bytes()[at - 1] != b'_';
+                if bounded {
+                    flag(
+                        "process-spawn",
+                        line_no,
+                        "`Command::new` (child process) outside the cluster supervisor \
+                         and binaries (see --explain process-spawn)"
+                            .to_string(),
+                    );
+                    break;
+                }
+                search = at + "Command::new".len();
+            }
         }
 
         // no-unwrap
@@ -719,6 +763,29 @@ mod tests {
             "#![forbid(unsafe_code)]\npub fn f() {}\n",
         );
         assert!(ok.is_empty());
+    }
+
+    #[test]
+    fn process_spawn_confined_to_cluster_and_bins() {
+        let source = "#![forbid(unsafe_code)]\n\
+             fn f() { std::process::Command::new(\"worker\").spawn().ok(); }\n";
+        let findings = lint_file(Path::new("crates/serve/src/x.rs"), source);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, "process-spawn");
+
+        for allowed in [
+            "crates/cluster/src/supervisor.rs",
+            "crates/bench/src/bin/sesr_clusterd.rs",
+            "crates/bench/tests/cluster_e2e.rs",
+        ] {
+            let findings = lint_file(Path::new(allowed), source);
+            assert!(findings.is_empty(), "{allowed}: {findings:?}");
+        }
+
+        // An identifier ending in `Command` is a constructor, not a child
+        // process.
+        let ctor = "fn f() { let c = WorkerCommand::new(3); }\n";
+        assert!(lint_file(Path::new("crates/serve/src/x.rs"), ctor).is_empty());
     }
 
     #[test]

@@ -24,13 +24,15 @@ fn write_fixture() -> PathBuf {
     //  line 2: Ordering literal outside allowed modules    -> atomic-ordering
     //  line 3: ad-hoc thread                               -> thread-spawn
     //  line 4: panicking accessor in the serve crate       -> no-unwrap
-    //  line 6: annotation without a justification          -> annotation
+    //  line 5: ad-hoc child process                        -> process-spawn
+    //  line 7: annotation without a justification          -> annotation
     std::fs::write(
         src.join("lib.rs"),
         "use std::sync::atomic::{AtomicU64, Ordering};\n\
          pub fn bad(a: &AtomicU64) -> u64 { a.load(Ordering::Relaxed) }\n\
          pub fn worker() { std::thread::spawn(|| {}).join().unwrap(); }\n\
          pub fn get(v: Option<u32>) -> u32 { v.expect(\"present\") }\n\
+         pub fn child() { let _ = std::process::Command::new(\"ls\").spawn(); }\n\
          \n\
          // lint: allow(atomic-ordering):\n\
          pub const X: u32 = 0;\n",
@@ -62,6 +64,15 @@ fn write_fixture() -> PathBuf {
     )
     .unwrap();
 
+    // The process-spawn allowlist covers the cluster supervisor sources.
+    let cluster = root.join("crates/cluster/src");
+    std::fs::create_dir_all(&cluster).unwrap();
+    std::fs::write(
+        cluster.join("supervisor.rs"),
+        "pub fn respawn() { let _ = std::process::Command::new(\"worker\").spawn(); }\n",
+    )
+    .unwrap();
+
     root
 }
 
@@ -84,7 +95,8 @@ fn fixture_violations_produce_nonzero_exit_with_file_line_diagnostics() {
         &format!("{bad}:3: [thread-spawn]"),
         &format!("{bad}:3: [no-unwrap]"),
         &format!("{bad}:4: [no-unwrap]"),
-        &format!("{bad}:6: [annotation]"),
+        &format!("{bad}:5: [process-spawn]"),
+        &format!("{bad}:7: [annotation]"),
     ] {
         assert!(
             stdout.contains(expected),
@@ -102,6 +114,10 @@ fn fixture_violations_produce_nonzero_exit_with_file_line_diagnostics() {
     assert!(
         stdout.contains("crates/net/src/sidecar.rs:1: [thread-spawn]"),
         "the allowlist must not blanket the net crate:\n{stdout}"
+    );
+    assert!(
+        !stdout.contains("crates/cluster/src/supervisor.rs"),
+        "the cluster supervisor may spawn worker processes:\n{stdout}"
     );
 }
 

@@ -1,0 +1,241 @@
+//! Wiring: one call that stands up the whole federation.
+//!
+//! [`Cluster::start`] builds the three tiers and the channels between them:
+//!
+//! ```text
+//!                    ┌────────────────────────────────────────────┐
+//!   clients ──TCP──▶ │ front reactor (sesr-net) + ClusterBackend  │
+//!                    └───────┬────────────────────────▲───────────┘
+//!              forwards over │ wire            Control│ (member up/down)
+//!                    ┌───────▼───────┐        ┌───────┴───────┐
+//!                    │ worker 0..n   │◀─wire──│  Supervisor   │
+//!                    │ (gateways)    │ probes │  thread       │
+//!                    └───────────────┘        └───────▲───────┘
+//!                                              Command│ (reload, drain)
+//!                                                 API / wire Reload
+//! ```
+//!
+//! The front and the supervisor share two pieces of state: the member view
+//! (for [`Cluster::members`] and readiness) and the per-member telemetry
+//! snapshots the health probes collect (for the `cluster.fleet.*` rollup in
+//! the front's stats frame).
+
+use crate::backend::ClusterBackend;
+use crate::ring::HashRing;
+use crate::supervisor::{
+    Command, Control, MemberInfo, MemberState, Supervisor, SupervisorConfig, WorkerCommand,
+};
+use crate::MemberId;
+use sesr_net::{NetConfig, NetServer};
+use sesr_serve::RouteKey;
+use sesr_store::ModelStore;
+use sesr_telemetry::{Telemetry, TelemetrySnapshot};
+use std::collections::HashMap;
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Everything needed to stand up a federation.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Worker-process count (member ids `0..members`).
+    pub members: u32,
+    /// Virtual nodes per member on the hash ring.
+    pub vnodes: u32,
+    /// Routes the fleet serves; the front answers `UnknownRoute` for
+    /// anything else, and the supervisor watches the store for promotions
+    /// of these routes' models.
+    pub routes: Vec<RouteKey>,
+    /// Shared model-store directory to watch for reload fan-out (`None`
+    /// disables the watcher; wire-initiated reloads still fan out).
+    pub store_dir: Option<PathBuf>,
+    /// How to spawn one worker.
+    pub worker: WorkerCommand,
+    /// Front-reactor tunables (connection caps, token buckets, …).
+    pub net: NetConfig,
+    /// Supervision tunables.
+    pub supervisor: SupervisorConfig,
+}
+
+impl ClusterConfig {
+    /// A config for `members` workers spawned by `worker`, with default
+    /// tunables and no routes (add them with the struct-update syntax).
+    pub fn new(members: u32, worker: WorkerCommand) -> ClusterConfig {
+        ClusterConfig {
+            members,
+            vnodes: HashRing::DEFAULT_VNODES,
+            routes: Vec::new(),
+            store_dir: None,
+            worker,
+            net: NetConfig::default(),
+            supervisor: SupervisorConfig::default(),
+        }
+    }
+}
+
+/// A running federation: the front server plus the supervisor thread.
+pub struct Cluster {
+    server: Option<NetServer>,
+    supervisor: Option<JoinHandle<()>>,
+    commands: Sender<Command>,
+    view: Arc<Mutex<Vec<MemberInfo>>>,
+    telemetry: Arc<Telemetry>,
+    snapshots: Arc<Mutex<HashMap<MemberId, TelemetrySnapshot>>>,
+}
+
+impl Cluster {
+    /// Bind the front tier on `addr`, spawn the workers, start supervising.
+    ///
+    /// Returns as soon as the front socket is bound — workers come up
+    /// asynchronously; gate traffic on [`Cluster::wait_ready`].
+    ///
+    /// # Errors
+    ///
+    /// Binding the front socket, opening the store, or spawning the
+    /// supervisor thread.
+    pub fn start(addr: impl ToSocketAddrs, config: ClusterConfig) -> std::io::Result<Cluster> {
+        let telemetry = Arc::new(Telemetry::new());
+        let (control_tx, control_rx) = std::sync::mpsc::channel::<Control>();
+        let (command_tx, command_rx) = std::sync::mpsc::channel::<Command>();
+        let view = Arc::new(Mutex::new(Vec::new()));
+        let snapshots: Arc<Mutex<HashMap<MemberId, TelemetrySnapshot>>> =
+            Arc::new(Mutex::new(HashMap::new()));
+        let store = match &config.store_dir {
+            Some(dir) => Some(ModelStore::open(dir).map_err(std::io::Error::other)?),
+            None => None,
+        };
+        let backend = ClusterBackend::new(
+            Arc::clone(&telemetry),
+            config.members,
+            config.vnodes,
+            config.routes.iter().map(|key| key.label()),
+            control_rx,
+            command_tx.clone(),
+            config.net.overload_retry_after,
+            Arc::clone(&snapshots),
+        );
+        let server = NetServer::bind_with_backend(addr, config.net.clone(), backend)?;
+        let supervisor = Supervisor::new(
+            config.members,
+            config.worker.clone(),
+            config.supervisor.clone(),
+            Arc::clone(&telemetry),
+            control_tx,
+            command_rx,
+            Arc::clone(&view),
+            Arc::clone(&snapshots),
+            store,
+            &config.routes,
+        );
+        let handle = std::thread::Builder::new()
+            .name("sesr-cluster-supervisor".to_string())
+            .spawn(move || supervisor.run())?;
+        Ok(Cluster {
+            server: Some(server),
+            supervisor: Some(handle),
+            commands: command_tx,
+            view,
+            telemetry,
+            snapshots,
+        })
+    }
+
+    /// The front tier's bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.server
+            .as_ref()
+            .map(NetServer::local_addr)
+            .unwrap_or_else(|| SocketAddr::from(([127, 0, 0, 1], 0)))
+    }
+
+    /// The front hub — `net.*` admission metrics plus every `cluster.*`
+    /// counter the router and supervisor maintain.
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
+    }
+
+    /// Current member states (id, state, address, pid, restart count).
+    pub fn members(&self) -> Vec<MemberInfo> {
+        lock(&self.view).clone()
+    }
+
+    /// The latest telemetry snapshot the health probe collected from
+    /// `member`, if any.
+    pub fn member_snapshot(&self, member: MemberId) -> Option<TelemetrySnapshot> {
+        lock(&self.snapshots).get(&member).cloned()
+    }
+
+    /// The same snapshot the front answers a wire Stats frame with: the
+    /// front hub plus the `cluster.fleet.*` rollup of every member's
+    /// probed telemetry. This is what `sesr-clusterd --telemetry` exports.
+    pub fn stats_snapshot(&self) -> TelemetrySnapshot {
+        crate::backend::stats_snapshot(&self.telemetry, &self.snapshots)
+    }
+
+    /// Block until every non-removed member is `Up` (true), or `timeout`
+    /// elapses (false).
+    pub fn wait_ready(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let view = self.members();
+            let ready = !view.is_empty()
+                && view
+                    .iter()
+                    .all(|info| matches!(info.state, MemberState::Up | MemberState::Removed));
+            if ready {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    /// Ask the supervisor to broadcast a reload of `route` (empty = every
+    /// reloadable route) to the fleet.
+    pub fn reload(&self, route: &str) {
+        let _ = self.commands.send(Command::Reload {
+            route: route.to_string(),
+        });
+    }
+
+    /// Drain `member` out of the fleet: its arcs remap to the survivors
+    /// first, then the process is allowed to finish and exit.
+    pub fn remove_member(&self, member: MemberId) {
+        let _ = self.commands.send(Command::RemoveMember { id: member });
+    }
+
+    /// Stop everything: front reactor first (no new forwards), then the
+    /// supervisor drains the workers.
+    pub fn shutdown(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        if let Some(server) = self.server.take() {
+            server.stop();
+        }
+        let _ = self.commands.send(Command::Shutdown);
+        if let Some(handle) = self.supervisor.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+/// Poison-tolerant lock (same rationale as the supervisor's).
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match mutex.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}

@@ -1,0 +1,707 @@
+//! Worker-process supervision: spawn, health-check, restart, drain.
+//!
+//! The supervisor owns the fleet's lifecycle so the router never has to.
+//! Each member is one OS process (a `sesr-clusterd --worker`, i.e. a full
+//! gateway behind the wire protocol) spawned with stdout and stdin piped:
+//!
+//! - **stdout** carries the startup contract — exactly one
+//!   `listening on ADDR` line once the worker's socket is bound (the same
+//!   contract `sesr-netd` prints for CI). A reader thread per child streams
+//!   lines into the supervisor loop, which flips the member `Starting → Up`
+//!   and announces the address to the router.
+//! - **stdin** is the orphan tether. The worker exits when its stdin hits
+//!   EOF, so a supervisor that dies — even by `kill -9`, where atexit
+//!   handlers never run — takes its workers with it instead of leaking
+//!   port-squatting processes.
+//!
+//! Health is probed over the wire itself: a stats frame every
+//! [`SupervisorConfig::health_interval`], answered with the member's full
+//! telemetry snapshot. One probe does double duty — liveness signal and the
+//! raw material for the fleet rollup (`cluster.fleet.*`). A member that
+//! misses [`SupervisorConfig::unhealthy_after`] consecutive probes, or
+//! whose process exits, goes `Down`: the router sheds its arc with
+//! `RetryAfter` while the supervisor restarts it under exponential backoff.
+//! The member keeps its id across restarts, so recovery is not a remap.
+//!
+//! The supervisor is also where **reload fan-out** converges: one store
+//! watcher polls the shared [`ModelStore`] for version promotions and
+//! broadcasts a wire `Reload` to every `Up` member — N workers, one
+//! watcher, exactly one broadcast per promotion.
+
+use crate::ring::MemberId;
+use sesr_net::{NetClient, ReconnectPolicy};
+use sesr_serve::RouteKey;
+use sesr_store::ModelStore;
+use sesr_telemetry::{Telemetry, TelemetrySnapshot};
+use std::collections::HashMap;
+use std::io::BufRead;
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::process::{Child, ChildStdin, Stdio};
+use std::sync::mpsc::{Receiver, Sender, TryRecvError};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// How to start one worker process. The same command is used for every
+/// member (shared-nothing workers bind port 0 and report back), and for
+/// every restart.
+#[derive(Debug, Clone)]
+pub struct WorkerCommand {
+    /// Executable to spawn (typically `std::env::current_exe()` re-executed
+    /// with a `--worker` flag).
+    pub program: PathBuf,
+    /// Arguments passed verbatim.
+    pub args: Vec<String>,
+}
+
+/// Lifecycle state of one member.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemberState {
+    /// Process spawned, waiting for its `listening on` line.
+    Starting,
+    /// Serving; owns its ring arcs.
+    Up,
+    /// Process dead or wedged; its arcs shed until the restart lands.
+    Down,
+    /// Planned removal in progress: arcs already remapped, waiting for the
+    /// process to finish in-flight work and exit.
+    Draining,
+    /// Drained and gone; the id will not be reused.
+    Removed,
+}
+
+/// Supervisor-side view of one member, exposed through
+/// [`Cluster::members`](crate::Cluster::members).
+#[derive(Debug, Clone)]
+pub struct MemberInfo {
+    /// Stable member id (also its ring identity).
+    pub id: MemberId,
+    /// Current lifecycle state.
+    pub state: MemberState,
+    /// Wire address, once the worker reported it.
+    pub addr: Option<SocketAddr>,
+    /// OS process id of the current incarnation.
+    pub pid: Option<u32>,
+    /// Times this member has been restarted after a crash or failed health
+    /// check (the initial spawn is not a restart).
+    pub restarts: u64,
+}
+
+/// Tunables for the supervision loop.
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// Wire health-probe period (default 150 ms).
+    pub health_interval: Duration,
+    /// Per-probe timeout (default 1 s).
+    pub health_timeout: Duration,
+    /// Consecutive probe failures before a member is declared wedged and
+    /// restarted (default 3).
+    pub unhealthy_after: u32,
+    /// First restart delay (default 100 ms); doubles per consecutive
+    /// restart of the same member.
+    pub restart_backoff: Duration,
+    /// Restart-delay ceiling (default 2 s).
+    pub max_restart_backoff: Duration,
+    /// How long a spawned worker may take to print its `listening on` line
+    /// before being treated as wedged (default 30 s — a worker hydrates
+    /// models from the store on startup).
+    pub startup_timeout: Duration,
+    /// Store-watch poll period for reload fan-out (default 250 ms).
+    pub watch_interval: Duration,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            health_interval: Duration::from_millis(150),
+            health_timeout: Duration::from_secs(1),
+            unhealthy_after: 3,
+            restart_backoff: Duration::from_millis(100),
+            max_restart_backoff: Duration::from_secs(2),
+            startup_timeout: Duration::from_secs(30),
+            watch_interval: Duration::from_millis(250),
+        }
+    }
+}
+
+/// Ownership changes the supervisor announces to the router backend.
+#[derive(Debug, Clone)]
+pub enum Control {
+    /// `id` is serving at `addr`; route its arcs there.
+    MemberUp {
+        /// The member.
+        id: MemberId,
+        /// Its freshly-bound wire address.
+        addr: SocketAddr,
+    },
+    /// `id` is dead or wedged; shed its arcs with `RetryAfter` (do not
+    /// remap — it keeps its ring identity for the restart).
+    MemberDown {
+        /// The member.
+        id: MemberId,
+    },
+    /// `id` is leaving for good; remove it from the ring so its arcs remap
+    /// to the survivors.
+    MemberRemoved {
+        /// The member.
+        id: MemberId,
+    },
+}
+
+/// Requests into the supervisor loop, from the [`Cluster`](crate::Cluster)
+/// API and from wire `Reload` frames received by the router.
+#[derive(Debug, Clone)]
+pub enum Command {
+    /// Broadcast a reload of `route` (empty = all) to every `Up` member.
+    Reload {
+        /// Route label, or empty for every reloadable route.
+        route: String,
+    },
+    /// Drain and remove a member: remap its arcs, let it finish, reap it.
+    RemoveMember {
+        /// The member.
+        id: MemberId,
+    },
+    /// Drain every member and exit the loop.
+    Shutdown,
+}
+
+/// A line (or EOF) from one worker's stdout reader thread.
+enum StdoutEvent {
+    Line(MemberId, String),
+    Eof,
+}
+
+/// One supervised worker process.
+struct Member {
+    child: Option<Child>,
+    /// Held open for the life of the child: dropping it is the drain/orphan
+    /// signal (worker exits on stdin EOF).
+    stdin: Option<ChildStdin>,
+    probe: Option<NetClient>,
+    health_failures: u32,
+    restart_at: Option<Instant>,
+    spawned_at: Instant,
+}
+
+/// Everything the supervisor loop needs, bundled so [`run`] stays readable.
+pub(crate) struct Supervisor {
+    worker: WorkerCommand,
+    config: SupervisorConfig,
+    telemetry: Arc<Telemetry>,
+    control: Sender<Control>,
+    commands: Receiver<Command>,
+    view: Arc<Mutex<Vec<MemberInfo>>>,
+    snapshots: Arc<Mutex<HashMap<MemberId, TelemetrySnapshot>>>,
+    stdout_tx: Sender<StdoutEvent>,
+    stdout_rx: Receiver<StdoutEvent>,
+    members: Vec<Member>,
+    store: Option<ModelStore>,
+    watched: Vec<(String, usize, u32)>,
+    last_probe: Instant,
+    last_watch: Instant,
+}
+
+impl Supervisor {
+    /// Build a supervisor for `count` members, sharing `view` and
+    /// `snapshots` with the cluster front.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        count: u32,
+        worker: WorkerCommand,
+        config: SupervisorConfig,
+        telemetry: Arc<Telemetry>,
+        control: Sender<Control>,
+        commands: Receiver<Command>,
+        view: Arc<Mutex<Vec<MemberInfo>>>,
+        snapshots: Arc<Mutex<HashMap<MemberId, TelemetrySnapshot>>>,
+        store: Option<ModelStore>,
+        routes: &[RouteKey],
+    ) -> Supervisor {
+        let (stdout_tx, stdout_rx) = std::sync::mpsc::channel();
+        {
+            let mut view = lock(&view);
+            view.clear();
+            view.extend((0..count).map(|id| MemberInfo {
+                id,
+                state: MemberState::Starting,
+                addr: None,
+                pid: None,
+                restarts: 0,
+            }));
+        }
+        // Watch one (model, scale) per distinct pair; the initial resolved
+        // version seeds the baseline so pre-existing artifacts do not count
+        // as promotions.
+        let mut watched: Vec<(String, usize, u32)> = Vec::new();
+        if let Some(store) = &store {
+            for key in routes {
+                let model = key.model.name().to_string();
+                if watched
+                    .iter()
+                    .any(|(m, s, _)| *m == model && *s == key.scale)
+                {
+                    continue;
+                }
+                let version = store
+                    .resolve(&model, key.scale)
+                    .map(|artifact| artifact.version)
+                    .unwrap_or(0);
+                watched.push((model, key.scale, version));
+            }
+        }
+        Supervisor {
+            worker,
+            config,
+            telemetry,
+            control,
+            commands,
+            view,
+            snapshots,
+            stdout_tx,
+            stdout_rx,
+            members: (0..count)
+                .map(|_| Member {
+                    child: None,
+                    stdin: None,
+                    probe: None,
+                    health_failures: 0,
+                    restart_at: None,
+                    spawned_at: Instant::now(),
+                })
+                .collect(),
+            store,
+            watched,
+            last_probe: Instant::now(),
+            last_watch: Instant::now(),
+        }
+    }
+
+    /// Run the supervision loop until [`Command::Shutdown`] (or every
+    /// command sender hangs up).
+    pub(crate) fn run(mut self) {
+        for id in 0..self.members.len() as u32 {
+            self.spawn(id);
+        }
+        loop {
+            self.drain_stdout();
+            self.reap_exits();
+            self.check_startup_timeouts();
+            self.restart_due();
+            if self.last_probe.elapsed() >= self.config.health_interval {
+                self.last_probe = Instant::now();
+                self.probe_health();
+            }
+            if self.last_watch.elapsed() >= self.config.watch_interval {
+                self.last_watch = Instant::now();
+                self.watch_store();
+            }
+            match self.commands.try_recv() {
+                Ok(Command::Reload { route }) => self.fan_out_reload(&route),
+                Ok(Command::RemoveMember { id }) => self.begin_drain(id),
+                Ok(Command::Shutdown) | Err(TryRecvError::Disconnected) => break,
+                Err(TryRecvError::Empty) => {}
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        self.shutdown_all();
+    }
+
+    /// State of `id` in the shared view.
+    fn state(&self, id: MemberId) -> MemberState {
+        lock(&self.view)[id as usize].state
+    }
+
+    /// Update the shared view for `id` and keep the `cluster.members_up`
+    /// gauge in step.
+    fn set_view(&self, id: MemberId, update: impl FnOnce(&mut MemberInfo)) {
+        let mut view = lock(&self.view);
+        update(&mut view[id as usize]);
+        let up = view
+            .iter()
+            .filter(|info| info.state == MemberState::Up)
+            .count() as i64;
+        self.telemetry.metrics().gauge("cluster.members_up").set(up);
+    }
+
+    /// Spawn (or respawn) member `id`'s process.
+    fn spawn(&mut self, id: MemberId) {
+        let spawned = std::process::Command::new(&self.worker.program)
+            .args(&self.worker.args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn();
+        let member = &mut self.members[id as usize];
+        member.spawned_at = Instant::now();
+        member.health_failures = 0;
+        member.restart_at = None;
+        member.probe = None;
+        match spawned {
+            Ok(mut child) => {
+                self.telemetry
+                    .metrics()
+                    .counter("cluster.supervisor.spawned")
+                    .incr();
+                member.stdin = child.stdin.take();
+                if let Some(stdout) = child.stdout.take() {
+                    let tx = self.stdout_tx.clone();
+                    std::thread::spawn(move || {
+                        let reader = std::io::BufReader::new(stdout);
+                        for line in reader.lines() {
+                            match line {
+                                Ok(line) => {
+                                    if tx.send(StdoutEvent::Line(id, line)).is_err() {
+                                        return;
+                                    }
+                                }
+                                Err(_) => break,
+                            }
+                        }
+                        let _ = tx.send(StdoutEvent::Eof);
+                    });
+                }
+                let pid = child.id();
+                member.child = Some(child);
+                self.set_view(id, |info| {
+                    info.state = MemberState::Starting;
+                    info.addr = None;
+                    info.pid = Some(pid);
+                });
+            }
+            Err(err) => {
+                eprintln!("cluster: cannot spawn member {id}: {err}");
+                self.mark_down(id);
+            }
+        }
+    }
+
+    /// Handle `listening on ADDR` lines and reader-thread EOFs.
+    fn drain_stdout(&mut self) {
+        loop {
+            match self.stdout_rx.try_recv() {
+                Ok(StdoutEvent::Line(id, line)) => {
+                    if let Some(addr) = line
+                        .strip_prefix("listening on ")
+                        .and_then(|rest| rest.trim().parse::<SocketAddr>().ok())
+                    {
+                        if self.state(id) == MemberState::Starting {
+                            self.set_view(id, |info| {
+                                info.state = MemberState::Up;
+                                info.addr = Some(addr);
+                            });
+                            let _ = self.control.send(Control::MemberUp { id, addr });
+                        }
+                    }
+                }
+                // Process exit handles the state change; EOF alone is not a
+                // failure (a draining worker closes stdout on the way out).
+                Ok(StdoutEvent::Eof) => {}
+                Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
+            }
+        }
+    }
+
+    /// Reap exited children: crashes schedule a restart, drains complete.
+    fn reap_exits(&mut self) {
+        for id in 0..self.members.len() as u32 {
+            let exited = match self.members[id as usize].child.as_mut() {
+                Some(child) => matches!(child.try_wait(), Ok(Some(_)) | Err(_)),
+                None => false,
+            };
+            if !exited {
+                continue;
+            }
+            self.members[id as usize].child = None;
+            self.members[id as usize].stdin = None;
+            match self.state(id) {
+                MemberState::Draining => {
+                    self.telemetry
+                        .metrics()
+                        .counter("cluster.supervisor.drained")
+                        .incr();
+                    self.set_view(id, |info| {
+                        info.state = MemberState::Removed;
+                        info.addr = None;
+                        info.pid = None;
+                    });
+                }
+                MemberState::Removed => {}
+                _ => self.mark_down(id),
+            }
+        }
+    }
+
+    /// A worker that never printed its address within the startup budget is
+    /// wedged: kill and reschedule.
+    fn check_startup_timeouts(&mut self) {
+        for id in 0..self.members.len() as u32 {
+            if self.state(id) == MemberState::Starting
+                && self.members[id as usize].child.is_some()
+                && self.members[id as usize].spawned_at.elapsed() > self.config.startup_timeout
+            {
+                self.kill(id);
+                self.mark_down(id);
+            }
+        }
+    }
+
+    /// Transition `id` to `Down`: announce to the router, bump restart
+    /// accounting, schedule the backed-off respawn.
+    fn mark_down(&mut self, id: MemberId) {
+        if matches!(self.state(id), MemberState::Down) {
+            return;
+        }
+        self.set_view(id, |info| {
+            info.state = MemberState::Down;
+            info.addr = None;
+        });
+        let _ = self.control.send(Control::MemberDown { id });
+        let restarts = lock(&self.view)[id as usize].restarts;
+        let backoff = backoff_delay(
+            self.config.restart_backoff,
+            self.config.max_restart_backoff,
+            restarts,
+        );
+        let member = &mut self.members[id as usize];
+        member.probe = None;
+        member.restart_at = Some(Instant::now() + backoff);
+    }
+
+    /// Respawn members whose restart backoff has elapsed.
+    fn restart_due(&mut self) {
+        for id in 0..self.members.len() as u32 {
+            let due = self.members[id as usize]
+                .restart_at
+                .is_some_and(|at| Instant::now() >= at);
+            if due && self.state(id) == MemberState::Down {
+                self.telemetry
+                    .metrics()
+                    .counter("cluster.supervisor.restarts")
+                    .incr();
+                self.telemetry
+                    .metrics()
+                    .counter(&format!("cluster.member.{id}.restarts"))
+                    .incr();
+                self.set_view(id, |info| info.restarts += 1);
+                self.spawn(id);
+            }
+        }
+    }
+
+    /// Probe every `Up` member over the wire; a reply refreshes its fleet
+    /// snapshot, repeated silence restarts it.
+    fn probe_health(&mut self) {
+        for id in 0..self.members.len() as u32 {
+            if self.state(id) != MemberState::Up {
+                continue;
+            }
+            let addr = lock(&self.view)[id as usize].addr;
+            let Some(addr) = addr else { continue };
+            let timeout = self.config.health_timeout;
+            let member = &mut self.members[id as usize];
+            if member.probe.is_none() {
+                member.probe = NetClient::connect(addr).ok();
+            }
+            let json = member
+                .probe
+                .as_mut()
+                .and_then(|probe| probe.stats(timeout).ok());
+            match json.and_then(|json| TelemetrySnapshot::from_json(&json).ok()) {
+                Some(snapshot) => {
+                    member.health_failures = 0;
+                    lock(&self.snapshots).insert(id, snapshot);
+                }
+                None => {
+                    member.probe = None;
+                    member.health_failures += 1;
+                    self.telemetry
+                        .metrics()
+                        .counter("cluster.supervisor.health_failures")
+                        .incr();
+                    if member.health_failures >= self.config.unhealthy_after {
+                        self.kill(id);
+                        self.mark_down(id);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Poll the shared store; a version bump on any watched `(model, scale)`
+    /// is a promotion, broadcast to the fleet exactly once.
+    fn watch_store(&mut self) {
+        let Some(store) = &self.store else { return };
+        let mut promoted = false;
+        for (model, scale, last) in &mut self.watched {
+            if let Ok(artifact) = store.resolve(model, *scale) {
+                if artifact.version > *last {
+                    *last = artifact.version;
+                    promoted = true;
+                    self.telemetry
+                        .metrics()
+                        .counter("cluster.reload.promotions")
+                        .incr();
+                }
+            }
+        }
+        if promoted {
+            self.fan_out_reload("");
+        }
+    }
+
+    /// Broadcast a wire `Reload` of `route` to every `Up` member, counting
+    /// each send and each acknowledged success.
+    fn fan_out_reload(&mut self, route: &str) {
+        let timeout = self.config.health_timeout;
+        for id in 0..self.members.len() as u32 {
+            if self.state(id) != MemberState::Up {
+                continue;
+            }
+            let addr = lock(&self.view)[id as usize].addr;
+            let Some(addr) = addr else { continue };
+            self.telemetry
+                .metrics()
+                .counter("cluster.reload.fanout_sent")
+                .incr();
+            // A dedicated connection per fan-out keeps the health probe's
+            // frame stream untangled from reload replies.
+            let outcome = NetClient::connect(addr)
+                .map_err(sesr_net::NetError::from)
+                .and_then(|mut client| client.reload(route, timeout));
+            match outcome {
+                Ok((true, _)) => self
+                    .telemetry
+                    .metrics()
+                    .counter("cluster.reload.fanout_acked")
+                    .incr(),
+                Ok((false, message)) => {
+                    eprintln!("cluster: member {id} reload refused: {message}");
+                    self.telemetry
+                        .metrics()
+                        .counter("cluster.reload.fanout_failed")
+                        .incr();
+                }
+                Err(err) => {
+                    eprintln!("cluster: member {id} reload failed: {err}");
+                    self.telemetry
+                        .metrics()
+                        .counter("cluster.reload.fanout_failed")
+                        .incr();
+                }
+            }
+        }
+    }
+
+    /// Planned removal: remap the member's arcs first, then signal the
+    /// worker to finish and exit (stdin EOF), reaped by [`reap_exits`].
+    fn begin_drain(&mut self, id: MemberId) {
+        if (id as usize) >= self.members.len()
+            || matches!(self.state(id), MemberState::Draining | MemberState::Removed)
+        {
+            return;
+        }
+        let _ = self.control.send(Control::MemberRemoved { id });
+        let had_child = self.members[id as usize].child.is_some();
+        self.set_view(id, |info| info.state = MemberState::Draining);
+        let member = &mut self.members[id as usize];
+        member.restart_at = None;
+        member.probe = None;
+        member.stdin = None; // EOF → worker exits after in-flight work
+        if !had_child {
+            self.telemetry
+                .metrics()
+                .counter("cluster.supervisor.drained")
+                .incr();
+            self.set_view(id, |info| {
+                info.state = MemberState::Removed;
+                info.addr = None;
+                info.pid = None;
+            });
+        }
+    }
+
+    /// Kill member `id`'s process outright (wedged or shutting down).
+    fn kill(&mut self, id: MemberId) {
+        let member = &mut self.members[id as usize];
+        member.stdin = None;
+        if let Some(child) = member.child.as_mut() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+        member.child = None;
+    }
+
+    /// Drain every member: stdin EOF first for a clean exit, hard kill
+    /// after a grace period.
+    fn shutdown_all(&mut self) {
+        for member in &mut self.members {
+            member.stdin = None;
+        }
+        let grace = Instant::now() + Duration::from_secs(2);
+        for member in &mut self.members {
+            if let Some(child) = member.child.as_mut() {
+                loop {
+                    match child.try_wait() {
+                        Ok(Some(_)) | Err(_) => break,
+                        Ok(None) if Instant::now() >= grace => {
+                            let _ = child.kill();
+                            let _ = child.wait();
+                            break;
+                        }
+                        Ok(None) => std::thread::sleep(Duration::from_millis(10)),
+                    }
+                }
+            }
+            member.child = None;
+        }
+    }
+}
+
+/// Exponential restart backoff: `base * 2^restarts`, capped.
+fn backoff_delay(base: Duration, cap: Duration, restarts: u64) -> Duration {
+    let exp = u32::try_from(restarts.min(16)).unwrap_or(16);
+    base.saturating_mul(1u32 << exp).min(cap)
+}
+
+/// Lock a mutex, recovering from poisoning — a panicked holder leaves the
+/// view readable, and supervision must keep going.
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match mutex.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// The reconnect policy the cluster uses for its own wire clients.
+pub(crate) fn probe_policy() -> ReconnectPolicy {
+    ReconnectPolicy {
+        max_attempts: 3,
+        initial_backoff: Duration::from_millis(25),
+        max_backoff: Duration::from_millis(200),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_per_restart_and_caps() {
+        let base = Duration::from_millis(100);
+        let cap = Duration::from_secs(2);
+        assert_eq!(backoff_delay(base, cap, 0), Duration::from_millis(100));
+        assert_eq!(backoff_delay(base, cap, 1), Duration::from_millis(200));
+        assert_eq!(backoff_delay(base, cap, 3), Duration::from_millis(800));
+        assert_eq!(backoff_delay(base, cap, 10), cap);
+        assert_eq!(backoff_delay(base, cap, u64::MAX), cap);
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let config = SupervisorConfig::default();
+        assert!(config.health_interval < config.health_timeout);
+        assert!(config.restart_backoff < config.max_restart_backoff);
+        assert!(config.unhealthy_after >= 1);
+    }
+}

@@ -1,0 +1,245 @@
+//! Integration test for the router tier against *real* members — three
+//! in-process `sesr-net` servers, each a full gateway — driven through the
+//! raw [`Backend`] contract the reactor uses (submit / pump / poll). No
+//! supervisor here: membership changes are injected as [`Control`]
+//! messages, which is exactly what the supervisor sends.
+
+use sesr_cluster::{ClusterBackend, Control, HashRing};
+use sesr_defense::pipeline::PreprocessConfig;
+use sesr_models::SrModelKind;
+use sesr_net::{Backend, BackendRequest, NetConfig, NetServer, ResponseBody, Submit};
+use sesr_serve::{content_hash, GatewayBuilder, RouteKey};
+use sesr_telemetry::{Telemetry, TelemetrySnapshot};
+use std::collections::HashMap;
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+const VNODES: u32 = 32;
+
+fn image(tag: u32) -> sesr_tensor::Tensor {
+    let side = 8usize;
+    let data: Vec<f32> = (0..3 * side * side)
+        .map(|i| ((i as u32).wrapping_mul(31).wrapping_add(tag * 977) % 251) as f32 / 251.0)
+        .collect();
+    sesr_tensor::Tensor::from_vec(sesr_tensor::Shape::new(&[1, 3, side, side]), data)
+        .expect("static shape")
+}
+
+fn request_for(route: &str, tag: u32, skip_cache: bool) -> BackendRequest {
+    let image = image(tag);
+    BackendRequest {
+        route: route.to_string(),
+        deadline_ms: 0,
+        skip_cache,
+        content_hash: content_hash(&image, ""),
+        image,
+    }
+}
+
+/// Pump the backend until `ticket` answers (or the deadline passes).
+fn poll_until(backend: &mut ClusterBackend, ticket: u64, timeout: Duration) -> ResponseBody {
+    let deadline = Instant::now() + timeout;
+    loop {
+        backend.pump();
+        if let Some(body) = backend.poll(ticket) {
+            return body;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "ticket {ticket} never answered within {timeout:?}"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+struct Fixture {
+    backend: ClusterBackend,
+    control: Sender<Control>,
+    members: Vec<(NetServer, sesr_serve::DefenseGateway)>,
+    route: RouteKey,
+    // Held so ClusterBackend::reload has a live receiver.
+    _commands: std::sync::mpsc::Receiver<sesr_cluster::supervisor::Command>,
+}
+
+fn start_fixture(member_count: u32) -> Fixture {
+    let route = RouteKey::new(SrModelKind::NearestNeighbor, 2, PreprocessConfig::none());
+    let mut members = Vec::new();
+    let (control_tx, control_rx) = std::sync::mpsc::channel();
+    let (command_tx, command_rx) = std::sync::mpsc::channel();
+    let snapshots: Arc<Mutex<HashMap<u32, TelemetrySnapshot>>> =
+        Arc::new(Mutex::new(HashMap::new()));
+    let backend = ClusterBackend::new(
+        Arc::new(Telemetry::new()),
+        member_count,
+        VNODES,
+        [route.label()],
+        control_rx,
+        command_tx,
+        Duration::from_millis(25),
+        snapshots,
+    );
+    for id in 0..member_count {
+        let gateway = GatewayBuilder::new()
+            .route(route)
+            .build()
+            .expect("member gateway");
+        let server = NetServer::bind("127.0.0.1:0", NetConfig::default(), gateway.client())
+            .expect("bind member");
+        control_tx
+            .send(Control::MemberUp {
+                id,
+                addr: server.local_addr(),
+            })
+            .expect("announce member");
+        members.push((server, gateway));
+    }
+    Fixture {
+        backend,
+        control: control_tx,
+        members,
+        route,
+        _commands: command_rx,
+    }
+}
+
+impl Fixture {
+    fn shutdown(self) {
+        drop(self.backend);
+        for (server, gateway) in self.members {
+            server.stop();
+            gateway.shutdown();
+        }
+    }
+}
+
+#[test]
+fn forwards_across_the_fleet_and_keeps_cache_affinity() {
+    let mut fixture = start_fixture(3);
+    let label = fixture.route.label();
+    fixture.backend.pump(); // apply MemberUp messages
+
+    // A spread of requests: all must answer Ok through some member.
+    let tickets: Vec<u64> = (0..24u32)
+        .map(
+            |tag| match fixture.backend.submit(request_for(&label, tag, false)) {
+                Submit::Ticket(ticket) => ticket,
+                Submit::Reply(body) => panic!("request {tag} shed at submit: {body:?}"),
+            },
+        )
+        .collect();
+    for ticket in tickets {
+        let body = poll_until(&mut fixture.backend, ticket, Duration::from_secs(30));
+        assert!(matches!(body, ResponseBody::Ok { .. }), "got {body:?}");
+    }
+
+    // Affinity: a repeat of request 7 must land on the same member and hit
+    // that member's output cache — the whole point of content-hash routing.
+    let Submit::Ticket(repeat) = fixture.backend.submit(request_for(&label, 7, false)) else {
+        panic!("repeat shed at submit");
+    };
+    match poll_until(&mut fixture.backend, repeat, Duration::from_secs(30)) {
+        ResponseBody::Ok { cache_hit, .. } => {
+            assert!(cache_hit, "repeat must hit the owning member's cache")
+        }
+        other => panic!("repeat failed: {other:?}"),
+    }
+
+    // The routing metric counted every forward.
+    let snapshot = fixture.backend.telemetry().snapshot();
+    assert_eq!(snapshot.counter("cluster.forwarded"), Some(25));
+    fixture.shutdown();
+}
+
+#[test]
+fn down_member_sheds_only_its_arc_and_removal_remaps() {
+    let mut fixture = start_fixture(3);
+    let label = fixture.route.label();
+    fixture.backend.pump();
+
+    // Reconstruct placement with an identical ring (determinism is proved
+    // in the ring proptests) to find keys on each side of the failure.
+    let ring = HashRing::with_members(3, VNODES);
+    let owned_by = |member: u32| {
+        (0..200u32).find(|&tag| {
+            let request = request_for(&label, tag, true);
+            ring.owner(&request.route, request.content_hash) == Some(member)
+        })
+    };
+    let on_victim = owned_by(1).expect("some key lands on member 1");
+    let on_survivor = owned_by(0).expect("some key lands on member 0");
+
+    fixture
+        .control
+        .send(Control::MemberDown { id: 1 })
+        .expect("send down");
+    fixture.backend.pump();
+
+    // The victim's arc sheds with a structured retry-after...
+    match fixture.backend.submit(request_for(&label, on_victim, true)) {
+        Submit::Reply(ResponseBody::RetryAfter { retry_after_ms, .. }) => {
+            assert!(retry_after_ms >= 1)
+        }
+        other => panic!("victim arc must shed at submit, got {other:?}"),
+    }
+    // ...while the survivors' arcs keep serving.
+    let Submit::Ticket(ticket) = fixture
+        .backend
+        .submit(request_for(&label, on_survivor, true))
+    else {
+        panic!("survivor arc shed");
+    };
+    let body = poll_until(&mut fixture.backend, ticket, Duration::from_secs(30));
+    assert!(matches!(body, ResponseBody::Ok { .. }), "got {body:?}");
+
+    // A planned removal remaps the arc: the same key now forwards to a
+    // survivor and succeeds.
+    fixture
+        .control
+        .send(Control::MemberRemoved { id: 1 })
+        .expect("send removed");
+    fixture.backend.pump();
+    let Submit::Ticket(remapped) = fixture.backend.submit(request_for(&label, on_victim, true))
+    else {
+        panic!("remapped arc shed");
+    };
+    let body = poll_until(&mut fixture.backend, remapped, Duration::from_secs(30));
+    assert!(matches!(body, ResponseBody::Ok { .. }), "got {body:?}");
+
+    let snapshot = fixture.backend.telemetry().snapshot();
+    assert!(
+        snapshot.counter("cluster.shed.member_down").unwrap_or(0) >= 1,
+        "the shed must be counted"
+    );
+    fixture.shutdown();
+}
+
+#[test]
+fn unknown_members_and_empty_rings_shed_instead_of_blocking() {
+    // No MemberUp ever arrives: every submit sheds immediately — the front
+    // must never block on a member that is not there.
+    let route = RouteKey::new(SrModelKind::NearestNeighbor, 2, PreprocessConfig::none());
+    let (_control_tx, control_rx) = std::sync::mpsc::channel();
+    let (command_tx, _command_rx) = std::sync::mpsc::channel();
+    let mut backend = ClusterBackend::new(
+        Arc::new(Telemetry::new()),
+        2,
+        VNODES,
+        [route.label()],
+        control_rx,
+        command_tx,
+        Duration::from_millis(25),
+        Arc::new(Mutex::new(HashMap::new())),
+    );
+    assert!(backend.has_route(&route.label()));
+    assert!(!backend.has_route("nope:x2:raw"));
+    let started = Instant::now();
+    match backend.submit(request_for(&route.label(), 1, false)) {
+        Submit::Reply(ResponseBody::RetryAfter { .. }) => {}
+        other => panic!("must shed with retry-after, got {other:?}"),
+    }
+    assert!(
+        started.elapsed() < Duration::from_secs(1),
+        "shedding must not block"
+    );
+}

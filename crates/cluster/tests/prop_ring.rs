@@ -1,0 +1,116 @@
+//! Property tests for the consistent-hash ring: the three guarantees the
+//! router leans on. **Determinism** — two rings built from the same member
+//! set agree on every key (the e2e test reconstructs arc ownership this
+//! way). **Balance** — with enough virtual nodes no member's share of a
+//! uniform key population collapses or balloons. **Minimal remap** — a
+//! leave moves only the leaver's keys, a join steals keys only for the
+//! joiner; everything else stays put (this is the cache-affinity claim).
+
+use proptest::prelude::*;
+use sesr_cluster::{key_hash, HashRing, MemberId};
+use std::collections::HashMap;
+
+/// A deterministic spread of routing keys: a few route labels crossed with
+/// pseudo-random content hashes.
+fn sample_keys(count: u64) -> Vec<u64> {
+    let routes = ["nearest-neighbor:x2:raw", "sesr-m2:x2:jpeg75+wavelet2", ""];
+    (0..count)
+        .map(|i| {
+            let route = routes[(i % routes.len() as u64) as usize];
+            key_hash(route, i.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        })
+        .collect()
+}
+
+/// Owner of every sample key under `ring`.
+fn placement(ring: &HashRing, keys: &[u64]) -> Vec<MemberId> {
+    keys.iter()
+        .map(|&hash| ring.owner_of_hash(hash).expect("non-empty ring"))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Two independently built rings with the same membership agree on
+    /// every key, regardless of insertion order.
+    #[test]
+    fn placement_is_deterministic(members in 1u32..9, vnodes in 1u32..129) {
+        let keys = sample_keys(512);
+        let forward = HashRing::with_members(members, vnodes);
+        let mut reversed = HashRing::new(vnodes);
+        for id in (0..members).rev() {
+            reversed.insert(id);
+        }
+        prop_assert_eq!(placement(&forward, &keys), placement(&reversed, &keys));
+    }
+
+    /// With the default vnode count, every member owns a non-degenerate
+    /// share of a uniform key population: no member starves (< 1/8 of the
+    /// fair share) and none hoards (> 4x the fair share).
+    #[test]
+    fn shares_stay_balanced(members in 2u32..7) {
+        let keys = sample_keys(8192);
+        let ring = HashRing::with_members(members, HashRing::DEFAULT_VNODES);
+        let mut counts: HashMap<MemberId, u64> = HashMap::new();
+        for owner in placement(&ring, &keys) {
+            *counts.entry(owner).or_insert(0) += 1;
+        }
+        let fair = keys.len() as u64 / u64::from(members);
+        for id in 0..members {
+            let share = counts.get(&id).copied().unwrap_or(0);
+            prop_assert!(
+                share >= fair / 8,
+                "member {} starves: {} of fair {}", id, share, fair
+            );
+            prop_assert!(
+                share <= fair * 4,
+                "member {} hoards: {} of fair {}", id, share, fair
+            );
+        }
+    }
+
+    /// Removing a member moves only that member's keys; every key owned by
+    /// a survivor keeps its owner.
+    #[test]
+    fn leave_remaps_only_the_leaver(members in 2u32..7, leaver_pick in 0u32..7) {
+        let leaver = leaver_pick % members;
+        let keys = sample_keys(2048);
+        let mut ring = HashRing::with_members(members, HashRing::DEFAULT_VNODES);
+        let before = placement(&ring, &keys);
+        ring.remove(leaver);
+        let after = placement(&ring, &keys);
+        for (i, (&was, &is)) in before.iter().zip(after.iter()).enumerate() {
+            if was == leaver {
+                prop_assert!(is != leaver, "key {} still on the leaver", i);
+            } else {
+                prop_assert!(was == is, "survivor-owned key {} moved", i);
+            }
+        }
+    }
+
+    /// Adding a member steals keys only for itself: every key that moves,
+    /// moves *to* the joiner.
+    #[test]
+    fn join_steals_only_for_the_joiner(members in 1u32..6) {
+        let joiner = members; // next fresh id
+        let keys = sample_keys(2048);
+        let mut ring = HashRing::with_members(members, HashRing::DEFAULT_VNODES);
+        let before = placement(&ring, &keys);
+        ring.insert(joiner);
+        let after = placement(&ring, &keys);
+        let mut stolen = 0u64;
+        for (i, (&was, &is)) in before.iter().zip(after.iter()).enumerate() {
+            if was != is {
+                prop_assert!(is == joiner, "key {} moved somewhere other than the joiner", i);
+                stolen += 1;
+            }
+        }
+        // The joiner takes roughly its fair share, never everything.
+        prop_assert!(stolen > 0, "a joiner with {} vnodes must own something", HashRing::DEFAULT_VNODES);
+        prop_assert!(
+            stolen < keys.len() as u64 / 2,
+            "joiner stole {} of {} keys", stolen, keys.len()
+        );
+    }
+}

@@ -2,7 +2,8 @@
 //! wavelet denoising → ×2 super resolution.
 
 use crate::Result;
-use sesr_imaging::{jpeg_compress, wavelet_denoise, JpegConfig, WaveletConfig};
+use sesr_imaging::{jpeg_compress, wavelet_denoise};
+pub use sesr_imaging::{JpegConfig, WaveletConfig};
 use sesr_models::{ScratchSpace, Upscaler};
 use sesr_telemetry::Probe;
 use sesr_tensor::Tensor;
@@ -83,6 +84,44 @@ impl PreprocessConfig {
         } else {
             parts.join("+")
         }
+    }
+
+    /// Parse a label produced by [`PreprocessConfig::label`] back into the
+    /// configuration — the exact inverse, so
+    /// `parse_label(c.label()) == Some(c)` for every valid configuration.
+    /// Returns `None` for anything `label` cannot emit (unknown stages,
+    /// out-of-range quality, stages out of order or repeated). Cluster
+    /// tooling uses this to turn wire route labels back into typed keys.
+    pub fn parse_label(label: &str) -> Option<PreprocessConfig> {
+        if label == "raw" {
+            return Some(PreprocessConfig::none());
+        }
+        let mut jpeg: Option<JpegConfig> = None;
+        let mut wavelet: Option<WaveletConfig> = None;
+        for part in label.split('+') {
+            if let Some(quality) = part.strip_prefix("jpeg") {
+                // JPEG is emitted first and at most once.
+                if jpeg.is_some() || wavelet.is_some() {
+                    return None;
+                }
+                jpeg = Some(JpegConfig::new(quality.parse().ok()?).ok()?);
+            } else if let Some(rest) = part.strip_prefix("wavelet") {
+                if wavelet.is_some() {
+                    return None;
+                }
+                let (levels, threshold_scale) = match rest.split_once('t') {
+                    Some((levels, scale)) => (levels.parse().ok()?, scale.parse::<f32>().ok()?),
+                    None => (rest.parse().ok()?, 1.0),
+                };
+                wavelet = Some(WaveletConfig {
+                    levels,
+                    threshold_scale,
+                });
+            } else {
+                return None;
+            }
+        }
+        Some(PreprocessConfig { jpeg, wavelet })
     }
 }
 
@@ -372,6 +411,57 @@ mod tests {
         let mut aggressive = PreprocessConfig::without_jpeg();
         aggressive.wavelet.as_mut().unwrap().threshold_scale = 2.0;
         assert_eq!(aggressive.label(), "wavelet2t2");
+    }
+
+    #[test]
+    fn parse_label_inverts_label() {
+        let mut scaled = PreprocessConfig::paper();
+        scaled.wavelet.as_mut().unwrap().threshold_scale = 0.75;
+        let mut jpeg_only = PreprocessConfig::paper();
+        jpeg_only.wavelet = None;
+        for config in [
+            PreprocessConfig::paper(),
+            PreprocessConfig::without_jpeg(),
+            PreprocessConfig::none(),
+            scaled,
+            jpeg_only,
+        ] {
+            let parsed = PreprocessConfig::parse_label(&config.label())
+                .unwrap_or_else(|| panic!("label {:?} must parse", config.label()));
+            assert_eq!(
+                parsed.jpeg.map(|j| j.quality),
+                config.jpeg.map(|j| j.quality)
+            );
+            assert_eq!(
+                parsed
+                    .wavelet
+                    .map(|w| (w.levels, w.threshold_scale.to_bits())),
+                config
+                    .wavelet
+                    .map(|w| (w.levels, w.threshold_scale.to_bits())),
+            );
+        }
+    }
+
+    #[test]
+    fn parse_label_rejects_what_label_cannot_emit() {
+        for bad in [
+            "",
+            "jpg75",
+            "jpeg0",           // quality 0 is invalid
+            "jpeg101",         // quality > 100 is invalid
+            "jpeg75+jpeg80",   // repeated stage
+            "wavelet2+jpeg75", // wrong order: label always emits jpeg first
+            "wavelet2+wavelet3",
+            "waveletx",
+            "raw+jpeg75",
+            "jpeg75+",
+        ] {
+            assert!(
+                PreprocessConfig::parse_label(bad).is_none(),
+                "{bad:?} must be rejected"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,306 @@
+//! Where admitted requests go: the reactor is generic over a [`Backend`].
+//!
+//! The reactor owns sockets, framing and admission control; a backend owns
+//! everything after admission — route resolution, execution and replies.
+//! Two implementations exist:
+//!
+//! - [`LocalBackend`] (here): submits to an in-process
+//!   [`DefenseGateway`](sesr_serve::DefenseGateway) through a
+//!   [`GatewayClient`]. This is what [`NetServer::bind`](crate::NetServer::bind)
+//!   wires up, and what a cluster *worker* process runs.
+//! - `ClusterBackend` (in `sesr-cluster`): consistent-hashes each request to
+//!   an owning worker process and forwards it over this same wire protocol.
+//!
+//! The contract is poll-driven to match the reactor's non-blocking sweep:
+//! [`Backend::submit`] never blocks (it returns a ticket or an immediate
+//! shed reply), [`Backend::poll`] is called every sweep per in-flight
+//! ticket, and [`Backend::pump`] gives the backend one chance per sweep to
+//! drive its own I/O (a local gateway needs none; a cluster router flushes
+//! and reads member connections there).
+
+use crate::wire::{ResponseBody, RetryReason};
+use sesr_serve::{content_hash, DefenseRequest, GatewayClient, PendingResponse, RouteKey};
+use sesr_telemetry::{HealthState, Telemetry};
+use sesr_tensor::Tensor;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One admitted request, after the reactor's integrity and rate-limit
+/// checks, before route resolution.
+#[derive(Debug, Clone)]
+pub struct BackendRequest {
+    /// Route label; empty means the backend's default route.
+    pub route: String,
+    /// Soft deadline in ms from receipt; 0 = none.
+    pub deadline_ms: u32,
+    /// Bypass output caches.
+    pub skip_cache: bool,
+    /// FNV-1a64 content hash of `image`, already verified by the reactor.
+    /// A cluster router hashes `(route, content_hash)` onto its ring so
+    /// cache affinity survives scale-out.
+    pub content_hash: u64,
+    /// The image to defend.
+    pub image: Tensor,
+}
+
+/// What [`Backend::submit`] did with a request.
+#[derive(Debug)]
+pub enum Submit {
+    /// Accepted; poll [`Backend::poll`] with this ticket until it answers.
+    Ticket(u64),
+    /// Answered immediately (shed, unknown route, …).
+    Reply(ResponseBody),
+}
+
+/// The execution side of a [`NetServer`](crate::NetServer): resolves and
+/// runs admitted requests, answers stats and reload frames.
+///
+/// All methods are called from the reactor thread only, so implementations
+/// need no internal locking for per-request state.
+pub trait Backend: Send + 'static {
+    /// The telemetry hub `net.*` metrics register into and stats frames
+    /// snapshot from.
+    fn telemetry(&self) -> Arc<Telemetry>;
+
+    /// Whether `label` names a route this backend serves. The reactor
+    /// answers `UnknownRoute` for anything else before submitting.
+    fn has_route(&self, label: &str) -> bool;
+
+    /// Submit one admitted request without blocking.
+    fn submit(&mut self, request: BackendRequest) -> Submit;
+
+    /// Poll one in-flight ticket; `Some` exactly once, when the reply is
+    /// ready. The ticket is dead afterwards.
+    fn poll(&mut self, ticket: u64) -> Option<ResponseBody>;
+
+    /// Drop an in-flight ticket whose connection died; the eventual result
+    /// is discarded.
+    fn forget(&mut self, ticket: u64);
+
+    /// Drive backend-side I/O once per sweep; returns true if any progress
+    /// was made (used for the reactor's idle backoff).
+    fn pump(&mut self) -> bool {
+        false
+    }
+
+    /// Handle a wire reload frame: hot-reload `route` (empty = every
+    /// reloadable route). Returns a human-readable success message.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable reason when nothing could be reloaded.
+    fn reload(&mut self, route: &str) -> Result<String, String>;
+
+    /// The stats-frame payload: a telemetry snapshot as JSON.
+    fn stats_json(&self) -> String;
+}
+
+/// In-flight bookkeeping for [`LocalBackend`]: the pending reply plus the
+/// route it was submitted on (for health-aware shed reasons).
+struct LocalInflight {
+    pending: PendingResponse,
+    route: Option<RouteKey>,
+}
+
+/// A [`Backend`] that executes requests on an in-process gateway.
+pub struct LocalBackend {
+    client: GatewayClient,
+    routes: HashMap<String, RouteKey>,
+    inflight: HashMap<u64, LocalInflight>,
+    next_ticket: u64,
+    overload_retry_after: Duration,
+}
+
+impl LocalBackend {
+    /// Wrap `client`; `overload_retry_after` is the backoff hint attached
+    /// to overload sheds (mirrors
+    /// [`NetConfig::overload_retry_after`](crate::NetConfig)).
+    pub fn new(client: GatewayClient, overload_retry_after: Duration) -> LocalBackend {
+        let routes = client
+            .routes()
+            .into_iter()
+            .map(|key| (key.label(), key))
+            .collect();
+        LocalBackend {
+            client,
+            routes,
+            inflight: HashMap::new(),
+            next_ticket: 1,
+            overload_retry_after,
+        }
+    }
+
+    /// Map a submit- or poll-time [`ServeError`](sesr_serve::ServeError) to
+    /// its wire reply. `Overloaded` — whether from a full queue or an SLO
+    /// health shed — becomes a structured retry-after instead of a dropped
+    /// connection.
+    fn shed_body(&self, route: Option<RouteKey>, err: sesr_serve::ServeError) -> ResponseBody {
+        use sesr_serve::ServeError;
+        match err {
+            ServeError::Overloaded => {
+                let route = route.unwrap_or_else(|| self.client.default_route());
+                let reason = match self.client.route_health(&route) {
+                    Ok(HealthState::Unhealthy) => RetryReason::Unhealthy,
+                    _ => RetryReason::Overloaded,
+                };
+                ResponseBody::RetryAfter {
+                    retry_after_ms: u32::try_from(self.overload_retry_after.as_millis().max(1))
+                        .unwrap_or(u32::MAX),
+                    reason,
+                }
+            }
+            ServeError::DeadlineExceeded => ResponseBody::DeadlineExceeded,
+            ServeError::UnknownRoute(label) => ResponseBody::UnknownRoute(label),
+            ServeError::InvalidRequest(msg) => ResponseBody::InvalidRequest(msg),
+            ServeError::Pipeline(msg) => ResponseBody::PipelineError(msg),
+            ServeError::Closed => ResponseBody::Closed,
+        }
+    }
+}
+
+impl Backend for LocalBackend {
+    fn telemetry(&self) -> Arc<Telemetry> {
+        Arc::clone(self.client.telemetry())
+    }
+
+    fn has_route(&self, label: &str) -> bool {
+        self.routes.contains_key(label)
+    }
+
+    fn submit(&mut self, request: BackendRequest) -> Submit {
+        let route_key = if request.route.is_empty() {
+            None
+        } else {
+            match self.routes.get(&request.route) {
+                Some(key) => Some(*key),
+                None => return Submit::Reply(ResponseBody::UnknownRoute(request.route)),
+            }
+        };
+        debug_assert_eq!(content_hash(&request.image, ""), request.content_hash);
+        let mut defense = DefenseRequest::new(request.image);
+        if let Some(key) = route_key {
+            defense = defense.on(key);
+        }
+        if request.skip_cache {
+            defense = defense.skip_cache();
+        }
+        if request.deadline_ms > 0 {
+            defense = defense.with_deadline(Duration::from_millis(u64::from(request.deadline_ms)));
+        }
+        match self.client.submit(defense) {
+            Ok(pending) => {
+                let ticket = self.next_ticket;
+                self.next_ticket += 1;
+                self.inflight.insert(
+                    ticket,
+                    LocalInflight {
+                        pending,
+                        route: route_key,
+                    },
+                );
+                Submit::Ticket(ticket)
+            }
+            Err(err) => Submit::Reply(self.shed_body(route_key, err)),
+        }
+    }
+
+    fn poll(&mut self, ticket: u64) -> Option<ResponseBody> {
+        let entry = self.inflight.get_mut(&ticket)?;
+        let result = entry.pending.try_wait()?;
+        let route = entry.route;
+        self.inflight.remove(&ticket);
+        Some(match result {
+            Ok(response) => ResponseBody::Ok {
+                cache_hit: response.cache_hit,
+                label: response.label.map(|l| l as u64),
+                defended: response.defended,
+            },
+            Err(err) => self.shed_body(route, err),
+        })
+    }
+
+    fn forget(&mut self, ticket: u64) {
+        self.inflight.remove(&ticket);
+    }
+
+    fn reload(&mut self, route: &str) -> Result<String, String> {
+        let targets: Vec<RouteKey> = if route.is_empty() {
+            self.routes.values().copied().collect()
+        } else {
+            match self.routes.get(route) {
+                Some(key) => vec![*key],
+                None => return Err(format!("unknown route {route}")),
+            }
+        };
+        let mut reloaded = 0usize;
+        let mut errors: Vec<String> = Vec::new();
+        for key in targets {
+            match self.client.reload(&key) {
+                Ok(()) => reloaded += 1,
+                Err(err) => errors.push(format!("{}: {err}", key.label())),
+            }
+        }
+        if errors.is_empty() {
+            Ok(format!("reloaded {reloaded} route(s)"))
+        } else {
+            Err(errors.join("; "))
+        }
+    }
+
+    fn stats_json(&self) -> String {
+        self.client.telemetry_snapshot().to_json()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sesr_serve::GatewayBuilder;
+
+    #[test]
+    fn local_backend_resolves_routes_and_answers() {
+        let gateway = GatewayBuilder::new()
+            .route(RouteKey::new(
+                sesr_models::SrModelKind::NearestNeighbor,
+                2,
+                sesr_defense::pipeline::PreprocessConfig::none(),
+            ))
+            .build()
+            .expect("interpolation gateway");
+        let mut backend = LocalBackend::new(gateway.client(), Duration::from_millis(25));
+        let default_label = gateway.routes()[0].label();
+        assert!(backend.has_route(&default_label));
+        assert!(!backend.has_route("nope:x2:raw"));
+
+        let image = Tensor::full(sesr_tensor::Shape::new(&[1, 3, 6, 6]), 0.25);
+        let request = BackendRequest {
+            route: String::new(),
+            deadline_ms: 0,
+            skip_cache: false,
+            content_hash: content_hash(&image, ""),
+            image,
+        };
+        let ticket = match backend.submit(request) {
+            Submit::Ticket(ticket) => ticket,
+            Submit::Reply(body) => panic!("default route must admit, got {body:?}"),
+        };
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        let body = loop {
+            if let Some(body) = backend.poll(ticket) {
+                break body;
+            }
+            assert!(std::time::Instant::now() < deadline, "reply never arrived");
+            std::thread::sleep(Duration::from_millis(1));
+        };
+        assert!(matches!(body, ResponseBody::Ok { .. }));
+        // The ticket is dead after answering.
+        assert!(backend.poll(ticket).is_none());
+
+        assert!(backend.reload("nope:x2:raw").is_err());
+        // The backend holds a GatewayClient clone; release it before
+        // shutdown or the join below waits forever.
+        drop(backend);
+        gateway.shutdown();
+    }
+}

@@ -14,11 +14,16 @@
 //!   per-connection (client fairness) and optionally listener-wide.
 //! - [`reactor`] — the non-blocking polling loop: accept, read round-robin
 //!   under a fairness budget, admit (hash check → token bucket → route
-//!   resolution), submit to the gateway, poll in-flight replies, flush.
+//!   resolution), submit to the backend, poll in-flight replies, flush.
 //!   Overload and rate-limit sheds become structured retry-after replies;
 //!   wire deadlines propagate into the shard batcher.
+//! - [`backend`] — where admitted requests go: the reactor is generic over
+//!   a [`Backend`], with [`LocalBackend`] submitting to an in-process
+//!   gateway and `sesr-cluster` providing a consistent-hash router that
+//!   forwards to worker processes.
 //! - [`client`] — a small blocking client used by the traffic generator,
-//!   the tests and examples.
+//!   the cluster supervisor's health probes, the tests and examples; it
+//!   types connection loss and reconnects with backoff.
 //! - [`metrics`] — the `net.*` metric namespace registered into the same
 //!   telemetry hub the gateway snapshots.
 
@@ -26,13 +31,15 @@
 #![warn(missing_docs)]
 
 pub mod admission;
+pub mod backend;
 pub mod client;
 pub mod metrics;
 pub mod reactor;
 pub mod wire;
 
 pub use admission::{RateLimit, TokenBucket};
-pub use client::{NetClient, NetError, RequestOptions};
+pub use backend::{Backend, BackendRequest, LocalBackend, Submit};
+pub use client::{NetClient, NetError, ReconnectPolicy, RequestOptions};
 pub use metrics::NetMetrics;
 pub use reactor::{NetConfig, NetServer};
 pub use wire::{

@@ -1,6 +1,5 @@
 //! The network front-end: a hand-rolled non-blocking reactor over
-//! `std::net` that multiplexes wire connections onto the gateway's bounded
-//! shard queues.
+//! `std::net` that multiplexes wire connections onto a [`Backend`].
 //!
 //! One reactor thread owns the listener and every connection. All sockets
 //! are in non-blocking mode; each sweep the reactor
@@ -10,35 +9,37 @@
 //! 2. reads from every connection round-robin under a per-sweep byte budget
 //!    (per-client fairness: one firehose client cannot monopolize a sweep),
 //! 3. parses complete frames, runs **admission control** — wire content-hash
-//!    verification, per-client and global token buckets, route resolution —
-//!    and submits admitted requests to the gateway without blocking,
-//! 4. polls every in-flight [`PendingResponse`] (the shard workers answer
-//!    on plain channels; [`PendingResponse::try_wait`] makes that pollable),
+//!    verification, per-client and global token buckets, route existence —
+//!    and submits admitted requests to the backend without blocking,
+//! 4. polls every in-flight ticket (the backend answers when ready),
+//!    pumps the backend's own I/O once,
 //! 5. flushes response bytes, again without blocking.
 //!
-//! Nothing in the loop ever parks on a peer: a stalled client, a
-//! half-written frame or a request whose deadline expires mid-connection
-//! can delay only its own connection's buffers, never the reactor.
+//! The backend decides what "executing a request" means:
+//! [`LocalBackend`] submits to an in-process gateway's bounded shard queues
+//! (this is [`NetServer::bind`]); the `sesr-cluster` router backend forwards
+//! frames to the worker process owning the request's hash arc
+//! ([`NetServer::bind_with_backend`]). Either way, nothing in the loop ever
+//! parks on a peer: a stalled client, a half-written frame or a dead
+//! cluster member can delay only its own connection's buffers, never the
+//! reactor.
 //!
-//! **Load shedding is structured, not silent.** A full shard queue or an
-//! SLO-Unhealthy route ([`ServeError::Overloaded`]) and an exhausted token
-//! bucket both produce a [`ResponseBody::RetryAfter`] reply carrying a
-//! backoff hint — the connection stays open and the client decides when to
-//! come back, instead of being dropped mid-stream.
+//! **Load shedding is structured, not silent.** A full shard queue, an
+//! SLO-Unhealthy route, an exhausted token bucket or a degraded cluster arc
+//! all produce a [`ResponseBody::RetryAfter`] reply carrying a backoff
+//! hint — the connection stays open and the client decides when to come
+//! back, instead of being dropped mid-stream.
 //!
 //! **Deadlines propagate from the wire.** A request's `deadline_ms` becomes
-//! the [`DefenseRequest`] deadline; a job that expires while still queued is
-//! answered [`ResponseBody::DeadlineExceeded`] by the shard batcher without
-//! ever being handed to a worker.
+//! the gateway deadline; a job that expires while still queued is answered
+//! [`ResponseBody::DeadlineExceeded`] without ever being handed to a
+//! worker.
 
-use crate::admission::{RateLimit, TokenBucket};
+use crate::admission::TokenBucket;
+use crate::backend::{Backend, BackendRequest, LocalBackend, Submit};
 use crate::metrics::NetMetrics;
 use crate::wire::{self, Frame, FrameDecode, ResponseBody, RetryReason, WireRequest, WireResponse};
-use sesr_serve::{
-    content_hash, DefenseRequest, GatewayClient, PendingResponse, RouteKey, ServeError,
-};
-use sesr_telemetry::HealthState;
-use std::collections::HashMap;
+use sesr_serve::{content_hash, GatewayClient};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::mpsc;
@@ -55,10 +56,10 @@ pub struct NetConfig {
     pub max_frame_payload: usize,
     /// Per-connection token bucket; `None` disables per-client limiting
     /// (default 256-token burst, 512/s sustained).
-    pub per_client_limit: Option<RateLimit>,
+    pub per_client_limit: Option<crate::admission::RateLimit>,
     /// Listener-wide token bucket across all connections; `None` disables
     /// (default none).
-    pub global_limit: Option<RateLimit>,
+    pub global_limit: Option<crate::admission::RateLimit>,
     /// In-flight requests per connection before the reactor stops parsing
     /// (and, buffers permitting, reading) that connection — admission-side
     /// backpressure (default 32).
@@ -78,7 +79,7 @@ impl Default for NetConfig {
         NetConfig {
             max_connections: 64,
             max_frame_payload: wire::DEFAULT_MAX_PAYLOAD,
-            per_client_limit: Some(RateLimit::new(256, 512)),
+            per_client_limit: Some(crate::admission::RateLimit::new(256, 512)),
             global_limit: None,
             max_inflight_per_conn: 32,
             read_budget: 64 * 1024,
@@ -88,10 +89,10 @@ impl Default for NetConfig {
     }
 }
 
-/// One request admitted to a shard and awaiting its reply.
+/// One request admitted to the backend and awaiting its reply.
 struct Inflight {
     id: u64,
-    pending: PendingResponse,
+    ticket: u64,
     started: Instant,
 }
 
@@ -109,21 +110,21 @@ struct Conn {
     dead: bool,
 }
 
-struct Reactor {
-    client: GatewayClient,
+struct Reactor<B: Backend> {
+    backend: B,
     config: NetConfig,
     metrics: NetMetrics,
-    routes: HashMap<String, RouteKey>,
     global_bucket: Option<TokenBucket>,
 }
 
 /// The running network front-end; owns the reactor thread.
 ///
-/// Holds a [`GatewayClient`] clone, so — like a
-/// [`ReloadWatcher`](sesr_serve::ReloadWatcher) — call [`NetServer::stop`]
-/// before `DefenseGateway::shutdown`, or the shutdown join will wait.
-/// Dropping the handle without stopping also ends the reactor (it notices
-/// the closed stop channel on its next sweep), but does not wait for it.
+/// When backed by a local gateway it holds a [`GatewayClient`] clone, so —
+/// like a [`ReloadWatcher`](sesr_serve::ReloadWatcher) — call
+/// [`NetServer::stop`] before `DefenseGateway::shutdown`, or the shutdown
+/// join will wait. Dropping the handle without stopping also ends the
+/// reactor (it notices the closed stop channel on its next sweep), but does
+/// not wait for it.
 pub struct NetServer {
     stop_tx: mpsc::Sender<()>,
     thread: Option<JoinHandle<()>>,
@@ -132,7 +133,7 @@ pub struct NetServer {
 
 impl NetServer {
     /// Bind `addr` (use port 0 to let the OS pick) and start the reactor
-    /// serving `client`'s gateway.
+    /// serving `client`'s gateway through a [`LocalBackend`].
     ///
     /// # Errors
     ///
@@ -142,23 +143,32 @@ impl NetServer {
         config: NetConfig,
         client: GatewayClient,
     ) -> std::io::Result<NetServer> {
+        let backend = LocalBackend::new(client, config.overload_retry_after);
+        NetServer::bind_with_backend(addr, config, backend)
+    }
+
+    /// Bind `addr` and start the reactor serving an arbitrary [`Backend`] —
+    /// this is how the cluster router tier embeds itself in the reactor.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error binding or configuring the listener.
+    pub fn bind_with_backend(
+        addr: impl ToSocketAddrs,
+        config: NetConfig,
+        backend: impl Backend,
+    ) -> std::io::Result<NetServer> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
-        let metrics = NetMetrics::register(client.telemetry());
-        let routes = client
-            .routes()
-            .into_iter()
-            .map(|key| (key.label(), key))
-            .collect();
+        let metrics = NetMetrics::register(&backend.telemetry());
         let global_bucket = config
             .global_limit
             .map(|limit| TokenBucket::new(limit, Instant::now()));
-        let reactor = Reactor {
-            client,
+        let mut reactor = Reactor {
+            backend,
             config,
             metrics,
-            routes,
             global_bucket,
         };
         let (stop_tx, stop_rx) = mpsc::channel();
@@ -195,8 +205,8 @@ impl NetServer {
     }
 }
 
-impl Reactor {
-    fn run(&self, listener: &TcpListener, stop_rx: &mpsc::Receiver<()>) {
+impl<B: Backend> Reactor<B> {
+    fn run(&mut self, listener: &TcpListener, stop_rx: &mpsc::Receiver<()>) {
         let mut conns: Vec<Conn> = Vec::new();
         let mut sweep: usize = 0;
         loop {
@@ -228,7 +238,10 @@ impl Reactor {
                 progress |= self.parse_frames(conn);
             }
 
-            // 4–5. Poll in-flight replies and flush.
+            // 4. Give the backend one I/O turn (a cluster router flushes
+            // and reads its member connections here; a local gateway is a
+            // no-op), then poll in-flight replies and flush.
+            progress |= self.backend.pump();
             for conn in conns.iter_mut() {
                 progress |= self.poll_inflight(conn);
                 progress |= self.flush(conn);
@@ -242,6 +255,9 @@ impl Reactor {
                     self.metrics.closed.incr();
                     self.metrics.connections.add(-1);
                     self.metrics.inflight.add(-(conn.inflight.len() as i64));
+                    for inflight in &conn.inflight {
+                        self.backend.forget(inflight.ticket);
+                    }
                     progress = true;
                 } else {
                     i += 1;
@@ -259,10 +275,13 @@ impl Reactor {
             self.metrics.closed.incr();
             self.metrics.connections.add(-1);
             self.metrics.inflight.add(-(conn.inflight.len() as i64));
+            for inflight in &conn.inflight {
+                self.backend.forget(inflight.ticket);
+            }
         }
     }
 
-    fn accept(&self, stream: TcpStream, conns: &mut Vec<Conn>) {
+    fn accept(&mut self, stream: TcpStream, conns: &mut Vec<Conn>) {
         if conns.len() >= self.config.max_connections {
             // Best-effort structured refusal: one retry-after frame, then
             // the connection is closed. A client that sees it knows the
@@ -305,7 +324,7 @@ impl Reactor {
     /// its in-flight cap *and* already has a frame's worth of bytes queued
     /// by leaving further bytes in the kernel buffer (TCP flow control does
     /// the rest).
-    fn service_read(&self, conn: &mut Conn) -> bool {
+    fn service_read(&mut self, conn: &mut Conn) -> bool {
         if conn.dead || conn.broken {
             return false;
         }
@@ -340,7 +359,7 @@ impl Reactor {
         read_total > 0
     }
 
-    fn parse_frames(&self, conn: &mut Conn) -> bool {
+    fn parse_frames(&mut self, conn: &mut Conn) -> bool {
         let mut progressed = false;
         while !conn.broken && conn.inflight.len() < self.config.max_inflight_per_conn {
             match wire::decode(&conn.read_buf, self.config.max_frame_payload) {
@@ -374,16 +393,25 @@ impl Reactor {
         progressed
     }
 
-    fn handle_frame(&self, conn: &mut Conn, frame: Frame) {
+    fn handle_frame(&mut self, conn: &mut Conn, frame: Frame) {
         match frame {
             Frame::Request(request) => self.handle_request(conn, request),
             Frame::Stats { id } => {
-                let json = self.client.telemetry_snapshot().to_json();
+                let json = self.backend.stats_json();
                 conn.write_buf
                     .extend_from_slice(&wire::encode(&Frame::StatsReply { id, json }));
                 self.metrics.frames_tx.incr();
             }
-            Frame::Response(_) | Frame::StatsReply { .. } => {
+            Frame::Reload { id, route } => {
+                let (ok, message) = match self.backend.reload(&route) {
+                    Ok(message) => (true, message),
+                    Err(message) => (false, message),
+                };
+                conn.write_buf
+                    .extend_from_slice(&wire::encode(&Frame::ReloadReply { id, ok, message }));
+                self.metrics.frames_tx.incr();
+            }
+            Frame::Response(_) | Frame::StatsReply { .. } | Frame::ReloadReply { .. } => {
                 // Server-to-client frames arriving at the server are a
                 // protocol violation.
                 self.metrics.decode_errors.incr();
@@ -401,7 +429,7 @@ impl Reactor {
         }
     }
 
-    fn handle_request(&self, conn: &mut Conn, request: WireRequest) {
+    fn handle_request(&mut self, conn: &mut Conn, request: WireRequest) {
         let WireRequest {
             id,
             route,
@@ -412,7 +440,8 @@ impl Reactor {
         } = request;
 
         // Integrity: the wire hash must match the payload. This catches
-        // corruption *and* keeps the server's cache key honest.
+        // corruption *and* keeps downstream cache keys (and the cluster's
+        // hash-ring placement) honest.
         if content_hash(&image, "") != claimed_hash {
             self.metrics.hash_mismatch.incr();
             self.queue_response(
@@ -457,103 +486,70 @@ impl Reactor {
             return;
         }
 
-        // Route resolution: empty label = gateway default.
-        let route_key = if route.is_empty() {
-            None
-        } else {
-            match self.routes.get(&route) {
-                Some(key) => Some(*key),
-                None => {
-                    self.queue_response(
-                        conn,
-                        WireResponse {
-                            id,
-                            body: ResponseBody::UnknownRoute(route),
-                        },
-                    );
-                    return;
-                }
-            }
-        };
-
-        let mut defense = DefenseRequest::new(image);
-        if let Some(key) = route_key {
-            defense = defense.on(key);
-        }
-        if skip_cache {
-            defense = defense.skip_cache();
-        }
-        if deadline_ms > 0 {
-            defense = defense.with_deadline(Duration::from_millis(u64::from(deadline_ms)));
+        // Route existence: empty label = the backend's default.
+        if !route.is_empty() && !self.backend.has_route(&route) {
+            self.queue_response(
+                conn,
+                WireResponse {
+                    id,
+                    body: ResponseBody::UnknownRoute(route),
+                },
+            );
+            return;
         }
 
-        match self.client.submit(defense) {
-            Ok(pending) => {
+        match self.backend.submit(BackendRequest {
+            route,
+            deadline_ms,
+            skip_cache,
+            content_hash: claimed_hash,
+            image,
+        }) {
+            Submit::Ticket(ticket) => {
                 self.metrics.admitted.incr();
                 self.metrics.inflight.add(1);
                 conn.inflight.push(Inflight {
                     id,
-                    pending,
+                    ticket,
                     started: now,
                 });
             }
-            Err(err) => {
-                let body = self.shed_body(id, route_key, err);
+            Submit::Reply(body) => {
+                self.note_reply(id, &body);
                 self.queue_response(conn, WireResponse { id, body });
             }
         }
     }
 
-    /// Map a submit-time [`ServeError`] to its wire reply. `Overloaded` —
-    /// whether from a full queue or an SLO health shed — becomes a
-    /// structured retry-after instead of a dropped connection.
-    fn shed_body(&self, id: u64, route: Option<RouteKey>, err: ServeError) -> ResponseBody {
-        match err {
-            ServeError::Overloaded => {
-                let route = route.unwrap_or_else(|| self.client.default_route());
-                let reason = match self.client.route_health(&route) {
-                    Ok(HealthState::Unhealthy) => RetryReason::Unhealthy,
-                    _ => RetryReason::Overloaded,
-                };
+    /// Account for a backend-produced shed reply: overload sheds (whatever
+    /// their origin — full queue, Unhealthy route, degraded cluster arc)
+    /// and relayed deadline misses keep the same `net.*` counters the
+    /// gateway-backed reactor always had.
+    fn note_reply(&self, id: u64, body: &ResponseBody) {
+        match body {
+            ResponseBody::RetryAfter { retry_after_ms, .. } => {
                 self.metrics.shed_overload.incr();
                 self.metrics
                     .shed_probe
-                    .observe(id, self.config.overload_retry_after);
-                ResponseBody::RetryAfter {
-                    retry_after_ms: self.retry_after_ms(self.config.overload_retry_after),
-                    reason,
-                }
+                    .observe(id, Duration::from_millis(u64::from(*retry_after_ms)));
             }
-            ServeError::DeadlineExceeded => {
-                self.metrics.deadline_exceeded.incr();
-                ResponseBody::DeadlineExceeded
-            }
-            ServeError::UnknownRoute(label) => ResponseBody::UnknownRoute(label),
-            ServeError::InvalidRequest(msg) => ResponseBody::InvalidRequest(msg),
-            ServeError::Pipeline(msg) => ResponseBody::PipelineError(msg),
-            ServeError::Closed => ResponseBody::Closed,
+            ResponseBody::DeadlineExceeded => self.metrics.deadline_exceeded.incr(),
+            _ => {}
         }
     }
 
-    fn poll_inflight(&self, conn: &mut Conn) -> bool {
+    fn poll_inflight(&mut self, conn: &mut Conn) -> bool {
         let mut progressed = false;
         let mut i = 0;
         while i < conn.inflight.len() {
-            match conn.inflight[i].pending.try_wait() {
-                Some(result) => {
+            match self.backend.poll(conn.inflight[i].ticket) {
+                Some(body) => {
                     let inflight = conn.inflight.swap_remove(i);
                     self.metrics
                         .request_probe
                         .observe(inflight.id, inflight.started.elapsed());
                     self.metrics.inflight.add(-1);
-                    let body = match result {
-                        Ok(response) => ResponseBody::Ok {
-                            cache_hit: response.cache_hit,
-                            label: response.label.map(|l| l as u64),
-                            defended: response.defended,
-                        },
-                        Err(err) => self.shed_body(inflight.id, None, err),
-                    };
+                    self.note_reply(inflight.id, &body);
                     self.queue_response(
                         conn,
                         WireResponse {
@@ -569,13 +565,13 @@ impl Reactor {
         progressed
     }
 
-    fn queue_response(&self, conn: &mut Conn, response: WireResponse) {
+    fn queue_response(&mut self, conn: &mut Conn, response: WireResponse) {
         conn.write_buf
             .extend_from_slice(&wire::encode(&Frame::Response(response)));
         self.metrics.frames_tx.incr();
     }
 
-    fn flush(&self, conn: &mut Conn) -> bool {
+    fn flush(&mut self, conn: &mut Conn) -> bool {
         if conn.write_pos >= conn.write_buf.len() {
             conn.write_buf.clear();
             conn.write_pos = 0;

@@ -6,7 +6,8 @@
 //! offset  size  field
 //! 0       4     magic  "SESR" (0x53 0x45 0x53 0x52)
 //! 4       1     version (currently 1)
-//! 5       1     frame kind (1=request, 2=response, 3=stats, 4=stats reply)
+//! 5       1     frame kind (1=request, 2=response, 3=stats, 4=stats reply,
+//!               5=reload, 6=reload reply)
 //! 6       2     reserved, must be zero
 //! 8       4     payload length, u32 LE (bounded by the decoder's max)
 //! 12      …     payload
@@ -37,6 +38,8 @@ const KIND_REQUEST: u8 = 1;
 const KIND_RESPONSE: u8 = 2;
 const KIND_STATS: u8 = 3;
 const KIND_STATS_REPLY: u8 = 4;
+const KIND_RELOAD: u8 = 5;
+const KIND_RELOAD_REPLY: u8 = 6;
 
 /// Response status bytes on the wire.
 const STATUS_OK: u8 = 0;
@@ -222,6 +225,24 @@ pub enum Frame {
         /// `TelemetrySnapshot::to_json()` output.
         json: String,
     },
+    /// Ask the server to hot-reload a route's model weights from its store.
+    /// The cluster supervisor broadcasts this to every member when a new
+    /// artifact version is promoted, so the fleet converges on one watcher.
+    Reload {
+        /// Correlation id, echoed in the reply.
+        id: u64,
+        /// Route label to reload; empty means every reloadable route.
+        route: String,
+    },
+    /// The outcome of a [`Frame::Reload`].
+    ReloadReply {
+        /// Echo of the reload request id.
+        id: u64,
+        /// Whether the reload (or its scheduling) succeeded.
+        ok: bool,
+        /// Human-readable detail: what reloaded, or why it failed.
+        message: String,
+    },
 }
 
 /// Outcome of a streaming decode attempt.
@@ -341,6 +362,19 @@ pub fn encode(frame: &Frame) -> Vec<u8> {
             out.extend_from_slice(&id.to_le_bytes());
             out.extend_from_slice(&(json.len() as u32).to_le_bytes());
             out.extend_from_slice(json.as_bytes());
+            patch_len(&mut out, len_at);
+        }
+        Frame::Reload { id, route } => {
+            let len_at = push_header(&mut out, KIND_RELOAD);
+            out.extend_from_slice(&id.to_le_bytes());
+            push_str(&mut out, route);
+            patch_len(&mut out, len_at);
+        }
+        Frame::ReloadReply { id, ok, message } => {
+            let len_at = push_header(&mut out, KIND_RELOAD_REPLY);
+            out.extend_from_slice(&id.to_le_bytes());
+            out.push(u8::from(*ok));
+            push_str(&mut out, message);
             patch_len(&mut out, len_at);
         }
     }
@@ -516,6 +550,27 @@ fn decode_stats_reply(payload: &[u8]) -> Result<Frame, WireError> {
     Ok(Frame::StatsReply { id, json })
 }
 
+fn decode_reload(payload: &[u8]) -> Result<Frame, WireError> {
+    let mut cursor = Cursor::new(payload);
+    let id = cursor.u64("reload id")?;
+    let route = cursor.string("reload route")?;
+    cursor.finish()?;
+    Ok(Frame::Reload { id, route })
+}
+
+fn decode_reload_reply(payload: &[u8]) -> Result<Frame, WireError> {
+    let mut cursor = Cursor::new(payload);
+    let id = cursor.u64("reload-reply id")?;
+    let ok = match cursor.u8("reload-reply flag")? {
+        0 => false,
+        1 => true,
+        _ => return Err(WireError::Malformed("reload-reply flag must be 0 or 1")),
+    };
+    let message = cursor.string("reload-reply message")?;
+    cursor.finish()?;
+    Ok(Frame::ReloadReply { id, ok, message })
+}
+
 /// Try to decode one frame from the front of `buf`.
 ///
 /// Returns [`FrameDecode::Incomplete`] when `buf` holds a valid prefix of a
@@ -539,7 +594,7 @@ pub fn decode(buf: &[u8], max_payload: usize) -> Result<FrameDecode, WireError> 
         return Err(WireError::UnsupportedVersion(buf[4]));
     }
     let kind = buf[5];
-    if !(KIND_REQUEST..=KIND_STATS_REPLY).contains(&kind) {
+    if !(KIND_REQUEST..=KIND_RELOAD_REPLY).contains(&kind) {
         return Err(WireError::UnknownFrameKind(kind));
     }
     if buf[6] != 0 || buf[7] != 0 {
@@ -561,7 +616,9 @@ pub fn decode(buf: &[u8], max_payload: usize) -> Result<FrameDecode, WireError> 
         KIND_REQUEST => Frame::Request(decode_request(payload)?),
         KIND_RESPONSE => Frame::Response(decode_response(payload)?),
         KIND_STATS => decode_stats(payload)?,
-        _ => decode_stats_reply(payload)?,
+        KIND_STATS_REPLY => decode_stats_reply(payload)?,
+        KIND_RELOAD => decode_reload(payload)?,
+        _ => decode_reload_reply(payload)?,
     };
     Ok(FrameDecode::Complete {
         frame,
@@ -629,6 +686,38 @@ mod tests {
             id: 9,
             json: "{\"schema\":\"sesr-telemetry/v2\"}".to_string(),
         });
+        round_trip(Frame::Reload {
+            id: 11,
+            route: "sesr-m2:x2:jpeg75+wavelet2".to_string(),
+        });
+        round_trip(Frame::Reload {
+            id: 12,
+            route: String::new(),
+        });
+        round_trip(Frame::ReloadReply {
+            id: 11,
+            ok: true,
+            message: "reloaded 1 route".to_string(),
+        });
+        round_trip(Frame::ReloadReply {
+            id: 11,
+            ok: false,
+            message: "no artifact for sesr-m2 x2".to_string(),
+        });
+    }
+
+    #[test]
+    fn reload_reply_flag_must_be_boolean() {
+        let mut bytes = encode(&Frame::ReloadReply {
+            id: 1,
+            ok: true,
+            message: String::new(),
+        });
+        bytes[HEADER_LEN + 8] = 2;
+        assert!(matches!(
+            decode(&bytes, DEFAULT_MAX_PAYLOAD),
+            Err(WireError::Malformed(_))
+        ));
     }
 
     #[test]

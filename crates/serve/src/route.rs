@@ -57,6 +57,23 @@ impl RouteKey {
         )
     }
 
+    /// Parse a label produced by [`RouteKey::label`] back into a key — the
+    /// exact inverse, so `RouteKey::parse(&key.label()) == Some(key)`.
+    /// Returns `None` for labels no route can emit. This is how cluster
+    /// tooling (worker bins, traffic generators) turns the wire's string
+    /// route names back into typed keys.
+    pub fn parse(label: &str) -> Option<RouteKey> {
+        let mut parts = label.splitn(3, ':');
+        let model = SrModelKind::parse(parts.next()?)?;
+        let scale = parts.next()?.strip_prefix('x')?.parse().ok()?;
+        let preprocess = PreprocessConfig::parse_label(parts.next()?)?;
+        Some(RouteKey {
+            model,
+            scale,
+            preprocess,
+        })
+    }
+
     /// The fields that define route identity, with f32s reduced to bit
     /// patterns so `Eq`/`Hash` agree and stay total.
     fn identity(&self) -> (SrModelKind, usize, Option<u8>, Option<(usize, u32)>) {
@@ -230,6 +247,41 @@ mod tests {
             RouteKey::new(SrModelKind::Bicubic, 4, PreprocessConfig::none()).to_string(),
             "bicubic:x4:raw"
         );
+    }
+
+    #[test]
+    fn parse_round_trips_every_label_shape() {
+        let mut tuned = PreprocessConfig::without_jpeg();
+        tuned.wavelet.as_mut().unwrap().threshold_scale = 1.5;
+        let keys = [
+            RouteKey::paper(SrModelKind::SesrM2, 2),
+            RouteKey::new(SrModelKind::Bicubic, 4, PreprocessConfig::none()),
+            RouteKey::new(
+                SrModelKind::NearestNeighbor,
+                2,
+                PreprocessConfig::without_jpeg(),
+            ),
+            RouteKey::new(SrModelKind::SesrM5, 2, tuned),
+        ];
+        for key in keys {
+            assert_eq!(RouteKey::parse(&key.label()), Some(key), "{}", key.label());
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_labels() {
+        for bad in [
+            "",
+            "sesr-m2",
+            "sesr-m2:x2",
+            "sesr-m2:2:raw",        // missing the 'x' scale prefix
+            "sesr-m2:xtwo:raw",     // non-numeric scale
+            "not-a-model:x2:raw",   // unknown model
+            "sesr-m2:x2:jpg75",     // unknown preprocess stage
+            "sesr-m2:x2:raw:extra", // trailing segment folds into preprocess
+        ] {
+            assert_eq!(RouteKey::parse(bad), None, "{bad:?} must be rejected");
+        }
     }
 
     #[test]

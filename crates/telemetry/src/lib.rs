@@ -16,6 +16,9 @@
 //!   record) with per-thread span stacks for parent attribution.
 //! - [`TelemetrySnapshot`] — the export surface: a deterministic text dump
 //!   and a stable JSON schema that round-trips ([`snapshot::SCHEMA`]).
+//! - [`merge_snapshots`] / [`prefix_snapshot`] — fleet rollups: sum
+//!   counters and merge histograms bucket-wise across process snapshots,
+//!   so a cluster router can quote true union quantiles.
 //!
 //! [`Telemetry`] bundles one registry with one journal — the serving
 //! gateway, model store, and evaluation plans all share a single hub.
@@ -46,6 +49,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod aggregate;
 pub mod health;
 pub mod histogram;
 pub mod journal;
@@ -55,6 +59,7 @@ pub mod slo;
 pub mod snapshot;
 pub mod window;
 
+pub use aggregate::{merge_snapshots, prefix_snapshot};
 pub use health::{HealthMachine, HealthPolicy, HealthState, HealthTransition};
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use journal::{EventCode, EventRecord, EventRing, Level, Probe, Span};

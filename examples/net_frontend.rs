@@ -15,7 +15,9 @@
 
 use sesr_defense::pipeline::PreprocessConfig;
 use sesr_models::SrModelKind;
-use sesr_net::{NetClient, NetConfig, NetServer, RateLimit, RequestOptions, ResponseBody};
+use sesr_net::{
+    NetClient, NetConfig, NetServer, RateLimit, ReconnectPolicy, RequestOptions, ResponseBody,
+};
 use sesr_serve::{GatewayBuilder, RouteKey};
 use sesr_telemetry::TelemetrySnapshot;
 use sesr_tensor::{Shape, Tensor};
@@ -49,7 +51,9 @@ fn main() {
     let server = NetServer::bind("127.0.0.1:0", config, gateway.client()).expect("bind loopback");
     println!("server listening on {}", server.local_addr());
 
-    let mut client = NetClient::connect(server.local_addr()).expect("connect");
+    let policy = ReconnectPolicy::default();
+    let mut client =
+        NetClient::connect_with_retry(server.local_addr(), &policy).expect("connect with retry");
 
     // 1. A round trip, then the same image again: the repeat is answered
     //    from the gateway's content-hash LRU without recomputing.
@@ -123,7 +127,30 @@ fn main() {
         "a 20-deep burst into an 8-token bucket must shed"
     );
 
-    // 4. The same telemetry hub the gateway exports, fetched over the wire.
+    // 4. The client-side answer to a shed: `defend_with_retry` honours the
+    //    retry-after hint (and reconnects on connection loss) instead of a
+    //    hand-rolled loop, so the very next request rides through the same
+    //    empty bucket that just shed the burst.
+    let reply = client
+        .defend_with_retry(
+            image(99),
+            &RequestOptions {
+                route: String::new(),
+                deadline_ms: 0,
+                skip_cache: true,
+            },
+            RECV,
+            &policy,
+        )
+        .expect("retried reply");
+    println!("after backoff: {:?}", std::mem::discriminant(&reply.body));
+    assert!(
+        matches!(reply.body, ResponseBody::Ok { .. }),
+        "the retry policy must wait out the bucket, got {:?}",
+        reply.body
+    );
+
+    // 5. The same telemetry hub the gateway exports, fetched over the wire.
     let snapshot =
         TelemetrySnapshot::from_json(&client.stats(RECV).expect("stats")).expect("snapshot parses");
     println!("net.* counters over the stats frame:");
